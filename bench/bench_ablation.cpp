@@ -1,0 +1,121 @@
+// Ablation — what does the security actually cost? (DESIGN.md design
+// choices.) Three questions:
+//  1. Does the ACM check make MINIX IPC slower as the policy grows?
+//     (kernel check is one hash probe: should be ~flat)
+//  2. What does PM-audited kill cost versus a raw kernel kill?
+//  3. What does the CAmkES bootstrap cost as component count grows?
+#include <benchmark/benchmark.h>
+
+#include "camkes/camkes.hpp"
+#include "minix/kernel.hpp"
+
+namespace sim = mkbas::sim;
+namespace minix = mkbas::minix;
+
+namespace {
+
+minix::AcmPolicy padded_policy(int extra_cells) {
+  minix::AcmPolicy acm;
+  acm.allow_mask(10, 11, ~0ULL);
+  acm.allow_mask(11, 10, ~0ULL);
+  acm.allow_mask(10, minix::MinixKernel::kPmAcId, ~0ULL);
+  acm.allow_mask(11, minix::MinixKernel::kPmAcId, ~0ULL);
+  acm.allow_mask(minix::MinixKernel::kPmAcId, 10, ~0ULL);
+  acm.allow_mask(minix::MinixKernel::kPmAcId, 11, ~0ULL);
+  // Pad with unrelated cells: a big building's policy.
+  for (int i = 0; i < extra_cells; ++i) {
+    acm.allow_mask(1000 + i, 2000 + (i % 97), 0xFF);
+  }
+  return acm;
+}
+
+}  // namespace
+
+// MINIX rendezvous round trip vs ACM size: the per-message mandatory
+// check is a single hash lookup, so cost must stay flat.
+static void BM_MinixIpcVsAcmSize(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  sim::Machine m;
+  minix::MinixKernel k(m, padded_policy(cells));
+  auto ops = std::make_shared<std::uint64_t>(0);
+  const minix::Endpoint server = k.srv_fork2("server", 10, [&k] {
+    for (;;) {
+      minix::Message msg;
+      if (k.ipc_receive(minix::Endpoint::any(), msg) ==
+          minix::IpcResult::kOk) {
+        minix::Message reply;
+        reply.m_type = 0;
+        k.ipc_senda(msg.source(), reply);
+      }
+    }
+  });
+  k.srv_fork2("client", 11, [&k, server, ops] {
+    for (;;) {
+      minix::Message msg;
+      msg.m_type = 1;
+      if (k.ipc_sendrec(server, msg) == minix::IpcResult::kOk) ++(*ops);
+    }
+  });
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(*ops));
+  state.counters["acm_cells"] = cells + 6;
+  state.counters["acm_bytes"] =
+      static_cast<double>(k.policy().memory_footprint_bytes());
+}
+BENCHMARK(BM_MinixIpcVsAcmSize)->Arg(0)->Arg(100)->Arg(10000)->Arg(100000)->UseRealTime();
+
+// Audited kill (message to PM, policy check, kernel kill) vs the raw
+// kernel primitive: the price of the §III.B auditing path.
+static void BM_MinixAuditedKill(benchmark::State& state) {
+  sim::Machine m;
+  minix::AcmPolicy acm = padded_policy(0);
+  acm.allow_mask(12, minix::MinixKernel::kPmAcId, ~0ULL);
+  acm.allow_mask(minix::MinixKernel::kPmAcId, 12, ~0ULL);
+  acm.allow_kill(12, 12);  // the victims inherit the reaper's ac_id
+  minix::MinixKernel k(m, std::move(acm));
+  auto ops = std::make_shared<std::uint64_t>(0);
+  k.srv_fork2("reaper", 12, [&k, ops] {
+    for (;;) {
+      // Spawn a victim and kill it through PM's audited path.
+      auto res = k.fork2("victim", 12,
+                         [&k] { k.machine().sleep_for(sim::sec(60)); });
+      if (res.status != minix::IpcResult::kOk) {
+        k.machine().sleep_for(sim::msec(1));
+        continue;
+      }
+      if (k.pm_kill(res.child) == minix::IpcResult::kOk) ++(*ops);
+    }
+  });
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(*ops));
+}
+BENCHMARK(BM_MinixAuditedKill)->UseRealTime();
+
+// CAmkES bootstrap: objects created + caps installed + verification,
+// as the assembly grows (chain topology: c0 -> c1 -> ... -> cN).
+static void BM_CamkesBootstrap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Machine m;
+    mkbas::camkes::CamkesSystem sys(m);
+    for (int i = 0; i < n; ++i) {
+      sys.add_component("c" + std::to_string(i),
+                        [](mkbas::camkes::Runtime&) {});
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      sys.connect("conn" + std::to_string(i), "c" + std::to_string(i), "out",
+                  "c" + std::to_string(i + 1), "in");
+    }
+    sys.instantiate();
+    m.run_until(sim::msec(10));
+    benchmark::DoNotOptimize(sys.verify_distribution());
+  }
+  state.counters["components"] = n;
+}
+BENCHMARK(BM_CamkesBootstrap)->Arg(2)->Arg(8)->Arg(32)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// T4 — the seL4 capability system: lookup cost along chained CNodes
+// (CSpace depth) and the cost a §IV.D.3 brute-force attacker pays to
+// enumerate a CSpace (and finds nothing it was not given).
+#include <benchmark/benchmark.h>
+
+#include "sel4/kernel.hpp"
+
+namespace sel4 = mkbas::sel4;
+namespace sim = mkbas::sim;
+
+using sel4::CapRights;
+using sel4::ObjType;
+using sel4::Sel4Kernel;
+
+// Capability resolution along a chain of `depth` CNodes.
+static void BM_CapLookupDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  sim::Machine m;
+  Sel4Kernel k(m);
+  auto probes = std::make_shared<std::uint64_t>(0);
+  auto path = std::make_shared<std::vector<int>>();
+  k.boot_root([&k, depth, probes, path] {
+    // Build root[30] -> cnode -> cnode -> ... -> endpoint.
+    int prev_slot = 30;
+    k.retype(Sel4Kernel::kRootUntypedSlot, ObjType::kCNode, prev_slot, 16);
+    path->push_back(prev_slot);
+    for (int d = 1; d < depth; ++d) {
+      const int slot = 30 + d;
+      k.retype(Sel4Kernel::kRootUntypedSlot, ObjType::kCNode, slot, 16);
+      k.cnode_copy_into(prev_slot, slot, 4, CapRights::all());
+      path->push_back(4);
+      prev_slot = slot;
+    }
+    k.retype(Sel4Kernel::kRootUntypedSlot, ObjType::kEndpoint, 29);
+    k.cnode_copy_into(prev_slot, 29, 7, CapRights::all());
+    path->push_back(7);
+    // Wait: everything after this is driven by run_for below.
+    for (;;) {
+      if (k.probe_path(*path) == sel4::Sel4Error::kOk) ++(*probes);
+    }
+  });
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(*probes));
+  state.counters["depth"] = depth;
+}
+BENCHMARK(BM_CapLookupDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Full CSpace enumeration: the attacker's brute force (§IV.D.3).
+static void BM_CapBruteForceSweep(benchmark::State& state) {
+  const int slots = static_cast<int>(state.range(0));
+  sim::Machine m;
+  Sel4Kernel k(m);
+  auto sweeps = std::make_shared<std::uint64_t>(0);
+  auto found = std::make_shared<std::uint64_t>(0);
+  k.boot_root([&k, sweeps, found, slots] {
+    for (;;) {
+      int hits = 0;
+      for (int s = 0; s < slots; ++s) {
+        if (k.probe_own_slot(s)) ++hits;
+      }
+      *found = static_cast<std::uint64_t>(hits);
+      ++(*sweeps);
+    }
+  });
+  // Give the root a CSpace of the requested size? The default CSpace is
+  // fixed; sweep over min(slots, cspace) — probe_own_slot on an
+  // out-of-range slot is a cheap bounds check, which is also what a real
+  // attacker's failed lookups cost.
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(*sweeps * static_cast<std::uint64_t>(slots)));
+  state.counters["caps_found"] = static_cast<double>(*found);
+}
+BENCHMARK(BM_CapBruteForceSweep)->Arg(64)->Arg(256)->Arg(1024)->UseRealTime();
+
+// Copy/mint/delete churn: the bootstrap's dominant operations.
+static void BM_CapMintDelete(benchmark::State& state) {
+  sim::Machine m;
+  Sel4Kernel k(m);
+  auto ops = std::make_shared<std::uint64_t>(0);
+  k.boot_root([&k, ops] {
+    k.retype(Sel4Kernel::kRootUntypedSlot, ObjType::kEndpoint, 10);
+    for (;;) {
+      if (k.cnode_mint(10, 11, CapRights::w(), 77) == sel4::Sel4Error::kOk &&
+          k.cnode_delete(11) == sel4::Sel4Error::kOk) {
+        ++(*ops);
+      }
+    }
+  });
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(*ops));
+}
+BENCHMARK(BM_CapMintDelete)->UseRealTime();
+
+BENCHMARK_MAIN();

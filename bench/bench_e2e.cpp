@@ -1,0 +1,74 @@
+// T5 — end-to-end control-loop cost per platform: one full
+// sensor -> control -> actuator cycle of the Fig. 2 scenario, counting
+// simulated context switches and kernel entries per cycle.
+//
+// Expected shape: the microkernel paths pay more context switches per
+// cycle (every hop is a kernel-mediated rendezvous/RPC) than the
+// monolithic message-queue path — the §III trade-off at system scale.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+
+namespace core = mkbas::core;
+namespace sim = mkbas::sim;
+
+namespace {
+
+void run_platform(benchmark::State& state, core::Platform platform) {
+  sim::Machine m(1);
+  std::unique_ptr<mkbas::bas::MinixScenario> minix;
+  std::unique_ptr<mkbas::bas::Sel4Scenario> sel4;
+  std::unique_ptr<mkbas::bas::LinuxScenario> linux;
+  switch (platform) {
+    case core::Platform::kMinix:
+      minix = std::make_unique<mkbas::bas::MinixScenario>(m);
+      break;
+    case core::Platform::kSel4:
+      sel4 = std::make_unique<mkbas::bas::Sel4Scenario>(m);
+      break;
+    case core::Platform::kLinux:
+      linux = std::make_unique<mkbas::bas::LinuxScenario>(m);
+      break;
+  }
+  // Warm up: let the system boot and settle into steady cycling.
+  m.run_until(sim::minutes(1));
+  std::uint64_t cycles = 0;
+  std::size_t trace_pos = m.trace().size();
+  const std::uint64_t ctx0 = m.context_switches();
+  const std::uint64_t ke0 = m.kernel_entries();
+  for (auto _ : state) {
+    m.run_for(sim::sec(10));  // ten 1Hz control cycles per iteration
+  }
+  for (std::size_t i = trace_pos; i < m.trace().size(); ++i) {
+    if (m.trace().events()[i].what == "ctl.sample") ++cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+  if (cycles > 0) {
+    state.counters["ctx_per_cycle"] =
+        static_cast<double>(m.context_switches() - ctx0) /
+        static_cast<double>(cycles);
+    state.counters["kentry_per_cycle"] =
+        static_cast<double>(m.kernel_entries() - ke0) /
+        static_cast<double>(cycles);
+    state.counters["simsec_per_cycle"] = 1.0;  // the 1 Hz sensor period
+  }
+}
+
+}  // namespace
+
+static void BM_E2eMinix(benchmark::State& state) {
+  run_platform(state, core::Platform::kMinix);
+}
+BENCHMARK(BM_E2eMinix)->UseRealTime();
+
+static void BM_E2eSel4(benchmark::State& state) {
+  run_platform(state, core::Platform::kSel4);
+}
+BENCHMARK(BM_E2eSel4)->UseRealTime();
+
+static void BM_E2eLinux(benchmark::State& state) {
+  run_platform(state, core::Platform::kLinux);
+}
+BENCHMARK(BM_E2eLinux)->UseRealTime();
+
+BENCHMARK_MAIN();

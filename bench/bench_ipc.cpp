@@ -1,0 +1,254 @@
+// T2 — IPC cost across the three kernel personalities, quantifying the
+// paper's §III trade-off: "the microkernel approach generally
+// underperforms the monolithic due to the multiple context switches",
+// bought in exchange for kernel-audited IPC.
+//
+// Wall time measures the simulator; the architecture-meaningful numbers
+// are the per-operation *simulated* costs reported as counters:
+//   ctx_per_op      — scheduler context switches per IPC round trip
+//   kentry_per_op   — kernel entries (syscalls) per round trip
+#include <benchmark/benchmark.h>
+
+#include "linuxsim/kernel.hpp"
+#include "minix/kernel.hpp"
+#include "sel4/kernel.hpp"
+
+namespace sim = mkbas::sim;
+namespace minix = mkbas::minix;
+namespace sel4 = mkbas::sel4;
+namespace lx = mkbas::linuxsim;
+
+namespace {
+
+minix::AcmPolicy open_policy() {
+  minix::AcmPolicy acm;
+  acm.allow_mask(10, 11, ~0ULL);
+  acm.allow_mask(11, 10, ~0ULL);
+  return acm;
+}
+
+struct Counters {
+  std::uint64_t ops = 0;
+};
+
+void report(benchmark::State& state, const sim::Machine& m,
+            std::uint64_t ops) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  if (ops > 0) {
+    state.counters["ctx_per_op"] =
+        static_cast<double>(m.context_switches()) / static_cast<double>(ops);
+    state.counters["kentry_per_op"] =
+        static_cast<double>(m.kernel_entries()) / static_cast<double>(ops);
+  }
+}
+
+}  // namespace
+
+// ---- MINIX 3: synchronous rendezvous RPC (send + receive + async reply)
+
+static void BM_MinixSendrec(benchmark::State& state) {
+  sim::Machine m;
+  minix::MinixKernel k(m, open_policy());
+  auto counters = std::make_shared<Counters>();
+  const minix::Endpoint server =
+      k.srv_fork2("server", 10, [&k] {
+        for (;;) {
+          minix::Message msg;
+          if (k.ipc_receive(minix::Endpoint::any(), msg) !=
+              minix::IpcResult::kOk) {
+            continue;
+          }
+          minix::Message reply;
+          reply.m_type = 0;
+          k.ipc_senda(msg.source(), reply);
+        }
+      });
+  k.srv_fork2("client", 11, [&k, server, counters] {
+    for (;;) {
+      minix::Message msg;
+      msg.m_type = 1;
+      if (k.ipc_sendrec(server, msg) == minix::IpcResult::kOk) {
+        ++counters->ops;
+      }
+    }
+  });
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  report(state, m, counters->ops);
+}
+BENCHMARK(BM_MinixSendrec)->UseRealTime();
+
+// ---- MINIX 3: one-way non-blocking send to a waiting receiver
+
+static void BM_MinixSendNb(benchmark::State& state) {
+  sim::Machine m;
+  minix::MinixKernel k(m, open_policy());
+  auto counters = std::make_shared<Counters>();
+  const minix::Endpoint recv_ep = k.srv_fork2("recv", 10, [&k] {
+    for (;;) {
+      minix::Message msg;
+      k.ipc_receive(minix::Endpoint::any(), msg);
+    }
+  });
+  k.srv_fork2("send", 11, [&k, recv_ep, counters] {
+    for (;;) {
+      minix::Message msg;
+      msg.m_type = 1;
+      if (k.ipc_sendnb(recv_ep, msg) == minix::IpcResult::kOk) {
+        ++counters->ops;
+      }
+      // The receiver must get the baton to re-enter receive.
+      k.machine().yield();
+    }
+  });
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  report(state, m, counters->ops);
+}
+BENCHMARK(BM_MinixSendNb)->UseRealTime();
+
+// ---- seL4: Call/Reply RPC through a badged endpoint
+
+static void BM_Sel4CallReply(benchmark::State& state) {
+  sim::Machine m;
+  sel4::Sel4Kernel k(m);
+  auto counters = std::make_shared<Counters>();
+  k.boot_root([&k, counters] {
+    using sel4::CapRights;
+    using sel4::ObjType;
+    k.retype(sel4::Sel4Kernel::kRootUntypedSlot, ObjType::kEndpoint, 9);
+    k.create_thread(sel4::Sel4Kernel::kRootUntypedSlot, "server",
+                    [&k] {
+                      for (;;) {
+                        sel4::Sel4Msg msg;
+                        if (k.recv(2, msg).status != sel4::Sel4Error::kOk) {
+                          continue;
+                        }
+                        k.reply(sel4::Sel4Msg{});
+                      }
+                    },
+                    6, 20, 21);
+    k.cnode_copy_into(21, 9, 2, CapRights::r());
+    k.tcb_resume(20);
+    k.create_thread(sel4::Sel4Kernel::kRootUntypedSlot, "client",
+                    [&k, counters] {
+                      for (;;) {
+                        sel4::Sel4Msg msg;
+                        msg.label = 1;
+                        if (k.call(2, msg) == sel4::Sel4Error::kOk) {
+                          ++counters->ops;
+                        }
+                      }
+                    },
+                    7, 22, 23);
+    k.cnode_copy_into(23, 9, 2, CapRights::wg(), /*badge=*/1);
+    k.tcb_resume(22);
+  });
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  report(state, m, counters->ops);
+}
+BENCHMARK(BM_Sel4CallReply)->UseRealTime();
+
+// ---- Linux: POSIX message-queue round trip (request + reply queues)
+
+static void BM_LinuxMqRoundTrip(benchmark::State& state) {
+  sim::Machine m;
+  lx::LinuxKernel k(m);
+  auto counters = std::make_shared<Counters>();
+  k.spawn_process("server", 1000, [&k] {
+    const int req = k.mq_open("/req", true, lx::Mode::rw_owner_only());
+    const int rep = k.mq_open("/rep", true, lx::Mode::rw_owner_only());
+    for (;;) {
+      lx::MqMessage msg;
+      if (k.mq_receive(req, msg) != lx::Errno::kOk) return;
+      k.mq_send(rep, {"ok", 0});
+    }
+  });
+  k.spawn_process("client", 1000, [&k, counters] {
+    const int req = k.mq_open("/req", true, lx::Mode::rw_owner_only());
+    const int rep = k.mq_open("/rep", true, lx::Mode::rw_owner_only());
+    for (;;) {
+      if (k.mq_send(req, {"ping", 0}) != lx::Errno::kOk) return;
+      lx::MqMessage msg;
+      if (k.mq_receive(rep, msg) != lx::Errno::kOk) return;
+      ++counters->ops;
+    }
+  });
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  report(state, m, counters->ops);
+}
+BENCHMARK(BM_LinuxMqRoundTrip)->UseRealTime();
+
+// ---- Linux: Unix-domain-socket round trip (the other §III IPC)
+
+static void BM_LinuxUdsRoundTrip(benchmark::State& state) {
+  sim::Machine m;
+  lx::LinuxKernel k(m);
+  auto counters = std::make_shared<Counters>();
+  k.spawn_process("server", 1000, [&k] {
+    const int s = k.sock_socket();
+    if (k.sock_bind(s, "/run/bench.sock", lx::Mode::rw_everyone()) !=
+        lx::Errno::kOk) {
+      return;
+    }
+    k.sock_listen(s);
+    const int c = k.sock_accept(s);
+    if (c < 0) return;
+    for (;;) {
+      std::string msg;
+      if (k.sock_recv(c, &msg) != lx::Errno::kOk) return;
+      if (k.sock_send(c, "pong") != lx::Errno::kOk) return;
+    }
+  });
+  k.spawn_process("client", 1000, [&k, &m, counters] {
+    m.sleep_for(sim::msec(1));
+    const int c = k.sock_connect("/run/bench.sock");
+    if (c < 0) return;
+    for (;;) {
+      if (k.sock_send(c, "ping") != lx::Errno::kOk) return;
+      std::string msg;
+      if (k.sock_recv(c, &msg) != lx::Errno::kOk) return;
+      ++counters->ops;
+    }
+  });
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  report(state, m, counters->ops);
+}
+BENCHMARK(BM_LinuxUdsRoundTrip)->UseRealTime();
+
+// ---- Linux: one-way queue send (the cheap, unaudited path)
+
+static void BM_LinuxMqOneWay(benchmark::State& state) {
+  sim::Machine m;
+  lx::LinuxKernel k(m);
+  auto counters = std::make_shared<Counters>();
+  k.spawn_process("recv", 1000, [&k] {
+    const int q = k.mq_open("/q", true, lx::Mode::rw_owner_only(), 8);
+    for (;;) {
+      lx::MqMessage msg;
+      if (k.mq_receive(q, msg) != lx::Errno::kOk) return;
+    }
+  });
+  k.spawn_process("send", 1000, [&k, counters] {
+    const int q = k.mq_open("/q", true, lx::Mode::rw_owner_only(), 8);
+    for (;;) {
+      if (k.mq_send(q, {"x", 0}) != lx::Errno::kOk) return;
+      ++counters->ops;
+    }
+  });
+  for (auto _ : state) {
+    m.run_for(sim::msec(10));
+  }
+  report(state, m, counters->ops);
+}
+BENCHMARK(BM_LinuxMqOneWay)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// FIG1 — the building security/safety control framework of the paper's
+// Fig. 1: legacy devices reached through *secure proxies*. This bench
+// contrasts a bare BACnet thermostat with the same device behind the
+// proxy under the three network attacks the paper's introduction lists
+// for BACnet: spoofing, replay, and denial of service.
+//
+// Expected shape: the bare device accepts every forged/replayed write;
+// the proxied device rejects all of them while legitimate (sealed,
+// fresh-sequence) operator traffic still works.
+#include <cstdio>
+
+#include "net/bacnet.hpp"
+#include "sim/machine.hpp"
+
+namespace net = mkbas::net;
+namespace sim = mkbas::sim;
+
+using net::BacnetDevice;
+using net::BacnetMsg;
+using net::BacnetNetwork;
+using net::SecureProxy;
+
+namespace {
+
+BacnetMsg write_msg(std::uint32_t dst, double value) {
+  BacnetMsg msg;
+  msg.service = BacnetMsg::Service::kWriteProperty;
+  msg.src_device = 42;  // claimed identity; the wire does not verify it
+  msg.dst_device = dst;
+  msg.property = "setpoint";
+  msg.value = value;
+  return msg;
+}
+
+struct Row {
+  const char* attack;
+  bool bare_succeeded;
+  bool proxied_succeeded;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kKey = 0x5EC0DE;
+  std::printf(
+      "FIG1: secure proxies for legacy devices on the SCADA segment\n"
+      "============================================================\n\n");
+
+  Row rows[3];
+
+  // --- spoofed WriteProperty ---
+  {
+    sim::Machine m;
+    BacnetNetwork netw(m);
+    BacnetDevice bare(10, "bare-thermostat");
+    bare.set_property("setpoint", 22.0);
+    BacnetDevice legacy(11, "legacy-thermostat");
+    legacy.set_property("setpoint", 22.0);
+    SecureProxy proxy(legacy, kKey);
+    netw.attach(bare);
+    netw.attach(proxy);
+    netw.send(write_msg(10, 45.0));  // forged, unauthenticated
+    netw.send(write_msg(11, 45.0));
+    m.run_until(sim::sec(1));
+    rows[0] = {"spoofed write", bare.property("setpoint") == 45.0,
+               legacy.property("setpoint") == 45.0};
+  }
+
+  // --- replayed WriteProperty ---
+  {
+    sim::Machine m;
+    BacnetNetwork netw(m);
+    BacnetDevice bare(10, "bare-thermostat");
+    bare.set_property("setpoint", 22.0);
+    BacnetDevice legacy(11, "legacy-thermostat");
+    legacy.set_property("setpoint", 22.0);
+    SecureProxy proxy(legacy, kKey);
+    netw.attach(bare);
+    netw.attach(proxy);
+    // Legitimate operator writes 24.0 to both (sealed for the proxy).
+    const auto legit_bare = write_msg(10, 24.0);
+    const auto legit_sealed = SecureProxy::seal(write_msg(11, 24.0), kKey, 1);
+    netw.send(legit_bare);
+    netw.send(legit_sealed);
+    m.run_until(sim::sec(1));
+    // Operator then sets 26.0; attacker replays the captured datagrams.
+    bare.set_property("setpoint", 26.0);
+    legacy.set_property("setpoint", 26.0);
+    netw.send(legit_bare);    // verbatim replay
+    netw.send(legit_sealed);  // verbatim replay (stale sequence)
+    m.run_until(sim::sec(2));
+    rows[1] = {"replayed write", bare.property("setpoint") == 24.0,
+               legacy.property("setpoint") == 24.0};
+  }
+
+  // --- DoS flood ---
+  {
+    sim::Machine m;
+    BacnetNetwork netw(m);
+    BacnetDevice bare(10, "bare-thermostat");
+    BacnetDevice legacy(11, "legacy-thermostat");
+    SecureProxy proxy(legacy, kKey);
+    netw.attach(bare);
+    netw.attach(proxy);
+    std::size_t accepted_bare = 0, accepted_proxied = 0;
+    for (int i = 0; i < 200; ++i) {
+      netw.send(write_msg(10, 30.0 + i));
+      netw.send(write_msg(11, 30.0 + i));
+    }
+    m.run_until(sim::sec(5));
+    accepted_bare = bare.writes_accepted();
+    accepted_proxied = legacy.writes_accepted();
+    std::printf(
+        "DoS flood: %zu datagrams dropped at bounded inboxes; bare device\n"
+        "applied %zu forged writes, proxied device applied %zu.\n\n",
+        netw.dropped_count(), accepted_bare, accepted_proxied);
+    rows[2] = {"DoS flood writes", accepted_bare > 0, accepted_proxied > 0};
+  }
+
+  std::printf("  attack           bare device      behind secure proxy\n");
+  std::printf("  -------------------------------------------------------\n");
+  for (const auto& r : rows) {
+    std::printf("  %-16s %-16s %s\n", r.attack,
+                r.bare_succeeded ? "COMPROMISED" : "held",
+                r.proxied_succeeded ? "COMPROMISED" : "held");
+  }
+  std::printf(
+      "\n  legitimate sealed operator traffic continues to pass through\n"
+      "  the proxy (fresh sequence numbers), so the protection is not a\n"
+      "  denial of service of its own.\n");
+  return 0;
+}

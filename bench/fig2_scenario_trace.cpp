@@ -1,0 +1,79 @@
+// FIG2 — the temperature-control scenario of the paper's Fig. 2 run
+// benignly on all three platforms: settle at 22C, operator setpoint step
+// to 25C via HTTP at t=10min, heater hardware failure at t=30min (alarm
+// must fire), repair at t=45min.
+//
+// Expected shape (paper): all three implementations provide identical
+// control behaviour under benign conditions — the platforms differ only
+// under attack (see table1_attack_matrix).
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+namespace core = mkbas::core;
+namespace sim = mkbas::sim;
+
+int main() {
+  std::printf(
+      "FIG2: benign scenario trace on all three platforms\n"
+      "==================================================\n");
+  core::BenignRun runs[3];
+  const core::Platform platforms[] = {core::Platform::kMinix,
+                                      core::Platform::kSel4,
+                                      core::Platform::kLinux};
+  for (int i = 0; i < 3; ++i) runs[i] = core::run_benign(platforms[i]);
+
+  std::printf(
+      "\n  time   | MINIX3+ACM        | seL4/CAmkES       | Linux\n"
+      "  (min)  | temp  htr alm     | temp  htr alm     | temp  htr alm\n"
+      "  -------+-------------------+-------------------+---------------\n");
+  for (sim::Time t = 0; t <= sim::minutes(60); t += sim::minutes(2)) {
+    std::printf("  %5lld  |", static_cast<long long>(t / sim::minutes(1)));
+    for (int i = 0; i < 3; ++i) {
+      const mkbas::devices::PlantSample* at = nullptr;
+      for (const auto& s : runs[i].history) {
+        if (s.time >= t) {
+          at = &s;
+          break;
+        }
+      }
+      if (at != nullptr) {
+        std::printf(" %5.2f  %s  %s      |", at->true_temp_c,
+                    at->heater_on ? "on " : "off",
+                    at->alarm_on ? "ON " : "off");
+      } else {
+        std::printf("   -                |");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n  summary:\n");
+  for (int i = 0; i < 3; ++i) {
+    int status_ok = 0, posts_ok = 0;
+    for (const auto& ex : runs[i].http) {
+      if (ex.answered < 0) continue;
+      if (ex.request.method == "GET" && ex.response.status == 200) {
+        ++status_ok;
+      }
+      if (ex.request.method == "POST" && ex.response.status == 200) {
+        ++posts_ok;
+      }
+    }
+    const auto& s = runs[i].safety;
+    std::printf(
+        "  %-12s control alive: %s; alarm property: %s; spurious alarms: "
+        "%s\n               http: %d status polls ok, %d setpoint posts ok; "
+        "ctx-switches=%llu kernel-entries=%llu\n",
+        core::to_string(platforms[i]), s.control_alive ? "yes" : "NO",
+        s.alarm_violation ? "VIOLATED" : "held", s.spurious_alarm ? "YES" : "none",
+        status_ok, posts_ok,
+        static_cast<unsigned long long>(runs[i].context_switches),
+        static_cast<unsigned long long>(runs[i].kernel_entries));
+  }
+  std::printf(
+      "\n  (the temperature leaves the band only during the injected\n"
+      "   heater hardware failure, during which the alarm correctly\n"
+      "   fires within the timeout and clears after repair)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// FIG4 — the simulated counterpart of the paper's testbed photo:
+// BeagleBone + BMP180 temperature sensor + fan actuator + on-board LED.
+// Prints a device-level trace showing sensor quantisation/noise against
+// ground truth and the actuator/LED transitions during a manually-heated
+// episode (the paper "manually heat[s] up the environment for emulation").
+#include <cstdio>
+
+#include "devices/devices.hpp"
+#include "physics/room.hpp"
+#include "sim/machine.hpp"
+
+namespace devices = mkbas::devices;
+namespace physics = mkbas::physics;
+namespace sim = mkbas::sim;
+
+int main() {
+  std::printf(
+      "FIG4: simulated testbed (BMP180 + fan/heater + LED alarm)\n"
+      "=========================================================\n\n");
+  sim::Machine m(7);
+  physics::RoomModel room({.capacitance_j_per_k = 1.0e5,
+                           .loss_w_per_k = 90.0,
+                           .initial_temp_c = 21.0});
+  room.set_outdoor_profile(physics::constant_outdoor(12.0));
+  devices::HeaterActuator heater(2000.0);
+  devices::AlarmLed led;
+  devices::PlantCoupler coupler(m, room, heater, led);
+  devices::Bmp180Sensor sensor(room, m.rng(), 0.08);
+
+  // Manual heating episode: external heat source between minutes 2 and 6
+  // (a hand/hairdryer near the sensor in the paper's testbed).
+  m.at(sim::minutes(2), [&] { room.set_disturbance_w(1500.0); });
+  m.at(sim::minutes(6), [&] { room.set_disturbance_w(0.0); });
+  // Fan (actuator) runs between minutes 7 and 10; LED blinks at minute 4.
+  m.at(sim::minutes(7), [&] { heater.set_on(true, m.now()); });
+  m.at(sim::minutes(10), [&] { heater.set_on(false, m.now()); });
+  m.at(sim::minutes(4), [&] { led.set_on(true, m.now()); });
+  m.at(sim::minutes(5), [&] { led.set_on(false, m.now()); });
+
+  std::printf("  time(min)  true_temp  bmp180_reading  delta  fan  led\n");
+  std::printf("  -----------------------------------------------------\n");
+  for (int step = 0; step <= 24; ++step) {
+    const sim::Time t = step * sim::sec(30);
+    m.run_until(t);
+    const double truth = room.temperature_c();
+    const double read = sensor.read_temperature_c();
+    std::printf("  %7.1f    %7.3f     %6.1f        %+5.2f  %-3s  %s\n",
+                static_cast<double>(t) / 60e6, truth, read, read - truth,
+                heater.is_on() ? "on" : "off", led.is_on() ? "ON" : "off");
+  }
+
+  std::printf("\n  actuator transitions recorded: %zu, LED transitions: %zu\n",
+              heater.transitions().size(), led.transitions().size());
+  std::printf(
+      "  BMP180 model: 0.1C quantisation + gaussian noise (sigma 0.08C),\n"
+      "  matching the part's datasheet-level behaviour.\n");
+  return 0;
+}

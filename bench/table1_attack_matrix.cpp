@@ -1,0 +1,34 @@
+// T1 — regenerates the paper's central result (§IV.D): the attack-outcome
+// matrix across Linux, security-enhanced MINIX 3 and seL4/CAmkES, for
+// arbitrary-code-execution and root-privilege attackers, plus the
+// fork-quota ablation the paper proposes as future work.
+//
+// Expected shape (paper): every spoof/kill attack succeeds on Linux and
+// physically disrupts the plant; all are blocked on both microkernels,
+// with or without root; the fork bomb is the one MINIX weakness, fixed by
+// the ACM quota extension.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  std::printf(
+      "T1: attack outcomes across platforms (paper section IV.D)\n"
+      "==========================================================\n"
+      "workload: temperature-control scenario; web interface compromised\n"
+      "at t=12min; run ends at t=32min. 'primitive' is the syscall-level\n"
+      "outcome; 'physical world' is the ground-truth safety verdict.\n\n");
+  const auto rows = mkbas::core::run_attack_matrix();
+  std::printf("%s", mkbas::core::format_attack_table(rows).c_str());
+  std::printf(
+      "\nNotes:\n"
+      " * Linux rows with privilege=root run against the well-configured\n"
+      "   deployment (per-process accounts + queue ACLs) — root defeats\n"
+      "   it anyway, as in the paper's second simulation.\n"
+      " * MINIX3+ACM root rows are identical to code-exec rows: user\n"
+      "   privilege is not tied to IPC on that platform (section IV.D.2).\n"
+      " * seL4 has no root to escalate to (section IV.D.3).\n"
+      " * fork-bomb on MINIX succeeds (the paper's admitted limitation)\n"
+      "   unless the ACM fork quota — their proposed fix — is enabled.\n");
+  return 0;
+}

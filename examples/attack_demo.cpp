@@ -1,0 +1,51 @@
+// Attack demo: the paper's first simulation, side by side. The web
+// interface is compromised at t=12min and tries to impersonate the
+// temperature sensor. On Linux the forged readings reach the control
+// process and the room physically overheats; on security-enhanced MINIX 3
+// the kernel's access control matrix drops every forged message.
+//
+//   $ ./attack_demo
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+namespace core = mkbas::core;
+namespace sim = mkbas::sim;
+
+using mkbas::attack::AttackKind;
+using mkbas::attack::Privilege;
+
+namespace {
+
+void report(const core::AttackRow& row) {
+  std::printf("--- %s ---\n", row.platform_label.c_str());
+  std::printf("  attack primitive : %s\n",
+              row.outcome.primitive_succeeded ? "SUCCEEDED" : "blocked");
+  std::printf("  detail           : %s\n", row.outcome.detail.c_str());
+  std::printf("  physical world   : %s\n\n", row.safety.summary().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Compromised web interface impersonates the temperature sensor\n"
+      "(forged reading: 5.0C, i.e. 'the room is freezing, heat harder')\n\n");
+
+  report(core::run_attack(core::Platform::kLinux, AttackKind::kSpoofSensor,
+                          Privilege::kCodeExec));
+  report(core::run_attack(core::Platform::kMinix, AttackKind::kSpoofSensor,
+                          Privilege::kCodeExec));
+  report(core::run_attack(core::Platform::kSel4, AttackKind::kSpoofSensor,
+                          Privilege::kCodeExec));
+
+  std::printf(
+      "Second simulation: the attacker additionally holds root.\n"
+      "Linux now runs the well-configured deployment (per-process\n"
+      "accounts, per-queue ACLs) — and still falls.\n\n");
+  report(core::run_attack(core::Platform::kLinux, AttackKind::kSpoofSensor,
+                          Privilege::kRoot));
+  report(core::run_attack(core::Platform::kMinix, AttackKind::kSpoofSensor,
+                          Privilege::kRoot));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// BSL-3 lab walkthrough: a narrated day in the containment suite — the
+// scenario the paper's Fig. 1 labels "Biosafety Level 3 Lab". Pressure
+// cascade, a researcher cycling through the airlock (door interlock), a
+// damper fault with the critical alarm, and recovery.
+//
+//   $ ./bsl3_lab
+#include <cstdio>
+
+#include "bas/bsl3_scenario.hpp"
+
+namespace bas = mkbas::bas;
+namespace sim = mkbas::sim;
+
+int main() {
+  sim::Machine machine(21);
+  bas::Bsl3Scenario lab(machine);
+
+  // A researcher enters: outer door, wait in the anteroom, inner door.
+  machine.at(sim::minutes(8), [&] {
+    lab.http().submit(machine.now(), {"POST", "/door", "door=outer"});
+  });
+  machine.at(sim::minutes(8) + sim::sec(15), [&] {
+    lab.http().submit(machine.now(), {"POST", "/door", "door=inner"});
+  });
+  // An impatient attempt: both doors requested back-to-back.
+  machine.at(sim::minutes(12), [&] {
+    lab.http().submit(machine.now(), {"POST", "/door", "door=inner"});
+    lab.http().submit(machine.now(), {"POST", "/door", "door=outer"});
+  });
+  // A supply damper fails at t=20min, recovers at t=30min.
+  machine.at(sim::minutes(20), [&] { lab.model().set_fault_inflow(1.2); });
+  machine.at(sim::minutes(30), [&] { lab.model().set_fault_inflow(0.0); });
+  // Periodic status polls.
+  machine.every(sim::minutes(5), sim::minutes(5), [&] {
+    lab.http().submit(machine.now(), {"GET", "/status", ""});
+  });
+
+  machine.run_until(sim::minutes(40));
+
+  std::printf("operator console:\n");
+  for (const auto& ex : lab.http().exchanges()) {
+    if (ex.answered < 0) continue;
+    std::printf("  [%4.1f min] %-4s %-8s %-12s -> %d %s\n",
+                static_cast<double>(ex.submitted) / 60e6,
+                ex.request.method.c_str(), ex.request.path.c_str(),
+                ex.request.body.c_str(), ex.response.status,
+                ex.response.body.c_str());
+  }
+
+  std::printf("\npressure & alarm timeline:\n");
+  for (const auto& s : lab.history()) {
+    if (s.time % sim::minutes(4) != 0) continue;
+    std::printf("  t=%4.0f min  lab=%6.1f Pa  ante=%6.1f Pa  fan=%.2f%s%s\n",
+                static_cast<double>(s.time) / 60e6, s.lab_pa, s.ante_pa,
+                s.fan_speed, s.inner_open || s.outer_open ? "  [door]" : "",
+                s.alarm_on ? "  ** ALARM **" : "");
+  }
+
+  const auto safety = bas::Bsl3Scenario::check_safety(
+      lab.history(), machine.trace(), lab.config(), sim::minutes(40));
+  std::printf("\nsafety analysis: %s\n", safety.summary().c_str());
+  std::printf(
+      "(the breach is the injected damper fault — a *hardware* failure;\n"
+      " the system behaved correctly: alarm raised within %llds, interlock\n"
+      " never violated, pressure restored after the repair)\n",
+      static_cast<long long>(lab.config().alarm_delay / sim::sec(1)));
+  std::printf("door interlock refusals: %zu\n",
+              machine.trace().count_tag("bsl3.door_denied"));
+  return 0;
+}

@@ -1,0 +1,133 @@
+// experiment_runner — run any single experiment from the command line.
+//
+//   $ ./experiment_runner benign <minix|sel4|linux>
+//   $ ./experiment_runner attack <minix|sel4|linux>
+//         <spoof-sensor|spoof-actuator|kill|fork-bomb|brute-force|flood>
+//         [root] [quota] [acl]
+//   $ ./experiment_runner matrix
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace core = mkbas::core;
+
+using mkbas::attack::AttackKind;
+using mkbas::attack::Privilege;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: experiment_runner benign <minix|sel4|linux>\n"
+      "       experiment_runner attack <minix|sel4|linux> <attack> "
+      "[root] [quota] [acl]\n"
+      "       experiment_runner matrix [--csv|--md]\n"
+      "attacks: spoof-sensor spoof-actuator kill fork-bomb brute-force "
+      "flood\n");
+  return 2;
+}
+
+bool parse_platform(const std::string& s, core::Platform* out) {
+  if (s == "minix") {
+    *out = core::Platform::kMinix;
+  } else if (s == "sel4") {
+    *out = core::Platform::kSel4;
+  } else if (s == "linux") {
+    *out = core::Platform::kLinux;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_attack(const std::string& s, AttackKind* out) {
+  if (s == "spoof-sensor") {
+    *out = AttackKind::kSpoofSensor;
+  } else if (s == "spoof-actuator") {
+    *out = AttackKind::kSpoofActuator;
+  } else if (s == "kill") {
+    *out = AttackKind::kKillControl;
+  } else if (s == "fork-bomb") {
+    *out = AttackKind::kForkBomb;
+  } else if (s == "brute-force") {
+    *out = AttackKind::kCapBruteForce;
+  } else if (s == "flood") {
+    *out = AttackKind::kIpcFlood;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+
+  if (mode == "matrix") {
+    const auto rows = core::run_attack_matrix();
+    const std::string fmt = argc > 2 ? argv[2] : "";
+    if (fmt == "--csv") {
+      std::fputs(core::attack_rows_to_csv(rows).c_str(), stdout);
+    } else if (fmt == "--md") {
+      std::fputs(core::attack_rows_to_markdown(rows).c_str(), stdout);
+    } else {
+      std::fputs(core::format_attack_table(rows).c_str(), stdout);
+    }
+    return 0;
+  }
+
+  if (mode == "benign") {
+    if (argc < 3) return usage();
+    core::Platform platform;
+    if (!parse_platform(argv[2], &platform)) return usage();
+    const auto run = core::run_benign(platform);
+    std::printf("platform            : %s\n", core::to_string(platform));
+    std::printf("plant samples       : %zu\n", run.history.size());
+    std::printf("final temperature   : %.2f C\n",
+                run.history.back().true_temp_c);
+    std::printf("context switches    : %llu\n",
+                static_cast<unsigned long long>(run.context_switches));
+    std::printf("kernel entries      : %llu\n",
+                static_cast<unsigned long long>(run.kernel_entries));
+    std::printf("alarm property      : %s\n",
+                run.safety.alarm_violation ? "VIOLATED" : "held");
+    std::printf("control alive       : %s\n",
+                run.safety.control_alive ? "yes" : "NO");
+    return 0;
+  }
+
+  if (mode == "attack") {
+    if (argc < 4) return usage();
+    core::Platform platform;
+    AttackKind kind;
+    if (!parse_platform(argv[2], &platform) ||
+        !parse_attack(argv[3], &kind)) {
+      return usage();
+    }
+    Privilege priv = Privilege::kCodeExec;
+    core::RunOptions opts;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "root") == 0) priv = Privilege::kRoot;
+      if (std::strcmp(argv[i], "quota") == 0) opts.minix_quotas = true;
+      if (std::strcmp(argv[i], "acl") == 0) {
+        opts.linux_separate_accounts = true;
+      }
+    }
+    const auto row = core::run_attack(platform, kind, priv, opts);
+    std::printf("platform   : %s\n", row.platform_label.c_str());
+    std::printf("attack     : %s (%s)\n", to_string(row.kind),
+                to_string(row.privilege));
+    std::printf("primitive  : %s\n",
+                row.outcome.primitive_succeeded ? "SUCCEEDED" : "blocked");
+    std::printf("detail     : %s\n", row.outcome.detail.c_str());
+    std::printf("physical   : %s\n", row.safety.summary().c_str());
+    return row.safety.physically_compromised() ? 1 : 0;
+  }
+  return usage();
+}

@@ -1,0 +1,221 @@
+// Multi-zone building: the library's API scaled past the paper's one-room
+// mockup. Four zones, each with its own sensor / controller / heater
+// triple, plus one building-management process that adjusts setpoints —
+// all isolated by an ACM generated from an AADL model that this program
+// synthesises at run time.
+//
+// The demo also shows *containment*: a compromised zone controller tries
+// to command a neighbouring zone's heater, and the kernel drops it.
+//
+//   $ ./multi_zone
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "aadl/compile.hpp"
+#include "aadl/parser.hpp"
+#include "devices/devices.hpp"
+#include "minix/kernel.hpp"
+#include "physics/room.hpp"
+
+namespace aadl = mkbas::aadl;
+namespace devices = mkbas::devices;
+namespace minix = mkbas::minix;
+namespace physics = mkbas::physics;
+namespace sim = mkbas::sim;
+
+using minix::Endpoint;
+using minix::IpcResult;
+using minix::Message;
+
+namespace {
+
+constexpr int kZones = 4;
+constexpr int kMTypeSensor = 1;
+constexpr int kMTypeCmd = 1;
+constexpr int kMTypeSetpoint = 2;
+
+std::string zone_model() {
+  std::ostringstream os;
+  os << "process ZoneSensor features sOut : out event data port T; "
+        "end ZoneSensor;\n"
+        "process ZoneCtl features sIn : in event data port T; "
+        "hOut : out event data port Cmd; spIn : in event data port Sp; "
+        "end ZoneCtl;\n"
+        "process ZoneHeater features cIn : in event data port Cmd; "
+        "end ZoneHeater;\n"
+        "process Mgmt features ";
+  for (int z = 0; z < kZones; ++z) os << "sp" << z << " : out event data port Sp; ";
+  os << "end Mgmt;\n";
+  for (int z = 0; z < kZones; ++z) {
+    os << "process implementation ZoneSensor.z" << z
+       << " properties MKBAS::ac_id => " << (100 + 3 * z)
+       << "; end ZoneSensor.z" << z << ";\n";
+    os << "process implementation ZoneCtl.z" << z
+       << " properties MKBAS::ac_id => " << (101 + 3 * z)
+       << "; end ZoneCtl.z" << z << ";\n";
+    os << "process implementation ZoneHeater.z" << z
+       << " properties MKBAS::ac_id => " << (102 + 3 * z)
+       << "; end ZoneHeater.z" << z << ";\n";
+  }
+  os << "process implementation Mgmt.imp properties MKBAS::ac_id => 90; "
+        "end Mgmt.imp;\n";
+  os << "system Building end Building;\n"
+        "system implementation Building.impl\n  subcomponents\n";
+  for (int z = 0; z < kZones; ++z) {
+    os << "    sensor" << z << " : process ZoneSensor.z" << z << ";\n"
+       << "    ctl" << z << " : process ZoneCtl.z" << z << ";\n"
+       << "    heater" << z << " : process ZoneHeater.z" << z << ";\n";
+  }
+  os << "    mgmt : process Mgmt.imp;\n  connections\n";
+  for (int z = 0; z < kZones; ++z) {
+    os << "    cs" << z << " : port sensor" << z << ".sOut -> ctl" << z
+       << ".sIn { MKBAS::m_type => 1; };\n"
+       << "    ch" << z << " : port ctl" << z << ".hOut -> heater" << z
+       << ".cIn { MKBAS::m_type => 1; };\n"
+       << "    cm" << z << " : port mgmt.sp" << z << " -> ctl" << z
+       << ".spIn { MKBAS::m_type => 2; };\n";
+  }
+  os << "end Building.impl;\n";
+  return os.str();
+}
+
+struct Zone {
+  physics::RoomModel room{{.initial_temp_c = 16.0 }};
+  devices::HeaterActuator heater{2500.0};
+  devices::AlarmLed unused_alarm;
+  std::unique_ptr<devices::PlantCoupler> coupler;
+  std::unique_ptr<devices::Bmp180Sensor> sensor;
+  double setpoint = 21.0;
+};
+
+}  // namespace
+
+int main() {
+  // 1. Model -> policy.
+  aadl::Parser parser(zone_model());
+  const aadl::Model model = parser.parse();
+  if (!parser.ok()) {
+    std::printf("model error: %s\n", parser.diagnostics()[0].message.c_str());
+    return 1;
+  }
+  std::vector<aadl::Diagnostic> diags;
+  const auto sys = aadl::compile(model, "Building.impl", diags);
+  if (!sys.has_value()) {
+    std::printf("compile error: %s\n", diags[0].message.c_str());
+    return 1;
+  }
+  std::printf("compiled %zu instances, %zu connections; ACM cells: %zu\n\n",
+              sys->instances.size(), sys->connections.size(),
+              aadl::generate_acm(*sys).cell_count());
+
+  // 2. Boot the kernel with the generated matrix.
+  sim::Machine machine(3);
+  minix::MinixKernel kernel(machine, aadl::generate_acm(*sys));
+
+  // 3. Plant: one room per zone, different outdoor exposure per facade.
+  std::vector<Zone> zones(kZones);
+  for (int z = 0; z < kZones; ++z) {
+    zones[z].room.set_outdoor_profile(
+        physics::constant_outdoor(6.0 + 2.0 * z));
+    zones[z].coupler = std::make_unique<devices::PlantCoupler>(
+        machine, zones[z].room, zones[z].heater, zones[z].unused_alarm);
+    zones[z].sensor = std::make_unique<devices::Bmp180Sensor>(
+        zones[z].room, machine.rng());
+  }
+
+  // 4. Processes, loaded with the ac_ids from the model. A compromised
+  //    controller in zone 0 also tries to command zone 1's heater.
+  std::vector<int> denied_cross_zone(1, 0);
+  for (int z = 0; z < kZones; ++z) {
+    Zone& zone = zones[z];
+    const std::string sname = "sensor" + std::to_string(z);
+    const std::string cname = "ctl" + std::to_string(z);
+    const std::string hname = "heater" + std::to_string(z);
+    kernel.srv_fork2(hname, sys->ac_of(hname), [&kernel, &zone, &machine] {
+      for (;;) {
+        Message m;
+        if (kernel.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
+        if (m.m_type == kMTypeCmd) {
+          zone.heater.set_on(m.get_i32(0) != 0, machine.now());
+        }
+      }
+    }, 5);
+    kernel.srv_fork2(cname, sys->ac_of(cname),
+                     [&kernel, &zone, &machine, z, hname, &denied_cross_zone] {
+      const Endpoint heater_ep = kernel.wait_lookup(hname);
+      const Endpoint other =
+          z == 0 ? kernel.wait_lookup("heater1") : Endpoint::none();
+      for (;;) {
+        Message m;
+        if (kernel.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
+        if (m.m_type == kMTypeSensor) {
+          const double t = m.get_f64(0);
+          Message cmd;
+          cmd.m_type = kMTypeCmd;
+          cmd.put_i32(0, t < zone.setpoint ? 1 : 0);
+          kernel.ipc_send(heater_ep, cmd);
+          if (z == 0 && other.valid()) {
+            // Containment demo: cross-zone command must be denied.
+            Message rogue;
+            rogue.m_type = kMTypeCmd;
+            rogue.put_i32(0, 1);
+            if (kernel.ipc_sendnb(other, rogue) == IpcResult::kNotAllowed) {
+              ++denied_cross_zone[0];
+            }
+          }
+        } else if (m.m_type == kMTypeSetpoint) {
+          zone.setpoint = m.get_f64(0);
+        }
+      }
+    }, 6);
+    kernel.srv_fork2(sname, sys->ac_of(sname),
+                     [&kernel, &zone, &machine, cname] {
+      const Endpoint ctl_ep = kernel.wait_lookup(cname);
+      for (;;) {
+        Message m;
+        m.m_type = kMTypeSensor;
+        m.put_f64(0, zone.sensor->read_temperature_c());
+        kernel.ipc_sendnb(ctl_ep, m);
+        machine.sleep_for(sim::sec(2));
+      }
+    }, 5);
+  }
+  kernel.srv_fork2("mgmt", sys->ac_of("mgmt"), [&kernel, &machine] {
+    // Night setback at t=20min: every zone to 17C; morning at t=40min.
+    auto broadcast = [&kernel](double sp) {
+      for (int z = 0; z < kZones; ++z) {
+        const Endpoint ctl = kernel.lookup("ctl" + std::to_string(z));
+        if (!ctl.valid()) continue;
+        Message m;
+        m.m_type = kMTypeSetpoint;
+        m.put_f64(0, sp);
+        kernel.ipc_sendnb(ctl, m);
+      }
+    };
+    machine.sleep_for(sim::minutes(20));
+    broadcast(17.0);
+    machine.sleep_for(sim::minutes(20));
+    broadcast(23.0);
+    for (;;) machine.sleep_for(sim::minutes(10));
+  }, 7);
+
+  // 5. Run one simulated hour and report.
+  machine.run_until(sim::minutes(60));
+  std::printf("zone  t=15min  t=35min (setback 17C)  t=60min (day 23C)\n");
+  for (int z = 0; z < kZones; ++z) {
+    double at15 = 0, at35 = 0, at60 = 0;
+    for (const auto& s : zones[z].coupler->history()) {
+      if (s.time <= sim::minutes(15)) at15 = s.true_temp_c;
+      if (s.time <= sim::minutes(35)) at35 = s.true_temp_c;
+      at60 = s.true_temp_c;
+    }
+    std::printf("  %d   %6.2fC   %6.2fC               %6.2fC\n", z, at15,
+                at35, at60);
+  }
+  std::printf(
+      "\ncross-zone heater commands denied by the ACM: %d\n"
+      "ACM denials in total: %zu (zone isolation enforced by the kernel)\n",
+      denied_cross_zone[0], machine.trace().count_tag("acm.deny"));
+  return 0;
+}

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mkbas::aadl {
+
+/// Direction of an AADL port.
+enum class PortDir { kIn, kOut };
+
+/// Port category. The paper models IPC as "AADL data and event ports".
+enum class PortKind { kData, kEvent, kEventData };
+
+const char* to_string(PortDir d);
+const char* to_string(PortKind k);
+
+/// A feature (port) of a process type:
+///   sensorOut : out event data port TempReading;
+struct Port {
+  std::string name;
+  PortDir dir = PortDir::kOut;
+  PortKind kind = PortKind::kEventData;
+  std::string data_type;  // optional
+  int line = 0;
+};
+
+/// `process <Name> ... end <Name>;` — the component type with its ports.
+struct ProcessType {
+  std::string name;
+  std::vector<Port> ports;
+  int line = 0;
+
+  const Port* find_port(const std::string& n) const {
+    for (const auto& p : ports) {
+      if (p.name == n) return &p;
+    }
+    return nullptr;
+  }
+};
+
+/// `process implementation <Type>.<impl>` with MKBAS properties. The
+/// paper annotates each implementation with its unique ac_id
+/// ("TempSensorProcess.imp is 100, TempControlProcess.imp is 101 etc.").
+struct ProcessImpl {
+  std::string full_name;  // "TempSensorProcess.imp"
+  std::string type_name;  // "TempSensorProcess"
+  int ac_id = -1;
+  std::vector<std::string> may_kill;  // instance names this impl may kill
+  int fork_quota = -1;                // -1 = unlimited
+  int line = 0;
+};
+
+/// `tempSensProc : process TempSensorProcess.imp;`
+struct Subcomponent {
+  std::string instance;
+  std::string impl_name;
+  int line = 0;
+};
+
+/// `c1 : port tempSensProc.sensorOut -> tempProc.sensorIn
+///        { MKBAS::m_type => 1; };`
+struct Connection {
+  std::string name;
+  std::string src_comp, src_port;
+  std::string dst_comp, dst_port;
+  int m_type = -1;  // assigned automatically if unspecified
+  int line = 0;
+};
+
+/// `system implementation <Name>.impl` with subcomponents + connections.
+struct SystemImpl {
+  std::string full_name;
+  std::string type_name;
+  std::vector<Subcomponent> subcomponents;
+  std::vector<Connection> connections;
+  int line = 0;
+
+  const Subcomponent* find_sub(const std::string& inst) const {
+    for (const auto& s : subcomponents) {
+      if (s.instance == inst) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// A parsed AADL package: all declarations in one source text.
+struct Model {
+  std::map<std::string, ProcessType> process_types;
+  std::map<std::string, ProcessImpl> process_impls;  // by full name
+  std::map<std::string, std::string> system_types;   // name -> name (decl)
+  std::map<std::string, SystemImpl> system_impls;
+
+  const ProcessImpl* impl_of_instance(const SystemImpl& sys,
+                                      const std::string& inst) const {
+    const Subcomponent* sub = sys.find_sub(inst);
+    if (sub == nullptr) return nullptr;
+    const auto it = process_impls.find(sub->impl_name);
+    return it == process_impls.end() ? nullptr : &it->second;
+  }
+};
+
+/// A diagnostic produced by the parser or semantic analysis.
+struct Diagnostic {
+  int line = 0;
+  std::string message;
+};
+
+}  // namespace mkbas::aadl

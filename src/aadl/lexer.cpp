@@ -1,0 +1,148 @@
+#include "aadl/lexer.hpp"
+
+#include <cctype>
+
+namespace mkbas::aadl {
+
+const char* to_string(TokKind k) {
+  switch (k) {
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kInt:
+      return "integer";
+    case TokKind::kColon:
+      return "':'";
+    case TokKind::kSemi:
+      return "';'";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kDot:
+      return "'.'";
+    case TokKind::kArrow:
+      return "'->'";
+    case TokKind::kFatArrow:
+      return "'=>'";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kLBrace:
+      return "'{'";
+    case TokKind::kRBrace:
+      return "'}'";
+    case TokKind::kColonColon:
+      return "'::'";
+    case TokKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src_.size();
+
+  auto push = [&](TokKind k, std::string text) {
+    out.push_back(Token{k, std::move(text), 0, line});
+  };
+
+  while (i < n) {
+    const char c = src_[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // AADL comment: -- to end of line.
+    if (c == '-' && i + 1 < n && src_[i + 1] == '-') {
+      while (i < n && src_[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src_[i + 1] == '>') {
+      push(TokKind::kArrow, "->");
+      i += 2;
+      continue;
+    }
+    if (c == '=' && i + 1 < n && src_[i + 1] == '>') {
+      push(TokKind::kFatArrow, "=>");
+      i += 2;
+      continue;
+    }
+    if (c == ':' && i + 1 < n && src_[i + 1] == ':') {
+      push(TokKind::kColonColon, "::");
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case ':':
+        push(TokKind::kColon, ":");
+        ++i;
+        continue;
+      case ';':
+        push(TokKind::kSemi, ";");
+        ++i;
+        continue;
+      case ',':
+        push(TokKind::kComma, ",");
+        ++i;
+        continue;
+      case '.':
+        push(TokKind::kDot, ".");
+        ++i;
+        continue;
+      case '(':
+        push(TokKind::kLParen, "(");
+        ++i;
+        continue;
+      case ')':
+        push(TokKind::kRParen, ")");
+        ++i;
+        continue;
+      case '{':
+        push(TokKind::kLBrace, "{");
+        ++i;
+        continue;
+      case '}':
+        push(TokKind::kRBrace, "}");
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(src_[i]))) ++i;
+      Token t;
+      t.kind = TokKind::kInt;
+      t.text = src_.substr(start, i - start);
+      t.int_value = std::stoll(t.text);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src_[i])) ||
+                       src_[i] == '_')) {
+        ++i;
+      }
+      push(TokKind::kIdent, src_.substr(start, i - start));
+      continue;
+    }
+    error_ = std::string("unexpected character '") + c + "'";
+    error_line_ = line;
+    break;
+  }
+  out.push_back(Token{TokKind::kEof, "", 0, line});
+  return out;
+}
+
+}  // namespace mkbas::aadl

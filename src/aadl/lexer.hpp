@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mkbas::aadl {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kColon,       // :
+  kSemi,        // ;
+  kComma,       // ,
+  kDot,         // .
+  kArrow,       // ->
+  kFatArrow,    // =>
+  kLParen,      // (
+  kRParen,      // )
+  kLBrace,      // {
+  kRBrace,      // }
+  kColonColon,  // ::
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  long long int_value = 0;
+  int line = 1;
+};
+
+const char* to_string(TokKind k);
+
+/// Tokenizes a mini-AADL source. `--` starts a comment to end of line
+/// (AADL comment syntax). Identifiers are case-sensitive; keywords are
+/// recognised by the parser, not the lexer.
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  /// Tokenize the whole input. On a bad character, emits an kEof token and
+  /// sets error().
+  std::vector<Token> tokenize();
+
+  const std::string& error() const { return error_; }
+  int error_line() const { return error_line_; }
+
+ private:
+  std::string src_;
+  std::string error_;
+  int error_line_ = 0;
+};
+
+}  // namespace mkbas::aadl

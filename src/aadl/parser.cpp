@@ -1,0 +1,378 @@
+#include "aadl/parser.hpp"
+
+namespace mkbas::aadl {
+
+const char* to_string(PortDir d) {
+  return d == PortDir::kIn ? "in" : "out";
+}
+
+const char* to_string(PortKind k) {
+  switch (k) {
+    case PortKind::kData:
+      return "data";
+    case PortKind::kEvent:
+      return "event";
+    case PortKind::kEventData:
+      return "event data";
+  }
+  return "?";
+}
+
+Parser::Parser(const std::string& source) {
+  Lexer lex(source);
+  toks_ = lex.tokenize();
+  if (!lex.error().empty()) {
+    diagnostics_.push_back({lex.error_line(), lex.error()});
+  }
+}
+
+const Token& Parser::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < toks_.size() ? toks_[i] : toks_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::check_ident(const std::string& kw) const {
+  return peek().kind == TokKind::kIdent && peek().text == kw;
+}
+
+bool Parser::accept_ident(const std::string& kw) {
+  if (!check_ident(kw)) return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect_ident(const std::string& kw) {
+  if (accept_ident(kw)) return true;
+  error("expected '" + kw + "', found '" + peek().text + "'");
+  return false;
+}
+
+bool Parser::expect(TokKind k, const char* what) {
+  if (peek().kind == k) {
+    advance();
+    return true;
+  }
+  error(std::string("expected ") + what + ", found '" + peek().text + "'");
+  return false;
+}
+
+void Parser::error(const std::string& msg) {
+  diagnostics_.push_back({peek().line, msg});
+}
+
+void Parser::sync_to_semi() {
+  while (peek().kind != TokKind::kSemi && peek().kind != TokKind::kEof) {
+    advance();
+  }
+  if (peek().kind == TokKind::kSemi) advance();
+}
+
+Model Parser::parse() {
+  Model model;
+  while (peek().kind != TokKind::kEof) {
+    const std::size_t before = pos_;
+    parse_decl(model);
+    if (pos_ == before) advance();  // never loop forever on junk
+  }
+  return model;
+}
+
+void Parser::parse_decl(Model& model) {
+  if (check_ident("process")) {
+    parse_process(model);
+  } else if (check_ident("system")) {
+    parse_system(model);
+  } else {
+    error("expected 'process' or 'system' declaration, found '" +
+          peek().text + "'");
+    sync_to_semi();
+  }
+}
+
+// process <Name> ... | process implementation <Name>.<impl> ...
+void Parser::parse_process(Model& model) {
+  const int line = peek().line;
+  expect_ident("process");
+  if (accept_ident("implementation")) {
+    ProcessImpl impl;
+    impl.line = line;
+    const Token& type_tok = peek();
+    if (!expect(TokKind::kIdent, "process type name")) return sync_to_semi();
+    impl.type_name = type_tok.text;
+    if (!expect(TokKind::kDot, "'.'")) return sync_to_semi();
+    const Token& impl_tok = peek();
+    if (!expect(TokKind::kIdent, "implementation name")) return sync_to_semi();
+    impl.full_name = impl.type_name + "." + impl_tok.text;
+
+    if (accept_ident("properties")) parse_properties_block(impl);
+
+    expect_ident("end");
+    expect(TokKind::kIdent, "type name");
+    expect(TokKind::kDot, "'.'");
+    expect(TokKind::kIdent, "implementation name");
+    expect(TokKind::kSemi, "';'");
+    if (model.process_impls.count(impl.full_name) != 0) {
+      diagnostics_.push_back(
+          {line, "duplicate process implementation " + impl.full_name});
+      return;
+    }
+    model.process_impls[impl.full_name] = std::move(impl);
+    return;
+  }
+
+  ProcessType type;
+  type.line = line;
+  const Token& name_tok = peek();
+  if (!expect(TokKind::kIdent, "process type name")) return sync_to_semi();
+  type.name = name_tok.text;
+  if (accept_ident("features")) {
+    while (!check_ident("end") && peek().kind != TokKind::kEof) {
+      auto port = parse_feature();
+      if (port.has_value()) type.ports.push_back(std::move(*port));
+    }
+  }
+  expect_ident("end");
+  expect(TokKind::kIdent, "type name");
+  expect(TokKind::kSemi, "';'");
+  if (model.process_types.count(type.name) != 0) {
+    diagnostics_.push_back({line, "duplicate process type " + type.name});
+    return;
+  }
+  model.process_types[type.name] = std::move(type);
+}
+
+// <pname> : in|out [event] [data] port [DataType] ;
+std::optional<Port> Parser::parse_feature() {
+  Port port;
+  port.line = peek().line;
+  const Token& name_tok = peek();
+  if (!expect(TokKind::kIdent, "port name")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  port.name = name_tok.text;
+  if (!expect(TokKind::kColon, "':'")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  if (accept_ident("in")) {
+    port.dir = PortDir::kIn;
+  } else if (accept_ident("out")) {
+    port.dir = PortDir::kOut;
+  } else {
+    error("expected 'in' or 'out'");
+    sync_to_semi();
+    return std::nullopt;
+  }
+  const bool is_event = accept_ident("event");
+  const bool is_data = accept_ident("data");
+  if (is_event && is_data) {
+    port.kind = PortKind::kEventData;
+  } else if (is_event) {
+    port.kind = PortKind::kEvent;
+  } else if (is_data) {
+    port.kind = PortKind::kData;
+  } else {
+    error("expected 'event', 'data' or 'event data'");
+    sync_to_semi();
+    return std::nullopt;
+  }
+  if (!expect_ident("port")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  if (peek().kind == TokKind::kIdent) {
+    port.data_type = advance().text;
+  }
+  expect(TokKind::kSemi, "';'");
+  return port;
+}
+
+// properties MKBAS::ac_id => 100; MKBAS::may_kill => (a, b); ...
+void Parser::parse_properties_block(ProcessImpl& impl) {
+  while (check_ident("MKBAS")) {
+    advance();
+    if (!expect(TokKind::kColonColon, "'::'")) return sync_to_semi();
+    const Token& prop = peek();
+    if (!expect(TokKind::kIdent, "property name")) return sync_to_semi();
+    if (!expect(TokKind::kFatArrow, "'=>'")) return sync_to_semi();
+    if (prop.text == "ac_id") {
+      const Token& v = peek();
+      if (!expect(TokKind::kInt, "integer ac_id")) return sync_to_semi();
+      impl.ac_id = static_cast<int>(v.int_value);
+    } else if (prop.text == "fork_quota") {
+      const Token& v = peek();
+      if (!expect(TokKind::kInt, "integer quota")) return sync_to_semi();
+      impl.fork_quota = static_cast<int>(v.int_value);
+    } else if (prop.text == "may_kill") {
+      if (!expect(TokKind::kLParen, "'('")) return sync_to_semi();
+      while (peek().kind == TokKind::kIdent) {
+        impl.may_kill.push_back(advance().text);
+        if (peek().kind != TokKind::kComma) break;
+        advance();
+      }
+      if (!expect(TokKind::kRParen, "')'")) return sync_to_semi();
+    } else {
+      error("unknown MKBAS property '" + prop.text + "'");
+      sync_to_semi();
+      continue;
+    }
+    expect(TokKind::kSemi, "';'");
+  }
+}
+
+// { MKBAS::m_type => 2; }
+void Parser::parse_connection_properties(Connection& conn) {
+  while (check_ident("MKBAS")) {
+    advance();
+    if (!expect(TokKind::kColonColon, "'::'")) return sync_to_semi();
+    const Token& prop = peek();
+    if (!expect(TokKind::kIdent, "property name")) return sync_to_semi();
+    if (!expect(TokKind::kFatArrow, "'=>'")) return sync_to_semi();
+    if (prop.text == "m_type") {
+      const Token& v = peek();
+      if (!expect(TokKind::kInt, "integer m_type")) return sync_to_semi();
+      conn.m_type = static_cast<int>(v.int_value);
+    } else {
+      error("unknown connection property '" + prop.text + "'");
+      sync_to_semi();
+      continue;
+    }
+    expect(TokKind::kSemi, "';'");
+  }
+}
+
+void Parser::parse_system(Model& model) {
+  const int line = peek().line;
+  expect_ident("system");
+  if (accept_ident("implementation")) {
+    SystemImpl sys;
+    sys.line = line;
+    const Token& type_tok = peek();
+    if (!expect(TokKind::kIdent, "system type name")) return sync_to_semi();
+    sys.type_name = type_tok.text;
+    if (!expect(TokKind::kDot, "'.'")) return sync_to_semi();
+    const Token& impl_tok = peek();
+    if (!expect(TokKind::kIdent, "implementation name")) return sync_to_semi();
+    sys.full_name = sys.type_name + "." + impl_tok.text;
+
+    if (accept_ident("subcomponents")) {
+      while (!check_ident("connections") && !check_ident("end") &&
+             peek().kind != TokKind::kEof) {
+        auto sub = parse_subcomponent();
+        if (sub.has_value()) sys.subcomponents.push_back(std::move(*sub));
+      }
+    }
+    if (accept_ident("connections")) {
+      while (!check_ident("end") && peek().kind != TokKind::kEof) {
+        auto conn = parse_connection();
+        if (conn.has_value()) sys.connections.push_back(std::move(*conn));
+      }
+    }
+    expect_ident("end");
+    expect(TokKind::kIdent, "type name");
+    expect(TokKind::kDot, "'.'");
+    expect(TokKind::kIdent, "implementation name");
+    expect(TokKind::kSemi, "';'");
+    if (model.system_impls.count(sys.full_name) != 0) {
+      diagnostics_.push_back(
+          {line, "duplicate system implementation " + sys.full_name});
+      return;
+    }
+    model.system_impls[sys.full_name] = std::move(sys);
+    return;
+  }
+
+  const Token& name_tok = peek();
+  if (!expect(TokKind::kIdent, "system name")) return sync_to_semi();
+  expect_ident("end");
+  expect(TokKind::kIdent, "system name");
+  expect(TokKind::kSemi, "';'");
+  model.system_types[name_tok.text] = name_tok.text;
+}
+
+// <inst> : process <Type>.<impl> ;
+std::optional<Subcomponent> Parser::parse_subcomponent() {
+  Subcomponent sub;
+  sub.line = peek().line;
+  const Token& inst = peek();
+  if (!expect(TokKind::kIdent, "instance name")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  sub.instance = inst.text;
+  if (!expect(TokKind::kColon, "':'") || !expect_ident("process")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  const Token& type_tok = peek();
+  if (!expect(TokKind::kIdent, "process type")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  if (!expect(TokKind::kDot, "'.'")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  const Token& impl_tok = peek();
+  if (!expect(TokKind::kIdent, "implementation name")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  sub.impl_name = type_tok.text + "." + impl_tok.text;
+  expect(TokKind::kSemi, "';'");
+  return sub;
+}
+
+// <cn> : port a.p -> b.q [{ MKBAS::m_type => N; }] ;
+std::optional<Connection> Parser::parse_connection() {
+  Connection conn;
+  conn.line = peek().line;
+  const Token& name_tok = peek();
+  if (!expect(TokKind::kIdent, "connection name")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  conn.name = name_tok.text;
+  if (!expect(TokKind::kColon, "':'") || !expect_ident("port")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  auto qualified = [&](std::string& comp, std::string& port) -> bool {
+    const Token& c = peek();
+    if (!expect(TokKind::kIdent, "component name")) return false;
+    comp = c.text;
+    if (!expect(TokKind::kDot, "'.'")) return false;
+    const Token& p = peek();
+    if (!expect(TokKind::kIdent, "port name")) return false;
+    port = p.text;
+    return true;
+  };
+  if (!qualified(conn.src_comp, conn.src_port)) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  if (!expect(TokKind::kArrow, "'->'")) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  if (!qualified(conn.dst_comp, conn.dst_port)) {
+    sync_to_semi();
+    return std::nullopt;
+  }
+  if (peek().kind == TokKind::kLBrace) {
+    advance();
+    parse_connection_properties(conn);
+    expect(TokKind::kRBrace, "'}'");
+  }
+  expect(TokKind::kSemi, "';'");
+  return conn;
+}
+
+}  // namespace mkbas::aadl

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aadl/ast.hpp"
+#include "aadl/lexer.hpp"
+
+namespace mkbas::aadl {
+
+/// Recursive-descent parser for the mini-AADL subset used by the paper's
+/// modeling step (§IV): process types with data/event ports, process
+/// implementations carrying MKBAS property annotations (ac_id, may_kill,
+/// fork_quota), and system implementations with subcomponents and port
+/// connections (optionally annotated with an m_type).
+///
+/// Grammar sketch:
+///   process <Name> [features <port>;*] end <Name>;
+///   process implementation <Name>.<impl>
+///     [properties <MKBAS::prop => value>;*] end <Name>.<impl>;
+///   system <Name> end <Name>;
+///   system implementation <Name>.<impl>
+///     [subcomponents <inst> : process <Name>.<impl>;*]
+///     [connections <cn> : port a.p -> b.q [{ props }];*]
+///   end <Name>.<impl>;
+class Parser {
+ public:
+  explicit Parser(const std::string& source);
+
+  /// Parse the whole source. Returns the model; check ok()/diagnostics().
+  Model parse();
+
+  bool ok() const { return diagnostics_.empty(); }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+ private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check_ident(const std::string& kw) const;
+  bool accept_ident(const std::string& kw);
+  bool expect_ident(const std::string& kw);
+  bool expect(TokKind k, const char* what);
+  void error(const std::string& msg);
+  void sync_to_semi();
+
+  void parse_decl(Model& model);
+  void parse_process(Model& model);
+  void parse_system(Model& model);
+  std::optional<Port> parse_feature();
+  void parse_properties_block(ProcessImpl& impl);
+  void parse_connection_properties(Connection& conn);
+  std::optional<Subcomponent> parse_subcomponent();
+  std::optional<Connection> parse_connection();
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace mkbas::aadl

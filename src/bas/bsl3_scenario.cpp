@@ -1,0 +1,447 @@
+#include "bas/bsl3_scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "aadl/compile.hpp"
+#include "aadl/parser.hpp"
+
+namespace mkbas::bas {
+
+using minix::Endpoint;
+using minix::IpcResult;
+using minix::Message;
+using minix::MinixKernel;
+
+/// The suite's AADL model, compiled into the ACM exactly like the
+/// temperature scenario's (and into the CAmkES assembly for the seL4
+/// build).
+const char* bsl3_aadl() {
+  return R"AADL(
+process PresSensProcess
+  features presOut : out event data port Pressure;
+end PresSensProcess;
+
+process ContCtlProcess
+  features
+    presIn    : in event data port Pressure;
+    fanCmd    : out event data port FanSpeed;
+    doorCmd   : out event data port DoorCmd;
+    alarmCmd  : out event data port AlarmCmd;
+    doorReqIn : in event data port DoorReq;
+    envIn     : in event data port EnvQuery;
+end ContCtlProcess;
+
+process ExhaustFanProcess
+  features cmdIn : in event data port FanSpeed;
+end ExhaustFanProcess;
+
+process DoorCtlProcess
+  features cmdIn : in event data port DoorCmd;
+end DoorCtlProcess;
+
+process AlarmProcess
+  features cmdIn : in event data port AlarmCmd;
+end AlarmProcess;
+
+process MgmtProcess
+  features
+    doorReq  : out event data port DoorReq;
+    envQuery : out event data port EnvQuery;
+end MgmtProcess;
+
+process implementation PresSensProcess.imp
+  properties MKBAS::ac_id => 110;
+end PresSensProcess.imp;
+process implementation ContCtlProcess.imp
+  properties MKBAS::ac_id => 111;
+end ContCtlProcess.imp;
+process implementation ExhaustFanProcess.imp
+  properties MKBAS::ac_id => 112;
+end ExhaustFanProcess.imp;
+process implementation DoorCtlProcess.imp
+  properties MKBAS::ac_id => 113;
+end DoorCtlProcess.imp;
+process implementation AlarmProcess.imp
+  properties MKBAS::ac_id => 114;
+end AlarmProcess.imp;
+process implementation MgmtProcess.imp
+  properties MKBAS::ac_id => 115;
+end MgmtProcess.imp;
+
+system Bsl3 end Bsl3;
+system implementation Bsl3.impl
+  subcomponents
+    presSensProc   : process PresSensProcess.imp;
+    contCtlProc    : process ContCtlProcess.imp;
+    exhaustFanProc : process ExhaustFanProcess.imp;
+    doorCtlProc    : process DoorCtlProcess.imp;
+    alarmProc      : process AlarmProcess.imp;
+    mgmtProc       : process MgmtProcess.imp;
+  connections
+    c_pres  : port presSensProc.presOut -> contCtlProc.presIn
+              { MKBAS::m_type => 1; };
+    c_fan   : port contCtlProc.fanCmd -> exhaustFanProc.cmdIn
+              { MKBAS::m_type => 1; };
+    c_door  : port contCtlProc.doorCmd -> doorCtlProc.cmdIn
+              { MKBAS::m_type => 1; };
+    c_alarm : port contCtlProc.alarmCmd -> alarmProc.cmdIn
+              { MKBAS::m_type => 1; };
+    c_req   : port mgmtProc.doorReq -> contCtlProc.doorReqIn
+              { MKBAS::m_type => 2; };
+    c_env   : port mgmtProc.envQuery -> contCtlProc.envIn
+              { MKBAS::m_type => 3; };
+end Bsl3.impl;
+)AADL";
+}
+
+namespace {
+
+minix::AcmPolicy make_policy(Bsl3Policy mode) {
+  if (mode == Bsl3Policy::kPermissive) {
+    // The legacy flat controller: every process may send anything to
+    // anyone (and kill anyone) — the "before" of the paper's framework.
+    minix::AcmPolicy acm;
+    const int acs[] = {Bsl3Scenario::kLoaderAcId,
+                       Bsl3Scenario::AcIds::kSensor,
+                       Bsl3Scenario::AcIds::kControl,
+                       Bsl3Scenario::AcIds::kFan,
+                       Bsl3Scenario::AcIds::kDoors,
+                       Bsl3Scenario::AcIds::kAlarm,
+                       Bsl3Scenario::AcIds::kMgmt};
+    for (int a : acs) {
+      for (int b : acs) {
+        acm.allow_mask(a, b, ~0ULL);
+        acm.allow_kill(a, b);
+      }
+      acm.allow_mask(a, MinixKernel::kPmAcId, ~0ULL);
+      acm.allow_mask(MinixKernel::kPmAcId, a, ~0ULL);
+    }
+    return acm;
+  }
+  aadl::Parser parser(bsl3_aadl());
+  const aadl::Model model = parser.parse();
+  std::vector<aadl::Diagnostic> diags;
+  auto sys = aadl::compile(model, "Bsl3.impl", diags);
+  if (!sys.has_value()) {
+    throw std::runtime_error("bsl3 model failed to compile: " +
+                             (diags.empty() ? "?" : diags[0].message));
+  }
+  minix::AcmPolicy acm = aadl::generate_acm(*sys);
+  acm.allow(Bsl3Scenario::kLoaderAcId, MinixKernel::kPmAcId,
+            {aadl::kAckMType, minix::PmProtocol::kFork,
+             minix::PmProtocol::kExit});
+  acm.allow(MinixKernel::kPmAcId, Bsl3Scenario::kLoaderAcId,
+            {aadl::kAckMType});
+  return acm;
+}
+
+}  // namespace
+
+Bsl3Scenario::Bsl3Scenario(sim::Machine& machine, Bsl3Config cfg,
+                           Bsl3Policy policy)
+    : machine_(machine), cfg_(cfg), model_(cfg.model) {
+  coupler_ = std::make_unique<devices::ContainmentCoupler>(
+      machine_, model_, fan_, inner_, outer_, &alarm_on_);
+  kernel_ = std::make_unique<MinixKernel>(machine_, make_policy(policy));
+  kernel_->srv_fork2("bsl3-scenario", kLoaderAcId, [this] { loader_proc(); },
+                     /*priority=*/3);
+}
+
+void Bsl3Scenario::loader_proc() {
+  auto& k = *kernel_;
+  struct Row {
+    const char* name;
+    int ac;
+    void (Bsl3Scenario::*body)();
+    int prio;
+  };
+  const Row rows[] = {
+      {"contCtlProc", AcIds::kControl, &Bsl3Scenario::control_proc, 6},
+      {"exhaustFanProc", AcIds::kFan, &Bsl3Scenario::fan_proc, 5},
+      {"doorCtlProc", AcIds::kDoors, &Bsl3Scenario::door_proc, 5},
+      {"alarmProc", AcIds::kAlarm, &Bsl3Scenario::alarm_proc, 5},
+      {"presSensProc", AcIds::kSensor, &Bsl3Scenario::sensor_proc, 5},
+      {"mgmtProc", AcIds::kMgmt, &Bsl3Scenario::mgmt_proc, 8},
+  };
+  for (const Row& row : rows) {
+    k.fork2(row.name, row.ac, [this, row] { (this->*row.body)(); },
+            row.prio);
+  }
+  k.seal_ac_assignment();
+  k.pm_exit(0);
+}
+
+void Bsl3Scenario::sensor_proc() {
+  auto& k = *kernel_;
+  devices::PressureSensor lab(model_, devices::PressureSensor::Tap::kLab,
+                              machine_.rng());
+  devices::PressureSensor ante(
+      model_, devices::PressureSensor::Tap::kAnteroom, machine_.rng());
+  Endpoint ctl = k.wait_lookup("contCtlProc");
+  for (;;) {
+    Message m;
+    m.m_type = MTypes::kData;
+    m.put_f64(0, lab.read_pa());
+    m.put_f64(8, ante.read_pa());
+    if (k.ipc_sendnb(ctl, m) == IpcResult::kDeadSrcDst) {
+      const Endpoint fresh = k.lookup("contCtlProc");
+      if (fresh.valid()) ctl = fresh;
+    }
+    machine_.sleep_for(cfg_.sample_period);
+  }
+}
+
+void Bsl3Scenario::control_proc() {
+  auto& k = *kernel_;
+  Endpoint fan_ep = k.wait_lookup("exhaustFanProc");
+  Endpoint door_ep = k.wait_lookup("doorCtlProc");
+  Endpoint alarm_ep = k.wait_lookup("alarmProc");
+  const Endpoint sensor_ep = k.wait_lookup("presSensProc");
+
+  double fan_speed = 0.6;
+  bool alarm = false;
+  sim::Time breach_since = -1;
+  sim::Time inner_open_until = -1, outer_open_until = -1;
+  double last_lab = 0.0, last_ante = 0.0;
+
+  auto send_cmd = [&](Endpoint& ep, const char* name, auto fill) {
+    Message m;
+    m.m_type = MTypes::kData;
+    fill(m);
+    if (k.ipc_send(ep, m) == IpcResult::kDeadSrcDst) {
+      const Endpoint fresh = k.lookup(name);
+      if (fresh.valid()) {
+        ep = fresh;
+        k.ipc_send(ep, m);
+      }
+    }
+  };
+  auto command_door = [&](int door, bool open) {
+    send_cmd(door_ep, "doorCtlProc", [&](Message& m) {
+      m.put_i32(0, door);
+      m.put_i32(4, open ? 1 : 0);
+    });
+  };
+
+  for (;;) {
+    Message m;
+    if (k.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
+    const sim::Time now = machine_.now();
+    switch (m.m_type) {
+      case MTypes::kData: {
+        if (m.source() != sensor_ep) break;  // defence in depth
+        last_lab = m.get_f64(0);
+        last_ante = m.get_f64(8);
+        // Incremental fan law toward the target pressure.
+        const double err = last_lab - cfg_.target_lab_pa;
+        if (err > 1.0) {
+          fan_speed = std::min(1.0, fan_speed + 0.05);
+        } else if (err < -1.0) {
+          fan_speed = std::max(0.3, fan_speed - 0.05);
+        }
+        send_cmd(fan_ep, "exhaustFanProc",
+                 [&](Message& c) { c.put_f64(0, fan_speed); });
+        // Critical alarm on sustained breach.
+        if (last_lab > cfg_.breach_threshold_pa) {
+          if (breach_since < 0) breach_since = now;
+          if (now - breach_since >= cfg_.alarm_delay) alarm = true;
+        } else {
+          breach_since = -1;
+          if (last_lab < cfg_.breach_threshold_pa - 2.0) alarm = false;
+        }
+        send_cmd(alarm_ep, "alarmProc",
+                 [&](Message& c) { c.put_i32(0, alarm ? 1 : 0); });
+        // Door auto-close deadlines.
+        if (inner_open_until >= 0 && now >= inner_open_until) {
+          command_door(0, false);
+          inner_open_until = -1;
+        }
+        if (outer_open_until >= 0 && now >= outer_open_until) {
+          command_door(1, false);
+          outer_open_until = -1;
+        }
+        machine_.trace().emit(now, -1, sim::TraceKind::kControl,
+                              "bsl3.sample", "", last_lab);
+        break;
+      }
+      case MTypes::kDoorReq: {
+        const int door = m.get_i32(0);  // 0 inner, 1 outer
+        // Interlock: grant only while the other door is shut.
+        const bool other_busy =
+            door == 0 ? outer_open_until >= 0 : inner_open_until >= 0;
+        const bool granted = !other_busy && (door == 0 || door == 1);
+        if (granted) {
+          command_door(door, true);
+          (door == 0 ? inner_open_until : outer_open_until) =
+              now + cfg_.door_open_time;
+        }
+        machine_.trace().emit(now, -1, sim::TraceKind::kControl,
+                              granted ? "bsl3.door_granted"
+                                      : "bsl3.door_denied",
+                              door == 0 ? "inner" : "outer");
+        Message reply;
+        reply.m_type = MTypes::kAck;
+        reply.put_i32(0, granted ? 1 : 0);
+        k.ipc_senda(m.source(), reply);
+        break;
+      }
+      case MTypes::kEnvQuery: {
+        Message reply;
+        reply.m_type = MTypes::kAck;
+        reply.put_f64(0, last_lab);
+        reply.put_f64(8, last_ante);
+        reply.put_f64(16, fan_speed);
+        reply.put_i32(24, alarm ? 1 : 0);
+        k.ipc_senda(m.source(), reply);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void Bsl3Scenario::fan_proc() {
+  auto& k = *kernel_;
+  for (;;) {
+    Message m;
+    if (k.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
+    if (m.m_type != MTypes::kData) continue;
+    fan_.set_speed(m.get_f64(0), machine_.now());
+  }
+}
+
+void Bsl3Scenario::door_proc() {
+  auto& k = *kernel_;
+  for (;;) {
+    Message m;
+    if (k.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
+    if (m.m_type != MTypes::kData) continue;
+    devices::DoorLatch& door = m.get_i32(0) == 0 ? inner_ : outer_;
+    door.set_open(m.get_i32(4) != 0, machine_.now());
+  }
+}
+
+void Bsl3Scenario::alarm_proc() {
+  auto& k = *kernel_;
+  for (;;) {
+    Message m;
+    if (k.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
+    if (m.m_type != MTypes::kData) continue;
+    alarm_on_ = m.get_i32(0) != 0;
+  }
+}
+
+void Bsl3Scenario::mgmt_proc() {
+  auto& k = *kernel_;
+  Endpoint ctl = k.wait_lookup("contCtlProc");
+  bool attacked = false;
+  for (;;) {
+    if (!k.is_live(ctl)) {
+      const Endpoint fresh = k.lookup("contCtlProc");
+      if (fresh.valid()) ctl = fresh;
+    }
+    if (attack_hook_ && !attacked && attack_time_ >= 0 &&
+        machine_.now() >= attack_time_) {
+      attacked = true;
+      machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kAttack,
+                            "mgmt.compromised", "bsl3");
+      attack_hook_(*this);
+    }
+    while (auto id = http_.poll()) {
+      const net::HttpRequest& req = http_.request(*id);
+      if (req.method == "GET" && req.path == "/status") {
+        Message m;
+        m.m_type = MTypes::kEnvQuery;
+        if (k.ipc_sendrec(ctl, m) != IpcResult::kOk) {
+          http_.respond(*id, machine_.now(), {503, "control unavailable"});
+          continue;
+        }
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "lab=%.1fPa;ante=%.1fPa;fan=%.2f;alarm=%s",
+                      m.get_f64(0), m.get_f64(8), m.get_f64(16),
+                      m.get_i32(24) != 0 ? "on" : "off");
+        http_.respond(*id, machine_.now(), {200, buf});
+      } else if (req.method == "POST" && req.path == "/door") {
+        const int door = req.body == "door=inner" ? 0
+                         : req.body == "door=outer" ? 1
+                                                    : -1;
+        if (door < 0) {
+          http_.respond(*id, machine_.now(), {400, "bad door"});
+          continue;
+        }
+        Message m;
+        m.m_type = MTypes::kDoorReq;
+        m.put_i32(0, door);
+        if (k.ipc_sendrec(ctl, m) != IpcResult::kOk) {
+          http_.respond(*id, machine_.now(), {503, "control unavailable"});
+          continue;
+        }
+        http_.respond(*id, machine_.now(),
+                      m.get_i32(0) != 0
+                          ? net::HttpResponse{200, "door released"}
+                          : net::HttpResponse{409, "interlock engaged"});
+      } else {
+        http_.respond(*id, machine_.now(), {404, "not found"});
+      }
+    }
+    machine_.sleep_for(sim::msec(100));
+  }
+}
+
+// ---- safety analysis ----
+
+Bsl3Safety Bsl3Scenario::check_safety(
+    const std::vector<devices::ContainmentSample>& history,
+    const sim::TraceLog& trace, const Bsl3Config& cfg, sim::Time run_end) {
+  Bsl3Safety r;
+  if (history.empty()) return r;
+
+  sim::Time last_sample = -1;
+  for (const auto& ev : trace.events()) {
+    if (ev.what == "bsl3.sample") last_sample = ev.time;
+  }
+  r.control_alive =
+      last_sample >= 0 && run_end - last_sample <= 5 * cfg.sample_period;
+
+  const sim::Duration kSettle = sim::minutes(5);
+  // Longer than a door transient (10 s open + recovery), far longer than
+  // sensor noise:
+  const sim::Duration kBreachHold = sim::minutes(2);
+  const sim::Duration kAlarmSlack = sim::sec(45);
+
+  sim::Time breach_since = -1;
+  for (const auto& s : history) {
+    r.max_lab_pa = std::max(r.max_lab_pa, s.lab_pa);
+    if (s.inner_open && s.outer_open) r.interlock_violation = true;
+    if (s.time < kSettle) continue;
+    if (s.lab_pa > cfg.breach_threshold_pa + 0.5) {
+      if (breach_since < 0) breach_since = s.time;
+      if (s.time - breach_since > kBreachHold) r.containment_breach = true;
+      if (s.time - breach_since > cfg.alarm_delay + kAlarmSlack &&
+          !s.alarm_on) {
+        r.alarm_violation = true;
+      }
+    } else {
+      breach_since = -1;
+    }
+  }
+  return r;
+}
+
+std::string Bsl3Safety::summary() const {
+  std::ostringstream os;
+  os << (compromised() ? "COMPROMISED" : "contained") << " [";
+  os << (control_alive ? "ctl-alive" : "CTL-DEAD");
+  if (containment_breach) os << ", CONTAINMENT-BREACH";
+  if (interlock_violation) os << ", INTERLOCK-VIOLATION";
+  if (alarm_violation) os << ", ALARM-SILENCED";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, ", max lab %.1f Pa", max_lab_pa);
+  os << buf << "]";
+  return os.str();
+}
+
+}  // namespace mkbas::bas

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "devices/containment.hpp"
+#include "minix/kernel.hpp"
+#include "net/http.hpp"
+#include "physics/pressure.hpp"
+
+namespace mkbas::bas {
+
+/// Tunables of the BSL-3 containment controller.
+struct Bsl3Config {
+  double target_lab_pa = -30.0;      // design negative pressure
+  double breach_threshold_pa = -5.0; // "loss of containment" line
+  sim::Duration alarm_delay = sim::sec(30);
+  sim::Duration sample_period = sim::sec(1);
+  sim::Duration door_open_time = sim::sec(10);
+  physics::ContainmentModel::Params model{};
+};
+
+/// Policy ablation: the ACM generated from the model, or a permissive
+/// matrix standing in for a legacy flat controller (everything may talk
+/// to everything) — the "before" picture of the paper's framework.
+enum class Bsl3Policy { kAcmEnforced, kPermissive };
+
+/// The suite's mini-AADL model (shared by the MINIX and seL4 builds).
+const char* bsl3_aadl();
+
+/// Safety verdict for a containment run, judged on ground truth.
+struct Bsl3Safety {
+  bool control_alive = false;
+  /// Lab pressure above the breach line for an extended period (beyond
+  /// door-opening transients) after the system settled.
+  bool containment_breach = false;
+  /// Both doors stood open simultaneously at any instant.
+  bool interlock_violation = false;
+  /// A sustained breach without the critical alarm.
+  bool alarm_violation = false;
+  double max_lab_pa = -1e9;
+
+  bool compromised() const {
+    return !control_alive || containment_breach || interlock_violation ||
+           alarm_violation;
+  }
+  std::string summary() const;
+};
+
+/// The BSL-3 suite scenario on security-enhanced MINIX 3: the richer
+/// sibling of the temperature scenario, extracted from the same
+/// Biosecurity Research Institute case study the paper's Fig. 1 points at
+/// ("Biosafety Level 3 Lab"). Six processes:
+///
+///   presSensProc  — differential pressure transmitters (lab + anteroom)
+///   contCtlProc   — containment controller: fan speed law, door
+///                   interlock, critical alarm
+///   exhaustFanProc, doorCtlProc, alarmProc — actuator drivers
+///   mgmtProc      — untrusted management interface (HTTP console):
+///                   status queries and door-open requests only
+///
+/// Safety obligations: the lab stays below the breach line (transient
+/// door openings aside), the two doors are never open together, and a
+/// sustained breach raises the critical alarm.
+class Bsl3Scenario {
+ public:
+  struct AcIds {
+    static constexpr int kSensor = 110;
+    static constexpr int kControl = 111;
+    static constexpr int kFan = 112;
+    static constexpr int kDoors = 113;
+    static constexpr int kAlarm = 114;
+    static constexpr int kMgmt = 115;
+  };
+  struct MTypes {
+    static constexpr int kAck = 0;
+    static constexpr int kData = 1;      // sensor data / actuator commands
+    static constexpr int kDoorReq = 2;   // mgmt -> ctl
+    static constexpr int kEnvQuery = 3;  // mgmt -> ctl
+  };
+  static constexpr int kLoaderAcId = 109;
+
+  explicit Bsl3Scenario(sim::Machine& machine, Bsl3Config cfg = {},
+                        Bsl3Policy policy = Bsl3Policy::kAcmEnforced);
+  ~Bsl3Scenario() { machine_.shutdown(); }
+
+  Bsl3Scenario(const Bsl3Scenario&) = delete;
+  Bsl3Scenario& operator=(const Bsl3Scenario&) = delete;
+
+  /// Compromise the management interface at `when` (same contract as the
+  /// temperature scenario's web attack).
+  void arm_mgmt_attack(sim::Time when,
+                       std::function<void(Bsl3Scenario&)> hook) {
+    attack_time_ = when;
+    attack_hook_ = std::move(hook);
+  }
+
+  minix::MinixKernel& kernel() { return *kernel_; }
+  sim::Machine& machine() { return machine_; }
+  net::HttpConsole& http() { return http_; }
+  physics::ContainmentModel& model() { return model_; }
+  devices::ExhaustFan& fan() { return fan_; }
+  devices::DoorLatch& inner_door() { return inner_; }
+  devices::DoorLatch& outer_door() { return outer_; }
+  const std::vector<devices::ContainmentSample>& history() const {
+    return coupler_->history();
+  }
+  minix::Endpoint endpoint_of(const std::string& name) const {
+    return kernel_->lookup(name);
+  }
+  const Bsl3Config& config() const { return cfg_; }
+
+  /// Judge a finished run.
+  static Bsl3Safety check_safety(
+      const std::vector<devices::ContainmentSample>& history,
+      const sim::TraceLog& trace, const Bsl3Config& cfg, sim::Time run_end);
+
+ private:
+  void loader_proc();
+  void sensor_proc();
+  void control_proc();
+  void fan_proc();
+  void door_proc();
+  void alarm_proc();
+  void mgmt_proc();
+
+  sim::Machine& machine_;
+  Bsl3Config cfg_;
+  physics::ContainmentModel model_;
+  devices::ExhaustFan fan_;
+  devices::DoorLatch inner_{"inner"};
+  devices::DoorLatch outer_{"outer"};
+  bool alarm_on_ = false;
+  std::unique_ptr<devices::ContainmentCoupler> coupler_;
+  std::unique_ptr<minix::MinixKernel> kernel_;
+  net::HttpConsole http_;
+  sim::Time attack_time_ = -1;
+  std::function<void(Bsl3Scenario&)> attack_hook_;
+};
+
+}  // namespace mkbas::bas

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "aadl/compile.hpp"
+#include "bas/bsl3_scenario.hpp"  // Bsl3Config, Bsl3Safety, devices
+#include "camkes/camkes.hpp"
+#include "net/http.hpp"
+
+namespace mkbas::bas {
+
+/// The BSL-3 containment suite on seL4 via CAmkES: the same AADL model as
+/// the MINIX build, translated by the AADL→CAmkES path, with the
+/// untrusted management component holding capabilities only to its two
+/// connections into the containment controller.
+class Bsl3Sel4Scenario {
+ public:
+  explicit Bsl3Sel4Scenario(sim::Machine& machine, Bsl3Config cfg = {});
+  ~Bsl3Sel4Scenario() { machine_.shutdown(); }
+
+  Bsl3Sel4Scenario(const Bsl3Sel4Scenario&) = delete;
+  Bsl3Sel4Scenario& operator=(const Bsl3Sel4Scenario&) = delete;
+
+  /// Compromise the management component at `when` (arbitrary code with
+  /// exactly that component's capabilities).
+  void arm_mgmt_attack(
+      sim::Time when,
+      std::function<void(Bsl3Sel4Scenario&, camkes::Runtime&)> hook) {
+    attack_time_ = when;
+    attack_hook_ = std::move(hook);
+  }
+
+  camkes::CamkesSystem& camkes() { return *camkes_; }
+  sel4::Sel4Kernel& kernel() { return camkes_->kernel(); }
+  sim::Machine& machine() { return machine_; }
+  net::HttpConsole& http() { return http_; }
+  physics::ContainmentModel& model() { return model_; }
+  devices::ExhaustFan& fan() { return fan_; }
+  const std::vector<devices::ContainmentSample>& history() const {
+    return coupler_->history();
+  }
+  const Bsl3Config& config() const { return cfg_; }
+
+ private:
+  void sensor_body(camkes::Runtime& rt);
+  void control_body(camkes::Runtime& rt);
+  void fan_body(camkes::Runtime& rt);
+  void door_body(camkes::Runtime& rt);
+  void alarm_body(camkes::Runtime& rt);
+  void mgmt_body(camkes::Runtime& rt);
+
+  sim::Machine& machine_;
+  Bsl3Config cfg_;
+  physics::ContainmentModel model_;
+  devices::ExhaustFan fan_;
+  devices::DoorLatch inner_{"inner"};
+  devices::DoorLatch outer_{"outer"};
+  bool alarm_on_ = false;
+  std::unique_ptr<devices::ContainmentCoupler> coupler_;
+  std::unique_ptr<camkes::CamkesSystem> camkes_;
+  net::HttpConsole http_;
+  sim::Time attack_time_ = -1;
+  std::function<void(Bsl3Sel4Scenario&, camkes::Runtime&)> attack_hook_;
+};
+
+}  // namespace mkbas::bas

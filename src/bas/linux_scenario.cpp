@@ -1,0 +1,289 @@
+#include "bas/linux_scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bas/web_logic.hpp"
+
+namespace mkbas::bas {
+
+using linuxsim::Errno;
+using linuxsim::LinuxKernel;
+using linuxsim::Mode;
+using linuxsim::MqMessage;
+
+// ---- wire format ----
+
+std::string LinuxScenario::encode_temp(double t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "temp=%.3f", t);
+  return buf;
+}
+std::string LinuxScenario::encode_setpoint(double sp) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "setpoint=%.3f", sp);
+  return buf;
+}
+std::string LinuxScenario::encode_cmd(bool on) {
+  return on ? "cmd=1" : "cmd=0";
+}
+std::string LinuxScenario::encode_env(const EnvInfo& env) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "temp=%.3f;sp=%.3f;heater=%d;alarm=%d",
+                env.last_temp_c, env.setpoint_c, env.heater_on ? 1 : 0,
+                env.alarm_on ? 1 : 0);
+  return buf;
+}
+
+namespace {
+bool parse_double_field(const std::string& s, const char* key, double* out) {
+  const auto pos = s.find(key);
+  if (pos == std::string::npos) return false;
+  const char* start = s.c_str() + pos + std::strlen(key);
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+}  // namespace
+
+bool LinuxScenario::decode_temp(const std::string& s, double* out) {
+  return parse_double_field(s, "temp=", out);
+}
+bool LinuxScenario::decode_setpoint(const std::string& s, double* out) {
+  return parse_double_field(s, "setpoint=", out);
+}
+bool LinuxScenario::decode_cmd(const std::string& s, bool* out) {
+  double v = 0;
+  if (!parse_double_field(s, "cmd=", &v)) return false;
+  *out = v != 0.0;
+  return true;
+}
+bool LinuxScenario::decode_env(const std::string& s, EnvInfo* out) {
+  double heater = 0, alarm = 0;
+  if (!parse_double_field(s, "temp=", &out->last_temp_c)) return false;
+  if (!parse_double_field(s, "sp=", &out->setpoint_c)) return false;
+  if (!parse_double_field(s, "heater=", &heater)) return false;
+  if (!parse_double_field(s, "alarm=", &alarm)) return false;
+  out->heater_on = heater != 0.0;
+  out->alarm_on = alarm != 0.0;
+  return true;
+}
+
+// ---- scenario ----
+
+LinuxScenario::LinuxScenario(sim::Machine& machine, ScenarioConfig cfg,
+                             Accounts accounts)
+    : machine_(machine), cfg_(cfg), accounts_(accounts) {
+  plant_ = std::make_unique<Plant>(machine_, cfg_);
+  kernel_ = std::make_unique<LinuxKernel>(machine_);
+  const linuxsim::Uid scenario_uid =
+      accounts_ == Accounts::kShared ? Uids::kShared : linuxsim::kRootUid;
+  kernel_->spawn_process("scenario", scenario_uid,
+                         [this] { scenario_proc(); }, /*priority=*/3);
+}
+
+void LinuxScenario::scenario_proc() {
+  auto& k = *kernel_;
+  const bool shared = accounts_ == Accounts::kShared;
+
+  // "The scenario process in Linux spawns all other processes and creates
+  // 6 message queues that are needed for various communications."
+  auto make_queue = [&](const char* name, linuxsim::Uid writer,
+                        linuxsim::Uid reader) {
+    Mode mode = Mode::rw_owner_only();
+    if (!shared) {
+      // Well-configured: exactly the producing and consuming accounts.
+      mode.owner_read = mode.owner_write = false;  // root owns; no DAC use
+      mode.grant(writer, /*read=*/false, /*write=*/true);
+      mode.grant(reader, /*read=*/true, /*write=*/false);
+    }
+    const int fd = k.mq_open(name, /*create=*/true, mode);
+    if (fd >= 0) k.mq_close(fd);
+  };
+  make_queue(kQSensor, Uids::kSensor, Uids::kControl);
+  make_queue(kQSetpoint, Uids::kWeb, Uids::kControl);
+  make_queue(kQEnvReq, Uids::kWeb, Uids::kControl);
+  make_queue(kQEnv, Uids::kControl, Uids::kWeb);
+  make_queue(kQHeater, Uids::kControl, Uids::kHeater);
+  make_queue(kQAlarm, Uids::kControl, Uids::kAlarm);
+
+  auto uid_for = [&](linuxsim::Uid separate) {
+    return shared ? Uids::kShared : separate;
+  };
+  k.spawn_process("tempProc", uid_for(Uids::kControl),
+                  [this] { control_proc(); }, 6);
+  k.spawn_process("heaterActProc", uid_for(Uids::kHeater),
+                  [this] { heater_proc(); }, 5);
+  k.spawn_process("alarmProc", uid_for(Uids::kAlarm),
+                  [this] { alarm_proc(); }, 5);
+  k.spawn_process("tempSensProc", uid_for(Uids::kSensor),
+                  [this] { sensor_proc(); }, 5);
+  k.spawn_process("webInterface", uid_for(Uids::kWeb),
+                  [this] { web_proc(); }, 8);
+  k.sys_exit(0);
+}
+
+void LinuxScenario::sensor_proc() {
+  auto& k = *kernel_;
+  const int fd = k.mq_open(kQSensor, false);
+  if (fd < 0) return;
+  for (;;) {
+    const double t = plant_->sensor.read_temperature_c();
+    machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kDevice,
+                          "sensor.sample", "", t);
+    // Non-blocking, like the other platforms: stale samples are dropped.
+    k.mq_send(fd, {encode_temp(t), 0}, /*blocking=*/false);
+    machine_.sleep_for(cfg_.sensor_period);
+  }
+}
+
+void LinuxScenario::control_proc() {
+  auto& k = *kernel_;
+  const int fd_sensor = k.mq_open(kQSensor, false);
+  const int fd_setpoint = k.mq_open(kQSetpoint, false);
+  const int fd_envreq = k.mq_open(kQEnvReq, false);
+  const int fd_env = k.mq_open(kQEnv, false);
+  const int fd_heater = k.mq_open(kQHeater, false);
+  const int fd_alarm = k.mq_open(kQAlarm, false);
+  const int fd_log =
+      k.open_file("/var/log/tempctl.log", true, Mode::rw_owner_only());
+  if (fd_sensor < 0 || fd_heater < 0 || fd_alarm < 0) return;
+
+  TempControlLogic logic(cfg_.control);
+  for (;;) {
+    // The paper's loop: wait for new sensor data ...
+    MqMessage msg;
+    if (k.mq_receive(fd_sensor, msg) != Errno::kOk) return;
+    double t = 0;
+    if (decode_temp(msg.data, &t)) {
+      // NOTE the structural weakness: nothing authenticates that this
+      // message came from the sensor process.
+      const auto d = logic.on_sample(t, machine_.now());
+      k.mq_send(fd_heater, {encode_cmd(d.heater_on), 0}, false);
+      k.mq_send(fd_alarm, {encode_cmd(d.alarm_on), 0}, false);
+      machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kControl,
+                            "ctl.sample", "", t);
+    }
+    // ... then check for pending setpoint updates from the web interface,
+    MqMessage sp_msg;
+    while (fd_setpoint >= 0 &&
+           k.mq_receive(fd_setpoint, sp_msg, false) == Errno::kOk) {
+      double sp = 0;
+      if (decode_setpoint(sp_msg.data, &sp)) {
+        const bool ok = logic.try_set_setpoint(sp, machine_.now());
+        machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kControl,
+                              ok ? "ctl.setpoint" : "ctl.setpoint_rejected",
+                              "", sp);
+      }
+    }
+    // ... answer environment queries,
+    MqMessage req;
+    while (fd_envreq >= 0 &&
+           k.mq_receive(fd_envreq, req, false) == Errno::kOk) {
+      if (fd_env >= 0) {
+        k.mq_send(fd_env, {encode_env(logic.env()), 0}, false);
+      }
+    }
+    // ... and write environment information to the log file.
+    if (fd_log >= 0) {
+      k.write_file(fd_log, "t=" + std::to_string(machine_.now()) + " " +
+                               encode_env(logic.env()) + "\n");
+    }
+  }
+}
+
+void LinuxScenario::heater_proc() {
+  auto& k = *kernel_;
+  const int fd = k.mq_open(kQHeater, false);
+  if (fd < 0) return;
+  for (;;) {
+    MqMessage msg;
+    if (k.mq_receive(fd, msg) != Errno::kOk) return;
+    bool on = false;
+    if (decode_cmd(msg.data, &on)) plant_->heater.set_on(on, machine_.now());
+  }
+}
+
+void LinuxScenario::alarm_proc() {
+  auto& k = *kernel_;
+  const int fd = k.mq_open(kQAlarm, false);
+  if (fd < 0) return;
+  for (;;) {
+    MqMessage msg;
+    if (k.mq_receive(fd, msg) != Errno::kOk) return;
+    bool on = false;
+    if (decode_cmd(msg.data, &on)) plant_->alarm.set_on(on, machine_.now());
+  }
+}
+
+void LinuxScenario::web_proc() {
+  auto& k = *kernel_;
+  const int fd_setpoint = k.mq_open(kQSetpoint, false);
+  const int fd_envreq = k.mq_open(kQEnvReq, false);
+  const int fd_env = k.mq_open(kQEnv, false);
+  bool attacked = false;
+
+  auto fetch_env = [&](EnvInfo* env) -> bool {
+    if (fd_envreq < 0 || fd_env < 0) return false;
+    if (k.mq_send(fd_envreq, {"envreq", 0}, false) != Errno::kOk) {
+      return false;
+    }
+    // The reply arrives after the controller's next loop iteration.
+    for (int tries = 0; tries < 30; ++tries) {
+      MqMessage msg;
+      if (k.mq_receive(fd_env, msg, false) == Errno::kOk) {
+        return decode_env(msg.data, env);
+      }
+      machine_.sleep_for(sim::msec(100));
+    }
+    return false;
+  };
+
+  for (;;) {
+    if (attack_hook_ && !attacked && attack_time_ >= 0 &&
+        machine_.now() >= attack_time_) {
+      attacked = true;
+      machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kAttack,
+                            "web.compromised", "linux");
+      attack_hook_(*this);
+    }
+    while (auto id = http_.poll()) {
+      const WebAction act = route_request(http_.request(*id));
+      switch (act.kind) {
+        case WebAction::Kind::kStatus: {
+          EnvInfo env;
+          if (fetch_env(&env)) {
+            http_.respond(*id, machine_.now(), render_status(env));
+          } else {
+            http_.respond(*id, machine_.now(), render_unavailable());
+          }
+          break;
+        }
+        case WebAction::Kind::kSetSetpoint: {
+          if (fd_setpoint < 0 ||
+              k.mq_send(fd_setpoint, {encode_setpoint(act.setpoint_c), 0},
+                        false) != Errno::kOk) {
+            http_.respond(*id, machine_.now(), render_unavailable());
+            break;
+          }
+          // POSIX queues carry no reply; report acceptance optimistically
+          // (range rejection is visible via /status).
+          http_.respond(*id, machine_.now(), render_setpoint_result(true));
+          break;
+        }
+        case WebAction::Kind::kBadRequest:
+          http_.respond(*id, machine_.now(), render_bad_request());
+          break;
+        case WebAction::Kind::kNotFound:
+          http_.respond(*id, machine_.now(), render_not_found());
+          break;
+      }
+    }
+    machine_.sleep_for(cfg_.web_poll);
+  }
+}
+
+}  // namespace mkbas::bas

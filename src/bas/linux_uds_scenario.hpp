@@ -1,0 +1,96 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bas/scenario.hpp"
+#include "linuxsim/kernel.hpp"
+#include "net/http.hpp"
+
+namespace mkbas::bas {
+
+/// The temperature-control scenario on Linux over **Unix domain sockets**
+/// — the other IPC §III names ("the IPC options are either Unix domain
+/// sockets or message queues"). The control process is a socket server;
+/// the sensor and the web interface are its clients; the actuator drivers
+/// are servers the control process connects to.
+///
+/// Two namespace variants, matching the misuse study the paper cites [10]:
+///  * kFilesystem — sockets bound at /run/... and guarded by mode
+///    bits/ACLs at connect time (the well-configured deployment);
+///  * kAbstract — sockets bound to abstract names with NO permission
+///    model at all: whoever binds first owns the name, enabling the
+///    squatting/hijack attacks of the Android CVEs.
+class LinuxUdsScenario {
+ public:
+  enum class Accounts { kShared, kSeparate };
+  enum class Namespace { kFilesystem, kAbstract };
+
+  struct Uids {
+    static constexpr linuxsim::Uid kShared = 1000;
+    static constexpr linuxsim::Uid kSensor = 1001;
+    static constexpr linuxsim::Uid kControl = 1002;
+    static constexpr linuxsim::Uid kHeater = 1003;
+    static constexpr linuxsim::Uid kAlarm = 1004;
+    static constexpr linuxsim::Uid kWeb = 1005;
+  };
+
+  // Socket names (paths in the filesystem namespace, bare names in the
+  // abstract one).
+  static constexpr const char* kCtlSock = "/run/tempctl.sock";
+  static constexpr const char* kHeaterSock = "/run/heater.sock";
+  static constexpr const char* kAlarmSock = "/run/alarm.sock";
+  static constexpr const char* kCtlAbstract = "tempctl";
+  static constexpr const char* kHeaterAbstract = "heater";
+  static constexpr const char* kAlarmAbstract = "alarm";
+
+  LinuxUdsScenario(sim::Machine& machine, ScenarioConfig cfg = {},
+                   Accounts accounts = Accounts::kShared,
+                   Namespace ns = Namespace::kFilesystem);
+  ~LinuxUdsScenario() { machine_.shutdown(); }
+
+  LinuxUdsScenario(const LinuxUdsScenario&) = delete;
+  LinuxUdsScenario& operator=(const LinuxUdsScenario&) = delete;
+
+  void arm_web_attack(sim::Time when,
+                      std::function<void(LinuxUdsScenario&)> hook) {
+    attack_time_ = when;
+    attack_hook_ = std::move(hook);
+  }
+
+  linuxsim::LinuxKernel& kernel() { return *kernel_; }
+  sim::Machine& machine() { return machine_; }
+  net::HttpConsole& http() { return http_; }
+  Plant& plant() { return *plant_; }
+  Accounts accounts() const { return accounts_; }
+  Namespace ns() const { return ns_; }
+  const ScenarioConfig& config() const { return cfg_; }
+  int pid_of(const std::string& name) const { return kernel_->find_pid(name); }
+
+  /// Connect to a scenario service the way its clients do (used by the
+  /// attack scripts): returns fd or negative Errno.
+  int connect_service(const char* fs_path, const char* abstract_name);
+
+ private:
+  void scenario_proc();
+  void sensor_proc();
+  void control_proc();
+  void actuator_proc(const char* fs_path, const char* abstract_name,
+                     std::function<void(bool)> apply);
+  void web_proc();
+  int bind_service(const char* fs_path, const char* abstract_name,
+                   linuxsim::Mode mode);
+
+  sim::Machine& machine_;
+  ScenarioConfig cfg_;
+  Accounts accounts_;
+  Namespace ns_;
+  std::unique_ptr<Plant> plant_;
+  std::unique_ptr<linuxsim::LinuxKernel> kernel_;
+  net::HttpConsole http_;
+  sim::Time attack_time_ = -1;
+  std::function<void(LinuxUdsScenario&)> attack_hook_;
+};
+
+}  // namespace mkbas::bas

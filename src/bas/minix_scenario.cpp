@@ -1,0 +1,294 @@
+#include "bas/minix_scenario.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "aadl/parser.hpp"
+#include "aadl/scenario_model.hpp"
+#include "bas/web_logic.hpp"
+
+namespace mkbas::bas {
+
+using aadl::ScenarioMTypes;
+using minix::Endpoint;
+using minix::IpcResult;
+using minix::Message;
+using minix::MinixKernel;
+
+namespace {
+
+aadl::CompiledSystem compile_builtin() {
+  aadl::Parser parser(aadl::temp_control_aadl());
+  const aadl::Model model = parser.parse();
+  std::vector<aadl::Diagnostic> diags;
+  auto sys = aadl::compile(model, "TempControl.impl", diags);
+  if (!sys.has_value()) {
+    throw std::runtime_error("builtin scenario model failed to compile: " +
+                             (diags.empty() ? "?" : diags[0].message));
+  }
+  return *sys;
+}
+
+}  // namespace
+
+MinixScenario::MinixScenario(sim::Machine& machine, ScenarioConfig cfg)
+    : machine_(machine), cfg_(cfg), system_(compile_builtin()) {
+  plant_ = std::make_unique<Plant>(machine_, cfg_);
+
+  aadl::AcmGenOptions opts;
+  opts.enable_quotas = cfg_.enable_quotas;
+  minix::AcmPolicy acm = aadl::generate_acm(system_, opts);
+  // The scenario loader needs fork/exit edges to PM (it is not part of
+  // the AADL model proper; a real system's init server plays this role).
+  acm.allow(kLoaderAcId, MinixKernel::kPmAcId,
+            {aadl::kAckMType, minix::PmProtocol::kFork,
+             minix::PmProtocol::kExit});
+  acm.allow(MinixKernel::kPmAcId, kLoaderAcId, {aadl::kAckMType});
+
+  if (cfg_.enable_fs_log) {
+    // The control process talks to the FS server for its log file.
+    const int ctl = aadl::ScenarioAcIds::kTempControl;
+    acm.allow_mask(ctl, minix::FsServer::kFsAcId, ~0ULL);
+    acm.allow(minix::FsServer::kFsAcId, ctl, {aadl::kAckMType});
+  }
+
+  kernel_ = std::make_unique<MinixKernel>(machine_, std::move(acm));
+  if (cfg_.enable_fs_log) {
+    fs_ = std::make_unique<minix::FsServer>(*kernel_);
+  }
+  if (cfg_.enable_reincarnation) kernel_->enable_reincarnation();
+  kernel_->srv_fork2("scenario", kLoaderAcId, [this] { loader_proc(); },
+                     /*priority=*/3);
+}
+
+void MinixScenario::loader_proc() {
+  auto& k = *kernel_;
+  // fork2 each process with the ac_id from the AADL specification
+  // ("tells kernel each process's ac_id, and loads the correct binaries").
+  struct Row {
+    const char* name;
+    int ac;
+    void (MinixScenario::*body)();
+    int prio;
+  };
+  const Row rows[] = {
+      {"tempProc", aadl::ScenarioAcIds::kTempControl,
+       &MinixScenario::control_proc, 6},
+      {"heaterActProc", aadl::ScenarioAcIds::kHeaterActuator,
+       &MinixScenario::heater_proc, 5},
+      {"alarmProc", aadl::ScenarioAcIds::kAlarmActuator,
+       &MinixScenario::alarm_proc, 5},
+      {"tempSensProc", aadl::ScenarioAcIds::kTempSensor,
+       &MinixScenario::sensor_proc, 5},
+      {"webInterface", aadl::ScenarioAcIds::kWebInterface,
+       &MinixScenario::web_proc, 8},
+  };
+  for (const Row& row : rows) {
+    const auto res =
+        k.fork2(row.name, row.ac, [this, row] { (this->*row.body)(); },
+                row.prio);
+    if (res.status != IpcResult::kOk) {
+      machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kProcess,
+                            "scenario.load_failed", row.name);
+    }
+  }
+  k.seal_ac_assignment();  // boot period over: ac_ids are now fixed
+  k.pm_exit(0);
+}
+
+void MinixScenario::sensor_proc() {
+  auto& k = *kernel_;
+  Endpoint ctl = k.wait_lookup("tempProc");
+  for (;;) {
+    const double t = plant_->sensor.read_temperature_c();
+    machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kDevice,
+                          "sensor.sample", "", t);
+    Message m;
+    m.m_type = ScenarioMTypes::kSensorData;
+    m.put_f64(WireFormat::kTempOff, t);
+    // "sends the fresh data using nonblocking send" — a busy controller
+    // simply misses this sample and catches the next one. A *dead*
+    // controller may have been reincarnated: re-resolve by name.
+    if (k.ipc_sendnb(ctl, m) == IpcResult::kDeadSrcDst) {
+      const Endpoint fresh = k.lookup("tempProc");
+      if (fresh.valid()) ctl = fresh;
+    }
+    machine_.sleep_for(cfg_.sensor_period);
+  }
+}
+
+void MinixScenario::control_proc() {
+  auto& k = *kernel_;
+  Endpoint heater = k.wait_lookup("heaterActProc");
+  Endpoint alarm = k.wait_lookup("alarmProc");
+  Endpoint sensor_ep = k.wait_lookup("tempSensProc");
+  TempControlLogic logic(cfg_.control);
+
+  // "At the end of the while loop, environment information will be
+  // written in a log file" — through the user-mode FS server.
+  int log_fd = -1;
+  std::unique_ptr<minix::FsClient> fs_client;
+  if (fs_ != nullptr) {
+    fs_client = std::make_unique<minix::FsClient>(k, fs_->endpoint());
+    log_fd = fs_client->open("/var/log/tempctl.log", /*create=*/true);
+  }
+  auto log_env = [&] {
+    if (log_fd < 0) return;
+    const EnvInfo env = logic.env();
+    char line[96];
+    std::snprintf(line, sizeof line, "t=%lld temp=%.2f sp=%.1f h=%d a=%d\n",
+                  static_cast<long long>(machine_.now() / sim::sec(1)),
+                  env.last_temp_c, env.setpoint_c, env.heater_on ? 1 : 0,
+                  env.alarm_on ? 1 : 0);
+    fs_client->write(log_fd, line);
+  };
+
+  // Drivers may be restarted by the reincarnation server under a new
+  // endpoint; on a dead-destination error, re-resolve by name and retry.
+  auto command = [&](Endpoint& actuator, const char* name, bool on) {
+    Message m;
+    m.m_type = ScenarioMTypes::kActuatorCmd;
+    m.put_i32(WireFormat::kCmdOff, on ? 1 : 0);
+    if (k.ipc_send(actuator, m) == IpcResult::kDeadSrcDst) {
+      const Endpoint fresh = k.lookup(name);
+      if (fresh.valid()) {
+        actuator = fresh;
+        k.ipc_send(actuator, m);
+      }
+    }
+  };
+
+  for (;;) {
+    Message m;
+    if (k.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
+    switch (m.m_type) {
+      case ScenarioMTypes::kSensorData: {
+        // Defence in depth: the ACM already guarantees only the sensor
+        // can send this type, but a correct implementation checks anyway.
+        if (m.source() != sensor_ep) {
+          // The sensor may have been reincarnated under a new endpoint.
+          const Endpoint fresh = k.lookup("tempSensProc");
+          if (fresh.valid()) sensor_ep = fresh;
+          if (m.source() != sensor_ep) break;
+        }
+        const auto d =
+            logic.on_sample(m.get_f64(WireFormat::kTempOff), machine_.now());
+        command(heater, "heaterActProc", d.heater_on);
+        command(alarm, "alarmProc", d.alarm_on);
+        machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kControl,
+                              "ctl.sample", "", logic.env().last_temp_c);
+        log_env();
+        break;
+      }
+      case ScenarioMTypes::kSetpoint: {
+        const bool ok = logic.try_set_setpoint(
+            m.get_f64(WireFormat::kSetpointOff), machine_.now());
+        machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kControl,
+                              ok ? "ctl.setpoint" : "ctl.setpoint_rejected",
+                              "", m.get_f64(WireFormat::kSetpointOff));
+        Message reply;
+        reply.m_type = ScenarioMTypes::kAck;
+        reply.put_i32(WireFormat::kOkOff, ok ? 1 : 0);
+        k.ipc_senda(m.source(), reply);  // async: never block on clients
+        break;
+      }
+      case ScenarioMTypes::kEnvQuery: {
+        const EnvInfo env = logic.env();
+        Message reply;
+        reply.m_type = ScenarioMTypes::kAck;
+        reply.put_f64(WireFormat::kEnvTempOff, env.last_temp_c);
+        reply.put_f64(WireFormat::kEnvSpOff, env.setpoint_c);
+        reply.put_i32(WireFormat::kEnvHeaterOff, env.heater_on ? 1 : 0);
+        reply.put_i32(WireFormat::kEnvAlarmOff, env.alarm_on ? 1 : 0);
+        k.ipc_senda(m.source(), reply);
+        break;
+      }
+      default:
+        break;  // unknown type: drop (the ACM should have stopped it)
+    }
+  }
+}
+
+void MinixScenario::heater_proc() {
+  auto& k = *kernel_;
+  for (;;) {
+    Message m;
+    if (k.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
+    if (m.m_type != ScenarioMTypes::kActuatorCmd) continue;
+    plant_->heater.set_on(m.get_i32(WireFormat::kCmdOff) != 0,
+                          machine_.now());
+  }
+}
+
+void MinixScenario::alarm_proc() {
+  auto& k = *kernel_;
+  for (;;) {
+    Message m;
+    if (k.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
+    if (m.m_type != ScenarioMTypes::kActuatorCmd) continue;
+    plant_->alarm.set_on(m.get_i32(WireFormat::kCmdOff) != 0,
+                         machine_.now());
+  }
+}
+
+void MinixScenario::web_proc() {
+  auto& k = *kernel_;
+  Endpoint ctl = k.wait_lookup("tempProc");
+  bool attacked = false;
+  for (;;) {
+    // Refresh a stale endpoint after a controller reincarnation.
+    if (!k.is_live(ctl)) {
+      const Endpoint fresh = k.lookup("tempProc");
+      if (fresh.valid()) ctl = fresh;
+    }
+    if (attack_hook_ && !attacked && attack_time_ >= 0 &&
+        machine_.now() >= attack_time_) {
+      attacked = true;
+      machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kAttack,
+                            "web.compromised", "minix");
+      attack_hook_(*this);
+    }
+    while (auto id = http_.poll()) {
+      const WebAction act = route_request(http_.request(*id));
+      switch (act.kind) {
+        case WebAction::Kind::kStatus: {
+          Message m;
+          m.m_type = ScenarioMTypes::kEnvQuery;
+          if (k.ipc_sendrec(ctl, m) != IpcResult::kOk) {
+            http_.respond(*id, machine_.now(), render_unavailable());
+            break;
+          }
+          EnvInfo env;
+          env.last_temp_c = m.get_f64(WireFormat::kEnvTempOff);
+          env.setpoint_c = m.get_f64(WireFormat::kEnvSpOff);
+          env.heater_on = m.get_i32(WireFormat::kEnvHeaterOff) != 0;
+          env.alarm_on = m.get_i32(WireFormat::kEnvAlarmOff) != 0;
+          http_.respond(*id, machine_.now(), render_status(env));
+          break;
+        }
+        case WebAction::Kind::kSetSetpoint: {
+          Message m;
+          m.m_type = ScenarioMTypes::kSetpoint;
+          m.put_f64(WireFormat::kSetpointOff, act.setpoint_c);
+          if (k.ipc_sendrec(ctl, m) != IpcResult::kOk) {
+            http_.respond(*id, machine_.now(), render_unavailable());
+            break;
+          }
+          http_.respond(*id, machine_.now(),
+                        render_setpoint_result(
+                            m.get_i32(WireFormat::kOkOff) != 0));
+          break;
+        }
+        case WebAction::Kind::kBadRequest:
+          http_.respond(*id, machine_.now(), render_bad_request());
+          break;
+        case WebAction::Kind::kNotFound:
+          http_.respond(*id, machine_.now(), render_not_found());
+          break;
+      }
+    }
+    machine_.sleep_for(cfg_.web_poll);
+  }
+}
+
+}  // namespace mkbas::bas

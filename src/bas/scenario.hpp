@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+
+#include "bas/control_law.hpp"
+#include "devices/devices.hpp"
+#include "net/http.hpp"
+#include "physics/room.hpp"
+#include "sim/machine.hpp"
+
+namespace mkbas::bas {
+
+/// Configuration shared by all three platform scenarios (§IV).
+struct ScenarioConfig {
+  ControlConfig control{};
+  sim::Duration sensor_period = sim::sec(1);
+  sim::Duration web_poll = sim::msec(100);
+  double heater_power_w = 3000.0;
+  double outdoor_c = 10.0;
+  physics::RoomModel::Params room{};
+  double sensor_noise_sigma_c = 0.05;
+  /// MINIX only: enable the ACM syscall-quota extension (fork-bomb
+  /// mitigation the paper proposes as future work).
+  bool enable_quotas = false;
+  /// MINIX only: boot the reincarnation server, which respawns crashed
+  /// or killed drivers (MINIX's "self-repairing" behaviour).
+  bool enable_reincarnation = false;
+  /// MINIX only: boot the FS server and have the control process append
+  /// environment information to /var/log/tempctl.log each cycle ("at the
+  /// end of the while loop, environment information will be written in a
+  /// log file", §IV.A).
+  bool enable_fs_log = false;
+};
+
+/// The simulated testbed of Fig. 4: room + BMP180 + heater(fan) + LED,
+/// coupled to a machine's virtual clock.
+class Plant {
+ public:
+  Plant(sim::Machine& machine, const ScenarioConfig& cfg)
+      : room(cfg.room),
+        heater(cfg.heater_power_w),
+        sensor(room, machine.rng(), cfg.sensor_noise_sigma_c) {
+    room.set_outdoor_profile(physics::constant_outdoor(cfg.outdoor_c));
+    coupler = std::make_unique<devices::PlantCoupler>(machine, room, heater,
+                                                      alarm);
+  }
+
+  physics::RoomModel room;
+  devices::HeaterActuator heater;
+  devices::AlarmLed alarm;
+  devices::Bmp180Sensor sensor;
+  std::unique_ptr<devices::PlantCoupler> coupler;
+};
+
+/// Payload layouts shared by the MINIX and Linux wire formats.
+struct WireFormat {
+  // Offsets within a MINIX message payload:
+  static constexpr std::size_t kTempOff = 0;       // f64 (sensor data)
+  static constexpr std::size_t kSetpointOff = 0;   // f64 (setpoint update)
+  static constexpr std::size_t kCmdOff = 0;        // i32 (actuator on/off)
+  static constexpr std::size_t kOkOff = 0;         // i32 (setpoint ack)
+  // Env-info reply layout:
+  static constexpr std::size_t kEnvTempOff = 0;    // f64
+  static constexpr std::size_t kEnvSpOff = 8;      // f64
+  static constexpr std::size_t kEnvHeaterOff = 16; // i32
+  static constexpr std::size_t kEnvAlarmOff = 20;  // i32
+};
+
+}  // namespace mkbas::bas

@@ -1,0 +1,189 @@
+#include "bas/sel4_scenario.hpp"
+
+#include <stdexcept>
+
+#include "aadl/parser.hpp"
+#include "aadl/scenario_model.hpp"
+#include "bas/web_logic.hpp"
+
+namespace mkbas::bas {
+
+using camkes::Runtime;
+using sel4::Sel4Error;
+using sel4::Sel4Msg;
+
+namespace {
+
+aadl::CompiledSystem compile_builtin() {
+  aadl::Parser parser(aadl::temp_control_aadl());
+  const aadl::Model model = parser.parse();
+  std::vector<aadl::Diagnostic> diags;
+  auto sys = aadl::compile(model, "TempControl.impl", diags);
+  if (!sys.has_value()) {
+    throw std::runtime_error("builtin scenario model failed to compile: " +
+                             (diags.empty() ? "?" : diags[0].message));
+  }
+  return *sys;
+}
+
+}  // namespace
+
+Sel4Scenario::Sel4Scenario(sim::Machine& machine, ScenarioConfig cfg)
+    : machine_(machine), cfg_(cfg), system_(compile_builtin()) {
+  plant_ = std::make_unique<Plant>(machine_, cfg_);
+  camkes_ = std::make_unique<camkes::CamkesSystem>(machine_);
+
+  std::map<std::string, std::function<void(Runtime&)>> bodies;
+  bodies["tempSensProc"] = [this](Runtime& rt) { sensor_body(rt); };
+  bodies["tempProc"] = [this](Runtime& rt) { control_body(rt); };
+  bodies["heaterActProc"] = [this](Runtime& rt) { heater_body(rt); };
+  bodies["alarmProc"] = [this](Runtime& rt) { alarm_body(rt); };
+  bodies["webInterface"] = [this](Runtime& rt) { web_body(rt); };
+  const std::map<std::string, int> priorities = {
+      {"tempSensProc", 5}, {"tempProc", 6},     {"heaterActProc", 5},
+      {"alarmProc", 5},    {"webInterface", 8},
+  };
+  camkes_->load_compiled_system(system_, bodies, priorities);
+
+  // "We also added two additional timer driver processes for
+  // demonstration purposes" (§IV.B): a periodic tick source and a
+  // consumer, wired with the seL4Notification connector. They exercise
+  // the event path without touching the control loop.
+  camkes_->add_component("timerA", [this](camkes::Runtime& rt) {
+    for (;;) {
+      machine_.sleep_for(sim::sec(1));
+      rt.emit("tickOut");
+    }
+  }, 7);
+  camkes_->add_component("timerB", [this](camkes::Runtime& rt) {
+    for (;;) {
+      if (rt.wait_event("tickIn", nullptr) != sel4::Sel4Error::kOk) return;
+      ++timer_ticks_;
+    }
+  }, 7);
+  camkes_->connect_event("c_timer", "timerA", "tickOut", "timerB",
+                         "tickIn");
+
+  camkes_->instantiate();
+}
+
+void Sel4Scenario::sensor_body(Runtime& rt) {
+  for (;;) {
+    const double t = plant_->sensor.read_temperature_c();
+    machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kDevice,
+                          "sensor.sample", "", t);
+    Sel4Msg msg;
+    msg.push_f64(t);
+    rt.rpc_call("sensorOut", msg);  // server acks promptly
+    machine_.sleep_for(cfg_.sensor_period);
+  }
+}
+
+void Sel4Scenario::control_body(Runtime& rt) {
+  TempControlLogic logic(cfg_.control);
+  for (;;) {
+    auto in = rt.await();
+    if (in.status != Sel4Error::kOk) continue;
+    if (in.iface == "sensorIn") {
+      const auto d = logic.on_sample(in.msg.mr_f64(0), machine_.now());
+      rt.reply(Sel4Msg{});  // release the sensor before actuating
+      Sel4Msg heater;
+      heater.push(d.heater_on ? 1 : 0);
+      rt.rpc_call("heaterCmd", heater);
+      Sel4Msg alarm;
+      alarm.push(d.alarm_on ? 1 : 0);
+      rt.rpc_call("alarmCmd", alarm);
+      machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kControl,
+                            "ctl.sample", "", logic.env().last_temp_c);
+    } else if (in.iface == "setpointIn") {
+      const double sp = in.msg.mr_f64(0);
+      const bool ok = logic.try_set_setpoint(sp, machine_.now());
+      machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kControl,
+                            ok ? "ctl.setpoint" : "ctl.setpoint_rejected",
+                            "", sp);
+      Sel4Msg rep;
+      rep.push(ok ? 1 : 0);
+      rt.reply(rep);
+    } else if (in.iface == "envIn") {
+      const EnvInfo env = logic.env();
+      Sel4Msg rep;
+      rep.push_f64(env.last_temp_c);
+      rep.push_f64(env.setpoint_c);
+      rep.push(env.heater_on ? 1 : 0);
+      rep.push(env.alarm_on ? 1 : 0);
+      rt.reply(rep);
+    } else {
+      rt.reply(Sel4Msg{});  // unknown interface: ack and ignore
+    }
+  }
+}
+
+void Sel4Scenario::heater_body(Runtime& rt) {
+  for (;;) {
+    auto in = rt.await();
+    if (in.status != Sel4Error::kOk) continue;
+    plant_->heater.set_on(in.msg.mr(0) != 0, machine_.now());
+    rt.reply(Sel4Msg{});
+  }
+}
+
+void Sel4Scenario::alarm_body(Runtime& rt) {
+  for (;;) {
+    auto in = rt.await();
+    if (in.status != Sel4Error::kOk) continue;
+    plant_->alarm.set_on(in.msg.mr(0) != 0, machine_.now());
+    rt.reply(Sel4Msg{});
+  }
+}
+
+void Sel4Scenario::web_body(Runtime& rt) {
+  bool attacked = false;
+  for (;;) {
+    if (attack_hook_ && !attacked && attack_time_ >= 0 &&
+        machine_.now() >= attack_time_) {
+      attacked = true;
+      machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kAttack,
+                            "web.compromised", "sel4");
+      attack_hook_(*this, rt);
+    }
+    while (auto id = http_.poll()) {
+      const WebAction act = route_request(http_.request(*id));
+      switch (act.kind) {
+        case WebAction::Kind::kStatus: {
+          Sel4Msg msg;
+          if (rt.rpc_call("envQuery", msg) != Sel4Error::kOk) {
+            http_.respond(*id, machine_.now(), render_unavailable());
+            break;
+          }
+          EnvInfo env;
+          env.last_temp_c = msg.mr_f64(0);
+          env.setpoint_c = msg.mr_f64(1);
+          env.heater_on = msg.mr(2) != 0;
+          env.alarm_on = msg.mr(3) != 0;
+          http_.respond(*id, machine_.now(), render_status(env));
+          break;
+        }
+        case WebAction::Kind::kSetSetpoint: {
+          Sel4Msg msg;
+          msg.push_f64(act.setpoint_c);
+          if (rt.rpc_call("setpointOut", msg) != Sel4Error::kOk) {
+            http_.respond(*id, machine_.now(), render_unavailable());
+            break;
+          }
+          http_.respond(*id, machine_.now(),
+                        render_setpoint_result(msg.mr(0) != 0));
+          break;
+        }
+        case WebAction::Kind::kBadRequest:
+          http_.respond(*id, machine_.now(), render_bad_request());
+          break;
+        case WebAction::Kind::kNotFound:
+          http_.respond(*id, machine_.now(), render_not_found());
+          break;
+      }
+    }
+    machine_.sleep_for(cfg_.web_poll);
+  }
+}
+
+}  // namespace mkbas::bas

@@ -1,0 +1,61 @@
+#include "bas/web_logic.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mkbas::bas {
+
+std::optional<double> parse_form_value(const std::string& body) {
+  const std::string key = "value=";
+  const auto pos = body.find(key);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = body.c_str() + pos + key.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+WebAction route_request(const net::HttpRequest& req) {
+  WebAction act;
+  if (req.method == "GET" && req.path == "/status") {
+    act.kind = WebAction::Kind::kStatus;
+    return act;
+  }
+  if (req.method == "POST" && req.path == "/setpoint") {
+    const auto v = parse_form_value(req.body);
+    if (!v.has_value()) {
+      act.kind = WebAction::Kind::kBadRequest;
+      return act;
+    }
+    act.kind = WebAction::Kind::kSetSetpoint;
+    act.setpoint_c = *v;
+    return act;
+  }
+  act.kind = WebAction::Kind::kNotFound;
+  return act;
+}
+
+net::HttpResponse render_status(const EnvInfo& env) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "temp=%.1f;setpoint=%.1f;heater=%s;alarm=%s",
+                env.last_temp_c, env.setpoint_c,
+                env.heater_on ? "on" : "off", env.alarm_on ? "on" : "off");
+  return {200, buf};
+}
+
+net::HttpResponse render_setpoint_result(bool accepted) {
+  return accepted ? net::HttpResponse{200, "setpoint accepted"}
+                  : net::HttpResponse{422, "setpoint out of allowed range"};
+}
+
+net::HttpResponse render_bad_request() { return {400, "bad request"}; }
+
+net::HttpResponse render_not_found() { return {404, "not found"}; }
+
+net::HttpResponse render_unavailable() {
+  return {503, "control process unavailable"};
+}
+
+}  // namespace mkbas::bas

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bas/control_law.hpp"
+#include "net/http.hpp"
+
+namespace mkbas::bas {
+
+/// What an HTTP request asks the web interface to do. Kept pure so the
+/// same parsing/rendering runs on every platform and can be unit-tested
+/// without a kernel.
+struct WebAction {
+  enum class Kind { kStatus, kSetSetpoint, kBadRequest, kNotFound };
+  Kind kind = Kind::kBadRequest;
+  double setpoint_c = 0.0;
+};
+
+/// Parse "value=23.5"-style form bodies.
+std::optional<double> parse_form_value(const std::string& body);
+
+/// Route an HTTP request: GET /status, POST /setpoint.
+WebAction route_request(const net::HttpRequest& req);
+
+/// Render responses.
+net::HttpResponse render_status(const EnvInfo& env);
+net::HttpResponse render_setpoint_result(bool accepted);
+net::HttpResponse render_bad_request();
+net::HttpResponse render_not_found();
+net::HttpResponse render_unavailable();  // control process unreachable
+
+}  // namespace mkbas::bas

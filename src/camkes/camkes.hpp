@@ -1,0 +1,200 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aadl/compile.hpp"
+#include "sel4/kernel.hpp"
+#include "sim/machine.hpp"
+
+namespace mkbas::camkes {
+
+/// CAmkES connector families (§III.D / §IV.B: "data ports and RPC
+/// connections are allowed in both" AADL and CAmkES).
+enum class ConnKind {
+  kRpc,       // seL4RPCCall: Call/Reply over a badged endpoint
+  kEvent,     // seL4Notification: signal/wait
+  kDataport,  // seL4SharedData: a shared frame, writer RW / reader R
+};
+
+/// Runtime ("glue code") handed to every component body. This is what
+/// CAmkES generates from the assembly description: RPC stubs that hide
+/// capabilities and slots from the component developer (§III.D).
+class Runtime {
+ public:
+  /// Client side of a seL4RPCCall connection: invoke the remote procedure
+  /// through the `uses` interface. Blocks until the server replies.
+  sel4::Sel4Error rpc_call(const std::string& iface, sel4::Sel4Msg& inout);
+
+  /// Non-blocking event-style send on a uses interface (drops when the
+  /// server is not waiting).
+  sel4::Sel4Error rpc_send_nb(const std::string& iface,
+                              const sel4::Sel4Msg& msg);
+
+  /// Server side: wait for the next incoming call on any provided
+  /// interface of this component.
+  struct Incoming {
+    sel4::Sel4Error status = sel4::Sel4Error::kOk;
+    std::string iface;          // which provides interface was invoked
+    std::string from;           // peer component (from the connection spec)
+    sel4::Sel4Msg msg;
+  };
+  Incoming await();
+  Incoming await_nb();
+
+  /// Reply to the call most recently returned by await().
+  sel4::Sel4Error reply(const sel4::Sel4Msg& msg);
+
+  /// Event connector: raise the event on an outgoing `emits` interface.
+  sel4::Sel4Error emit(const std::string& iface);
+  /// Block until the event on a `consumes` interface fires.
+  sel4::Sel4Error wait_event(const std::string& iface,
+                             std::uint64_t* bits = nullptr);
+
+  /// Dataport connector: write into / read from the shared frame.
+  sel4::Sel4Error dataport_write(const std::string& iface,
+                                 std::size_t offset, const void* src,
+                                 std::size_t len);
+  sel4::Sel4Error dataport_read(const std::string& iface, std::size_t offset,
+                                void* dst, std::size_t len);
+
+  const std::string& name() const { return name_; }
+  sel4::Sel4Kernel& kernel() { return *kernel_; }
+  sim::Machine& machine() { return kernel_->machine(); }
+
+  /// Attack-surface introspection: the slots this component can reach.
+  std::vector<int> enumerate_own_caps();
+
+ private:
+  friend class CamkesSystem;
+
+  struct ConnInfo {
+    std::string iface;
+    std::string peer;
+    std::uint64_t badge = 0;  // badge the peer's calls carry (server side)
+    int slot = -1;            // slot of the send cap (client side)
+  };
+
+  std::string name_;
+  sel4::Sel4Kernel* kernel_ = nullptr;
+  int serve_slot = -1;                       // receive cap (servers only)
+  std::map<std::string, ConnInfo> uses_;     // iface -> client info
+  std::map<std::uint64_t, ConnInfo> serves_; // badge -> server info
+  std::map<std::string, int> events_out_;    // emits iface -> slot
+  std::map<std::string, int> events_in_;     // consumes iface -> slot
+  std::map<std::string, int> dataports_;     // dataport iface -> slot
+};
+
+/// CapDL-style record of the capability distribution the bootstrap will
+/// establish; attackers in §IV.D.3 are assumed to know this file, and
+/// tests verify the live system matches it.
+struct CapDlSpec {
+  struct Placement {
+    std::string component;
+    int slot;
+    std::string object;  // "ep_<connection>"
+    bool read = false, write = false, grant = false;
+    std::uint64_t badge = 0;
+  };
+  std::vector<std::string> objects;
+  std::vector<Placement> placements;
+
+  std::string to_text() const;
+};
+
+/// A CAmkES assembly: components plus seL4RPCCall connections, executed on
+/// the seL4 personality via a generated bootstrap process.
+///
+/// Implementation strategy: one endpoint per server component shared by
+/// all of its provided interfaces; each client connection gets a badged
+/// (write+grant) capability to that endpoint, so the server demultiplexes
+/// by badge. The bootstrap (the moral equivalent of the CapDL-generated
+/// initialiser [13,14]) retypes all objects, installs exactly the caps in
+/// the CapDlSpec, and resumes the components.
+class CamkesSystem {
+ public:
+  explicit CamkesSystem(sim::Machine& machine);
+
+  /// Components' bodies reference this object's runtimes; tear the
+  /// machine down before any member is released.
+  ~CamkesSystem() { machine_.shutdown(); }
+
+  CamkesSystem(const CamkesSystem&) = delete;
+  CamkesSystem& operator=(const CamkesSystem&) = delete;
+
+  /// Define a component. The body runs once the system is instantiated.
+  void add_component(const std::string& name,
+                     std::function<void(Runtime&)> body,
+                     int priority = sim::Machine::kDefaultPriority);
+
+  /// Declare a seL4RPCCall connection from `from.from_iface` (uses) to
+  /// `to.to_iface` (provides).
+  void connect(const std::string& conn_name, const std::string& from,
+               const std::string& from_iface, const std::string& to,
+               const std::string& to_iface);
+
+  /// Declare a seL4Notification connection (emits -> consumes).
+  void connect_event(const std::string& conn_name, const std::string& from,
+                     const std::string& from_iface, const std::string& to,
+                     const std::string& to_iface);
+
+  /// Declare a seL4SharedData connection: `from` maps the frame
+  /// read-write, `to` read-only (one-directional dataport).
+  void connect_dataport(const std::string& conn_name, const std::string& from,
+                        const std::string& from_iface, const std::string& to,
+                        const std::string& to_iface);
+
+  /// Populate components/connections from a compiled AADL system, mapping
+  /// instance names to bodies (the manual translation step of §IV.B,
+  /// automated).
+  void load_compiled_system(
+      const aadl::CompiledSystem& sys,
+      const std::map<std::string, std::function<void(Runtime&)>>& bodies,
+      const std::map<std::string, int>& priorities = {});
+
+  /// Build the CapDL spec and run the bootstrap. Components start running.
+  void instantiate();
+
+  const CapDlSpec& capdl() const { return capdl_; }
+  sel4::Sel4Kernel& kernel() { return kernel_; }
+  sim::Machine& machine() { return machine_; }
+
+  /// Post-boot check that every component's CSpace holds exactly the caps
+  /// the CapDL spec names (formally verified initialisation, modelled).
+  bool verify_distribution() const;
+
+ private:
+  struct Component {
+    std::string name;
+    std::function<void(Runtime&)> body;
+    int priority;
+    std::shared_ptr<Runtime> runtime;
+    int tcb_slot = -1;    // in the root server's CSpace
+    int cnode_slot = -1;
+    int ep_slot = -1;     // root's cap to this component's endpoint
+    bool is_server = false;
+  };
+  struct Connection {
+    std::string name;
+    std::string from, from_iface;
+    std::string to, to_iface;
+    ConnKind kind = ConnKind::kRpc;
+    std::uint64_t badge = 0;
+    int root_slot = -1;  // where the backing object's cap lives in root
+  };
+
+  void bootstrap();  // runs inside the seL4 root server
+
+  sim::Machine& machine_;
+  sel4::Sel4Kernel kernel_;
+  std::vector<Component> components_;
+  std::vector<Connection> connections_;
+  CapDlSpec capdl_;
+  bool instantiated_ = false;
+  bool verified_ = false;
+};
+
+}  // namespace mkbas::camkes

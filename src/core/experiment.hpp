@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/attacks.hpp"
+#include "core/safety.hpp"
+#include "net/http.hpp"
+
+namespace mkbas::core {
+
+/// The three platforms of the paper's comparison.
+enum class Platform { kMinix, kSel4, kLinux };
+
+const char* to_string(Platform p);
+
+/// Parameters shared by benign and attack runs.
+struct RunOptions {
+  bas::ScenarioConfig scenario{};
+  sim::Duration settle = sim::minutes(12);  // before the compromise
+  sim::Duration post = sim::minutes(20);    // after the compromise
+  /// Linux only: per-process accounts + queue ACLs (the well-configured
+  /// system of the paper's second simulation).
+  bool linux_separate_accounts = false;
+  /// MINIX only: enable the ACM syscall-quota extension.
+  bool minix_quotas = false;
+  std::uint64_t seed = 1;
+};
+
+/// Result of one benign run (FIG2): ground-truth history plus the served
+/// HTTP traffic and kernel statistics.
+struct BenignRun {
+  Platform platform = Platform::kMinix;
+  std::vector<devices::PlantSample> history;
+  std::vector<net::HttpExchange> http;
+  SafetyReport safety;
+  std::uint64_t context_switches = 0;
+  std::uint64_t kernel_entries = 0;
+};
+
+/// The Fig. 2 workload: settle at the initial setpoint, an operator
+/// setpoint step via HTTP at t=10min, a heater hardware failure at
+/// t=30min (alarm must fire), repair at t=45min, end at t=60min.
+BenignRun run_benign(Platform platform, const RunOptions& opts = {});
+
+/// One row of the §IV.D attack-outcome matrix (bench T1).
+struct AttackRow {
+  Platform platform = Platform::kMinix;
+  std::string platform_label;  // includes config variant
+  attack::AttackKind kind = attack::AttackKind::kSpoofSensor;
+  attack::Privilege privilege = attack::Privilege::kCodeExec;
+  attack::AttackOutcome outcome;
+  SafetyReport safety;
+};
+
+/// Run a single platform × attack × privilege experiment.
+AttackRow run_attack(Platform platform, attack::AttackKind kind,
+                     attack::Privilege priv, const RunOptions& opts = {});
+
+/// The full matrix the paper's §IV.D narrative describes, plus the
+/// fork-quota ablation rows (paper's proposed future work, implemented).
+std::vector<AttackRow> run_attack_matrix(const RunOptions& opts = {});
+
+/// Render rows as the aligned text table bench T1 prints.
+std::string format_attack_table(const std::vector<AttackRow>& rows);
+
+}  // namespace mkbas::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bas/control_law.hpp"
+#include "devices/devices.hpp"
+#include "sim/trace.hpp"
+
+namespace mkbas::core {
+
+/// Verdict of the physical-safety analysis of one run. Judged on *ground
+/// truth* (the plant coupler's history), not on what the controller
+/// believed — an attack only counts as a physical compromise when the
+/// physical world actually misbehaved (§IV.D's criterion: "the critical
+/// processes that impact the physical world are not affected").
+struct SafetyReport {
+  /// The control process was still emitting samples at the end of the run.
+  bool control_alive = false;
+  /// True temperature stayed far outside the setpoint band for an
+  /// extended period after the system had settled.
+  bool temp_excursion = false;
+  /// The temperature was continuously out of band for longer than the
+  /// alarm timeout (plus slack) yet the alarm stayed off — the paper's
+  /// "LED showed everything is normal" failure.
+  bool alarm_violation = false;
+  /// The alarm sounded while the true temperature was comfortably in band
+  /// (nuisance alarm driven by forged sensor data).
+  bool spurious_alarm = false;
+
+  double min_temp_c = 0.0;
+  double max_temp_c = 0.0;
+  sim::Duration out_of_band_total = 0;
+
+  bool physically_compromised() const {
+    return !control_alive || temp_excursion || alarm_violation ||
+           spurious_alarm;
+  }
+  std::string summary() const;
+};
+
+/// Analyse a run. The setpoint timeline is reconstructed from the
+/// controller's accepted "ctl.setpoint" trace events; control liveness
+/// from the recency of "ctl.sample" events.
+SafetyReport check_safety(const std::vector<devices::PlantSample>& history,
+                          const sim::TraceLog& trace,
+                          const bas::ControlConfig& cfg, sim::Time run_end,
+                          sim::Duration sensor_period = sim::sec(1));
+
+}  // namespace mkbas::core

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "physics/pressure.hpp"
+#include "sim/machine.hpp"
+#include "sim/rng.hpp"
+
+namespace mkbas::devices {
+
+/// Differential pressure transmitter (corridor-referenced), as installed
+/// at both the lab and the anteroom of a BSL-3 suite. 0.1 Pa resolution
+/// with Gaussian noise.
+class PressureSensor {
+ public:
+  enum class Tap { kLab, kAnteroom };
+
+  PressureSensor(const physics::ContainmentModel& model, Tap tap,
+                 sim::Rng& rng, double noise_sigma_pa = 0.4)
+      : model_(model), tap_(tap), rng_(rng), noise_(noise_sigma_pa) {}
+
+  double read_pa() {
+    const double truth = tap_ == Tap::kLab ? model_.lab_pressure_pa()
+                                           : model_.anteroom_pressure_pa();
+    const double raw = truth + noise_ * rng_.next_gaussian();
+    return static_cast<double>(static_cast<long long>(
+               raw * 10.0 + (raw >= 0 ? 0.5 : -0.5))) /
+           10.0;
+  }
+
+ private:
+  const physics::ContainmentModel& model_;
+  Tap tap_;
+  sim::Rng& rng_;
+  double noise_;
+};
+
+/// Variable-speed exhaust fan (VFD-driven). Speed is a commanded fraction
+/// of maximum flow; transitions are recorded for the safety analysis.
+class ExhaustFan {
+ public:
+  struct Transition {
+    sim::Time time;
+    double speed;
+  };
+
+  void set_speed(double speed, sim::Time now) {
+    speed = std::clamp(speed, 0.0, 1.0);
+    if (speed == speed_) return;
+    speed_ = speed;
+    transitions_.push_back({now, speed});
+  }
+  double speed() const { return speed_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+ private:
+  double speed_ = 0.0;
+  std::vector<Transition> transitions_;
+};
+
+/// Electrically latched door. `set_open` models the latch releasing (and
+/// the door swinging) — the physical interlock is whatever the controller
+/// enforces before commanding it.
+class DoorLatch {
+ public:
+  struct Transition {
+    sim::Time time;
+    bool open;
+  };
+
+  explicit DoorLatch(const char* name) : name_(name) {}
+
+  void set_open(bool open, sim::Time now) {
+    if (open == open_) return;
+    open_ = open;
+    transitions_.push_back({now, open});
+  }
+  bool is_open() const { return open_; }
+  const char* name() const { return name_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+ private:
+  const char* name_;
+  bool open_ = false;
+  std::vector<Transition> transitions_;
+};
+
+/// Ground-truth sample of the containment suite.
+struct ContainmentSample {
+  sim::Time time = 0;
+  double lab_pa = 0.0;
+  double ante_pa = 0.0;
+  double fan_speed = 0.0;
+  bool inner_open = false;
+  bool outer_open = false;
+  bool alarm_on = false;
+};
+
+/// Couples the containment physics to the machine clock and records the
+/// ground truth that the safety analysis judges.
+class ContainmentCoupler {
+ public:
+  ContainmentCoupler(sim::Machine& machine, physics::ContainmentModel& model,
+                     ExhaustFan& fan, DoorLatch& inner, DoorLatch& outer,
+                     const bool* alarm_state,
+                     sim::Duration step = sim::msec(250)) {
+    machine.every(step, step, [&machine, &model, &fan, &inner, &outer,
+                               alarm_state, step, this] {
+      model.step(step, fan.speed(), inner.is_open(), outer.is_open());
+      history_.push_back({machine.now(), model.lab_pressure_pa(),
+                          model.anteroom_pressure_pa(), fan.speed(),
+                          inner.is_open(), outer.is_open(),
+                          alarm_state != nullptr && *alarm_state});
+    });
+  }
+
+  const std::vector<ContainmentSample>& history() const { return history_; }
+
+ private:
+  std::vector<ContainmentSample> history_;
+};
+
+}  // namespace mkbas::devices

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "physics/room.hpp"
+#include "sim/machine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mkbas::devices {
+
+/// A BMP180-style digital temperature sensor attached to the room.
+///
+/// The real part reports temperature in 0.1 C steps with roughly +/-0.5 C
+/// absolute accuracy; we model quantisation plus small Gaussian noise.
+/// Only processes holding a pointer to this object can sample it — the
+/// personality kernels hand that pointer exclusively to the sensor-driver
+/// process, which models MMU-enforced device-register isolation.
+class Bmp180Sensor {
+ public:
+  Bmp180Sensor(const physics::RoomModel& room, sim::Rng& rng,
+               double noise_sigma_c = 0.08)
+      : room_(room), rng_(rng), noise_sigma_c_(noise_sigma_c) {}
+
+  /// One conversion: true room temperature + noise, quantised to 0.1 C.
+  double read_temperature_c() {
+    const double raw =
+        room_.temperature_c() + noise_sigma_c_ * rng_.next_gaussian();
+    return quantize(raw);
+  }
+
+  static double quantize(double c) {
+    return static_cast<double>(static_cast<long long>(c * 10.0 +
+                                                      (c >= 0 ? 0.5 : -0.5))) /
+           10.0;
+  }
+
+ private:
+  const physics::RoomModel& room_;
+  sim::Rng& rng_;
+  double noise_sigma_c_;
+};
+
+/// Heater (or, as in the paper's testbed, a fan run in reverse) actuator.
+/// Tracks every state transition for the safety checker.
+class HeaterActuator {
+ public:
+  struct Transition {
+    sim::Time time;
+    bool on;
+  };
+
+  explicit HeaterActuator(double power_w = 1500.0) : power_w_(power_w) {}
+
+  void set_on(bool on, sim::Time now) {
+    if (on == on_) return;
+    on_ = on;
+    transitions_.push_back({now, on});
+  }
+  bool is_on() const { return on_; }
+  double output_w() const { return on_ ? power_w_ : 0.0; }
+  double rated_power_w() const { return power_w_; }
+
+  /// A failed heater stops producing heat regardless of its commanded
+  /// state (used by the FIG2 heater-failure experiment).
+  void fail() { failed_ = true; }
+  void repair() { failed_ = false; }
+  bool failed() const { return failed_; }
+  double effective_output_w() const { return failed_ ? 0.0 : output_w(); }
+
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+ private:
+  double power_w_;
+  bool on_ = false;
+  bool failed_ = false;
+  std::vector<Transition> transitions_;
+};
+
+/// The on-board LED standing in for the alarm actuator.
+class AlarmLed {
+ public:
+  struct Transition {
+    sim::Time time;
+    bool on;
+  };
+
+  void set_on(bool on, sim::Time now) {
+    if (on == on_) return;
+    on_ = on;
+    transitions_.push_back({now, on});
+  }
+  bool is_on() const { return on_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+ private:
+  bool on_ = false;
+  std::vector<Transition> transitions_;
+};
+
+/// One row of the plant's ground-truth history, sampled by the coupler.
+struct PlantSample {
+  sim::Time time = 0;
+  double true_temp_c = 0.0;
+  double outdoor_c = 0.0;
+  bool heater_on = false;
+  bool alarm_on = false;
+};
+
+/// Ties a Machine's virtual clock to the physics: a periodic driver
+/// callback integrates the room model against the heater state and records
+/// ground truth for the safety checker. This is the "world" the simulated
+/// controller actually affects — attacks count as successful only when
+/// this history shows a physical consequence.
+class PlantCoupler {
+ public:
+  PlantCoupler(sim::Machine& machine, physics::RoomModel& room,
+               HeaterActuator& heater, AlarmLed& alarm,
+               sim::Duration step = sim::msec(250))
+      : machine_(machine), room_(room), heater_(heater), alarm_(alarm) {
+    machine_.every(step, step, [this, step] {
+      room_.step(step, heater_.effective_output_w(), machine_.now());
+      history_.push_back({machine_.now(), room_.temperature_c(),
+                          room_.outdoor_temp_c(machine_.now()),
+                          heater_.is_on(), alarm_.is_on()});
+    });
+  }
+
+  const std::vector<PlantSample>& history() const { return history_; }
+
+ private:
+  sim::Machine& machine_;
+  physics::RoomModel& room_;
+  HeaterActuator& heater_;
+  AlarmLed& alarm_;
+  std::vector<PlantSample> history_;
+};
+
+}  // namespace mkbas::devices

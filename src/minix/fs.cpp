@@ -1,0 +1,280 @@
+#include "minix/fs.hpp"
+
+#include <algorithm>
+
+namespace mkbas::minix {
+
+// Payload layouts.
+//   open:      str path @0..46, i32 create @48      -> i32 status @0, fd @4
+//   write:     i32 fd @0, i32 len @4, bytes @8      -> i32 status @0
+//   writebulk: i32 fd @0, i32 grant @4, i32 len @8  -> i32 status @0
+//   read:      i32 fd @0, i32 offset @4             -> i32 status @0,
+//                                                      i32 len @4, bytes @8
+//   stat:      i32 fd @0                            -> i32 status, size @4
+//   close:     i32 fd @0                            -> i32 status @0
+
+namespace {
+constexpr int kOk = 0;
+constexpr int kErrNoEnt = -1;
+constexpr int kErrBadFd = -2;
+constexpr int kErrPerm = -3;
+constexpr int kErrIo = -4;
+constexpr std::size_t kPathBytes = 46;
+}  // namespace
+
+FsServer::FsServer(MinixKernel& kernel) : kernel_(kernel) {
+  ep_ = kernel_.srv_fork2("mfs", kFsAcId, [this] { main(); },
+                          /*priority=*/3);
+}
+
+const std::string* FsServer::contents(const std::string& path) const {
+  for (const auto& f : files_) {
+    if (f.path == path) return &f.data;
+  }
+  return nullptr;
+}
+
+void FsServer::reply_status(Endpoint to, int status) {
+  Message reply;
+  reply.m_type = FsProtocol::kAck;
+  reply.put_i32(0, status);
+  kernel_.ipc_senda(to, reply);
+}
+
+void FsServer::main() {
+  for (;;) {
+    Message req;
+    if (kernel_.ipc_receive(Endpoint::any(), req) != IpcResult::kOk) {
+      continue;
+    }
+    const Endpoint caller = req.source();
+    const int caller_ac = kernel_.ac_id_of(caller);
+
+    switch (req.m_type) {
+      case FsProtocol::kOpen: {
+        const std::string path = req.get_str(0);
+        const bool create = req.get_i32(48) != 0;
+        int index = -1;
+        for (std::size_t i = 0; i < files_.size(); ++i) {
+          if (files_[i].path == path) index = static_cast<int>(i);
+        }
+        if (index < 0) {
+          if (!create || path.empty()) {
+            reply_status(caller, kErrNoEnt);
+            break;
+          }
+          files_.push_back(File{path, caller_ac, {}});
+          index = static_cast<int>(files_.size()) - 1;
+        }
+        const int fd = next_fd_++;
+        open_files_[fd] = OpenFile{index, caller};
+        Message reply;
+        reply.m_type = FsProtocol::kAck;
+        reply.put_i32(0, kOk);
+        reply.put_i32(4, fd);
+        kernel_.ipc_senda(caller, reply);
+        break;
+      }
+      case FsProtocol::kWrite: {
+        const int fd = req.get_i32(0);
+        const int len = std::min<int>(req.get_i32(4),
+                                      static_cast<int>(kInlineChunk));
+        const auto it = open_files_.find(fd);
+        if (it == open_files_.end() || it->second.owner != caller) {
+          reply_status(caller, kErrBadFd);
+          break;
+        }
+        File& file = files_[static_cast<std::size_t>(it->second.file_index)];
+        if (file.owner_ac != caller_ac) {
+          reply_status(caller, kErrPerm);
+          break;
+        }
+        if (len > 0) {
+          file.data.append(
+              reinterpret_cast<const char*>(req.payload.data() + 8),
+              static_cast<std::size_t>(len));
+        }
+        reply_status(caller, kOk);
+        break;
+      }
+      case FsProtocol::kWriteBulk: {
+        const int fd = req.get_i32(0);
+        const int grant = req.get_i32(4);
+        const int len = req.get_i32(8);
+        const auto it = open_files_.find(fd);
+        if (it == open_files_.end() || it->second.owner != caller) {
+          reply_status(caller, kErrBadFd);
+          break;
+        }
+        File& file = files_[static_cast<std::size_t>(it->second.file_index)];
+        if (file.owner_ac != caller_ac) {
+          reply_status(caller, kErrPerm);
+          break;
+        }
+        if (len < 0 || len > (1 << 20)) {
+          reply_status(caller, kErrIo);
+          break;
+        }
+        std::vector<std::uint8_t> buf(static_cast<std::size_t>(len));
+        // Bulk data crosses the process boundary via the kernel-checked
+        // grant (safecopy), not via messages.
+        if (kernel_.safecopy_from(caller, grant, 0, buf.data(),
+                                  buf.size()) != IpcResult::kOk) {
+          reply_status(caller, kErrIo);
+          break;
+        }
+        file.data.append(reinterpret_cast<const char*>(buf.data()),
+                         buf.size());
+        reply_status(caller, kOk);
+        break;
+      }
+      case FsProtocol::kRead: {
+        const int fd = req.get_i32(0);
+        const int offset = req.get_i32(4);
+        const auto it = open_files_.find(fd);
+        if (it == open_files_.end() || it->second.owner != caller) {
+          reply_status(caller, kErrBadFd);
+          break;
+        }
+        const File& file =
+            files_[static_cast<std::size_t>(it->second.file_index)];
+        Message reply;
+        reply.m_type = FsProtocol::kAck;
+        if (offset < 0 ||
+            static_cast<std::size_t>(offset) > file.data.size()) {
+          reply.put_i32(0, kErrIo);
+          kernel_.ipc_senda(caller, reply);
+          break;
+        }
+        const std::size_t n = std::min(
+            kInlineChunk, file.data.size() - static_cast<std::size_t>(offset));
+        reply.put_i32(0, kOk);
+        reply.put_i32(4, static_cast<int>(n));
+        for (std::size_t i = 0; i < n; ++i) {
+          reply.payload[8 + i] = static_cast<std::uint8_t>(
+              file.data[static_cast<std::size_t>(offset) + i]);
+        }
+        kernel_.ipc_senda(caller, reply);
+        break;
+      }
+      case FsProtocol::kStat: {
+        const int fd = req.get_i32(0);
+        const auto it = open_files_.find(fd);
+        Message reply;
+        reply.m_type = FsProtocol::kAck;
+        if (it == open_files_.end() || it->second.owner != caller) {
+          reply.put_i32(0, kErrBadFd);
+        } else {
+          reply.put_i32(0, kOk);
+          reply.put_i32(
+              4, static_cast<int>(
+                     files_[static_cast<std::size_t>(it->second.file_index)]
+                         .data.size()));
+        }
+        kernel_.ipc_senda(caller, reply);
+        break;
+      }
+      case FsProtocol::kClose: {
+        const int fd = req.get_i32(0);
+        const auto it = open_files_.find(fd);
+        if (it == open_files_.end() || it->second.owner != caller) {
+          reply_status(caller, kErrBadFd);
+          break;
+        }
+        open_files_.erase(it);
+        reply_status(caller, kOk);
+        break;
+      }
+      default:
+        reply_status(caller, kErrIo);
+        break;
+    }
+  }
+}
+
+// ---- client stubs ----
+
+int FsClient::open(const std::string& path, bool create) {
+  Message m;
+  m.m_type = FsProtocol::kOpen;
+  m.put_str(0, path.substr(0, kPathBytes));
+  m.put_i32(48, create ? 1 : 0);
+  if (kernel_.ipc_sendrec(fs_, m) != IpcResult::kOk) return -1;
+  if (m.get_i32(0) != kOk) return -1;
+  return m.get_i32(4);
+}
+
+IpcResult FsClient::write(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t n =
+        std::min(FsServer::kInlineChunk, data.size() - off);
+    Message m;
+    m.m_type = FsProtocol::kWrite;
+    m.put_i32(0, fd);
+    m.put_i32(4, static_cast<int>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      m.payload[8 + i] = static_cast<std::uint8_t>(data[off + i]);
+    }
+    const IpcResult r = kernel_.ipc_sendrec(fs_, m);
+    if (r != IpcResult::kOk) return r;
+    if (m.get_i32(0) != kOk) return IpcResult::kNotAllowed;
+    off += n;
+  }
+  return IpcResult::kOk;
+}
+
+IpcResult FsClient::write_bulk(int fd, const std::string& data) {
+  // Grant the FS read access to our buffer for the duration of the call.
+  std::vector<std::uint8_t> buf(data.begin(), data.end());
+  const auto grant =
+      kernel_.grant_create(fs_, buf.data(), std::max<std::size_t>(buf.size(), 1),
+                           {.read = true, .write = false});
+  if (grant < 0) return IpcResult::kBadEndpoint;
+  Message m;
+  m.m_type = FsProtocol::kWriteBulk;
+  m.put_i32(0, fd);
+  m.put_i32(4, grant);
+  m.put_i32(8, static_cast<int>(buf.size()));
+  const IpcResult r = kernel_.ipc_sendrec(fs_, m);
+  kernel_.grant_revoke(grant);
+  if (r != IpcResult::kOk) return r;
+  return m.get_i32(0) == kOk ? IpcResult::kOk : IpcResult::kNotAllowed;
+}
+
+IpcResult FsClient::read_all(int fd, std::string* out) {
+  out->clear();
+  for (;;) {
+    Message m;
+    m.m_type = FsProtocol::kRead;
+    m.put_i32(0, fd);
+    m.put_i32(4, static_cast<int>(out->size()));
+    const IpcResult r = kernel_.ipc_sendrec(fs_, m);
+    if (r != IpcResult::kOk) return r;
+    if (m.get_i32(0) != kOk) return IpcResult::kNotAllowed;
+    const int n = m.get_i32(4);
+    if (n <= 0) return IpcResult::kOk;
+    out->append(reinterpret_cast<const char*>(m.payload.data() + 8),
+                static_cast<std::size_t>(n));
+  }
+}
+
+int FsClient::stat_size(int fd) {
+  Message m;
+  m.m_type = FsProtocol::kStat;
+  m.put_i32(0, fd);
+  if (kernel_.ipc_sendrec(fs_, m) != IpcResult::kOk) return -1;
+  if (m.get_i32(0) != kOk) return -1;
+  return m.get_i32(4);
+}
+
+IpcResult FsClient::close(int fd) {
+  Message m;
+  m.m_type = FsProtocol::kClose;
+  m.put_i32(0, fd);
+  const IpcResult r = kernel_.ipc_sendrec(fs_, m);
+  if (r != IpcResult::kOk) return r;
+  return m.get_i32(0) == kOk ? IpcResult::kOk : IpcResult::kBadEndpoint;
+}
+
+}  // namespace mkbas::minix

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minix/kernel.hpp"
+
+namespace mkbas::minix {
+
+/// Message types of the FS server protocol (type 0 is the reserved ack).
+struct FsProtocol {
+  static constexpr int kAck = 0;
+  static constexpr int kOpen = 1;
+  static constexpr int kWrite = 2;      // small writes inline in the message
+  static constexpr int kRead = 3;       // chunked reads
+  static constexpr int kStat = 4;
+  static constexpr int kClose = 5;
+  static constexpr int kWriteBulk = 6;  // bulk writes via a memory grant
+};
+
+/// A MINIX-style file system server running as an ordinary user-mode
+/// process ("all other OS functionalities ... are implemented as modules
+/// running in user space", §III.A). The temperature control process uses
+/// it for its log file; every operation is a kernel-audited message, and
+/// bulk data travels through memory grants + safecopy, exactly the VFS
+/// pattern of real MINIX 3.
+///
+/// Ownership: the creator's ac_id owns a file; only the owner may write,
+/// anyone whose ACM row reaches the FS may read. (The ACM itself decides
+/// who can talk to the FS at all.)
+class FsServer {
+ public:
+  static constexpr int kFsAcId = 4;
+  static constexpr std::size_t kInlineChunk = 40;  // payload bytes per msg
+
+  explicit FsServer(MinixKernel& kernel);
+
+  Endpoint endpoint() const { return ep_; }
+
+  /// Test/report introspection (the "disk" contents).
+  const std::string* contents(const std::string& path) const;
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  struct File {
+    std::string path;
+    int owner_ac = -1;
+    std::string data;
+  };
+  struct OpenFile {
+    int file_index = -1;
+    Endpoint owner;  // process that opened it; fds are not transferable
+  };
+
+  void main();
+  void reply_status(Endpoint to, int status);
+
+  MinixKernel& kernel_;
+  Endpoint ep_;
+  std::vector<File> files_;
+  std::map<int, OpenFile> open_files_;
+  int next_fd_ = 3;
+};
+
+/// Client-side stubs wrapping the FS message protocol (the "libc" view).
+class FsClient {
+ public:
+  FsClient(MinixKernel& kernel, Endpoint fs) : kernel_(kernel), fs_(fs) {}
+
+  /// Open (optionally create) a file; returns fd >= 0 or -1.
+  int open(const std::string& path, bool create);
+  /// Append data, chunked through 40-byte inline messages.
+  IpcResult write(int fd, const std::string& data);
+  /// Append data in one go through a read grant (MINIX bulk I/O).
+  IpcResult write_bulk(int fd, const std::string& data);
+  /// Read the whole file (chunked).
+  IpcResult read_all(int fd, std::string* out);
+  /// File size via stat.
+  int stat_size(int fd);
+  IpcResult close(int fd);
+
+ private:
+  MinixKernel& kernel_;
+  Endpoint fs_;
+};
+
+}  // namespace mkbas::minix

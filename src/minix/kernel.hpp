@@ -1,0 +1,265 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "minix/acm.hpp"
+#include "minix/message.hpp"
+#include "sim/machine.hpp"
+
+namespace mkbas::minix {
+
+/// Message types of the PM server's protocol. Type 0 is the reserved
+/// acknowledgment, exactly as in the paper's Fig. 3.
+struct PmProtocol {
+  static constexpr int kAck = 0;
+  static constexpr int kFork = 1;
+  static constexpr int kKill = 2;
+  static constexpr int kExit = 3;
+};
+
+/// Message type used for kernel notifications (ipc_notify).
+inline constexpr int kNotifyMType = 32;
+
+/// Result of a fork2() request.
+struct ForkResult {
+  IpcResult status = IpcResult::kOk;
+  Endpoint child;  // valid only when status == kOk
+};
+
+/// The security-enhanced MINIX 3 microkernel personality (§III.A/B).
+///
+/// Reproduces the paper's design:
+///  * fixed 64-byte messages, endpoints = slot|generation held in the PCB;
+///  * rendezvous (blocking) send/receive plus non-blocking send and
+///    notify, all routed through the kernel;
+///  * message-passing primitives exposed to *all* user processes (the
+///    paper's first kernel modification);
+///  * an `ac_id` field in every PCB, assigned at load time by
+///    fork2()/srv_fork2() (the second modification);
+///  * the access control matrix checked by the kernel on every IPC (the
+///    third modification) — user processes cannot alter it at run time;
+///  * a process-management (PM) server running as an ordinary process:
+///    fork/kill/exit are messages to PM, and PM audits kill requests (and,
+///    with quotas enabled, fork requests) against the ACM policy.
+///
+/// All syscall entry points must be called from a simulated process
+/// context; boot-time helpers (srv_fork2) may also be called from the
+/// driver thread before run().
+class MinixKernel {
+ public:
+  static constexpr int kNumSlots = 128;
+  static constexpr int kPmAcId = 1;
+
+  MinixKernel(sim::Machine& machine, AcmPolicy policy);
+
+  /// Tears down all simulated processes before kernel state is released:
+  /// process bodies and exit hooks capture `this`.
+  ~MinixKernel() { machine_.shutdown(); }
+
+  MinixKernel(const MinixKernel&) = delete;
+  MinixKernel& operator=(const MinixKernel&) = delete;
+
+  // ---- Boot-time loading (the paper's scenario-process path) ----
+
+  /// Load a server/process with an explicit ac_id. Returns its endpoint,
+  /// or Endpoint::none() if the process table is full.
+  Endpoint srv_fork2(const std::string& name, int ac_id,
+                     std::function<void()> body,
+                     int priority = sim::Machine::kDefaultPriority);
+
+  // ---- IPC syscalls (process context) ----
+
+  /// Blocking rendezvous send: returns once the message is delivered.
+  IpcResult ipc_send(Endpoint dst, Message& m);
+
+  /// Non-blocking send: delivers only if the destination is already
+  /// waiting to receive from us (MINIX ENOTREADY semantics otherwise).
+  IpcResult ipc_sendnb(Endpoint dst, Message& m);
+
+  /// Blocking receive from `src` (or Endpoint::any()).
+  IpcResult ipc_receive(Endpoint src, Message& out);
+
+  /// Non-blocking receive: returns kNotReady when nothing is pending.
+  /// (Models the select/notify polling pattern MINIX servers use; our web
+  /// interface polls its mailbox between HTTP requests.)
+  IpcResult ipc_nbreceive(Endpoint src, Message& out);
+
+  /// Atomic send-then-receive-reply, the RPC building block.
+  IpcResult ipc_sendrec(Endpoint dst, Message& m);
+
+  /// Post a notification; delivered as a kNotifyMType message when the
+  /// destination next receives. Never blocks.
+  IpcResult ipc_notify(Endpoint dst);
+
+  /// Asynchronous send (MINIX senda): never blocks the sender. Delivered
+  /// immediately if the destination is waiting, otherwise queued in the
+  /// destination's (bounded) async mailbox. System servers use this for
+  /// replies so an untrusted client that never receives cannot block them
+  /// — the asymmetric-trust countermeasure of Herder et al. cited in §III.
+  IpcResult ipc_senda(Endpoint dst, Message& m);
+
+  // ---- Memory grants (§III.A: "message passing, and memory grants") ----
+  //
+  // Bulk data that does not fit the 64-byte message travels through
+  // kernel-checked grants: the owner grants a specific peer read and/or
+  // write access to a specific region, and the peer asks the *kernel* to
+  // copy (safecopy). The kernel validates grantee identity, bounds and
+  // access mode on every copy; grants die with their creator.
+
+  using GrantId = int;
+  struct GrantAccess {
+    bool read = false;
+    bool write = false;
+  };
+
+  /// Create a grant over caller-owned memory for exactly `grantee`.
+  /// Returns a grant id (>= 0), or -1 on bad arguments. The caller must
+  /// keep the buffer alive until the grant is revoked or it exits.
+  GrantId grant_create(Endpoint grantee, std::uint8_t* base, std::size_t len,
+                       GrantAccess access);
+  IpcResult grant_revoke(GrantId id);
+
+  /// Copy out of a peer's granted region into a local buffer.
+  IpcResult safecopy_from(Endpoint granter, GrantId id, std::size_t offset,
+                          std::uint8_t* dst, std::size_t len);
+  /// Copy a local buffer into a peer's granted region.
+  IpcResult safecopy_to(Endpoint granter, GrantId id, std::size_t offset,
+                        const std::uint8_t* src, std::size_t len);
+
+  // ---- PM-mediated POSIX-style calls (process context) ----
+
+  /// fork2(): create a child with the given ac_id, via a message to PM.
+  /// After seal_ac_assignment(), PM forces the child's ac_id to equal the
+  /// caller's — free ac_id choice exists only "during booting period"
+  /// (§III.B); otherwise a compromised process could mint trusted
+  /// identities for its children.
+  ForkResult fork2(const std::string& name, int ac_id,
+                   std::function<void()> body,
+                   int priority = sim::Machine::kDefaultPriority);
+
+  /// End the boot period: from now on fork2 children inherit the caller's
+  /// ac_id regardless of the requested value.
+  void seal_ac_assignment() { ac_sealed_ = true; }
+  bool ac_sealed() const { return ac_sealed_; }
+
+  // ---- Reincarnation server (MINIX's "self-repairing" behaviour) ----
+
+  static constexpr int kRsAcId = 3;
+
+  /// Boot the RS: processes loaded afterwards (srv_fork2/fork2) are
+  /// re-spawned with the same name/ac_id when they die abnormally
+  /// (killed or crashed — voluntary pm_exit is not restarted).
+  void enable_reincarnation(sim::Duration restart_delay = sim::msec(200));
+  bool reincarnation_enabled() const { return reincarnation_enabled_; }
+  int restarts() const { return restarts_; }
+
+  /// kill(): request PM to terminate `target`. PM audits the request
+  /// against the ACM kill policy.
+  IpcResult pm_kill(Endpoint target);
+
+  /// exit(): notify PM and unwind the calling process.
+  [[noreturn]] void pm_exit(int code);
+
+  // ---- Introspection / name service ----
+
+  Endpoint self();
+  Endpoint pm_endpoint() const { return pm_ep_; }
+  Endpoint lookup(const std::string& name) const;
+  /// Lookup that retries until the target registers (or timeout elapses).
+  Endpoint wait_lookup(const std::string& name,
+                       sim::Duration timeout = sim::sec(5));
+  int ac_id_of(Endpoint ep) const;
+  bool is_live(Endpoint ep) const;
+  sim::Machine& machine() { return machine_; }
+  const AcmPolicy& policy() const { return policy_; }
+
+  /// Kernel-internal kill (what PM invokes after auditing; also used by
+  /// tests to model external faults).
+  void kernel_kill(Endpoint target);
+
+ private:
+  struct Pcb {
+    int slot = 0;
+    int generation = 0;
+    bool live = false;
+    std::string name;
+    int ac_id = -1;
+    sim::Process* proc = nullptr;
+
+    enum class Wait { kNone, kSending, kReceiving } wait = Wait::kNone;
+    Endpoint wait_partner = Endpoint::none();
+    Message* user_buf = nullptr;
+    IpcResult ipc_result = IpcResult::kOk;
+    std::deque<int> sender_queue;  // slots blocked sending to us
+    std::set<int> notify_from;     // slots with a pending notification
+    std::deque<Message> async_in;  // queued senda() messages (src stamped)
+    int forks_done = 0;
+
+    struct Grant {
+      Endpoint grantee = Endpoint::none();
+      std::uint8_t* base = nullptr;
+      std::size_t len = 0;
+      GrantAccess access;
+    };
+    std::unordered_map<int, Grant> grants;
+  };
+
+  static constexpr std::size_t kAsyncDepth = 64;
+
+  Endpoint ep_of(const Pcb& p) const {
+    return Endpoint::make(p.slot, p.generation);
+  }
+  Pcb* lookup_pcb(Endpoint ep);
+  const Pcb* lookup_pcb(Endpoint ep) const;
+  Pcb& current_pcb();
+  Endpoint spawn_internal(const std::string& name, int ac_id,
+                          std::function<void()> body, int priority);
+  void on_process_gone(Pcb& pcb);
+  IpcResult do_send(Pcb& src, Endpoint dst_ep, Message& m, bool blocking);
+  IpcResult do_send_async(Pcb& src, Endpoint dst_ep, Message& m);
+  IpcResult do_receive(Pcb& self, Endpoint from, Message& out,
+                       bool blocking = true);
+  void deliver(Pcb& from, Pcb& to, const Message& m);
+  bool would_deadlock(const Pcb& src, const Pcb& first_dst) const;
+  void pm_main();
+  void trace_sec(const Pcb& src, const Pcb& dst, int m_type, bool allowed);
+
+  sim::Machine& machine_;
+  AcmPolicy policy_;
+  std::vector<Pcb> slots_;
+  std::unordered_map<int, int> pid_to_slot_;
+  std::unordered_map<std::string, Endpoint> names_;
+  Endpoint pm_ep_;
+
+  struct PendingFork {
+    std::string name;
+    int ac_id;
+    std::function<void()> body;
+    int priority;
+    int requester_slot;
+  };
+  std::unordered_map<int, PendingFork> pending_forks_;
+  int next_fork_handle_ = 1;
+  int next_grant_id_ = 1;
+  // Fork-quota accounting is per ac_id (not per process): otherwise a
+  // fork bomb's children would each start with a fresh budget.
+  std::unordered_map<int, int> forks_by_ac_;
+  bool ac_sealed_ = false;
+
+  struct RestartTemplate {
+    int ac_id;
+    std::function<void()> body;
+    int priority;
+  };
+  bool reincarnation_enabled_ = false;
+  std::unordered_map<std::string, RestartTemplate> restart_templates_;
+  std::deque<std::string> rs_pending_;
+  int restarts_ = 0;
+};
+
+}  // namespace mkbas::minix

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace mkbas::minix {
+
+/// A MINIX 3 process endpoint: the process slot number concatenated with a
+/// generation number (§III.A of the paper). Endpoints are the unit of IPC
+/// addressing and are stored in the PCB; the generation number makes stale
+/// endpoints to a reused slot detectable.
+class Endpoint {
+ public:
+  static constexpr std::int32_t kSlotBits = 10;
+  static constexpr std::int32_t kSlotMask = (1 << kSlotBits) - 1;
+
+  constexpr Endpoint() : value_(kNone) {}
+  constexpr explicit Endpoint(std::int32_t raw) : value_(raw) {}
+  static constexpr Endpoint make(int slot, int generation) {
+    return Endpoint((generation << kSlotBits) | (slot & kSlotMask));
+  }
+
+  /// Wildcard source for ipc_receive: accept from anyone.
+  static constexpr Endpoint any() { return Endpoint(kAny); }
+  /// Invalid / unset endpoint.
+  static constexpr Endpoint none() { return Endpoint(kNone); }
+
+  constexpr int slot() const { return value_ & kSlotMask; }
+  constexpr int generation() const { return value_ >> kSlotBits; }
+  constexpr std::int32_t raw() const { return value_; }
+  constexpr bool is_any() const { return value_ == kAny; }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(Endpoint a, Endpoint b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Endpoint a, Endpoint b) {
+    return a.value_ != b.value_;
+  }
+
+ private:
+  static constexpr std::int32_t kAny = -2;
+  static constexpr std::int32_t kNone = -1;
+  std::int32_t value_;
+};
+
+/// The fixed-size MINIX 3 message: a 4-byte source endpoint, a 4-byte
+/// message type and a 56-byte payload — 64 bytes total (§III.A).
+///
+/// m_source is always stamped by the kernel on delivery; whatever a sender
+/// writes there is overwritten, which is exactly why identity spoofing
+/// fails on this platform (§IV.D.2).
+struct Message {
+  static constexpr std::size_t kPayloadBytes = 56;
+
+  std::int32_t m_source = Endpoint::none().raw();
+  std::int32_t m_type = 0;
+  std::array<std::uint8_t, kPayloadBytes> payload{};
+
+  Endpoint source() const { return Endpoint(m_source); }
+
+  // -- typed payload accessors (bounds-checked at compile time) --
+
+  template <typename T>
+  void put(std::size_t offset, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) <= kPayloadBytes);
+    if (offset + sizeof(T) > kPayloadBytes) return;
+    std::memcpy(payload.data() + offset, &v, sizeof(T));
+  }
+
+  template <typename T>
+  T get(std::size_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    if (offset + sizeof(T) <= kPayloadBytes) {
+      std::memcpy(&v, payload.data() + offset, sizeof(T));
+    }
+    return v;
+  }
+
+  void put_i32(std::size_t off, std::int32_t v) { put(off, v); }
+  std::int32_t get_i32(std::size_t off) const { return get<std::int32_t>(off); }
+  void put_f64(std::size_t off, double v) { put(off, v); }
+  double get_f64(std::size_t off) const { return get<double>(off); }
+
+  /// Store a short string (truncated to fit, NUL-terminated inside the
+  /// payload region starting at `off`).
+  void put_str(std::size_t off, const std::string& s) {
+    if (off >= kPayloadBytes) return;
+    const std::size_t room = kPayloadBytes - off - 1;
+    const std::size_t n = std::min(room, s.size());
+    std::memcpy(payload.data() + off, s.data(), n);
+    payload[off + n] = 0;
+  }
+  std::string get_str(std::size_t off) const {
+    if (off >= kPayloadBytes) return {};
+    const auto* begin = reinterpret_cast<const char*>(payload.data() + off);
+    const std::size_t room = kPayloadBytes - off;
+    return std::string(begin, strnlen(begin, room));
+  }
+};
+
+static_assert(sizeof(Message) == 64, "MINIX messages are 64 bytes");
+
+/// IPC and PM call results, mirroring the MINIX error vocabulary.
+enum class IpcResult {
+  kOk = 0,
+  kNotAllowed,    // EPERM: denied by the access control matrix
+  kDeadSrcDst,    // EDEADSRCDST: peer does not exist / died while blocked
+  kBadEndpoint,   // invalid or stale (wrong-generation) endpoint
+  kNotReady,      // ENOTREADY: non-blocking send found no waiting receiver
+  kQuotaExceeded, // the ACM's syscall quota for the caller is exhausted
+  kDeadlock,      // ELOCKED: send would close a rendezvous cycle
+};
+
+const char* to_string(IpcResult r);
+
+}  // namespace mkbas::minix

@@ -1,0 +1,95 @@
+#include "minix/vm.hpp"
+
+namespace mkbas::minix {
+
+// Payload layouts:
+//   brk/free: i64 bytes @0            -> i32 status @0
+//   usage:                            -> i32 status @0, i64 bytes @8
+
+VmServer::VmServer(MinixKernel& kernel, std::size_t pool_bytes)
+    : kernel_(kernel), pool_free_(pool_bytes) {
+  ep_ = kernel_.srv_fork2("vm", kVmAcId, [this] { main(); },
+                          /*priority=*/2);
+}
+
+void VmServer::main() {
+  for (;;) {
+    Message req;
+    if (kernel_.ipc_receive(Endpoint::any(), req) != IpcResult::kOk) {
+      continue;
+    }
+    const Endpoint caller = req.source();
+    const int ac = kernel_.ac_id_of(caller);
+    Message reply;
+    reply.m_type = VmProtocol::kAck;
+
+    switch (req.m_type) {
+      case VmProtocol::kBrk: {
+        const auto bytes =
+            static_cast<std::size_t>(req.get<std::int64_t>(0));
+        const auto quota_it = quotas_.find(ac);
+        if (quota_it != quotas_.end() &&
+            usage_[ac] + bytes > quota_it->second) {
+          kernel_.machine().trace().emit(
+              kernel_.machine().now(), -1, sim::TraceKind::kSecurity,
+              "vm.quota_deny",
+              "ac" + std::to_string(ac) + " over quota of " +
+                  std::to_string(quota_it->second));
+          reply.put_i32(0, -1);
+          break;
+        }
+        if (bytes > pool_free_) {
+          reply.put_i32(0, -2);  // physical exhaustion
+          break;
+        }
+        pool_free_ -= bytes;
+        usage_[ac] += bytes;
+        reply.put_i32(0, 0);
+        break;
+      }
+      case VmProtocol::kFree: {
+        const auto bytes =
+            static_cast<std::size_t>(req.get<std::int64_t>(0));
+        const std::size_t freed = std::min(bytes, usage_[ac]);
+        usage_[ac] -= freed;
+        pool_free_ += freed;
+        reply.put_i32(0, 0);
+        break;
+      }
+      case VmProtocol::kUsage: {
+        reply.put_i32(0, 0);
+        reply.put(8, static_cast<std::int64_t>(usage_[ac]));
+        break;
+      }
+      default:
+        reply.put_i32(0, -3);
+        break;
+    }
+    kernel_.ipc_senda(caller, reply);
+  }
+}
+
+bool VmClient::brk_grow(std::size_t bytes) {
+  Message m;
+  m.m_type = VmProtocol::kBrk;
+  m.put(0, static_cast<std::int64_t>(bytes));
+  if (kernel_.ipc_sendrec(vm_, m) != IpcResult::kOk) return false;
+  return m.get_i32(0) == 0;
+}
+
+bool VmClient::brk_free(std::size_t bytes) {
+  Message m;
+  m.m_type = VmProtocol::kFree;
+  m.put(0, static_cast<std::int64_t>(bytes));
+  if (kernel_.ipc_sendrec(vm_, m) != IpcResult::kOk) return false;
+  return m.get_i32(0) == 0;
+}
+
+std::size_t VmClient::usage() {
+  Message m;
+  m.m_type = VmProtocol::kUsage;
+  if (kernel_.ipc_sendrec(vm_, m) != IpcResult::kOk) return 0;
+  return static_cast<std::size_t>(m.get<std::int64_t>(8));
+}
+
+}  // namespace mkbas::minix

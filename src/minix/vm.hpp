@@ -1,0 +1,68 @@
+#pragma once
+
+#include <map>
+
+#include "minix/kernel.hpp"
+
+namespace mkbas::minix {
+
+/// Message types of the VM server protocol.
+struct VmProtocol {
+  static constexpr int kAck = 0;
+  static constexpr int kBrk = 1;    // grow the caller's allocation
+  static constexpr int kFree = 2;   // shrink it
+  static constexpr int kUsage = 3;  // query own usage
+};
+
+/// The MINIX virtual-memory server as a user-mode process (§III.A:
+/// "process management and virtual memory are implemented as modules
+/// running in user space"). Manages a fixed physical pool and enforces
+/// the per-ac_id memory quotas from the ACM policy — the generalisation
+/// of the paper's "use the ACM to give each system call a quota"
+/// (§IV.D.2) from fork to memory.
+class VmServer {
+ public:
+  static constexpr int kVmAcId = 5;
+  static constexpr std::size_t kDefaultPoolBytes = 16 << 20;  // 16 MiB
+
+  VmServer(MinixKernel& kernel, std::size_t pool_bytes = kDefaultPoolBytes);
+
+  Endpoint endpoint() const { return ep_; }
+
+  /// Per-ac_id quota; unset = bounded only by the physical pool.
+  void set_quota(int ac_id, std::size_t bytes) { quotas_[ac_id] = bytes; }
+
+  std::size_t pool_free() const { return pool_free_; }
+  std::size_t usage_of_ac(int ac_id) const {
+    const auto it = usage_.find(ac_id);
+    return it == usage_.end() ? 0 : it->second;
+  }
+
+ private:
+  void main();
+
+  MinixKernel& kernel_;
+  Endpoint ep_;
+  std::size_t pool_free_;
+  std::map<int, std::size_t> usage_;   // by ac_id (bombs share their ac)
+  std::map<int, std::size_t> quotas_;  // by ac_id
+};
+
+/// Client stubs.
+class VmClient {
+ public:
+  VmClient(MinixKernel& kernel, Endpoint vm) : kernel_(kernel), vm_(vm) {}
+
+  /// Request `bytes` more memory; true on success.
+  bool brk_grow(std::size_t bytes);
+  /// Release `bytes`.
+  bool brk_free(std::size_t bytes);
+  /// This ac_id's current allocation as the VM server sees it.
+  std::size_t usage();
+
+ private:
+  MinixKernel& kernel_;
+  Endpoint vm_;
+};
+
+}  // namespace mkbas::minix

@@ -1,0 +1,184 @@
+#include "net/bacnet.hpp"
+
+namespace mkbas::net {
+
+const char* to_string(BacnetMsg::Service s) {
+  switch (s) {
+    case BacnetMsg::Service::kWhoIs:
+      return "WhoIs";
+    case BacnetMsg::Service::kIAm:
+      return "IAm";
+    case BacnetMsg::Service::kReadProperty:
+      return "ReadProperty";
+    case BacnetMsg::Service::kReadPropertyAck:
+      return "ReadPropertyAck";
+    case BacnetMsg::Service::kWriteProperty:
+      return "WriteProperty";
+    case BacnetMsg::Service::kSimpleAck:
+      return "SimpleAck";
+    case BacnetMsg::Service::kError:
+      return "Error";
+  }
+  return "?";
+}
+
+BacnetMsg BacnetDevice::apply_write(const BacnetMsg& in) {
+  props_[in.property] = in.value;
+  ++writes_accepted_;
+  notify_cov(in.property, in.value);
+  if (write_hook_) write_hook_(in.property, in.value);
+  BacnetMsg ack;
+  ack.service = BacnetMsg::Service::kSimpleAck;
+  ack.src_device = id_;
+  ack.dst_device = in.src_device;
+  ack.invoke_id = in.invoke_id;
+  return ack;
+}
+
+BacnetMsg BacnetDevice::handle(const BacnetMsg& in) {
+  BacnetMsg reply;
+  reply.src_device = id_;
+  reply.dst_device = in.src_device;
+  reply.invoke_id = in.invoke_id;
+  switch (in.service) {
+    case BacnetMsg::Service::kWhoIs:
+      reply.service = BacnetMsg::Service::kIAm;
+      return reply;
+    case BacnetMsg::Service::kReadProperty:
+      if (props_.count(in.property) == 0) {
+        reply.service = BacnetMsg::Service::kError;
+        return reply;
+      }
+      reply.service = BacnetMsg::Service::kReadPropertyAck;
+      reply.property = in.property;
+      reply.value = props_.at(in.property);
+      return reply;
+    case BacnetMsg::Service::kWriteProperty:
+      // No authentication at all: any write from anyone is applied.
+      return apply_write(in);
+    case BacnetMsg::Service::kSubscribeCov:
+      return handle_subscribe(in);
+    case BacnetMsg::Service::kCovNotification:
+      // Acting as a console: record the pushed value.
+      cov_inbox_.push_back(in);
+      reply.service = BacnetMsg::Service::kSimpleAck;
+      return reply;
+    default:
+      reply.service = BacnetMsg::Service::kError;
+      return reply;
+  }
+}
+
+BacnetMsg BacnetDevice::handle_subscribe(const BacnetMsg& in) {
+  BacnetMsg reply;
+  reply.src_device = id_;
+  reply.dst_device = in.src_device;
+  reply.invoke_id = in.invoke_id;
+  // Bounded subscription table: a subscription flood cannot grow state
+  // without limit (one small robustness nicety BACnet itself lacks).
+  if (subscriptions_.size() >= kMaxSubscriptions ||
+      props_.count(in.property) == 0) {
+    reply.service = BacnetMsg::Service::kError;
+    return reply;
+  }
+  // NOTE: like WriteProperty, subscription is unauthenticated — an
+  // attacker can subscribe to telemetry it should not see.
+  subscriptions_.push_back(Subscription{in.src_device, in.property});
+  reply.service = BacnetMsg::Service::kSimpleAck;
+  return reply;
+}
+
+void BacnetDevice::notify_cov(const std::string& property, double value) {
+  if (!notifier_) return;
+  for (const auto& sub : subscriptions_) {
+    if (sub.property != property) continue;
+    BacnetMsg msg;
+    msg.service = BacnetMsg::Service::kCovNotification;
+    msg.src_device = id_;
+    msg.dst_device = sub.subscriber;
+    msg.property = property;
+    msg.value = value;
+    notifier_(msg);
+  }
+}
+
+// ---- SecureProxy ----
+
+std::uint64_t SecureProxy::mac(const BacnetMsg& msg, std::uint64_t key) {
+  // FNV-1a over the authenticated fields, mixed with the key. NOT
+  // cryptographic; a stand-in exercising the protocol-level properties.
+  std::uint64_t h = 1469598103934665603ULL ^ key;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(msg.service));
+  mix(msg.dst_device);
+  mix(msg.sequence);
+  mix(static_cast<std::uint64_t>(msg.value * 1e6));
+  for (char c : msg.property) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+BacnetMsg SecureProxy::seal(BacnetMsg msg, std::uint64_t key,
+                            std::uint64_t sequence) {
+  msg.sequence = sequence;
+  msg.auth_tag = mac(msg, key);
+  return msg;
+}
+
+BacnetMsg SecureProxy::handle(const BacnetMsg& in) {
+  if (in.service != BacnetMsg::Service::kWriteProperty) {
+    return legacy_.handle(in);  // reads and discovery pass through
+  }
+  BacnetMsg err;
+  err.service = BacnetMsg::Service::kError;
+  err.src_device = id_;
+  err.dst_device = in.src_device;
+  err.invoke_id = in.invoke_id;
+  if (in.auth_tag != mac(in, key_)) {
+    ++rejected_bad_tag_;
+    return err;
+  }
+  if (in.sequence <= last_sequence_) {
+    ++rejected_replay_;  // replayed or stale datagram
+    return err;
+  }
+  last_sequence_ = in.sequence;
+  return legacy_.handle(in);
+}
+
+// ---- BacnetNetwork ----
+
+void BacnetNetwork::send(BacnetMsg msg) {
+  sent_log_.push_back(msg);
+  const auto dev_it = devices_.find(msg.dst_device);
+  if (dev_it == devices_.end()) return;
+  // Bounded inbox: a flood makes the device drop datagrams (DoS).
+  std::size_t& depth = inflight_[msg.dst_device];
+  if (depth >= kInboxDepth) {
+    ++dropped_;
+    machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kNetwork,
+                          "bacnet.drop",
+                          "inbox overflow at device " +
+                              std::to_string(msg.dst_device));
+    return;
+  }
+  ++depth;
+  BacnetDevice* dev = dev_it->second;
+  machine_.at(machine_.now() + latency_, [this, dev, msg] {
+    --inflight_[msg.dst_device];
+    machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kNetwork,
+                          "bacnet.deliver",
+                          std::string(to_string(msg.service)) + " -> " +
+                              dev->name());
+    replies_.push_back(dev->handle(msg));
+  });
+}
+
+}  // namespace mkbas::net

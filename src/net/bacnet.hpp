@@ -1,0 +1,183 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace mkbas::net {
+
+/// A BACnet-like SCADA datagram. Faithful to the properties §I criticises:
+/// there is no authentication whatsoever — the source device id is a plain
+/// field any sender can forge, and messages can be captured and replayed.
+struct BacnetMsg {
+  enum class Service {
+    kWhoIs,
+    kIAm,
+    kReadProperty,
+    kReadPropertyAck,
+    kWriteProperty,
+    kSimpleAck,
+    kError,
+    kSubscribeCov,     // change-of-value subscription
+    kCovNotification,  // pushed when a subscribed property changes
+  };
+
+  Service service = Service::kWhoIs;
+  std::uint32_t src_device = 0;  // claimed, NOT verified by the network
+  std::uint32_t dst_device = 0;
+  std::string property;
+  double value = 0.0;
+  std::uint32_t invoke_id = 0;
+
+  // Secure-proxy extension fields (ignored by plain devices):
+  std::uint64_t auth_tag = 0;
+  std::uint64_t sequence = 0;
+};
+
+const char* to_string(BacnetMsg::Service s);
+
+/// A BACnet device: a property map plus service handling. Write hooks let
+/// the BAS wire property writes to real effects (e.g. setpoint changes).
+class BacnetDevice {
+ public:
+  static constexpr std::size_t kMaxSubscriptions = 8;
+
+  BacnetDevice(std::uint32_t id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+  virtual ~BacnetDevice() = default;
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  void set_property(const std::string& key, double v) {
+    props_[key] = v;
+    notify_cov(key, v);
+  }
+  double property(const std::string& key) const {
+    const auto it = props_.find(key);
+    return it == props_.end() ? 0.0 : it->second;
+  }
+  bool has_property(const std::string& key) const {
+    return props_.count(key) != 0;
+  }
+
+  void on_write(std::function<void(const std::string&, double)> hook) {
+    write_hook_ = std::move(hook);
+  }
+
+  /// Handle an incoming message; returns the reply (kError service if the
+  /// request was rejected). Plain devices accept any well-formed write —
+  /// the documented BACnet weakness.
+  virtual BacnetMsg handle(const BacnetMsg& in);
+
+  std::size_t writes_accepted() const { return writes_accepted_; }
+  std::size_t subscription_count() const { return subscriptions_.size(); }
+
+  /// COV notifications this device received (when used as a console).
+  const std::vector<BacnetMsg>& cov_inbox() const { return cov_inbox_; }
+
+  /// Set by BacnetNetwork::attach: how the device pushes unsolicited
+  /// datagrams (COV notifications) onto the wire.
+  void set_notifier(std::function<void(BacnetMsg)> notifier) {
+    notifier_ = std::move(notifier);
+  }
+
+ protected:
+  BacnetMsg apply_write(const BacnetMsg& in);
+  BacnetMsg handle_subscribe(const BacnetMsg& in);
+  void notify_cov(const std::string& property, double value);
+
+  struct Subscription {
+    std::uint32_t subscriber;
+    std::string property;
+  };
+
+  std::uint32_t id_;
+  std::string name_;
+  std::map<std::string, double> props_;
+  std::function<void(const std::string&, double)> write_hook_;
+  std::function<void(BacnetMsg)> notifier_;
+  std::vector<Subscription> subscriptions_;
+  std::vector<BacnetMsg> cov_inbox_;
+  std::size_t writes_accepted_ = 0;
+};
+
+/// The secure proxy of Fig. 1: wraps a legacy device and only forwards
+/// writes that carry a valid MAC over (key, sequence, content) with a
+/// strictly increasing sequence number (replay window). Reads pass
+/// through: the protected asset is actuation, not observation.
+class SecureProxy : public BacnetDevice {
+ public:
+  SecureProxy(BacnetDevice& legacy, std::uint64_t shared_key)
+      : BacnetDevice(legacy.id(), legacy.name() + "+proxy"),
+        legacy_(legacy),
+        key_(shared_key) {}
+
+  BacnetMsg handle(const BacnetMsg& in) override;
+
+  /// Client-side helper: authenticate a message with the shared key and
+  /// the next sequence number.
+  static BacnetMsg seal(BacnetMsg msg, std::uint64_t key,
+                        std::uint64_t sequence);
+
+  /// Deterministic non-cryptographic MAC (FNV-mix); stands in for an HMAC
+  /// in this simulation — the *protocol* properties (must know the key,
+  /// can't replay) are what the experiment exercises.
+  static std::uint64_t mac(const BacnetMsg& msg, std::uint64_t key);
+
+  std::size_t rejected_bad_tag() const { return rejected_bad_tag_; }
+  std::size_t rejected_replay() const { return rejected_replay_; }
+
+ private:
+  BacnetDevice& legacy_;
+  std::uint64_t key_;
+  std::uint64_t last_sequence_ = 0;
+  std::size_t rejected_bad_tag_ = 0;
+  std::size_t rejected_replay_ = 0;
+};
+
+/// The SCADA segment: delivers datagrams between registered devices with
+/// a fixed latency, and models DoS by bounding each device's inbox.
+class BacnetNetwork {
+ public:
+  static constexpr std::size_t kInboxDepth = 32;
+
+  BacnetNetwork(sim::Machine& machine, sim::Duration latency = sim::msec(5))
+      : machine_(machine), latency_(latency) {}
+
+  void attach(BacnetDevice& dev) {
+    devices_[dev.id()] = &dev;
+    dev.set_notifier([this](BacnetMsg msg) { send(std::move(msg)); });
+  }
+
+  /// Send a datagram "from the wire": delivered (and handled) after the
+  /// network latency. The reply, if any, is recorded in `replies()`.
+  /// Anyone on the segment can call this — that is the point.
+  void send(BacnetMsg msg);
+
+  /// All replies devices have produced, in delivery order (the attacker's
+  /// packet capture for replay attacks is `sent_log()`).
+  const std::vector<BacnetMsg>& replies() const { return replies_; }
+  const std::vector<BacnetMsg>& sent_log() const { return sent_log_; }
+  std::size_t dropped_count() const { return dropped_; }
+  std::size_t inbox_depth(std::uint32_t device) const {
+    const auto it = inflight_.find(device);
+    return it == inflight_.end() ? 0 : it->second;
+  }
+
+ private:
+  sim::Machine& machine_;
+  sim::Duration latency_;
+  std::map<std::uint32_t, BacnetDevice*> devices_;
+  std::map<std::uint32_t, std::size_t> inflight_;
+  std::vector<BacnetMsg> replies_;
+  std::vector<BacnetMsg> sent_log_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace mkbas::net

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace mkbas::net {
+
+/// A minimal HTTP request, the unit of traffic the web-interface process
+/// serves on port 8080 (GET and POST, as in §IV.A).
+struct HttpRequest {
+  std::string method;  // "GET" | "POST"
+  std::string path;    // "/status", "/setpoint"
+  std::string body;    // form-encoded, e.g. "value=23.5"
+};
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// One completed request/response pair, kept for assertions and reports.
+struct HttpExchange {
+  sim::Time submitted = 0;
+  sim::Time answered = -1;  // -1 = no response (server dead / overloaded)
+  HttpRequest request;
+  HttpResponse response;
+};
+
+/// The simulated TCP listener on port 8080: the boundary between the
+/// outside world (tests, operators, attackers-before-compromise) and the
+/// web-interface process. The harness enqueues requests from driver
+/// context; the web process polls and responds from process context.
+class HttpConsole {
+ public:
+  static constexpr std::size_t kBacklog = 16;  // listen backlog
+
+  /// Submit a request (driver/machine context). Returns the exchange id,
+  /// or -1 when the backlog is full (connection refused under load).
+  int submit(sim::Time now, HttpRequest req) {
+    if (pending_.size() >= kBacklog) {
+      ++refused_;
+      return -1;
+    }
+    const int id = static_cast<int>(exchanges_.size());
+    exchanges_.push_back(HttpExchange{now, -1, std::move(req), {}});
+    pending_.push_back(id);
+    return id;
+  }
+
+  /// Server side: take the next pending request, if any.
+  std::optional<int> poll() {
+    if (pending_.empty()) return std::nullopt;
+    const int id = pending_.front();
+    pending_.pop_front();
+    return id;
+  }
+
+  const HttpRequest& request(int id) const {
+    return exchanges_[static_cast<std::size_t>(id)].request;
+  }
+
+  /// Server side: answer a previously polled request.
+  void respond(int id, sim::Time now, HttpResponse resp) {
+    auto& ex = exchanges_[static_cast<std::size_t>(id)];
+    ex.answered = now;
+    ex.response = std::move(resp);
+  }
+
+  const std::vector<HttpExchange>& exchanges() const { return exchanges_; }
+  const HttpExchange& exchange(int id) const {
+    return exchanges_[static_cast<std::size_t>(id)];
+  }
+  std::size_t refused_count() const { return refused_; }
+  std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  std::deque<int> pending_;
+  std::vector<HttpExchange> exchanges_;
+  std::size_t refused_ = 0;
+};
+
+}  // namespace mkbas::net

@@ -1,0 +1,48 @@
+#include "physics/pressure.hpp"
+
+#include <algorithm>
+
+namespace mkbas::physics {
+
+void ContainmentModel::step(sim::Duration dt, double fan_speed,
+                            bool inner_door_open, bool outer_door_open) {
+  if (dt <= 0) return;
+  fan_speed = std::clamp(fan_speed, 0.0, 1.0);
+  double remaining = sim::to_seconds(dt);
+  const double max_h = 0.2;  // stability for the stiff door-open case
+  while (remaining > 0.0) {
+    const double h = std::min(remaining, max_h);
+
+    const double exhaust = params_.exhaust_max_flow * fan_speed;
+    // Lab <-> anteroom coupling through the inner door.
+    const double inner_coeff =
+        inner_door_open ? params_.door_coeff : params_.leak_coeff;
+    const double q_inner = inner_coeff * (ante_pa_ - lab_pa_);
+    // Anteroom <-> corridor (pressure 0) through the outer door.
+    const double outer_coeff =
+        outer_door_open ? params_.door_coeff : params_.leak_coeff;
+    const double q_outer = outer_coeff * (0.0 - ante_pa_);
+    // Lab <-> corridor direct envelope leakage.
+    const double q_lab_leak = params_.leak_coeff * (0.0 - lab_pa_);
+
+    const double d_lab = params_.supply_flow - exhaust + q_inner +
+                         q_lab_leak + fault_inflow_;
+    const double d_ante = q_outer - q_inner;
+
+    lab_pa_ += h * d_lab * params_.lab_capacitance / 60.0;
+    ante_pa_ += h * d_ante * params_.ante_capacitance / 60.0;
+    remaining -= h;
+  }
+}
+
+double ContainmentModel::steady_state_lab_pa(double fan_speed) const {
+  // Doors closed: 0 = supply - exhaust + k*(ante-lab) + k*(0-lab),
+  //               0 = k*(0-ante) - k*(ante-lab)  =>  ante = lab/2.
+  const double exhaust =
+      params_.exhaust_max_flow * std::clamp(fan_speed, 0.0, 1.0);
+  const double net = params_.supply_flow - exhaust + fault_inflow_;
+  // net + k*(lab/2 - lab) - k*lab = 0  =>  lab = net / (1.5 k)
+  return net / (1.5 * params_.leak_coeff);
+}
+
+}  // namespace mkbas::physics

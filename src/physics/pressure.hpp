@@ -1,0 +1,61 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace mkbas::physics {
+
+/// Negative-pressure containment model for a BSL-3 suite: a lab room and
+/// its anteroom, both held below corridor pressure by an exhaust fan so
+/// air always flows *into* the containment zone (the core engineering
+/// control of a biosafety lab).
+///
+/// Per-room balance (pressures relative to the corridor, in Pa):
+///
+///   C * dP/dt = Q_supply - Q_exhaust + Q_leak + Q_door
+///
+/// with leakage Q_leak = -k_leak * P (air pushes in through cracks while
+/// the room is negative) and door flow a much larger version of the same
+/// when a door stands open. The exhaust fan serves the lab; the anteroom
+/// couples to the lab through the inner door and to the corridor through
+/// the outer door.
+class ContainmentModel {
+ public:
+  struct Params {
+    double lab_capacitance = 60.0;        // Pa units per (m^3/s) balance
+    double ante_capacitance = 30.0;
+    double leak_coeff = 0.02;             // (m^3/s) per Pa
+    double door_coeff = 0.8;              // open door: 40x the leakage
+    double supply_flow = 0.5;             // m^3/s constant supply to lab
+    double exhaust_max_flow = 1.4;        // m^3/s at fan speed 1.0
+    double initial_lab_pa = 0.0;
+    double initial_ante_pa = 0.0;
+  };
+
+  ContainmentModel() : ContainmentModel(Params{}) {}
+  explicit ContainmentModel(Params p)
+      : params_(p), lab_pa_(p.initial_lab_pa), ante_pa_(p.initial_ante_pa) {}
+
+  /// Advance by `dt` given the exhaust fan speed [0,1] and door states.
+  void step(sim::Duration dt, double fan_speed, bool inner_door_open,
+            bool outer_door_open);
+
+  double lab_pressure_pa() const { return lab_pa_; }
+  double anteroom_pressure_pa() const { return ante_pa_; }
+
+  /// Extra in-leakage (e.g. a filter breach or damper failure), m^3/s.
+  void set_fault_inflow(double flow) { fault_inflow_ = flow; }
+  double fault_inflow() const { return fault_inflow_; }
+
+  /// Steady-state lab pressure for a constant fan speed, doors closed.
+  double steady_state_lab_pa(double fan_speed) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  double lab_pa_;
+  double ante_pa_;
+  double fault_inflow_ = 0.0;
+};
+
+}  // namespace mkbas::physics

@@ -1,0 +1,37 @@
+#include "physics/room.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mkbas::physics {
+
+void RoomModel::step(sim::Duration dt, double heater_w, sim::Time now) {
+  if (dt <= 0) return;
+  double remaining = sim::to_seconds(dt);
+  // Stability bound for forward Euler: h < 2*C/k. Stay well inside it.
+  const double max_h =
+      std::max(0.01, 0.1 * params_.capacitance_j_per_k / params_.loss_w_per_k);
+  while (remaining > 0.0) {
+    const double h = std::min(remaining, max_h);
+    const double t_out = outdoor_temp_c(now);
+    const double dq = -params_.loss_w_per_k * (temp_c_ - t_out) + heater_w +
+                      disturbance_w_;
+    temp_c_ += h * dq / params_.capacitance_j_per_k;
+    remaining -= h;
+  }
+}
+
+RoomModel::OutdoorProfile constant_outdoor(double temp_c) {
+  return [temp_c](sim::Time) { return temp_c; };
+}
+
+RoomModel::OutdoorProfile diurnal_outdoor(double mean_c, double swing_c) {
+  return [mean_c, swing_c](sim::Time t) {
+    constexpr double kDay = 24.0 * 3600.0;
+    const double phase = 2.0 * 3.14159265358979323846 *
+                         std::fmod(sim::to_seconds(t), kDay) / kDay;
+    return mean_c + swing_c * std::sin(phase);
+  };
+}
+
+}  // namespace mkbas::physics

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace mkbas::physics {
+
+/// First-order lumped thermal model of a single room.
+///
+///   C * dT/dt = -k * (T - T_out(t)) + q_heater + q_disturbance
+///
+/// where C is the thermal capacitance [J/K], k the envelope loss
+/// coefficient [W/K], q_heater the actuator's heat input [W] and
+/// q_disturbance any injected load (occupants, a manually heated testbed,
+/// an opened window modelled as negative watts).
+///
+/// The paper's testbed manually heated a BMP180 sensor next to a fan; this
+/// model is the standard simulation equivalent: it exposes the same
+/// cause-and-effect the attacks must influence (actuator state changes the
+/// measured temperature over time).
+class RoomModel {
+ public:
+  struct Params {
+    double capacitance_j_per_k = 2.0e5;  // ~ a small, well-sealed room
+    double loss_w_per_k = 80.0;
+    double initial_temp_c = 18.0;
+  };
+
+  /// Returns the outdoor temperature [C] at a simulated time.
+  using OutdoorProfile = std::function<double(sim::Time)>;
+
+  RoomModel() : RoomModel(Params{}) {}
+  explicit RoomModel(Params params)
+      : params_(params), temp_c_(params.initial_temp_c) {}
+
+  /// Advance the model by `dt` of simulated time with the given heat
+  /// inputs. Uses forward Euler with internal sub-steps small enough to be
+  /// stable for any plausible dt.
+  void step(sim::Duration dt, double heater_w, sim::Time now);
+
+  double temperature_c() const { return temp_c_; }
+  void set_temperature_c(double t) { temp_c_ = t; }
+
+  /// Persistent extra thermal load [W]; positive heats, negative cools.
+  void set_disturbance_w(double w) { disturbance_w_ = w; }
+  double disturbance_w() const { return disturbance_w_; }
+
+  void set_outdoor_profile(OutdoorProfile p) { outdoor_ = std::move(p); }
+  double outdoor_temp_c(sim::Time now) const {
+    return outdoor_ ? outdoor_(now) : 10.0;
+  }
+
+  /// Steady-state temperature for a constant heater input (useful for
+  /// tests: where the plant settles if nothing changes).
+  double steady_state_c(double heater_w, sim::Time now) const {
+    return outdoor_temp_c(now) +
+           (heater_w + disturbance_w_) / params_.loss_w_per_k;
+  }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  double temp_c_;
+  double disturbance_w_ = 0.0;
+  OutdoorProfile outdoor_;
+};
+
+/// Constant outdoor temperature profile.
+RoomModel::OutdoorProfile constant_outdoor(double temp_c);
+
+/// Sinusoidal diurnal profile: mean +/- swing over a 24h simulated period.
+RoomModel::OutdoorProfile diurnal_outdoor(double mean_c, double swing_c);
+
+}  // namespace mkbas::physics

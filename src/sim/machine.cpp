@@ -1,0 +1,427 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mkbas::sim {
+
+namespace {
+// Per-thread execution context. A thread belongs to at most one Machine:
+// either it is a simulated process thread (t_proc set, machine lock held
+// while the body runs) or the driver thread inside run()/~Machine()
+// (t_in_machine set while the lock is held).
+thread_local Process* t_proc = nullptr;
+thread_local std::unique_lock<std::mutex>* t_thread_lock = nullptr;
+thread_local bool t_in_machine = false;
+}  // namespace
+
+const char* to_string(ProcState s) {
+  switch (s) {
+    case ProcState::kReady:
+      return "ready";
+    case ProcState::kRunning:
+      return "running";
+    case ProcState::kBlocked:
+      return "blocked";
+    case ProcState::kZombie:
+      return "zombie";
+  }
+  return "?";
+}
+
+Machine::Machine(std::uint64_t seed) : rng_(seed) {}
+
+Machine::~Machine() { shutdown(); }
+
+void Machine::shutdown() {
+  {
+    Lock lk(mu_);
+    if (shutdown_done_) return;
+    t_in_machine = true;
+    shutting_down_ = true;
+    for (auto& up : procs_) {
+      if (up->state_ != ProcState::kZombie) kill(up.get());
+    }
+    // Give every killed process the baton so it can observe the kill and
+    // unwind. Loop because exit hooks may ready further processes.
+    for (;;) {
+      schedule_locked();
+      if (running_ == nullptr && !any_ready_locked()) break;
+      idle_cv_.wait(lk, [&] {
+        return running_ == nullptr && !any_ready_locked();
+      });
+    }
+    t_in_machine = false;
+    shutdown_done_ = true;
+  }
+  for (auto& up : procs_) {
+    if (up->thread_.joinable()) up->thread_.join();
+  }
+}
+
+// ---- Spawning and the process lifecycle ----
+
+Process* Machine::spawn(std::string name, std::function<void()> body,
+                        int priority) {
+  if (t_in_machine) return spawn_locked(std::move(name), std::move(body), priority);
+  Lock lk(mu_);
+  t_in_machine = true;
+  Process* p = spawn_locked(std::move(name), std::move(body), priority);
+  t_in_machine = false;
+  return p;
+}
+
+Process* Machine::spawn_locked(std::string name, std::function<void()> body,
+                               int priority) {
+  if (shutting_down_) return nullptr;
+  if (live_count_ >= kMaxProcs) {
+    trace_.emit(now_, -1, TraceKind::kProcess, "proc.table_full",
+                "spawn of '" + name + "' rejected");
+    return nullptr;
+  }
+  priority = std::clamp(priority, 0, kNumPriorities - 1);
+  auto owned = std::unique_ptr<Process>(
+      new Process(next_pid_++, std::move(name), priority));
+  Process* p = owned.get();
+  procs_.push_back(std::move(owned));
+  ++live_count_;
+  ready_[priority].push_back(p);
+  trace_.emit(now_, p->pid_, TraceKind::kProcess, "proc.spawn", p->name_);
+  p->thread_ = std::thread(
+      [this, p, b = std::move(body)]() mutable { thread_main(p, std::move(b)); });
+  return p;
+}
+
+void Machine::thread_main(Process* p, std::function<void()> body) {
+  Lock lk(mu_);
+  t_proc = p;
+  t_thread_lock = &lk;
+  t_in_machine = true;
+  bool crashed = false;
+  std::string reason;
+  try {
+    wait_for_baton(lk, p);  // throws KilledError if killed before first run
+    body();
+  } catch (const KilledError&) {
+    // Normal kill path: nothing to record beyond the retirement event.
+  } catch (const ProcessExit&) {
+    // Voluntary exit via a personality's exit() syscall.
+  } catch (const std::exception& e) {
+    crashed = true;
+    reason = e.what();
+  } catch (...) {
+    crashed = true;
+    reason = "unknown exception";
+  }
+  retire_locked(p, crashed, std::move(reason));
+  t_proc = nullptr;
+  t_thread_lock = nullptr;
+  t_in_machine = false;
+}
+
+void Machine::retire_locked(Process* p, bool crashed, std::string reason) {
+  // Publish the death cause before exit hooks run: kernel personalities
+  // distinguish crashes/kills from voluntary exits in their cleanup.
+  p->crashed_ = crashed;
+  p->crash_reason_ = std::move(reason);
+  for (auto& hook : p->exit_hooks_) hook(*p);
+  p->exit_hooks_.clear();
+  p->state_ = ProcState::kZombie;
+  --live_count_;
+  if (crashed) {
+    trace_.emit(now_, p->pid_, TraceKind::kProcess, "proc.crash",
+                p->name_ + ": " + p->crash_reason_);
+  } else if (p->killed_) {
+    trace_.emit(now_, p->pid_, TraceKind::kProcess, "proc.killed", p->name_);
+  } else {
+    trace_.emit(now_, p->pid_, TraceKind::kProcess, "proc.exit", p->name_);
+  }
+  if (running_ == p) running_ = nullptr;
+  schedule_locked();
+}
+
+// ---- Scheduling ----
+
+bool Machine::any_ready_locked() const {
+  for (const auto& q : ready_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+void Machine::schedule_locked() {
+  if (running_ != nullptr) return;  // baton already assigned
+  for (auto& q : ready_) {
+    if (q.empty()) continue;
+    Process* p = q.front();
+    q.pop_front();
+    p->state_ = ProcState::kRunning;
+    running_ = p;
+    if (p != last_scheduled_) ++context_switches_;
+    last_scheduled_ = p;
+    p->cv_.notify_all();
+    return;
+  }
+  idle_cv_.notify_all();
+}
+
+void Machine::wait_for_baton(Lock& lk, Process* p) {
+  p->cv_.wait(lk, [&] { return p->state_ == ProcState::kRunning; });
+  if (p->killed_) throw KilledError{};
+}
+
+Process* Machine::current() { return t_proc; }
+
+void Machine::enter_kernel() {
+  Process* p = t_proc;
+  assert(p != nullptr && "enter_kernel outside process context");
+  ++kernel_entries_;
+  if (p->killed_) throw KilledError{};
+  charge(syscall_cost_);
+}
+
+void Machine::block_current(const char* reason) {
+  Process* p = t_proc;
+  assert(p != nullptr && "block_current outside process context");
+  p->state_ = ProcState::kBlocked;
+  p->block_reason_ = reason;
+  ++p->wake_seq_;
+  running_ = nullptr;
+  schedule_locked();
+  wait_for_baton(*t_thread_lock, p);
+}
+
+void Machine::make_ready(Process* p) {
+  if (p == nullptr || p->state_ != ProcState::kBlocked) return;
+  if (p->suspended_) {
+    p->pending_wake_ = true;  // delivered on resume()
+    return;
+  }
+  p->state_ = ProcState::kReady;
+  ready_[p->priority_].push_back(p);
+  schedule_locked();
+}
+
+void Machine::suspend(Process* p) {
+  if (p == nullptr || p->state_ == ProcState::kZombie || p->suspended_) {
+    return;
+  }
+  assert(p->state_ != ProcState::kRunning &&
+         "cannot suspend the running process");
+  p->suspended_ = true;
+  if (p->state_ == ProcState::kReady) {
+    auto& q = ready_[p->priority_];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (*it == p) {
+        q.erase(it);
+        break;
+      }
+    }
+    p->state_ = ProcState::kBlocked;
+    p->block_reason_ = "suspended";
+    p->pending_wake_ = true;  // it was runnable; resume must requeue it
+  }
+}
+
+void Machine::resume(Process* p) {
+  if (p == nullptr || !p->suspended_) return;
+  p->suspended_ = false;
+  if (p->pending_wake_) {
+    p->pending_wake_ = false;
+    make_ready(p);
+  }
+}
+
+void Machine::kill(Process* p) {
+  if (p == nullptr || p->state_ == ProcState::kZombie) return;
+  if (t_in_machine) {
+    p->killed_ = true;
+    p->suspended_ = false;  // kill overrides suspension
+    if (p->state_ == ProcState::kBlocked) make_ready(p);
+    return;
+  }
+  Lock lk(mu_);
+  t_in_machine = true;
+  p->killed_ = true;
+  p->suspended_ = false;  // kill overrides suspension
+  if (p->state_ == ProcState::kBlocked) make_ready(p);
+  t_in_machine = false;
+}
+
+void Machine::yield() {
+  Process* p = t_proc;
+  assert(p != nullptr && "yield outside process context");
+  p->state_ = ProcState::kReady;
+  ready_[p->priority_].push_back(p);
+  running_ = nullptr;
+  schedule_locked();
+  wait_for_baton(*t_thread_lock, p);
+}
+
+void Machine::maybe_preempt_locked() {
+  Process* p = running_;
+  if (p == nullptr || p != t_proc) return;
+  for (int pr = 0; pr < p->priority_; ++pr) {
+    if (ready_[pr].empty()) continue;
+    p->state_ = ProcState::kReady;
+    ready_[p->priority_].push_back(p);
+    running_ = nullptr;
+    schedule_locked();
+    wait_for_baton(*t_thread_lock, p);
+    return;
+  }
+}
+
+// ---- Virtual time ----
+
+void Machine::charge(Duration cpu) {
+  assert(t_proc != nullptr && "charge outside process context");
+  now_ += cpu;
+  fire_due_timers_locked();
+  if (pause_requested_ && running_ == t_proc) {
+    // The driver's run_until() deadline passed: park ourselves as ready
+    // (not blocked) and hand control back without scheduling a successor.
+    Process* p = t_proc;
+    p->state_ = ProcState::kReady;
+    ready_[p->priority_].push_back(p);
+    running_ = nullptr;
+    idle_cv_.notify_all();
+    wait_for_baton(*t_thread_lock, p);
+    return;
+  }
+  maybe_preempt_locked();
+}
+
+void Machine::sleep_until(Time t) {
+  Process* p = t_proc;
+  assert(p != nullptr && "sleep outside process context");
+  if (p->killed_) throw KilledError{};
+  if (t <= now_) {
+    yield();
+    return;
+  }
+  timers_.push(Timer{t, ++timer_seq_, p->pid_, p->wake_seq_ + 1, {}, 0});
+  block_current("sleep");
+}
+
+void Machine::sleep_for(Duration d) { sleep_until(now_ + d); }
+
+void Machine::fire_due_timers_locked() {
+  while (!timers_.empty() && timers_.top().when <= now_) {
+    Timer t = timers_.top();
+    timers_.pop();
+    if (t.pid >= 0) {
+      Process* p = find_process(t.pid);
+      if (p != nullptr && p->state_ == ProcState::kBlocked &&
+          p->wake_seq_ == t.wake_seq) {
+        make_ready(p);
+      }
+    } else {
+      if (t.fn) t.fn();
+      if (t.period > 0 && !shutting_down_) {
+        timers_.push(Timer{t.when + t.period, ++timer_seq_, -1, 0,
+                           std::move(t.fn), t.period});
+      }
+    }
+  }
+}
+
+void Machine::at(Time t, std::function<void()> fn) {
+  if (t_in_machine) {
+    timers_.push(Timer{t, ++timer_seq_, -1, 0, std::move(fn), 0});
+    return;
+  }
+  Lock lk(mu_);
+  timers_.push(Timer{t, ++timer_seq_, -1, 0, std::move(fn), 0});
+}
+
+void Machine::every(Time start, Duration period, std::function<void()> fn) {
+  assert(period > 0);
+  if (t_in_machine) {
+    timers_.push(Timer{start, ++timer_seq_, -1, 0, std::move(fn), period});
+    return;
+  }
+  Lock lk(mu_);
+  timers_.push(Timer{start, ++timer_seq_, -1, 0, std::move(fn), period});
+}
+
+// ---- The driver loop ----
+
+void Machine::run() {
+  Lock lk(mu_);
+  run_locked(lk, 0, /*bounded=*/false);
+}
+
+void Machine::run_until(Time t) {
+  Lock lk(mu_);
+  run_locked(lk, t, /*bounded=*/true);
+}
+
+void Machine::run_for(Duration d) {
+  Lock lk(mu_);
+  run_locked(lk, now_ + d, /*bounded=*/true);
+}
+
+void Machine::run_locked(Lock& lk, Time limit, bool bounded) {
+  t_in_machine = true;
+  if (bounded) {
+    if (limit <= now_) {
+      t_in_machine = false;
+      return;
+    }
+    // Deadline timer: lets CPU-bound simulations pause at the limit.
+    timers_.push(Timer{limit, ++timer_seq_, -1, 0,
+                       [this] { pause_requested_ = true; }, 0});
+  }
+  for (;;) {
+    schedule_locked();
+    if (running_ != nullptr) {
+      t_in_machine = false;  // processes own the machine while we sleep
+      idle_cv_.wait(lk, [&] {
+        return running_ == nullptr &&
+               (!any_ready_locked() || pause_requested_);
+      });
+      t_in_machine = true;
+    }
+    if (bounded && now_ >= limit) break;
+    if (any_ready_locked()) continue;  // a driver callback readied someone
+    if (timers_.empty()) {
+      if (bounded && now_ < limit) now_ = limit;
+      break;
+    }
+    const Time next = timers_.top().when;
+    if (bounded && next > limit) {
+      now_ = limit;
+      break;
+    }
+    now_ = std::max(now_, next);
+    fire_due_timers_locked();
+  }
+  pause_requested_ = false;
+  t_in_machine = false;
+}
+
+// ---- Introspection ----
+
+std::vector<Process*> Machine::live_processes() {
+  const bool locked = t_in_machine;
+  Lock lk(mu_, std::defer_lock);
+  if (!locked) lk.lock();
+  std::vector<Process*> out;
+  for (auto& up : procs_) {
+    if (up->state_ != ProcState::kZombie) out.push_back(up.get());
+  }
+  return out;
+}
+
+Process* Machine::find_process(int pid) {
+  // Callers on the driver thread after run() has returned see a quiescent
+  // machine; callers in machine context hold the lock. Either way a linear
+  // scan over an append-only vector is safe and fast at our scale.
+  for (auto& up : procs_) {
+    if (up->pid_ == pid) return up.get();
+  }
+  return nullptr;
+}
+
+}  // namespace mkbas::sim

@@ -1,0 +1,249 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace mkbas::sim {
+
+class Machine;
+
+/// Thrown into a simulated process (out of a blocking point or on the next
+/// kernel entry) when it has been killed. Process bodies generally let it
+/// propagate; the machine's thread wrapper catches it and retires the
+/// process.
+struct KilledError {};
+
+/// Thrown by personality exit() syscalls to unwind the process body.
+struct ProcessExit {
+  int code = 0;
+};
+
+enum class ProcState {
+  kReady,    // runnable, waiting for the scheduler baton
+  kRunning,  // the (single) process currently executing
+  kBlocked,  // waiting on IPC / a timer / a personality wait queue
+  kZombie,   // body finished; thread is done
+};
+
+const char* to_string(ProcState s);
+
+/// A simulated process. Its body runs on a dedicated OS thread, but the
+/// Machine hands out a single execution baton, so exactly one simulated
+/// process executes at any instant and the interleaving is deterministic.
+///
+/// Personalities (MINIX / seL4 / Linux kernels) attach their own PCB data
+/// keyed by pid and register exit hooks for cleanup.
+class Process {
+ public:
+  int pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  int priority() const { return priority_; }
+  ProcState state() const { return state_; }
+  bool kill_pending() const { return killed_; }
+  bool suspended() const { return suspended_; }
+  bool crashed() const { return crashed_; }
+  const std::string& crash_reason() const { return crash_reason_; }
+  const char* block_reason() const { return block_reason_; }
+
+  /// Register cleanup to run (in machine context) when this process exits
+  /// or is killed. Hooks run in registration order.
+  void add_exit_hook(std::function<void(Process&)> hook) {
+    exit_hooks_.push_back(std::move(hook));
+  }
+
+ private:
+  friend class Machine;
+
+  Process(int pid, std::string name, int priority)
+      : pid_(pid), name_(std::move(name)), priority_(priority) {}
+
+  int pid_;
+  std::string name_;
+  int priority_;
+  ProcState state_ = ProcState::kReady;
+  bool killed_ = false;
+  bool suspended_ = false;
+  bool pending_wake_ = false;  // a wakeup arrived while suspended
+  bool crashed_ = false;
+  std::string crash_reason_;
+  const char* block_reason_ = "";
+  std::uint64_t wake_seq_ = 0;  // invalidates stale timer wakeups
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::vector<std::function<void(Process&)>> exit_hooks_;
+};
+
+/// The simulated machine: virtual clock, deterministic priority scheduler,
+/// timers and the global trace log. One Machine hosts one kernel
+/// personality plus the simulated plant and network.
+///
+/// Threading model: every simulated process gets an OS thread, but a single
+/// baton (the machine mutex plus per-process condition variables) ensures
+/// only one of them runs at a time. Blocking syscalls park the thread and
+/// hand the baton to the next ready process; when nobody is runnable the
+/// driving thread (inside run()/run_until()) advances the virtual clock to
+/// the next timer. Given a fixed seed and spawn order the whole simulation
+/// is reproducible.
+class Machine {
+ public:
+  static constexpr int kNumPriorities = 16;
+  static constexpr int kDefaultPriority = 7;
+  static constexpr int kMaxProcs = 256;  // mirrors MINIX's NR_PROCS scale
+
+  explicit Machine(std::uint64_t seed = 1);
+  ~Machine();
+
+  /// Kill every live process, let each unwind, and join their threads.
+  /// Idempotent; called automatically by the destructor. Kernel
+  /// personalities call this from their own destructors so process bodies
+  /// and exit hooks never observe a dead kernel object.
+  void shutdown();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // ---- Driver API (call from the test / bench / example thread) ----
+
+  /// Create a process whose body starts at the next scheduling opportunity.
+  /// Also callable from process context (fork-style spawning).
+  /// Returns nullptr when the process table (kMaxProcs) is full.
+  Process* spawn(std::string name, std::function<void()> body,
+                 int priority = kDefaultPriority);
+
+  /// Run until the machine is fully idle: no runnable process, no pending
+  /// timer, no scheduled driver callback. Periodic every() callbacks never
+  /// let this return; prefer run_until()/run_for() with them.
+  void run();
+
+  /// Run, advancing the virtual clock at most to `t`.
+  void run_until(Time t);
+
+  /// Run for `d` more microseconds of virtual time.
+  void run_for(Duration d);
+
+  /// Schedule a driver callback at virtual time `t` (runs in machine
+  /// context while the clock is at `t`; it must not block).
+  void at(Time t, std::function<void()> fn);
+
+  /// Schedule a periodic driver callback starting at `start`.
+  void every(Time start, Duration period, std::function<void()> fn);
+
+  Time now() const { return now_; }
+  TraceLog& trace() { return trace_; }
+  Rng& rng() { return rng_; }
+  std::uint64_t context_switches() const { return context_switches_; }
+  std::uint64_t kernel_entries() const { return kernel_entries_; }
+
+  /// Virtual CPU cost charged on every kernel entry (default 1us).
+  void set_syscall_cost(Duration d) { syscall_cost_ = d; }
+  Duration syscall_cost() const { return syscall_cost_; }
+
+  std::vector<Process*> live_processes();
+  Process* find_process(int pid);
+  int live_count() const { return live_count_; }
+  bool is_shutting_down() const { return shutting_down_; }
+
+  // ---- Kernel API (call from a process thread, i.e. inside a syscall) ----
+
+  /// The process currently executing on this thread, or nullptr when called
+  /// from the driver thread.
+  Process* current();
+
+  /// Mark a kernel entry: charges syscall cost, bumps the counter and
+  /// raises KilledError if a kill is pending for the caller.
+  void enter_kernel();
+
+  /// Block the calling process until someone calls make_ready() on it.
+  /// Throws KilledError if the process is killed while blocked.
+  void block_current(const char* reason);
+
+  /// Move a blocked process to the ready queue. No-op for non-blocked
+  /// processes. Callable from kernel context and from driver callbacks.
+  void make_ready(Process* p);
+
+  /// Mark `p` killed. If blocked it becomes runnable and will observe the
+  /// kill at its blocking point; otherwise at its next kernel entry.
+  void kill(Process* p);
+
+  /// Administratively suspend a non-running process: it will not be
+  /// scheduled (wakeups are deferred) until resume(). Kill overrides
+  /// suspension. Models seL4 TCB_Suspend.
+  void suspend(Process* p);
+  void resume(Process* p);
+
+  /// Block the caller until virtual time `t`.
+  void sleep_until(Time t);
+  void sleep_for(Duration d);
+
+  /// Charge `cpu` microseconds of virtual CPU time to the caller. Fires any
+  /// timers that become due; yields if a higher-priority process woke up.
+  void charge(Duration cpu);
+
+  /// Voluntarily reschedule (round-robin within the priority level).
+  void yield();
+
+ private:
+  struct Timer {
+    Time when;
+    std::uint64_t seq;  // tie-break + stale-wakeup guard
+    int pid;            // -1 for driver callbacks
+    std::uint64_t wake_seq;
+    std::function<void()> fn;  // driver callback (empty for process wakeups)
+    Duration period = 0;       // >0 for periodic callbacks
+
+    bool operator>(const Timer& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  using Lock = std::unique_lock<std::mutex>;
+
+  void run_locked(Lock& lk, Time limit, bool bounded);
+  void schedule_locked();
+  void fire_due_timers_locked();
+  bool any_ready_locked() const;
+  void wait_for_baton(Lock& lk, Process* p);
+  void retire_locked(Process* p, bool crashed, std::string reason);
+  void thread_main(Process* p, std::function<void()> body);
+  Process* spawn_locked(std::string name, std::function<void()> body,
+                        int priority);
+  void maybe_preempt_locked();
+  Lock* tls_lock();
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  Time now_ = 0;
+  Duration syscall_cost_ = 1;
+  TraceLog trace_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<Process>> procs_;  // index != pid; append-only
+  int next_pid_ = 1;
+  int live_count_ = 0;
+  Process* running_ = nullptr;
+  Process* last_scheduled_ = nullptr;
+  std::deque<Process*> ready_[kNumPriorities];
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::uint64_t timer_seq_ = 0;
+  std::uint64_t context_switches_ = 0;
+  std::uint64_t kernel_entries_ = 0;
+  bool shutting_down_ = false;
+  bool shutdown_done_ = false;
+  // Set by the run_until() deadline timer so CPU-bound simulations hand
+  // the baton back to the driver at the virtual-time limit.
+  bool pause_requested_ = false;
+};
+
+}  // namespace mkbas::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mkbas::sim {
+
+/// Deterministic, seedable PRNG (xoshiro256** with a splitmix64 seeder).
+///
+/// The standard library's distributions are not guaranteed to produce the
+/// same sequence across implementations, so the simulator carries its own
+/// generator to keep traces reproducible byte-for-byte on any platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection-free Lemire reduction is unnecessary here; modulo bias is
+    // negligible for simulation noise, but we still use the high bits.
+    return next_u64() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Approximately normal(0, 1) via the sum of 12 uniforms (Irwin-Hall).
+  /// Good enough for sensor noise and far cheaper than Box-Muller.
+  double next_gaussian() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += next_double();
+    return s - 6.0;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace mkbas::sim

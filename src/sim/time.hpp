@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mkbas::sim {
+
+/// Simulated time, in microseconds since machine boot.
+///
+/// All of the simulation runs on a virtual clock: the machine advances the
+/// clock only when every simulated process is blocked (discrete-event style)
+/// or when a syscall explicitly charges CPU time. Using a plain integer type
+/// keeps arithmetic exact and the simulation fully deterministic.
+using Time = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration usec(std::int64_t n) { return n; }
+constexpr Duration msec(std::int64_t n) { return n * 1000; }
+constexpr Duration sec(std::int64_t n) { return n * 1000 * 1000; }
+constexpr Duration minutes(std::int64_t n) { return sec(60 * n); }
+
+/// Convert simulated time to floating-point seconds (for physics/reporting).
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace mkbas::sim

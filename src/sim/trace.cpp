@@ -1,0 +1,73 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace mkbas::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kProcess:
+      return "proc";
+    case TraceKind::kIpc:
+      return "ipc";
+    case TraceKind::kSecurity:
+      return "sec";
+    case TraceKind::kDevice:
+      return "dev";
+    case TraceKind::kControl:
+      return "ctl";
+    case TraceKind::kNetwork:
+      return "net";
+    case TraceKind::kAttack:
+      return "atk";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceLog::with_tag(const std::string& what) const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.what == what) out.push_back(ev);
+  }
+  return out;
+}
+
+std::size_t TraceLog::count_tag(const std::string& what) const {
+  std::size_t n = 0;
+  for (const auto& ev : events_) {
+    if (ev.what == what) ++n;
+  }
+  return n;
+}
+
+const TraceEvent* TraceLog::find_first(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  for (const auto& ev : events_) {
+    if (pred(ev)) return &ev;
+  }
+  return nullptr;
+}
+
+namespace {
+void print_event(std::ostream& os, const TraceEvent& ev) {
+  os << '[' << ev.time << "us] ";
+  if (ev.pid >= 0) {
+    os << "pid=" << ev.pid << ' ';
+  }
+  os << to_string(ev.kind) << ' ' << ev.what;
+  if (!ev.detail.empty()) os << " | " << ev.detail;
+  os << '\n';
+}
+}  // namespace
+
+void TraceLog::dump(std::ostream& os) const {
+  for (const auto& ev : events_) print_event(os, ev);
+}
+
+void TraceLog::dump(std::ostream& os, TraceKind kind) const {
+  for (const auto& ev : events_) {
+    if (ev.kind == kind) print_event(os, ev);
+  }
+}
+
+}  // namespace mkbas::sim

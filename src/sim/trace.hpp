@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mkbas::sim {
+
+/// Category of a trace event. Coarse buckets keep filtering cheap; the
+/// free-form detail string carries the specifics.
+enum class TraceKind {
+  kProcess,   // spawn/exit/kill
+  kIpc,       // message passing, queues, endpoints
+  kSecurity,  // permission decisions (ACM checks, cap checks, mode checks)
+  kDevice,    // sensor samples, actuator changes
+  kControl,   // control-law decisions (setpoint changes, alarm logic)
+  kNetwork,   // simulated HTTP/BACnet traffic
+  kAttack,    // attack actions and their observed results
+};
+
+const char* to_string(TraceKind kind);
+
+/// One timestamped event in the simulation log.
+struct TraceEvent {
+  Time time = 0;
+  int pid = -1;  // -1 when the event is not attributable to a process
+  TraceKind kind = TraceKind::kProcess;
+  std::string what;    // short machine-greppable tag, e.g. "acm.deny"
+  std::string detail;  // human-readable specifics
+  double value = 0.0;  // optional numeric payload (setpoints, readings)
+};
+
+/// Append-only event log shared by the machine, kernels, devices and the
+/// application processes. Tests and the safety checker query it; benches
+/// print slices of it.
+class TraceLog {
+ public:
+  void emit(TraceEvent ev) { events_.push_back(std::move(ev)); }
+  void emit(Time time, int pid, TraceKind kind, std::string what,
+            std::string detail = {}, double value = 0.0) {
+    events_.push_back(
+        {time, pid, kind, std::move(what), std::move(detail), value});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// All events whose tag equals `what`.
+  std::vector<TraceEvent> with_tag(const std::string& what) const;
+
+  /// Count of events whose tag equals `what`.
+  std::size_t count_tag(const std::string& what) const;
+
+  /// First event matching the predicate, or nullptr.
+  const TraceEvent* find_first(
+      const std::function<bool(const TraceEvent&)>& pred) const;
+
+  /// Render the whole log (or only one kind) as text, one event per line.
+  void dump(std::ostream& os) const;
+  void dump(std::ostream& os, TraceKind kind) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mkbas::sim

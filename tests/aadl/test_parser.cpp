@@ -1,0 +1,150 @@
+#include "aadl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aadl/scenario_model.hpp"
+
+namespace aadl = mkbas::aadl;
+
+TEST(Lexer, TokenizesSymbolsAndIdents) {
+  aadl::Lexer lex("a : port x.y -> b.z { MKBAS::m_type => 12; };");
+  auto toks = lex.tokenize();
+  ASSERT_TRUE(lex.error().empty());
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, aadl::TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].kind, aadl::TokKind::kColon);
+  // find the => and the integer
+  bool saw_fat = false, saw_int = false;
+  for (const auto& t : toks) {
+    if (t.kind == aadl::TokKind::kFatArrow) saw_fat = true;
+    if (t.kind == aadl::TokKind::kInt) {
+      saw_int = true;
+      EXPECT_EQ(t.int_value, 12);
+    }
+  }
+  EXPECT_TRUE(saw_fat);
+  EXPECT_TRUE(saw_int);
+}
+
+TEST(Lexer, SkipsAadlComments) {
+  aadl::Lexer lex("-- a comment line\nfoo -- trailing\nbar");
+  auto toks = lex.tokenize();
+  ASSERT_EQ(toks.size(), 3u);  // foo, bar, EOF
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "bar");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(Lexer, ReportsBadCharacters) {
+  aadl::Lexer lex("foo $ bar");
+  lex.tokenize();
+  EXPECT_FALSE(lex.error().empty());
+  EXPECT_EQ(lex.error_line(), 1);
+}
+
+TEST(Parser, ParsesProcessTypeWithPorts) {
+  aadl::Parser p(R"(
+process Sensor
+  features
+    data_out : out event data port TempReading;
+    cfg_in   : in data port Config;
+end Sensor;
+)");
+  auto model = p.parse();
+  ASSERT_TRUE(p.ok()) << p.diagnostics()[0].message;
+  ASSERT_EQ(model.process_types.count("Sensor"), 1u);
+  const auto& t = model.process_types.at("Sensor");
+  ASSERT_EQ(t.ports.size(), 2u);
+  EXPECT_EQ(t.ports[0].name, "data_out");
+  EXPECT_EQ(t.ports[0].dir, aadl::PortDir::kOut);
+  EXPECT_EQ(t.ports[0].kind, aadl::PortKind::kEventData);
+  EXPECT_EQ(t.ports[0].data_type, "TempReading");
+  EXPECT_EQ(t.ports[1].dir, aadl::PortDir::kIn);
+  EXPECT_EQ(t.ports[1].kind, aadl::PortKind::kData);
+}
+
+TEST(Parser, ParsesImplementationProperties) {
+  aadl::Parser p(R"(
+process A
+end A;
+process implementation A.imp
+  properties
+    MKBAS::ac_id => 42;
+    MKBAS::fork_quota => 3;
+    MKBAS::may_kill => (x, y);
+end A.imp;
+)");
+  auto model = p.parse();
+  ASSERT_TRUE(p.ok()) << p.diagnostics()[0].message;
+  const auto& impl = model.process_impls.at("A.imp");
+  EXPECT_EQ(impl.ac_id, 42);
+  EXPECT_EQ(impl.fork_quota, 3);
+  EXPECT_EQ(impl.may_kill, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Parser, ParsesSystemImplementation) {
+  aadl::Parser p(R"(
+system S end S;
+system implementation S.impl
+  subcomponents
+    a : process A.imp;
+    b : process B.imp;
+  connections
+    c1 : port a.out1 -> b.in1 { MKBAS::m_type => 5; };
+    c2 : port b.out2 -> a.in2;
+end S.impl;
+)");
+  auto model = p.parse();
+  ASSERT_TRUE(p.ok()) << p.diagnostics()[0].message;
+  const auto& sys = model.system_impls.at("S.impl");
+  ASSERT_EQ(sys.subcomponents.size(), 2u);
+  ASSERT_EQ(sys.connections.size(), 2u);
+  EXPECT_EQ(sys.connections[0].m_type, 5);
+  EXPECT_EQ(sys.connections[1].m_type, -1);  // unannotated
+  EXPECT_EQ(sys.connections[0].src_comp, "a");
+  EXPECT_EQ(sys.connections[0].dst_port, "in1");
+}
+
+TEST(Parser, ReportsSyntaxErrorsWithLines) {
+  aadl::Parser p("process\nend X;");
+  p.parse();
+  ASSERT_FALSE(p.ok());
+  EXPECT_GE(p.diagnostics()[0].line, 1);
+}
+
+TEST(Parser, RecoversAndContinuesAfterError) {
+  aadl::Parser p(R"(
+process 123garbage;
+process Good
+end Good;
+)");
+  auto model = p.parse();
+  EXPECT_FALSE(p.ok());
+  // The good declaration after the bad one still parses.
+  EXPECT_EQ(model.process_types.count("Good"), 1u);
+}
+
+TEST(Parser, DetectsDuplicateDeclarations) {
+  aadl::Parser p(R"(
+process A
+end A;
+process A
+end A;
+)");
+  p.parse();
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.diagnostics()[0].message.find("duplicate"), std::string::npos);
+}
+
+TEST(Parser, ScenarioModelParsesClean) {
+  aadl::Parser p(aadl::temp_control_aadl());
+  auto model = p.parse();
+  ASSERT_TRUE(p.ok()) << p.diagnostics()[0].message;
+  EXPECT_EQ(model.process_types.size(), 5u);
+  EXPECT_EQ(model.process_impls.size(), 5u);
+  ASSERT_EQ(model.system_impls.count("TempControl.impl"), 1u);
+  const auto& sys = model.system_impls.at("TempControl.impl");
+  EXPECT_EQ(sys.subcomponents.size(), 5u);
+  EXPECT_EQ(sys.connections.size(), 5u);
+}

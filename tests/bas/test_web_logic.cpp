@@ -1,0 +1,52 @@
+#include "bas/web_logic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bas = mkbas::bas;
+using bas::WebAction;
+
+TEST(WebLogic, RoutesStatus) {
+  const auto act = bas::route_request({"GET", "/status", ""});
+  EXPECT_EQ(act.kind, WebAction::Kind::kStatus);
+}
+
+TEST(WebLogic, RoutesSetpointPost) {
+  const auto act = bas::route_request({"POST", "/setpoint", "value=23.5"});
+  EXPECT_EQ(act.kind, WebAction::Kind::kSetSetpoint);
+  EXPECT_DOUBLE_EQ(act.setpoint_c, 23.5);
+}
+
+TEST(WebLogic, RejectsMalformedBody) {
+  const auto act = bas::route_request({"POST", "/setpoint", "garbage"});
+  EXPECT_EQ(act.kind, WebAction::Kind::kBadRequest);
+  EXPECT_EQ(bas::route_request({"POST", "/setpoint", "value="}).kind,
+            WebAction::Kind::kBadRequest);
+}
+
+TEST(WebLogic, UnknownPathIs404) {
+  EXPECT_EQ(bas::route_request({"GET", "/admin", ""}).kind,
+            WebAction::Kind::kNotFound);
+  EXPECT_EQ(bas::route_request({"DELETE", "/status", ""}).kind,
+            WebAction::Kind::kNotFound);
+}
+
+TEST(WebLogic, ParseFormValue) {
+  EXPECT_DOUBLE_EQ(*bas::parse_form_value("value=19.25"), 19.25);
+  EXPECT_DOUBLE_EQ(*bas::parse_form_value("other=1&value=-3"), -3.0);
+  EXPECT_FALSE(bas::parse_form_value("nope").has_value());
+}
+
+TEST(WebLogic, StatusRendersAllFields) {
+  bas::EnvInfo env{21.52, 22.0, true, false};
+  const auto resp = bas::render_status(env);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "temp=21.5;setpoint=22.0;heater=on;alarm=off");
+}
+
+TEST(WebLogic, SetpointResultStatusCodes) {
+  EXPECT_EQ(bas::render_setpoint_result(true).status, 200);
+  EXPECT_EQ(bas::render_setpoint_result(false).status, 422);
+  EXPECT_EQ(bas::render_unavailable().status, 503);
+  EXPECT_EQ(bas::render_bad_request().status, 400);
+  EXPECT_EQ(bas::render_not_found().status, 404);
+}

@@ -1,0 +1,133 @@
+// Resilience and reproducibility of the full scenario: determinism,
+// HTTP overload, and loss/recovery of individual processes.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace core = mkbas::core;
+namespace sim = mkbas::sim;
+
+TEST(Resilience, BenignRunsAreBitwiseDeterministic) {
+  const auto a = core::run_benign(core::Platform::kMinix);
+  const auto b = core::run_benign(core::Platform::kMinix);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    ASSERT_EQ(a.history[i].time, b.history[i].time);
+    ASSERT_EQ(a.history[i].true_temp_c, b.history[i].true_temp_c);
+    ASSERT_EQ(a.history[i].heater_on, b.history[i].heater_on);
+    ASSERT_EQ(a.history[i].alarm_on, b.history[i].alarm_on);
+  }
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.kernel_entries, b.kernel_entries);
+}
+
+TEST(Resilience, SeedChangesNoiseButNotBehaviour) {
+  core::RunOptions opts;
+  opts.seed = 7;
+  const auto a = core::run_benign(core::Platform::kMinix);
+  const auto b = core::run_benign(core::Platform::kMinix, opts);
+  // Different sensor noise: traces differ...
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.history.size(), b.history.size());
+       ++i) {
+    if (a.history[i].true_temp_c != b.history[i].true_temp_c) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  // ...but the control outcome is the same.
+  EXPECT_FALSE(b.safety.alarm_violation);
+  EXPECT_TRUE(b.safety.control_alive);
+  EXPECT_NEAR(a.history.back().true_temp_c, b.history.back().true_temp_c,
+              0.5);
+}
+
+TEST(Resilience, HttpOverloadRefusesButDoesNotDisturbControl) {
+  sim::Machine m;
+  mkbas::bas::MinixScenario sc(m);
+  // A burst far past the listen backlog, repeated every minute.
+  m.every(sim::minutes(2), sim::minutes(1), [&] {
+    for (int i = 0; i < 50; ++i) {
+      sc.http().submit(m.now(), {"GET", "/status", ""});
+    }
+  });
+  m.run_until(sim::minutes(20));
+  EXPECT_GT(sc.http().refused_count(), 0u);
+  // The web interface drains what was accepted...
+  std::size_t answered = 0;
+  for (const auto& ex : sc.http().exchanges()) {
+    if (ex.answered >= 0) ++answered;
+  }
+  EXPECT_GT(answered, 100u);
+  // ...and the control loop is unaffected.
+  const auto safety = core::check_safety(
+      sc.plant().coupler->history(), m.trace(),
+      mkbas::bas::ControlConfig{}, sim::minutes(20));
+  EXPECT_TRUE(safety.control_alive);
+  EXPECT_FALSE(safety.alarm_violation);
+  EXPECT_NEAR(sc.plant().room.temperature_c(), 22.0, 1.0);
+}
+
+TEST(Resilience, WebInterfaceDeathDoesNotAffectTheControlLoop) {
+  // The inverse of the paper's threat: losing the *non-critical* process
+  // entirely must leave the critical loop untouched.
+  sim::Machine m;
+  mkbas::bas::MinixScenario sc(m);
+  m.at(sim::minutes(10), [&] {
+    sc.kernel().kernel_kill(sc.endpoint_of("webInterface"));
+  });
+  m.every(sim::minutes(12), sim::minutes(2), [&] {
+    sc.http().submit(m.now(), {"GET", "/status", ""});  // nobody serves
+  });
+  m.run_until(sim::minutes(30));
+  EXPECT_FALSE(sc.kernel().is_live(sc.endpoint_of("webInterface")));
+  const auto safety = core::check_safety(
+      sc.plant().coupler->history(), m.trace(),
+      mkbas::bas::ControlConfig{}, sim::minutes(30));
+  EXPECT_TRUE(safety.control_alive);
+  EXPECT_FALSE(safety.physically_compromised());
+  EXPECT_NEAR(sc.plant().room.temperature_c(), 22.0, 1.0);
+}
+
+TEST(Resilience, SensorDeathIsHealedByReincarnation) {
+  sim::Machine m;
+  mkbas::bas::ScenarioConfig cfg;
+  cfg.enable_reincarnation = true;
+  mkbas::bas::MinixScenario sc(m, cfg);
+  m.at(sim::minutes(10), [&] {
+    sc.kernel().kernel_kill(sc.endpoint_of("tempSensProc"));
+  });
+  m.run_until(sim::minutes(30));
+  EXPECT_GE(sc.kernel().restarts(), 1);
+  EXPECT_TRUE(sc.kernel().is_live(sc.endpoint_of("tempSensProc")));
+  // Control samples resumed after the gap.
+  sim::Time last_sample = 0;
+  for (const auto& ev : m.trace().events()) {
+    if (ev.what == "ctl.sample") last_sample = ev.time;
+  }
+  EXPECT_GT(last_sample, sim::minutes(29));
+  const auto safety = core::check_safety(
+      sc.plant().coupler->history(), m.trace(),
+      mkbas::bas::ControlConfig{}, sim::minutes(30));
+  EXPECT_TRUE(safety.control_alive);
+}
+
+TEST(Resilience, ControlProcessDeathIsHealedByReincarnation) {
+  // Even the critical process itself benefits from MINIX's self-repair:
+  // a crash (not an attack — attacks cannot kill it) heals within the
+  // restart delay, fast enough that the plant never leaves the band.
+  sim::Machine m;
+  mkbas::bas::ScenarioConfig cfg;
+  cfg.enable_reincarnation = true;
+  mkbas::bas::MinixScenario sc(m, cfg);
+  m.at(sim::minutes(10), [&] {
+    sc.kernel().kernel_kill(sc.endpoint_of("tempProc"));
+  });
+  m.run_until(sim::minutes(30));
+  EXPECT_TRUE(sc.kernel().is_live(sc.endpoint_of("tempProc")));
+  const auto safety = core::check_safety(
+      sc.plant().coupler->history(), m.trace(),
+      mkbas::bas::ControlConfig{}, sim::minutes(30));
+  EXPECT_TRUE(safety.control_alive);
+  EXPECT_FALSE(safety.temp_excursion);
+}

@@ -1,0 +1,160 @@
+#include "core/safety.hpp"
+
+#include <gtest/gtest.h>
+
+namespace core = mkbas::core;
+namespace sim = mkbas::sim;
+namespace bas = mkbas::bas;
+
+using mkbas::devices::PlantSample;
+
+namespace {
+
+/// Build a synthetic history with 1s resolution.
+std::vector<PlantSample> make_history(
+    sim::Time end, const std::function<double(sim::Time)>& temp,
+    const std::function<bool(sim::Time)>& alarm) {
+  std::vector<PlantSample> h;
+  for (sim::Time t = 0; t <= end; t += sim::sec(1)) {
+    h.push_back({t, temp(t), 10.0, false, alarm(t)});
+  }
+  return h;
+}
+
+/// Trace with live control samples up to `until`.
+sim::TraceLog make_live_trace(sim::Time until) {
+  sim::TraceLog log;
+  for (sim::Time t = 0; t <= until; t += sim::sec(1)) {
+    log.emit(t, 1, sim::TraceKind::kControl, "ctl.sample", "", 22.0);
+  }
+  return log;
+}
+
+}  // namespace
+
+TEST(Safety, NominalRunIsSafe) {
+  const sim::Time end = sim::minutes(30);
+  auto history = make_history(
+      end, [](sim::Time) { return 22.0; }, [](sim::Time) { return false; });
+  const auto trace = make_live_trace(end);
+  const auto r = core::check_safety(history, trace, {}, end);
+  EXPECT_TRUE(r.control_alive);
+  EXPECT_FALSE(r.physically_compromised());
+}
+
+TEST(Safety, DeadControllerIsFlagged) {
+  const sim::Time end = sim::minutes(30);
+  auto history = make_history(
+      end, [](sim::Time) { return 22.0; }, [](sim::Time) { return false; });
+  const auto trace = make_live_trace(sim::minutes(10));  // died at 10min
+  const auto r = core::check_safety(history, trace, {}, end);
+  EXPECT_FALSE(r.control_alive);
+  EXPECT_TRUE(r.physically_compromised());
+}
+
+TEST(Safety, StartupTransientIsExempt) {
+  // Rising from 18 to 22 over the first minutes: out of band but settling.
+  const sim::Time end = sim::minutes(30);
+  auto history = make_history(
+      end,
+      [](sim::Time t) {
+        const double mins = static_cast<double>(t) / 60e6;
+        return std::min(22.0, 18.0 + mins * 1.0);
+      },
+      [](sim::Time) { return false; });
+  const auto trace = make_live_trace(end);
+  const auto r = core::check_safety(history, trace, {}, end);
+  EXPECT_FALSE(r.temp_excursion);
+  EXPECT_FALSE(r.alarm_violation);
+}
+
+TEST(Safety, SustainedExcursionIsFlagged) {
+  const sim::Time end = sim::minutes(40);
+  // In band until 20min, then stuck at 28C with the alarm correctly on.
+  auto history = make_history(
+      end,
+      [](sim::Time t) { return t < sim::minutes(20) ? 22.0 : 28.0; },
+      [](sim::Time t) { return t > sim::minutes(26); });
+  const auto trace = make_live_trace(end);
+  const auto r = core::check_safety(history, trace, {}, end);
+  EXPECT_TRUE(r.temp_excursion);
+  EXPECT_FALSE(r.alarm_violation);  // alarm behaved
+}
+
+TEST(Safety, SilencedAlarmIsViolation) {
+  const sim::Time end = sim::minutes(40);
+  auto history = make_history(
+      end,
+      [](sim::Time t) { return t < sim::minutes(20) ? 22.0 : 28.0; },
+      [](sim::Time) { return false; });  // alarm never fires
+  const auto trace = make_live_trace(end);
+  const auto r = core::check_safety(history, trace, {}, end);
+  EXPECT_TRUE(r.alarm_violation);
+  EXPECT_TRUE(r.physically_compromised());
+}
+
+TEST(Safety, BorderlineTemperatureDoesNotTripAlarmCheck) {
+  // Hovering just past the tolerance edge (within the measurement
+  // margin): no alarm violation even though the alarm stays off.
+  const sim::Time end = sim::minutes(40);
+  auto history = make_history(
+      end, [](sim::Time) { return 22.0 - 1.6; },  // tol 1.5, margin 0.3
+      [](sim::Time) { return false; });
+  const auto trace = make_live_trace(end);
+  const auto r = core::check_safety(history, trace, {}, end);
+  EXPECT_FALSE(r.alarm_violation);
+}
+
+TEST(Safety, SpuriousAlarmIsFlagged) {
+  const sim::Time end = sim::minutes(30);
+  auto history = make_history(
+      end, [](sim::Time) { return 22.0; },
+      [](sim::Time t) { return t > sim::minutes(10); });  // alarm in band
+  const auto trace = make_live_trace(end);
+  const auto r = core::check_safety(history, trace, {}, end);
+  EXPECT_TRUE(r.spurious_alarm);
+}
+
+TEST(Safety, SetpointChangeGetsSettleAllowance) {
+  const sim::Time end = sim::minutes(40);
+  // Setpoint steps to 28 at t=20min; plant slews at 1C/min.
+  auto history = make_history(
+      end,
+      [](sim::Time t) {
+        if (t < sim::minutes(20)) return 22.0;
+        const double mins = static_cast<double>(t - sim::minutes(20)) / 60e6;
+        return std::min(28.0, 22.0 + mins);
+      },
+      [](sim::Time) { return false; });
+  auto trace = make_live_trace(end);
+  trace.emit(sim::minutes(20), 1, sim::TraceKind::kControl, "ctl.setpoint",
+             "", 28.0);
+  const auto r = core::check_safety(history, trace, {}, end);
+  EXPECT_FALSE(r.temp_excursion);
+  EXPECT_FALSE(r.alarm_violation);
+}
+
+TEST(Safety, OutOfBandTotalAccumulates) {
+  const sim::Time end = sim::minutes(20);
+  auto history = make_history(
+      end,
+      [](sim::Time t) {
+        return (t >= sim::minutes(5) && t < sim::minutes(10)) ? 28.0 : 22.0;
+      },
+      [](sim::Time) { return false; });
+  const auto trace = make_live_trace(end);
+  const auto r = core::check_safety(history, trace, {}, end);
+  EXPECT_NEAR(static_cast<double>(r.out_of_band_total),
+              static_cast<double>(sim::minutes(5)),
+              static_cast<double>(sim::sec(5)));
+}
+
+TEST(Safety, SummaryMentionsFindings) {
+  core::SafetyReport r;
+  r.control_alive = false;
+  r.temp_excursion = true;
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("COMPROMISED"), std::string::npos);
+  EXPECT_NE(s.find("CTL-DEAD"), std::string::npos);
+  EXPECT_NE(s.find("TEMP-EXCURSION"), std::string::npos);
+}

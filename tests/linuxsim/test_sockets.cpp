@@ -1,0 +1,293 @@
+// Unix domain sockets: the other Unix IPC the paper discusses (§III),
+// including the abstract-namespace hazard behind the CVEs it cites [10].
+#include <gtest/gtest.h>
+
+#include "linuxsim/kernel.hpp"
+
+namespace lx = mkbas::linuxsim;
+namespace sim = mkbas::sim;
+
+using lx::Errno;
+using lx::LinuxKernel;
+using lx::Mode;
+
+TEST(UnixSockets, ConnectAcceptSendRecvRoundTrip) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  std::string got_at_server, got_at_client;
+  k.spawn_process("server", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind(s, "/run/ctl.sock", Mode::rw_everyone()),
+              Errno::kOk);
+    ASSERT_EQ(k.sock_listen(s), Errno::kOk);
+    const int c = k.sock_accept(s);
+    ASSERT_GE(c, 0);
+    ASSERT_EQ(k.sock_recv(c, &got_at_server), Errno::kOk);
+    ASSERT_EQ(k.sock_send(c, "pong"), Errno::kOk);
+  });
+  k.spawn_process("client", 2000, [&] {
+    m.sleep_for(sim::msec(5));
+    const int c = k.sock_connect("/run/ctl.sock");
+    ASSERT_GE(c, 0);
+    ASSERT_EQ(k.sock_send(c, "ping"), Errno::kOk);
+    ASSERT_EQ(k.sock_recv(c, &got_at_client), Errno::kOk);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(got_at_server, "ping");
+  EXPECT_EQ(got_at_client, "pong");
+}
+
+TEST(UnixSockets, FilesystemNamespaceChecksPermissions) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  int outsider_fd = 0;
+  k.spawn_process("server", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind(s, "/run/private.sock", Mode::rw_owner_only()),
+              Errno::kOk);
+    ASSERT_EQ(k.sock_listen(s), Errno::kOk);
+    m.sleep_for(sim::sec(1));
+  });
+  k.spawn_process("outsider", 2000, [&] {
+    m.sleep_for(sim::msec(5));
+    outsider_fd = k.sock_connect("/run/private.sock");
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(outsider_fd, -static_cast<int>(Errno::kEACCES));
+  EXPECT_GE(m.trace().count_tag("uds.connect_deny"), 1u);
+}
+
+TEST(UnixSockets, RootConnectsAnywhere) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  int fd = -1;
+  k.spawn_process("server", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind(s, "/run/private.sock", Mode::rw_owner_only()),
+              Errno::kOk);
+    ASSERT_EQ(k.sock_listen(s), Errno::kOk);
+    m.sleep_for(sim::sec(1));
+  });
+  k.spawn_process("attacker", 2000, [&] {
+    m.sleep_for(sim::msec(5));
+    k.exploit_escalate_to_root();
+    fd = k.sock_connect("/run/private.sock");
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_GE(fd, 0);
+}
+
+TEST(UnixSockets, AbstractNamespaceHasNoPermissionCheck) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  int fd = -1;
+  k.spawn_process("server", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind_abstract(s, "ctl-service"), Errno::kOk);
+    ASSERT_EQ(k.sock_listen(s), Errno::kOk);
+    m.sleep_for(sim::sec(1));
+  });
+  k.spawn_process("anyone", 4321, [&] {
+    m.sleep_for(sim::msec(5));
+    fd = k.sock_connect_abstract("ctl-service");  // no uid, no mode, no ACL
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_GE(fd, 0);
+}
+
+TEST(UnixSockets, AbstractNameSquattingHijacksTheService) {
+  // The CVE pattern from the paper's [10]: a malicious process binds the
+  // well-known abstract name before the real service does; clients then
+  // talk to the attacker, and the legitimate service cannot even bind.
+  sim::Machine m;
+  LinuxKernel k(m);
+  Errno service_bind = Errno::kOk;
+  std::string attacker_received;
+  lx::Uid client_talked_to = -1;
+  k.spawn_process("attacker", 6666, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind_abstract(s, "ctl-service"), Errno::kOk);
+    ASSERT_EQ(k.sock_listen(s), Errno::kOk);
+    const int c = k.sock_accept(s);
+    ASSERT_GE(c, 0);
+    k.sock_recv(c, &attacker_received);
+    k.sock_send(c, "ok, trust me");
+  });
+  k.spawn_process("real-service", 1000, [&] {
+    m.sleep_for(sim::msec(5));
+    const int s = k.sock_socket();
+    service_bind = k.sock_bind_abstract(s, "ctl-service");
+  });
+  k.spawn_process("client", 1000, [&] {
+    m.sleep_for(sim::msec(10));
+    const int c = k.sock_connect_abstract("ctl-service");
+    ASSERT_GE(c, 0);
+    ASSERT_EQ(k.sock_send(c, "setpoint=45.0"), Errno::kOk);
+    std::string reply;
+    k.sock_recv(c, &reply);
+    client_talked_to = k.sock_peer_uid(c);  // valid once accepted
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(service_bind, Errno::kEEXIST);    // service locked out
+  EXPECT_EQ(attacker_received, "setpoint=45.0");  // command intercepted
+  EXPECT_EQ(client_talked_to, 6666);  // SO_PEERCRED would reveal it...
+  // ...but only if the client checks — which the vulnerable apps in the
+  // cited study did not.
+}
+
+TEST(UnixSockets, PeerCredentialsAreKernelProvided) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  lx::Uid seen_by_server = -1, seen_by_client = -1;
+  k.spawn_process("server", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind(s, "/run/s", Mode::rw_everyone()), Errno::kOk);
+    ASSERT_EQ(k.sock_listen(s), Errno::kOk);
+    const int c = k.sock_accept(s);
+    ASSERT_GE(c, 0);
+    seen_by_server = k.sock_peer_uid(c);
+    std::string msg;
+    k.sock_recv(c, &msg);
+  });
+  k.spawn_process("client", 2000, [&] {
+    m.sleep_for(sim::msec(5));
+    const int c = k.sock_connect("/run/s");
+    ASSERT_GE(c, 0);
+    m.sleep_for(sim::msec(5));  // let the server accept
+    seen_by_client = k.sock_peer_uid(c);
+    k.sock_send(c, "x");
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(seen_by_server, 2000);
+  EXPECT_EQ(seen_by_client, 1000);
+}
+
+TEST(UnixSockets, RecvOnClosedPeerReturnsEof) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  Errno r = Errno::kOk;
+  k.spawn_process("server", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind(s, "/run/s", Mode::rw_everyone()), Errno::kOk);
+    ASSERT_EQ(k.sock_listen(s), Errno::kOk);
+    const int c = k.sock_accept(s);
+    ASSERT_GE(c, 0);
+    k.sock_close(c);  // immediate close
+  });
+  k.spawn_process("client", 1000, [&] {
+    m.sleep_for(sim::msec(5));
+    const int c = k.sock_connect("/run/s");
+    ASSERT_GE(c, 0);
+    m.sleep_for(sim::msec(20));
+    std::string out;
+    r = k.sock_recv(c, &out);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(r, Errno::kEOF);
+}
+
+TEST(UnixSockets, SendAfterPeerCloseIsEpipe) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  Errno r = Errno::kOk;
+  k.spawn_process("server", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind(s, "/run/s", Mode::rw_everyone()), Errno::kOk);
+    ASSERT_EQ(k.sock_listen(s), Errno::kOk);
+    const int c = k.sock_accept(s);
+    ASSERT_GE(c, 0);
+    k.sock_close(c);
+  });
+  k.spawn_process("client", 1000, [&] {
+    m.sleep_for(sim::msec(5));
+    const int c = k.sock_connect("/run/s");
+    ASSERT_GE(c, 0);
+    m.sleep_for(sim::msec(20));
+    r = k.sock_send(c, "into the void");
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(r, Errno::kEPIPE);
+}
+
+TEST(UnixSockets, BacklogBoundsPendingConnections) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  int refused = 0;
+  k.spawn_process("server", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind(s, "/run/s", Mode::rw_everyone()), Errno::kOk);
+    ASSERT_EQ(k.sock_listen(s, /*backlog=*/2), Errno::kOk);
+    m.sleep_for(sim::sec(1));  // never accepts
+  });
+  k.spawn_process("flood", 2000, [&] {
+    m.sleep_for(sim::msec(5));
+    for (int i = 0; i < 5; ++i) {
+      if (k.sock_connect("/run/s") == -static_cast<int>(Errno::kECONNREFUSED)) {
+        ++refused;
+      }
+    }
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(refused, 3);
+}
+
+TEST(UnixSockets, ConnectToNonListeningSocketRefused) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  int fd = 0;
+  k.spawn_process("server", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind(s, "/run/s", Mode::rw_everyone()), Errno::kOk);
+    // bound but never listening
+    m.sleep_for(sim::sec(1));
+  });
+  k.spawn_process("client", 1000, [&] {
+    m.sleep_for(sim::msec(5));
+    fd = k.sock_connect("/run/s");
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(fd, -static_cast<int>(Errno::kECONNREFUSED));
+}
+
+TEST(UnixSockets, DoubleBindOnFilesystemPathFails) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  Errno second = Errno::kOk;
+  k.spawn_process("a", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind(s, "/run/s", Mode::rw_everyone()), Errno::kOk);
+    m.sleep_for(sim::sec(1));
+  });
+  k.spawn_process("b", 1000, [&] {
+    m.sleep_for(sim::msec(5));
+    const int s = k.sock_socket();
+    second = k.sock_bind(s, "/run/s", Mode::rw_everyone());
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(second, Errno::kEEXIST);
+}
+
+TEST(UnixSockets, ListenerDeathUnblocksAcceptors) {
+  sim::Machine m;
+  LinuxKernel k(m);
+  bool unblocked = false;
+  const int pid = k.spawn_process("server", 1000, [&] {
+    const int s = k.sock_socket();
+    ASSERT_EQ(k.sock_bind(s, "/run/s", Mode::rw_everyone()), Errno::kOk);
+    ASSERT_EQ(k.sock_listen(s), Errno::kOk);
+    k.sock_accept(s);  // blocks; killed while waiting
+    unblocked = true;  // must NOT run (KilledError unwinds)
+  });
+  m.at(sim::msec(10), [&] { m.kill(m.find_process(pid)); });
+  m.run_until(sim::sec(1));
+  EXPECT_FALSE(unblocked);
+  EXPECT_FALSE(k.is_alive(pid));
+  // The name is released: a new service can bind it.
+  bool rebound = false;
+  k.spawn_process("successor", 1000, [&] {
+    const int s = k.sock_socket();
+    rebound = (k.sock_bind(s, "/run/s", Mode::rw_everyone()) == Errno::kOk);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_TRUE(rebound);
+}

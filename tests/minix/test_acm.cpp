@@ -1,0 +1,124 @@
+#include "minix/acm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace minix = mkbas::minix;
+
+TEST(Acm, DefaultDeniesEverything) {
+  minix::AcmPolicy acm;
+  EXPECT_FALSE(acm.allowed(100, 101, 0));
+  EXPECT_FALSE(acm.allowed(0, 0, 0));
+}
+
+TEST(Acm, AllowIsPerTypeAndDirectional) {
+  minix::AcmPolicy acm;
+  acm.allow(100, 101, {0, 2});
+  EXPECT_TRUE(acm.allowed(100, 101, 0));
+  EXPECT_FALSE(acm.allowed(100, 101, 1));
+  EXPECT_TRUE(acm.allowed(100, 101, 2));
+  // Direction matters: the reverse edge was never granted.
+  EXPECT_FALSE(acm.allowed(101, 100, 0));
+}
+
+TEST(Acm, PaperFigure3Example) {
+  // The exact example from Fig. 3: App1=100, App2=101, App3=102.
+  // App2 may invoke App1's f2() and f3() (types 2, 3) but not f1();
+  // App1's f1() may only be invoked by App3; acknowledgments (type 0)
+  // are allowed between all communicating pairs.
+  minix::AcmPolicy acm;
+  acm.allow(101, 100, {0, 2, 3});  // App2 -> App1
+  acm.allow(102, 100, {0, 1, 2, 3});  // App3 -> App1
+  acm.allow(100, 101, {0});  // App1 -> App2 (ack only)
+  acm.allow(100, 102, {0, 1, 3});  // App1 -> App3
+  acm.allow(101, 102, {0, 1});  // App2 -> App3
+
+  // "Suppose App2 tries to send a message with message type 2 to App1 ...
+  //  the message will be allowed."
+  EXPECT_TRUE(acm.allowed(101, 100, 2));
+  // "if the message type is 1 the message will be denied."
+  EXPECT_FALSE(acm.allowed(101, 100, 1));
+  // app1_f1() is reserved for App3.
+  EXPECT_TRUE(acm.allowed(102, 100, 1));
+  // App2 has no publicly available procedures beyond ACK.
+  EXPECT_TRUE(acm.allowed(100, 101, 0));
+  EXPECT_FALSE(acm.allowed(100, 101, 1));
+}
+
+TEST(Acm, OutOfRangeTypesAreDenied) {
+  minix::AcmPolicy acm;
+  acm.allow_mask(1, 2, ~0ULL);
+  EXPECT_TRUE(acm.allowed(1, 2, 63));
+  EXPECT_FALSE(acm.allowed(1, 2, 64));
+  EXPECT_FALSE(acm.allowed(1, 2, -1));
+}
+
+TEST(Acm, AllowAccumulates) {
+  minix::AcmPolicy acm;
+  acm.allow(1, 2, {0});
+  acm.allow(1, 2, {5});
+  EXPECT_TRUE(acm.allowed(1, 2, 0));
+  EXPECT_TRUE(acm.allowed(1, 2, 5));
+  EXPECT_EQ(acm.cell_count(), 1u);
+}
+
+TEST(Acm, KillPolicyIsSeparateFromMessagePolicy) {
+  minix::AcmPolicy acm;
+  acm.allow(1, 2, {0, 1, 2, 3});
+  EXPECT_FALSE(acm.kill_allowed(1, 2));
+  acm.allow_kill(1, 2);
+  EXPECT_TRUE(acm.kill_allowed(1, 2));
+  EXPECT_FALSE(acm.kill_allowed(2, 1));
+}
+
+TEST(Acm, ForkQuota) {
+  minix::AcmPolicy acm;
+  EXPECT_FALSE(acm.fork_quota(7).has_value());
+  acm.set_fork_quota(7, 3);
+  ASSERT_TRUE(acm.fork_quota(7).has_value());
+  EXPECT_EQ(*acm.fork_quota(7), 3);
+  EXPECT_FALSE(acm.quotas_enabled());
+  acm.set_quotas_enabled(true);
+  EXPECT_TRUE(acm.quotas_enabled());
+}
+
+TEST(Acm, SparseFootprintScalesWithEdgesNotProcesses) {
+  minix::AcmPolicy sparse;
+  // A 1000-process system with a 10-edge policy.
+  for (int i = 0; i < 10; ++i) sparse.allow(i, i + 1, {0, 1});
+  minix::DenseAcm dense(1000);
+  for (int i = 0; i < 10; ++i) dense.allow_mask(i, i + 1, 0b11);
+  EXPECT_LT(sparse.memory_footprint_bytes(),
+            dense.memory_footprint_bytes() / 100);
+}
+
+// Property sweep: decisions must exactly reflect the constructed policy.
+class AcmPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AcmPropertyTest, DecisionsMatchConstructedPolicy) {
+  mkbas::sim::Rng rng(GetParam());
+  minix::AcmPolicy acm;
+  minix::DenseAcm dense(32);
+  // Build a random policy over 32 ac_ids and 8 message types, mirrored
+  // into the dense reference implementation.
+  for (int edge = 0; edge < 60; ++edge) {
+    const int src = static_cast<int>(rng.next_below(32));
+    const int dst = static_cast<int>(rng.next_below(32));
+    const std::uint64_t mask = rng.next_u64() & 0xFF;
+    acm.allow_mask(src, dst, mask);
+    dense.allow_mask(src, dst, mask);
+  }
+  for (int src = 0; src < 32; ++src) {
+    for (int dst = 0; dst < 32; ++dst) {
+      for (int type = 0; type < 8; ++type) {
+        ASSERT_EQ(acm.allowed(src, dst, type), dense.allowed(src, dst, type))
+            << "src=" << src << " dst=" << dst << " type=" << type;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcmPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u, 99u, 1234u,
+                                           5678u));

@@ -1,0 +1,244 @@
+// MINIX extensions: memory grants (§III.A) and the reincarnation server
+// (the "self-repairing" behaviour MINIX is known for).
+#include <gtest/gtest.h>
+
+#include "minix/kernel.hpp"
+
+namespace minix = mkbas::minix;
+namespace sim = mkbas::sim;
+
+using minix::AcmPolicy;
+using minix::Endpoint;
+using minix::IpcResult;
+using minix::MinixKernel;
+
+namespace {
+
+AcmPolicy open_policy(std::initializer_list<int> acs) {
+  AcmPolicy acm;
+  for (int a : acs) {
+    for (int b : acs) acm.allow_mask(a, b, ~0ULL);
+    acm.allow_mask(a, MinixKernel::kPmAcId, ~0ULL);
+    acm.allow_mask(MinixKernel::kPmAcId, a, ~0ULL);
+  }
+  return acm;
+}
+
+}  // namespace
+
+TEST(MinixGrants, SafecopyFromGrantedRegion) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  std::vector<std::uint8_t> shared{1, 2, 3, 4, 5, 6, 7, 8};
+  MinixKernel::GrantId grant = -1;
+  std::vector<std::uint8_t> got(4, 0);
+  Endpoint reader_ep, owner_ep;
+  owner_ep = k.srv_fork2("owner", 10, [&] {
+    grant = k.grant_create(reader_ep, shared.data(), shared.size(),
+                           {.read = true, .write = false});
+    m.sleep_for(sim::sec(1));  // keep the buffer alive
+  });
+  reader_ep = k.srv_fork2("reader", 11, [&] {
+    m.sleep_for(sim::msec(10));
+    ASSERT_EQ(k.safecopy_from(owner_ep, grant, 2, got.data(), 4),
+              IpcResult::kOk);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{3, 4, 5, 6}));
+}
+
+TEST(MinixGrants, SafecopyToWritesThroughGrant) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  std::vector<std::uint8_t> shared(8, 0);
+  MinixKernel::GrantId grant = -1;
+  Endpoint writer_ep, owner_ep;
+  owner_ep = k.srv_fork2("owner", 10, [&] {
+    grant = k.grant_create(writer_ep, shared.data(), shared.size(),
+                           {.read = false, .write = true});
+    m.sleep_for(sim::sec(1));
+  });
+  writer_ep = k.srv_fork2("writer", 11, [&] {
+    m.sleep_for(sim::msec(10));
+    const std::uint8_t data[3] = {9, 8, 7};
+    ASSERT_EQ(k.safecopy_to(owner_ep, grant, 5, data, 3), IpcResult::kOk);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(shared[5], 9);
+  EXPECT_EQ(shared[6], 8);
+  EXPECT_EQ(shared[7], 7);
+}
+
+TEST(MinixGrants, WrongGranteeIsDenied) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11, 12}));
+  std::vector<std::uint8_t> shared(8, 42);
+  MinixKernel::GrantId grant = -1;
+  IpcResult thief_result = IpcResult::kOk;
+  Endpoint friend_ep, owner_ep;
+  owner_ep = k.srv_fork2("owner", 10, [&] {
+    grant = k.grant_create(friend_ep, shared.data(), shared.size(),
+                           {.read = true, .write = false});
+    m.sleep_for(sim::sec(1));
+  });
+  friend_ep = k.srv_fork2("friend", 11, [&] { m.sleep_for(sim::sec(1)); });
+  k.srv_fork2("thief", 12, [&] {
+    m.sleep_for(sim::msec(10));
+    std::uint8_t buf[4];
+    thief_result = k.safecopy_from(owner_ep, grant, 0, buf, 4);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(thief_result, IpcResult::kNotAllowed);
+}
+
+TEST(MinixGrants, BoundsAreChecked) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  std::vector<std::uint8_t> shared(8, 0);
+  MinixKernel::GrantId grant = -1;
+  IpcResult oob = IpcResult::kOk, wrap = IpcResult::kOk;
+  Endpoint reader_ep, owner_ep;
+  owner_ep = k.srv_fork2("owner", 10, [&] {
+    grant = k.grant_create(reader_ep, shared.data(), shared.size(),
+                           {.read = true, .write = false});
+    m.sleep_for(sim::sec(1));
+  });
+  reader_ep = k.srv_fork2("reader", 11, [&] {
+    m.sleep_for(sim::msec(10));
+    std::uint8_t buf[16];
+    oob = k.safecopy_from(owner_ep, grant, 6, buf, 4);  // 6+4 > 8
+    wrap = k.safecopy_from(owner_ep, grant, 1000, buf, 1);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(oob, IpcResult::kNotAllowed);
+  EXPECT_EQ(wrap, IpcResult::kNotAllowed);
+}
+
+TEST(MinixGrants, AccessModeIsEnforced) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  std::vector<std::uint8_t> shared(8, 0);
+  MinixKernel::GrantId grant = -1;
+  IpcResult write_result = IpcResult::kOk;
+  Endpoint peer_ep, owner_ep;
+  owner_ep = k.srv_fork2("owner", 10, [&] {
+    grant = k.grant_create(peer_ep, shared.data(), shared.size(),
+                           {.read = true, .write = false});
+    m.sleep_for(sim::sec(1));
+  });
+  peer_ep = k.srv_fork2("peer", 11, [&] {
+    m.sleep_for(sim::msec(10));
+    const std::uint8_t data[1] = {1};
+    write_result = k.safecopy_to(owner_ep, grant, 0, data, 1);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(write_result, IpcResult::kNotAllowed);
+}
+
+TEST(MinixGrants, RevokedGrantStopsWorking) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  std::vector<std::uint8_t> shared(8, 0);
+  MinixKernel::GrantId grant = -1;
+  IpcResult after_revoke = IpcResult::kOk;
+  Endpoint peer_ep, owner_ep;
+  owner_ep = k.srv_fork2("owner", 10, [&] {
+    grant = k.grant_create(peer_ep, shared.data(), shared.size(),
+                           {.read = true, .write = false});
+    m.sleep_for(sim::msec(50));
+    ASSERT_EQ(k.grant_revoke(grant), IpcResult::kOk);
+    m.sleep_for(sim::sec(1));
+  });
+  peer_ep = k.srv_fork2("peer", 11, [&] {
+    std::uint8_t buf[2];
+    m.sleep_for(sim::msec(10));
+    ASSERT_EQ(k.safecopy_from(owner_ep, grant, 0, buf, 2), IpcResult::kOk);
+    m.sleep_for(sim::msec(100));  // owner revokes meanwhile
+    after_revoke = k.safecopy_from(owner_ep, grant, 0, buf, 2);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(after_revoke, IpcResult::kBadEndpoint);
+}
+
+TEST(MinixGrants, GrantsDieWithTheGranter) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  std::vector<std::uint8_t> shared(8, 0);
+  MinixKernel::GrantId grant = -1;
+  IpcResult after_death = IpcResult::kOk;
+  Endpoint peer_ep, owner_ep;
+  owner_ep = k.srv_fork2("owner", 10, [&] {
+    grant = k.grant_create(peer_ep, shared.data(), shared.size(),
+                           {.read = true, .write = false});
+    m.sleep_for(sim::msec(50));  // then exits
+  });
+  peer_ep = k.srv_fork2("peer", 11, [&] {
+    std::uint8_t buf[2];
+    m.sleep_for(sim::msec(200));  // owner is gone by now
+    after_death = k.safecopy_from(owner_ep, grant, 0, buf, 2);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(after_death, IpcResult::kDeadSrcDst);
+}
+
+TEST(MinixRs, RestartsKilledSystemProcess) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10}));
+  k.enable_reincarnation(sim::msec(100));
+  int incarnations = 0;
+  const Endpoint first = k.srv_fork2("driver", 10, [&] {
+    ++incarnations;
+    m.sleep_for(sim::minutes(10));
+  });
+  m.run_until(sim::msec(50));
+  k.kernel_kill(first);
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(incarnations, 2);
+  EXPECT_EQ(k.restarts(), 1);
+  const Endpoint second = k.lookup("driver");
+  ASSERT_TRUE(second.valid());
+  EXPECT_NE(second, first);  // new endpoint (new generation/slot)
+}
+
+TEST(MinixRs, RestartsCrashedProcess) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10}));
+  k.enable_reincarnation(sim::msec(100));
+  int incarnations = 0;
+  k.srv_fork2("flaky", 10, [&] {
+    if (++incarnations == 1) throw std::runtime_error("segfault");
+    m.sleep_for(sim::minutes(10));
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(incarnations, 2);
+  EXPECT_TRUE(k.lookup("flaky").valid());
+}
+
+TEST(MinixRs, VoluntaryExitIsNotRestarted) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10}));
+  k.enable_reincarnation(sim::msec(100));
+  int incarnations = 0;
+  k.srv_fork2("oneshot", 10, [&] {
+    ++incarnations;
+    k.pm_exit(0);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(incarnations, 1);
+  EXPECT_EQ(k.restarts(), 0);
+}
+
+TEST(MinixRs, ProcessesLoadedBeforeEnableAreNotManaged) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10}));
+  int incarnations = 0;
+  const Endpoint ep = k.srv_fork2("legacy", 10, [&] {
+    ++incarnations;
+    m.sleep_for(sim::minutes(10));
+  });
+  k.enable_reincarnation(sim::msec(100));
+  m.run_until(sim::msec(50));
+  k.kernel_kill(ep);
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(incarnations, 1);
+}

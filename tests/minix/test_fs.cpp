@@ -1,0 +1,179 @@
+#include "minix/fs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minix = mkbas::minix;
+namespace sim = mkbas::sim;
+
+using minix::AcmPolicy;
+using minix::Endpoint;
+using minix::FsClient;
+using minix::FsServer;
+using minix::IpcResult;
+using minix::MinixKernel;
+
+namespace {
+
+/// ACM allowing the listed app ac_ids full access to PM and the FS.
+AcmPolicy fs_policy(std::initializer_list<int> acs) {
+  AcmPolicy acm;
+  for (int a : acs) {
+    acm.allow_mask(a, MinixKernel::kPmAcId, ~0ULL);
+    acm.allow_mask(MinixKernel::kPmAcId, a, ~0ULL);
+    acm.allow_mask(a, FsServer::kFsAcId, ~0ULL);
+    acm.allow_mask(FsServer::kFsAcId, a, ~0ULL);
+  }
+  return acm;
+}
+
+}  // namespace
+
+TEST(MinixFs, CreateWriteReadRoundTrip) {
+  sim::Machine m;
+  MinixKernel k(m, fs_policy({10}));
+  FsServer fs(k);
+  std::string back;
+  k.srv_fork2("app", 10, [&] {
+    FsClient c(k, fs.endpoint());
+    const int fd = c.open("/var/log/ctl.log", true);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(c.write(fd, "hello "), IpcResult::kOk);
+    ASSERT_EQ(c.write(fd, "world"), IpcResult::kOk);
+    ASSERT_EQ(c.read_all(fd, &back), IpcResult::kOk);
+    ASSERT_EQ(c.close(fd), IpcResult::kOk);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(back, "hello world");
+  ASSERT_NE(fs.contents("/var/log/ctl.log"), nullptr);
+  EXPECT_EQ(*fs.contents("/var/log/ctl.log"), "hello world");
+}
+
+TEST(MinixFs, ChunkedWritesHandleLongData) {
+  sim::Machine m;
+  MinixKernel k(m, fs_policy({10}));
+  FsServer fs(k);
+  const std::string big(500, 'x');
+  std::string back;
+  k.srv_fork2("app", 10, [&] {
+    FsClient c(k, fs.endpoint());
+    const int fd = c.open("/big", true);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(c.write(fd, big), IpcResult::kOk);
+    EXPECT_EQ(c.stat_size(fd), 500);
+    ASSERT_EQ(c.read_all(fd, &back), IpcResult::kOk);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(back, big);
+}
+
+TEST(MinixFs, BulkWriteThroughGrant) {
+  sim::Machine m;
+  MinixKernel k(m, fs_policy({10}));
+  FsServer fs(k);
+  const std::string big(2000, 'y');
+  k.srv_fork2("app", 10, [&] {
+    FsClient c(k, fs.endpoint());
+    const int fd = c.open("/bulk", true);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(c.write_bulk(fd, big), IpcResult::kOk);
+    EXPECT_EQ(c.stat_size(fd), 2000);
+  });
+  m.run_until(sim::sec(2));
+  ASSERT_NE(fs.contents("/bulk"), nullptr);
+  EXPECT_EQ(*fs.contents("/bulk"), big);
+}
+
+TEST(MinixFs, OpenMissingWithoutCreateFails) {
+  sim::Machine m;
+  MinixKernel k(m, fs_policy({10}));
+  FsServer fs(k);
+  int fd = 0;
+  k.srv_fork2("app", 10, [&] {
+    FsClient c(k, fs.endpoint());
+    fd = c.open("/does/not/exist", false);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(fd, -1);
+}
+
+TEST(MinixFs, OnlyOwnerMayWrite) {
+  sim::Machine m;
+  MinixKernel k(m, fs_policy({10, 11}));
+  FsServer fs(k);
+  IpcResult other_write = IpcResult::kOk;
+  std::string other_read;
+  k.srv_fork2("owner", 10, [&] {
+    FsClient c(k, fs.endpoint());
+    const int fd = c.open("/owned", true);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(c.write(fd, "secretless telemetry"), IpcResult::kOk);
+    m.sleep_for(sim::sec(1));
+  });
+  k.srv_fork2("other", 11, [&] {
+    m.sleep_for(sim::msec(100));
+    FsClient c(k, fs.endpoint());
+    const int fd = c.open("/owned", false);
+    ASSERT_GE(fd, 0);
+    other_write = c.write(fd, "tamper");
+    ASSERT_EQ(c.read_all(fd, &other_read), IpcResult::kOk);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(other_write, IpcResult::kNotAllowed);
+  EXPECT_EQ(other_read, "secretless telemetry");  // reads allowed
+}
+
+TEST(MinixFs, FdsAreNotTransferable) {
+  // A process cannot use an fd another process opened: the FS binds fds
+  // to the opener's endpoint.
+  sim::Machine m;
+  MinixKernel k(m, fs_policy({10, 11}));
+  FsServer fs(k);
+  int stolen_fd = -1;
+  int stat_result = 0;
+  k.srv_fork2("opener", 10, [&] {
+    FsClient c(k, fs.endpoint());
+    stolen_fd = c.open("/file", true);
+    m.sleep_for(sim::sec(1));
+  });
+  k.srv_fork2("thief", 11, [&] {
+    m.sleep_for(sim::msec(100));
+    FsClient c(k, fs.endpoint());
+    stat_result = c.stat_size(stolen_fd);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_GE(stolen_fd, 0);
+  EXPECT_EQ(stat_result, -1);
+}
+
+TEST(MinixFs, AcmGatesWhoCanReachTheFs) {
+  sim::Machine m;
+  // ac 12 has no row to the FS at all.
+  AcmPolicy acm = fs_policy({10});
+  acm.allow_mask(12, MinixKernel::kPmAcId, ~0ULL);
+  acm.allow_mask(MinixKernel::kPmAcId, 12, ~0ULL);
+  MinixKernel k(m, std::move(acm));
+  FsServer fs(k);
+  int fd = 0;
+  k.srv_fork2("pariah", 12, [&] {
+    FsClient c(k, fs.endpoint());
+    fd = c.open("/anything", true);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(fd, -1);
+  EXPECT_GE(m.trace().count_tag("acm.deny"), 1u);
+}
+
+TEST(MinixFs, ReadBeyondEndReturnsEmpty) {
+  sim::Machine m;
+  MinixKernel k(m, fs_policy({10}));
+  FsServer fs(k);
+  std::string back = "sentinel";
+  k.srv_fork2("app", 10, [&] {
+    FsClient c(k, fs.endpoint());
+    const int fd = c.open("/empty", true);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(c.read_all(fd, &back), IpcResult::kOk);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(back, "");
+}

@@ -1,0 +1,493 @@
+#include "minix/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace minix = mkbas::minix;
+namespace sim = mkbas::sim;
+
+using minix::AcmPolicy;
+using minix::Endpoint;
+using minix::IpcResult;
+using minix::Message;
+using minix::MinixKernel;
+
+namespace {
+
+/// Policy where the listed ac_ids may exchange any message type with each
+/// other and with PM (convenient default for IPC plumbing tests).
+AcmPolicy open_policy(std::initializer_list<int> acs) {
+  AcmPolicy acm;
+  for (int a : acs) {
+    for (int b : acs) acm.allow_mask(a, b, ~0ULL);
+    acm.allow_mask(a, MinixKernel::kPmAcId, ~0ULL);
+    acm.allow_mask(MinixKernel::kPmAcId, a, ~0ULL);
+  }
+  return acm;
+}
+
+}  // namespace
+
+TEST(MinixKernel, SynchronousRendezvousDeliversSenderFirst) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  double received = 0.0;
+  Endpoint recv_ep;
+
+  // Sender runs first (spawn order), blocks in send; receiver picks it up.
+  recv_ep = k.srv_fork2("recv", 11, [&] {
+    Message msg;
+    ASSERT_EQ(k.ipc_receive(Endpoint::any(), msg), IpcResult::kOk);
+    received = msg.get_f64(0);
+  });
+  k.srv_fork2("send", 10, [&] {
+    Message msg;
+    msg.m_type = 1;
+    msg.put_f64(0, 21.5);
+    ASSERT_EQ(k.ipc_send(recv_ep, msg), IpcResult::kOk);
+  });
+  m.run();
+  EXPECT_DOUBLE_EQ(received, 21.5);
+}
+
+TEST(MinixKernel, SynchronousRendezvousDeliversReceiverFirst) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  int received_type = -1;
+  Endpoint recv_ep = k.srv_fork2("recv", 11, [&] {
+    Message msg;
+    ASSERT_EQ(k.ipc_receive(Endpoint::any(), msg), IpcResult::kOk);
+    received_type = msg.m_type;
+  });
+  k.srv_fork2("send", 10, [&] {
+    m.sleep_for(sim::msec(5));  // let the receiver block first
+    Message msg;
+    msg.m_type = 7;
+    ASSERT_EQ(k.ipc_send(recv_ep, msg), IpcResult::kOk);
+  });
+  m.run();
+  EXPECT_EQ(received_type, 7);
+}
+
+TEST(MinixKernel, KernelStampsTrueSenderIdentity) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  Endpoint seen_source;
+  Endpoint sender_ep;
+  Endpoint recv_ep = k.srv_fork2("recv", 11, [&] {
+    Message msg;
+    ASSERT_EQ(k.ipc_receive(Endpoint::any(), msg), IpcResult::kOk);
+    seen_source = msg.source();
+  });
+  sender_ep = k.srv_fork2("spoofer", 10, [&] {
+    Message msg;
+    msg.m_type = 1;
+    // Forge the source field; the kernel must overwrite it on delivery.
+    msg.m_source = Endpoint::make(99, 99).raw();
+    ASSERT_EQ(k.ipc_send(recv_ep, msg), IpcResult::kOk);
+  });
+  m.run();
+  EXPECT_EQ(seen_source, sender_ep);
+}
+
+TEST(MinixKernel, AcmDeniesDisallowedType) {
+  sim::Machine m;
+  AcmPolicy acm;
+  acm.allow(10, 11, {0, 2});  // type 1 not granted
+  MinixKernel k(m, std::move(acm));
+  IpcResult denied = IpcResult::kOk, allowed = IpcResult::kNotAllowed;
+  Endpoint recv_ep = k.srv_fork2("recv", 11, [&] {
+    Message msg;
+    k.ipc_receive(Endpoint::any(), msg);
+  });
+  k.srv_fork2("send", 10, [&] {
+    Message msg;
+    msg.m_type = 1;
+    denied = k.ipc_send(recv_ep, msg);
+    msg.m_type = 2;
+    allowed = k.ipc_send(recv_ep, msg);
+  });
+  m.run();
+  EXPECT_EQ(denied, IpcResult::kNotAllowed);
+  EXPECT_EQ(allowed, IpcResult::kOk);
+  EXPECT_GE(m.trace().count_tag("acm.deny"), 1u);
+}
+
+TEST(MinixKernel, ReceiveFromSpecificSourceFilters) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11, 12}));
+  std::vector<int> order;
+  Endpoint wanted_ep;
+  Endpoint recv_ep = k.srv_fork2("recv", 12, [&] {
+    // Wait until both senders are queued, then receive from `wanted` only.
+    m.sleep_for(sim::msec(10));
+    Message msg;
+    ASSERT_EQ(k.ipc_receive(wanted_ep, msg), IpcResult::kOk);
+    order.push_back(msg.m_type);
+    ASSERT_EQ(k.ipc_receive(Endpoint::any(), msg), IpcResult::kOk);
+    order.push_back(msg.m_type);
+  });
+  k.srv_fork2("other", 10, [&] {
+    Message msg;
+    msg.m_type = 1;
+    k.ipc_send(recv_ep, msg);
+  });
+  wanted_ep = k.srv_fork2("wanted", 11, [&] {
+    Message msg;
+    msg.m_type = 2;
+    k.ipc_send(recv_ep, msg);
+  });
+  m.run();
+  // The specific receive must pick the later-queued but matching sender.
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(MinixKernel, NonBlockingSendReturnsNotReady) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  IpcResult r = IpcResult::kOk;
+  Endpoint recv_ep = k.srv_fork2("recv", 11, [&] {
+    m.sleep_for(sim::sec(1));  // not receiving
+  });
+  k.srv_fork2("send", 10, [&] {
+    Message msg;
+    msg.m_type = 1;
+    r = k.ipc_sendnb(recv_ep, msg);
+  });
+  m.run();
+  EXPECT_EQ(r, IpcResult::kNotReady);
+}
+
+TEST(MinixKernel, NonBlockingSendDeliversToWaitingReceiver) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  IpcResult send_r = IpcResult::kNotReady;
+  int got = -1;
+  Endpoint recv_ep = k.srv_fork2("recv", 11, [&] {
+    Message msg;
+    ASSERT_EQ(k.ipc_receive(Endpoint::any(), msg), IpcResult::kOk);
+    got = msg.m_type;
+  });
+  k.srv_fork2("send", 10, [&] {
+    m.sleep_for(sim::msec(1));
+    Message msg;
+    msg.m_type = 9;
+    send_r = k.ipc_sendnb(recv_ep, msg);
+  });
+  m.run();
+  EXPECT_EQ(send_r, IpcResult::kOk);
+  EXPECT_EQ(got, 9);
+}
+
+TEST(MinixKernel, AsyncSendQueuesWhenReceiverBusy) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  IpcResult send_r = IpcResult::kNotReady;
+  int got = -1;
+  Endpoint recv_ep = k.srv_fork2("recv", 11, [&] {
+    m.sleep_for(sim::msec(10));
+    Message msg;
+    ASSERT_EQ(k.ipc_receive(Endpoint::any(), msg), IpcResult::kOk);
+    got = msg.m_type;
+  });
+  k.srv_fork2("send", 10, [&] {
+    Message msg;
+    msg.m_type = 4;
+    send_r = k.ipc_senda(recv_ep, msg);
+  });
+  m.run();
+  EXPECT_EQ(send_r, IpcResult::kOk);
+  EXPECT_EQ(got, 4);
+}
+
+TEST(MinixKernel, SendRecActsAsRpc) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  double answer = 0.0;
+  Endpoint server_ep = k.srv_fork2("server", 11, [&] {
+    Message req;
+    ASSERT_EQ(k.ipc_receive(Endpoint::any(), req), IpcResult::kOk);
+    Message reply;
+    reply.m_type = 0;
+    reply.put_f64(0, req.get_f64(0) * 2.0);
+    ASSERT_EQ(k.ipc_senda(req.source(), reply), IpcResult::kOk);
+    Message next;
+    k.ipc_receive(Endpoint::any(), next);  // park
+  });
+  k.srv_fork2("client", 10, [&] {
+    Message msg;
+    msg.m_type = 1;
+    msg.put_f64(0, 21.0);
+    ASSERT_EQ(k.ipc_sendrec(server_ep, msg), IpcResult::kOk);
+    answer = msg.get_f64(0);
+  });
+  m.run_until(sim::sec(1));
+  EXPECT_DOUBLE_EQ(answer, 42.0);
+}
+
+TEST(MinixKernel, SendToDeadEndpointFails) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  IpcResult r = IpcResult::kOk;
+  Endpoint victim = k.srv_fork2("victim", 11, [] {});
+  k.srv_fork2("send", 10, [&] {
+    m.sleep_for(sim::msec(5));  // victim exits first
+    Message msg;
+    msg.m_type = 1;
+    r = k.ipc_send(victim, msg);
+  });
+  m.run();
+  EXPECT_EQ(r, IpcResult::kDeadSrcDst);
+}
+
+TEST(MinixKernel, BlockedSenderUnblocksWhenPeerDies) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  IpcResult r = IpcResult::kOk;
+  Endpoint victim = k.srv_fork2("victim", 11, [&] {
+    m.sleep_for(sim::msec(10));
+    // exits without ever receiving
+  });
+  k.srv_fork2("send", 10, [&] {
+    Message msg;
+    msg.m_type = 1;
+    r = k.ipc_send(victim, msg);  // blocks, then peer dies
+  });
+  m.run();
+  EXPECT_EQ(r, IpcResult::kDeadSrcDst);
+}
+
+TEST(MinixKernel, BlockedReceiverUnblocksWhenPeerDies) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  IpcResult r = IpcResult::kOk;
+  Endpoint peer = k.srv_fork2("peer", 11, [&] { m.sleep_for(sim::msec(5)); });
+  k.srv_fork2("recv", 10, [&] {
+    Message msg;
+    r = k.ipc_receive(peer, msg);  // blocks on a peer that exits
+  });
+  m.run();
+  EXPECT_EQ(r, IpcResult::kDeadSrcDst);
+}
+
+TEST(MinixKernel, StaleEndpointGenerationIsRejected) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11, 12}));
+  IpcResult r = IpcResult::kOk;
+  // Fill-and-free a slot so a new process reuses it at a new generation.
+  Endpoint old_ep = k.srv_fork2("ephemeral", 11, [] {});
+  k.srv_fork2("sender", 10, [&] {
+    m.sleep_for(sim::msec(5));  // ephemeral exits; replacement spawns
+    Message msg;
+    msg.m_type = 1;
+    r = k.ipc_send(old_ep, msg);  // old generation must not resolve
+  });
+  m.at(sim::msec(2), [&] {
+    // Reuse the freed slot (slot allocation is first-free).
+    k.srv_fork2("replacement", 12,
+                [&] { m.sleep_for(sim::sec(1)); });
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(r, IpcResult::kDeadSrcDst);
+}
+
+TEST(MinixKernel, SendDeadlockCycleIsDetected) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  IpcResult second = IpcResult::kOk;
+  Endpoint a_ep, b_ep;
+  a_ep = k.srv_fork2("a", 10, [&] {
+    Message msg;
+    msg.m_type = 1;
+    k.ipc_send(b_ep, msg);  // blocks: b never receives
+  });
+  b_ep = k.srv_fork2("b", 11, [&] {
+    m.sleep_for(sim::msec(5));
+    Message msg;
+    msg.m_type = 1;
+    second = k.ipc_send(a_ep, msg);  // would close the cycle
+  });
+  m.run_until(sim::sec(1));
+  EXPECT_EQ(second, IpcResult::kDeadlock);
+}
+
+TEST(MinixKernel, SendToSelfIsDeadlockError) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10}));
+  IpcResult r = IpcResult::kOk;
+  k.srv_fork2("narcissist", 10, [&] {
+    Message msg;
+    msg.m_type = 1;
+    r = k.ipc_send(k.self(), msg);
+  });
+  m.run_until(sim::sec(1));
+  EXPECT_EQ(r, IpcResult::kDeadlock);
+}
+
+TEST(MinixKernel, NotifyIsDeliveredBeforeQueuedSenders) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11, 12}));
+  std::vector<int> types;
+  Endpoint recv_ep = k.srv_fork2("recv", 12, [&] {
+    m.sleep_for(sim::msec(10));
+    Message msg;
+    ASSERT_EQ(k.ipc_receive(Endpoint::any(), msg), IpcResult::kOk);
+    types.push_back(msg.m_type);
+    ASSERT_EQ(k.ipc_receive(Endpoint::any(), msg), IpcResult::kOk);
+    types.push_back(msg.m_type);
+  });
+  k.srv_fork2("sender", 10, [&] {
+    Message msg;
+    msg.m_type = 5;
+    k.ipc_send(recv_ep, msg);  // queued synchronous sender
+  });
+  k.srv_fork2("notifier", 11, [&] {
+    m.sleep_for(sim::msec(5));
+    k.ipc_notify(recv_ep);
+  });
+  m.run();
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], minix::kNotifyMType);
+  EXPECT_EQ(types[1], 5);
+}
+
+TEST(MinixKernel, Fork2CreatesChildWithAcId) {
+  sim::Machine m;
+  AcmPolicy acm = open_policy({10, 20});
+  MinixKernel k(m, std::move(acm));
+  bool child_ran = false;
+  int child_ac = -1;
+  k.srv_fork2("parent", 10, [&] {
+    auto res = k.fork2("child", 20, [&] {
+      child_ran = true;
+      m.sleep_for(sim::sec(10));  // stay alive for the parent's inspection
+    });
+    ASSERT_EQ(res.status, IpcResult::kOk);
+    child_ac = k.ac_id_of(res.child);
+  });
+  m.run_until(sim::sec(1));
+  EXPECT_TRUE(child_ran);
+  EXPECT_EQ(child_ac, 20);
+}
+
+TEST(MinixKernel, PmKillHonoursAcmKillPolicy) {
+  sim::Machine m;
+  AcmPolicy acm = open_policy({10, 11, 12});
+  acm.allow_kill(10, 12);  // only "admin" may kill the victim
+  MinixKernel k(m, std::move(acm));
+  IpcResult denied = IpcResult::kOk, granted = IpcResult::kNotAllowed;
+  Endpoint victim = k.srv_fork2("victim", 12, [&] {
+    Message msg;
+    k.ipc_receive(Endpoint::any(), msg);  // park forever
+  });
+  k.srv_fork2("attacker", 11, [&] {
+    denied = k.pm_kill(victim);
+  });
+  k.srv_fork2("admin", 10, [&] {
+    m.sleep_for(sim::msec(10));
+    granted = k.pm_kill(victim);
+  });
+  m.run_until(sim::sec(1));
+  EXPECT_EQ(denied, IpcResult::kNotAllowed);
+  EXPECT_EQ(granted, IpcResult::kOk);
+  EXPECT_FALSE(k.is_live(victim));
+  EXPECT_GE(m.trace().count_tag("acm.kill_deny"), 1u);
+}
+
+TEST(MinixKernel, ForkQuotaStopsForkBomb) {
+  sim::Machine m;
+  AcmPolicy acm = open_policy({66});
+  acm.set_quotas_enabled(true);
+  acm.set_fork_quota(66, 3);
+  MinixKernel k(m, std::move(acm));
+  int successes = 0;
+  IpcResult last = IpcResult::kOk;
+  k.srv_fork2("bomb", 66, [&] {
+    for (int i = 0; i < 10; ++i) {
+      auto res = k.fork2("spawnling", 66,
+                         [&] { m.sleep_for(sim::sec(10)); });
+      if (res.status == IpcResult::kOk) {
+        ++successes;
+      } else {
+        last = res.status;
+        break;
+      }
+    }
+  });
+  m.run_until(sim::sec(1));
+  EXPECT_EQ(successes, 3);
+  EXPECT_EQ(last, IpcResult::kQuotaExceeded);
+}
+
+TEST(MinixKernel, ForkBombSucceedsWithoutQuotas) {
+  // The paper concedes this limitation: without quotas the web interface
+  // can exhaust the process table.
+  sim::Machine m;
+  AcmPolicy acm = open_policy({66});
+  MinixKernel k(m, std::move(acm));
+  int successes = 0;
+  k.srv_fork2("bomb", 66, [&] {
+    for (int i = 0; i < MinixKernel::kNumSlots + 10; ++i) {
+      auto res =
+          k.fork2("spawnling", 66, [&] { m.sleep_for(sim::sec(60)); });
+      if (res.status != IpcResult::kOk) break;
+      ++successes;
+    }
+  });
+  m.run_until(sim::sec(5));
+  // Table has kNumSlots entries; PM + bomb occupy two.
+  EXPECT_GE(successes, MinixKernel::kNumSlots - 3);
+}
+
+TEST(MinixKernel, LookupFindsLiveProcesses) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10}));
+  Endpoint ep = k.srv_fork2("svc", 10, [&] { m.sleep_for(sim::sec(1)); });
+  EXPECT_EQ(k.lookup("svc"), ep);
+  EXPECT_EQ(k.lookup("nope"), Endpoint::none());
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(k.lookup("svc"), Endpoint::none());  // gone after exit
+}
+
+TEST(MinixKernel, WaitLookupRetriesUntilRegistration) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  Endpoint found = Endpoint::none();
+  k.srv_fork2("early", 10, [&] {
+    found = k.wait_lookup("late", sim::sec(2));
+  });
+  m.at(sim::msec(100), [&] {
+    k.srv_fork2("late", 11, [&] { m.sleep_for(sim::sec(5)); });
+  });
+  m.run_until(sim::sec(3));
+  EXPECT_TRUE(found.valid());
+}
+
+TEST(MinixKernel, PmExitRetiresProcess) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10}));
+  Endpoint ep = k.srv_fork2("quitter", 10, [&] { k.pm_exit(0); });
+  m.run_until(sim::sec(1));
+  EXPECT_FALSE(k.is_live(ep));
+  EXPECT_GE(m.trace().count_tag("pm.exit"), 1u);
+}
+
+TEST(MinixKernel, KernelKillCleansUpIpcState) {
+  sim::Machine m;
+  MinixKernel k(m, open_policy({10, 11}));
+  IpcResult sender_result = IpcResult::kOk;
+  Endpoint victim = k.srv_fork2("victim", 11, [&] {
+    m.sleep_for(sim::sec(10));
+  });
+  k.srv_fork2("sender", 10, [&] {
+    Message msg;
+    msg.m_type = 1;
+    sender_result = k.ipc_send(victim, msg);  // blocks on victim
+  });
+  m.at(sim::msec(10), [&] { k.kernel_kill(victim); });
+  m.run_until(sim::sec(1));
+  EXPECT_EQ(sender_result, IpcResult::kDeadSrcDst);
+  EXPECT_FALSE(k.is_live(victim));
+}

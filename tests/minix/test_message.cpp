@@ -1,0 +1,64 @@
+#include "minix/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minix = mkbas::minix;
+
+TEST(Endpoint, EncodesSlotAndGeneration) {
+  const auto ep = minix::Endpoint::make(5, 3);
+  EXPECT_EQ(ep.slot(), 5);
+  EXPECT_EQ(ep.generation(), 3);
+  EXPECT_TRUE(ep.valid());
+}
+
+TEST(Endpoint, DifferentGenerationsDiffer) {
+  EXPECT_NE(minix::Endpoint::make(5, 3), minix::Endpoint::make(5, 4));
+  EXPECT_NE(minix::Endpoint::make(5, 3), minix::Endpoint::make(6, 3));
+  EXPECT_EQ(minix::Endpoint::make(5, 3), minix::Endpoint::make(5, 3));
+}
+
+TEST(Endpoint, AnyAndNoneAreDistinctAndInvalid) {
+  EXPECT_TRUE(minix::Endpoint::any().is_any());
+  EXPECT_FALSE(minix::Endpoint::any().valid());
+  EXPECT_FALSE(minix::Endpoint::none().valid());
+  EXPECT_NE(minix::Endpoint::any(), minix::Endpoint::none());
+}
+
+TEST(Endpoint, RoundTripsThroughRaw) {
+  const auto ep = minix::Endpoint::make(123, 77);
+  EXPECT_EQ(minix::Endpoint(ep.raw()), ep);
+}
+
+TEST(Message, IsExactly64Bytes) { EXPECT_EQ(sizeof(minix::Message), 64u); }
+
+TEST(Message, TypedPayloadRoundTrip) {
+  minix::Message m;
+  m.put_i32(0, -42);
+  m.put_f64(8, 21.375);
+  m.put_str(16, "hello");
+  EXPECT_EQ(m.get_i32(0), -42);
+  EXPECT_DOUBLE_EQ(m.get_f64(8), 21.375);
+  EXPECT_EQ(m.get_str(16), "hello");
+}
+
+TEST(Message, OutOfRangePayloadAccessIsSafe) {
+  minix::Message m;
+  m.put_f64(52, 1.0);  // would overrun the 56-byte payload: ignored
+  EXPECT_DOUBLE_EQ(m.get_f64(52), 0.0);
+  m.put_str(60, "x");  // offset beyond payload: ignored
+  EXPECT_EQ(m.get_str(60), "");
+}
+
+TEST(Message, LongStringsAreTruncatedNotOverrun) {
+  minix::Message m;
+  const std::string longstr(100, 'a');
+  m.put_str(0, longstr);
+  const std::string back = m.get_str(0);
+  EXPECT_EQ(back.size(), minix::Message::kPayloadBytes - 1);
+  EXPECT_EQ(back, std::string(minix::Message::kPayloadBytes - 1, 'a'));
+}
+
+TEST(Message, SourceDefaultsToNone) {
+  minix::Message m;
+  EXPECT_FALSE(m.source().valid());
+}

@@ -1,0 +1,137 @@
+#include "minix/vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minix = mkbas::minix;
+namespace sim = mkbas::sim;
+
+using minix::AcmPolicy;
+using minix::Endpoint;
+using minix::MinixKernel;
+using minix::VmClient;
+using minix::VmServer;
+
+namespace {
+
+AcmPolicy vm_policy(std::initializer_list<int> acs) {
+  AcmPolicy acm;
+  for (int a : acs) {
+    acm.allow_mask(a, MinixKernel::kPmAcId, ~0ULL);
+    acm.allow_mask(MinixKernel::kPmAcId, a, ~0ULL);
+    acm.allow_mask(a, VmServer::kVmAcId, ~0ULL);
+    acm.allow_mask(VmServer::kVmAcId, a, ~0ULL);
+  }
+  return acm;
+}
+
+}  // namespace
+
+TEST(MinixVm, GrowFreeUsageRoundTrip) {
+  sim::Machine m;
+  MinixKernel k(m, vm_policy({10}));
+  VmServer vm(k);
+  std::size_t mid = 0, end = 0;
+  k.srv_fork2("app", 10, [&] {
+    VmClient c(k, vm.endpoint());
+    ASSERT_TRUE(c.brk_grow(1 << 20));
+    ASSERT_TRUE(c.brk_grow(1 << 20));
+    mid = c.usage();
+    ASSERT_TRUE(c.brk_free(1 << 20));
+    end = c.usage();
+  });
+  m.run_until(sim::sec(1));
+  EXPECT_EQ(mid, 2u << 20);
+  EXPECT_EQ(end, 1u << 20);
+  EXPECT_EQ(vm.pool_free(), VmServer::kDefaultPoolBytes - (1 << 20));
+}
+
+TEST(MinixVm, PhysicalPoolIsExhaustible) {
+  sim::Machine m;
+  MinixKernel k(m, vm_policy({10, 11}));
+  VmServer vm(k, /*pool=*/4 << 20);
+  bool bomb_hit_wall = false;
+  bool victim_denied = false;
+  k.srv_fork2("membomb", 10, [&] {
+    VmClient c(k, vm.endpoint());
+    for (int i = 0; i < 64; ++i) {
+      if (!c.brk_grow(1 << 20)) {
+        bomb_hit_wall = true;
+        break;
+      }
+    }
+    m.sleep_for(sim::sec(1));
+  });
+  k.srv_fork2("victim", 11, [&] {
+    m.sleep_for(sim::msec(100));
+    VmClient c(k, vm.endpoint());
+    victim_denied = !c.brk_grow(1 << 20);
+  });
+  m.run_until(sim::sec(2));
+  // Without quotas the bomb starves everyone — the fork-bomb problem,
+  // reproduced for memory.
+  EXPECT_TRUE(bomb_hit_wall);
+  EXPECT_TRUE(victim_denied);
+}
+
+TEST(MinixVm, QuotaContainsTheMemoryBomb) {
+  sim::Machine m;
+  MinixKernel k(m, vm_policy({10, 11}));
+  VmServer vm(k, /*pool=*/4 << 20);
+  vm.set_quota(10, 1 << 20);  // the untrusted ac gets 1 MiB
+  int grows = 0;
+  bool victim_ok = false;
+  k.srv_fork2("membomb", 10, [&] {
+    VmClient c(k, vm.endpoint());
+    while (c.brk_grow(256 << 10)) ++grows;
+    m.sleep_for(sim::sec(1));
+  });
+  k.srv_fork2("victim", 11, [&] {
+    m.sleep_for(sim::msec(100));
+    VmClient c(k, vm.endpoint());
+    victim_ok = c.brk_grow(2 << 20);
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(grows, 4);  // 4 * 256 KiB = the 1 MiB quota
+  EXPECT_TRUE(victim_ok);
+  EXPECT_GE(m.trace().count_tag("vm.quota_deny"), 1u);
+}
+
+TEST(MinixVm, QuotaIsPerAcIdNotPerProcess) {
+  // Children share the parent's ac_id (sealed assignment), so spawning
+  // helpers does not multiply the budget.
+  sim::Machine m;
+  AcmPolicy acm = vm_policy({10});
+  MinixKernel k(m, std::move(acm));
+  VmServer vm(k, 16 << 20);
+  vm.set_quota(10, 1 << 20);
+  int total_grows = 0;
+  k.srv_fork2("parent", 10, [&] {
+    k.seal_ac_assignment();
+    for (int c = 0; c < 3; ++c) {
+      k.fork2("child", 99 /*ignored: sealed*/, [&] {
+        VmClient vc(k, vm.endpoint());
+        while (vc.brk_grow(256 << 10)) ++total_grows;
+        m.sleep_for(sim::sec(1));
+      });
+    }
+    m.sleep_for(sim::sec(1));
+  });
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(total_grows, 4);  // one shared 1 MiB budget across children
+}
+
+TEST(MinixVm, FreeingMoreThanOwnedIsClamped) {
+  sim::Machine m;
+  MinixKernel k(m, vm_policy({10}));
+  VmServer vm(k, 4 << 20);
+  std::size_t usage = 1;
+  k.srv_fork2("app", 10, [&] {
+    VmClient c(k, vm.endpoint());
+    ASSERT_TRUE(c.brk_grow(1 << 20));
+    ASSERT_TRUE(c.brk_free(100 << 20));  // silly free: clamped
+    usage = c.usage();
+  });
+  m.run_until(sim::sec(1));
+  EXPECT_EQ(usage, 0u);
+  EXPECT_EQ(vm.pool_free(), 4u << 20);  // pool never over-credited
+}

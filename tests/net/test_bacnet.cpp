@@ -1,0 +1,317 @@
+#include "net/bacnet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace net = mkbas::net;
+namespace sim = mkbas::sim;
+
+using net::BacnetDevice;
+using net::BacnetMsg;
+using net::BacnetNetwork;
+using net::SecureProxy;
+
+namespace {
+BacnetMsg setpoint_write_helper(std::uint32_t dst, double value) {
+  BacnetMsg msg;
+  msg.service = BacnetMsg::Service::kWriteProperty;
+  msg.src_device = 99;
+  msg.dst_device = dst;
+  msg.property = "setpoint";
+  msg.value = value;
+  return msg;
+}
+}  // namespace
+
+TEST(Bacnet, ReadPropertyRoundTrip) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice dev(10, "thermostat");
+  dev.set_property("setpoint", 22.0);
+  netw.attach(dev);
+
+  BacnetMsg req;
+  req.service = BacnetMsg::Service::kReadProperty;
+  req.src_device = 99;
+  req.dst_device = 10;
+  req.property = "setpoint";
+  netw.send(req);
+  m.run_until(sim::sec(1));
+  ASSERT_EQ(netw.replies().size(), 1u);
+  EXPECT_EQ(netw.replies()[0].service, BacnetMsg::Service::kReadPropertyAck);
+  EXPECT_DOUBLE_EQ(netw.replies()[0].value, 22.0);
+}
+
+TEST(Bacnet, PlainDeviceAcceptsAnyWrite) {
+  // The §I weakness: BACnet WriteProperty has no authentication.
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice dev(10, "thermostat");
+  dev.set_property("setpoint", 22.0);
+  netw.attach(dev);
+
+  BacnetMsg evil;
+  evil.service = BacnetMsg::Service::kWriteProperty;
+  evil.src_device = 666;  // nobody checks this
+  evil.dst_device = 10;
+  evil.property = "setpoint";
+  evil.value = 45.0;
+  netw.send(evil);
+  m.run_until(sim::sec(1));
+  EXPECT_DOUBLE_EQ(dev.property("setpoint"), 45.0);
+  EXPECT_EQ(dev.writes_accepted(), 1u);
+}
+
+TEST(Bacnet, WhoIsGetsIAm) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice dev(10, "thermostat");
+  netw.attach(dev);
+  BacnetMsg whois;
+  whois.service = BacnetMsg::Service::kWhoIs;
+  whois.dst_device = 10;
+  netw.send(whois);
+  m.run_until(sim::sec(1));
+  ASSERT_EQ(netw.replies().size(), 1u);
+  EXPECT_EQ(netw.replies()[0].service, BacnetMsg::Service::kIAm);
+}
+
+TEST(Bacnet, FloodOverflowsInboxAndDrops) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice dev(10, "thermostat");
+  netw.attach(dev);
+  for (int i = 0; i < 100; ++i) {
+    BacnetMsg msg;
+    msg.service = BacnetMsg::Service::kWhoIs;
+    msg.dst_device = 10;
+    netw.send(msg);
+  }
+  EXPECT_GT(netw.dropped_count(), 0u);
+  EXPECT_EQ(netw.dropped_count(), 100 - BacnetNetwork::kInboxDepth);
+}
+
+TEST(Bacnet, CovSubscriptionPushesOnChange) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice thermostat(10, "thermostat");
+  thermostat.set_property("temp", 21.0);
+  BacnetDevice console(20, "console");
+  netw.attach(thermostat);
+  netw.attach(console);
+
+  BacnetMsg sub;
+  sub.service = BacnetMsg::Service::kSubscribeCov;
+  sub.src_device = 20;
+  sub.dst_device = 10;
+  sub.property = "temp";
+  netw.send(sub);
+  m.run_until(sim::sec(1));
+  ASSERT_EQ(thermostat.subscription_count(), 1u);
+
+  thermostat.set_property("temp", 22.5);
+  m.run_until(sim::sec(2));
+  ASSERT_EQ(console.cov_inbox().size(), 1u);
+  EXPECT_EQ(console.cov_inbox()[0].property, "temp");
+  EXPECT_DOUBLE_EQ(console.cov_inbox()[0].value, 22.5);
+}
+
+TEST(Bacnet, CovNotifiesOnNetworkWritesToo) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice dev(10, "thermostat");
+  dev.set_property("setpoint", 22.0);
+  BacnetDevice console(20, "console");
+  netw.attach(dev);
+  netw.attach(console);
+  BacnetMsg sub;
+  sub.service = BacnetMsg::Service::kSubscribeCov;
+  sub.src_device = 20;
+  sub.dst_device = 10;
+  sub.property = "setpoint";
+  netw.send(sub);
+  m.run_until(sim::sec(1));
+  netw.send(setpoint_write_helper(10, 24.0));
+  m.run_until(sim::sec(2));
+  ASSERT_EQ(console.cov_inbox().size(), 1u);
+  EXPECT_DOUBLE_EQ(console.cov_inbox()[0].value, 24.0);
+}
+
+TEST(Bacnet, SubscribeToUnknownPropertyFails) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice dev(10, "thermostat");
+  netw.attach(dev);
+  BacnetMsg sub;
+  sub.service = BacnetMsg::Service::kSubscribeCov;
+  sub.src_device = 20;
+  sub.dst_device = 10;
+  sub.property = "nonexistent";
+  netw.send(sub);
+  m.run_until(sim::sec(1));
+  ASSERT_EQ(netw.replies().size(), 1u);
+  EXPECT_EQ(netw.replies()[0].service, BacnetMsg::Service::kError);
+  EXPECT_EQ(dev.subscription_count(), 0u);
+}
+
+TEST(Bacnet, SubscriptionTableIsBounded) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice dev(10, "thermostat");
+  dev.set_property("temp", 21.0);
+  netw.attach(dev);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    BacnetMsg sub;
+    sub.service = BacnetMsg::Service::kSubscribeCov;
+    sub.src_device = 100 + i;
+    sub.dst_device = 10;
+    sub.property = "temp";
+    netw.send(sub);
+    m.run_until(m.now() + sim::sec(1));
+  }
+  EXPECT_EQ(dev.subscription_count(), BacnetDevice::kMaxSubscriptions);
+}
+
+TEST(Bacnet, AttackerCanSubscribeToTelemetryUnauthenticated) {
+  // Like writes, subscriptions carry no authentication: passive
+  // surveillance of a BAS is one datagram away (§I's broader point).
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice dev(10, "thermostat");
+  dev.set_property("temp", 21.0);
+  BacnetDevice attacker(666, "attacker-box");
+  netw.attach(dev);
+  netw.attach(attacker);
+  BacnetMsg sub;
+  sub.service = BacnetMsg::Service::kSubscribeCov;
+  sub.src_device = 666;
+  sub.dst_device = 10;
+  sub.property = "temp";
+  netw.send(sub);
+  m.run_until(sim::sec(1));
+  dev.set_property("temp", 36.6);
+  m.run_until(sim::sec(2));
+  ASSERT_EQ(attacker.cov_inbox().size(), 1u);
+  EXPECT_DOUBLE_EQ(attacker.cov_inbox()[0].value, 36.6);
+}
+
+TEST(SecureProxy, AcceptsAuthenticatedWrite) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice legacy(10, "thermostat");
+  legacy.set_property("setpoint", 22.0);
+  SecureProxy proxy(legacy, /*key=*/0xDEADBEEF);
+  netw.attach(proxy);
+
+  BacnetMsg msg;
+  msg.service = BacnetMsg::Service::kWriteProperty;
+  msg.dst_device = 10;
+  msg.property = "setpoint";
+  msg.value = 24.0;
+  netw.send(SecureProxy::seal(msg, 0xDEADBEEF, /*sequence=*/1));
+  m.run_until(sim::sec(1));
+  EXPECT_DOUBLE_EQ(legacy.property("setpoint"), 24.0);
+}
+
+TEST(SecureProxy, RejectsUnauthenticatedWrite) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice legacy(10, "thermostat");
+  legacy.set_property("setpoint", 22.0);
+  SecureProxy proxy(legacy, 0xDEADBEEF);
+  netw.attach(proxy);
+
+  BacnetMsg evil;
+  evil.service = BacnetMsg::Service::kWriteProperty;
+  evil.dst_device = 10;
+  evil.property = "setpoint";
+  evil.value = 45.0;  // no tag at all
+  netw.send(evil);
+  m.run_until(sim::sec(1));
+  EXPECT_DOUBLE_EQ(legacy.property("setpoint"), 22.0);
+  EXPECT_EQ(proxy.rejected_bad_tag(), 1u);
+}
+
+TEST(SecureProxy, RejectsWrongKey) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice legacy(10, "thermostat");
+  SecureProxy proxy(legacy, 0xDEADBEEF);
+  netw.attach(proxy);
+  BacnetMsg msg;
+  msg.service = BacnetMsg::Service::kWriteProperty;
+  msg.dst_device = 10;
+  msg.property = "setpoint";
+  msg.value = 45.0;
+  netw.send(SecureProxy::seal(msg, /*wrong key=*/0xBADBAD, 1));
+  m.run_until(sim::sec(1));
+  EXPECT_EQ(proxy.rejected_bad_tag(), 1u);
+  EXPECT_EQ(legacy.writes_accepted(), 0u);
+}
+
+TEST(SecureProxy, RejectsReplayedWrite) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice legacy(10, "thermostat");
+  legacy.set_property("setpoint", 22.0);
+  SecureProxy proxy(legacy, 0xDEADBEEF);
+  netw.attach(proxy);
+
+  const BacnetMsg genuine = SecureProxy::seal(
+      [] {
+        BacnetMsg msg;
+        msg.service = BacnetMsg::Service::kWriteProperty;
+        msg.dst_device = 10;
+        msg.property = "setpoint";
+        msg.value = 24.0;
+        return msg;
+      }(),
+      0xDEADBEEF, 1);
+  netw.send(genuine);
+  m.run_until(sim::sec(1));
+  ASSERT_DOUBLE_EQ(legacy.property("setpoint"), 24.0);
+
+  // The attacker captured the datagram off the wire and replays it after
+  // the operator sets a different value.
+  legacy.set_property("setpoint", 26.0);
+  netw.send(genuine);  // verbatim replay
+  m.run_until(sim::sec(2));
+  EXPECT_DOUBLE_EQ(legacy.property("setpoint"), 26.0);  // unchanged
+  EXPECT_EQ(proxy.rejected_replay(), 1u);
+}
+
+TEST(SecureProxy, ReadsPassThrough) {
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice legacy(10, "thermostat");
+  legacy.set_property("temp", 21.5);
+  SecureProxy proxy(legacy, 1);
+  netw.attach(proxy);
+  BacnetMsg req;
+  req.service = BacnetMsg::Service::kReadProperty;
+  req.dst_device = 10;
+  req.property = "temp";
+  netw.send(req);
+  m.run_until(sim::sec(1));
+  ASSERT_EQ(netw.replies().size(), 1u);
+  EXPECT_DOUBLE_EQ(netw.replies()[0].value, 21.5);
+}
+
+TEST(SecureProxy, ReplayOfPlainDeviceSucceedsWithoutProxy) {
+  // Contrast case for FIG1: the same replay against the bare device works.
+  sim::Machine m;
+  BacnetNetwork netw(m);
+  BacnetDevice dev(10, "thermostat");
+  dev.set_property("setpoint", 22.0);
+  netw.attach(dev);
+  BacnetMsg msg;
+  msg.service = BacnetMsg::Service::kWriteProperty;
+  msg.dst_device = 10;
+  msg.property = "setpoint";
+  msg.value = 24.0;
+  netw.send(msg);
+  m.run_until(sim::sec(1));
+  dev.set_property("setpoint", 26.0);
+  netw.send(msg);  // replay
+  m.run_until(sim::sec(2));
+  EXPECT_DOUBLE_EQ(dev.property("setpoint"), 24.0);  // replay applied
+}

@@ -1,0 +1,46 @@
+#include "net/http.hpp"
+
+#include <gtest/gtest.h>
+
+namespace net = mkbas::net;
+namespace sim = mkbas::sim;
+
+TEST(HttpConsole, SubmitPollRespondRoundTrip) {
+  net::HttpConsole console;
+  const int id = console.submit(sim::sec(1), {"GET", "/status", ""});
+  ASSERT_GE(id, 0);
+  const auto polled = console.poll();
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(*polled, id);
+  EXPECT_EQ(console.request(*polled).path, "/status");
+  console.respond(*polled, sim::sec(2), {200, "ok"});
+  const auto& ex = console.exchange(id);
+  EXPECT_EQ(ex.submitted, sim::sec(1));
+  EXPECT_EQ(ex.answered, sim::sec(2));
+  EXPECT_EQ(ex.response.status, 200);
+}
+
+TEST(HttpConsole, PollIsFifo) {
+  net::HttpConsole console;
+  console.submit(0, {"GET", "/a", ""});
+  console.submit(0, {"GET", "/b", ""});
+  EXPECT_EQ(console.request(*console.poll()).path, "/a");
+  EXPECT_EQ(console.request(*console.poll()).path, "/b");
+  EXPECT_FALSE(console.poll().has_value());
+}
+
+TEST(HttpConsole, BacklogBoundRefusesConnections) {
+  net::HttpConsole console;
+  int accepted = 0;
+  for (std::size_t i = 0; i < net::HttpConsole::kBacklog + 5; ++i) {
+    if (console.submit(0, {"GET", "/", ""}) >= 0) ++accepted;
+  }
+  EXPECT_EQ(accepted, static_cast<int>(net::HttpConsole::kBacklog));
+  EXPECT_EQ(console.refused_count(), 5u);
+}
+
+TEST(HttpConsole, UnansweredExchangesStayMarked) {
+  net::HttpConsole console;
+  const int id = console.submit(sim::sec(1), {"GET", "/status", ""});
+  EXPECT_EQ(console.exchange(id).answered, -1);
+}

@@ -1,0 +1,69 @@
+#include "physics/pressure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace physics = mkbas::physics;
+namespace sim = mkbas::sim;
+
+TEST(Containment, FullFanPullsLabNegative) {
+  physics::ContainmentModel m;
+  for (int i = 0; i < 600; ++i) m.step(sim::sec(1), 1.0, false, false);
+  EXPECT_NEAR(m.lab_pressure_pa(), m.steady_state_lab_pa(1.0), 1.5);
+  EXPECT_LT(m.lab_pressure_pa(), -25.0);
+  // Cascade: the anteroom sits between lab and corridor.
+  EXPECT_LT(m.anteroom_pressure_pa(), 0.0);
+  EXPECT_GT(m.anteroom_pressure_pa(), m.lab_pressure_pa());
+}
+
+TEST(Containment, FanOffLosesContainment) {
+  physics::ContainmentModel m;
+  for (int i = 0; i < 600; ++i) m.step(sim::sec(1), 1.0, false, false);
+  ASSERT_LT(m.lab_pressure_pa(), -25.0);
+  for (int i = 0; i < 600; ++i) m.step(sim::sec(1), 0.0, false, false);
+  // Supply keeps blowing in: the lab goes positive — containment lost.
+  EXPECT_GT(m.lab_pressure_pa(), 0.0);
+}
+
+TEST(Containment, OpenOuterDoorRaisesAnteroomPressure) {
+  physics::ContainmentModel m;
+  for (int i = 0; i < 600; ++i) m.step(sim::sec(1), 1.0, false, false);
+  const double ante_before = m.anteroom_pressure_pa();
+  for (int i = 0; i < 10; ++i) m.step(sim::sec(1), 1.0, false, true);
+  EXPECT_GT(m.anteroom_pressure_pa(), ante_before);
+  // But the lab, behind the closed inner door, stays strongly negative.
+  EXPECT_LT(m.lab_pressure_pa(), -20.0);
+}
+
+TEST(Containment, BothDoorsOpenCollapsesTheCascade) {
+  physics::ContainmentModel m;
+  for (int i = 0; i < 600; ++i) m.step(sim::sec(1), 1.0, false, false);
+  for (int i = 0; i < 120; ++i) m.step(sim::sec(1), 1.0, true, true);
+  // A straight open path corridor -> anteroom -> lab: the lab cannot
+  // hold design pressure (this is why the interlock exists).
+  EXPECT_GT(m.lab_pressure_pa(), -10.0);
+}
+
+TEST(Containment, FaultInflowShiftsSteadyState) {
+  physics::ContainmentModel m;
+  m.set_fault_inflow(0.3);
+  for (int i = 0; i < 900; ++i) m.step(sim::sec(1), 1.0, false, false);
+  EXPECT_NEAR(m.lab_pressure_pa(), m.steady_state_lab_pa(1.0), 1.5);
+  EXPECT_GT(m.lab_pressure_pa(), -25.0);  // shallower than without fault
+}
+
+TEST(Containment, FanSpeedIsClamped) {
+  physics::ContainmentModel a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.step(sim::sec(1), 5.0, false, false);   // clamped to 1.0
+    b.step(sim::sec(1), 1.0, false, false);
+  }
+  EXPECT_DOUBLE_EQ(a.lab_pressure_pa(), b.lab_pressure_pa());
+}
+
+TEST(Containment, ZeroDtIsNoop) {
+  physics::ContainmentModel m;
+  const double before = m.lab_pressure_pa();
+  m.step(0, 1.0, false, false);
+  m.step(-5, 1.0, false, false);
+  EXPECT_DOUBLE_EQ(m.lab_pressure_pa(), before);
+}

@@ -1,0 +1,393 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace sim = mkbas::sim;
+
+TEST(Machine, RunsASingleProcessToCompletion) {
+  sim::Machine m;
+  int ran = 0;
+  m.spawn("p", [&] { ran = 1; });
+  m.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(m.live_count(), 0);
+}
+
+TEST(Machine, SpawnReturnsDistinctPids) {
+  sim::Machine m;
+  auto* a = m.spawn("a", [] {});
+  auto* b = m.spawn("b", [] {});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->pid(), b->pid());
+  m.run();
+}
+
+TEST(Machine, PriorityOrderIsRespected) {
+  sim::Machine m;
+  std::vector<std::string> order;
+  m.spawn("low", [&] { order.push_back("low"); }, 9);
+  m.spawn("high", [&] { order.push_back("high"); }, 2);
+  m.spawn("mid", [&] { order.push_back("mid"); }, 5);
+  m.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "high");
+  EXPECT_EQ(order[1], "mid");
+  EXPECT_EQ(order[2], "low");
+}
+
+TEST(Machine, FifoWithinPriorityLevel) {
+  sim::Machine m;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    m.spawn("p" + std::to_string(i), [&order, i] { order.push_back(i); });
+  }
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Machine, VirtualClockAdvancesOnSleep) {
+  sim::Machine m;
+  sim::Time woke_at = -1;
+  m.spawn("sleeper", [&] {
+    m.sleep_for(sim::sec(5));
+    woke_at = m.now();
+  });
+  m.run();
+  EXPECT_EQ(woke_at, sim::sec(5));
+}
+
+TEST(Machine, SleepersWakeInDeadlineOrder) {
+  sim::Machine m;
+  std::vector<int> order;
+  m.spawn("late", [&] {
+    m.sleep_for(sim::msec(20));
+    order.push_back(20);
+  });
+  m.spawn("early", [&] {
+    m.sleep_for(sim::msec(10));
+    order.push_back(10);
+  });
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20}));
+}
+
+TEST(Machine, RunUntilStopsTheClockAtTheLimit) {
+  sim::Machine m;
+  bool woke = false;
+  m.spawn("sleeper", [&] {
+    m.sleep_for(sim::sec(100));
+    woke = true;
+  });
+  m.run_until(sim::sec(10));
+  EXPECT_FALSE(woke);
+  EXPECT_EQ(m.now(), sim::sec(10));
+  m.run_until(sim::sec(200));
+  EXPECT_TRUE(woke);
+}
+
+TEST(Machine, RunForIsRelative) {
+  sim::Machine m;
+  m.run_for(sim::sec(3));
+  EXPECT_EQ(m.now(), sim::sec(3));
+  m.run_for(sim::sec(4));
+  EXPECT_EQ(m.now(), sim::sec(7));
+}
+
+TEST(Machine, DriverCallbackFiresAtTheRequestedTime) {
+  sim::Machine m;
+  sim::Time fired_at = -1;
+  m.at(sim::sec(2), [&] { fired_at = m.now(); });
+  m.run_until(sim::sec(5));
+  EXPECT_EQ(fired_at, sim::sec(2));
+}
+
+TEST(Machine, PeriodicCallbackFiresRepeatedly) {
+  sim::Machine m;
+  int fires = 0;
+  m.every(sim::sec(1), sim::sec(1), [&] { ++fires; });
+  m.run_until(sim::sec(5) + sim::msec(500));
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(Machine, BlockAndMakeReadyRoundTrip) {
+  sim::Machine m;
+  sim::Process* waiter = nullptr;
+  bool resumed = false;
+  waiter = m.spawn("waiter", [&] {
+    m.block_current("test-wait");
+    resumed = true;
+  });
+  m.spawn("waker", [&] { m.make_ready(waiter); }, 9);
+  m.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Machine, KillUnblocksAndUnwindsABlockedProcess) {
+  sim::Machine m;
+  bool after_block = false;
+  auto* p = m.spawn("victim", [&] {
+    m.block_current("forever");
+    after_block = true;  // must never execute
+  });
+  m.at(sim::sec(1), [&] { m.kill(p); });
+  m.run_until(sim::sec(2));
+  EXPECT_FALSE(after_block);
+  EXPECT_EQ(p->state(), sim::ProcState::kZombie);
+  EXPECT_EQ(m.trace().count_tag("proc.killed"), 1u);
+}
+
+TEST(Machine, KillIsObservedAtNextKernelEntry) {
+  sim::Machine m;
+  int loops = 0;
+  sim::Process* victim = nullptr;
+  victim = m.spawn("spinner", [&] {
+    for (;;) {
+      m.enter_kernel();  // charges time; observes kills
+      ++loops;
+      m.sleep_for(sim::msec(1));
+    }
+  });
+  m.at(sim::msec(10), [&] { m.kill(victim); });
+  m.run_until(sim::msec(50));
+  EXPECT_GT(loops, 0);
+  EXPECT_EQ(victim->state(), sim::ProcState::kZombie);
+}
+
+TEST(Machine, ExitHooksRunOnRetirement) {
+  sim::Machine m;
+  bool hook_ran = false;
+  m.spawn("p", [&] {
+    m.current()->add_exit_hook([&](sim::Process&) { hook_ran = true; });
+  });
+  m.run();
+  EXPECT_TRUE(hook_ran);
+}
+
+TEST(Machine, ExitHooksRunWhenKilled) {
+  sim::Machine m;
+  bool hook_ran = false;
+  auto* p = m.spawn("p", [&] {
+    m.current()->add_exit_hook([&](sim::Process&) { hook_ran = true; });
+    m.block_current("forever");
+  });
+  m.at(1, [&] { m.kill(p); });
+  m.run_until(10);
+  EXPECT_TRUE(hook_ran);
+}
+
+TEST(Machine, CrashIsRecordedNotPropagated) {
+  sim::Machine m;
+  auto* p = m.spawn("bad", [] { throw std::runtime_error("boom"); });
+  m.run();
+  EXPECT_TRUE(p->crashed());
+  EXPECT_EQ(p->crash_reason(), "boom");
+  EXPECT_EQ(m.trace().count_tag("proc.crash"), 1u);
+}
+
+TEST(Machine, ProcessExitUnwindsCleanly) {
+  sim::Machine m;
+  auto* p = m.spawn("quitter", [] { throw mkbas::sim::ProcessExit{0}; });
+  m.run();
+  EXPECT_FALSE(p->crashed());
+  EXPECT_EQ(m.trace().count_tag("proc.exit"), 1u);
+}
+
+TEST(Machine, ProcessTableIsBounded) {
+  sim::Machine m;
+  // Fill the table with blocked processes, then one more must be rejected.
+  for (int i = 0; i < sim::Machine::kMaxProcs; ++i) {
+    ASSERT_NE(m.spawn("f" + std::to_string(i),
+                      [&] { m.block_current("parked"); }),
+              nullptr);
+  }
+  EXPECT_EQ(m.spawn("overflow", [] {}), nullptr);
+  EXPECT_EQ(m.trace().count_tag("proc.table_full"), 1u);
+}
+
+TEST(Machine, ContextSwitchesAreCounted) {
+  sim::Machine m;
+  m.spawn("a", [&] {
+    for (int i = 0; i < 3; ++i) m.yield();
+  });
+  m.spawn("b", [&] {
+    for (int i = 0; i < 3; ++i) m.yield();
+  });
+  m.run();
+  EXPECT_GE(m.context_switches(), 6u);
+}
+
+TEST(Machine, ChargePreemptsWhenHigherPriorityWakes) {
+  sim::Machine m;
+  std::vector<std::string> order;
+  m.spawn("high", [&] {
+    m.sleep_for(sim::msec(5));
+    order.push_back("high");
+  }, 2);
+  m.spawn("low", [&] {
+    // Burns 10ms of CPU in 1ms slices; the high-priority wakeup at 5ms
+    // must preempt it before it finishes.
+    for (int i = 0; i < 10; ++i) m.charge(sim::msec(1));
+    order.push_back("low");
+  }, 9);
+  m.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "high");
+}
+
+TEST(Machine, RunUntilPausesCpuBoundProcesses) {
+  // A process that never blocks must still return control to the driver
+  // at the virtual-time limit, and resume on the next run.
+  sim::Machine m;
+  std::int64_t iterations = 0;
+  m.spawn("spinner", [&] {
+    for (;;) {
+      m.charge(sim::usec(10));
+      ++iterations;
+    }
+  });
+  m.run_until(sim::msec(1));
+  EXPECT_EQ(m.now(), sim::msec(1));
+  const auto first = iterations;
+  EXPECT_NEAR(static_cast<double>(first), 100.0, 2.0);
+  m.run_until(sim::msec(2));
+  EXPECT_NEAR(static_cast<double>(iterations - first), 100.0, 2.0);
+}
+
+TEST(Machine, RunUntilInThePastReturnsImmediately) {
+  sim::Machine m;
+  m.run_until(sim::sec(1));
+  m.spawn("spinner", [&] {
+    for (;;) m.charge(sim::usec(10));
+  });
+  m.run_until(sim::msec(500));  // in the past: must not hang
+  EXPECT_EQ(m.now(), sim::sec(1));
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Machine m(42);
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+      m.spawn("p" + std::to_string(i), [&m, &order, i] {
+        for (int k = 0; k < 3; ++k) {
+          order.push_back(i);
+          m.sleep_for(sim::msec(1 + i));
+        }
+      });
+    }
+    m.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Machine, DestructorReapsBlockedProcesses) {
+  auto m = std::make_unique<sim::Machine>();
+  m->spawn("stuck", [&] { m->block_current("forever"); });
+  m->run_until(sim::msec(1));
+  m.reset();  // must not hang or crash
+  SUCCEED();
+}
+
+TEST(Machine, SpawnFromProcessContextWorks) {
+  sim::Machine m;
+  bool child_ran = false;
+  m.spawn("parent", [&] {
+    m.spawn("child", [&] { child_ran = true; });
+  });
+  m.run();
+  EXPECT_TRUE(child_ran);
+}
+
+TEST(Machine, SuspendFreezesAndResumeContinues) {
+  sim::Machine m;
+  int beats = 0;
+  auto* p = m.spawn("worker", [&] {
+    for (;;) {
+      ++beats;
+      m.sleep_for(sim::msec(10));
+    }
+  });
+  m.run_until(sim::msec(100));
+  const int before = beats;
+  m.suspend(p);
+  m.run_until(sim::msec(300));
+  EXPECT_LE(beats - before, 1);
+  m.resume(p);
+  m.run_until(sim::msec(500));
+  EXPECT_GE(beats - before, 10);
+}
+
+TEST(Machine, KillOverridesSuspension) {
+  sim::Machine m;
+  auto* p = m.spawn("worker", [&] {
+    for (;;) m.sleep_for(sim::msec(10));
+  });
+  m.run_until(sim::msec(50));
+  m.suspend(p);
+  m.kill(p);
+  m.run_until(sim::msec(100));
+  EXPECT_EQ(p->state(), sim::ProcState::kZombie);
+}
+
+TEST(Machine, ManyTimersFireInOrderUnderLoad) {
+  sim::Machine m(5);
+  std::vector<int> fired;
+  sim::Rng rng(99);
+  // 200 timers with random deadlines; they must fire sorted by time.
+  std::vector<std::pair<sim::Time, int>> deadlines;
+  for (int i = 0; i < 200; ++i) {
+    deadlines.push_back({sim::msec(1 + rng.next_below(1000)), i});
+  }
+  for (auto& [t, id] : deadlines) {
+    m.at(t, [&fired, id = id] { fired.push_back(id); });
+  }
+  // Plus busy processes churning the scheduler meanwhile.
+  for (int i = 0; i < 4; ++i) {
+    m.spawn("busy" + std::to_string(i), [&] {
+      for (;;) {
+        m.charge(sim::usec(500));
+        m.yield();
+      }
+    });
+  }
+  m.run_until(sim::sec(2));
+  ASSERT_EQ(fired.size(), 200u);
+  std::sort(deadlines.begin(), deadlines.end());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], deadlines[i].second) << "at index " << i;
+  }
+}
+
+TEST(Machine, HundredProcessChurnStaysConsistent) {
+  sim::Machine m(3);
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    m.spawn("p" + std::to_string(i), [&m, &completed, i] {
+      for (int k = 0; k < 10; ++k) {
+        m.sleep_for(sim::msec(1 + (i * 7 + k) % 13));
+      }
+      ++completed;
+    }, i % sim::Machine::kNumPriorities);
+  }
+  m.run();
+  EXPECT_EQ(completed, 100);
+  EXPECT_EQ(m.live_count(), 0);
+}
+
+TEST(Machine, RngIsDeterministic) {
+  sim::Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Machine, RngGaussianIsCentered) {
+  sim::Rng r(123);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) sum += r.next_gaussian();
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.05);
+}

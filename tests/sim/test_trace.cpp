@@ -1,0 +1,71 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sim = mkbas::sim;
+
+TEST(Trace, EmitAndQueryByTag) {
+  sim::TraceLog log;
+  log.emit(10, 1, sim::TraceKind::kIpc, "send", "a->b");
+  log.emit(20, 2, sim::TraceKind::kIpc, "recv", "b<-a");
+  log.emit(30, 1, sim::TraceKind::kIpc, "send", "a->c");
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.count_tag("send"), 2u);
+  auto sends = log.with_tag("send");
+  ASSERT_EQ(sends.size(), 2u);
+  EXPECT_EQ(sends[0].time, 10);
+  EXPECT_EQ(sends[1].time, 30);
+}
+
+TEST(Trace, FindFirstReturnsEarliestMatch) {
+  sim::TraceLog log;
+  log.emit(10, 1, sim::TraceKind::kSecurity, "acm.deny", "x");
+  log.emit(20, 1, sim::TraceKind::kSecurity, "acm.deny", "y");
+  const auto* ev = log.find_first(
+      [](const sim::TraceEvent& e) { return e.what == "acm.deny"; });
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(ev->detail, "x");
+}
+
+TEST(Trace, FindFirstReturnsNullWhenAbsent) {
+  sim::TraceLog log;
+  EXPECT_EQ(log.find_first([](const sim::TraceEvent&) { return true; }),
+            nullptr);
+}
+
+TEST(Trace, DumpRendersOneLinePerEvent) {
+  sim::TraceLog log;
+  log.emit(5, 3, sim::TraceKind::kDevice, "sensor.sample", "21.5C");
+  log.emit(6, -1, sim::TraceKind::kNetwork, "http.get");
+  std::ostringstream os;
+  log.dump(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("pid=3"), std::string::npos);
+  EXPECT_NE(text.find("sensor.sample"), std::string::npos);
+  EXPECT_NE(text.find("21.5C"), std::string::npos);
+  EXPECT_NE(text.find("http.get"), std::string::npos);
+}
+
+TEST(Trace, DumpFiltersByKind) {
+  sim::TraceLog log;
+  log.emit(1, 1, sim::TraceKind::kIpc, "send");
+  log.emit(2, 1, sim::TraceKind::kAttack, "spoof");
+  std::ostringstream os;
+  log.dump(os, sim::TraceKind::kAttack);
+  EXPECT_EQ(os.str().find("send"), std::string::npos);
+  EXPECT_NE(os.str().find("spoof"), std::string::npos);
+}
+
+TEST(Trace, KindNamesAreStable) {
+  EXPECT_STREQ(sim::to_string(sim::TraceKind::kSecurity), "sec");
+  EXPECT_STREQ(sim::to_string(sim::TraceKind::kAttack), "atk");
+}
+
+TEST(Trace, ClearEmptiesTheLog) {
+  sim::TraceLog log;
+  log.emit(1, 1, sim::TraceKind::kIpc, "send");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
