@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acm.dir/bench_acm.cpp.o"
+  "CMakeFiles/bench_acm.dir/bench_acm.cpp.o.d"
+  "bench_acm"
+  "bench_acm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

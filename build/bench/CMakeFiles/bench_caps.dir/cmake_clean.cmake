@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_caps.dir/bench_caps.cpp.o"
+  "CMakeFiles/bench_caps.dir/bench_caps.cpp.o.d"
+  "bench_caps"
+  "bench_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsl3_containment.dir/bsl3_containment.cpp.o"
+  "CMakeFiles/bsl3_containment.dir/bsl3_containment.cpp.o.d"
+  "bsl3_containment"
+  "bsl3_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsl3_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bsl3_containment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bsl3_containment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_framework.dir/fig1_framework.cpp.o"
+  "CMakeFiles/fig1_framework.dir/fig1_framework.cpp.o.d"
+  "fig1_framework"
+  "fig1_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_attack_matrix.cpp" "bench/CMakeFiles/table1_attack_matrix.dir/table1_attack_matrix.cpp.o" "gcc" "bench/CMakeFiles/table1_attack_matrix.dir/table1_attack_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mkbas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/mkbas_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/bas/CMakeFiles/mkbas_bas.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/mkbas_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mkbas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/camkes/CMakeFiles/mkbas_camkes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sel4/CMakeFiles/mkbas_sel4.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxsim/CMakeFiles/mkbas_linuxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/aadl/CMakeFiles/mkbas_aadl.dir/DependInfo.cmake"
+  "/root/repo/build/src/minix/CMakeFiles/mkbas_minix.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mkbas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadlc.dir/aadlc.cpp.o"
+  "CMakeFiles/aadlc.dir/aadlc.cpp.o.d"
+  "aadlc"
+  "aadlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

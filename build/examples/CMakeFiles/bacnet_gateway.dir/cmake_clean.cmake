@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacnet_gateway.dir/bacnet_gateway.cpp.o"
+  "CMakeFiles/bacnet_gateway.dir/bacnet_gateway.cpp.o.d"
+  "bacnet_gateway"
+  "bacnet_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacnet_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

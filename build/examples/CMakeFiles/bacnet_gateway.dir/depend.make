@@ -1,0 +1,2 @@
+# Empty dependencies file for bacnet_gateway.
+# This may be replaced when dependencies are built.

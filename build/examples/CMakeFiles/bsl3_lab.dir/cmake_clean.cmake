@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsl3_lab.dir/bsl3_lab.cpp.o"
+  "CMakeFiles/bsl3_lab.dir/bsl3_lab.cpp.o.d"
+  "bsl3_lab"
+  "bsl3_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsl3_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

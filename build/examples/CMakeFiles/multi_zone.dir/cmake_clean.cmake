@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_zone.dir/multi_zone.cpp.o"
+  "CMakeFiles/multi_zone.dir/multi_zone.cpp.o.d"
+  "multi_zone"
+  "multi_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

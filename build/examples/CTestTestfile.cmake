@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_attack_demo "/root/repo/build/examples/attack_demo")
+set_tests_properties(example_attack_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_zone "/root/repo/build/examples/multi_zone")
+set_tests_properties(example_multi_zone PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bsl3_lab "/root/repo/build/examples/bsl3_lab")
+set_tests_properties(example_bsl3_lab PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bacnet_gateway "/root/repo/build/examples/bacnet_gateway")
+set_tests_properties(example_bacnet_gateway PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aadlc "/root/repo/build/examples/aadlc" "--builtin" "--capdl")
+set_tests_properties(example_aadlc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_runner_benign "/root/repo/build/examples/experiment_runner" "benign" "minix")
+set_tests_properties(example_runner_benign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_runner_attack "/root/repo/build/examples/experiment_runner" "attack" "sel4" "brute-force")
+set_tests_properties(example_runner_attack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("physics")
+subdirs("devices")
+subdirs("minix")
+subdirs("sel4")
+subdirs("camkes")
+subdirs("linuxsim")
+subdirs("aadl")
+subdirs("net")
+subdirs("bas")
+subdirs("attack")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_aadl.dir/compile.cpp.o"
+  "CMakeFiles/mkbas_aadl.dir/compile.cpp.o.d"
+  "CMakeFiles/mkbas_aadl.dir/lexer.cpp.o"
+  "CMakeFiles/mkbas_aadl.dir/lexer.cpp.o.d"
+  "CMakeFiles/mkbas_aadl.dir/parser.cpp.o"
+  "CMakeFiles/mkbas_aadl.dir/parser.cpp.o.d"
+  "libmkbas_aadl.a"
+  "libmkbas_aadl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_aadl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

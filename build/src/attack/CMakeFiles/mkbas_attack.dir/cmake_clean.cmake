@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_attack.dir/attacks.cpp.o"
+  "CMakeFiles/mkbas_attack.dir/attacks.cpp.o.d"
+  "libmkbas_attack.a"
+  "libmkbas_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bas/bsl3_scenario.cpp" "src/bas/CMakeFiles/mkbas_bas.dir/bsl3_scenario.cpp.o" "gcc" "src/bas/CMakeFiles/mkbas_bas.dir/bsl3_scenario.cpp.o.d"
+  "/root/repo/src/bas/bsl3_sel4_scenario.cpp" "src/bas/CMakeFiles/mkbas_bas.dir/bsl3_sel4_scenario.cpp.o" "gcc" "src/bas/CMakeFiles/mkbas_bas.dir/bsl3_sel4_scenario.cpp.o.d"
+  "/root/repo/src/bas/linux_scenario.cpp" "src/bas/CMakeFiles/mkbas_bas.dir/linux_scenario.cpp.o" "gcc" "src/bas/CMakeFiles/mkbas_bas.dir/linux_scenario.cpp.o.d"
+  "/root/repo/src/bas/linux_uds_scenario.cpp" "src/bas/CMakeFiles/mkbas_bas.dir/linux_uds_scenario.cpp.o" "gcc" "src/bas/CMakeFiles/mkbas_bas.dir/linux_uds_scenario.cpp.o.d"
+  "/root/repo/src/bas/minix_scenario.cpp" "src/bas/CMakeFiles/mkbas_bas.dir/minix_scenario.cpp.o" "gcc" "src/bas/CMakeFiles/mkbas_bas.dir/minix_scenario.cpp.o.d"
+  "/root/repo/src/bas/sel4_scenario.cpp" "src/bas/CMakeFiles/mkbas_bas.dir/sel4_scenario.cpp.o" "gcc" "src/bas/CMakeFiles/mkbas_bas.dir/sel4_scenario.cpp.o.d"
+  "/root/repo/src/bas/web_logic.cpp" "src/bas/CMakeFiles/mkbas_bas.dir/web_logic.cpp.o" "gcc" "src/bas/CMakeFiles/mkbas_bas.dir/web_logic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mkbas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/mkbas_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mkbas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/minix/CMakeFiles/mkbas_minix.dir/DependInfo.cmake"
+  "/root/repo/build/src/sel4/CMakeFiles/mkbas_sel4.dir/DependInfo.cmake"
+  "/root/repo/build/src/camkes/CMakeFiles/mkbas_camkes.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxsim/CMakeFiles/mkbas_linuxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/aadl/CMakeFiles/mkbas_aadl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

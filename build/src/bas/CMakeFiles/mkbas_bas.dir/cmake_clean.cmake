@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_bas.dir/bsl3_scenario.cpp.o"
+  "CMakeFiles/mkbas_bas.dir/bsl3_scenario.cpp.o.d"
+  "CMakeFiles/mkbas_bas.dir/bsl3_sel4_scenario.cpp.o"
+  "CMakeFiles/mkbas_bas.dir/bsl3_sel4_scenario.cpp.o.d"
+  "CMakeFiles/mkbas_bas.dir/linux_scenario.cpp.o"
+  "CMakeFiles/mkbas_bas.dir/linux_scenario.cpp.o.d"
+  "CMakeFiles/mkbas_bas.dir/linux_uds_scenario.cpp.o"
+  "CMakeFiles/mkbas_bas.dir/linux_uds_scenario.cpp.o.d"
+  "CMakeFiles/mkbas_bas.dir/minix_scenario.cpp.o"
+  "CMakeFiles/mkbas_bas.dir/minix_scenario.cpp.o.d"
+  "CMakeFiles/mkbas_bas.dir/sel4_scenario.cpp.o"
+  "CMakeFiles/mkbas_bas.dir/sel4_scenario.cpp.o.d"
+  "CMakeFiles/mkbas_bas.dir/web_logic.cpp.o"
+  "CMakeFiles/mkbas_bas.dir/web_logic.cpp.o.d"
+  "libmkbas_bas.a"
+  "libmkbas_bas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_bas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mkbas_bas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_camkes.dir/camkes.cpp.o"
+  "CMakeFiles/mkbas_camkes.dir/camkes.cpp.o.d"
+  "libmkbas_camkes.a"
+  "libmkbas_camkes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_camkes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

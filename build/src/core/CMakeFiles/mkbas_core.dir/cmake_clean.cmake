@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_core.dir/experiment.cpp.o"
+  "CMakeFiles/mkbas_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/mkbas_core.dir/report.cpp.o"
+  "CMakeFiles/mkbas_core.dir/report.cpp.o.d"
+  "CMakeFiles/mkbas_core.dir/safety.cpp.o"
+  "CMakeFiles/mkbas_core.dir/safety.cpp.o.d"
+  "libmkbas_core.a"
+  "libmkbas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

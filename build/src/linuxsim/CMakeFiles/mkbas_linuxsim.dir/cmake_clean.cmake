@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_linuxsim.dir/kernel.cpp.o"
+  "CMakeFiles/mkbas_linuxsim.dir/kernel.cpp.o.d"
+  "libmkbas_linuxsim.a"
+  "libmkbas_linuxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_linuxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmkbas_linuxsim.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minix/acm.cpp" "src/minix/CMakeFiles/mkbas_minix.dir/acm.cpp.o" "gcc" "src/minix/CMakeFiles/mkbas_minix.dir/acm.cpp.o.d"
+  "/root/repo/src/minix/fs.cpp" "src/minix/CMakeFiles/mkbas_minix.dir/fs.cpp.o" "gcc" "src/minix/CMakeFiles/mkbas_minix.dir/fs.cpp.o.d"
+  "/root/repo/src/minix/kernel.cpp" "src/minix/CMakeFiles/mkbas_minix.dir/kernel.cpp.o" "gcc" "src/minix/CMakeFiles/mkbas_minix.dir/kernel.cpp.o.d"
+  "/root/repo/src/minix/vm.cpp" "src/minix/CMakeFiles/mkbas_minix.dir/vm.cpp.o" "gcc" "src/minix/CMakeFiles/mkbas_minix.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mkbas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

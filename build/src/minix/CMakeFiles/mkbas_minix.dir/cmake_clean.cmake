@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_minix.dir/acm.cpp.o"
+  "CMakeFiles/mkbas_minix.dir/acm.cpp.o.d"
+  "CMakeFiles/mkbas_minix.dir/fs.cpp.o"
+  "CMakeFiles/mkbas_minix.dir/fs.cpp.o.d"
+  "CMakeFiles/mkbas_minix.dir/kernel.cpp.o"
+  "CMakeFiles/mkbas_minix.dir/kernel.cpp.o.d"
+  "CMakeFiles/mkbas_minix.dir/vm.cpp.o"
+  "CMakeFiles/mkbas_minix.dir/vm.cpp.o.d"
+  "libmkbas_minix.a"
+  "libmkbas_minix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_minix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_net.dir/bacnet.cpp.o"
+  "CMakeFiles/mkbas_net.dir/bacnet.cpp.o.d"
+  "libmkbas_net.a"
+  "libmkbas_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

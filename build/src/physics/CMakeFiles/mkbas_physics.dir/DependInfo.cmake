@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/pressure.cpp" "src/physics/CMakeFiles/mkbas_physics.dir/pressure.cpp.o" "gcc" "src/physics/CMakeFiles/mkbas_physics.dir/pressure.cpp.o.d"
+  "/root/repo/src/physics/room.cpp" "src/physics/CMakeFiles/mkbas_physics.dir/room.cpp.o" "gcc" "src/physics/CMakeFiles/mkbas_physics.dir/room.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mkbas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

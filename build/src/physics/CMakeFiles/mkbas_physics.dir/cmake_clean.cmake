@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_physics.dir/pressure.cpp.o"
+  "CMakeFiles/mkbas_physics.dir/pressure.cpp.o.d"
+  "CMakeFiles/mkbas_physics.dir/room.cpp.o"
+  "CMakeFiles/mkbas_physics.dir/room.cpp.o.d"
+  "libmkbas_physics.a"
+  "libmkbas_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_sel4.dir/kernel.cpp.o"
+  "CMakeFiles/mkbas_sel4.dir/kernel.cpp.o.d"
+  "libmkbas_sel4.a"
+  "libmkbas_sel4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_sel4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

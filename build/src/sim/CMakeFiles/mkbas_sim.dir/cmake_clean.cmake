@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkbas_sim.dir/machine.cpp.o"
+  "CMakeFiles/mkbas_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/mkbas_sim.dir/trace.cpp.o"
+  "CMakeFiles/mkbas_sim.dir/trace.cpp.o.d"
+  "libmkbas_sim.a"
+  "libmkbas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkbas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

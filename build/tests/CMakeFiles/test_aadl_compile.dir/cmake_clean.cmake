@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aadl_compile.dir/aadl/test_compile.cpp.o"
+  "CMakeFiles/test_aadl_compile.dir/aadl/test_compile.cpp.o.d"
+  "test_aadl_compile"
+  "test_aadl_compile.pdb"
+  "test_aadl_compile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aadl_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

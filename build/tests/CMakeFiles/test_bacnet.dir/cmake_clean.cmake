@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bacnet.dir/net/test_bacnet.cpp.o"
+  "CMakeFiles/test_bacnet.dir/net/test_bacnet.cpp.o.d"
+  "test_bacnet"
+  "test_bacnet.pdb"
+  "test_bacnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bacnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

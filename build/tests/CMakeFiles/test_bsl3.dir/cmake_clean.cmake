@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsl3.dir/bas/test_bsl3.cpp.o"
+  "CMakeFiles/test_bsl3.dir/bas/test_bsl3.cpp.o.d"
+  "test_bsl3"
+  "test_bsl3.pdb"
+  "test_bsl3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsl3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_camkes.dir/camkes/test_camkes.cpp.o"
+  "CMakeFiles/test_camkes.dir/camkes/test_camkes.cpp.o.d"
+  "test_camkes"
+  "test_camkes.pdb"
+  "test_camkes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_camkes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

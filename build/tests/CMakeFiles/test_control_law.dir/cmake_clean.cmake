@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_law.dir/bas/test_control_law.cpp.o"
+  "CMakeFiles/test_control_law.dir/bas/test_control_law.cpp.o.d"
+  "test_control_law"
+  "test_control_law.pdb"
+  "test_control_law[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

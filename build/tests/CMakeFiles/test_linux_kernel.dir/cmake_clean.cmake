@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linux_kernel.dir/linuxsim/test_kernel.cpp.o"
+  "CMakeFiles/test_linux_kernel.dir/linuxsim/test_kernel.cpp.o.d"
+  "test_linux_kernel"
+  "test_linux_kernel.pdb"
+  "test_linux_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linux_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

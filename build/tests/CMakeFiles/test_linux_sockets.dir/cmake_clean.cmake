@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linux_sockets.dir/linuxsim/test_sockets.cpp.o"
+  "CMakeFiles/test_linux_sockets.dir/linuxsim/test_sockets.cpp.o.d"
+  "test_linux_sockets"
+  "test_linux_sockets.pdb"
+  "test_linux_sockets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linux_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linux_uds.dir/bas/test_linux_uds.cpp.o"
+  "CMakeFiles/test_linux_uds.dir/bas/test_linux_uds.cpp.o.d"
+  "test_linux_uds"
+  "test_linux_uds.pdb"
+  "test_linux_uds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linux_uds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minix_acm.dir/minix/test_acm.cpp.o"
+  "CMakeFiles/test_minix_acm.dir/minix/test_acm.cpp.o.d"
+  "test_minix_acm"
+  "test_minix_acm.pdb"
+  "test_minix_acm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minix_acm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minix_extensions.dir/minix/test_extensions.cpp.o"
+  "CMakeFiles/test_minix_extensions.dir/minix/test_extensions.cpp.o.d"
+  "test_minix_extensions"
+  "test_minix_extensions.pdb"
+  "test_minix_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minix_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

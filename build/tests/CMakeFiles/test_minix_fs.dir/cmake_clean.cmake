@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minix_fs.dir/minix/test_fs.cpp.o"
+  "CMakeFiles/test_minix_fs.dir/minix/test_fs.cpp.o.d"
+  "test_minix_fs"
+  "test_minix_fs.pdb"
+  "test_minix_fs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minix_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

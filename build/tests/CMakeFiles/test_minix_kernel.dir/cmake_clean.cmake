@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minix_kernel.dir/minix/test_kernel.cpp.o"
+  "CMakeFiles/test_minix_kernel.dir/minix/test_kernel.cpp.o.d"
+  "test_minix_kernel"
+  "test_minix_kernel.pdb"
+  "test_minix_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minix_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sel4_kernel.dir/sel4/test_kernel.cpp.o"
+  "CMakeFiles/test_sel4_kernel.dir/sel4/test_kernel.cpp.o.d"
+  "test_sel4_kernel"
+  "test_sel4_kernel.pdb"
+  "test_sel4_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sel4_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

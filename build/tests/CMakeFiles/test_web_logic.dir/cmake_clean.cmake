@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_web_logic.dir/bas/test_web_logic.cpp.o"
+  "CMakeFiles/test_web_logic.dir/bas/test_web_logic.cpp.o.d"
+  "test_web_logic"
+  "test_web_logic.pdb"
+  "test_web_logic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_web_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
