@@ -9,6 +9,9 @@
 // policies.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "minix/acm.hpp"
 #include "sim/rng.hpp"
 
@@ -115,4 +118,47 @@ static void BM_AcmKillAudit(benchmark::State& state) {
 }
 BENCHMARK(BM_AcmKillAudit);
 
-BENCHMARK_MAIN();
+// ---- Machine-readable summary ----
+//
+// After the google-benchmark suite, measure the sparse/dense trade-off
+// at a representative size directly (fixed iteration count, steady
+// clock) and print one JSON line for scripts and CI to consume.
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  constexpr int kN = 1024;
+  constexpr int kDegree = 4;
+  constexpr std::uint64_t kIters = 1000000;
+  PolicyPair p(kN, kDegree, 42);
+
+  auto time_lookups = [&](auto& policy) {
+    mkbas::sim::Rng rng(7);
+    std::uint64_t allowed = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      const int src = static_cast<int>(rng.next_below(kN));
+      const int dst = static_cast<int>(rng.next_below(kN));
+      const int type = static_cast<int>(rng.next_below(8));
+      allowed += policy.allowed(src, dst, type) ? 1 : 0;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(allowed);
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(kIters);
+  };
+
+  const double sparse_ns = time_lookups(p.sparse);
+  const double dense_ns = time_lookups(p.dense);
+  std::printf(
+      "{\"bench\":\"bench_acm\",\"n\":%d,\"degree\":%d,"
+      "\"sparse_ns_per_lookup\":%.2f,\"dense_ns_per_lookup\":%.2f,"
+      "\"sparse_bytes\":%llu,\"dense_bytes\":%llu}\n",
+      kN, kDegree, sparse_ns, dense_ns,
+      static_cast<unsigned long long>(p.sparse.memory_footprint_bytes()),
+      static_cast<unsigned long long>(p.dense.memory_footprint_bytes()));
+  return 0;
+}

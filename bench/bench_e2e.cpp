@@ -40,7 +40,7 @@ void run_platform(benchmark::State& state, core::Platform platform) {
     m.run_for(sim::sec(10));  // ten 1Hz control cycles per iteration
   }
   for (std::size_t i = trace_pos; i < m.trace().size(); ++i) {
-    if (m.trace().events()[i].what == "ctl.sample") ++cycles;
+    if (m.trace().events()[i].what() == "ctl.sample") ++cycles;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
   if (cycles > 0) {

@@ -9,6 +9,9 @@
 //   kentry_per_op   — kernel entries (syscalls) per round trip
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "linuxsim/kernel.hpp"
 #include "minix/kernel.hpp"
 #include "sel4/kernel.hpp"
@@ -251,4 +254,87 @@ static void BM_LinuxMqOneWay(benchmark::State& state) {
 }
 BENCHMARK(BM_LinuxMqOneWay)->UseRealTime();
 
-BENCHMARK_MAIN();
+// ---- Metrics-overhead A/B + machine-readable summary ----
+//
+// After the google-benchmark suite, run the MINIX sendrec round trip
+// twice in one process — metrics registry enabled vs disabled — and
+// print one JSON line. The instrumentation is pre-resolved handles
+// (pointer bump per event), so the expected overhead is noise-level;
+// CI asserts it stays within 10%.
+
+namespace {
+
+struct AbPass {
+  std::uint64_t ops = 0;
+  double wall_ns = 0;
+  double ns_per_op() const {
+    return ops > 0 ? wall_ns / static_cast<double>(ops) : 0.0;
+  }
+};
+
+AbPass run_sendrec_pass(bool metrics_on) {
+  sim::Machine m;
+  m.metrics().set_enabled(metrics_on);
+  minix::MinixKernel k(m, open_policy());
+  auto counters = std::make_shared<Counters>();
+  const minix::Endpoint server = k.srv_fork2("server", 10, [&k] {
+    for (;;) {
+      minix::Message msg;
+      if (k.ipc_receive(minix::Endpoint::any(), msg) !=
+          minix::IpcResult::kOk) {
+        continue;
+      }
+      minix::Message reply;
+      reply.m_type = 0;
+      k.ipc_senda(msg.source(), reply);
+    }
+  });
+  k.srv_fork2("client", 11, [&k, server, counters] {
+    for (;;) {
+      minix::Message msg;
+      msg.m_type = 1;
+      if (k.ipc_sendrec(server, msg) == minix::IpcResult::kOk) {
+        ++counters->ops;
+      }
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  m.run_for(sim::msec(200));
+  const auto t1 = std::chrono::steady_clock::now();
+  return {counters->ops,
+          std::chrono::duration<double, std::nano>(t1 - t0).count()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Interleave repetitions and keep the fastest pass of each arm: the
+  // minimum is the least scheduler-noise-sensitive statistic on shared
+  // CI machines.
+  AbPass best_on, best_off;
+  for (int rep = 0; rep < 3; ++rep) {
+    const AbPass off = run_sendrec_pass(false);
+    const AbPass on = run_sendrec_pass(true);
+    if (rep == 0 || off.ns_per_op() < best_off.ns_per_op()) best_off = off;
+    if (rep == 0 || on.ns_per_op() < best_on.ns_per_op()) best_on = on;
+  }
+  const double overhead_pct =
+      best_off.ns_per_op() > 0
+          ? (best_on.ns_per_op() - best_off.ns_per_op()) /
+                best_off.ns_per_op() * 100.0
+          : 0.0;
+  std::printf(
+      "{\"bench\":\"bench_ipc\",\"metric\":\"minix_sendrec_metrics_overhead\","
+      "\"ops_metrics_on\":%llu,\"ops_metrics_off\":%llu,"
+      "\"wall_ns_per_op_on\":%.1f,\"wall_ns_per_op_off\":%.1f,"
+      "\"overhead_pct\":%.2f}\n",
+      static_cast<unsigned long long>(best_on.ops),
+      static_cast<unsigned long long>(best_off.ops), best_on.ns_per_op(),
+      best_off.ns_per_op(), overhead_pct);
+  return 0;
+}

@@ -31,7 +31,7 @@ double final_setpoint(const bas::MinixScenario& sc) {
   double sp = 22.0;
   for (const auto& ev :
        const_cast<bas::MinixScenario&>(sc).machine().trace().events()) {
-    if (ev.what == "ctl.setpoint") sp = ev.value;
+    if (ev.what() == "ctl.setpoint") sp = ev.value;
   }
   return sp;
 }

@@ -5,12 +5,20 @@
 //         <spoof-sensor|spoof-actuator|kill|fork-bomb|brute-force|flood>
 //         [root] [quota] [acl]
 //   $ ./experiment_runner matrix
+//
+// Any benign/attack invocation also accepts:
+//   --metrics-out <file>   write the metrics registry snapshot as JSON
+//   --trace-out <file>     write the trace as Chrome trace-event JSON
+//                          (load in Perfetto / chrome://tracing)
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "obs/trace_export.hpp"
 
 namespace core = mkbas::core;
 
@@ -26,6 +34,7 @@ int usage() {
       "       experiment_runner attack <minix|sel4|linux> <attack> "
       "[root] [quota] [acl]\n"
       "       experiment_runner matrix [--csv|--md]\n"
+      "options (benign/attack): --metrics-out <file> --trace-out <file>\n"
       "attacks: spoof-sensor spoof-actuator kill fork-bomb brute-force "
       "flood\n");
   return 2;
@@ -63,15 +72,51 @@ bool parse_attack(const std::string& s, AttackKind* out) {
   return true;
 }
 
+/// Build the RunOptions::observe hook that writes --metrics-out and
+/// --trace-out files. Returns an empty function when neither was given.
+std::function<void(mkbas::sim::Machine&)> make_observer(
+    const std::string& metrics_out, const std::string& trace_out) {
+  if (metrics_out.empty() && trace_out.empty()) return {};
+  return [metrics_out, trace_out](mkbas::sim::Machine& m) {
+    if (!metrics_out.empty()) {
+      std::ofstream f(metrics_out);
+      f << core::metrics_to_json(m) << "\n";
+      if (!f) {
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     metrics_out.c_str());
+      }
+    }
+    if (!trace_out.empty()) {
+      std::ofstream f(trace_out);
+      mkbas::obs::write_chrome_trace(f, m.trace());
+      if (!f) {
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     trace_out.c_str());
+      }
+    }
+  };
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string mode = argv[1];
+  // Strip the output-file options first; everything else is positional.
+  std::string metrics_out, trace_out;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if ((a == "--metrics-out" || a == "--trace-out") && i + 1 < argc) {
+      (a == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.empty()) return usage();
+  const std::string mode = args[0];
 
   if (mode == "matrix") {
     const auto rows = core::run_attack_matrix();
-    const std::string fmt = argc > 2 ? argv[2] : "";
+    const std::string fmt = args.size() > 1 ? args[1] : "";
     if (fmt == "--csv") {
       std::fputs(core::attack_rows_to_csv(rows).c_str(), stdout);
     } else if (fmt == "--md") {
@@ -83,10 +128,12 @@ int main(int argc, char** argv) {
   }
 
   if (mode == "benign") {
-    if (argc < 3) return usage();
+    if (args.size() < 2) return usage();
     core::Platform platform;
-    if (!parse_platform(argv[2], &platform)) return usage();
-    const auto run = core::run_benign(platform);
+    if (!parse_platform(args[1], &platform)) return usage();
+    core::RunOptions opts;
+    opts.observe = make_observer(metrics_out, trace_out);
+    const auto run = core::run_benign(platform, opts);
     std::printf("platform            : %s\n", core::to_string(platform));
     std::printf("plant samples       : %zu\n", run.history.size());
     std::printf("final temperature   : %.2f C\n",
@@ -103,21 +150,20 @@ int main(int argc, char** argv) {
   }
 
   if (mode == "attack") {
-    if (argc < 4) return usage();
+    if (args.size() < 3) return usage();
     core::Platform platform;
     AttackKind kind;
-    if (!parse_platform(argv[2], &platform) ||
-        !parse_attack(argv[3], &kind)) {
+    if (!parse_platform(args[1], &platform) ||
+        !parse_attack(args[2], &kind)) {
       return usage();
     }
     Privilege priv = Privilege::kCodeExec;
     core::RunOptions opts;
-    for (int i = 4; i < argc; ++i) {
-      if (std::strcmp(argv[i], "root") == 0) priv = Privilege::kRoot;
-      if (std::strcmp(argv[i], "quota") == 0) opts.minix_quotas = true;
-      if (std::strcmp(argv[i], "acl") == 0) {
-        opts.linux_separate_accounts = true;
-      }
+    opts.observe = make_observer(metrics_out, trace_out);
+    for (std::size_t i = 3; i < args.size(); ++i) {
+      if (args[i] == "root") priv = Privilege::kRoot;
+      if (args[i] == "quota") opts.minix_quotas = true;
+      if (args[i] == "acl") opts.linux_separate_accounts = true;
     }
     const auto row = core::run_attack(platform, kind, priv, opts);
     std::printf("platform   : %s\n", row.platform_label.c_str());

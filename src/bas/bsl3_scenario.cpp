@@ -401,7 +401,7 @@ Bsl3Safety Bsl3Scenario::check_safety(
 
   sim::Time last_sample = -1;
   for (const auto& ev : trace.events()) {
-    if (ev.what == "bsl3.sample") last_sample = ev.time;
+    if (ev.what() == "bsl3.sample") last_sample = ev.time;
   }
   r.control_alive =
       last_sample >= 0 && run_end - last_sample <= 5 * cfg.sample_period;

@@ -153,6 +153,10 @@ void LinuxScenario::control_proc() {
   if (fd_sensor < 0 || fd_heater < 0 || fd_alarm < 0) return;
 
   TempControlLogic logic(cfg_.control);
+  // Control-quality metrics (see the MINIX scenario for the definition).
+  auto jitter = machine_.metrics().log_histogram("linux.ctl.jitter", 4, 1e6);
+  auto actuations = machine_.metrics().counter("linux.ctl.actuations");
+  sim::Time last_sample_t = -1;
   for (;;) {
     // The paper's loop: wait for new sensor data ...
     MqMessage msg;
@@ -163,9 +167,18 @@ void LinuxScenario::control_proc() {
       // message came from the sensor process.
       const auto d = logic.on_sample(t, machine_.now());
       k.mq_send(fd_heater, {encode_cmd(d.heater_on), 0}, false);
+      actuations.inc();
       k.mq_send(fd_alarm, {encode_cmd(d.alarm_on), 0}, false);
+      actuations.inc();
       machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kControl,
                             "ctl.sample", "", t);
+      if (last_sample_t >= 0) {
+        const sim::Duration dt = machine_.now() - last_sample_t;
+        const sim::Duration nominal = cfg_.sensor_period;
+        jitter.record(static_cast<double>(
+            dt > nominal ? dt - nominal : nominal - dt));
+      }
+      last_sample_t = machine_.now();
     }
     // ... then check for pending setpoint updates from the web interface,
     MqMessage sp_msg;

@@ -123,6 +123,11 @@ void MinixScenario::control_proc() {
   Endpoint alarm = k.wait_lookup("alarmProc");
   Endpoint sensor_ep = k.wait_lookup("tempSensProc");
   TempControlLogic logic(cfg_.control);
+  // Control-quality metrics: deviation of the realised sample interval
+  // from the nominal sensor period, and every actuator command issued.
+  auto jitter = machine_.metrics().log_histogram("minix.ctl.jitter", 4, 1e6);
+  auto actuations = machine_.metrics().counter("minix.ctl.actuations");
+  sim::Time last_sample_t = -1;
 
   // "At the end of the while loop, environment information will be
   // written in a log file" — through the user-mode FS server.
@@ -146,6 +151,7 @@ void MinixScenario::control_proc() {
   // Drivers may be restarted by the reincarnation server under a new
   // endpoint; on a dead-destination error, re-resolve by name and retry.
   auto command = [&](Endpoint& actuator, const char* name, bool on) {
+    actuations.inc();
     Message m;
     m.m_type = ScenarioMTypes::kActuatorCmd;
     m.put_i32(WireFormat::kCmdOff, on ? 1 : 0);
@@ -177,6 +183,13 @@ void MinixScenario::control_proc() {
         command(alarm, "alarmProc", d.alarm_on);
         machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kControl,
                               "ctl.sample", "", logic.env().last_temp_c);
+        if (last_sample_t >= 0) {
+          const sim::Duration dt = machine_.now() - last_sample_t;
+          const sim::Duration nominal = cfg_.sensor_period;
+          jitter.record(static_cast<double>(
+              dt > nominal ? dt - nominal : nominal - dt));
+        }
+        last_sample_t = machine_.now();
         log_env();
         break;
       }

@@ -81,6 +81,10 @@ void Sel4Scenario::sensor_body(Runtime& rt) {
 
 void Sel4Scenario::control_body(Runtime& rt) {
   TempControlLogic logic(cfg_.control);
+  // Control-quality metrics (see the MINIX scenario for the definition).
+  auto jitter = machine_.metrics().log_histogram("sel4.ctl.jitter", 4, 1e6);
+  auto actuations = machine_.metrics().counter("sel4.ctl.actuations");
+  sim::Time last_sample_t = -1;
   for (;;) {
     auto in = rt.await();
     if (in.status != Sel4Error::kOk) continue;
@@ -90,11 +94,20 @@ void Sel4Scenario::control_body(Runtime& rt) {
       Sel4Msg heater;
       heater.push(d.heater_on ? 1 : 0);
       rt.rpc_call("heaterCmd", heater);
+      actuations.inc();
       Sel4Msg alarm;
       alarm.push(d.alarm_on ? 1 : 0);
       rt.rpc_call("alarmCmd", alarm);
+      actuations.inc();
       machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kControl,
                             "ctl.sample", "", logic.env().last_temp_c);
+      if (last_sample_t >= 0) {
+        const sim::Duration dt = machine_.now() - last_sample_t;
+        const sim::Duration nominal = cfg_.sensor_period;
+        jitter.record(static_cast<double>(
+            dt > nominal ? dt - nominal : nominal - dt));
+      }
+      last_sample_t = machine_.now();
     } else if (in.iface == "setpointIn") {
       const double sp = in.msg.mr_f64(0);
       const bool ok = logic.try_set_setpoint(sp, machine_.now());

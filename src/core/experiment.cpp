@@ -68,6 +68,7 @@ BenignRun run_benign(Platform platform, const RunOptions& opts) {
                               opts.scenario.sensor_period);
     run.context_switches = m.context_switches();
     run.kernel_entries = m.kernel_entries();
+    if (opts.observe) opts.observe(m);
   };
 
   switch (platform) {
@@ -115,6 +116,7 @@ AttackRow run_attack(Platform platform, AttackKind kind, Privilege priv,
     row.safety = check_safety(plant.coupler->history(), m.trace(),
                               opts.scenario.control, run_end,
                               opts.scenario.sensor_period);
+    if (opts.observe) opts.observe(m);
   };
 
   switch (platform) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,10 @@ struct RunOptions {
   /// MINIX only: enable the ACM syscall-quota extension.
   bool minix_quotas = false;
   std::uint64_t seed = 1;
+  /// Called with the machine after the run finishes but before teardown —
+  /// the hook through which callers snapshot the metrics registry or
+  /// export the trace (the scenario and its kernel still exist here).
+  std::function<void(sim::Machine&)> observe;
 };
 
 /// Result of one benign run (FIG2): ground-truth history plus the served

@@ -12,8 +12,10 @@ class SetpointTimeline {
  public:
   SetpointTimeline(const sim::TraceLog& trace, double initial) {
     steps_.push_back({0, initial});
+    // Compare interned ids, not strings: this runs over every trace event.
+    const auto tag = sim::TagRegistry::instance().intern("ctl.setpoint");
     for (const auto& ev : trace.events()) {
-      if (ev.what == "ctl.setpoint") steps_.push_back({ev.time, ev.value});
+      if (ev.tag == tag) steps_.push_back({ev.time, ev.value});
     }
   }
   double at(sim::Time t) const {
@@ -49,8 +51,9 @@ SafetyReport check_safety(const std::vector<devices::PlantSample>& history,
 
   // --- control liveness: a sample was emitted close to the end ---
   sim::Time last_sample = -1;
+  const auto sample_tag = sim::TagRegistry::instance().intern("ctl.sample");
   for (const auto& ev : trace.events()) {
-    if (ev.what == "ctl.sample") last_sample = ev.time;
+    if (ev.tag == sample_tag) last_sample = ev.time;
   }
   report.control_alive =
       last_sample >= 0 && (run_end - last_sample) <= 5 * sensor_period;

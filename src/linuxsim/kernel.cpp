@@ -35,7 +35,24 @@ const char* to_string(Errno e) {
   return "?";
 }
 
-LinuxKernel::LinuxKernel(sim::Machine& machine) : machine_(machine) {}
+LinuxKernel::LinuxKernel(sim::Machine& machine) : machine_(machine) {
+  auto& mx = machine_.metrics();
+  met_.sc_kill = mx.counter("linux.syscall.kill");
+  met_.sc_signal = mx.counter("linux.syscall.signal");
+  met_.sc_spawn = mx.counter("linux.syscall.spawn");
+  met_.sc_exit = mx.counter("linux.syscall.exit");
+  met_.sc_setuid = mx.counter("linux.syscall.setuid");
+  met_.sc_mq_open = mx.counter("linux.syscall.mq_open");
+  met_.sc_mq_send = mx.counter("linux.syscall.mq_send");
+  met_.sc_mq_receive = mx.counter("linux.syscall.mq_receive");
+  met_.sc_sock_connect = mx.counter("linux.syscall.sock_connect");
+  met_.sc_sock_accept = mx.counter("linux.syscall.sock_accept");
+  met_.sc_sock_send = mx.counter("linux.syscall.sock_send");
+  met_.sc_sock_recv = mx.counter("linux.syscall.sock_recv");
+  met_.sc_file = mx.counter("linux.syscall.file");
+  met_.perm_denied = mx.counter("linux.perm.denied");
+  met_.ipc_latency = mx.log_histogram("linux.ipc.latency", 4, 1e7);
+}
 
 // ---- Task plumbing ----
 
@@ -97,6 +114,7 @@ int LinuxKernel::spawn_process(const std::string& name, Uid uid,
 int LinuxKernel::fork_process(const std::string& name,
                               std::function<void()> body, int priority) {
   enter_linux();
+  met_.sc_spawn.inc();
   return do_spawn(name, current_task().uid, std::move(body), priority);
 }
 
@@ -133,11 +151,13 @@ void LinuxKernel::deliver_pending_signals(Task& task) {
 
 Errno LinuxKernel::sys_kill_sig(int pid, int sig) {
   enter_linux();
+  met_.sc_kill.inc();
   Task& self = current_task();
   Task* target = task_by_pid(pid);
   if (target == nullptr) return Errno::kESRCH;
   // Classic Unix rule: root signals anyone; others only their own uid.
   if (self.uid != kRootUid && self.uid != target->uid) {
+    met_.perm_denied.inc();
     machine_.trace().emit(machine_.now(), self.pid,
                           sim::TraceKind::kSecurity, "linux.kill_deny",
                           self.name + " (uid " + std::to_string(self.uid) +
@@ -162,6 +182,7 @@ Errno LinuxKernel::sys_kill_sig(int pid, int sig) {
 Errno LinuxKernel::install_signal_handler(int sig,
                                           std::function<void()> handler) {
   enter_linux();
+  met_.sc_signal.inc();
   if (sig == kSigKill) return Errno::kEINVAL;  // SIGKILL is uncatchable
   current_task().sig_handlers[sig] = std::move(handler);
   return Errno::kOk;
@@ -169,6 +190,7 @@ Errno LinuxKernel::install_signal_handler(int sig,
 
 void LinuxKernel::sys_exit(int code) {
   enter_linux();
+  met_.sc_exit.inc();
   throw sim::ProcessExit{code};
 }
 
@@ -198,6 +220,7 @@ Uid LinuxKernel::uid_of(int pid) const {
 
 Errno LinuxKernel::sys_setuid(Uid uid) {
   enter_linux();
+  met_.sc_setuid.inc();
   Task& self = current_task();
   if (self.uid != kRootUid) return Errno::kEPERM;
   self.uid = uid;
@@ -245,6 +268,7 @@ void LinuxKernel::wake_all(std::vector<sim::Process*>& waiters) {
 int LinuxKernel::mq_open(const std::string& name, bool create, Mode mode,
                          int maxmsg) {
   enter_linux();
+  met_.sc_mq_open.inc();
   Task& self = current_task();
   auto it = namespace_.find(name);
   std::shared_ptr<Node> node;
@@ -269,6 +293,7 @@ int LinuxKernel::mq_open(const std::string& name, bool create, Mode mode,
     const bool r = may_read(self, *node);
     const bool w = may_write(self, *node);
     if (!r && !w) {
+      met_.perm_denied.inc();
       machine_.trace().emit(machine_.now(), self.pid,
                             sim::TraceKind::kSecurity, "linux.mq_deny",
                             self.name + " denied on " + name);
@@ -310,6 +335,7 @@ Errno LinuxKernel::mq_unlink(const std::string& name) {
 
 Errno LinuxKernel::mq_send(int fd, const MqMessage& msg, bool blocking) {
   enter_linux();
+  met_.sc_mq_send.inc();
   Task& self = current_task();
   FileDesc* desc = fd_of(self, fd);
   if (desc == nullptr) return Errno::kEBADF;
@@ -327,7 +353,9 @@ Errno LinuxKernel::mq_send(int fd, const MqMessage& msg, bool blocking) {
   auto pos = std::find_if(
       node->queue.begin(), node->queue.end(),
       [&](const MqMessage& m) { return m.priority < msg.priority; });
-  node->queue.insert(pos, msg);
+  MqMessage stamped = msg;
+  stamped.enqueued_at = machine_.now();
+  node->queue.insert(pos, stamped);
   machine_.trace().emit(machine_.now(), self.pid, sim::TraceKind::kIpc,
                         "mq.send", self.name + " -> " + node->name);
   wake_all(node->recv_waiters);
@@ -336,6 +364,7 @@ Errno LinuxKernel::mq_send(int fd, const MqMessage& msg, bool blocking) {
 
 Errno LinuxKernel::mq_receive(int fd, MqMessage& out, bool blocking) {
   enter_linux();
+  met_.sc_mq_receive.inc();
   Task& self = current_task();
   FileDesc* desc = fd_of(self, fd);
   if (desc == nullptr) return Errno::kEBADF;
@@ -350,6 +379,8 @@ Errno LinuxKernel::mq_receive(int fd, MqMessage& out, bool blocking) {
   }
   out = node->queue.front();
   node->queue.pop_front();
+  met_.ipc_latency.record(
+      static_cast<double>(machine_.now() - out.enqueued_at));
   wake_all(node->send_waiters);
   return Errno::kOk;
 }
@@ -453,6 +484,7 @@ Errno LinuxKernel::sock_listen(int fd, int backlog) {
 
 int LinuxKernel::sock_accept(int fd, bool blocking) {
   enter_linux();
+  met_.sc_sock_accept.inc();
   Task& self = current_task();
   FileDesc* desc = fd_of(self, fd);
   if (desc == nullptr || !desc->listener) {
@@ -481,6 +513,7 @@ int LinuxKernel::sock_accept(int fd, bool blocking) {
 
 int LinuxKernel::sock_connect(const std::string& path) {
   enter_linux();
+  met_.sc_sock_connect.inc();
   Task& self = current_task();
   const auto it = fs_sockets_.find(path);
   if (it == fs_sockets_.end()) return -static_cast<int>(Errno::kENOENT);
@@ -498,6 +531,7 @@ int LinuxKernel::sock_connect(const std::string& path) {
     }
   }
   if (!allowed) {
+    met_.perm_denied.inc();
     machine_.trace().emit(machine_.now(), self.pid,
                           sim::TraceKind::kSecurity, "uds.connect_deny",
                           self.name + " denied on " + path);
@@ -523,6 +557,7 @@ int LinuxKernel::sock_connect(const std::string& path) {
 
 int LinuxKernel::sock_connect_abstract(const std::string& name) {
   enter_linux();
+  met_.sc_sock_connect.inc();
   Task& self = current_task();
   const auto it = abstract_sockets_.find(name);
   if (it == abstract_sockets_.end()) {
@@ -551,6 +586,7 @@ int LinuxKernel::sock_connect_abstract(const std::string& name) {
 Errno LinuxKernel::sock_send(int fd, const std::string& data,
                              bool blocking) {
   enter_linux();
+  met_.sc_sock_send.inc();
   Task& self = current_task();
   FileDesc* desc = fd_of(self, fd);
   if (desc == nullptr || !desc->conn) return Errno::kEBADF;
@@ -570,13 +606,14 @@ Errno LinuxKernel::sock_send(int fd, const std::string& data,
     deliver_pending_signals(self);
     if (fd_of(self, fd) == nullptr) return Errno::kEBADF;
   }
-  queue.push_back(data);
+  queue.push_back(Datagram{data, machine_.now()});
   wake_conn(*conn);
   return Errno::kOk;
 }
 
 Errno LinuxKernel::sock_recv(int fd, std::string* out, bool blocking) {
   enter_linux();
+  met_.sc_sock_recv.inc();
   Task& self = current_task();
   FileDesc* desc = fd_of(self, fd);
   if (desc == nullptr || !desc->conn) return Errno::kEBADF;
@@ -585,7 +622,9 @@ Errno LinuxKernel::sock_recv(int fd, std::string* out, bool blocking) {
   auto& queue = server ? conn->to_server : conn->to_client;
   for (;;) {
     if (!queue.empty()) {
-      *out = queue.front();
+      *out = queue.front().data;
+      met_.ipc_latency.record(
+          static_cast<double>(machine_.now() - queue.front().enqueued));
       queue.pop_front();
       wake_conn(*conn);
       return Errno::kOk;
@@ -626,6 +665,7 @@ Uid LinuxKernel::sock_peer_uid(int fd) {
 
 int LinuxKernel::open_file(const std::string& name, bool create, Mode mode) {
   enter_linux();
+  met_.sc_file.inc();
   Task& self = current_task();
   auto it = namespace_.find(name);
   std::shared_ptr<Node> node;
@@ -658,6 +698,7 @@ int LinuxKernel::open_file(const std::string& name, bool create, Mode mode) {
 
 Errno LinuxKernel::write_file(int fd, const std::string& data) {
   enter_linux();
+  met_.sc_file.inc();
   Task& self = current_task();
   FileDesc* desc = fd_of(self, fd);
   if (desc == nullptr) return Errno::kEBADF;
@@ -668,6 +709,7 @@ Errno LinuxKernel::write_file(int fd, const std::string& data) {
 
 Errno LinuxKernel::read_file(int fd, std::string& out) {
   enter_linux();
+  met_.sc_file.inc();
   Task& self = current_task();
   FileDesc* desc = fd_of(self, fd);
   if (desc == nullptr) return Errno::kEBADF;

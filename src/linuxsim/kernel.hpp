@@ -54,10 +54,13 @@ struct Mode {
   }
 };
 
-/// A POSIX message-queue message: payload bytes plus a priority.
+/// A POSIX message-queue message: payload bytes plus a priority. The
+/// kernel stamps `enqueued_at` on mq_send so delivery can record the true
+/// send->receive latency; user code can ignore the field.
 struct MqMessage {
   std::string data;
   unsigned priority = 0;
+  sim::Time enqueued_at = 0;
 };
 
 /// The monolithic-kernel (Linux) personality used as the paper's baseline.
@@ -200,8 +203,13 @@ class LinuxKernel {
     std::string contents;
   };
 
+  struct Datagram {  // one buffered stream chunk plus its enqueue time
+    std::string data;
+    sim::Time enqueued = 0;
+  };
+
   struct Connection {  // one established stream, two directions
-    std::deque<std::string> to_server, to_client;
+    std::deque<Datagram> to_server, to_client;
     static constexpr std::size_t kBufDepth = 64;
     bool server_closed = false, client_closed = false;
     Uid server_uid = -1, client_uid = -1;
@@ -258,7 +266,19 @@ class LinuxKernel {
   int do_spawn(const std::string& name, Uid uid, std::function<void()> body,
                int priority);
 
+  /// Pre-resolved handles ("linux.*" namespace); no string lookups on the
+  /// IPC path.
+  struct Metrics {
+    obs::Counter sc_kill, sc_signal, sc_spawn, sc_exit, sc_setuid;
+    obs::Counter sc_mq_open, sc_mq_send, sc_mq_receive;
+    obs::Counter sc_sock_connect, sc_sock_accept, sc_sock_send, sc_sock_recv;
+    obs::Counter sc_file;
+    obs::Counter perm_denied;
+    obs::Histogram ipc_latency;  // mq/uds send->receive, virtual usec
+  };
+
   sim::Machine& machine_;
+  Metrics met_;
   std::unordered_map<std::string, std::shared_ptr<Node>> namespace_;
   std::unordered_map<std::string, std::shared_ptr<Listener>> fs_sockets_;
   std::unordered_map<std::string, std::shared_ptr<Listener>>

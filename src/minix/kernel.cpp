@@ -26,6 +26,24 @@ const char* to_string(IpcResult r) {
 
 MinixKernel::MinixKernel(sim::Machine& machine, AcmPolicy policy)
     : machine_(machine), policy_(std::move(policy)), slots_(kNumSlots) {
+  auto& mx = machine_.metrics();
+  met_.sc_send = mx.counter("minix.syscall.send");
+  met_.sc_sendnb = mx.counter("minix.syscall.sendnb");
+  met_.sc_receive = mx.counter("minix.syscall.receive");
+  met_.sc_nbreceive = mx.counter("minix.syscall.nbreceive");
+  met_.sc_sendrec = mx.counter("minix.syscall.sendrec");
+  met_.sc_senda = mx.counter("minix.syscall.senda");
+  met_.sc_notify = mx.counter("minix.syscall.notify");
+  met_.sc_grant = mx.counter("minix.syscall.grant");
+  met_.sc_safecopy = mx.counter("minix.syscall.safecopy");
+  met_.sc_fork = mx.counter("minix.syscall.fork2");
+  met_.sc_kill = mx.counter("minix.syscall.pm_kill");
+  met_.sc_exit = mx.counter("minix.syscall.pm_exit");
+  met_.acm_allowed = mx.counter("minix.acm.allowed");
+  met_.acm_denied = mx.counter("minix.acm.denied");
+  met_.kill_denied = mx.counter("minix.acm.kill_denied");
+  met_.fork_quota_denied = mx.counter("minix.acm.fork_quota_denied");
+  met_.ipc_latency = mx.log_histogram("minix.ipc.latency", 4, 1e7);
   for (int i = 0; i < kNumSlots; ++i) {
     slots_[i].slot = i;
     slots_[i].generation = 1;
@@ -208,6 +226,13 @@ void MinixKernel::kernel_kill(Endpoint target) {
 
 void MinixKernel::trace_sec(const Pcb& src, const Pcb& dst, int m_type,
                             bool allowed) {
+  // Single emission point for acm.allow/acm.deny: the counters below are
+  // therefore exactly the trace tag counts, even in ring-buffer mode.
+  if (allowed) {
+    met_.acm_allowed.inc();
+  } else {
+    met_.acm_denied.inc();
+  }
   machine_.trace().emit(
       machine_.now(), src.proc ? src.proc->pid() : -1,
       sim::TraceKind::kSecurity, allowed ? "acm.allow" : "acm.deny",
@@ -235,6 +260,8 @@ bool MinixKernel::would_deadlock(const Pcb& src, const Pcb& first_dst) const {
 
 void MinixKernel::deliver(Pcb& from, Pcb& to, const Message& m) {
   assert(to.wait == Pcb::Wait::kReceiving && to.user_buf != nullptr);
+  met_.ipc_latency.record(
+      static_cast<double>(machine_.now() - from.send_start));
   *to.user_buf = m;
   // The kernel stamps the true sender identity; user-supplied m_source is
   // discarded. This is the anti-spoofing property of §IV.D.2.
@@ -251,6 +278,7 @@ void MinixKernel::deliver(Pcb& from, Pcb& to, const Message& m) {
 
 IpcResult MinixKernel::do_send(Pcb& src, Endpoint dst_ep, Message& m,
                                bool blocking) {
+  src.send_start = machine_.now();
   Pcb* dst = lookup_pcb(dst_ep);
   if (dst == nullptr) return IpcResult::kDeadSrcDst;
   if (!policy_.allowed(src.ac_id, dst->ac_id, m.m_type)) {
@@ -294,8 +322,10 @@ IpcResult MinixKernel::do_receive(Pcb& self, Endpoint from, Message& out,
   }
   // Queued asynchronous messages come next.
   for (auto it = self.async_in.begin(); it != self.async_in.end(); ++it) {
-    if (from.is_any() || from.raw() == it->m_source) {
-      out = *it;
+    if (from.is_any() || from.raw() == it->msg.m_source) {
+      out = it->msg;
+      met_.ipc_latency.record(
+          static_cast<double>(machine_.now() - it->enqueued));
       self.async_in.erase(it);
       return IpcResult::kOk;
     }
@@ -307,6 +337,8 @@ IpcResult MinixKernel::do_receive(Pcb& self, Endpoint from, Message& out,
     if (from.is_any() || from == ep_of(sender)) {
       out = *sender.user_buf;
       out.m_source = ep_of(sender).raw();
+      met_.ipc_latency.record(
+          static_cast<double>(machine_.now() - sender.send_start));
       sender.wait = Pcb::Wait::kNone;
       sender.ipc_result = IpcResult::kOk;
       self.sender_queue.erase(it);
@@ -333,6 +365,7 @@ IpcResult MinixKernel::do_receive(Pcb& self, Endpoint from, Message& out,
 }
 
 IpcResult MinixKernel::do_send_async(Pcb& src, Endpoint dst_ep, Message& m) {
+  src.send_start = machine_.now();
   Pcb* dst = lookup_pcb(dst_ep);
   if (dst == nullptr) return IpcResult::kDeadSrcDst;
   if (!policy_.allowed(src.ac_id, dst->ac_id, m.m_type)) {
@@ -348,32 +381,37 @@ IpcResult MinixKernel::do_send_async(Pcb& src, Endpoint dst_ep, Message& m) {
   if (dst->async_in.size() >= kAsyncDepth) return IpcResult::kNotReady;
   Message stamped = m;
   stamped.m_source = ep_of(src).raw();
-  dst->async_in.push_back(stamped);
+  dst->async_in.push_back(Pcb::AsyncMsg{stamped, machine_.now()});
   return IpcResult::kOk;
 }
 
 IpcResult MinixKernel::ipc_send(Endpoint dst, Message& m) {
   machine_.enter_kernel();
+  met_.sc_send.inc();
   return do_send(current_pcb(), dst, m, /*blocking=*/true);
 }
 
 IpcResult MinixKernel::ipc_sendnb(Endpoint dst, Message& m) {
   machine_.enter_kernel();
+  met_.sc_sendnb.inc();
   return do_send(current_pcb(), dst, m, /*blocking=*/false);
 }
 
 IpcResult MinixKernel::ipc_receive(Endpoint src, Message& out) {
   machine_.enter_kernel();
+  met_.sc_receive.inc();
   return do_receive(current_pcb(), src, out);
 }
 
 IpcResult MinixKernel::ipc_nbreceive(Endpoint src, Message& out) {
   machine_.enter_kernel();
+  met_.sc_nbreceive.inc();
   return do_receive(current_pcb(), src, out, /*blocking=*/false);
 }
 
 IpcResult MinixKernel::ipc_sendrec(Endpoint dst, Message& m) {
   machine_.enter_kernel();
+  met_.sc_sendrec.inc();
   Pcb& self = current_pcb();
   const IpcResult sent = do_send(self, dst, m, /*blocking=*/true);
   if (sent != IpcResult::kOk) return sent;
@@ -382,12 +420,15 @@ IpcResult MinixKernel::ipc_sendrec(Endpoint dst, Message& m) {
 
 IpcResult MinixKernel::ipc_senda(Endpoint dst, Message& m) {
   machine_.enter_kernel();
+  met_.sc_senda.inc();
   return do_send_async(current_pcb(), dst, m);
 }
 
 IpcResult MinixKernel::ipc_notify(Endpoint dst) {
   machine_.enter_kernel();
+  met_.sc_notify.inc();
   Pcb& self = current_pcb();
+  self.send_start = machine_.now();
   Pcb* target = lookup_pcb(dst);
   if (target == nullptr) return IpcResult::kDeadSrcDst;
   if (!policy_.allowed(self.ac_id, target->ac_id, kNotifyMType)) {
@@ -413,6 +454,7 @@ MinixKernel::GrantId MinixKernel::grant_create(Endpoint grantee,
                                                std::size_t len,
                                                GrantAccess access) {
   machine_.enter_kernel();
+  met_.sc_grant.inc();
   if (base == nullptr || len == 0 || lookup_pcb(grantee) == nullptr) {
     return -1;
   }
@@ -424,6 +466,7 @@ MinixKernel::GrantId MinixKernel::grant_create(Endpoint grantee,
 
 IpcResult MinixKernel::grant_revoke(GrantId id) {
   machine_.enter_kernel();
+  met_.sc_grant.inc();
   return current_pcb().grants.erase(id) != 0 ? IpcResult::kOk
                                              : IpcResult::kBadEndpoint;
 }
@@ -436,6 +479,7 @@ IpcResult MinixKernel::safecopy_from(Endpoint granter, GrantId id,
                                      std::size_t offset, std::uint8_t* dst,
                                      std::size_t len) {
   machine_.enter_kernel();
+  met_.sc_safecopy.inc();
   Pcb& self = current_pcb();
   Pcb* owner = lookup_pcb(granter);
   if (owner == nullptr) return IpcResult::kDeadSrcDst;
@@ -457,6 +501,7 @@ IpcResult MinixKernel::safecopy_to(Endpoint granter, GrantId id,
                                    std::size_t offset,
                                    const std::uint8_t* src, std::size_t len) {
   machine_.enter_kernel();
+  met_.sc_safecopy.inc();
   Pcb& self = current_pcb();
   Pcb* owner = lookup_pcb(granter);
   if (owner == nullptr) return IpcResult::kDeadSrcDst;
@@ -514,6 +559,7 @@ void MinixKernel::pm_main() {
         const auto quota = policy_.fork_quota(caller->ac_id);
         if (policy_.quotas_enabled() && quota.has_value() &&
             forks_by_ac_[caller->ac_id] >= *quota) {
+          met_.fork_quota_denied.inc();
           machine_.trace().emit(
               machine_.now(), self.proc->pid(), sim::TraceKind::kSecurity,
               "acm.fork_quota_deny",
@@ -542,6 +588,7 @@ void MinixKernel::pm_main() {
           break;
         }
         if (!policy_.kill_allowed(caller->ac_id, target->ac_id)) {
+          met_.kill_denied.inc();
           machine_.trace().emit(
               machine_.now(), self.proc->pid(), sim::TraceKind::kSecurity,
               "acm.kill_deny",
@@ -571,6 +618,7 @@ void MinixKernel::pm_main() {
 ForkResult MinixKernel::fork2(const std::string& name, int ac_id,
                               std::function<void()> body, int priority) {
   machine_.enter_kernel();
+  met_.sc_fork.inc();
   Pcb& self = current_pcb();
   const int handle = next_fork_handle_++;
   pending_forks_[handle] =
@@ -590,6 +638,7 @@ ForkResult MinixKernel::fork2(const std::string& name, int ac_id,
 
 IpcResult MinixKernel::pm_kill(Endpoint target) {
   machine_.enter_kernel();
+  met_.sc_kill.inc();
   Message m;
   m.m_type = PmProtocol::kKill;
   m.put_i32(0, target.raw());
@@ -601,6 +650,7 @@ IpcResult MinixKernel::pm_kill(Endpoint target) {
 
 void MinixKernel::pm_exit(int code) {
   machine_.enter_kernel();
+  met_.sc_exit.inc();
   Message m;
   m.m_type = PmProtocol::kExit;
   m.put_i32(0, code);

@@ -197,7 +197,14 @@ class MinixKernel {
     IpcResult ipc_result = IpcResult::kOk;
     std::deque<int> sender_queue;  // slots blocked sending to us
     std::set<int> notify_from;     // slots with a pending notification
-    std::deque<Message> async_in;  // queued senda() messages (src stamped)
+    /// A queued senda() message (src stamped) plus its enqueue time, so
+    /// delivery can charge the true send->deliver latency to the metrics.
+    struct AsyncMsg {
+      Message msg;
+      sim::Time enqueued = 0;
+    };
+    std::deque<AsyncMsg> async_in;
+    sim::Time send_start = 0;  // when the current/last send syscall began
     int forks_done = 0;
 
     struct Grant {
@@ -229,8 +236,20 @@ class MinixKernel {
   void pm_main();
   void trace_sec(const Pcb& src, const Pcb& dst, int m_type, bool allowed);
 
+  /// Handles resolved once at kernel construction; incremented on the IPC
+  /// hot path without any string lookups ("minix.*" namespace).
+  struct Metrics {
+    obs::Counter sc_send, sc_sendnb, sc_receive, sc_nbreceive, sc_sendrec;
+    obs::Counter sc_senda, sc_notify, sc_grant, sc_safecopy, sc_fork;
+    obs::Counter sc_kill, sc_exit;
+    obs::Counter acm_allowed, acm_denied;
+    obs::Counter kill_denied, fork_quota_denied;
+    obs::Histogram ipc_latency;  // send->deliver, virtual microseconds
+  };
+
   sim::Machine& machine_;
   AcmPolicy policy_;
+  Metrics met_;
   std::vector<Pcb> slots_;
   std::unordered_map<int, int> pid_to_slot_;
   std::unordered_map<std::string, Endpoint> names_;

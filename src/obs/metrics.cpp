@@ -1,0 +1,202 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mkbas::obs {
+
+namespace {
+
+// Default-constructed handles write here: always-off, never exported.
+bool g_dummy_enabled = false;
+std::uint64_t g_dummy_counter = 0;
+double g_dummy_gauge = 0.0;
+
+Histogram::Cell& dummy_histogram_cell() {
+  static Histogram::Cell cell = [] {
+    Histogram::Cell c;
+    c.bounds = std::make_shared<const std::vector<double>>(
+        std::vector<double>{1.0});
+    c.counts.assign(1, 0);
+    return c;
+  }();
+  return cell;
+}
+
+// Print doubles without trailing noise: integers as integers, the rest
+// with enough digits to round-trip.
+std::string fmt_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Counter::Counter() : cell_(&g_dummy_counter), enabled_(&g_dummy_enabled) {}
+Gauge::Gauge() : cell_(&g_dummy_gauge), enabled_(&g_dummy_enabled) {}
+Histogram::Histogram()
+    : cell_(&dummy_histogram_cell()), enabled_(&g_dummy_enabled) {}
+
+void Histogram::record(double v) {
+  if (!*enabled_) return;
+  Cell& c = *cell_;
+  ++c.count;
+  c.sum += v;
+  if (v < c.min) c.min = v;
+  if (v > c.max) c.max = v;
+  const auto& b = *c.bounds;
+  auto it = std::lower_bound(b.begin(), b.end(), v);
+  if (it == b.end()) {
+    ++c.overflow;
+  } else {
+    ++c.counts[static_cast<std::size_t>(it - b.begin())];
+  }
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counter_cells_.push_back(0);
+    it = counters_.emplace(name, &counter_cells_.back()).first;
+  }
+  return Counter(it->second, &enabled_);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauge_cells_.push_back(0.0);
+    it = gauges_.emplace(name, &gauge_cells_.back()).first;
+  }
+  return Gauge(it->second, &enabled_);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram::Cell cell;
+    if (bounds.empty()) bounds.push_back(1.0);
+    cell.counts.assign(bounds.size(), 0);
+    cell.bounds =
+        std::make_shared<const std::vector<double>>(std::move(bounds));
+    histogram_cells_.push_back(std::move(cell));
+    it = histograms_.emplace(name, &histogram_cells_.back()).first;
+  }
+  return Histogram(it->second, &enabled_);
+}
+
+std::vector<double> MetricsRegistry::log_bounds(int sub_buckets, double max) {
+  if (sub_buckets < 1) sub_buckets = 1;
+  if (max < 2.0) max = 2.0;
+  std::vector<double> bounds;
+  bounds.push_back(1.0);
+  for (double lo = 1.0; lo < max; lo *= 2.0) {
+    for (int i = 1; i <= sub_buckets; ++i) {
+      double b = lo + lo * static_cast<double>(i) /
+                          static_cast<double>(sub_buckets);
+      if (b <= bounds.back()) continue;
+      bounds.push_back(b);
+      if (b >= max) return bounds;
+    }
+  }
+  return bounds;
+}
+
+Histogram MetricsRegistry::log_histogram(const std::string& name,
+                                         int sub_buckets, double max) {
+  return histogram(name, log_bounds(sub_buckets, max));
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, cell] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << *cell;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, cell] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << fmt_double(*cell);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, cell] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << cell->count
+       << ",\"sum\":" << fmt_double(cell->sum);
+    if (cell->count > 0) {
+      os << ",\"min\":" << fmt_double(cell->min)
+         << ",\"max\":" << fmt_double(cell->max);
+    } else {
+      os << ",\"min\":0,\"max\":0";
+    }
+    os << ",\"overflow\":" << cell->overflow << ",\"buckets\":[";
+    bool bfirst = true;
+    const auto& bounds = *cell->bounds;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (cell->counts[i] == 0) continue;  // elide empty buckets
+      if (!bfirst) os << ',';
+      bfirst = false;
+      os << "{\"le\":" << fmt_double(bounds[i])
+         << ",\"count\":" << cell->counts[i] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace mkbas::obs

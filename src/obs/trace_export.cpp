@@ -1,0 +1,76 @@
+#include "obs/trace_export.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"  // json_escape
+
+namespace mkbas::obs {
+
+namespace {
+
+// pid -1 (machine-level events) renders as track 0; real sim pids start
+// at 1, so the tracks never collide.
+int track_of(int sim_pid) { return sim_pid < 0 ? 0 : sim_pid; }
+
+bool is_denial(const sim::TraceEvent& ev, const std::string& tag_name) {
+  return ev.kind == sim::TraceKind::kSecurity &&
+         tag_name.find("deny") != std::string::npos;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const sim::TraceLog& log) {
+  auto& tags = sim::TagRegistry::instance();
+
+  // Track names: the machine emits "proc.spawn" with detail == process
+  // name. Processes spawned before a ring buffer evicted their spawn event
+  // fall back to "pid<N>".
+  std::map<int, std::string> names;
+  names[0] = "machine";
+  std::uint32_t spawn_tag = 0;
+  const bool have_spawn = tags.try_lookup("proc.spawn", &spawn_tag);
+  for (const auto& ev : log.events()) {
+    if (have_spawn && ev.tag == spawn_tag && ev.pid >= 0) {
+      names[track_of(ev.pid)] = ev.detail;
+    } else {
+      names.emplace(track_of(ev.pid), "pid" + std::to_string(track_of(ev.pid)));
+    }
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [pid, name] : names) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const auto& ev : log.events()) {
+    const std::string& tag_name = tags.name(ev.tag);
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(tag_name) << "\",\"cat\":\""
+       << sim::to_string(ev.kind) << "\",\"ts\":" << ev.time
+       << ",\"pid\":" << track_of(ev.pid) << ",\"tid\":0,";
+    if (is_denial(ev, tag_name)) {
+      os << "\"ph\":\"i\",\"s\":\"p\",";  // process-scoped denial marker
+    } else if (ev.kind == sim::TraceKind::kAttack) {
+      os << "\"ph\":\"i\",\"s\":\"g\",";  // global attack marker
+    } else {
+      os << "\"ph\":\"X\",\"dur\":1,";
+    }
+    os << "\"args\":{\"detail\":\"" << json_escape(ev.detail)
+       << "\",\"value\":" << ev.value << "}}";
+  }
+  os << "]}";
+}
+
+std::string to_chrome_trace_json(const sim::TraceLog& log) {
+  std::ostringstream os;
+  write_chrome_trace(os, log);
+  return os.str();
+}
+
+}  // namespace mkbas::obs

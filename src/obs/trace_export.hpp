@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace mkbas::obs {
+
+/// Serialize a simulation trace as Chrome trace-event JSON (the "JSON Array
+/// Format"), loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+///
+/// Mapping:
+///  * every simulated process becomes one track (trace pid == sim pid, with
+///    a `process_name` metadata record taken from its `proc.spawn` event;
+///    machine-level events with sim pid -1 go to track 0, "machine");
+///  * ordinary events become 1us complete ("X") slices named by tag, with
+///    the TraceKind as the category and detail/value in args;
+///  * security *denials* (any kSecurity tag containing "deny") and all
+///    kAttack events become instant ("i") events, so they stand out as
+///    markers when scrubbing a long run.
+///
+/// Virtual time is microseconds, which is exactly the `ts` unit the format
+/// expects — timestamps pass through untranslated.
+void write_chrome_trace(std::ostream& os, const sim::TraceLog& log);
+std::string to_chrome_trace_json(const sim::TraceLog& log);
+
+}  // namespace mkbas::obs

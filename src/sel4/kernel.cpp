@@ -52,10 +52,31 @@ const char* to_string(Sel4Error e) {
   return "?";
 }
 
-Sel4Kernel::Sel4Kernel(sim::Machine& machine) : machine_(machine) {}
+Sel4Kernel::Sel4Kernel(sim::Machine& machine) : machine_(machine) {
+  auto& mx = machine_.metrics();
+  met_.sc_send = mx.counter("sel4.syscall.send");
+  met_.sc_nbsend = mx.counter("sel4.syscall.nbsend");
+  met_.sc_recv = mx.counter("sel4.syscall.recv");
+  met_.sc_nbrecv = mx.counter("sel4.syscall.nbrecv");
+  met_.sc_call = mx.counter("sel4.syscall.call");
+  met_.sc_reply = mx.counter("sel4.syscall.reply");
+  met_.sc_reply_recv = mx.counter("sel4.syscall.reply_recv");
+  met_.sc_signal = mx.counter("sel4.syscall.signal");
+  met_.sc_wait = mx.counter("sel4.syscall.wait");
+  met_.sc_retype = mx.counter("sel4.syscall.retype");
+  met_.sc_create_thread = mx.counter("sel4.syscall.create_thread");
+  met_.sc_cnode = mx.counter("sel4.syscall.cnode_op");
+  met_.sc_frame = mx.counter("sel4.syscall.frame_op");
+  met_.sc_tcb = mx.counter("sel4.syscall.tcb_op");
+  met_.cap_denied = mx.counter("sel4.cap.denied");
+  met_.ipc_latency = mx.log_histogram("sel4.ipc.latency", 4, 1e7);
+}
 
 void Sel4Kernel::trace_sec(const std::string& what,
                            const std::string& detail) {
+  // Single emission point for capability denials: the counter stays in
+  // exact agreement with the trace tag counts.
+  if (what.find("deny") != std::string::npos) met_.cap_denied.inc();
   sim::Process* p = machine_.current();
   machine_.trace().emit(machine_.now(), p ? p->pid() : -1,
                         sim::TraceKind::kSecurity, what, detail);
@@ -228,6 +249,7 @@ sim::Process* Sel4Kernel::boot_root(std::function<void()> body,
 Sel4Error Sel4Kernel::retype(Slot untyped_slot, ObjType type, Slot dest_slot,
                              int cnode_slots) {
   machine_.enter_kernel();
+  met_.sc_retype.inc();
   Sel4Error err;
   Capability* ucap = resolve(untyped_slot, ObjType::kUntyped, err);
   if (ucap == nullptr) return err;
@@ -257,6 +279,7 @@ Sel4Error Sel4Kernel::create_thread(Slot untyped_slot, const std::string& name,
                                     Slot tcb_dest, Slot cnode_dest,
                                     int cnode_slots) {
   machine_.enter_kernel();
+  met_.sc_create_thread.inc();
   Sel4Error err;
   Capability* ucap = resolve(untyped_slot, ObjType::kUntyped, err);
   if (ucap == nullptr) return err;
@@ -296,6 +319,7 @@ Sel4Error Sel4Kernel::create_thread(Slot untyped_slot, const std::string& name,
 
 Sel4Error Sel4Kernel::tcb_resume(Slot tcb_slot) {
   machine_.enter_kernel();
+  met_.sc_tcb.inc();
   Sel4Error err;
   Capability* cap = resolve(tcb_slot, ObjType::kTcb, err);
   if (cap == nullptr) return err;
@@ -320,6 +344,7 @@ Sel4Error Sel4Kernel::tcb_resume(Slot tcb_slot) {
 
 Sel4Error Sel4Kernel::tcb_suspend(Slot tcb_slot) {
   machine_.enter_kernel();
+  met_.sc_tcb.inc();
   Sel4Error err;
   Capability* cap = resolve(tcb_slot, ObjType::kTcb, err);
   if (cap == nullptr) return err;
@@ -339,6 +364,7 @@ Sel4Error Sel4Kernel::cnode_copy(Slot src, Slot dst, CapRights mask) {
 Sel4Error Sel4Kernel::cnode_mint(Slot src, Slot dst, CapRights mask,
                                  std::uint64_t badge) {
   machine_.enter_kernel();
+  met_.sc_cnode.inc();
   CNodeObj& cs = cspace_of(current_tcb());
   Capability* s = cap_at(cs, src);
   Capability* d = cap_at(cs, dst);
@@ -354,6 +380,7 @@ Sel4Error Sel4Kernel::cnode_mint(Slot src, Slot dst, CapRights mask,
 
 Sel4Error Sel4Kernel::cnode_move(Slot src, Slot dst) {
   machine_.enter_kernel();
+  met_.sc_cnode.inc();
   CNodeObj& cs = cspace_of(current_tcb());
   Capability* s = cap_at(cs, src);
   Capability* d = cap_at(cs, dst);
@@ -367,6 +394,7 @@ Sel4Error Sel4Kernel::cnode_move(Slot src, Slot dst) {
 
 Sel4Error Sel4Kernel::cnode_delete(Slot slot) {
   machine_.enter_kernel();
+  met_.sc_cnode.inc();
   CNodeObj& cs = cspace_of(current_tcb());
   Capability* s = cap_at(cs, slot);
   if (s == nullptr) return Sel4Error::kBadSlot;
@@ -379,6 +407,7 @@ Sel4Error Sel4Kernel::cnode_delete(Slot slot) {
 
 Sel4Error Sel4Kernel::cnode_revoke(Slot slot) {
   machine_.enter_kernel();
+  met_.sc_cnode.inc();
   CNodeObj& cs = cspace_of(current_tcb());
   Capability* s = cap_at(cs, slot);
   if (s == nullptr) return Sel4Error::kBadSlot;
@@ -405,6 +434,7 @@ Sel4Error Sel4Kernel::cnode_copy_into(Slot target_cnode, Slot src,
                                       Slot dest_in_target, CapRights mask,
                                       std::uint64_t badge) {
   machine_.enter_kernel();
+  met_.sc_cnode.inc();
   Sel4Error err;
   Capability* cn = resolve(target_cnode, ObjType::kCNode, err);
   if (cn == nullptr) return err;
@@ -426,6 +456,7 @@ Sel4Error Sel4Kernel::cnode_copy_into(Slot target_cnode, Slot src,
 
 Sel4Error Sel4Kernel::probe_path(const std::vector<Slot>& path) {
   machine_.enter_kernel();
+  met_.sc_cnode.inc();
   if (path.empty()) return Sel4Error::kBadSlot;
   int cnode_id = current_tcb().cnode;
   for (std::size_t i = 0; i < path.size(); ++i) {
@@ -470,6 +501,7 @@ void Sel4Kernel::deliver_to_receiver(TcbObj& receiver, int receiver_id,
                                      const WaitingSender& ws) {
   (void)receiver_id;
   assert(receiver.recv_buf != nullptr);
+  met_.ipc_latency.record(static_cast<double>(machine_.now() - ws.enqueued));
   *receiver.recv_buf = ws.msg;
   receiver.recv_buf->transfer_cap_slot = -1;
   receiver.recv_badge = ws.badge;
@@ -504,7 +536,8 @@ Sel4Error Sel4Kernel::do_send(Slot ep_slot, const Sel4Msg& msg, bool blocking,
 
   const int self_id = current_tcb_id();
   const int ep_id = cap->object;
-  WaitingSender ws{self_id, msg, cap->badge, is_call, cap->rights.grant};
+  WaitingSender ws{self_id, msg, cap->badge, is_call, cap->rights.grant,
+                   machine_.now()};
 
   auto& ep = std::get<EndpointObj>(obj(ep_id).payload);
   if (!ep.receivers.empty()) {
@@ -574,11 +607,13 @@ RecvResult Sel4Kernel::do_recv(Slot ep_slot, Sel4Msg& out, bool blocking) {
 
 Sel4Error Sel4Kernel::send(Slot ep_slot, const Sel4Msg& msg) {
   machine_.enter_kernel();
+  met_.sc_send.inc();
   return do_send(ep_slot, msg, /*blocking=*/true, /*is_call=*/false);
 }
 
 Sel4Error Sel4Kernel::nbsend(Slot ep_slot, const Sel4Msg& msg) {
   machine_.enter_kernel();
+  met_.sc_nbsend.inc();
   const Sel4Error r =
       do_send(ep_slot, msg, /*blocking=*/false, /*is_call=*/false);
   // seL4_NBSend silently drops when nobody is waiting; we surface the
@@ -588,16 +623,19 @@ Sel4Error Sel4Kernel::nbsend(Slot ep_slot, const Sel4Msg& msg) {
 
 RecvResult Sel4Kernel::recv(Slot ep_slot, Sel4Msg& out) {
   machine_.enter_kernel();
+  met_.sc_recv.inc();
   return do_recv(ep_slot, out, /*blocking=*/true);
 }
 
 RecvResult Sel4Kernel::nbrecv(Slot ep_slot, Sel4Msg& out) {
   machine_.enter_kernel();
+  met_.sc_nbrecv.inc();
   return do_recv(ep_slot, out, /*blocking=*/false);
 }
 
 Sel4Error Sel4Kernel::call(Slot ep_slot, Sel4Msg& inout) {
   machine_.enter_kernel();
+  met_.sc_call.inc();
   TcbObj& self = current_tcb();
   self.recv_buf = &inout;  // the reply lands here
   const Sel4Error r = do_send(ep_slot, inout, /*blocking=*/true,
@@ -608,6 +646,7 @@ Sel4Error Sel4Kernel::call(Slot ep_slot, Sel4Msg& inout) {
 
 Sel4Error Sel4Kernel::reply(const Sel4Msg& msg) {
   machine_.enter_kernel();
+  met_.sc_reply.inc();
   TcbObj& self = current_tcb();
   if (self.reply_to_tcb < 0) return Sel4Error::kNoReplyCap;
   const int caller_id = self.reply_to_tcb;
@@ -633,6 +672,7 @@ Sel4Error Sel4Kernel::reply(const Sel4Msg& msg) {
 RecvResult Sel4Kernel::reply_recv(Slot ep_slot, const Sel4Msg& reply_msg,
                                   Sel4Msg& out) {
   machine_.enter_kernel();
+  met_.sc_reply_recv.inc();
   TcbObj& self = current_tcb();
   if (self.reply_to_tcb >= 0) {
     const int caller_id = self.reply_to_tcb;
@@ -660,6 +700,7 @@ void Sel4Kernel::set_receive_slot(Slot slot) {
 
 Sel4Error Sel4Kernel::signal(Slot ntfn_slot) {
   machine_.enter_kernel();
+  met_.sc_signal.inc();
   Sel4Error err;
   Capability* cap = resolve(ntfn_slot, ObjType::kNotification, err);
   if (cap == nullptr) return err;
@@ -678,6 +719,7 @@ Sel4Error Sel4Kernel::signal(Slot ntfn_slot) {
 
 Sel4Error Sel4Kernel::wait(Slot ntfn_slot, std::uint64_t* bits_out) {
   machine_.enter_kernel();
+  met_.sc_wait.inc();
   Sel4Error err;
   Capability* cap = resolve(ntfn_slot, ObjType::kNotification, err);
   if (cap == nullptr) return err;
@@ -702,6 +744,7 @@ Sel4Error Sel4Kernel::wait(Slot ntfn_slot, std::uint64_t* bits_out) {
 Sel4Error Sel4Kernel::frame_write(Slot frame_slot, std::size_t offset,
                                   const std::uint8_t* src, std::size_t len) {
   machine_.enter_kernel();
+  met_.sc_frame.inc();
   Sel4Error err;
   Capability* cap = resolve(frame_slot, ObjType::kFrame, err);
   if (cap == nullptr) return err;
@@ -720,6 +763,7 @@ Sel4Error Sel4Kernel::frame_write(Slot frame_slot, std::size_t offset,
 Sel4Error Sel4Kernel::frame_read(Slot frame_slot, std::size_t offset,
                                  std::uint8_t* dst, std::size_t len) {
   machine_.enter_kernel();
+  met_.sc_frame.inc();
   Sel4Error err;
   Capability* cap = resolve(frame_slot, ObjType::kFrame, err);
   if (cap == nullptr) return err;

@@ -177,6 +177,7 @@ class Sel4Kernel {
     std::uint64_t badge;
     bool is_call;
     bool can_grant;
+    sim::Time enqueued = 0;  // when the send syscall reached the endpoint
   };
   struct EndpointObj {
     std::deque<WaitingSender> senders;
@@ -244,7 +245,18 @@ class Sel4Kernel {
   void on_thread_gone(int tcb_id);
   void trace_sec(const std::string& what, const std::string& detail);
 
+  /// Pre-resolved handles ("sel4.*" namespace); no string lookups on the
+  /// IPC path.
+  struct Metrics {
+    obs::Counter sc_send, sc_nbsend, sc_recv, sc_nbrecv, sc_call, sc_reply;
+    obs::Counter sc_reply_recv, sc_signal, sc_wait, sc_retype;
+    obs::Counter sc_create_thread, sc_cnode, sc_frame, sc_tcb;
+    obs::Counter cap_denied;
+    obs::Histogram ipc_latency;  // send->deliver, virtual microseconds
+  };
+
   sim::Machine& machine_;
+  Metrics met_;
   // deque: object references must stay valid across blocking syscalls
   // while other threads allocate objects.
   std::deque<Object> objects_;

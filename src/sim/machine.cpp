@@ -29,7 +29,10 @@ const char* to_string(ProcState s) {
   return "?";
 }
 
-Machine::Machine(std::uint64_t seed) : rng_(seed) {}
+Machine::Machine(std::uint64_t seed)
+    : ctx_switch_metric_(metrics_.counter("sim.context_switches")),
+      kernel_entry_metric_(metrics_.counter("sim.kernel_entries")),
+      rng_(seed) {}
 
 Machine::~Machine() { shutdown(); }
 
@@ -157,7 +160,10 @@ void Machine::schedule_locked() {
     q.pop_front();
     p->state_ = ProcState::kRunning;
     running_ = p;
-    if (p != last_scheduled_) ++context_switches_;
+    if (p != last_scheduled_) {
+      ++context_switches_;
+      ctx_switch_metric_.inc();
+    }
     last_scheduled_ = p;
     p->cv_.notify_all();
     return;
@@ -176,6 +182,7 @@ void Machine::enter_kernel() {
   Process* p = t_proc;
   assert(p != nullptr && "enter_kernel outside process context");
   ++kernel_entries_;
+  kernel_entry_metric_.inc();
   if (p->killed_) throw KilledError{};
   charge(syscall_cost_);
 }

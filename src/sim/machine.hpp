@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -142,6 +143,11 @@ class Machine {
 
   Time now() const { return now_; }
   TraceLog& trace() { return trace_; }
+  const TraceLog& trace() const { return trace_; }
+  /// Machine-wide metrics registry. Kernel personalities and scenarios
+  /// resolve their handles from it once, at construction time.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
   Rng& rng() { return rng_; }
   std::uint64_t context_switches() const { return context_switches_; }
   std::uint64_t kernel_entries() const { return kernel_entries_; }
@@ -227,6 +233,9 @@ class Machine {
   Time now_ = 0;
   Duration syscall_cost_ = 1;
   TraceLog trace_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter ctx_switch_metric_;
+  obs::Counter kernel_entry_metric_;
   Rng rng_;
 
   std::vector<std::unique_ptr<Process>> procs_;  // index != pid; append-only

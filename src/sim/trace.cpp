@@ -4,40 +4,32 @@
 
 namespace mkbas::sim {
 
-const char* to_string(TraceKind kind) {
-  switch (kind) {
-    case TraceKind::kProcess:
-      return "proc";
-    case TraceKind::kIpc:
-      return "ipc";
-    case TraceKind::kSecurity:
-      return "sec";
-    case TraceKind::kDevice:
-      return "dev";
-    case TraceKind::kControl:
-      return "ctl";
-    case TraceKind::kNetwork:
-      return "net";
-    case TraceKind::kAttack:
-      return "atk";
-  }
-  return "?";
-}
-
-std::vector<TraceEvent> TraceLog::with_tag(const std::string& what) const {
+std::vector<TraceEvent> TraceLog::with_tag(std::uint32_t tag) const {
   std::vector<TraceEvent> out;
   for (const auto& ev : events_) {
-    if (ev.what == what) out.push_back(ev);
+    if (ev.tag == tag) out.push_back(ev);
   }
   return out;
 }
 
-std::size_t TraceLog::count_tag(const std::string& what) const {
+std::vector<TraceEvent> TraceLog::with_tag(const std::string& what) const {
+  std::uint32_t tag = 0;
+  if (!TagRegistry::instance().try_lookup(what, &tag)) return {};
+  return with_tag(tag);
+}
+
+std::size_t TraceLog::count_tag(std::uint32_t tag) const {
   std::size_t n = 0;
   for (const auto& ev : events_) {
-    if (ev.what == what) ++n;
+    if (ev.tag == tag) ++n;
   }
   return n;
+}
+
+std::size_t TraceLog::count_tag(const std::string& what) const {
+  std::uint32_t tag = 0;
+  if (!TagRegistry::instance().try_lookup(what, &tag)) return 0;
+  return count_tag(tag);
 }
 
 const TraceEvent* TraceLog::find_first(
@@ -54,7 +46,7 @@ void print_event(std::ostream& os, const TraceEvent& ev) {
   if (ev.pid >= 0) {
     os << "pid=" << ev.pid << ' ';
   }
-  os << to_string(ev.kind) << ' ' << ev.what;
+  os << to_string(ev.kind) << ' ' << ev.what();
   if (!ev.detail.empty()) os << " | " << ev.detail;
   os << '\n';
 }
@@ -67,6 +59,14 @@ void TraceLog::dump(std::ostream& os) const {
 void TraceLog::dump(std::ostream& os, TraceKind kind) const {
   for (const auto& ev : events_) {
     if (ev.kind == kind) print_event(os, ev);
+  }
+}
+
+void TraceLog::dump(std::ostream& os, const std::string& tag) const {
+  std::uint32_t id = 0;
+  if (!TagRegistry::instance().try_lookup(tag, &id)) return;
+  for (const auto& ev : events_) {
+    if (ev.tag == id) print_event(os, ev);
   }
 }
 

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -22,50 +25,167 @@ enum class TraceKind {
   kAttack,    // attack actions and their observed results
 };
 
-const char* to_string(TraceKind kind);
+inline const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kProcess:
+      return "proc";
+    case TraceKind::kIpc:
+      return "ipc";
+    case TraceKind::kSecurity:
+      return "sec";
+    case TraceKind::kDevice:
+      return "dev";
+    case TraceKind::kControl:
+      return "ctl";
+    case TraceKind::kNetwork:
+      return "net";
+    case TraceKind::kAttack:
+      return "atk";
+  }
+  return "?";
+}
 
-/// One timestamped event in the simulation log.
+/// Process-wide interner for trace tags ("acm.deny", "mq.send", ...).
+///
+/// The tag vocabulary is tiny (a few dozen strings) while logs run to
+/// millions of events, so events store a 32-bit id and every tag query is
+/// an integer compare instead of a strcmp. Interning is idempotent and ids
+/// are stable for the life of the process; id 0 is the empty string.
+///
+/// Everything is defined inline so translation units that only read logs
+/// (e.g. the obs trace exporter) need no sim library symbols.
+class TagRegistry {
+ public:
+  static TagRegistry& instance() {
+    static TagRegistry reg;
+    return reg;
+  }
+
+  /// Id for `s`, creating it on first sight.
+  std::uint32_t intern(const std::string& s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    auto id = static_cast<std::uint32_t>(names_.size());
+    names_.push_back(s);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Id for `s` if it was ever interned; false otherwise (never allocates —
+  /// counting a tag nobody emitted must not grow the table).
+  bool try_lookup(const std::string& s, std::uint32_t* id) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = ids_.find(s);
+    if (it == ids_.end()) return false;
+    *id = it->second;
+    return true;
+  }
+
+  const std::string& name(std::uint32_t id) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return names_[id];
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return names_.size();
+  }
+
+ private:
+  TagRegistry() {
+    names_.emplace_back();  // id 0 == ""
+    ids_.emplace(names_.back(), 0u);
+  }
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;  // deque: string_views into it stay valid
+  std::unordered_map<std::string, std::uint32_t> ids_;
+};
+
+/// One timestamped event in the simulation log. The tag is stored interned;
+/// `what()` resolves it back to the string for display and legacy queries.
 struct TraceEvent {
   Time time = 0;
   int pid = -1;  // -1 when the event is not attributable to a process
   TraceKind kind = TraceKind::kProcess;
-  std::string what;    // short machine-greppable tag, e.g. "acm.deny"
-  std::string detail;  // human-readable specifics
-  double value = 0.0;  // optional numeric payload (setpoints, readings)
+  std::uint32_t tag = 0;  // interned "acm.deny"-style machine tag
+  std::string detail;     // human-readable specifics
+  double value = 0.0;     // optional numeric payload (setpoints, readings)
+
+  const std::string& what() const { return TagRegistry::instance().name(tag); }
 };
 
-/// Append-only event log shared by the machine, kernels, devices and the
-/// application processes. Tests and the safety checker query it; benches
-/// print slices of it.
+/// Event log shared by the machine, kernels, devices and the application
+/// processes. Tests and the safety checker query it; benches print slices
+/// of it; the obs exporter turns it into a Chrome/Perfetto trace.
+///
+/// By default the log is unbounded (append-only). set_capacity() switches
+/// it into a ring buffer that evicts oldest-first — for long soak runs
+/// where only the recent window matters. total_emitted()/dropped() keep
+/// exact accounting either way, so denial *counts* remain trustworthy even
+/// when the denial *events* have been evicted.
 class TraceLog {
  public:
-  void emit(TraceEvent ev) { events_.push_back(std::move(ev)); }
-  void emit(Time time, int pid, TraceKind kind, std::string what,
+  void emit(TraceEvent ev) {
+    ++total_emitted_;
+    if (capacity_ > 0 && events_.size() == capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(std::move(ev));
+  }
+  void emit(Time time, int pid, TraceKind kind, const std::string& what,
             std::string detail = {}, double value = 0.0) {
-    events_.push_back(
-        {time, pid, kind, std::move(what), std::move(detail), value});
+    emit(TraceEvent{time, pid, kind, TagRegistry::instance().intern(what),
+                    std::move(detail), value});
+  }
+  /// Hot-path overload for callers that interned the tag once up front.
+  void emit(Time time, int pid, TraceKind kind, std::uint32_t tag,
+            std::string detail = {}, double value = 0.0) {
+    emit(TraceEvent{time, pid, kind, tag, std::move(detail), value});
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::deque<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
   void clear() { events_.clear(); }
 
+  /// 0 = unbounded (default). N > 0 = keep only the newest N events,
+  /// evicting oldest-first; an over-full log is trimmed immediately.
+  void set_capacity(std::size_t cap) {
+    capacity_ = cap;
+    while (capacity_ > 0 && events_.size() > capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+  }
+  std::size_t capacity() const { return capacity_; }
+  /// Events evicted by the ring buffer since construction.
+  std::uint64_t dropped() const { return dropped_; }
+  /// Events ever emitted (== size() + dropped() while unbounded/un-cleared).
+  std::uint64_t total_emitted() const { return total_emitted_; }
+
   /// All events whose tag equals `what`.
   std::vector<TraceEvent> with_tag(const std::string& what) const;
+  std::vector<TraceEvent> with_tag(std::uint32_t tag) const;
 
   /// Count of events whose tag equals `what`.
   std::size_t count_tag(const std::string& what) const;
+  std::size_t count_tag(std::uint32_t tag) const;
 
   /// First event matching the predicate, or nullptr.
   const TraceEvent* find_first(
       const std::function<bool(const TraceEvent&)>& pred) const;
 
-  /// Render the whole log (or only one kind) as text, one event per line.
+  /// Render the whole log (or one kind, or one tag) as text, one per line.
   void dump(std::ostream& os) const;
   void dump(std::ostream& os, TraceKind kind) const;
+  void dump(std::ostream& os, const std::string& tag) const;
 
  private:
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_emitted_ = 0;
 };
 
 }  // namespace mkbas::sim

@@ -103,7 +103,7 @@ TEST(Resilience, SensorDeathIsHealedByReincarnation) {
   // Control samples resumed after the gap.
   sim::Time last_sample = 0;
   for (const auto& ev : m.trace().events()) {
-    if (ev.what == "ctl.sample") last_sample = ev.time;
+    if (ev.what() == "ctl.sample") last_sample = ev.time;
   }
   EXPECT_GT(last_sample, sim::minutes(29));
   const auto safety = core::check_safety(

@@ -1,0 +1,139 @@
+#pragma once
+
+// Minimal JSON validity checker for the observability tests — enough to
+// assert that exported documents parse, without an external dependency.
+// (CI additionally round-trips the runner's output through python3.)
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+namespace jsonlite {
+
+namespace detail {
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void ws() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+
+  bool lit(const char* l) {
+    const std::size_t n = std::strlen(l);
+    if (static_cast<std::size_t>(end - p) < n || std::memcmp(p, l, n) != 0) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+
+  bool string() {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+      }
+      ++p;
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    while (p < end &&
+           (std::isdigit(static_cast<unsigned char>(*p)) || *p == '.' ||
+            *p == 'e' || *p == 'E' || *p == '+' || *p == '-')) {
+      ++p;
+    }
+    return p > start;
+  }
+
+  bool object() {
+    ++p;  // '{'
+    ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (p >= end || *p != ':') return false;
+      ++p;
+      if (!value()) return false;
+      ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++p;  // '['
+    ws();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool value() {
+    ws();
+    if (p >= end) return false;
+    switch (*p) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return lit("true");
+      case 'f':
+        return lit("false");
+      case 'n':
+        return lit("null");
+      default:
+        return number();
+    }
+  }
+};
+
+}  // namespace detail
+
+/// True iff `s` is exactly one valid JSON value (plus whitespace).
+inline bool valid(const std::string& s) {
+  detail::Parser parser{s.data(), s.data() + s.size()};
+  if (!parser.value()) return false;
+  parser.ws();
+  return parser.p == parser.end;
+}
+
+}  // namespace jsonlite

@@ -1,0 +1,120 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "json_lite.hpp"
+
+namespace obs = mkbas::obs;
+
+TEST(Metrics, CounterHandlesByTheSameNameShareOneCell) {
+  obs::MetricsRegistry reg;
+  obs::Counter a = reg.counter("x.events");
+  obs::Counter b = reg.counter("x.events");
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(Metrics, DefaultConstructedHandlesAreInert) {
+  obs::Counter c;
+  obs::Gauge g;
+  obs::Histogram h;
+  c.inc();
+  g.set(3.0);
+  h.record(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Metrics, DisablingTheRegistryDropsRecordsButKeepsValues) {
+  obs::MetricsRegistry reg;
+  obs::Counter c = reg.counter("c");
+  obs::Histogram h = reg.histogram("h", {10.0});
+  c.inc();
+  h.record(1.0);
+  reg.set_enabled(false);
+  c.inc(100);
+  h.record(1.0);
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+  reg.set_enabled(true);
+  c.inc();
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  obs::MetricsRegistry reg;
+  obs::Gauge g = reg.gauge("depth");
+  g.set(4.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreUpperInclusive) {
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.histogram("lat", {10.0, 20.0});
+  h.record(5.0);
+  h.record(10.0);  // boundary: lands in the first bucket
+  h.record(15.0);
+  h.record(25.0);  // beyond the last bound: overflow, not a bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.0);
+}
+
+TEST(Metrics, LogBoundsAreStrictlyIncreasingAndReachMax) {
+  const auto bounds = obs::MetricsRegistry::log_bounds(4, 1e6);
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_GE(bounds.back(), 1e6);
+}
+
+TEST(Metrics, LogHistogramCoversManyOrdersOfMagnitude) {
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.log_histogram("lat", 4, 1e7);
+  h.record(1.0);
+  h.record(1000.0);
+  h.record(1e6);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Metrics, ToJsonIsValidJsonWithSortedKeys) {
+  obs::MetricsRegistry reg;
+  reg.counter("b.second").inc(2);
+  reg.counter("a.first").inc(1);
+  reg.gauge("g").set(1.5);
+  obs::Histogram h = reg.histogram("h", {10.0});
+  h.record(3.0);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(jsonlite::valid(json)) << json;
+  const auto a_pos = json.find("a.first");
+  const auto b_pos = json.find("b.second");
+  ASSERT_NE(a_pos, std::string::npos);
+  ASSERT_NE(b_pos, std::string::npos);
+  EXPECT_LT(a_pos, b_pos);
+  EXPECT_NE(json.find("\"a.first\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.second\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Metrics, ToJsonElidesEmptyHistogramBuckets) {
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.histogram("h", {1.0, 2.0, 3.0});
+  h.record(2.5);  // only the third bucket is populated
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(jsonlite::valid(json)) << json;
+  EXPECT_EQ(json.find("\"le\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":3,"), std::string::npos);
+}
+
+TEST(Metrics, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("x\ny"), "x\\ny");
+}

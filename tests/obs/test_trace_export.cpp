@@ -1,0 +1,102 @@
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "json_lite.hpp"
+#include "sim/trace.hpp"
+
+namespace obs = mkbas::obs;
+namespace sim = mkbas::sim;
+
+namespace {
+
+std::size_t count_substr(const std::string& s, const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+TEST(TraceExport, EmptyLogIsStillAValidDocument) {
+  sim::TraceLog log;
+  const std::string json = obs::to_chrome_trace_json(log);
+  EXPECT_TRUE(jsonlite::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceExport, SpawnEventsNameTheProcessTracks) {
+  sim::TraceLog log;
+  log.emit(0, 1, sim::TraceKind::kProcess, "proc.spawn", "sensor");
+  log.emit(0, 2, sim::TraceKind::kProcess, "proc.spawn", "control");
+  log.emit(5, 1, sim::TraceKind::kIpc, "send");
+  const std::string json = obs::to_chrome_trace_json(log);
+  EXPECT_TRUE(jsonlite::valid(json)) << json;
+  EXPECT_NE(json.find("\"args\":{\"name\":\"sensor\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"control\"}"), std::string::npos);
+  // Two spawned processes plus the always-present track-0 "machine".
+  EXPECT_EQ(count_substr(json, "\"process_name\""), 3u);
+}
+
+TEST(TraceExport, MachineLevelEventsGoToTrackZero) {
+  sim::TraceLog log;
+  log.emit(3, -1, sim::TraceKind::kDevice, "heater.failed");
+  const std::string json = obs::to_chrome_trace_json(log);
+  EXPECT_TRUE(jsonlite::valid(json)) << json;
+  EXPECT_NE(json.find("\"args\":{\"name\":\"machine\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"heater.failed\",\"cat\":\"dev\""),
+            std::string::npos);
+}
+
+TEST(TraceExport, SecurityDenialsBecomeInstantMarkers) {
+  sim::TraceLog log;
+  log.emit(1, 4, sim::TraceKind::kSecurity, "acm.deny", "2->5 t=9");
+  log.emit(2, 4, sim::TraceKind::kSecurity, "acm.allow", "2->3 t=1");
+  const std::string json = obs::to_chrome_trace_json(log);
+  EXPECT_TRUE(jsonlite::valid(json)) << json;
+  // The denial is a process-scoped instant; the allow is a normal slice.
+  const auto deny_pos = json.find("\"name\":\"acm.deny\"");
+  const auto allow_pos = json.find("\"name\":\"acm.allow\"");
+  ASSERT_NE(deny_pos, std::string::npos);
+  ASSERT_NE(allow_pos, std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"p\"", deny_pos),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\"", allow_pos), std::string::npos);
+}
+
+TEST(TraceExport, AttackEventsBecomeGlobalInstantMarkers) {
+  sim::TraceLog log;
+  log.emit(7, 3, sim::TraceKind::kAttack, "web.compromised", "minix");
+  const std::string json = obs::to_chrome_trace_json(log);
+  EXPECT_TRUE(jsonlite::valid(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"g\""), std::string::npos);
+}
+
+TEST(TraceExport, TimestampsPassThroughAsMicroseconds) {
+  sim::TraceLog log;
+  log.emit(123456, 1, sim::TraceKind::kIpc, "send");
+  const std::string json = obs::to_chrome_trace_json(log);
+  EXPECT_NE(json.find("\"ts\":123456"), std::string::npos);
+}
+
+TEST(TraceExport, DetailStringsAreEscaped) {
+  sim::TraceLog log;
+  log.emit(1, 1, sim::TraceKind::kIpc, "send", "a\"b");
+  const std::string json = obs::to_chrome_trace_json(log);
+  EXPECT_TRUE(jsonlite::valid(json)) << json;
+  EXPECT_NE(json.find("a\\\"b"), std::string::npos);
+}
+
+TEST(TraceExport, RingEvictedSpawnFallsBackToPidName) {
+  sim::TraceLog log;
+  log.set_capacity(1);
+  log.emit(0, 9, sim::TraceKind::kProcess, "proc.spawn", "victim");
+  log.emit(1, 9, sim::TraceKind::kIpc, "send");  // evicts the spawn event
+  const std::string json = obs::to_chrome_trace_json(log);
+  EXPECT_TRUE(jsonlite::valid(json)) << json;
+  EXPECT_NE(json.find("\"args\":{\"name\":\"pid9\"}"), std::string::npos);
+  EXPECT_EQ(json.find("victim"), std::string::npos);
+}

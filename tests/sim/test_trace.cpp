@@ -24,7 +24,7 @@ TEST(Trace, FindFirstReturnsEarliestMatch) {
   log.emit(10, 1, sim::TraceKind::kSecurity, "acm.deny", "x");
   log.emit(20, 1, sim::TraceKind::kSecurity, "acm.deny", "y");
   const auto* ev = log.find_first(
-      [](const sim::TraceEvent& e) { return e.what == "acm.deny"; });
+      [](const sim::TraceEvent& e) { return e.what() == "acm.deny"; });
   ASSERT_NE(ev, nullptr);
   EXPECT_EQ(ev->detail, "x");
 }
@@ -68,4 +68,90 @@ TEST(Trace, ClearEmptiesTheLog) {
   log.emit(1, 1, sim::TraceKind::kIpc, "send");
   log.clear();
   EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(Trace, TagInterningIsStableAndIdempotent) {
+  auto& reg = sim::TagRegistry::instance();
+  const auto a = reg.intern("trace_test.tag_a");
+  const auto b = reg.intern("trace_test.tag_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.intern("trace_test.tag_a"), a);
+  EXPECT_EQ(reg.name(a), "trace_test.tag_a");
+  std::uint32_t id = 0;
+  EXPECT_TRUE(reg.try_lookup("trace_test.tag_b", &id));
+  EXPECT_EQ(id, b);
+}
+
+TEST(Trace, CountTagOfNeverEmittedTagIsZeroWithoutInterning) {
+  sim::TraceLog log;
+  log.emit(1, 1, sim::TraceKind::kIpc, "send");
+  const auto before = sim::TagRegistry::instance().size();
+  EXPECT_EQ(log.count_tag("trace_test.never_emitted_anywhere"), 0u);
+  EXPECT_TRUE(log.with_tag("trace_test.never_emitted_anywhere").empty());
+  EXPECT_EQ(sim::TagRegistry::instance().size(), before);
+}
+
+TEST(Trace, InternedEmitMatchesStringQueries) {
+  sim::TraceLog log;
+  const auto tag = sim::TagRegistry::instance().intern("acm.deny");
+  log.emit(5, 2, sim::TraceKind::kSecurity, tag, "by id");
+  EXPECT_EQ(log.count_tag("acm.deny"), 1u);
+  EXPECT_EQ(log.count_tag(tag), 1u);
+  EXPECT_EQ(log.events().back().what(), "acm.deny");
+}
+
+TEST(Trace, RingBufferEvictsOldestFirst) {
+  sim::TraceLog log;
+  log.set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    log.emit(i, 1, sim::TraceKind::kIpc, "send", std::to_string(i));
+  }
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.events().front().detail, "2");  // 0 and 1 evicted
+  EXPECT_EQ(log.events().back().detail, "4");
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.total_emitted(), 5u);
+}
+
+TEST(Trace, SetCapacityTrimsAnOverFullLog) {
+  sim::TraceLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.emit(i, 1, sim::TraceKind::kIpc, "send", std::to_string(i));
+  }
+  log.set_capacity(4);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.events().front().detail, "6");
+  EXPECT_EQ(log.dropped(), 6u);
+  EXPECT_EQ(log.total_emitted(), 10u);
+}
+
+TEST(Trace, RingBufferKeepsExactTagCountsForSurvivors) {
+  sim::TraceLog log;
+  log.set_capacity(2);
+  log.emit(1, 1, sim::TraceKind::kSecurity, "acm.deny");
+  log.emit(2, 1, sim::TraceKind::kSecurity, "acm.allow");
+  log.emit(3, 1, sim::TraceKind::kSecurity, "acm.deny");
+  EXPECT_EQ(log.count_tag("acm.deny"), 1u);  // the t=1 denial was evicted
+  EXPECT_EQ(log.count_tag("acm.allow"), 1u);
+}
+
+TEST(Trace, DumpFiltersByTag) {
+  sim::TraceLog log;
+  log.emit(1, 1, sim::TraceKind::kIpc, "send", "keep");
+  log.emit(2, 1, sim::TraceKind::kIpc, "recv", "drop");
+  std::ostringstream os;
+  log.dump(os, std::string("send"));
+  EXPECT_NE(os.str().find("keep"), std::string::npos);
+  EXPECT_EQ(os.str().find("drop"), std::string::npos);
+}
+
+TEST(Trace, ZeroCapacityMeansUnbounded) {
+  sim::TraceLog log;
+  log.set_capacity(2);
+  log.set_capacity(0);
+  for (int i = 0; i < 100; ++i) {
+    log.emit(i, 1, sim::TraceKind::kIpc, "send");
+  }
+  EXPECT_EQ(log.size(), 100u);
+  EXPECT_EQ(log.dropped(), 0u);
 }
