@@ -5,8 +5,9 @@
 //         <spoof-sensor|spoof-actuator|kill|fork-bomb|brute-force|flood>
 //         [root] [quota] [acl]
 //   $ ./experiment_runner matrix
+//   $ ./experiment_runner fault <minix|sel4|linux> [seed N] [no-probe]
 //
-// Any benign/attack invocation also accepts:
+// Any benign/attack/fault invocation also accepts:
 //   --metrics-out <file>   write the metrics registry snapshot as JSON
 //   --trace-out <file>     write the trace as Chrome trace-event JSON
 //                          (load in Perfetto / chrome://tracing)
@@ -34,7 +35,9 @@ int usage() {
       "       experiment_runner attack <minix|sel4|linux> <attack> "
       "[root] [quota] [acl]\n"
       "       experiment_runner matrix [--csv|--md]\n"
-      "options (benign/attack): --metrics-out <file> --trace-out <file>\n"
+      "       experiment_runner fault <minix|sel4|linux> [seed N] "
+      "[no-probe]\n"
+      "options: --metrics-out <file> --trace-out <file>\n"
       "attacks: spoof-sensor spoof-actuator kill fork-bomb brute-force "
       "flood\n");
   return 2;
@@ -147,6 +150,54 @@ int main(int argc, char** argv) {
     std::printf("control alive       : %s\n",
                 run.safety.control_alive ? "yes" : "NO");
     return 0;
+  }
+
+  if (mode == "fault") {
+    // The reference fault campaign (crash the sensor driver at t=30s,
+    // the web interface at t=40s) against one platform, with a
+    // post-restart sensor-spoof probe of the reincarnated web process.
+    if (args.size() < 2) return usage();
+    core::Platform platform;
+    if (!parse_platform(args[1], &platform)) return usage();
+    core::RunOptions opts;
+    opts.settle = mkbas::sim::minutes(1);
+    opts.post = mkbas::sim::minutes(6);
+    opts.scenario.room.initial_temp_c =
+        opts.scenario.control.initial_setpoint_c;
+    opts.observe = make_observer(metrics_out, trace_out);
+    mkbas::sim::Time probe_at = mkbas::sim::sec(70);
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "seed" && i + 1 < args.size()) {
+        opts.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "no-probe") {
+        probe_at = -1;
+      }
+    }
+    const auto plan = mkbas::fault::reference_sensor_crash_plan();
+    std::printf("plan:\n%s", plan.describe().c_str());
+    const auto res = core::run_fault(platform, plan, opts, probe_at);
+    std::printf("platform       : %s\n", res.platform_label.c_str());
+    std::printf("faults injected: %llu\n",
+                static_cast<unsigned long long>(res.faults_injected));
+    std::printf("loop recovered : %s\n", res.loop_recovered ? "yes" : "NO");
+    if (res.mttr >= 0) {
+      std::printf("mttr           : %.3f s (virtual)\n",
+                  mkbas::sim::to_seconds(res.mttr));
+    } else {
+      std::printf("mttr           : inf (never recovered)\n");
+    }
+    std::printf("restarts       : %d\n", res.restarts);
+    std::printf("excursion      : %.2f C after the fault\n",
+                res.max_excursion_after_fault_c);
+    if (res.web_spoof.attempted) {
+      std::printf("spoof probe    : %s (%d attempts)\n",
+                  res.web_spoof.primitive_succeeded ? "SPOOFED" : "blocked",
+                  res.web_spoof.attempts);
+    } else {
+      std::printf("spoof probe    : not reached (web interface dead)\n");
+    }
+    std::printf("physical       : %s\n", res.safety.summary().c_str());
+    return res.loop_recovered ? 0 : 1;
   }
 
   if (mode == "attack") {

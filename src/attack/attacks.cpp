@@ -68,6 +68,7 @@ std::function<void(bas::MinixScenario&)> minix_attack(AttackKind kind,
           ++out->attempts;
           if (k.ipc_sendnb(ctl, msg) == minix::IpcResult::kOk) {
             ++out->successes;
+            out->primitive_succeeded = true;
           }
           m.sleep_for(kInjectionPeriod);
         }
@@ -87,6 +88,7 @@ std::function<void(bas::MinixScenario&)> minix_attack(AttackKind kind,
           ++out->attempts;
           if (k.ipc_sendnb(heater, on) == minix::IpcResult::kOk) {
             ++out->successes;
+            out->primitive_succeeded = true;
           }
           minix::Message off;
           off.m_type = ScenarioMTypes::kActuatorCmd;
@@ -94,6 +96,7 @@ std::function<void(bas::MinixScenario&)> minix_attack(AttackKind kind,
           ++out->attempts;
           if (k.ipc_sendnb(alarm, off) == minix::IpcResult::kOk) {
             ++out->successes;
+            out->primitive_succeeded = true;
           }
           m.sleep_for(kInjectionPeriod);
         }
@@ -245,6 +248,7 @@ std::function<void(bas::Sel4Scenario&, camkes::Runtime&)> sel4_attack(
         ++out->attempts;
         if (rt.rpc_call("heaterCmd", on) == sel4::Sel4Error::kOk) {
           ++out->successes;  // cannot happen: the web has no such cap
+          out->primitive_succeeded = true;
         }
         out->primitive_succeeded = out->successes > 0;
         out->detail = "no capability to any actuator endpoint";
@@ -339,6 +343,7 @@ std::function<void(bas::LinuxScenario&)> linux_attack(AttackKind kind,
           if (k.mq_send(fd, {bas::LinuxScenario::encode_temp(5.0), 9},
                         false) == linuxsim::Errno::kOk) {
             ++out->successes;
+            out->primitive_succeeded = true;
           }
           m.sleep_for(kInjectionPeriod);
         }
@@ -365,6 +370,7 @@ std::function<void(bas::LinuxScenario&)> linux_attack(AttackKind kind,
             if (k.mq_send(fd_h, {bas::LinuxScenario::encode_cmd(true), 9},
                           false) == linuxsim::Errno::kOk) {
               ++out->successes;
+              out->primitive_succeeded = true;
             }
           }
           if (fd_a >= 0) {
@@ -372,6 +378,7 @@ std::function<void(bas::LinuxScenario&)> linux_attack(AttackKind kind,
             if (k.mq_send(fd_a, {bas::LinuxScenario::encode_cmd(false), 9},
                           false) == linuxsim::Errno::kOk) {
               ++out->successes;
+              out->primitive_succeeded = true;
             }
           }
           m.sleep_for(kInjectionPeriod);

@@ -64,6 +64,9 @@ Sel4Scenario::Sel4Scenario(sim::Machine& machine, ScenarioConfig cfg)
   camkes_->connect_event("c_timer", "timerA", "tickOut", "timerB",
                          "tickIn");
 
+  // The seL4/CAmkES analogue of MINIX reincarnation: restart-from-spec.
+  if (cfg_.enable_reincarnation) camkes_->enable_restart();
+
   camkes_->instantiate();
 }
 

@@ -324,71 +324,7 @@ void CamkesSystem::bootstrap() {
   }
 
   for (auto& comp : components_) {
-    Runtime& rt = *comp.runtime;
-    rt.name_ = comp.name;
-    rt.kernel_ = &kernel_;
-    if (comp.is_server) {
-      const Sel4Error r = k.cnode_copy_into(comp.cnode_slot, comp.ep_slot,
-                                            2, CapRights::r());
-      assert(r == Sel4Error::kOk);
-      (void)r;
-      rt.serve_slot = 2;
-    }
-    int next_child_slot = 3;
-    for (const auto& conn : connections_) {
-      if (conn.kind == ConnKind::kRpc && conn.from == comp.name) {
-        Component* target = nullptr;
-        for (auto& c : components_) {
-          if (c.name == conn.to) target = &c;
-        }
-        assert(target != nullptr && target->ep_slot >= 0);
-        const int slot = next_child_slot++;
-        const Sel4Error r =
-            k.cnode_copy_into(comp.cnode_slot, target->ep_slot, slot,
-                              CapRights::wg(), conn.badge);
-        assert(r == Sel4Error::kOk);
-        (void)r;
-        rt.uses_[conn.from_iface] =
-            Runtime::ConnInfo{conn.from_iface, conn.to, conn.badge, slot};
-      } else if (conn.kind == ConnKind::kEvent && conn.from == comp.name) {
-        const int slot = next_child_slot++;
-        const Sel4Error r =
-            k.cnode_copy_into(comp.cnode_slot, conn.root_slot, slot,
-                              CapRights::w(), conn.badge);
-        assert(r == Sel4Error::kOk);
-        (void)r;
-        rt.events_out_[conn.from_iface] = slot;
-      } else if (conn.kind == ConnKind::kEvent && conn.to == comp.name) {
-        const int slot = next_child_slot++;
-        const Sel4Error r = k.cnode_copy_into(comp.cnode_slot,
-                                              conn.root_slot, slot,
-                                              CapRights::r());
-        assert(r == Sel4Error::kOk);
-        (void)r;
-        rt.events_in_[conn.to_iface] = slot;
-      } else if (conn.kind == ConnKind::kDataport &&
-                 conn.from == comp.name) {
-        const int slot = next_child_slot++;
-        const Sel4Error r = k.cnode_copy_into(comp.cnode_slot,
-                                              conn.root_slot, slot,
-                                              CapRights::rw());
-        assert(r == Sel4Error::kOk);
-        (void)r;
-        rt.dataports_[conn.from_iface] = slot;
-      } else if (conn.kind == ConnKind::kDataport && conn.to == comp.name) {
-        const int slot = next_child_slot++;
-        const Sel4Error r = k.cnode_copy_into(comp.cnode_slot,
-                                              conn.root_slot, slot,
-                                              CapRights::r());
-        assert(r == Sel4Error::kOk);
-        (void)r;
-        rt.dataports_[conn.to_iface] = slot;
-      }
-      if (conn.kind == ConnKind::kRpc && conn.to == comp.name) {
-        rt.serves_[conn.badge] =
-            Runtime::ConnInfo{conn.to_iface, conn.from, conn.badge, -1};
-      }
-    }
+    install_component_caps(comp);
   }
 
   // Machine-verify the distribution against the CapDL spec before
@@ -417,6 +353,128 @@ void CamkesSystem::bootstrap() {
     assert(r == Sel4Error::kOk);
     (void)r;
   }
+
+  // Restart-from-spec monitor: the root server keeps running, watching
+  // every component's TCB. A dead component is rebuilt in place from the
+  // same deterministic cap-distribution plan the bootstrap used.
+  if (restart_enabled_) {
+    for (;;) {
+      machine_.sleep_for(restart_period_);
+      for (auto& comp : components_) {
+        if (!kernel_.tcb_alive(comp.tcb_slot)) restart_component(comp);
+      }
+    }
+  }
+}
+
+void CamkesSystem::install_component_caps(Component& comp) {
+  auto& k = kernel_;
+  Runtime& rt = *comp.runtime;
+  rt.name_ = comp.name;
+  rt.kernel_ = &kernel_;
+  if (comp.is_server) {
+    const Sel4Error r = k.cnode_copy_into(comp.cnode_slot, comp.ep_slot,
+                                          2, CapRights::r());
+    assert(r == Sel4Error::kOk);
+    (void)r;
+    rt.serve_slot = 2;
+  }
+  int next_child_slot = 3;
+  for (const auto& conn : connections_) {
+    if (conn.kind == ConnKind::kRpc && conn.from == comp.name) {
+      Component* target = nullptr;
+      for (auto& c : components_) {
+        if (c.name == conn.to) target = &c;
+      }
+      assert(target != nullptr && target->ep_slot >= 0);
+      const int slot = next_child_slot++;
+      const Sel4Error r =
+          k.cnode_copy_into(comp.cnode_slot, target->ep_slot, slot,
+                            CapRights::wg(), conn.badge);
+      assert(r == Sel4Error::kOk);
+      (void)r;
+      rt.uses_[conn.from_iface] =
+          Runtime::ConnInfo{conn.from_iface, conn.to, conn.badge, slot};
+    } else if (conn.kind == ConnKind::kEvent && conn.from == comp.name) {
+      const int slot = next_child_slot++;
+      const Sel4Error r =
+          k.cnode_copy_into(comp.cnode_slot, conn.root_slot, slot,
+                            CapRights::w(), conn.badge);
+      assert(r == Sel4Error::kOk);
+      (void)r;
+      rt.events_out_[conn.from_iface] = slot;
+    } else if (conn.kind == ConnKind::kEvent && conn.to == comp.name) {
+      const int slot = next_child_slot++;
+      const Sel4Error r = k.cnode_copy_into(comp.cnode_slot,
+                                            conn.root_slot, slot,
+                                            CapRights::r());
+      assert(r == Sel4Error::kOk);
+      (void)r;
+      rt.events_in_[conn.to_iface] = slot;
+    } else if (conn.kind == ConnKind::kDataport &&
+               conn.from == comp.name) {
+      const int slot = next_child_slot++;
+      const Sel4Error r = k.cnode_copy_into(comp.cnode_slot,
+                                            conn.root_slot, slot,
+                                            CapRights::rw());
+      assert(r == Sel4Error::kOk);
+      (void)r;
+      rt.dataports_[conn.from_iface] = slot;
+    } else if (conn.kind == ConnKind::kDataport && conn.to == comp.name) {
+      const int slot = next_child_slot++;
+      const Sel4Error r = k.cnode_copy_into(comp.cnode_slot,
+                                            conn.root_slot, slot,
+                                            CapRights::r());
+      assert(r == Sel4Error::kOk);
+      (void)r;
+      rt.dataports_[conn.to_iface] = slot;
+    }
+    if (conn.kind == ConnKind::kRpc && conn.to == comp.name) {
+      rt.serves_[conn.badge] =
+          Runtime::ConnInfo{conn.to_iface, conn.from, conn.badge, -1};
+    }
+  }
+}
+
+void CamkesSystem::enable_restart(sim::Duration check_period) {
+  assert(!instantiated_ && "enable_restart must precede instantiate()");
+  restart_enabled_ = true;
+  restart_period_ = check_period;
+}
+
+void CamkesSystem::restart_component(Component& comp) {
+  auto& k = kernel_;
+  machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kProcess,
+                        "camkes.death_noticed", comp.name);
+  // Drop the root's caps to the dead TCB and CSpace, then rebuild into
+  // the SAME slots so the deterministic cap-distribution walk (and the
+  // Runtime's slot maps) stay valid. The server endpoint object is
+  // untouched — clients' badged caps keep working across the restart.
+  k.cnode_delete(comp.tcb_slot);
+  k.cnode_delete(comp.cnode_slot);
+  Runtime& rt = *comp.runtime;
+  rt.uses_.clear();
+  rt.serves_.clear();
+  rt.events_out_.clear();
+  rt.events_in_.clear();
+  rt.dataports_.clear();
+  rt.serve_slot = -1;
+  Runtime* rtp = comp.runtime.get();
+  auto body = comp.body;
+  const Sel4Error r = k.create_thread(
+      sel4::Sel4Kernel::kRootUntypedSlot, comp.name,
+      [rtp, body] { body(*rtp); }, comp.priority, comp.tcb_slot,
+      comp.cnode_slot);
+  if (r != Sel4Error::kOk) {
+    machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kProcess,
+                          "camkes.restart_fail", comp.name);
+    return;
+  }
+  install_component_caps(comp);
+  k.tcb_resume(comp.tcb_slot);
+  ++restarts_;
+  machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kProcess,
+                        "camkes.restart", comp.name);
 }
 
 bool CamkesSystem::verify_distribution() const { return verified_; }

@@ -158,6 +158,18 @@ class CamkesSystem {
   /// Build the CapDL spec and run the bootstrap. Components start running.
   void instantiate();
 
+  /// Restart-from-spec (the CAmkES equivalent of MINIX's reincarnation
+  /// server, CompartOS-style compartment recovery): after instantiate()
+  /// the root server stays alive, polls every component's TCB each
+  /// `check_period`, and rebuilds dead ones — same slots, same CSpace
+  /// contents, re-derived from the CapDL spec. Must be called BEFORE
+  /// instantiate(). Server endpoints survive the restart, so client caps
+  /// (and their badges) remain valid; the reborn component gets exactly
+  /// its original authority, nothing more.
+  void enable_restart(sim::Duration check_period = sim::msec(200));
+  bool restart_enabled() const { return restart_enabled_; }
+  int restarts() const { return restarts_; }
+
   const CapDlSpec& capdl() const { return capdl_; }
   sel4::Sel4Kernel& kernel() { return kernel_; }
   sim::Machine& machine() { return machine_; }
@@ -187,6 +199,11 @@ class CamkesSystem {
   };
 
   void bootstrap();  // runs inside the seL4 root server
+  /// Populate one component's CSpace (and its Runtime slot maps) from the
+  /// connection list — shared by the initial bootstrap and restarts.
+  void install_component_caps(Component& comp);
+  /// Tear down and re-create a dead component in its original slots.
+  void restart_component(Component& comp);
 
   sim::Machine& machine_;
   sel4::Sel4Kernel kernel_;
@@ -195,6 +212,9 @@ class CamkesSystem {
   CapDlSpec capdl_;
   bool instantiated_ = false;
   bool verified_ = false;
+  bool restart_enabled_ = false;
+  sim::Duration restart_period_ = sim::msec(200);
+  int restarts_ = 0;
 };
 
 }  // namespace mkbas::camkes

@@ -1,5 +1,8 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <sstream>
 
@@ -179,6 +182,171 @@ std::vector<AttackRow> run_attack_matrix(const RunOptions& opts) {
     }
   }
   return rows;
+}
+
+namespace {
+
+/// Shared post-run analysis for fault campaigns: recovery and excursion
+/// are judged from the trace and the plant history, identically for all
+/// three platforms.
+void analyse_fault_run(FaultRunResult& res, sim::Machine& m,
+                       bas::Plant& plant, const RunOptions& opts,
+                       sim::Time run_end) {
+  res.history = plant.coupler->history();
+  res.safety = check_safety(res.history, m.trace(), opts.scenario.control,
+                            run_end, opts.scenario.sensor_period);
+  // The loop counts as recovered when the safety checker still sees it
+  // alive at the end of the run (recency of ctl.sample events).
+  res.loop_recovered = res.safety.control_alive;
+
+  // MTTR: the longest inter-sample gap ending after the fault is the
+  // outage; its end is the moment service was restored. Measuring the
+  // gap (instead of "first sample after the fault") is robust against a
+  // sample that was already in flight when the fault hit.
+  sim::Time prev = -1;
+  sim::Time outage_end = -1;
+  for (const auto& ev : m.trace().events()) {
+    if (ev.what() != "ctl.sample") continue;
+    if (prev >= 0 && ev.time > res.fault_time) {
+      const sim::Duration gap = ev.time - prev;
+      if (gap > res.max_ctl_gap) {
+        res.max_ctl_gap = gap;
+        outage_end = ev.time;
+      }
+    }
+    prev = ev.time;
+  }
+  if (res.loop_recovered) {
+    res.mttr = outage_end > res.fault_time ? outage_end - res.fault_time : 0;
+  }
+
+  const double sp = opts.scenario.control.initial_setpoint_c;
+  for (const auto& s : res.history) {
+    if (s.time < res.fault_time) continue;
+    res.max_excursion_after_fault_c = std::max(
+        res.max_excursion_after_fault_c, std::abs(s.true_temp_c - sp));
+  }
+  if (opts.observe) opts.observe(m);
+}
+
+}  // namespace
+
+FaultRunResult run_fault(Platform platform, const fault::FaultPlan& plan,
+                         const RunOptions& opts, sim::Time spoof_probe_at) {
+  FaultRunResult res;
+  res.platform = platform;
+  res.platform_label = to_string(platform);
+
+  sim::Machine m(opts.seed);
+  res.fault_time = std::numeric_limits<sim::Time>::max();
+  for (const auto& ev : plan.events())
+    res.fault_time = std::min(res.fault_time, ev.at);
+  if (plan.empty()) res.fault_time = 0;
+  const sim::Time run_end = opts.settle + opts.post;
+
+  fault::FaultInjector injector(m, plan);
+
+  switch (platform) {
+    case Platform::kMinix: {
+      auto cfg = opts.scenario;
+      cfg.enable_quotas = opts.minix_quotas;
+      cfg.enable_reincarnation = true;  // RS self-healing under test
+      res.platform_label += "+RS";
+      MinixScenario sc(m, cfg);
+      injector.register_sensor(&sc.plant().sensor);
+      injector.arm();
+      if (spoof_probe_at >= 0) {
+        sc.arm_web_attack(
+            spoof_probe_at,
+            attack::minix_attack(AttackKind::kSpoofSensor,
+                                 Privilege::kCodeExec, &res.web_spoof));
+      }
+      m.run_until(run_end);
+      res.restarts = sc.kernel().restarts();
+      analyse_fault_run(res, m, sc.plant(), opts, run_end);
+      break;
+    }
+    case Platform::kSel4: {
+      auto cfg = opts.scenario;
+      cfg.enable_reincarnation = true;  // CAmkES restart-from-spec
+      res.platform_label += "+restart";
+      Sel4Scenario sc(m, cfg);
+      injector.register_sensor(&sc.plant().sensor);
+      injector.arm();
+      if (spoof_probe_at >= 0) {
+        sc.arm_web_attack(
+            spoof_probe_at,
+            attack::sel4_attack(AttackKind::kSpoofSensor,
+                                Privilege::kCodeExec, &res.web_spoof));
+      }
+      m.run_until(run_end);
+      res.restarts = sc.camkes().restarts();
+      analyse_fault_run(res, m, sc.plant(), opts, run_end);
+      break;
+    }
+    case Platform::kLinux: {
+      // Deliberately no recovery: a plain deployment has nothing watching
+      // the control processes, which is the paper's contrast case.
+      LinuxScenario sc(m, opts.scenario,
+                       opts.linux_separate_accounts
+                           ? LinuxScenario::Accounts::kSeparate
+                           : LinuxScenario::Accounts::kShared);
+      injector.register_sensor(&sc.plant().sensor);
+      injector.arm();
+      if (spoof_probe_at >= 0) {
+        sc.arm_web_attack(
+            spoof_probe_at,
+            attack::linux_attack(AttackKind::kSpoofSensor,
+                                 Privilege::kCodeExec, &res.web_spoof));
+      }
+      m.run_until(run_end);
+      analyse_fault_run(res, m, sc.plant(), opts, run_end);
+      break;
+    }
+  }
+  res.faults_injected = injector.injected();
+  return res;
+}
+
+std::string format_fault_table(const std::vector<FaultRunResult>& rows) {
+  std::ostringstream os;
+  auto pad = [](std::string s, std::size_t w) {
+    if (s.size() < w) s.append(w - s.size(), ' ');
+    return s;
+  };
+  os << pad("platform", 22) << pad("recovered", 11) << pad("mttr", 10)
+     << pad("restarts", 10) << pad("excursion", 11) << pad("spoof", 8)
+     << "physical world\n";
+  os << std::string(110, '-') << "\n";
+  for (const auto& r : rows) {
+    std::ostringstream mttr;
+    if (r.mttr < 0) {
+      mttr << "inf";
+    } else {
+      mttr.setf(std::ios::fixed);
+      mttr.precision(2);
+      mttr << sim::to_seconds(r.mttr) << "s";
+    }
+    std::ostringstream exc;
+    exc.setf(std::ios::fixed);
+    exc.precision(2);
+    exc << r.max_excursion_after_fault_c << "C";
+    // "successes" can count delivered-but-harmless sends (seL4's badged
+    // channels); the spoof verdict is the primitive's, not the counter's.
+    std::ostringstream spoof;
+    if (!r.web_spoof.attempted) {
+      spoof << "-";
+    } else if (r.web_spoof.primitive_succeeded) {
+      spoof << "SPOOFED";
+    } else {
+      spoof << "blocked";
+    }
+    os << pad(r.platform_label, 22)
+       << pad(r.loop_recovered ? "yes" : "NO", 11) << pad(mttr.str(), 10)
+       << pad(std::to_string(r.restarts), 10) << pad(exc.str(), 11)
+       << pad(spoof.str(), 8) << r.safety.summary() << "\n";
+  }
+  return os.str();
 }
 
 std::string format_attack_table(const std::vector<AttackRow>& rows) {

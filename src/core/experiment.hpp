@@ -6,6 +6,7 @@
 
 #include "attack/attacks.hpp"
 #include "core/safety.hpp"
+#include "fault/fault.hpp"
 #include "net/http.hpp"
 
 namespace mkbas::core {
@@ -68,5 +69,47 @@ std::vector<AttackRow> run_attack_matrix(const RunOptions& opts = {});
 
 /// Render rows as the aligned text table bench T1 prints.
 std::string format_attack_table(const std::vector<AttackRow>& rows);
+
+/// Result of one fault-injection campaign: a FaultPlan armed against one
+/// platform, with recovery judged from the controller's own trace events
+/// and the plant's ground-truth history.
+struct FaultRunResult {
+  Platform platform = Platform::kMinix;
+  std::string platform_label;
+  std::vector<devices::PlantSample> history;
+  SafetyReport safety;
+  /// Earliest injection in the plan; recovery is measured from here.
+  sim::Time fault_time = 0;
+  /// The control loop was emitting samples again at the end of the run.
+  bool loop_recovered = false;
+  /// Virtual time from the fault until the loop's longest post-fault
+  /// outage ended (-1 when the loop never came back).
+  sim::Duration mttr = -1;
+  /// Longest gap between consecutive ctl.sample events after the fault.
+  sim::Duration max_ctl_gap = 0;
+  /// Reincarnation-server / restart-from-spec respawns (always 0 on Linux).
+  int restarts = 0;
+  std::uint64_t faults_injected = 0;
+  /// Worst |true temperature - setpoint| after the fault (control-loop
+  /// excursion; the physical cost of the outage).
+  double max_excursion_after_fault_c = 0.0;
+  /// Outcome of the optional post-fault sensor-spoof probe (attempted is
+  /// false when no probe ran — e.g. the web interface stayed dead).
+  attack::AttackOutcome web_spoof;
+};
+
+/// Run `plan` against one platform. MINIX boots the reincarnation server
+/// and seL4/CAmkES the restart-from-spec monitor; the Linux baseline is
+/// left as deployed (no recovery mechanism) for contrast. When
+/// `spoof_probe_at` >= 0 the web interface is compromised at that time
+/// with a code-exec sensor-spoof — if the web process was crashed and
+/// reincarnated in between, the probe checks that the restarted process
+/// still holds its original *restricted* ACM row (spoofs must stay 0/N).
+FaultRunResult run_fault(Platform platform, const fault::FaultPlan& plan,
+                         const RunOptions& opts = {},
+                         sim::Time spoof_probe_at = -1);
+
+/// Render campaign results as an aligned text table (bench F).
+std::string format_fault_table(const std::vector<FaultRunResult>& rows);
 
 }  // namespace mkbas::core

@@ -24,11 +24,29 @@ class Bmp180Sensor {
       : room_(room), rng_(rng), noise_sigma_c_(noise_sigma_c) {}
 
   /// One conversion: true room temperature + noise, quantised to 0.1 C.
+  /// A stuck fault pins the output and, crucially, skips the noise draw —
+  /// a wedged ADC does not consume entropy, so the machine RNG stream is
+  /// identical whether or not the fault window is active elsewhere.
   double read_temperature_c() {
-    const double raw =
-        room_.temperature_c() + noise_sigma_c_ * rng_.next_gaussian();
+    if (stuck_) return quantize(stuck_c_);
+    const double raw = room_.temperature_c() + fault_offset_ +
+                       noise_sigma_c_ * rng_.next_gaussian();
     return quantize(raw);
   }
+
+  // ---- Fault-injection hooks (driven by fault::FaultInjector) ----
+  void fault_stuck_at(double c) {
+    stuck_ = true;
+    stuck_c_ = c;
+  }
+  /// Additive calibration drift, accumulates across calls.
+  void add_fault_offset(double dc) { fault_offset_ += dc; }
+  void clear_fault() {
+    stuck_ = false;
+    stuck_c_ = 0.0;
+    fault_offset_ = 0.0;
+  }
+  bool faulted() const { return stuck_ || fault_offset_ != 0.0; }
 
   static double quantize(double c) {
     return static_cast<double>(static_cast<long long>(c * 10.0 +
@@ -40,6 +58,9 @@ class Bmp180Sensor {
   const physics::RoomModel& room_;
   sim::Rng& rng_;
   double noise_sigma_c_;
+  bool stuck_ = false;
+  double stuck_c_ = 0.0;
+  double fault_offset_ = 0.0;
 };
 
 /// Heater (or, as in the paper's testbed, a fan run in reverse) actuator.

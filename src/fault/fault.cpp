@@ -1,0 +1,260 @@
+#include "fault/fault.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace mkbas::fault {
+
+namespace {
+
+sim::Process* find_by_name(sim::Machine& m, const std::string& name) {
+  for (auto* p : m.live_processes()) {
+    if (p->name() == name) return p;
+  }
+  return nullptr;
+}
+
+constexpr sim::Time kForever = std::numeric_limits<sim::Time>::max();
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kHang:
+      return "hang";
+    case FaultKind::kMsgDrop:
+      return "msg-drop";
+    case FaultKind::kMsgDelay:
+      return "msg-delay";
+    case FaultKind::kMsgCorrupt:
+      return "msg-corrupt";
+    case FaultKind::kSensorStuckAt:
+      return "sensor-stuck-at";
+    case FaultKind::kSensorDrift:
+      return "sensor-drift";
+    case FaultKind::kClockJitter:
+      return "clock-jitter";
+  }
+  return "?";
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "plan '" << name_ << "' seed=" << seed_ << "\n";
+  for (const auto& ev : events_) {
+    os << "  t=" << sim::to_seconds(ev.at) << "s " << to_string(ev.kind);
+    if (!ev.target.empty()) os << " target=" << ev.target;
+    if (!ev.dst.empty()) os << " dst=" << ev.dst;
+    if (ev.duration > 0) os << " window=" << sim::to_seconds(ev.duration) << "s";
+    if (ev.duration2 > 0) os << " amount=" << ev.duration2 << "us";
+    if (ev.value != 0.0) os << " value=" << ev.value;
+    os << "\n";
+  }
+  return os.str();
+}
+
+FaultPlan reference_sensor_crash_plan(sim::Time sensor_crash_at) {
+  FaultPlan plan("reference-sensor-crash", 1);
+  plan.crash(sensor_crash_at, "tempSensProc");
+  // Ten seconds later, crash the attacker-facing web interface: the
+  // restarted instance must come back with its original restricted ACM
+  // row, not a fresh permissive one.
+  plan.crash(sensor_crash_at + sim::sec(10), "webInterface");
+  return plan;
+}
+
+FaultInjector::FaultInjector(sim::Machine& machine, FaultPlan plan)
+    : machine_(machine),
+      plan_(std::move(plan)),
+      rng_(plan_.seed() * 0x9e3779b97f4a7c15ULL + 0xfa0172ULL),
+      crash_ctr_(machine.metrics().counter("fault.crash")),
+      hang_ctr_(machine.metrics().counter("fault.hang")),
+      drop_ctr_(machine.metrics().counter("fault.msg_drop")),
+      delay_ctr_(machine.metrics().counter("fault.msg_delay")),
+      corrupt_ctr_(machine.metrics().counter("fault.msg_corrupt")),
+      sensor_ctr_(machine.metrics().counter("fault.sensor")),
+      clock_ctr_(machine.metrics().counter("fault.clock")) {}
+
+FaultInjector::~FaultInjector() {
+  if (filter_installed_) machine_.set_msg_filter({});
+}
+
+void FaultInjector::note(const char* tag, const std::string& detail,
+                         double value) {
+  machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kFault, tag,
+                        detail, value);
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const auto& ev : plan_.events()) arm_event(ev);
+  if (!windows_.empty()) {
+    machine_.set_msg_filter(
+        [this](const std::string& src, const std::string& dst) {
+          sim::MsgFaultAction act;
+          const sim::Time now = machine_.now();
+          for (const auto& w : windows_) {
+            if (now < w.from || now >= w.to) continue;
+            if (!w.src.empty() && w.src != src) continue;
+            if (!w.dst.empty() && w.dst != dst) continue;
+            switch (w.kind) {
+              case FaultKind::kMsgDrop:
+                act.drop = true;
+                break;
+              case FaultKind::kMsgDelay:
+                act.delay += w.delay;
+                break;
+              case FaultKind::kMsgCorrupt:
+                act.corrupt = true;
+                break;
+              default:
+                break;
+            }
+          }
+          // Drop dominates: a dropped message is never also delayed or
+          // corrupted, and consumes no corruption entropy.
+          if (act.drop) {
+            act.corrupt = false;
+            act.delay = 0;
+            drop_ctr_.inc();
+        ++injected_;
+            note("fault.msg_drop", src + "->" + dst);
+            return act;
+          }
+          if (act.corrupt) {
+            act.corrupt_seed = rng_.next_u64();
+            corrupt_ctr_.inc();
+        ++injected_;
+            note("fault.msg_corrupt", src + "->" + dst,
+                 static_cast<double>(act.corrupt_seed >> 32));
+          }
+          if (act.delay > 0) {
+            delay_ctr_.inc();
+        ++injected_;
+            note("fault.msg_delay", src + "->" + dst,
+                 static_cast<double>(act.delay));
+          }
+          return act;
+        });
+    filter_installed_ = true;
+  }
+}
+
+void FaultInjector::arm_event(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kCrash:
+      machine_.at(ev.at, [this, name = ev.target] {
+        sim::Process* p = find_by_name(machine_, name);
+        if (p == nullptr) {
+          note("fault.miss", "crash: no live process '" + name + "'");
+          return;
+        }
+        crash_ctr_.inc();
+        ++injected_;
+        note("fault.crash", name, p->pid());
+        machine_.kill(p);
+      });
+      break;
+
+    case FaultKind::kHang: {
+      // suspend() requires the target not to be the running process; a
+      // driver callback can fire mid-charge while the target runs, so the
+      // attempt reschedules itself one tick later until it lands.
+      auto attempt = std::make_shared<std::function<void()>>();
+      hang_attempts_.push_back(attempt);
+      *attempt = [this, name = ev.target, dur = ev.duration,
+                  fn = attempt.get()] {
+        sim::Process* p = find_by_name(machine_, name);
+        if (p == nullptr) {
+          note("fault.miss", "hang: no live process '" + name + "'");
+          return;
+        }
+        if (p->state() == sim::ProcState::kRunning) {
+          machine_.at(machine_.now() + 1, *fn);
+          return;
+        }
+        hang_ctr_.inc();
+        ++injected_;
+        note("fault.hang", name, sim::to_seconds(dur));
+        machine_.suspend(p);
+        machine_.at(machine_.now() + dur, [this, pid = p->pid(), name] {
+          sim::Process* q = machine_.find_process(pid);
+          if (q == nullptr) return;  // killed while hung
+          note("fault.resume", name);
+          machine_.resume(q);
+        });
+      };
+      machine_.at(ev.at, [fn = attempt.get()] { (*fn)(); });
+      break;
+    }
+
+    case FaultKind::kMsgDrop:
+    case FaultKind::kMsgDelay:
+    case FaultKind::kMsgCorrupt: {
+      const sim::Time to =
+          ev.duration > 0 ? ev.at + ev.duration : kForever;
+      windows_.push_back(
+          {ev.at, to, ev.kind, ev.target, ev.dst, ev.duration2});
+      break;
+    }
+
+    case FaultKind::kSensorStuckAt:
+      machine_.at(ev.at, [this, c = ev.value] {
+        if (sensor_ == nullptr) {
+          note("fault.miss", "sensor-stuck-at: no sensor registered");
+          return;
+        }
+        sensor_ctr_.inc();
+        ++injected_;
+        note("fault.sensor_stuck", "", c);
+        sensor_->fault_stuck_at(c);
+      });
+      if (ev.duration > 0) {
+        machine_.at(ev.at + ev.duration, [this] {
+          if (sensor_ == nullptr) return;
+          note("fault.sensor_clear", "");
+          sensor_->clear_fault();
+        });
+      }
+      break;
+
+    case FaultKind::kSensorDrift: {
+      // every() callbacks cannot be cancelled, so drift is a finite chain
+      // of one-shot steps: each adds (rate * step) of calibration offset.
+      const sim::Duration step = sim::msec(500);
+      const auto n = static_cast<int>(ev.duration / step);
+      const double per_step =
+          ev.value * (static_cast<double>(step) / 1e6);
+      for (int i = 1; i <= n; ++i) {
+        machine_.at(ev.at + i * step, [this, per_step] {
+          if (sensor_ == nullptr) return;
+          sensor_ctr_.inc();
+        ++injected_;
+          note("fault.sensor_drift", "", per_step);
+          sensor_->add_fault_offset(per_step);
+        });
+      }
+      break;
+    }
+
+    case FaultKind::kClockJitter:
+      machine_.at(ev.at, [this, amp = ev.duration2] {
+        clock_ctr_.inc();
+        ++injected_;
+        note("fault.clock_jitter", "on", static_cast<double>(amp));
+        machine_.set_clock_jitter(amp);
+      });
+      if (ev.duration > 0) {
+        machine_.at(ev.at + ev.duration, [this] {
+          note("fault.clock_jitter", "off", 0.0);
+          machine_.set_clock_jitter(0);
+        });
+      }
+      break;
+  }
+}
+
+}  // namespace mkbas::fault

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "devices/devices.hpp"
+#include "sim/machine.hpp"
+#include "sim/time.hpp"
+
+namespace mkbas::fault {
+
+/// What kind of component failure a FaultEvent injects. These model the
+/// disturbance vocabulary of ICS fault-injection testbeds (ICSSIM-style):
+/// process failures, channel failures, sensor failures, timing failures.
+enum class FaultKind {
+  kCrash,         // kill the target process (abnormal exit)
+  kHang,          // suspend the target for `duration`, then resume
+  kMsgDrop,       // drop messages matching target->dst during the window
+  kMsgDelay,      // add `duration` in-transit latency during the window
+  kMsgCorrupt,    // flip payload bytes in transit during the window
+  kSensorStuckAt, // sensor reports `value` C regardless of the room
+  kSensorDrift,   // sensor gains `value` C/s of calibration drift
+  kClockJitter,   // perturb all sleep deadlines by +/- `duration`
+};
+
+const char* to_string(FaultKind kind);
+
+/// One timed injection. Which fields matter depends on `kind`:
+///  - kCrash/kHang: `target` = process name; kHang also uses `duration`.
+///  - kMsg*: `target` = sender name ("" = any), `dst` = receiver name
+///    ("" = any); active for [at, at+duration). kMsgDelay adds `duration2`
+///    of latency per message.
+///  - kSensorStuckAt: `value` = stuck reading (C), window [at, at+duration)
+///    with duration 0 meaning "forever".
+///  - kSensorDrift: `value` = drift rate (C per second) applied over
+///    [at, at+duration).
+///  - kClockJitter: amplitude `duration2`, window [at, at+duration).
+struct FaultEvent {
+  sim::Time at = 0;
+  FaultKind kind = FaultKind::kCrash;
+  std::string target;
+  std::string dst;
+  sim::Duration duration = 0;
+  sim::Duration duration2 = 0;
+  double value = 0.0;
+};
+
+/// A named, seeded script of fault injections. The seed drives only the
+/// *fault engine's* private RNG (corruption bytes, per-message coin flips),
+/// never the machine RNG, so adding a fault plan perturbs the simulation
+/// solely through the faults themselves.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::string name = "plan", std::uint64_t seed = 1)
+      : name_(std::move(name)), seed_(seed) {}
+
+  const std::string& name() const { return name_; }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // Chainable builders.
+  FaultPlan& crash(sim::Time at, std::string process) {
+    events_.push_back({at, FaultKind::kCrash, std::move(process), "", 0, 0, 0});
+    return *this;
+  }
+  FaultPlan& hang(sim::Time at, std::string process, sim::Duration for_) {
+    events_.push_back(
+        {at, FaultKind::kHang, std::move(process), "", for_, 0, 0});
+    return *this;
+  }
+  /// Drop all src->dst messages during [at, at+window). Empty src/dst match
+  /// any sender/receiver.
+  FaultPlan& drop_messages(sim::Time at, sim::Duration window, std::string src,
+                           std::string dst) {
+    events_.push_back({at, FaultKind::kMsgDrop, std::move(src), std::move(dst),
+                       window, 0, 0});
+    return *this;
+  }
+  FaultPlan& delay_messages(sim::Time at, sim::Duration window,
+                            std::string src, std::string dst,
+                            sim::Duration by) {
+    events_.push_back({at, FaultKind::kMsgDelay, std::move(src),
+                       std::move(dst), window, by, 0});
+    return *this;
+  }
+  FaultPlan& corrupt_messages(sim::Time at, sim::Duration window,
+                              std::string src, std::string dst) {
+    events_.push_back({at, FaultKind::kMsgCorrupt, std::move(src),
+                       std::move(dst), window, 0, 0});
+    return *this;
+  }
+  /// duration 0 = stuck until the end of the run.
+  FaultPlan& sensor_stuck_at(sim::Time at, double celsius,
+                             sim::Duration for_ = 0) {
+    events_.push_back(
+        {at, FaultKind::kSensorStuckAt, "", "", for_, 0, celsius});
+    return *this;
+  }
+  FaultPlan& sensor_drift(sim::Time at, sim::Duration over,
+                          double c_per_second) {
+    events_.push_back(
+        {at, FaultKind::kSensorDrift, "", "", over, 0, c_per_second});
+    return *this;
+  }
+  FaultPlan& clock_jitter(sim::Time at, sim::Duration window,
+                          sim::Duration amplitude) {
+    events_.push_back(
+        {at, FaultKind::kClockJitter, "", "", window, amplitude, 0});
+    return *this;
+  }
+
+  /// One line per event, for logs and bench output.
+  std::string describe() const;
+
+ private:
+  std::string name_;
+  std::uint64_t seed_;
+  std::vector<FaultEvent> events_;
+};
+
+/// The reference campaign from the issue: crash the sensor driver at t=30s
+/// (control loses its input), then crash the attacker-facing web interface
+/// at t=40s (its ACM row must survive reincarnation).
+FaultPlan reference_sensor_crash_plan(sim::Time sensor_crash_at = sim::sec(30));
+
+/// Arms a FaultPlan against a Machine: schedules crash/hang timers,
+/// installs the message filter, and drives sensor/clock faults. Every
+/// injection lands in the trace (kind kFault, tags "fault.*") and bumps a
+/// counter, so a campaign is fully reconstructible from the exports.
+///
+/// Lifetime: keep the injector alive for the whole run; its destructor
+/// uninstalls the message filter.
+class FaultInjector {
+ public:
+  FaultInjector(sim::Machine& machine, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Point sensor faults at a device (optional; sensor events are skipped
+  /// with a trace note when no sensor is registered).
+  void register_sensor(devices::Bmp180Sensor* sensor) { sensor_ = sensor; }
+
+  /// Schedule everything. Call once, before machine.run*().
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  struct MsgWindow {
+    sim::Time from, to;
+    FaultKind kind;
+    std::string src, dst;  // empty = wildcard
+    sim::Duration delay;
+  };
+
+  void arm_event(const FaultEvent& ev);
+  void note(const char* tag, const std::string& detail, double value = 0.0);
+
+  sim::Machine& machine_;
+  FaultPlan plan_;
+  sim::Rng rng_;  // plan-seeded; independent of the machine stream
+  devices::Bmp180Sensor* sensor_ = nullptr;
+  std::vector<MsgWindow> windows_;
+  // Keeps hang-retry closures alive; they reschedule themselves until the
+  // target is off-CPU and suspendable.
+  std::vector<std::shared_ptr<std::function<void()>>> hang_attempts_;
+  bool armed_ = false;
+  bool filter_installed_ = false;
+  std::uint64_t injected_ = 0;
+  obs::Counter crash_ctr_, hang_ctr_, drop_ctr_, delay_ctr_, corrupt_ctr_,
+      sensor_ctr_, clock_ctr_;
+};
+
+}  // namespace mkbas::fault

@@ -349,11 +349,29 @@ Errno LinuxKernel::mq_send(int fd, const MqMessage& msg, bool blocking) {
     // Re-validate: the fd may have been closed by a signal handler etc.
     if (fd_of(self, fd) == nullptr) return Errno::kEBADF;
   }
+  MqMessage stamped = msg;
+  // Fault injection: on the Linux baseline the "wire" is the queue, so the
+  // filter sees (sender task, queue name). Runs after the mode checks — a
+  // dropped message was still a permitted one.
+  if (const auto& filt = machine_.msg_filter()) {
+    const sim::MsgFaultAction act = filt(self.name, node->name);
+    if (act.drop) {
+      return Errno::kOk;  // swallowed in transit; sender sees success
+    }
+    if (act.corrupt && !stamped.data.empty()) {
+      sim::corrupt_bytes(reinterpret_cast<std::uint8_t*>(stamped.data.data()),
+                         stamped.data.size(), act.corrupt_seed);
+    }
+    if (act.delay > 0) {
+      machine_.charge(act.delay);
+      deliver_pending_signals(self);
+      if (fd_of(self, fd) == nullptr) return Errno::kEBADF;
+    }
+  }
   // Insert by priority (descending), FIFO within equal priority.
   auto pos = std::find_if(
       node->queue.begin(), node->queue.end(),
       [&](const MqMessage& m) { return m.priority < msg.priority; });
-  MqMessage stamped = msg;
   stamped.enqueued_at = machine_.now();
   node->queue.insert(pos, stamped);
   machine_.trace().emit(machine_.now(), self.pid, sim::TraceKind::kIpc,

@@ -43,7 +43,10 @@ MinixKernel::MinixKernel(sim::Machine& machine, AcmPolicy policy)
   met_.acm_denied = mx.counter("minix.acm.denied");
   met_.kill_denied = mx.counter("minix.acm.kill_denied");
   met_.fork_quota_denied = mx.counter("minix.acm.fork_quota_denied");
+  met_.rs_restarts = mx.counter("minix.rs.restarts");
+  met_.rs_giveup = mx.counter("minix.rs.giveup");
   met_.ipc_latency = mx.log_histogram("minix.ipc.latency", 4, 1e7);
+  met_.rs_mttr = mx.log_histogram("minix.rs.mttr", 4, 1e8);
   for (int i = 0; i < kNumSlots; ++i) {
     slots_[i].slot = i;
     slots_[i].generation = 1;
@@ -169,16 +172,21 @@ void MinixKernel::on_process_gone(Pcb& pcb) {
   if (pcb.proc != nullptr) pid_to_slot_.erase(pcb.proc->pid());
   pcb.grants.clear();  // grants die with their creator
 
-  // Reincarnation (MINIX's self-repairing behaviour): abnormal deaths of
-  // registered system processes are queued for the RS to respawn.
+  // Reincarnation (MINIX's self-repairing behaviour): on the abnormal
+  // death of a registered system process the kernel notifies PM, which
+  // relays to the RS — the same notify chain real MINIX 3 uses.
   if (reincarnation_enabled_ && !machine_.is_shutting_down() &&
       pcb.proc != nullptr &&
       (pcb.proc->kill_pending() || pcb.proc->crashed())) {
     const auto it = restart_templates_.find(pcb.name);
     if (it != restart_templates_.end()) {
-      rs_pending_.push_back(pcb.name);
       machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kProcess,
                             "rs.death_noticed", pcb.name);
+      Message died;
+      died.m_type = PmProtocol::kProcDied;
+      died.put<std::int64_t>(0, machine_.now());
+      died.put_str(8, pcb.name);
+      kernel_notify_pm(died);
     }
   }
 
@@ -191,29 +199,77 @@ void MinixKernel::on_process_gone(Pcb& pcb) {
 void MinixKernel::enable_reincarnation(sim::Duration restart_delay) {
   if (reincarnation_enabled_) return;
   reincarnation_enabled_ = true;
-  spawn_internal("rs", kRsAcId,
-                 [this, restart_delay] {
-                   for (;;) {
-                     machine_.sleep_for(restart_delay);
-                     while (!rs_pending_.empty()) {
-                       const std::string name = rs_pending_.front();
-                       rs_pending_.pop_front();
-                       const auto it = restart_templates_.find(name);
-                       if (it == restart_templates_.end()) continue;
-                       if (lookup(name).valid()) continue;  // already back
-                       const RestartTemplate& t = it->second;
-                       const Endpoint ep =
-                           spawn_internal(name, t.ac_id, t.body, t.priority);
-                       if (ep.valid()) {
-                         ++restarts_;
-                         machine_.trace().emit(machine_.now(), -1,
-                                               sim::TraceKind::kProcess,
-                                               "rs.restart", name);
-                       }
-                     }
-                   }
-                 },
-                 /*priority=*/2);
+  default_restart_delay_ = restart_delay;
+  // The PM -> RS relay edge is part of the trusted-base policy, installed
+  // when the RS boots — user processes still cannot reach the RS.
+  policy_.allow(kPmAcId, kRsAcId, {RsProtocol::kRestart});
+  rs_ep_ = spawn_internal("rs", kRsAcId, [this] { rs_main(); },
+                          /*priority=*/2);
+}
+
+void MinixKernel::kernel_notify_pm(const Message& m) {
+  Pcb* pm = lookup_pcb(pm_ep_);
+  if (pm == nullptr) return;
+  Message stamped = m;
+  stamped.m_source = Endpoint::none().raw();  // kernel-origin marker
+  if (pm->wait == Pcb::Wait::kReceiving && pm->wait_partner.is_any()) {
+    *pm->user_buf = stamped;
+    pm->wait = Pcb::Wait::kNone;
+    pm->user_buf = nullptr;
+    pm->ipc_result = IpcResult::kOk;
+    machine_.make_ready(pm->proc);
+    return;
+  }
+  if (pm->async_in.size() >= kAsyncDepth) return;  // PM wedged: drop
+  pm->async_in.push_back(Pcb::AsyncMsg{stamped, machine_.now()});
+}
+
+void MinixKernel::rs_main() {
+  Pcb& self = current_pcb();
+  for (;;) {
+    Message req;
+    const IpcResult r = do_receive(self, Endpoint::any(), req);
+    machine_.enter_kernel();
+    if (r != IpcResult::kOk) continue;
+    if (req.m_type != RsProtocol::kRestart) continue;
+    const auto died_at = req.get<std::int64_t>(0);
+    const std::string name = req.get_str(8);
+
+    RestartPolicy pol;
+    pol.delay = default_restart_delay_;
+    const auto pit = restart_policies_.find(name);
+    if (pit != restart_policies_.end()) pol = pit->second;
+
+    int& count = restart_counts_[name];
+    if (pol.max_restarts >= 0 && count >= pol.max_restarts) {
+      met_.rs_giveup.inc();
+      machine_.trace().emit(machine_.now(), self.proc->pid(),
+                            sim::TraceKind::kProcess, "rs.giveup",
+                            name + " after " + std::to_string(count) +
+                                " restarts");
+      continue;
+    }
+    auto delay = static_cast<double>(pol.delay);
+    for (int i = 0; i < count; ++i) delay *= pol.backoff;
+    machine_.sleep_for(static_cast<sim::Duration>(delay));
+
+    // Re-resolve after sleeping: the template map may have changed, and
+    // someone else may already have brought the server back.
+    const auto it = restart_templates_.find(name);
+    if (it == restart_templates_.end()) continue;
+    if (lookup(name).valid()) continue;
+    const RestartTemplate& t = it->second;
+    const Endpoint ep = spawn_internal(name, t.ac_id, t.body, t.priority);
+    if (!ep.valid()) continue;
+    ++restarts_;
+    ++count;
+    met_.rs_restarts.inc();
+    met_.rs_mttr.record(static_cast<double>(machine_.now() - died_at));
+    machine_.trace().emit(machine_.now(), self.proc->pid(),
+                          sim::TraceKind::kProcess, "rs.restart",
+                          name + " ac_id=" + std::to_string(t.ac_id),
+                          sim::to_seconds(machine_.now() - died_at));
+  }
 }
 
 void MinixKernel::kernel_kill(Endpoint target) {
@@ -286,6 +342,25 @@ IpcResult MinixKernel::do_send(Pcb& src, Endpoint dst_ep, Message& m,
     return IpcResult::kNotAllowed;
   }
   trace_sec(src, *dst, m.m_type, /*allowed=*/true);
+
+  // Fault injection: the in-transit hook runs after the security check
+  // (a dropped message was still a *permitted* message). Drop is silent —
+  // the sender believes the send succeeded, as on a lossy wire.
+  if (const auto& filt = machine_.msg_filter()) {
+    const sim::MsgFaultAction act = filt(src.name, dst->name);
+    if (act.drop) return IpcResult::kOk;
+    if (act.corrupt) {
+      // The parked sender's buffer is the in-flight message in this
+      // rendezvous model, so corruption lands there.
+      sim::corrupt_bytes(m.payload.data(), m.payload.size(),
+                         act.corrupt_seed);
+    }
+    if (act.delay > 0) {
+      machine_.charge(act.delay);
+      dst = lookup_pcb(dst_ep);  // the destination may have died meanwhile
+      if (dst == nullptr) return IpcResult::kDeadSrcDst;
+    }
+  }
 
   if (dst->wait == Pcb::Wait::kReceiving &&
       (dst->wait_partner.is_any() || dst->wait_partner == ep_of(src))) {
@@ -373,6 +448,19 @@ IpcResult MinixKernel::do_send_async(Pcb& src, Endpoint dst_ep, Message& m) {
     return IpcResult::kNotAllowed;
   }
   trace_sec(src, *dst, m.m_type, /*allowed=*/true);
+  if (const auto& filt = machine_.msg_filter()) {
+    const sim::MsgFaultAction act = filt(src.name, dst->name);
+    if (act.drop) return IpcResult::kOk;
+    if (act.corrupt) {
+      sim::corrupt_bytes(m.payload.data(), m.payload.size(),
+                         act.corrupt_seed);
+    }
+    if (act.delay > 0) {
+      machine_.charge(act.delay);
+      dst = lookup_pcb(dst_ep);
+      if (dst == nullptr) return IpcResult::kDeadSrcDst;
+    }
+  }
   if (dst->wait == Pcb::Wait::kReceiving &&
       (dst->wait_partner.is_any() || dst->wait_partner == ep_of(src))) {
     deliver(src, *dst, m);
@@ -537,6 +625,16 @@ void MinixKernel::pm_main() {
           "pm.exit",
           caller != nullptr ? caller->name
                             : "ep=" + std::to_string(req.m_source));
+      continue;
+    }
+    if (req.m_type == PmProtocol::kProcDied) {
+      // Kernel-origin death notice (m_source == none): relay to the RS,
+      // which owns the restart policy. Payload passes through unchanged.
+      if (rs_ep_.valid()) {
+        Message relay = req;
+        relay.m_type = RsProtocol::kRestart;
+        do_send_async(self, rs_ep_, relay);
+      }
       continue;
     }
     if (caller == nullptr) continue;

@@ -20,6 +20,16 @@ struct PmProtocol {
   static constexpr int kFork = 1;
   static constexpr int kKill = 2;
   static constexpr int kExit = 3;
+  /// Kernel -> PM: a process died abnormally (killed or crashed). Payload:
+  /// i64 death time at offset 0, process name string at offset 8.
+  static constexpr int kProcDied = 4;
+};
+
+/// Message types of the reincarnation server's protocol.
+struct RsProtocol {
+  /// PM -> RS: restart the named system process. Same payload layout as
+  /// PmProtocol::kProcDied.
+  static constexpr int kRestart = 5;
 };
 
 /// Message type used for kernel notifications (ipc_notify).
@@ -151,12 +161,31 @@ class MinixKernel {
 
   static constexpr int kRsAcId = 3;
 
+  /// Per-server restart policy held by the RS. The defaults restart
+  /// forever with a fixed delay; backoff > 1 stretches the delay
+  /// geometrically with each restart of the same server.
+  struct RestartPolicy {
+    sim::Duration delay = sim::msec(200);
+    int max_restarts = -1;  // -1 = unlimited
+    double backoff = 1.0;
+  };
+
   /// Boot the RS: processes loaded afterwards (srv_fork2/fork2) are
   /// re-spawned with the same name/ac_id when they die abnormally
-  /// (killed or crashed — voluntary pm_exit is not restarted).
+  /// (killed or crashed — voluntary pm_exit is not restarted). The flow
+  /// is message-driven like real MINIX 3: the kernel tells PM the process
+  /// died (kProcDied), PM relays to RS (kRestart), and RS re-forks via the
+  /// same srv_fork2 path — so the reborn process regains its original
+  /// ac_id row in the ACM, never a fresh permissive one.
   void enable_reincarnation(sim::Duration restart_delay = sim::msec(200));
   bool reincarnation_enabled() const { return reincarnation_enabled_; }
   int restarts() const { return restarts_; }
+
+  /// Override the RS restart policy for one named server. May be called
+  /// before or after the server is loaded.
+  void set_restart_policy(const std::string& name, RestartPolicy policy) {
+    restart_policies_[name] = policy;
+  }
 
   /// kill(): request PM to terminate `target`. PM audits the request
   /// against the ACM kill policy.
@@ -234,6 +263,10 @@ class MinixKernel {
   void deliver(Pcb& from, Pcb& to, const Message& m);
   bool would_deadlock(const Pcb& src, const Pcb& first_dst) const;
   void pm_main();
+  void rs_main();
+  /// Kernel-crafted notification to PM (m_source = none): deliver
+  /// immediately if PM is receiving, else queue in its async mailbox.
+  void kernel_notify_pm(const Message& m);
   void trace_sec(const Pcb& src, const Pcb& dst, int m_type, bool allowed);
 
   /// Handles resolved once at kernel construction; incremented on the IPC
@@ -244,7 +277,9 @@ class MinixKernel {
     obs::Counter sc_kill, sc_exit;
     obs::Counter acm_allowed, acm_denied;
     obs::Counter kill_denied, fork_quota_denied;
+    obs::Counter rs_restarts, rs_giveup;
     obs::Histogram ipc_latency;  // send->deliver, virtual microseconds
+    obs::Histogram rs_mttr;      // death -> respawn, virtual microseconds
   };
 
   sim::Machine& machine_;
@@ -277,7 +312,10 @@ class MinixKernel {
   };
   bool reincarnation_enabled_ = false;
   std::unordered_map<std::string, RestartTemplate> restart_templates_;
-  std::deque<std::string> rs_pending_;
+  std::unordered_map<std::string, RestartPolicy> restart_policies_;
+  std::unordered_map<std::string, int> restart_counts_;
+  sim::Duration default_restart_delay_ = sim::msec(200);
+  Endpoint rs_ep_;
   int restarts_ = 0;
 };
 

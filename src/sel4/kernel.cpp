@@ -342,6 +342,16 @@ Sel4Error Sel4Kernel::tcb_resume(Slot tcb_slot) {
   return Sel4Error::kOk;
 }
 
+bool Sel4Kernel::tcb_alive(Slot tcb_slot) {
+  machine_.enter_kernel();
+  met_.sc_tcb.inc();
+  Sel4Error err;
+  Capability* cap = resolve(tcb_slot, ObjType::kTcb, err);
+  if (cap == nullptr) return false;
+  TcbObj& t = std::get<TcbObj>(obj(cap->object).payload);
+  return t.started && t.proc != nullptr;
+}
+
 Sel4Error Sel4Kernel::tcb_suspend(Slot tcb_slot) {
   machine_.enter_kernel();
   met_.sc_tcb.inc();
@@ -534,10 +544,43 @@ Sel4Error Sel4Kernel::do_send(Slot ep_slot, const Sel4Msg& msg, bool blocking,
   }
   if (msg.mrs.size() > Sel4Msg::kMaxMrs) return Sel4Error::kTruncated;
 
+  // Fault injection: in-transit drop/delay/corrupt, applied after the
+  // rights checks. Calls are never dropped — the caller would block
+  // forever on a reply that cannot come; plans model lost requests as a
+  // server crash instead. The receiver identity is only known when a
+  // thread is already parked on the endpoint; wildcard-dst windows match
+  // either way.
+  bool fault_corrupt = false;
+  std::uint64_t fault_seed = 0;
+  if (const auto& filt = machine_.msg_filter()) {
+    std::string dst_name;
+    {
+      auto& ep0 = std::get<EndpointObj>(obj(cap->object).payload);
+      if (!ep0.receivers.empty()) {
+        dst_name =
+            std::get<TcbObj>(obj(ep0.receivers.front()).payload).name;
+      }
+    }
+    const sim::MsgFaultAction act = filt(current_tcb().name, dst_name);
+    if (act.drop && !is_call) return Sel4Error::kOk;
+    fault_corrupt = act.corrupt;
+    fault_seed = act.corrupt_seed;
+    if (act.delay > 0) {
+      machine_.charge(act.delay);
+      cap = resolve(ep_slot, ObjType::kEndpoint, err);  // may be revoked
+      if (cap == nullptr) return err;
+    }
+  }
+
   const int self_id = current_tcb_id();
   const int ep_id = cap->object;
   WaitingSender ws{self_id, msg, cap->badge, is_call, cap->rights.grant,
                    machine_.now()};
+  if (fault_corrupt && !ws.msg.mrs.empty()) {
+    sim::corrupt_bytes(reinterpret_cast<std::uint8_t*>(ws.msg.mrs.data()),
+                       ws.msg.mrs.size() * sizeof(std::uint64_t),
+                       fault_seed);
+  }
 
   auto& ep = std::get<EndpointObj>(obj(ep_id).payload);
   if (!ep.receivers.empty()) {

@@ -84,6 +84,11 @@ class Sel4Kernel {
   /// which is exactly what the compromised web component lacks.
   Sel4Error tcb_suspend(Slot tcb_slot);
 
+  /// True iff the thread behind the TCB cap at `tcb_slot` has been started
+  /// and its process is still live. The CAmkES restart monitor polls this
+  /// to detect crashed components.
+  bool tcb_alive(Slot tcb_slot);
+
   // ---- CNode operations ----
 
   /// Copy a cap within the caller's own CSpace, masking rights.

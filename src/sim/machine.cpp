@@ -303,6 +303,15 @@ void Machine::sleep_until(Time t) {
   Process* p = t_proc;
   assert(p != nullptr && "sleep outside process context");
   if (p->killed_) throw KilledError{};
+  if (clock_jitter_ > 0 && t > now_) {
+    // Fault-injected clock skew: perturb the deadline by a uniform offset
+    // in [-amplitude, +amplitude], never waking before "now". Drawing from
+    // the machine RNG keeps replays bit-identical for a fixed seed.
+    const auto amp = static_cast<std::uint64_t>(clock_jitter_);
+    const auto off =
+        static_cast<Duration>(rng_.next_u64() % (2 * amp + 1)) - clock_jitter_;
+    t = t + off <= now_ ? now_ + 1 : t + off;
+  }
   if (t <= now_) {
     yield();
     return;

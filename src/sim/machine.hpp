@@ -31,6 +31,46 @@ struct ProcessExit {
   int code = 0;
 };
 
+/// Verdict a message-fault filter returns for one in-flight message. The
+/// default (all fields zero) lets the message through untouched. Kernel
+/// personalities consult the machine's filter at their send paths, so a
+/// fault plan can drop/delay/corrupt traffic on any platform without the
+/// kernels knowing who is injecting.
+struct MsgFaultAction {
+  bool drop = false;         // swallow the message (sender sees success)
+  bool corrupt = false;      // flip payload bytes before delivery
+  std::uint64_t corrupt_seed = 0;  // deterministic corruption stream
+  Duration delay = 0;        // extra in-transit latency to charge/stamp
+};
+
+/// Called by kernel send paths with (sender name, receiver name). Must be
+/// deterministic for replay: derive randomness from seeds carried in the
+/// action, never from wall clock.
+using MsgFaultFilter =
+    std::function<MsgFaultAction(const std::string& src, const std::string& dst)>;
+
+/// Deterministically flip 1–4 bytes of `data` based on `seed` (splitmix64).
+/// No-op for len == 0. Shared by every personality's corrupt-in-transit
+/// path so the same seed produces the same damage everywhere.
+inline void corrupt_bytes(std::uint8_t* data, std::size_t len,
+                          std::uint64_t seed) {
+  if (data == nullptr || len == 0) return;
+  std::uint64_t x = seed;
+  auto next = [&x]() {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  const std::size_t flips = 1 + static_cast<std::size_t>(next() % 4);
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(next() % len);
+    const auto mask = static_cast<std::uint8_t>(1u << (next() % 8));
+    data[pos] ^= mask;
+  }
+}
+
 enum class ProcState {
   kReady,    // runnable, waiting for the scheduler baton
   kRunning,  // the (single) process currently executing
@@ -156,6 +196,18 @@ class Machine {
   void set_syscall_cost(Duration d) { syscall_cost_ = d; }
   Duration syscall_cost() const { return syscall_cost_; }
 
+  /// Install (or clear, with an empty function) the message-fault filter
+  /// that kernel send paths consult. At most one filter is active; the
+  /// fault injector owns it for the duration of a campaign.
+  void set_msg_filter(MsgFaultFilter f) { msg_filter_ = std::move(f); }
+  const MsgFaultFilter& msg_filter() const { return msg_filter_; }
+
+  /// Clock-jitter amplitude: when > 0, every sleep deadline is perturbed
+  /// by a uniform offset in [-amplitude, +amplitude] drawn from the
+  /// machine RNG. Deterministic for a fixed seed; 0 disables (default).
+  void set_clock_jitter(Duration amplitude) { clock_jitter_ = amplitude; }
+  Duration clock_jitter() const { return clock_jitter_; }
+
   std::vector<Process*> live_processes();
   Process* find_process(int pid);
   int live_count() const { return live_count_; }
@@ -237,6 +289,8 @@ class Machine {
   obs::Counter ctx_switch_metric_;
   obs::Counter kernel_entry_metric_;
   Rng rng_;
+  MsgFaultFilter msg_filter_;
+  Duration clock_jitter_ = 0;
 
   std::vector<std::unique_ptr<Process>> procs_;  // index != pid; append-only
   int next_pid_ = 1;

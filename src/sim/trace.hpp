@@ -23,6 +23,7 @@ enum class TraceKind {
   kControl,   // control-law decisions (setpoint changes, alarm logic)
   kNetwork,   // simulated HTTP/BACnet traffic
   kAttack,    // attack actions and their observed results
+  kFault,     // injected faults (crash/hang/drop/corrupt/stuck/jitter)
 };
 
 inline const char* to_string(TraceKind kind) {
@@ -41,6 +42,8 @@ inline const char* to_string(TraceKind kind) {
       return "net";
     case TraceKind::kAttack:
       return "atk";
+    case TraceKind::kFault:
+      return "fault";
   }
   return "?";
 }
@@ -147,7 +150,13 @@ class TraceLog {
 
   const std::deque<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  /// Forget the kept events. They count as dropped, so the invariant
+  /// total_emitted() == size() + dropped() survives an exporter that
+  /// snapshots and clears while the simulation keeps emitting.
+  void clear() {
+    dropped_ += events_.size();
+    events_.clear();
+  }
 
   /// 0 = unbounded (default). N > 0 = keep only the newest N events,
   /// evicting oldest-first; an over-full log is trimmed immediately.
@@ -159,9 +168,9 @@ class TraceLog {
     }
   }
   std::size_t capacity() const { return capacity_; }
-  /// Events evicted by the ring buffer since construction.
+  /// Events evicted (ring buffer) or discarded (clear) since construction.
   std::uint64_t dropped() const { return dropped_; }
-  /// Events ever emitted (== size() + dropped() while unbounded/un-cleared).
+  /// Events ever emitted. Invariant: total_emitted() == size() + dropped().
   std::uint64_t total_emitted() const { return total_emitted_; }
 
   /// All events whose tag equals `what`.

@@ -1,0 +1,82 @@
+// Seed-sweep property test: the Table-1 attack matrix's *qualitative*
+// outcomes (did the attack primitive succeed?) are a property of the
+// platform's security architecture, not of the simulation seed. Sweep
+// 16 seeds and require every (platform, attack, privilege) cell to match
+// the seed-1 baseline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/experiment.hpp"
+
+namespace core = mkbas::core;
+namespace sim = mkbas::sim;
+
+namespace {
+
+using Key = std::tuple<std::string, int, int>;  // label, kind, privilege
+using Outcomes = std::map<Key, bool>;
+
+core::RunOptions sweep_opts(std::uint64_t seed) {
+  core::RunOptions opts;
+  // Short windows keep a 16-seed sweep inside tier-1 budget; primitive
+  // verdicts are recorded incrementally by the attack hooks, so they are
+  // decided well within the first post-attack half minute.
+  opts.settle = sim::sec(10);
+  opts.post = sim::sec(30);
+  opts.seed = seed;
+  return opts;
+}
+
+Outcomes matrix_outcomes(std::uint64_t seed) {
+  Outcomes out;
+  for (const auto& row : core::run_attack_matrix(sweep_opts(seed))) {
+    const Key key{row.platform_label, static_cast<int>(row.kind),
+                  static_cast<int>(row.privilege)};
+    out[key] = row.outcome.primitive_succeeded;
+  }
+  return out;
+}
+
+const Outcomes& baseline() {
+  static const Outcomes base = matrix_outcomes(1);
+  return base;
+}
+
+// One test, 16 seeds: keeping the sweep in a single process means the
+// seed-1 baseline is computed once, not once per seed (this box builds
+// and tests on a single core).
+TEST(SeedSweep, AttackMatrixOutcomesAreSeedInvariant) {
+  for (std::uint64_t seed = 2; seed <= 17; ++seed) {
+    const Outcomes got = matrix_outcomes(seed);
+    ASSERT_EQ(got.size(), baseline().size());
+    for (const auto& [key, primitive] : baseline()) {
+      const auto it = got.find(key);
+      ASSERT_NE(it, got.end()) << std::get<0>(key);
+      EXPECT_EQ(it->second, primitive)
+          << "platform=" << std::get<0>(key) << " kind=" << std::get<1>(key)
+          << " priv=" << std::get<2>(key) << " flipped at seed " << seed;
+    }
+  }
+}
+
+TEST(SeedSweepBaseline, MicrokernelsBlockCodeExecPrimitives) {
+  // Sanity-pin a few architectural facts of the baseline itself so the
+  // invariance above cannot be trivially satisfied by a wrong matrix.
+  int minix_codeexec_success = 0, sel4_success = 0, linux_success = 0;
+  for (const auto& [key, primitive] : baseline()) {
+    const auto& label = std::get<0>(key);
+    const auto priv = std::get<2>(key);
+    if (!primitive) continue;
+    if (label.rfind("MINIX", 0) == 0 && priv == 0) ++minix_codeexec_success;
+    if (label.rfind("seL4", 0) == 0) ++sel4_success;
+    if (label.rfind("Linux", 0) == 0) ++linux_success;
+  }
+  EXPECT_EQ(sel4_success, 0);          // no caps, no primitives
+  EXPECT_GT(linux_success, 0);         // shared-account Linux is porous
+  EXPECT_LT(minix_codeexec_success, 3);  // ACM blocks the classic ones
+}
+
+}  // namespace

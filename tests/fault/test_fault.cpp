@@ -1,0 +1,278 @@
+// src/fault under test: plan construction, every injection kind against
+// a bare machine or a full scenario, and the reference fault campaign
+// acceptance criteria (MINIX reincarnates with its ACM row intact; the
+// Linux baseline stays down).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "fault/fault.hpp"
+#include "sim/machine.hpp"
+
+namespace fault = mkbas::fault;
+namespace sim = mkbas::sim;
+namespace core = mkbas::core;
+
+namespace {
+
+TEST(FaultPlan, BuildersRecordEvents) {
+  fault::FaultPlan plan("p", 7);
+  plan.crash(sim::sec(1), "a")
+      .hang(sim::sec(2), "b", sim::msec(500))
+      .drop_messages(sim::sec(3), sim::sec(1), "a", "b")
+      .delay_messages(sim::sec(4), sim::sec(1), "", "b", sim::msec(10))
+      .corrupt_messages(sim::sec(5), sim::sec(1), "a", "")
+      .sensor_stuck_at(sim::sec(6), 99.0, sim::sec(2))
+      .sensor_drift(sim::sec(7), sim::sec(3), 0.5)
+      .clock_jitter(sim::sec(8), sim::sec(1), sim::msec(2));
+  ASSERT_EQ(plan.events().size(), 8u);
+  EXPECT_EQ(plan.events()[0].kind, fault::FaultKind::kCrash);
+  EXPECT_EQ(plan.events()[3].dst, "b");
+  EXPECT_DOUBLE_EQ(plan.events()[5].value, 99.0);
+  // describe() mentions every event.
+  const std::string desc = plan.describe();
+  for (const auto& ev : plan.events()) {
+    EXPECT_NE(desc.find(fault::to_string(ev.kind)), std::string::npos);
+  }
+}
+
+TEST(CorruptBytes, DeterministicPerSeed) {
+  std::uint8_t a[32], b[32], c[32];
+  for (int i = 0; i < 32; ++i) a[i] = b[i] = c[i] = static_cast<uint8_t>(i);
+  sim::corrupt_bytes(a, sizeof(a), 123);
+  sim::corrupt_bytes(b, sizeof(b), 123);
+  sim::corrupt_bytes(c, sizeof(c), 124);
+  EXPECT_EQ(0, std::memcmp(a, b, sizeof(a)));
+  // Different seeds flip different bits (astronomically unlikely to
+  // collide for this fixed pair).
+  EXPECT_NE(0, std::memcmp(a, c, sizeof(a)));
+  // Degenerate calls are no-ops.
+  sim::corrupt_bytes(nullptr, 0, 1);
+  sim::corrupt_bytes(a, 0, 1);
+  EXPECT_EQ(0, std::memcmp(a, b, sizeof(a)));
+}
+
+TEST(FaultInjector, CrashKillsTheTargetProcess) {
+  sim::Machine m(1);
+  std::atomic<int> beats{0};
+  m.spawn("victim", [&] {
+    for (;;) {
+      m.sleep_for(sim::msec(100));
+      ++beats;
+    }
+  });
+  fault::FaultPlan plan("crash", 1);
+  plan.crash(sim::msec(450), "victim");
+  fault::FaultInjector inj(m, plan);
+  inj.arm();
+  m.run_until(sim::sec(2));
+  EXPECT_EQ(beats.load(), 4);  // 100..400ms, then killed
+  EXPECT_EQ(inj.injected(), 1u);
+  EXPECT_TRUE(m.live_processes().empty());
+  m.shutdown();
+}
+
+TEST(FaultInjector, CrashOfUnknownTargetIsANotedMiss) {
+  sim::Machine m(1);
+  fault::FaultPlan plan("miss", 1);
+  plan.crash(sim::msec(10), "nobody-home");
+  fault::FaultInjector inj(m, plan);
+  inj.arm();
+  m.run_until(sim::msec(100));
+  EXPECT_EQ(inj.injected(), 0u);
+  bool noted = false;
+  for (const auto& ev : m.trace().events()) {
+    if (ev.what() == "fault.miss") noted = true;
+  }
+  EXPECT_TRUE(noted);
+  m.shutdown();
+}
+
+TEST(FaultInjector, HangSuspendsThenResumes) {
+  sim::Machine m(1);
+  std::vector<sim::Time> beat_times;
+  m.spawn("victim", [&] {
+    for (;;) {
+      m.sleep_for(sim::msec(100));
+      beat_times.push_back(m.now());
+    }
+  });
+  fault::FaultPlan plan("hang", 1);
+  plan.hang(sim::msec(350), "victim", sim::msec(400));
+  fault::FaultInjector inj(m, plan);
+  inj.arm();
+  m.run_until(sim::sec(2));
+  m.shutdown();
+  // Beats at 100,200,300; then a gap spanning the hang; then beats again.
+  ASSERT_GE(beat_times.size(), 5u);
+  sim::Duration max_gap = 0;
+  for (std::size_t i = 1; i < beat_times.size(); ++i) {
+    max_gap = std::max(max_gap, beat_times[i] - beat_times[i - 1]);
+  }
+  EXPECT_GE(max_gap, sim::msec(400));
+  EXPECT_GE(beat_times.back(), sim::msec(800));
+}
+
+TEST(FaultInjector, SensorStuckAtAndClear) {
+  sim::Machine m(1);
+  mkbas::bas::ScenarioConfig cfg;
+  cfg.sensor_noise_sigma_c = 0.0;
+  mkbas::bas::Plant plant(m, cfg);
+  fault::FaultPlan plan("stuck", 1);
+  plan.sensor_stuck_at(sim::sec(1), -40.0, sim::sec(2));
+  fault::FaultInjector inj(m, plan);
+  inj.register_sensor(&plant.sensor);
+  inj.arm();
+  std::vector<double> readings;
+  m.every(sim::msec(500), sim::msec(500),
+          [&] { readings.push_back(plant.sensor.read_temperature_c()); });
+  m.run_until(sim::sec(4));
+  m.shutdown();
+  // Reads at 0.5s, 1.0s(stuck from here).. 3.0s(cleared at 3.0).
+  ASSERT_GE(readings.size(), 7u);
+  EXPECT_GT(readings[0], 0.0);          // a plausible room temperature
+  EXPECT_DOUBLE_EQ(readings[2], -40.0); // 1.5s: stuck
+  EXPECT_DOUBLE_EQ(readings[4], -40.0); // 2.5s: still stuck
+  EXPECT_GT(readings[6], 0.0);          // 3.5s: cleared
+}
+
+TEST(FaultInjector, SensorDriftAccumulates) {
+  sim::Machine m(1);
+  mkbas::bas::ScenarioConfig cfg;
+  cfg.sensor_noise_sigma_c = 0.0;
+  mkbas::bas::Plant plant(m, cfg);
+  const double before = plant.sensor.read_temperature_c();
+  fault::FaultPlan plan("drift", 1);
+  plan.sensor_drift(sim::sec(1), sim::sec(4), 0.5);  // +2C over 4s
+  fault::FaultInjector inj(m, plan);
+  inj.register_sensor(&plant.sensor);
+  inj.arm();
+  m.run_until(sim::sec(6));
+  const double after = plant.sensor.read_temperature_c();
+  m.shutdown();
+  EXPECT_NEAR(after - before, 2.0, 0.3);  // room physics moves a little too
+}
+
+TEST(FaultInjector, MessageDropWindowSilencesTheLoop) {
+  // Full MINIX scenario: dropping sensor->control traffic for 5s starves
+  // the control loop exactly for the window, then it recovers by itself
+  // (no reincarnation involved — the processes never died).
+  core::RunOptions opts;
+  opts.settle = sim::sec(30);
+  opts.post = sim::sec(30);
+  fault::FaultPlan plan("drop", 9);
+  plan.drop_messages(sim::sec(20), sim::sec(5), "tempSensProc", "tempProc");
+  const auto res = core::run_fault(core::Platform::kMinix, plan, opts);
+  EXPECT_TRUE(res.loop_recovered);
+  EXPECT_GE(res.max_ctl_gap, sim::sec(5));
+  EXPECT_LT(res.max_ctl_gap, sim::sec(8));
+  EXPECT_EQ(res.restarts, 0);
+  EXPECT_GT(res.faults_injected, 0u);
+}
+
+TEST(FaultInjector, ClockJitterKeepsRunsDeterministic) {
+  auto run_once = [] {
+    sim::Machine m(77);
+    std::vector<sim::Time> wakes;
+    m.spawn("sleeper", [&] {
+      for (int i = 0; i < 20; ++i) {
+        m.sleep_for(sim::msec(100));
+        wakes.push_back(m.now());
+      }
+    });
+    fault::FaultPlan plan("jitter", 3);
+    plan.clock_jitter(sim::msec(500), sim::sec(1), sim::msec(20));
+    fault::FaultInjector inj(m, plan);
+    inj.arm();
+    m.run_until(sim::sec(3));
+    m.shutdown();
+    return wakes;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);  // same seed, same plan => identical timeline
+  // And the jitter actually moved at least one wakeup off its nominal
+  // 100ms grid inside the window.
+  bool perturbed = false;
+  for (sim::Time t : a) {
+    if (t > sim::msec(500) && t <= sim::msec(1500) && t % sim::msec(100) != 0)
+      perturbed = true;
+  }
+  EXPECT_TRUE(perturbed);
+}
+
+// ---------------------------------------------------------------------
+// The reference campaign from the issue: crash the sensor driver, then
+// the (attacker-facing) web interface.
+// ---------------------------------------------------------------------
+
+class ReferenceCampaign : public ::testing::Test {
+ protected:
+  core::RunOptions opts_;
+  fault::FaultPlan plan_ = fault::reference_sensor_crash_plan();
+  static constexpr sim::Time kProbeAt = sim::sec(70);
+
+  void SetUp() override {
+    opts_.settle = sim::minutes(1);
+    opts_.post = sim::minutes(2);
+    opts_.scenario.room.initial_temp_c =
+        opts_.scenario.control.initial_setpoint_c;
+  }
+};
+
+TEST_F(ReferenceCampaign, MinixReincarnatesWithinBoundedMttr) {
+  const auto res = core::run_fault(core::Platform::kMinix, plan_, opts_,
+                                   kProbeAt);
+  EXPECT_TRUE(res.loop_recovered);
+  ASSERT_GE(res.mttr, 0);
+  EXPECT_GT(res.mttr, 0);
+  EXPECT_LT(res.mttr, sim::sec(5));
+  EXPECT_GE(res.restarts, 2);  // sensor driver + web interface
+  EXPECT_EQ(res.faults_injected, 2u);
+  // The restarted web interface regained its *original restricted* ACM
+  // row: the spoof probe ran and landed nothing.
+  EXPECT_TRUE(res.web_spoof.attempted);
+  EXPECT_FALSE(res.web_spoof.primitive_succeeded);
+  EXPECT_GT(res.web_spoof.attempts, 0);
+  EXPECT_EQ(res.web_spoof.successes, 0);
+  EXPECT_FALSE(res.safety.physically_compromised());
+}
+
+TEST_F(ReferenceCampaign, Sel4RestartsFromSpec) {
+  const auto res = core::run_fault(core::Platform::kSel4, plan_, opts_,
+                                   kProbeAt);
+  EXPECT_TRUE(res.loop_recovered);
+  ASSERT_GE(res.mttr, 0);
+  EXPECT_LT(res.mttr, sim::sec(5));
+  EXPECT_GE(res.restarts, 2);
+  EXPECT_TRUE(res.web_spoof.attempted);
+  EXPECT_FALSE(res.web_spoof.primitive_succeeded);
+  EXPECT_FALSE(res.safety.physically_compromised());
+}
+
+TEST_F(ReferenceCampaign, LinuxBaselineStaysDown) {
+  const auto res = core::run_fault(core::Platform::kLinux, plan_, opts_,
+                                   kProbeAt);
+  EXPECT_FALSE(res.loop_recovered);
+  EXPECT_EQ(res.mttr, -1);
+  EXPECT_EQ(res.restarts, 0);
+  // The web interface died with no one to restart it, so the probe never
+  // even ran.
+  EXPECT_FALSE(res.web_spoof.attempted);
+  EXPECT_TRUE(res.safety.physically_compromised());
+  EXPECT_FALSE(res.safety.control_alive);
+}
+
+TEST_F(ReferenceCampaign, LinuxExcursionExceedsMinix) {
+  // Both runs long enough for the unrecovered room to drift visibly.
+  opts_.post = sim::minutes(6);
+  const auto mx = core::run_fault(core::Platform::kMinix, plan_, opts_);
+  const auto lx = core::run_fault(core::Platform::kLinux, plan_, opts_);
+  EXPECT_GT(lx.max_excursion_after_fault_c,
+            mx.max_excursion_after_fault_c + 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,14 @@
+// libFuzzer entry point for the MINIX wire-surface harness. Build with
+// the MKBAS_FUZZ CMake option (clang only):
+//
+//   cmake -DMKBAS_FUZZ=ON -DCMAKE_CXX_COMPILER=clang++ ..
+//   ./tests/fuzz_minix_wire -max_len=256 corpus/
+//
+// The tier-1 suite replays a fixed corpus through the same harness via
+// test_fuzz_corpus.cpp, so CI covers these paths without a fuzzer build.
+#include "minix_wire_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return mkbas::fuzztest::one_input(data, size);
+}

@@ -1,0 +1,137 @@
+#pragma once
+
+// Fuzz harness body for the MINIX wire surface: the 64-byte message
+// decode, the ACM permission lookup, and the corrupted-in-transit path
+// the fault layer exercises. The same entry point backs two builds:
+//
+//  * fuzz_minix_wire.cpp wraps it as LLVMFuzzerTestOneInput for a real
+//    `clang -fsanitize=fuzzer` binary (CMake option MKBAS_FUZZ);
+//  * test_fuzz_corpus.cpp replays a fixed corpus through it under gtest,
+//    so every tier-1 ctest run covers the paths with zero extra deps.
+//
+// The harness asserts with plain `abort()`-style checks (FUZZ_CHECK) so a
+// violation is a crash for libFuzzer and a test failure via death under
+// gtest — no gtest dependency here.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "minix/acm.hpp"
+#include "minix/message.hpp"
+#include "sim/machine.hpp"
+
+namespace mkbas::fuzztest {
+
+#define FUZZ_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "FUZZ_CHECK failed: %s (%s:%d)\n", #cond,  \
+                   __FILE__, __LINE__);                               \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+/// Little helper: pull a little-endian integer out of the input, zero
+/// padded past the end (fuzzers love short inputs).
+inline std::uint64_t take_u64(const std::uint8_t* data, std::size_t size,
+                              std::size_t off) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8 && off + i < size; ++i) {
+    v |= static_cast<std::uint64_t>(data[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+inline int one_input(const std::uint8_t* data, std::size_t size) {
+  using minix::AcmPolicy;
+  using minix::Endpoint;
+  using minix::Message;
+
+  // --- 1. Message decode -------------------------------------------------
+  // Treat the first 64 bytes as a raw wire message (the struct is exactly
+  // the wire format; static_assert(sizeof == 64) in message.hpp).
+  Message m{};
+  // memcpy from a null pointer is UB even for length 0 (libFuzzer hands
+  // the empty input as (nullptr, 0)).
+  if (size > 0) std::memcpy(&m, data, std::min(size, sizeof(Message)));
+
+  // Endpoint arithmetic must be total over the full int32 range.
+  const Endpoint src = m.source();
+  if (src.valid()) {
+    FUZZ_CHECK(src.slot() >= 0 && src.slot() <= Endpoint::kSlotMask);
+    FUZZ_CHECK(Endpoint::make(src.slot(), src.generation()) == src);
+  }
+
+  // Typed reads at every offset: bounds-checked, so reads that would run
+  // past the payload return a default value instead of touching memory.
+  for (std::size_t off = 0; off <= Message::kPayloadBytes + 8; ++off) {
+    (void)m.get<std::int32_t>(off);
+    (void)m.get<double>(off);
+    (void)m.get<std::uint64_t>(off);
+    const std::string s = m.get_str(off);
+    // get_str never reads past the payload and never embeds a NUL.
+    FUZZ_CHECK(off >= Message::kPayloadBytes ||
+               s.size() <= Message::kPayloadBytes - off);
+    FUZZ_CHECK(s.find('\0') == std::string::npos);
+  }
+
+  // put_str/get_str round-trip whatever prefix fits.
+  const std::size_t str_off = size > 8 ? data[8] % Message::kPayloadBytes : 0;
+  const std::string wire =
+      size > 0 ? std::string(reinterpret_cast<const char*>(data),
+                             std::min<std::size_t>(size, 40))
+               : std::string();
+  Message rt;
+  rt.put_str(str_off, wire);
+  const std::string back = rt.get_str(str_off);
+  FUZZ_CHECK(back.size() <= wire.size());
+  FUZZ_CHECK(back == wire.substr(0, back.size()) ||
+             wire.find('\0') != std::string::npos);
+
+  // --- 2. ACM permission lookup ------------------------------------------
+  // Build a small policy from input bytes (ids may be wild, including
+  // negative) and check the lookup stays total and exact.
+  AcmPolicy acm;
+  const auto sa = static_cast<std::int32_t>(take_u64(data, size, 0));
+  const auto da = static_cast<std::int32_t>(take_u64(data, size, 4));
+  const std::uint64_t mask = take_u64(data, size, 8);
+  acm.allow_mask(sa, da, mask);
+  for (int type = -2; type <= AcmPolicy::kMaxMessageType + 2; ++type) {
+    const bool ok = acm.allowed(sa, da, type);
+    if (type < 0 || type > AcmPolicy::kMaxMessageType) {
+      FUZZ_CHECK(!ok);  // out-of-range types can never be granted
+    } else {
+      FUZZ_CHECK(ok == ((mask >> type) & 1));
+    }
+    // A cell that was never written grants nothing (the flipped high bit
+    // guarantees this src differs from the one cell we populated).
+    FUZZ_CHECK(!acm.allowed(sa ^ 0x40000000, da, type));
+  }
+  (void)acm.kill_allowed(sa, da);
+  (void)acm.fork_quota(da);
+
+  // --- 3. Corrupted-in-transit path --------------------------------------
+  // corrupt_bytes is the fault layer's in-flight mutation; it must be a
+  // pure function of (buffer, seed) — replay depends on it.
+  const std::uint64_t seed = take_u64(data, size, 16);
+  Message c1 = m, c2 = m;
+  sim::corrupt_bytes(c1.payload.data(), c1.payload.size(), seed);
+  sim::corrupt_bytes(c2.payload.data(), c2.payload.size(), seed);
+  FUZZ_CHECK(std::memcmp(&c1, &c2, sizeof(Message)) == 0);
+  sim::corrupt_bytes(nullptr, 0, seed);  // must be a no-op, not a crash
+  sim::corrupt_bytes(c1.payload.data(), 0, seed);
+
+  // A corrupted message must still decode safely everywhere.
+  for (std::size_t off = 0; off < Message::kPayloadBytes; off += 4) {
+    (void)c1.get_f64(off);
+    (void)c1.get_str(off);
+  }
+  return 0;
+}
+
+#undef FUZZ_CHECK
+
+}  // namespace mkbas::fuzztest

@@ -1,0 +1,74 @@
+// Fixed-corpus replay of the libFuzzer harness (minix_wire_harness.hpp)
+// under gtest, so the message-decode / ACM-lookup / corruption paths are
+// exercised on every tier-1 ctest run. The corpus is deterministic:
+// hand-picked structural edge cases plus splitmix64-generated buffers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "minix_wire_harness.hpp"
+
+namespace {
+
+using mkbas::fuzztest::one_input;
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::uint8_t> pseudo_random(std::uint64_t seed, std::size_t n) {
+  std::vector<std::uint8_t> buf(n);
+  std::uint64_t s = seed;
+  for (auto& b : buf) b = static_cast<std::uint8_t>(splitmix(s));
+  return buf;
+}
+
+TEST(FuzzCorpus, EdgeCaseInputs) {
+  const std::vector<std::vector<std::uint8_t>> corpus = {
+      {},                                      // empty
+      {0x00},                                  // single byte
+      std::vector<std::uint8_t>(63, 0x00),     // one short of a message
+      std::vector<std::uint8_t>(64, 0x00),     // all-zero message
+      std::vector<std::uint8_t>(64, 0xFF),     // all-ones (negative ids,
+                                               // max slot/generation)
+      std::vector<std::uint8_t>(65, 0x7F),     // one past a message
+      std::vector<std::uint8_t>(256, 0xAA),    // oversized input
+  };
+  for (const auto& input : corpus) {
+    EXPECT_EQ(0, one_input(input.data(), input.size()));
+  }
+}
+
+TEST(FuzzCorpus, StructuredMessages) {
+  // Wire messages with interesting source endpoints: none, any, max
+  // slot, huge generation — and strings right at the payload boundary.
+  for (std::int32_t source : {-2, -1, 0, 1023, 1024, 0x7FFFFFFF,
+                              static_cast<std::int32_t>(0x80000000)}) {
+    mkbas::minix::Message m;
+    m.m_source = source;
+    m.m_type = source ^ 0x55;
+    m.put_str(40, "boundary-string-that-cannot-fit-in-the-tail");
+    EXPECT_EQ(0, one_input(reinterpret_cast<const std::uint8_t*>(&m),
+                           sizeof(m)));
+  }
+}
+
+class FuzzCorpusRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzCorpusRandom, PseudoRandomBuffers) {
+  const std::uint64_t seed = GetParam();
+  for (std::size_t len : {1u, 7u, 24u, 64u, 80u, 200u}) {
+    const auto buf = pseudo_random(seed * 1000 + len, len);
+    EXPECT_EQ(0, one_input(buf.data(), buf.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCorpusRandom,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace

@@ -155,3 +155,33 @@ TEST(Trace, ZeroCapacityMeansUnbounded) {
   EXPECT_EQ(log.size(), 100u);
   EXPECT_EQ(log.dropped(), 0u);
 }
+
+// Regression: clear() used to discard events without counting them as
+// dropped, so an exporter that snapshots-and-clears silently broke the
+// accounting invariant below.
+TEST(Trace, AccountingInvariantSurvivesClearAndEviction) {
+  sim::TraceLog log;
+  log.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    log.emit(i, 1, sim::TraceKind::kIpc, "send");
+  }
+  // 10 emitted, ring kept 4, evicted 6.
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+  EXPECT_EQ(log.total_emitted(), log.size() + log.dropped());
+
+  log.clear();  // the snapshot-and-clear pattern
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 10u);  // the 4 cleared events now count too
+  EXPECT_EQ(log.total_emitted(), log.size() + log.dropped());
+
+  for (int i = 0; i < 3; ++i) {
+    log.emit(i, 1, sim::TraceKind::kIpc, "send");
+  }
+  EXPECT_EQ(log.total_emitted(), 13u);
+  EXPECT_EQ(log.total_emitted(), log.size() + log.dropped());
+}
+
+TEST(Trace, FaultKindHasAStableName) {
+  EXPECT_STREQ(sim::to_string(sim::TraceKind::kFault), "fault");
+}
