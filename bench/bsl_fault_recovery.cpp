@@ -9,12 +9,17 @@
 // has nothing watching its processes: the loop stays down and the room
 // drifts toward the outdoor temperature.
 //
+// The three platform runs are independent campaign cells; pass --jobs N
+// to fan them across threads (results are identical for any jobs value).
+//
 // The last stdout line is a machine-readable JSON summary.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
-#include "core/experiment.hpp"
+#include "campaign/campaign.hpp"
 
 namespace core = mkbas::core;
 namespace fault = mkbas::fault;
@@ -36,7 +41,13 @@ const char* json_key(core::Platform p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
+  }
   std::printf("F: fault-injection campaign — reference sensor-crash plan\n");
 
   const fault::FaultPlan plan = fault::reference_sensor_crash_plan();
@@ -55,11 +66,9 @@ int main() {
   // every restart policy has fired.
   const sim::Time probe_at = sim::sec(70);
 
-  std::vector<core::FaultRunResult> rows;
-  for (core::Platform p : {core::Platform::kMinix, core::Platform::kSel4,
-                           core::Platform::kLinux}) {
-    rows.push_back(core::run_fault(p, plan, opts, probe_at));
-  }
+  const auto campaign = core::run_campaign(
+      core::fault_campaign_cells(plan, opts, probe_at), jobs);
+  const std::vector<core::FaultRunResult> rows = core::fault_rows(campaign);
 
   std::printf("%s\n", core::format_fault_table(rows).c_str());
 

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the campaign engine (BENCH_campaign.json).
+
+Compares a freshly produced bench_campaign summary against the committed
+baseline and fails when a machine-independent signal regresses:
+
+  * msgs_per_sec_seq      -- single-thread campaign throughput. This is
+                             the primary gate: a >20% drop fails.
+  * acm_fast_ns           -- the ACM fast path must stay at or below the
+                             sparse baseline measured in the same run
+                             (a relative claim, so it holds on any host).
+  * cap_cached_ns         -- likewise, the path cache must not be slower
+                             than the full CNode walk it replaces.
+  * deterministic         -- the parallel run must have merged to the
+                             same bytes as the sequential one.
+
+Absolute wall-clock and the parallel speedup depend on the host: speedup
+is only checked when the "cores" field matches the baseline's (a 1-core
+CI runner cannot reproduce a 4-core speedup, and silently comparing the
+two would make the gate flap).
+
+Usage:
+  python3 bench/check_regression.py \
+      --baseline BENCH_campaign.json --current /tmp/BENCH_campaign.json
+  python3 bench/check_regression.py ... --max-drop 0.2
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("bench") != "bench_campaign":
+        raise SystemExit(f"{path}: not a bench_campaign summary")
+    return data
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.20,
+        help="maximum allowed fractional drop in msgs_per_sec_seq "
+        "(default 0.20)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    failures = []
+
+    if not cur.get("deterministic", False):
+        failures.append("parallel campaign diverged from sequential "
+                        "(deterministic=false)")
+
+    base_rate = float(base["msgs_per_sec_seq"])
+    cur_rate = float(cur["msgs_per_sec_seq"])
+    if base_rate > 0:
+        drop = 1.0 - cur_rate / base_rate
+        verdict = "FAIL" if drop > args.max_drop else "ok"
+        print(f"msgs_per_sec_seq: baseline {base_rate:.0f}, "
+              f"current {cur_rate:.0f} ({-drop:+.1%}) [{verdict}]")
+        if drop > args.max_drop:
+            failures.append(
+                f"single-thread throughput dropped {drop:.1%} "
+                f"(limit {args.max_drop:.0%})")
+
+    fast = float(cur["acm_fast_ns"])
+    sparse = float(cur["acm_sparse_ns"])
+    print(f"acm lookup: fast {fast:.2f} ns vs sparse {sparse:.2f} ns")
+    if fast > sparse:
+        failures.append(
+            f"ACM fast path ({fast:.2f} ns) is slower than the sparse "
+            f"baseline ({sparse:.2f} ns)")
+
+    cached = float(cur["cap_cached_ns"])
+    walk = float(cur["cap_walk_ns"])
+    print(f"cap probe: cached {cached:.2f} ns vs walk {walk:.2f} ns")
+    if cached > walk:
+        failures.append(
+            f"path cache ({cached:.2f} ns) is slower than the full walk "
+            f"({walk:.2f} ns)")
+
+    if cur.get("cores") == base.get("cores") and int(cur.get("jobs", 1)) > 1:
+        speedup = float(cur["speedup"])
+        base_speedup = float(base.get("speedup", 0))
+        print(f"speedup at --jobs {cur['jobs']} on {cur['cores']} cores: "
+              f"{speedup:.2f}x (baseline {base_speedup:.2f}x)")
+        if base_speedup > 1.1 and speedup < 1.0:
+            failures.append(
+                f"parallel run slower than sequential ({speedup:.2f}x) "
+                f"where the baseline showed {base_speedup:.2f}x")
+    else:
+        print(f"speedup check skipped: cores {cur.get('cores')} vs "
+              f"baseline {base.get('cores')}")
+
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print("perf gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,22 +3,34 @@
 // arbitrary-code-execution and root-privilege attackers, plus the
 // fork-quota ablation the paper proposes as future work.
 //
+// The matrix runs on the campaign engine: each of the ~31 rows is an
+// independent cell fanned across hardware threads (`--jobs N`, default
+// 1). Row order and content are identical for every jobs value.
+//
 // Expected shape (paper): every spoof/kill attack succeeds on Linux and
 // physically disrupts the plant; all are blocked on both microkernels,
 // with or without root; the fork bomb is the one MINIX weakness, fixed by
 // the ACM quota extension.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
-#include "core/experiment.hpp"
+#include "campaign/campaign.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
+  }
   std::printf(
       "T1: attack outcomes across platforms (paper section IV.D)\n"
       "==========================================================\n"
       "workload: temperature-control scenario; web interface compromised\n"
       "at t=12min; run ends at t=32min. 'primitive' is the syscall-level\n"
       "outcome; 'physical world' is the ground-truth safety verdict.\n\n");
-  const auto rows = mkbas::core::run_attack_matrix();
+  const auto rows = mkbas::core::run_attack_matrix({}, jobs);
   std::printf("%s", mkbas::core::format_attack_table(rows).c_str());
   std::printf(
       "\nNotes:\n"

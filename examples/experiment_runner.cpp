@@ -6,18 +6,27 @@
 //         [root] [quota] [acl]
 //   $ ./experiment_runner matrix
 //   $ ./experiment_runner fault <minix|sel4|linux> [seed N] [no-probe]
+//   $ ./experiment_runner campaign <matrix|sweep|fault>
+//         [--jobs N] [--out file.json]
+//         (sweep also takes: <minix|sel4|linux> [seeds N])
+//
+// campaign fans the cells across N worker threads and prints the same
+// tables as the sequential modes; the aggregate summary JSON (per-cell
+// verdicts, trace hashes, merged metrics — byte-identical for every
+// --jobs value) goes to --out, or to stdout as the last line.
 //
 // Any benign/attack/fault invocation also accepts:
 //   --metrics-out <file>   write the metrics registry snapshot as JSON
 //   --trace-out <file>     write the trace as Chrome trace-event JSON
 //                          (load in Perfetto / chrome://tracing)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
-#include "core/experiment.hpp"
+#include "campaign/campaign.hpp"
 #include "core/report.hpp"
 #include "obs/trace_export.hpp"
 
@@ -37,6 +46,10 @@ int usage() {
       "       experiment_runner matrix [--csv|--md]\n"
       "       experiment_runner fault <minix|sel4|linux> [seed N] "
       "[no-probe]\n"
+      "       experiment_runner campaign <matrix|sweep|fault> [--jobs N] "
+      "[--out file.json]\n"
+      "       experiment_runner campaign sweep <minix|sel4|linux> "
+      "[seeds N] [--jobs N]\n"
       "options: --metrics-out <file> --trace-out <file>\n"
       "attacks: spoof-sensor spoof-actuator kill fork-bomb brute-force "
       "flood\n");
@@ -103,19 +116,87 @@ std::function<void(mkbas::sim::Machine&)> make_observer(
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the output-file options first; everything else is positional.
-  std::string metrics_out, trace_out;
+  // Strip the output-file and jobs options first; the rest is positional.
+  std::string metrics_out, trace_out, campaign_out;
+  int jobs = 1;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if ((a == "--metrics-out" || a == "--trace-out") && i + 1 < argc) {
       (a == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      campaign_out = argv[++i];
+    } else if (a == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else {
       args.push_back(a);
     }
   }
   if (args.empty()) return usage();
   const std::string mode = args[0];
+
+  if (mode == "campaign") {
+    if (args.size() < 2) return usage();
+    const std::string what = args[1];
+    std::vector<core::CampaignCell> cells;
+    if (what == "matrix") {
+      cells = core::attack_matrix_cells({});
+    } else if (what == "sweep") {
+      if (args.size() < 3) return usage();
+      core::Platform platform;
+      if (!parse_platform(args[2], &platform)) return usage();
+      int seeds = 8;
+      for (std::size_t i = 3; i < args.size(); ++i) {
+        if (args[i] == "seeds" && i + 1 < args.size()) {
+          seeds = std::atoi(args[++i].c_str());
+        }
+      }
+      cells = core::seed_sweep_cells(platform, {}, 1, seeds);
+    } else if (what == "fault") {
+      core::RunOptions opts;
+      opts.settle = mkbas::sim::minutes(1);
+      opts.post = mkbas::sim::minutes(6);
+      opts.seed = 42;
+      opts.scenario.room.initial_temp_c =
+          opts.scenario.control.initial_setpoint_c;
+      cells = core::fault_campaign_cells(
+          mkbas::fault::reference_sensor_crash_plan(), opts,
+          mkbas::sim::sec(70));
+    } else {
+      return usage();
+    }
+
+    const auto result = core::run_campaign(cells, jobs);
+    std::printf("campaign: %zu cells, --jobs %d, %.2f s wall, %llu steals\n",
+                result.cells.size(), result.jobs, result.wall_seconds,
+                static_cast<unsigned long long>(result.steals));
+    if (what == "matrix") {
+      std::fputs(core::format_attack_table(core::attack_rows(result)).c_str(),
+                 stdout);
+    } else if (what == "fault") {
+      std::fputs(core::format_fault_table(core::fault_rows(result)).c_str(),
+                 stdout);
+    } else {
+      for (const auto& c : result.cells) {
+        std::printf("%-28s %zu samples, alarm %s\n", c.name.c_str(),
+                    c.benign.history.size(),
+                    c.benign.safety.alarm_violation ? "VIOLATED" : "held");
+      }
+    }
+    const std::string summary = result.summary_json();
+    if (!campaign_out.empty()) {
+      std::ofstream f(campaign_out);
+      f << summary << "\n";
+      if (!f) {
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     campaign_out.c_str());
+        return 1;
+      }
+    } else {
+      std::printf("%s\n", summary.c_str());
+    }
+    return 0;
+  }
 
   if (mode == "matrix") {
     const auto rows = core::run_attack_matrix();

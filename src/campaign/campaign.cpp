@@ -1,0 +1,292 @@
+#include "campaign/campaign.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "campaign/pool.hpp"
+
+namespace mkbas::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// One cell, executed on whichever worker thread picked it up. All state
+/// is local: the Machine (and with it RNG, registry, trace) is built and
+/// torn down inside this call.
+CellResult run_cell(const CampaignCell& cell) {
+  CellResult res;
+  res.name = cell.name;
+  res.kind = cell.kind;
+  const auto t0 = Clock::now();
+
+  RunOptions opts = cell.opts;
+  auto caller_observe = opts.observe;
+  opts.observe = [&](sim::Machine& m) {
+    if (caller_observe) caller_observe(m);
+    res.metrics = std::make_unique<obs::MetricsRegistry>();
+    res.metrics->merge_from(m.metrics());
+    res.metrics_json = m.metrics().to_json();
+    res.trace_hash = trace_hash(m.trace());
+    res.trace_events = m.trace().total_emitted();
+  };
+
+  switch (cell.kind) {
+    case CellKind::kBenign:
+      res.benign = run_benign(cell.platform, opts);
+      break;
+    case CellKind::kAttack:
+      res.attack =
+          run_attack(cell.platform, cell.attack_kind, cell.privilege, opts);
+      break;
+    case CellKind::kFault:
+      res.fault =
+          run_fault(cell.platform, cell.plan, opts, cell.spoof_probe_at);
+      break;
+  }
+  res.wall_seconds = seconds_since(t0);
+  return res;
+}
+
+std::string cell_verdict(const CellResult& r) {
+  char buf[256];
+  switch (r.kind) {
+    case CellKind::kBenign:
+      std::snprintf(buf, sizeof buf, "samples=%zu final_c=%.6f %s",
+                    r.benign.history.size(),
+                    r.benign.history.empty()
+                        ? 0.0
+                        : r.benign.history.back().true_temp_c,
+                    r.benign.safety.summary().c_str());
+      return buf;
+    case CellKind::kAttack:
+      std::snprintf(buf, sizeof buf, "%s primitive=%s attempts=%d/%d %s",
+                    r.attack.platform_label.c_str(),
+                    r.attack.outcome.primitive_succeeded ? "SUCCEEDED"
+                                                         : "blocked",
+                    r.attack.outcome.successes, r.attack.outcome.attempts,
+                    r.attack.safety.summary().c_str());
+      return buf;
+    case CellKind::kFault:
+      std::snprintf(
+          buf, sizeof buf,
+          "%s recovered=%s mttr_s=%.3f restarts=%d excursion_c=%.3f "
+          "faults=%llu spoof=%s",
+          r.fault.platform_label.c_str(),
+          r.fault.loop_recovered ? "yes" : "no",
+          r.fault.mttr < 0 ? -1.0 : sim::to_seconds(r.fault.mttr),
+          r.fault.restarts, r.fault.max_excursion_after_fault_c,
+          static_cast<unsigned long long>(r.fault.faults_injected),
+          !r.fault.web_spoof.attempted
+              ? "-"
+              : (r.fault.web_spoof.primitive_succeeded ? "SPOOFED"
+                                                       : "blocked"));
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* to_string(CellKind k) {
+  switch (k) {
+    case CellKind::kBenign:
+      return "benign";
+    case CellKind::kAttack:
+      return "attack";
+    case CellKind::kFault:
+      return "fault";
+  }
+  return "?";
+}
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t trace_hash(const sim::TraceLog& log) {
+  // Render with tag *names*: interned ids depend on process-wide
+  // first-sight order, which a parallel campaign must not observe.
+  std::uint64_t h = 14695981039346656037ULL;
+  char buf[128];
+  for (const auto& ev : log.events()) {
+    std::snprintf(buf, sizeof buf, "%lld|%d|%s|",
+                  static_cast<long long>(ev.time), ev.pid,
+                  sim::to_string(ev.kind));
+    h = fnv1a(buf, h);
+    h = fnv1a(ev.what(), h);
+    h = fnv1a("|", h);
+    h = fnv1a(ev.detail, h);
+    std::snprintf(buf, sizeof buf, "|%.17g\n", ev.value);
+    h = fnv1a(buf, h);
+  }
+  return h;
+}
+
+CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
+                            int jobs) {
+  CampaignResult out;
+  out.jobs = jobs < 1 ? 1 : jobs;
+  const auto t0 = Clock::now();
+
+  out.cells.resize(cells.size());
+  campaign::WorkStealingPool pool(out.jobs);
+  pool.run(cells.size(), [&](std::size_t i) {
+    // Slot i belongs to cell i: completion order never shows through.
+    out.cells[i] = run_cell(cells[i]);
+  });
+  out.steals = pool.steals();
+
+  // Reductions walk the slots in cell order — the one order every --jobs
+  // value shares — so merged artifacts are byte-identical to sequential.
+  obs::MetricsRegistry merged;
+  std::uint64_t chain = 14695981039346656037ULL;
+  for (const CellResult& r : out.cells) {
+    if (r.metrics) merged.merge_from(*r.metrics);
+    chain = fnv1a(hex64(r.trace_hash), chain);
+  }
+  out.merged_metrics_json = merged.to_json();
+  out.merged_trace_hash = chain;
+  out.wall_seconds = seconds_since(t0);
+  return out;
+}
+
+std::string CampaignResult::summary_json() const {
+  std::ostringstream os;
+  os << "{\"cells\":[";
+  bool first = true;
+  for (const auto& r : cells) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << obs::json_escape(r.name) << "\",\"kind\":\""
+       << to_string(r.kind) << "\",\"verdict\":\""
+       << obs::json_escape(cell_verdict(r)) << "\",\"trace_events\":"
+       << r.trace_events << ",\"trace_hash\":\"" << hex64(r.trace_hash)
+       << "\",\"metrics_hash\":\"" << hex64(fnv1a(r.metrics_json))
+       << "\"}";
+  }
+  os << "],\"merged_trace_hash\":\"" << hex64(merged_trace_hash)
+     << "\",\"merged_metrics\":" << merged_metrics_json << "}";
+  return os.str();
+}
+
+std::vector<CampaignCell> attack_matrix_cells(const RunOptions& base) {
+  using attack::AttackKind;
+  using attack::Privilege;
+  std::vector<CampaignCell> cells;
+  const AttackKind kinds[] = {
+      AttackKind::kSpoofSensor, AttackKind::kSpoofActuator,
+      AttackKind::kKillControl, AttackKind::kForkBomb,
+      AttackKind::kCapBruteForce, AttackKind::kIpcFlood};
+  const Platform platforms[] = {Platform::kLinux, Platform::kMinix,
+                                Platform::kSel4};
+  const char* pnames[] = {"linux", "minix", "sel4"};
+  // Same nesting as the sequential run_attack_matrix(), so rows (and the
+  // rendered table) come out in the same order.
+  for (AttackKind kind : kinds) {
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      const Platform p = platforms[pi];
+      for (Privilege priv : {Privilege::kCodeExec, Privilege::kRoot}) {
+        if (p == Platform::kSel4 && priv == Privilege::kRoot) continue;
+        CampaignCell c;
+        c.name = std::string("attack/") + attack::to_string(kind) + "/" +
+                 pnames[pi] + "/" + attack::to_string(priv);
+        c.kind = CellKind::kAttack;
+        c.platform = p;
+        c.attack_kind = kind;
+        c.privilege = priv;
+        c.opts = base;
+        cells.push_back(std::move(c));
+      }
+      if (p == Platform::kMinix && kind == AttackKind::kForkBomb) {
+        CampaignCell c;
+        c.name = std::string("attack/") + attack::to_string(kind) +
+                 "/minix/code-exec+quota";
+        c.kind = CellKind::kAttack;
+        c.platform = p;
+        c.attack_kind = kind;
+        c.privilege = Privilege::kCodeExec;
+        c.opts = base;
+        c.opts.minix_quotas = true;
+        cells.push_back(std::move(c));
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<CampaignCell> seed_sweep_cells(Platform platform,
+                                           const RunOptions& base,
+                                           std::uint64_t first_seed,
+                                           int count) {
+  std::vector<CampaignCell> cells;
+  for (int i = 0; i < count; ++i) {
+    CampaignCell c;
+    c.kind = CellKind::kBenign;
+    c.platform = platform;
+    c.opts = base;
+    c.opts.seed = first_seed + static_cast<std::uint64_t>(i);
+    c.name = std::string("benign/") + to_string(platform) + "/seed" +
+             std::to_string(c.opts.seed);
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
+std::vector<CampaignCell> fault_campaign_cells(const fault::FaultPlan& plan,
+                                               const RunOptions& base,
+                                               sim::Time spoof_probe_at) {
+  std::vector<CampaignCell> cells;
+  const Platform platforms[] = {Platform::kMinix, Platform::kSel4,
+                                Platform::kLinux};
+  const char* pnames[] = {"minix", "sel4", "linux"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    CampaignCell c;
+    c.name = std::string("fault/") + plan.name() + "/" + pnames[i];
+    c.kind = CellKind::kFault;
+    c.platform = platforms[i];
+    c.opts = base;
+    c.plan = plan;
+    c.spoof_probe_at = spoof_probe_at;
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
+std::vector<AttackRow> attack_rows(const CampaignResult& r) {
+  std::vector<AttackRow> rows;
+  for (const auto& c : r.cells) {
+    if (c.kind == CellKind::kAttack) rows.push_back(c.attack);
+  }
+  return rows;
+}
+
+std::vector<FaultRunResult> fault_rows(const CampaignResult& r) {
+  std::vector<FaultRunResult> rows;
+  for (const auto& c : r.cells) {
+    if (c.kind == CellKind::kFault) rows.push_back(c.fault);
+  }
+  return rows;
+}
+
+std::vector<AttackRow> run_attack_matrix(const RunOptions& opts, int jobs) {
+  return attack_rows(run_campaign(attack_matrix_cells(opts), jobs));
+}
+
+}  // namespace mkbas::core

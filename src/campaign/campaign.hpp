@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/metrics.hpp"
+
+namespace mkbas::core {
+
+/// The campaign engine: fan a list of independent experiment cells across
+/// hardware threads and reduce the results in deterministic cell order.
+///
+/// A *cell* is one fully specified experiment — (platform, scenario, seed,
+/// attack or fault plan) — and executes exactly the way the sequential
+/// entry points do: it builds its own sim::Machine, so it owns its RNG,
+/// metrics registry and trace log outright. Nothing is shared between
+/// in-flight cells (the only cross-thread state is the process-wide trace
+/// TagRegistry, whose interning order does not affect exported bytes).
+/// run_campaign therefore produces byte-identical results for any --jobs
+/// value: cells land in a slot indexed by their position, and every
+/// reduction (metrics merge, trace hash, summary JSON) walks the slots in
+/// cell order, never in completion order.
+
+enum class CellKind { kBenign, kAttack, kFault };
+
+const char* to_string(CellKind k);
+
+/// One schedulable experiment. `opts.observe` still fires (before the
+/// engine snapshots the registry), so callers can export per-cell
+/// artifacts exactly as they would from the sequential entry points.
+struct CampaignCell {
+  std::string name;  // unique, deterministic label ("attack/kill/minix/root")
+  CellKind kind = CellKind::kBenign;
+  Platform platform = Platform::kMinix;
+  RunOptions opts;
+  // kAttack only:
+  attack::AttackKind attack_kind = attack::AttackKind::kSpoofSensor;
+  attack::Privilege privilege = attack::Privilege::kCodeExec;
+  // kFault only:
+  fault::FaultPlan plan;
+  sim::Time spoof_probe_at = -1;
+};
+
+/// What came back from one cell. Exactly one of attack/fault/benign is
+/// meaningful (matching `kind`); the observability snapshot is always
+/// taken. Move-only because it carries the cell's merged registry.
+struct CellResult {
+  std::string name;
+  CellKind kind = CellKind::kBenign;
+  AttackRow attack;
+  FaultRunResult fault;
+  BenignRun benign;
+  /// Registry snapshot taken while the cell's Machine was still alive.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::string metrics_json;
+  /// FNV-1a over every trace event rendered as text (names, not interned
+  /// ids, so the hash is independent of cross-cell interning order).
+  std::uint64_t trace_hash = 0;
+  std::uint64_t trace_events = 0;
+  /// Host wall-clock for this cell. Diagnostic; never enters summary_json.
+  double wall_seconds = 0.0;
+};
+
+struct CampaignResult {
+  std::vector<CellResult> cells;  // in cell order, regardless of jobs
+  int jobs = 1;
+  std::uint64_t steals = 0;      // work-stealing pool diagnostic
+  double wall_seconds = 0.0;     // host wall-clock for the whole campaign
+  /// Per-cell registries folded together in cell order.
+  std::string merged_metrics_json;
+  /// FNV-1a chain over the per-cell trace hashes, in cell order.
+  std::uint64_t merged_trace_hash = 0;
+
+  /// Deterministic machine-readable summary: per-cell verdicts and
+  /// hashes plus the merged artifacts. Contains no timing and no
+  /// jobs-dependent fields — `--jobs 1` and `--jobs N` must produce
+  /// byte-identical summaries (the CI determinism gate diffs them).
+  std::string summary_json() const;
+};
+
+/// Cell builders mirroring the sequential drivers.
+std::vector<CampaignCell> attack_matrix_cells(const RunOptions& base = {});
+std::vector<CampaignCell> seed_sweep_cells(Platform platform,
+                                           const RunOptions& base,
+                                           std::uint64_t first_seed,
+                                           int count);
+std::vector<CampaignCell> fault_campaign_cells(const fault::FaultPlan& plan,
+                                               const RunOptions& base = {},
+                                               sim::Time spoof_probe_at = -1);
+
+/// Run every cell (work-stealing across `jobs` threads; `jobs <= 1` runs
+/// inline on the calling thread) and reduce in cell order.
+CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
+                            int jobs = 1);
+
+/// Parallel drop-in for run_attack_matrix(): same rows, same order.
+std::vector<AttackRow> run_attack_matrix(const RunOptions& opts, int jobs);
+
+/// Extract the typed rows from a campaign in cell order.
+std::vector<AttackRow> attack_rows(const CampaignResult& r);
+std::vector<FaultRunResult> fault_rows(const CampaignResult& r);
+
+/// FNV-1a helpers shared by the engine, benches and tests.
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 14695981039346656037ULL);
+std::uint64_t trace_hash(const sim::TraceLog& log);
+
+}  // namespace mkbas::core

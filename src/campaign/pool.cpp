@@ -1,0 +1,79 @@
+#include "campaign/pool.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace mkbas::campaign {
+
+WorkStealingPool::WorkStealingPool(int workers)
+    : workers_(workers < 1 ? 1 : workers), queues_(workers_) {}
+
+bool WorkStealingPool::pop_own(Queue& q, std::size_t* out) {
+  std::lock_guard<std::mutex> lk(q.mu);
+  if (q.q.empty()) return false;
+  *out = q.q.front();
+  q.q.pop_front();
+  return true;
+}
+
+bool WorkStealingPool::steal_any(int self, std::size_t* out) {
+  for (int k = 1; k < workers_; ++k) {
+    Queue& victim = queues_[static_cast<std::size_t>((self + k) % workers_)];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (victim.q.empty()) continue;
+    *out = victim.q.back();
+    victim.q.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::run(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Deal contiguous blocks, front-loading the remainder.
+  const std::size_t w = static_cast<std::size_t>(workers_);
+  const std::size_t base = n / w;
+  const std::size_t extra = n % w;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < w; ++i) {
+    const std::size_t take = base + (i < extra ? 1 : 0);
+    std::lock_guard<std::mutex> lk(queues_[i].mu);
+    for (std::size_t j = 0; j < take; ++j) queues_[i].q.push_back(next++);
+  }
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto worker = [&](int self) {
+    std::size_t idx;
+    for (;;) {
+      if (!pop_own(queues_[static_cast<std::size_t>(self)], &idx) &&
+          !steal_any(self, &idx)) {
+        // Tasks never enqueue new tasks, so empty-everywhere is final.
+        return;
+      }
+      try {
+        fn(idx);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(w - 1);
+  for (int i = 1; i < workers_; ++i) threads.emplace_back(worker, i);
+  worker(0);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mkbas::campaign

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+namespace mkbas::campaign {
+
+/// Work-stealing pool for embarrassingly parallel index spaces.
+///
+/// run(n, fn) invokes fn(0) .. fn(n-1) exactly once each across
+/// `workers` OS threads. Indices are dealt out in contiguous blocks, one
+/// per worker; a worker pops from the *front* of its own deque and, when
+/// empty, steals from the *back* of a victim's, so neighbouring (and
+/// likely similar-cost) cells stay on one thread while the tail of an
+/// uneven distribution is rebalanced automatically.
+///
+/// Determinism contract: the pool promises nothing about the order in
+/// which indices run — callers get determinism by making each fn(i)
+/// self-contained (own Machine, own RNG, own registry) and by indexing
+/// results, never appending them. The campaign engine relies on exactly
+/// that.
+///
+/// `workers <= 1` executes inline on the calling thread: the sequential
+/// baseline is the same code path minus the threads.
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(int workers);
+
+  /// Run fn over [0, n). Blocks until every index completed. If any fn
+  /// throws, the remaining queued indices still run and the *first*
+  /// exception (by completion time) is rethrown here.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  int workers() const { return workers_; }
+  /// Indices executed by a worker other than the one they were dealt to,
+  /// accumulated across run() calls. Purely diagnostic.
+  std::uint64_t steals() const { return steals_.load(); }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::size_t> q;
+  };
+
+  bool pop_own(Queue& q, std::size_t* out);
+  bool steal_any(int self, std::size_t* out);
+
+  int workers_;
+  std::deque<Queue> queues_;  // deque: Queue is immovable (mutex)
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace mkbas::campaign

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace mkbas::obs {
 
@@ -117,6 +118,50 @@ std::vector<double> MetricsRegistry::log_bounds(int sub_buckets, double max) {
 Histogram MetricsRegistry::log_histogram(const std::string& name,
                                          int sub_buckets, double max) {
   return histogram(name, log_bounds(sub_buckets, max));
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  if (&other == this) return;
+  std::scoped_lock lk(mu_, other.mu_);
+  for (const auto& [name, cell] : other.counters_) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      counter_cells_.push_back(0);
+      it = counters_.emplace(name, &counter_cells_.back()).first;
+    }
+    *it->second += *cell;
+  }
+  for (const auto& [name, cell] : other.gauges_) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauge_cells_.push_back(0.0);
+      it = gauges_.emplace(name, &gauge_cells_.back()).first;
+    }
+    *it->second = *cell;  // a gauge is "last written": merge order decides
+  }
+  for (const auto& [name, cell] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      Histogram::Cell fresh;
+      fresh.bounds = cell->bounds;  // share the immutable bounds vector
+      fresh.counts.assign(cell->counts.size(), 0);
+      histogram_cells_.push_back(std::move(fresh));
+      it = histograms_.emplace(name, &histogram_cells_.back()).first;
+    }
+    Histogram::Cell& dst = *it->second;
+    if (*dst.bounds != *cell->bounds) {
+      throw std::invalid_argument("merge_from: histogram '" + name +
+                                  "' has mismatched bounds");
+    }
+    for (std::size_t i = 0; i < dst.counts.size(); ++i) {
+      dst.counts[i] += cell->counts[i];
+    }
+    dst.count += cell->count;
+    dst.overflow += cell->overflow;
+    dst.sum += cell->sum;
+    if (cell->min < dst.min) dst.min = cell->min;
+    if (cell->max > dst.max) dst.max = cell->max;
+  }
 }
 
 std::string json_escape(const std::string& s) {

@@ -125,6 +125,15 @@ class MetricsRegistry {
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Fold `other`'s metrics into this registry: counters add, gauges take
+  /// `other`'s value (last-merged-wins), histograms add counts/sum/overflow
+  /// and widen min/max. Metrics absent here are created. Merging the same
+  /// registries in the same order always yields the same state (and thus
+  /// byte-identical to_json()), which is what lets a parallel campaign
+  /// reduce per-cell registries in deterministic cell order. Histograms
+  /// with the same name must have identical bounds (throws otherwise).
+  void merge_from(const MetricsRegistry& other);
+
   /// One JSON object, keys sorted by metric name:
   /// {"counters":{...},"gauges":{...},"histograms":{"n":{"count":..,
   ///  "sum":..,"min":..,"max":..,"overflow":..,

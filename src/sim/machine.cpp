@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace mkbas::sim {
@@ -88,7 +89,7 @@ Process* Machine::spawn_locked(std::string name, std::function<void()> body,
   Process* p = owned.get();
   procs_.push_back(std::move(owned));
   ++live_count_;
-  ready_[priority].push_back(p);
+  push_ready_locked(p);
   trace_.emit(now_, p->pid_, TraceKind::kProcess, "proc.spawn", p->name_);
   p->thread_ = std::thread(
       [this, p, b = std::move(body)]() mutable { thread_main(p, std::move(b)); });
@@ -145,30 +146,36 @@ void Machine::retire_locked(Process* p, bool crashed, std::string reason) {
 
 // ---- Scheduling ----
 
-bool Machine::any_ready_locked() const {
-  for (const auto& q : ready_) {
-    if (!q.empty()) return true;
-  }
-  return false;
+void Machine::push_ready_locked(Process* p) {
+  ready_[p->priority_].push_back(p);
+  ready_bits_ |= 1u << p->priority_;
+}
+
+Process* Machine::pop_ready_locked() {
+  if (ready_bits_ == 0) return nullptr;
+  const int pr = std::countr_zero(ready_bits_);
+  auto& q = ready_[pr];
+  Process* p = q.front();
+  q.pop_front();
+  if (q.empty()) ready_bits_ &= ~(1u << pr);
+  return p;
 }
 
 void Machine::schedule_locked() {
   if (running_ != nullptr) return;  // baton already assigned
-  for (auto& q : ready_) {
-    if (q.empty()) continue;
-    Process* p = q.front();
-    q.pop_front();
-    p->state_ = ProcState::kRunning;
-    running_ = p;
-    if (p != last_scheduled_) {
-      ++context_switches_;
-      ctx_switch_metric_.inc();
-    }
-    last_scheduled_ = p;
-    p->cv_.notify_all();
+  Process* p = pop_ready_locked();
+  if (p == nullptr) {
+    idle_cv_.notify_all();
     return;
   }
-  idle_cv_.notify_all();
+  p->state_ = ProcState::kRunning;
+  running_ = p;
+  if (p != last_scheduled_) {
+    ++context_switches_;
+    ctx_switch_metric_.inc();
+  }
+  last_scheduled_ = p;
+  p->cv_.notify_all();
 }
 
 void Machine::wait_for_baton(Lock& lk, Process* p) {
@@ -205,7 +212,7 @@ void Machine::make_ready(Process* p) {
     return;
   }
   p->state_ = ProcState::kReady;
-  ready_[p->priority_].push_back(p);
+  push_ready_locked(p);
   schedule_locked();
 }
 
@@ -224,6 +231,7 @@ void Machine::suspend(Process* p) {
         break;
       }
     }
+    if (q.empty()) ready_bits_ &= ~(1u << p->priority_);
     p->state_ = ProcState::kBlocked;
     p->block_reason_ = "suspended";
     p->pending_wake_ = true;  // it was runnable; resume must requeue it
@@ -259,7 +267,7 @@ void Machine::yield() {
   Process* p = t_proc;
   assert(p != nullptr && "yield outside process context");
   p->state_ = ProcState::kReady;
-  ready_[p->priority_].push_back(p);
+  push_ready_locked(p);
   running_ = nullptr;
   schedule_locked();
   wait_for_baton(*t_thread_lock, p);
@@ -268,15 +276,13 @@ void Machine::yield() {
 void Machine::maybe_preempt_locked() {
   Process* p = running_;
   if (p == nullptr || p != t_proc) return;
-  for (int pr = 0; pr < p->priority_; ++pr) {
-    if (ready_[pr].empty()) continue;
-    p->state_ = ProcState::kReady;
-    ready_[p->priority_].push_back(p);
-    running_ = nullptr;
-    schedule_locked();
-    wait_for_baton(*t_thread_lock, p);
-    return;
-  }
+  // Anyone ready at a strictly higher priority? One mask test.
+  if ((ready_bits_ & ((1u << p->priority_) - 1)) == 0) return;
+  p->state_ = ProcState::kReady;
+  push_ready_locked(p);
+  running_ = nullptr;
+  schedule_locked();
+  wait_for_baton(*t_thread_lock, p);
 }
 
 // ---- Virtual time ----
@@ -290,7 +296,7 @@ void Machine::charge(Duration cpu) {
     // (not blocked) and hand control back without scheduling a successor.
     Process* p = t_proc;
     p->state_ = ProcState::kReady;
-    ready_[p->priority_].push_back(p);
+    push_ready_locked(p);
     running_ = nullptr;
     idle_cv_.notify_all();
     wait_for_baton(*t_thread_lock, p);

@@ -271,7 +271,12 @@ class Machine {
   void run_locked(Lock& lk, Time limit, bool bounded);
   void schedule_locked();
   void fire_due_timers_locked();
-  bool any_ready_locked() const;
+  bool any_ready_locked() const { return ready_bits_ != 0; }
+  /// Enqueue a ready process, maintaining the priority bitmap.
+  void push_ready_locked(Process* p);
+  /// Dequeue the highest-priority ready process (nullptr when none). O(1):
+  /// one count-trailing-zeros over the bitmap instead of a queue scan.
+  Process* pop_ready_locked();
   void wait_for_baton(Lock& lk, Process* p);
   void retire_locked(Process* p, bool crashed, std::string reason);
   void thread_main(Process* p, std::function<void()> body);
@@ -298,6 +303,10 @@ class Machine {
   Process* running_ = nullptr;
   Process* last_scheduled_ = nullptr;
   std::deque<Process*> ready_[kNumPriorities];
+  // Bit p set <=> ready_[p] is non-empty. Scheduler picks with a single
+  // count-trailing-zeros; "anyone ready?" and "anyone more urgent?" are
+  // one mask test each instead of a 16-queue scan per context switch.
+  std::uint32_t ready_bits_ = 0;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::uint64_t timer_seq_ = 0;
   std::uint64_t context_switches_ = 0;

@@ -158,6 +158,19 @@ class TraceLog {
     events_.clear();
   }
 
+  /// Append every kept event of `other` to this log (in `other`'s order),
+  /// carrying the drop accounting across so the invariant
+  /// total_emitted() == size() + dropped() holds for the union. This log's
+  /// capacity still applies: merged events can evict (or be evicted) like
+  /// any other emit. Merging the same logs in the same order produces an
+  /// identical log — the reduction step for per-cell campaign traces.
+  void merge_from(const TraceLog& other) {
+    if (&other == this) return;
+    for (const TraceEvent& ev : other.events_) emit(ev);
+    total_emitted_ += other.dropped();
+    dropped_ += other.dropped();
+  }
+
   /// 0 = unbounded (default). N > 0 = keep only the newest N events,
   /// evicting oldest-first; an over-full log is trimmed immediately.
   void set_capacity(std::size_t cap) {

@@ -122,3 +122,110 @@ TEST_P(AcmPropertyTest, DecisionsMatchConstructedPolicy) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AcmPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 17u, 42u, 99u, 1234u,
                                            5678u));
+
+// ---- Dense fast path + per-sender memo (the per-message hot path) ----
+
+TEST(AcmFastPath, DefaultDenseBoundCoversMinixScale) {
+  minix::AcmPolicy acm;
+  EXPECT_EQ(acm.dense_bound(), minix::AcmPolicy::kDefaultDenseBound);
+}
+
+TEST(AcmFastPath, DisabledBoundFallsBackToPureSparse) {
+  minix::AcmPolicy acm;
+  acm.set_dense_bound(-1);
+  acm.allow(1, 2, {3});
+  EXPECT_TRUE(acm.allowed(1, 2, 3));
+  EXPECT_FALSE(acm.allowed(1, 2, 4));
+  EXPECT_FALSE(acm.allowed(2, 1, 3));
+}
+
+TEST(AcmFastPath, ReprojectsExistingCellsWhenBoundChanges) {
+  minix::AcmPolicy acm;
+  acm.set_dense_bound(-1);
+  acm.allow(5, 6, {1});     // lands in the sparse map only
+  acm.set_dense_bound(31);  // must re-project into the dense table
+  EXPECT_TRUE(acm.allowed(5, 6, 1));
+  acm.set_dense_bound(3);   // 5/6 now out of dense range: sparse again
+  EXPECT_TRUE(acm.allowed(5, 6, 1));
+}
+
+TEST(AcmFastPath, MemoInvalidatedByPolicyMutation) {
+  minix::AcmPolicy acm;  // ids above the bound use the memoized map path
+  const int src = 100, dst = 101;
+  acm.allow(src, dst, {1});
+  EXPECT_TRUE(acm.allowed(src, dst, 1));
+  EXPECT_TRUE(acm.memo_valid(src, dst));
+  // Runtime grant (what enable_reincarnation does): the memoized mask is
+  // stale the instant the policy changes.
+  acm.allow(src, dst, {2});
+  EXPECT_FALSE(acm.memo_valid(src, dst));
+  EXPECT_TRUE(acm.allowed(src, dst, 2));
+}
+
+TEST(AcmFastPath, MemoInvalidatedForDyingProcess) {
+  minix::AcmPolicy acm;
+  acm.allow(100, 101, {1});
+  acm.allow(200, 201, {1});
+  EXPECT_TRUE(acm.allowed(100, 101, 1));
+  EXPECT_TRUE(acm.allowed(200, 201, 1));
+  acm.invalidate_ac(101);  // 101 died (as receiver of the first memo)
+  EXPECT_FALSE(acm.memo_valid(100, 101));
+  EXPECT_TRUE(acm.memo_valid(200, 201));  // unrelated memo survives
+}
+
+TEST(AcmFastPath, MissesAreMemoizedButStayCorrect) {
+  minix::AcmPolicy acm;
+  const int src = 100, dst = 101;
+  EXPECT_FALSE(acm.allowed(src, dst, 1));  // miss memoized as mask 0
+  EXPECT_TRUE(acm.memo_valid(src, dst));
+  acm.allow(src, dst, {1});  // grant must invalidate the memoized miss
+  EXPECT_TRUE(acm.allowed(src, dst, 1));
+}
+
+TEST(AcmFastPath, FootprintAccountsForDenseStorage) {
+  minix::AcmPolicy with_dense;
+  minix::AcmPolicy no_dense;
+  no_dense.set_dense_bound(-1);
+  with_dense.allow(1, 2, {0});
+  no_dense.allow(1, 2, {0});
+  const std::size_t n =
+      static_cast<std::size_t>(minix::AcmPolicy::kDefaultDenseBound) + 1;
+  EXPECT_GE(with_dense.memory_footprint_bytes(),
+            no_dense.memory_footprint_bytes() + n * n * sizeof(std::uint64_t));
+}
+
+// Property sweep across the dense/sparse boundary: the fast-path policy
+// must agree with a pure-sparse twin everywhere — ids below the bound
+// (dense array), above it (memoized map), negative, and out-of-range
+// message types.
+class AcmFastPathPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AcmFastPathPropertyTest, FastAndSparseAgreeAcrossTheBound) {
+  mkbas::sim::Rng rng(GetParam());
+  minix::AcmPolicy fast;
+  fast.set_dense_bound(15);  // ids 0..15 dense, 16..23 memoized sparse
+  minix::AcmPolicy sparse;
+  sparse.set_dense_bound(-1);
+  for (int edge = 0; edge < 80; ++edge) {
+    const int src = static_cast<int>(rng.next_below(24));
+    const int dst = static_cast<int>(rng.next_below(24));
+    const std::uint64_t mask = rng.next_u64() & 0xFFFF;
+    fast.allow_mask(src, dst, mask);
+    sparse.allow_mask(src, dst, mask);
+  }
+  for (int src = -1; src < 24; ++src) {
+    for (int dst = -1; dst < 24; ++dst) {
+      for (int type : {-1, 0, 3, 15, 63, 64}) {
+        ASSERT_EQ(fast.allowed(src, dst, type),
+                  sparse.allowed(src, dst, type))
+            << "src=" << src << " dst=" << dst << " type=" << type;
+      }
+      ASSERT_EQ(fast.mask(src, dst), sparse.mask(src, dst))
+          << "src=" << src << " dst=" << dst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcmFastPathPropertyTest,
+                         ::testing::Values(7u, 21u, 63u, 404u, 9001u));

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "json_lite.hpp"
 
 namespace obs = mkbas::obs;
@@ -117,4 +120,71 @@ TEST(Metrics, ToJsonElidesEmptyHistogramBuckets) {
 TEST(Metrics, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
   EXPECT_EQ(obs::json_escape("x\ny"), "x\\ny");
+}
+
+// ---- merge_from (the campaign engine's cell-order reduction) ----
+
+TEST(MetricsMerge, CountersAdd) {
+  obs::MetricsRegistry a, b;
+  a.counter("x").inc(3);
+  b.counter("x").inc(4);
+  b.counter("only_b").inc(1);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("x").value(), 7u);
+  EXPECT_EQ(a.counter("only_b").value(), 1u);
+  EXPECT_EQ(b.counter("x").value(), 4u);  // source untouched
+}
+
+TEST(MetricsMerge, GaugesLastMergedWins) {
+  obs::MetricsRegistry a, b;
+  a.gauge("temp").set(20.0);
+  b.gauge("temp").set(21.5);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.gauge("temp").value(), 21.5);
+}
+
+TEST(MetricsMerge, HistogramsAddAndWiden) {
+  obs::MetricsRegistry a, b;
+  auto ha = a.histogram("lat", {1.0, 10.0});
+  auto hb = b.histogram("lat", {1.0, 10.0});
+  ha.record(0.5);
+  ha.record(5.0);
+  hb.record(0.25);
+  hb.record(100.0);  // overflow
+  a.merge_from(b);
+  EXPECT_EQ(ha.count(), 4u);
+  EXPECT_EQ(ha.bucket_count(0), 2u);
+  EXPECT_EQ(ha.bucket_count(1), 1u);
+  EXPECT_EQ(ha.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(ha.sum(), 105.75);
+}
+
+TEST(MetricsMerge, HistogramBoundsMismatchThrows) {
+  obs::MetricsRegistry a, b;
+  a.histogram("lat", {1.0, 10.0});
+  b.histogram("lat", {1.0, 20.0});
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+TEST(MetricsMerge, OrderedMergesProduceIdenticalJson) {
+  // Two registries built by different "cells", merged in the same order
+  // into two fresh targets: the exports must be byte-identical. This is
+  // the property the parallel campaign's determinism rests on.
+  auto build = [](obs::MetricsRegistry& r, int salt) {
+    r.counter("ipc.delivered").inc(static_cast<std::uint64_t>(10 + salt));
+    r.gauge("room.temp").set(20.0 + salt);
+    auto h = r.histogram("lat", {1.0, 10.0});
+    h.record(0.5 * salt);
+    h.record(2.0 * salt);
+  };
+  obs::MetricsRegistry cell1, cell2;
+  build(cell1, 1);
+  build(cell2, 2);
+  obs::MetricsRegistry m1, m2;
+  m1.merge_from(cell1);
+  m1.merge_from(cell2);
+  m2.merge_from(cell1);
+  m2.merge_from(cell2);
+  EXPECT_EQ(m1.to_json(), m2.to_json());
+  EXPECT_NE(m1.to_json().find("\"ipc.delivered\""), std::string::npos);
 }

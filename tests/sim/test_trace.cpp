@@ -185,3 +185,37 @@ TEST(Trace, AccountingInvariantSurvivesClearAndEviction) {
 TEST(Trace, FaultKindHasAStableName) {
   EXPECT_STREQ(sim::to_string(sim::TraceKind::kFault), "fault");
 }
+
+TEST(Trace, MergeFromPreservesEventsAndAccounting) {
+  sim::TraceLog a, b;
+  a.emit(10, 1, sim::TraceKind::kIpc, "send", "a->b");
+  b.emit(20, 2, sim::TraceKind::kIpc, "recv", "b<-a");
+  b.emit(30, 2, sim::TraceKind::kIpc, "send", "b->c");
+  a.merge_from(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.count_tag("send"), 2u);
+  EXPECT_EQ(a.total_emitted(), 3u);
+  EXPECT_EQ(a.dropped(), 0u);
+  EXPECT_EQ(b.size(), 2u);  // source untouched
+}
+
+TEST(Trace, MergeFromCarriesDroppedCountsThroughTheRing) {
+  sim::TraceLog src;
+  src.set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    src.emit(i, 1, sim::TraceKind::kIpc, "e", "");
+  }
+  ASSERT_EQ(src.size(), 2u);
+  ASSERT_EQ(src.dropped(), 3u);
+
+  sim::TraceLog dst;
+  dst.set_capacity(3);
+  dst.emit(100, 1, sim::TraceKind::kIpc, "old", "");
+  dst.emit(101, 1, sim::TraceKind::kIpc, "old", "");
+  dst.merge_from(src);
+  // dst kept 3 of the 4 events it saw (ring evicted one) and inherits
+  // src's 3 pre-merge drops; the invariant total = size + dropped holds.
+  EXPECT_EQ(dst.size(), 3u);
+  EXPECT_EQ(dst.dropped(), 1u + 3u);
+  EXPECT_EQ(dst.total_emitted(), dst.size() + dst.dropped());
+}
