@@ -1,0 +1,106 @@
+// N — the network fabric. One JSON artifact (BENCH_net.json):
+//
+//  1. Fabric throughput: an 8-zone benign building run for 20 virtual
+//     minutes; datagrams delivered per wall-second is the host-dependent
+//     signal (gated relatively, like the campaign bench).
+//  2. End-to-end COV latency p99 at the head-end, in *virtual* time —
+//     a pure function of (topology, seed), so the gate compares it
+//     byte-for-byte on any host.
+//  3. Determinism: the same building twice, and the four-cell fabric
+//     campaign at --jobs 1 vs --jobs N; every divergence is a failure
+//     here, before the regression checker ever sees the file.
+//
+// The last stdout line is the JSON summary.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "campaign/campaign.hpp"
+#include "core/fabric_run.hpp"
+#include "core/hash.hpp"
+
+namespace core = mkbas::core;
+namespace sim = mkbas::sim;
+
+using Clock = std::chrono::steady_clock;
+
+int main(int argc, char** argv) {
+  int zones = 8;
+  int jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) jobs = 1;
+  std::string out = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--zones") == 0 && i + 1 < argc) {
+      zones = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    }
+  }
+
+  std::printf("N: BACnet/IP fabric\n");
+
+  core::FabricOptions opts;
+  opts.zones = zones;
+  opts.seed = 5;
+  opts.duration = sim::minutes(20);
+  opts.link.loss = 0.01;  // exercise the loss path in the hot loop too
+
+  const auto t0 = Clock::now();
+  const auto r1 = core::run_fabric(opts);
+  const auto t1 = Clock::now();
+  const double wall_s =
+      std::chrono::duration<double>(t1 - t0).count();
+  const auto r2 = core::run_fabric(opts);
+
+  const bool replays = r1.trace_hash == r2.trace_hash &&
+                       r1.metrics_json == r2.metrics_json;
+  std::printf("building       : %d zones, %.1f virtual min, %.2f s wall\n",
+              zones, sim::to_seconds(opts.duration) / 60.0, wall_s);
+  const double rate =
+      wall_s > 0 ? static_cast<double>(r1.delivered) / wall_s : 0;
+  std::printf("throughput     : %llu datagrams delivered, %.0f msg/s\n",
+              static_cast<unsigned long long>(r1.delivered), rate);
+  std::printf("cov            : %llu notifications, p99 %.3f ms "
+              "(virtual)\n",
+              static_cast<unsigned long long>(r1.cov_count),
+              r1.cov_p99_us / 1000.0);
+  std::printf("replay         : %s\n",
+              replays ? "byte-identical" : "DIVERGED");
+
+  // The campaign path: four attack cells over a smaller building, fanned
+  // across the worker pool, must merge to the sequential bytes.
+  core::FabricOptions camp = opts;
+  camp.zones = 4;
+  camp.duration = sim::minutes(12);
+  const auto cells = core::fabric_matrix_cells(camp.zones, camp);
+  const auto seq = core::run_campaign(cells, 1);
+  const auto par = core::run_campaign(cells, jobs);
+  const bool campaign_det = seq.summary_json() == par.summary_json();
+  std::printf("campaign       : %zu cells, --jobs %d, %s\n", cells.size(),
+              jobs, campaign_det ? "deterministic" : "DIVERGED");
+
+  const bool deterministic = replays && campaign_det;
+  char json[512];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"bench_net\",\"zones\":%d,\"jobs\":%d,\"cores\":%u,"
+      "\"delivered\":%llu,\"wall_s\":%.3f,\"msgs_per_sec\":%.1f,"
+      "\"cov_count\":%llu,\"cov_p99_ms\":%.3f,"
+      "\"deterministic\":%s,\"trace_hash\":\"%s\"}",
+      zones, jobs, std::thread::hardware_concurrency(),
+      static_cast<unsigned long long>(r1.delivered), wall_s, rate,
+      static_cast<unsigned long long>(r1.cov_count), r1.cov_p99_us / 1000.0,
+      deterministic ? "true" : "false", core::hex64(r1.trace_hash).c_str());
+  if (!out.empty()) {
+    std::ofstream f(out);
+    f << json << "\n";
+  }
+  std::printf("%s\n", json);
+  return deterministic ? 0 : 1;
+}

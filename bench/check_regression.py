@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the campaign engine (BENCH_campaign.json).
+"""Perf-regression gate for the bench JSON artifacts.
 
-Compares a freshly produced bench_campaign summary against the committed
-baseline and fails when a machine-independent signal regresses:
+Compares a freshly produced summary against the committed baseline of
+the same kind and fails when a machine-independent signal regresses.
+
+bench_campaign (BENCH_campaign.json):
 
   * msgs_per_sec_seq      -- single-thread campaign throughput. This is
                              the primary gate: a >20% drop fails.
@@ -14,6 +16,15 @@ baseline and fails when a machine-independent signal regresses:
   * deterministic         -- the parallel run must have merged to the
                              same bytes as the sequential one.
 
+bench_net (BENCH_net.json):
+
+  * msgs_per_sec          -- fabric delivery throughput, same >20% gate.
+  * cov_p99_ms            -- end-to-end COV latency p99 in *virtual*
+                             time: a pure function of topology and seed,
+                             compared exactly on any host.
+  * trace_hash            -- the whole building's trace, likewise exact.
+  * deterministic         -- rerun + campaign --jobs divergences.
+
 Absolute wall-clock and the parallel speedup depend on the host: speedup
 is only checked when the "cores" field matches the baseline's (a 1-core
 CI runner cannot reproduce a 4-core speedup, and silently comparing the
@@ -22,6 +33,8 @@ two would make the gate flap).
 Usage:
   python3 bench/check_regression.py \
       --baseline BENCH_campaign.json --current /tmp/BENCH_campaign.json
+  python3 bench/check_regression.py \
+      --baseline BENCH_net.json --current /tmp/BENCH_net.json
   python3 bench/check_regression.py ... --max-drop 0.2
 """
 from __future__ import annotations
@@ -30,13 +43,48 @@ import argparse
 import json
 import sys
 
+KNOWN = ("bench_campaign", "bench_net")
+
 
 def load(path: str) -> dict:
     with open(path) as f:
         data = json.load(f)
-    if data.get("bench") != "bench_campaign":
-        raise SystemExit(f"{path}: not a bench_campaign summary")
+    if data.get("bench") not in KNOWN:
+        raise SystemExit(f"{path}: not a known bench summary "
+                         f"(bench={data.get('bench')!r})")
     return data
+
+
+def check_rate(base: dict, cur: dict, key: str, max_drop: float,
+               failures: list) -> None:
+    base_rate = float(base[key])
+    cur_rate = float(cur[key])
+    if base_rate <= 0:
+        return
+    drop = 1.0 - cur_rate / base_rate
+    verdict = "FAIL" if drop > max_drop else "ok"
+    print(f"{key}: baseline {base_rate:.0f}, "
+          f"current {cur_rate:.0f} ({-drop:+.1%}) [{verdict}]")
+    if drop > max_drop:
+        failures.append(
+            f"{key} dropped {drop:.1%} (limit {max_drop:.0%})")
+
+
+def check_net(base: dict, cur: dict, max_drop: float) -> list:
+    failures = []
+    if not cur.get("deterministic", False):
+        failures.append("fabric rerun or --jobs campaign diverged "
+                        "(deterministic=false)")
+    check_rate(base, cur, "msgs_per_sec", max_drop, failures)
+    # Virtual-time signals: exact on any host.
+    for key in ("cov_p99_ms", "trace_hash", "delivered", "cov_count"):
+        print(f"{key}: baseline {base.get(key)}, current {cur.get(key)}")
+        if cur.get(key) != base.get(key):
+            failures.append(
+                f"{key} changed: baseline {base.get(key)} vs "
+                f"current {cur.get(key)} (virtual-time signal; "
+                "regenerate BENCH_net.json if intentional)")
+    return failures
 
 
 def main() -> int:
@@ -47,30 +95,32 @@ def main() -> int:
         "--max-drop",
         type=float,
         default=0.20,
-        help="maximum allowed fractional drop in msgs_per_sec_seq "
+        help="maximum allowed fractional drop in throughput "
         "(default 0.20)",
     )
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
+    if base["bench"] != cur["bench"]:
+        raise SystemExit(f"baseline is {base['bench']} but current is "
+                         f"{cur['bench']}")
     failures = []
+
+    if base["bench"] == "bench_net":
+        failures = check_net(base, cur, args.max_drop)
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print("perf gate ok")
+        return 0
 
     if not cur.get("deterministic", False):
         failures.append("parallel campaign diverged from sequential "
                         "(deterministic=false)")
 
-    base_rate = float(base["msgs_per_sec_seq"])
-    cur_rate = float(cur["msgs_per_sec_seq"])
-    if base_rate > 0:
-        drop = 1.0 - cur_rate / base_rate
-        verdict = "FAIL" if drop > args.max_drop else "ok"
-        print(f"msgs_per_sec_seq: baseline {base_rate:.0f}, "
-              f"current {cur_rate:.0f} ({-drop:+.1%}) [{verdict}]")
-        if drop > args.max_drop:
-            failures.append(
-                f"single-thread throughput dropped {drop:.1%} "
-                f"(limit {args.max_drop:.0%})")
+    check_rate(base, cur, "msgs_per_sec_seq", args.max_drop, failures)
 
     fast = float(cur["acm_fast_ns"])
     sparse = float(cur["acm_sparse_ns"])

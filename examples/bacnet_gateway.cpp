@@ -36,6 +36,36 @@ double final_setpoint(const bas::MinixScenario& sc) {
   return sp;
 }
 
+/// The gateway's property wiring: BACnet writes to "zone.setpoint" become
+/// HTTP POSTs against the controller's web interface; reads of
+/// "zone.temp" serve the live room temperature.
+class GatewayHandler : public net::PropertyHandler {
+ public:
+  GatewayHandler(sim::Machine& machine, bas::MinixScenario& scenario)
+      : machine_(machine), scenario_(scenario) {}
+
+  bool write(net::BacnetDevice&, const std::string& prop,
+             double v) override {
+    if (prop == "zone.setpoint") {
+      char body[48];
+      std::snprintf(body, sizeof body, "value=%.1f", v);
+      scenario_.http().submit(machine_.now(), {"POST", "/setpoint", body});
+    }
+    return true;  // plain gateway: never vetoes (BACnet's weakness)
+  }
+
+  bool read(net::BacnetDevice&, const std::string& prop,
+            double* value) override {
+    if (prop != "zone.temp") return false;
+    *value = scenario_.plant()->room.temperature_c();
+    return true;
+  }
+
+ private:
+  sim::Machine& machine_;
+  bas::MinixScenario& scenario_;
+};
+
 }  // namespace
 
 int main() {
@@ -46,16 +76,10 @@ int main() {
     bas::MinixScenario scenario(machine);
     net::BacnetNetwork segment(machine);
 
-    // The gateway device: BACnet writes to "zone.setpoint" become HTTP
-    // POSTs against the controller's web interface.
     net::BacnetDevice gateway(77, "bas-gateway");
     gateway.set_property("zone.setpoint", 22.0);
-    gateway.on_write([&](const std::string& prop, double v) {
-      if (prop != "zone.setpoint") return;
-      char body[48];
-      std::snprintf(body, sizeof body, "value=%.1f", v);
-      scenario.http().submit(machine.now(), {"POST", "/setpoint", body});
-    });
+    GatewayHandler handler(machine, scenario);
+    gateway.set_handler(&handler);
     net::SecureProxy proxy(gateway, kOperatorKey);
     if (use_proxy) {
       segment.attach(proxy);
@@ -88,7 +112,7 @@ int main() {
                   proxy.rejected_bad_tag(), proxy.rejected_replay());
     }
     std::printf("  room temperature at end           : %.2f C\n\n",
-                scenario.plant().room.temperature_c());
+                scenario.plant()->room.temperature_c());
   }
   std::printf(
       "The kernel-level protections (ACM / capabilities) guard the\n"

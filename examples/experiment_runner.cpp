@@ -1,32 +1,32 @@
 // experiment_runner — run any single experiment from the command line.
 //
-//   $ ./experiment_runner benign <minix|sel4|linux>
-//   $ ./experiment_runner attack <minix|sel4|linux>
-//         <spoof-sensor|spoof-actuator|kill|fork-bomb|brute-force|flood>
-//         [root] [quota] [acl]
-//   $ ./experiment_runner matrix
-//   $ ./experiment_runner fault <minix|sel4|linux> [seed N] [no-probe]
-//   $ ./experiment_runner campaign <matrix|sweep|fault>
-//         [--jobs N] [--out file.json]
-//         (sweep also takes: <minix|sel4|linux> [seeds N])
+// Every subcommand shares one flag grammar (core/cli.hpp):
+//   --platform <minix|sel4|linux>  --scenario <temp|uds|bsl3>
+//   --seed N  --zones N  --jobs N  --out FILE
+//   --metrics-out FILE  --trace-out FILE
+//
+//   $ ./experiment_runner benign --platform minix
+//   $ ./experiment_runner attack --platform linux --attack kill --root
+//   $ ./experiment_runner matrix [--csv|--md]
+//   $ ./experiment_runner fault --platform sel4 --seed 7 [--no-probe]
+//   $ ./experiment_runner fabric --zones 16 --attack spoof-write
+//   $ ./experiment_runner campaign <matrix|sweep|fault|fabric>
+//         [--jobs N] [--out file.json] [--zones N]
+//
+// Legacy positional spellings ("benign minix", "attack linux kill root",
+// "fault minix seed 7 no-probe") keep working.
 //
 // campaign fans the cells across N worker threads and prints the same
 // tables as the sequential modes; the aggregate summary JSON (per-cell
 // verdicts, trace hashes, merged metrics — byte-identical for every
 // --jobs value) goes to --out, or to stdout as the last line.
-//
-// Any benign/attack/fault invocation also accepts:
-//   --metrics-out <file>   write the metrics registry snapshot as JSON
-//   --trace-out <file>     write the trace as Chrome trace-event JSON
-//                          (load in Perfetto / chrome://tracing)
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "core/cli.hpp"
 #include "core/report.hpp"
 #include "obs/trace_export.hpp"
 
@@ -40,52 +40,21 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: experiment_runner benign <minix|sel4|linux>\n"
-      "       experiment_runner attack <minix|sel4|linux> <attack> "
-      "[root] [quota] [acl]\n"
+      "usage: experiment_runner benign --platform <minix|sel4|linux>\n"
+      "       experiment_runner attack --platform P --attack <kind> "
+      "[--root] [--quota] [--acl]\n"
       "       experiment_runner matrix [--csv|--md]\n"
-      "       experiment_runner fault <minix|sel4|linux> [seed N] "
-      "[no-probe]\n"
-      "       experiment_runner campaign <matrix|sweep|fault> [--jobs N] "
-      "[--out file.json]\n"
-      "       experiment_runner campaign sweep <minix|sel4|linux> "
-      "[seeds N] [--jobs N]\n"
-      "options: --metrics-out <file> --trace-out <file>\n"
+      "       experiment_runner fault --platform P [--seed N] [--no-probe]\n"
+      "       experiment_runner fabric [--zones N] [--seed N] "
+      "[--attack <none|spoof-write|replay|flood>]\n"
+      "       experiment_runner campaign <matrix|sweep|fault|fabric> "
+      "[--jobs N] [--out file.json]\n"
+      "       experiment_runner campaign sweep --platform P [--seeds N]\n"
+      "shared: --scenario <temp|uds|bsl3> --seed N --zones N --jobs N "
+      "--out F --metrics-out F --trace-out F\n"
       "attacks: spoof-sensor spoof-actuator kill fork-bomb brute-force "
       "flood\n");
   return 2;
-}
-
-bool parse_platform(const std::string& s, core::Platform* out) {
-  if (s == "minix") {
-    *out = core::Platform::kMinix;
-  } else if (s == "sel4") {
-    *out = core::Platform::kSel4;
-  } else if (s == "linux") {
-    *out = core::Platform::kLinux;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-bool parse_attack(const std::string& s, AttackKind* out) {
-  if (s == "spoof-sensor") {
-    *out = AttackKind::kSpoofSensor;
-  } else if (s == "spoof-actuator") {
-    *out = AttackKind::kSpoofActuator;
-  } else if (s == "kill") {
-    *out = AttackKind::kKillControl;
-  } else if (s == "fork-bomb") {
-    *out = AttackKind::kForkBomb;
-  } else if (s == "brute-force") {
-    *out = AttackKind::kCapBruteForce;
-  } else if (s == "flood") {
-    *out = AttackKind::kIpcFlood;
-  } else {
-    return false;
-  }
-  return true;
 }
 
 /// Build the RunOptions::observe hook that writes --metrics-out and
@@ -113,45 +82,64 @@ std::function<void(mkbas::sim::Machine&)> make_observer(
   };
 }
 
+bool write_or_print(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::printf("%s\n", text.c_str());
+    return true;
+  }
+  std::ofstream f(path);
+  f << text << "\n";
+  if (!f) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Deterministic one-line JSON for a fabric run (what the CI determinism
+/// gate diffs across --jobs / reruns).
+std::string fabric_summary_json(const core::FabricRunResult& r) {
+  std::string s = "{\"zones\":" + std::to_string(r.zones) + ",\"attack\":\"" +
+                  core::to_string(r.attack) + "\",\"delivered\":" +
+                  std::to_string(r.delivered) + ",\"drop_loss\":" +
+                  std::to_string(r.drop_loss) + ",\"drop_partition\":" +
+                  std::to_string(r.drop_partition) + ",\"drop_overflow\":" +
+                  std::to_string(r.drop_overflow) + ",\"cov\":" +
+                  std::to_string(r.cov_count) + ",\"trace_hash\":\"" +
+                  core::hex64(r.trace_hash) + "\",\"metrics_hash\":\"" +
+                  core::hex64(core::fnv1a(r.metrics_json)) + "\"}";
+  return s;
+}
+
+core::RunOptions run_options_from(const core::CliArgs& a) {
+  core::RunOptions opts;
+  opts.scenario_variant = a.scenario;
+  if (a.has_seed) opts.seed = a.seed;
+  opts.minix_quotas = a.quota;
+  opts.linux_separate_accounts = a.acl;
+  opts.observe = make_observer(a.metrics_out, a.trace_out);
+  return opts;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the output-file and jobs options first; the rest is positional.
-  std::string metrics_out, trace_out, campaign_out;
-  int jobs = 1;
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if ((a == "--metrics-out" || a == "--trace-out") && i + 1 < argc) {
-      (a == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
-    } else if (a == "--out" && i + 1 < argc) {
-      campaign_out = argv[++i];
-    } else if (a == "--jobs" && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else {
-      args.push_back(a);
-    }
+  core::CliArgs args = core::parse_cli(argc, argv);
+  if (!args.error.empty()) {
+    std::fprintf(stderr, "error: %s\n", args.error.c_str());
+    return usage();
   }
-  if (args.empty()) return usage();
-  const std::string mode = args[0];
+  if (args.mode.empty()) return usage();
 
-  if (mode == "campaign") {
-    if (args.size() < 2) return usage();
-    const std::string what = args[1];
+  if (args.mode == "campaign") {
+    if (args.pos.empty()) return usage();
+    const std::string what = args.pos[0];
     std::vector<core::CampaignCell> cells;
     if (what == "matrix") {
       cells = core::attack_matrix_cells({});
     } else if (what == "sweep") {
-      if (args.size() < 3) return usage();
-      core::Platform platform;
-      if (!parse_platform(args[2], &platform)) return usage();
-      int seeds = 8;
-      for (std::size_t i = 3; i < args.size(); ++i) {
-        if (args[i] == "seeds" && i + 1 < args.size()) {
-          seeds = std::atoi(args[++i].c_str());
-        }
-      }
-      cells = core::seed_sweep_cells(platform, {}, 1, seeds);
+      if (!args.has_platform) return usage();
+      cells = core::seed_sweep_cells(args.platform, {}, 1, args.seeds);
     } else if (what == "fault") {
       core::RunOptions opts;
       opts.settle = mkbas::sim::minutes(1);
@@ -162,11 +150,15 @@ int main(int argc, char** argv) {
       cells = core::fault_campaign_cells(
           mkbas::fault::reference_sensor_crash_plan(), opts,
           mkbas::sim::sec(70));
+    } else if (what == "fabric") {
+      core::FabricOptions base;
+      if (args.has_seed) base.seed = args.seed;
+      cells = core::fabric_matrix_cells(args.zones, base);
     } else {
       return usage();
     }
 
-    const auto result = core::run_campaign(cells, jobs);
+    const auto result = core::run_campaign(cells, args.jobs);
     std::printf("campaign: %zu cells, --jobs %d, %.2f s wall, %llu steals\n",
                 result.cells.size(), result.jobs, result.wall_seconds,
                 static_cast<unsigned long long>(result.steals));
@@ -176,6 +168,10 @@ int main(int argc, char** argv) {
     } else if (what == "fault") {
       std::fputs(core::format_fault_table(core::fault_rows(result)).c_str(),
                  stdout);
+    } else if (what == "fabric") {
+      for (const auto& run : core::fabric_rows(result)) {
+        std::fputs(core::format_fabric_table(run).c_str(), stdout);
+      }
     } else {
       for (const auto& c : result.cells) {
         std::printf("%-28s %zu samples, alarm %s\n", c.name.c_str(),
@@ -183,27 +179,33 @@ int main(int argc, char** argv) {
                     c.benign.safety.alarm_violation ? "VIOLATED" : "held");
       }
     }
-    const std::string summary = result.summary_json();
-    if (!campaign_out.empty()) {
-      std::ofstream f(campaign_out);
-      f << summary << "\n";
-      if (!f) {
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     campaign_out.c_str());
-        return 1;
-      }
-    } else {
-      std::printf("%s\n", summary.c_str());
-    }
-    return 0;
+    return write_or_print(args.out, result.summary_json()) ? 0 : 1;
   }
 
-  if (mode == "matrix") {
+  if (args.mode == "fabric") {
+    core::FabricOptions opts;
+    opts.zones = args.zones;
+    if (args.has_seed) opts.seed = args.seed;
+    if (args.has_attack &&
+        !core::parse_fabric_attack(args.attack, &opts.attack)) {
+      std::fprintf(stderr, "error: unknown fabric attack: %s\n",
+                   args.attack.c_str());
+      return usage();
+    }
+    const auto res = core::run_fabric(opts);
+    std::fputs(core::format_fabric_table(res).c_str(), stdout);
+    if (!args.metrics_out.empty()) {
+      std::ofstream f(args.metrics_out);
+      f << res.metrics_json << "\n";
+    }
+    return write_or_print(args.out, fabric_summary_json(res)) ? 0 : 1;
+  }
+
+  if (args.mode == "matrix") {
     const auto rows = core::run_attack_matrix();
-    const std::string fmt = args.size() > 1 ? args[1] : "";
-    if (fmt == "--csv") {
+    if (args.format == "csv") {
       std::fputs(core::attack_rows_to_csv(rows).c_str(), stdout);
-    } else if (fmt == "--md") {
+    } else if (args.format == "md") {
       std::fputs(core::attack_rows_to_markdown(rows).c_str(), stdout);
     } else {
       std::fputs(core::format_attack_table(rows).c_str(), stdout);
@@ -211,14 +213,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (mode == "benign") {
-    if (args.size() < 2) return usage();
-    core::Platform platform;
-    if (!parse_platform(args[1], &platform)) return usage();
-    core::RunOptions opts;
-    opts.observe = make_observer(metrics_out, trace_out);
-    const auto run = core::run_benign(platform, opts);
-    std::printf("platform            : %s\n", core::to_string(platform));
+  if (args.mode == "benign") {
+    if (!args.has_platform) return usage();
+    const auto run = core::run_benign(args.platform, run_options_from(args));
+    std::printf("platform            : %s\n", core::to_string(args.platform));
     std::printf("plant samples       : %zu\n", run.history.size());
     std::printf("final temperature   : %.2f C\n",
                 run.history.back().true_temp_c);
@@ -233,30 +231,21 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (mode == "fault") {
+  if (args.mode == "fault") {
     // The reference fault campaign (crash the sensor driver at t=30s,
     // the web interface at t=40s) against one platform, with a
     // post-restart sensor-spoof probe of the reincarnated web process.
-    if (args.size() < 2) return usage();
-    core::Platform platform;
-    if (!parse_platform(args[1], &platform)) return usage();
-    core::RunOptions opts;
+    if (!args.has_platform) return usage();
+    core::RunOptions opts = run_options_from(args);
     opts.settle = mkbas::sim::minutes(1);
     opts.post = mkbas::sim::minutes(6);
     opts.scenario.room.initial_temp_c =
         opts.scenario.control.initial_setpoint_c;
-    opts.observe = make_observer(metrics_out, trace_out);
-    mkbas::sim::Time probe_at = mkbas::sim::sec(70);
-    for (std::size_t i = 2; i < args.size(); ++i) {
-      if (args[i] == "seed" && i + 1 < args.size()) {
-        opts.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
-      } else if (args[i] == "no-probe") {
-        probe_at = -1;
-      }
-    }
+    const mkbas::sim::Time probe_at =
+        args.no_probe ? -1 : mkbas::sim::sec(70);
     const auto plan = mkbas::fault::reference_sensor_crash_plan();
     std::printf("plan:\n%s", plan.describe().c_str());
-    const auto res = core::run_fault(platform, plan, opts, probe_at);
+    const auto res = core::run_fault(args.platform, plan, opts, probe_at);
     std::printf("platform       : %s\n", res.platform_label.c_str());
     std::printf("faults injected: %llu\n",
                 static_cast<unsigned long long>(res.faults_injected));
@@ -281,23 +270,26 @@ int main(int argc, char** argv) {
     return res.loop_recovered ? 0 : 1;
   }
 
-  if (mode == "attack") {
-    if (args.size() < 3) return usage();
-    core::Platform platform;
+  if (args.mode == "attack") {
     AttackKind kind;
-    if (!parse_platform(args[1], &platform) ||
-        !parse_attack(args[2], &kind)) {
-      return usage();
+    bool have_kind = false;
+    if (args.has_attack) {
+      have_kind = core::parse_attack_kind(args.attack, &kind);
+    } else {
+      // Legacy: "attack <platform> <kind> [root] ..." — find the kind
+      // among the positionals (the platform name was consumed above).
+      for (const std::string& p : args.pos) {
+        if (core::parse_attack_kind(p, &kind)) {
+          have_kind = true;
+          break;
+        }
+      }
     }
-    Privilege priv = Privilege::kCodeExec;
-    core::RunOptions opts;
-    opts.observe = make_observer(metrics_out, trace_out);
-    for (std::size_t i = 3; i < args.size(); ++i) {
-      if (args[i] == "root") priv = Privilege::kRoot;
-      if (args[i] == "quota") opts.minix_quotas = true;
-      if (args[i] == "acl") opts.linux_separate_accounts = true;
-    }
-    const auto row = core::run_attack(platform, kind, priv, opts);
+    if (!args.has_platform || !have_kind) return usage();
+    const Privilege priv =
+        args.root ? Privilege::kRoot : Privilege::kCodeExec;
+    const auto row =
+        core::run_attack(args.platform, kind, priv, run_options_from(args));
     std::printf("platform   : %s\n", row.platform_label.c_str());
     std::printf("attack     : %s (%s)\n", to_string(row.kind),
                 to_string(row.privilege));

@@ -8,7 +8,7 @@
 // scenario, a couple of driver-scheduled HTTP requests, and the trace.
 #include <cstdio>
 
-#include "bas/minix_scenario.hpp"
+#include "bas/scenario.hpp"
 
 namespace bas = mkbas::bas;
 namespace sim = mkbas::sim;
@@ -18,8 +18,11 @@ int main() {
   sim::Machine machine(/*seed=*/42);
 
   // The whole scenario: AADL model -> ACM -> kernel -> five processes,
-  // plus the simulated room, sensor, heater and alarm LED.
-  bas::MinixScenario scenario(machine);
+  // plus the simulated room, sensor, heater and alarm LED. The registry
+  // builds any (platform, variant) pair behind the same interface —
+  // swap kMinix for kSel4 or kLinux and nothing below changes.
+  auto sc = bas::make_scenario(machine, bas::Platform::kMinix, "temp");
+  bas::Scenario& scenario = *sc;
 
   // Schedule some operator traffic against the web interface (port 8080
   // in spirit): a status poll every 5 minutes and a setpoint change.
@@ -44,7 +47,7 @@ int main() {
                 ex.response.status, ex.response.body.c_str());
   }
 
-  const auto& history = scenario.plant().coupler->history();
+  const auto& history = scenario.plant()->coupler->history();
   std::printf("\nPlant ground truth (every 5 min):\n");
   for (const auto& s : history) {
     if (s.time % sim::minutes(5) != 0) continue;

@@ -459,4 +459,36 @@ std::function<void(bas::LinuxScenario&)> linux_attack(AttackKind kind,
   };
 }
 
+bas::AttackHook make_attack(bas::Platform platform, AttackKind kind,
+                            Privilege priv, AttackOutcome* out) {
+  switch (platform) {
+    case bas::Platform::kMinix:
+      return [hook = minix_attack(kind, priv, out), out](bas::Scenario& sc) {
+        if (auto* minix = dynamic_cast<bas::MinixScenario*>(&sc)) {
+          hook(*minix);
+        } else if (out != nullptr) {
+          out->detail = "payload does not target scenario variant";
+        }
+      };
+    case bas::Platform::kSel4:
+      return [hook = sel4_attack(kind, priv, out), out](bas::Scenario& sc) {
+        auto* sel4 = dynamic_cast<bas::Sel4Scenario*>(&sc);
+        if (sel4 != nullptr && sel4->attack_runtime() != nullptr) {
+          hook(*sel4, *sel4->attack_runtime());
+        } else if (out != nullptr) {
+          out->detail = "payload does not target scenario variant";
+        }
+      };
+    case bas::Platform::kLinux:
+      return [hook = linux_attack(kind, priv, out), out](bas::Scenario& sc) {
+        if (auto* lnx = dynamic_cast<bas::LinuxScenario*>(&sc)) {
+          hook(*lnx);
+        } else if (out != nullptr) {
+          out->detail = "payload does not target scenario variant";
+        }
+      };
+  }
+  return [](bas::Scenario&) {};
+}
+
 }  // namespace mkbas::attack

@@ -63,4 +63,13 @@ std::function<void(bas::LinuxScenario&)> linux_attack(AttackKind kind,
                                                       Privilege priv,
                                                       AttackOutcome* out);
 
+/// Platform-generic builder: the same payloads, wrapped behind the
+/// bas::Scenario interface so experiment drivers, the campaign engine and
+/// the fabric never switch-case on platform. The downcast to the concrete
+/// scenario type lives here, once. Arming against a scenario variant the
+/// payload does not understand (e.g. "bsl3") records an unattempted
+/// outcome instead of crashing.
+bas::AttackHook make_attack(bas::Platform platform, AttackKind kind,
+                            Privilege priv, AttackOutcome* out);
+
 }  // namespace mkbas::attack

@@ -3,6 +3,7 @@
 #include <functional>
 #include <memory>
 
+#include "bas/scenario.hpp"
 #include "devices/containment.hpp"
 #include "minix/kernel.hpp"
 #include "net/http.hpp"
@@ -10,20 +11,8 @@
 
 namespace mkbas::bas {
 
-/// Tunables of the BSL-3 containment controller.
-struct Bsl3Config {
-  double target_lab_pa = -30.0;      // design negative pressure
-  double breach_threshold_pa = -5.0; // "loss of containment" line
-  sim::Duration alarm_delay = sim::sec(30);
-  sim::Duration sample_period = sim::sec(1);
-  sim::Duration door_open_time = sim::sec(10);
-  physics::ContainmentModel::Params model{};
-};
-
-/// Policy ablation: the ACM generated from the model, or a permissive
-/// matrix standing in for a legacy flat controller (everything may talk
-/// to everything) — the "before" picture of the paper's framework.
-enum class Bsl3Policy { kAcmEnforced, kPermissive };
+// Bsl3Config and Bsl3Policy live in bas/scenario.hpp (part of the shared
+// ScenarioConfig the registry builds every variant from).
 
 /// The suite's mini-AADL model (shared by the MINIX and seL4 builds).
 const char* bsl3_aadl();
@@ -62,7 +51,7 @@ struct Bsl3Safety {
 /// Safety obligations: the lab stays below the breach line (transient
 /// door openings aside), the two doors are never open together, and a
 /// sustained breach raises the critical alarm.
-class Bsl3Scenario {
+class Bsl3Scenario : public Scenario {
  public:
   struct AcIds {
     static constexpr int kSensor = 110;
@@ -82,7 +71,7 @@ class Bsl3Scenario {
 
   explicit Bsl3Scenario(sim::Machine& machine, Bsl3Config cfg = {},
                         Bsl3Policy policy = Bsl3Policy::kAcmEnforced);
-  ~Bsl3Scenario() { machine_.shutdown(); }
+  ~Bsl3Scenario() override { machine_.shutdown(); }
 
   Bsl3Scenario(const Bsl3Scenario&) = delete;
   Bsl3Scenario& operator=(const Bsl3Scenario&) = delete;
@@ -95,9 +84,18 @@ class Bsl3Scenario {
     attack_hook_ = std::move(hook);
   }
 
+  Platform platform() const override { return Platform::kMinix; }
+  const char* variant() const override { return "bsl3"; }
+  void arm_attack(sim::Time when, AttackHook hook) override {
+    arm_mgmt_attack(when, [hook = std::move(hook)](Bsl3Scenario& sc) {
+      hook(sc);
+    });
+  }
+  int restarts() const override { return kernel_->restarts(); }
+
   minix::MinixKernel& kernel() { return *kernel_; }
-  sim::Machine& machine() { return machine_; }
-  net::HttpConsole& http() { return http_; }
+  sim::Machine& machine() override { return machine_; }
+  net::HttpConsole& http() override { return http_; }
   physics::ContainmentModel& model() { return model_; }
   devices::ExhaustFan& fan() { return fan_; }
   devices::DoorLatch& inner_door() { return inner_; }

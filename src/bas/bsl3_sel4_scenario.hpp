@@ -14,10 +14,10 @@ namespace mkbas::bas {
 /// the MINIX build, translated by the AADL→CAmkES path, with the
 /// untrusted management component holding capabilities only to its two
 /// connections into the containment controller.
-class Bsl3Sel4Scenario {
+class Bsl3Sel4Scenario : public Scenario {
  public:
   explicit Bsl3Sel4Scenario(sim::Machine& machine, Bsl3Config cfg = {});
-  ~Bsl3Sel4Scenario() { machine_.shutdown(); }
+  ~Bsl3Sel4Scenario() override { machine_.shutdown(); }
 
   Bsl3Sel4Scenario(const Bsl3Sel4Scenario&) = delete;
   Bsl3Sel4Scenario& operator=(const Bsl3Sel4Scenario&) = delete;
@@ -31,10 +31,24 @@ class Bsl3Sel4Scenario {
     attack_hook_ = std::move(hook);
   }
 
+  Platform platform() const override { return Platform::kSel4; }
+  const char* variant() const override { return "bsl3"; }
+  void arm_attack(sim::Time when, AttackHook hook) override {
+    arm_mgmt_attack(when, [hook = std::move(hook)](Bsl3Sel4Scenario& sc,
+                                                   camkes::Runtime& rt) {
+      sc.attack_runtime_ = &rt;
+      hook(sc);
+      sc.attack_runtime_ = nullptr;
+    });
+  }
+  int restarts() const override { return camkes_->restarts(); }
+  /// Non-null only while a generic arm_attack hook is executing.
+  camkes::Runtime* attack_runtime() { return attack_runtime_; }
+
   camkes::CamkesSystem& camkes() { return *camkes_; }
   sel4::Sel4Kernel& kernel() { return camkes_->kernel(); }
-  sim::Machine& machine() { return machine_; }
-  net::HttpConsole& http() { return http_; }
+  sim::Machine& machine() override { return machine_; }
+  net::HttpConsole& http() override { return http_; }
   physics::ContainmentModel& model() { return model_; }
   devices::ExhaustFan& fan() { return fan_; }
   const std::vector<devices::ContainmentSample>& history() const {
@@ -62,6 +76,7 @@ class Bsl3Sel4Scenario {
   net::HttpConsole http_;
   sim::Time attack_time_ = -1;
   std::function<void(Bsl3Sel4Scenario&, camkes::Runtime&)> attack_hook_;
+  camkes::Runtime* attack_runtime_ = nullptr;
 };
 
 }  // namespace mkbas::bas

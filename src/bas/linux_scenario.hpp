@@ -22,7 +22,7 @@ namespace mkbas::bas {
 ///    message queues");
 ///  * kSeparateAccounts — one uid per process plus tight per-queue ACLs
 ///    (the "well-configured" baseline that only root can defeat).
-class LinuxScenario {
+class LinuxScenario : public Scenario {
  public:
   enum class Accounts { kShared, kSeparate };
 
@@ -45,7 +45,7 @@ class LinuxScenario {
 
   explicit LinuxScenario(sim::Machine& machine, ScenarioConfig cfg = {},
                          Accounts accounts = Accounts::kShared);
-  ~LinuxScenario() { machine_.shutdown(); }
+  ~LinuxScenario() override { machine_.shutdown(); }
 
   LinuxScenario(const LinuxScenario&) = delete;
   LinuxScenario& operator=(const LinuxScenario&) = delete;
@@ -59,10 +59,18 @@ class LinuxScenario {
     attack_hook_ = std::move(hook);
   }
 
+  Platform platform() const override { return Platform::kLinux; }
+  const char* variant() const override { return "temp"; }
+  void arm_attack(sim::Time when, AttackHook hook) override {
+    arm_web_attack(when, [hook = std::move(hook)](LinuxScenario& sc) {
+      hook(sc);
+    });
+  }
+
   linuxsim::LinuxKernel& kernel() { return *kernel_; }
-  sim::Machine& machine() { return machine_; }
-  net::HttpConsole& http() { return http_; }
-  Plant& plant() { return *plant_; }
+  sim::Machine& machine() override { return machine_; }
+  net::HttpConsole& http() override { return http_; }
+  Plant* plant() override { return plant_.get(); }
   Accounts accounts() const { return accounts_; }
   const ScenarioConfig& config() const { return cfg_; }
 

@@ -22,7 +22,7 @@ namespace mkbas::bas {
 ///  * kAbstract — sockets bound to abstract names with NO permission
 ///    model at all: whoever binds first owns the name, enabling the
 ///    squatting/hijack attacks of the Android CVEs.
-class LinuxUdsScenario {
+class LinuxUdsScenario : public Scenario {
  public:
   enum class Accounts { kShared, kSeparate };
   enum class Namespace { kFilesystem, kAbstract };
@@ -48,7 +48,7 @@ class LinuxUdsScenario {
   LinuxUdsScenario(sim::Machine& machine, ScenarioConfig cfg = {},
                    Accounts accounts = Accounts::kShared,
                    Namespace ns = Namespace::kFilesystem);
-  ~LinuxUdsScenario() { machine_.shutdown(); }
+  ~LinuxUdsScenario() override { machine_.shutdown(); }
 
   LinuxUdsScenario(const LinuxUdsScenario&) = delete;
   LinuxUdsScenario& operator=(const LinuxUdsScenario&) = delete;
@@ -59,10 +59,18 @@ class LinuxUdsScenario {
     attack_hook_ = std::move(hook);
   }
 
+  Platform platform() const override { return Platform::kLinux; }
+  const char* variant() const override { return "uds"; }
+  void arm_attack(sim::Time when, AttackHook hook) override {
+    arm_web_attack(when, [hook = std::move(hook)](LinuxUdsScenario& sc) {
+      hook(sc);
+    });
+  }
+
   linuxsim::LinuxKernel& kernel() { return *kernel_; }
-  sim::Machine& machine() { return machine_; }
-  net::HttpConsole& http() { return http_; }
-  Plant& plant() { return *plant_; }
+  sim::Machine& machine() override { return machine_; }
+  net::HttpConsole& http() override { return http_; }
+  Plant* plant() override { return plant_.get(); }
   Accounts accounts() const { return accounts_; }
   Namespace ns() const { return ns_; }
   const ScenarioConfig& config() const { return cfg_; }

@@ -19,12 +19,12 @@ namespace mkbas::bas {
 /// process* acts as loader, fork2()-ing the five processes with their
 /// ac_ids, then sealing ac_id assignment (end of the boot period) and
 /// exiting. All five bodies use only the MINIX syscall surface.
-class MinixScenario {
+class MinixScenario : public Scenario {
  public:
   static constexpr int kLoaderAcId = 99;
 
   explicit MinixScenario(sim::Machine& machine, ScenarioConfig cfg = {});
-  ~MinixScenario() { machine_.shutdown(); }
+  ~MinixScenario() override { machine_.shutdown(); }
 
   MinixScenario(const MinixScenario&) = delete;
   MinixScenario& operator=(const MinixScenario&) = delete;
@@ -37,12 +37,21 @@ class MinixScenario {
     attack_hook_ = std::move(hook);
   }
 
+  Platform platform() const override { return Platform::kMinix; }
+  const char* variant() const override { return "temp"; }
+  void arm_attack(sim::Time when, AttackHook hook) override {
+    arm_web_attack(when, [hook = std::move(hook)](MinixScenario& sc) {
+      hook(sc);
+    });
+  }
+  int restarts() const override { return kernel_->restarts(); }
+
   minix::MinixKernel& kernel() { return *kernel_; }
   /// Non-null when config().enable_fs_log is set.
   minix::FsServer* fs() { return fs_.get(); }
-  sim::Machine& machine() { return machine_; }
-  net::HttpConsole& http() { return http_; }
-  Plant& plant() { return *plant_; }
+  sim::Machine& machine() override { return machine_; }
+  net::HttpConsole& http() override { return http_; }
+  Plant* plant() override { return plant_.get(); }
   const aadl::CompiledSystem& system() const { return system_; }
   const ScenarioConfig& config() const { return cfg_; }
 

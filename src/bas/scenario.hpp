@@ -1,16 +1,43 @@
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "bas/control_law.hpp"
 #include "devices/devices.hpp"
 #include "net/http.hpp"
+#include "physics/pressure.hpp"
 #include "physics/room.hpp"
 #include "sim/machine.hpp"
 
 namespace mkbas::bas {
 
-/// Configuration shared by all three platform scenarios (§IV).
+/// The three platforms of the paper's comparison. Lives in bas (not core)
+/// so the scenario registry and the attack drivers can dispatch on it
+/// without a layering cycle; core aliases it.
+enum class Platform { kMinix, kSel4, kLinux };
+
+const char* to_string(Platform p);
+
+/// Tunables of the BSL-3 containment controller (EXT1). Part of the
+/// shared ScenarioConfig so the registry can build the "bsl3" variant
+/// from the same configuration object as the temperature scenarios.
+struct Bsl3Config {
+  double target_lab_pa = -30.0;      // design negative pressure
+  double breach_threshold_pa = -5.0; // "loss of containment" line
+  sim::Duration alarm_delay = sim::sec(30);
+  sim::Duration sample_period = sim::sec(1);
+  sim::Duration door_open_time = sim::sec(10);
+  physics::ContainmentModel::Params model{};
+};
+
+/// Policy ablation: the ACM generated from the model, or a permissive
+/// matrix standing in for a legacy flat controller (everything may talk
+/// to everything) — the "before" picture of the paper's framework.
+enum class Bsl3Policy { kAcmEnforced, kPermissive };
+
+/// Configuration shared by every scenario the registry can build (§IV).
 struct ScenarioConfig {
   ControlConfig control{};
   sim::Duration sensor_period = sim::sec(1);
@@ -30,6 +57,15 @@ struct ScenarioConfig {
   /// end of the while loop, environment information will be written in a
   /// log file", §IV.A).
   bool enable_fs_log = false;
+  /// Linux only: one uid per process plus tight per-queue/socket ACLs
+  /// (the "well-configured" baseline of the paper's second simulation).
+  bool linux_separate_accounts = false;
+  /// Linux "uds" variant only: bind the sockets to abstract names (no
+  /// permission model) instead of filesystem paths.
+  bool uds_abstract_namespace = false;
+  /// "bsl3" variant only.
+  Bsl3Config bsl3{};
+  Bsl3Policy bsl3_policy = Bsl3Policy::kAcmEnforced;
 };
 
 /// The simulated testbed of Fig. 4: room + BMP180 + heater(fan) + LED,
@@ -65,5 +101,59 @@ struct WireFormat {
   static constexpr std::size_t kEnvHeaterOff = 16; // i32
   static constexpr std::size_t kEnvAlarmOff = 20;  // i32
 };
+
+class Scenario;
+
+/// A compromise of the scenario's untrusted process (web interface or
+/// management console). The hook runs *inside* that process, with exactly
+/// its authority — the paper's threat model. Platform-specific payloads
+/// downcast to the concrete scenario type (attack::make_attack builds
+/// them); callers that only drive the run never need the concrete type.
+using AttackHook = std::function<void(Scenario&)>;
+
+/// What every platform scenario looks like from the outside: one machine,
+/// one plant (temperature variants; null for containment), one HTTP
+/// console, and an armable compromise of its untrusted process. The
+/// experiment drivers, the campaign engine and the network fabric attach
+/// zones through this interface only — no switch-casing on platform.
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  virtual Platform platform() const = 0;
+  /// Registry variant this scenario was built as ("temp", "uds", "bsl3").
+  virtual const char* variant() const = 0;
+  virtual sim::Machine& machine() = 0;
+  virtual net::HttpConsole& http() = 0;
+  /// The temperature plant, or nullptr for variants with different
+  /// physics (bsl3).
+  virtual Plant* plant() { return nullptr; }
+  /// Arm a compromise of the untrusted process at `when` (once).
+  virtual void arm_attack(sim::Time when, AttackHook hook) = 0;
+  /// Reincarnation-server / restart-from-spec respawns so far (0 on
+  /// platforms without a recovery mechanism).
+  virtual int restarts() const { return 0; }
+};
+
+/// Factory signature a registry entry provides.
+using ScenarioFactory = std::unique_ptr<Scenario> (*)(sim::Machine&,
+                                                      const ScenarioConfig&);
+
+/// Register a (platform, variant) scenario constructor. The six built-in
+/// scenarios are pre-registered; extensions may add their own variants
+/// before the first make_scenario call that needs them.
+void register_scenario(Platform platform, const std::string& variant,
+                       ScenarioFactory factory);
+
+/// Build a scenario on `machine`. Variant "" means "temp". Throws
+/// std::invalid_argument for a (platform, variant) pair nobody
+/// registered (e.g. "uds" on MINIX).
+std::unique_ptr<Scenario> make_scenario(sim::Machine& machine,
+                                        Platform platform,
+                                        const std::string& variant,
+                                        const ScenarioConfig& cfg = {});
+
+/// Variants registered for `platform`, sorted (for usage/error messages).
+std::vector<std::string> scenario_variants(Platform platform);
 
 }  // namespace mkbas::bas

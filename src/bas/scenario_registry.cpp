@@ -1,0 +1,112 @@
+#include "bas/scenario.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "bas/bsl3_scenario.hpp"
+#include "bas/bsl3_sel4_scenario.hpp"
+#include "bas/linux_scenario.hpp"
+#include "bas/linux_uds_scenario.hpp"
+#include "bas/minix_scenario.hpp"
+#include "bas/sel4_scenario.hpp"
+
+namespace mkbas::bas {
+
+const char* to_string(Platform p) {
+  switch (p) {
+    case Platform::kMinix:
+      return "MINIX3+ACM";
+    case Platform::kSel4:
+      return "seL4/CAmkES";
+    case Platform::kLinux:
+      return "Linux";
+  }
+  return "?";
+}
+
+namespace {
+
+using Key = std::pair<Platform, std::string>;
+
+/// The registry proper. Built-ins are registered on first use (a plain
+/// function-local static, so there is no cross-TU initialisation-order
+/// or dead-object-file hazard the way per-scenario global registrars
+/// would have).
+std::map<Key, ScenarioFactory>& registry() {
+  static std::map<Key, ScenarioFactory> map = [] {
+    std::map<Key, ScenarioFactory> m;
+    m[{Platform::kMinix, "temp"}] = [](sim::Machine& mach,
+                                       const ScenarioConfig& cfg)
+        -> std::unique_ptr<Scenario> {
+      return std::make_unique<MinixScenario>(mach, cfg);
+    };
+    m[{Platform::kSel4, "temp"}] = [](sim::Machine& mach,
+                                      const ScenarioConfig& cfg)
+        -> std::unique_ptr<Scenario> {
+      return std::make_unique<Sel4Scenario>(mach, cfg);
+    };
+    m[{Platform::kLinux, "temp"}] = [](sim::Machine& mach,
+                                       const ScenarioConfig& cfg)
+        -> std::unique_ptr<Scenario> {
+      return std::make_unique<LinuxScenario>(
+          mach, cfg,
+          cfg.linux_separate_accounts ? LinuxScenario::Accounts::kSeparate
+                                      : LinuxScenario::Accounts::kShared);
+    };
+    m[{Platform::kLinux, "uds"}] = [](sim::Machine& mach,
+                                      const ScenarioConfig& cfg)
+        -> std::unique_ptr<Scenario> {
+      return std::make_unique<LinuxUdsScenario>(
+          mach, cfg,
+          cfg.linux_separate_accounts ? LinuxUdsScenario::Accounts::kSeparate
+                                      : LinuxUdsScenario::Accounts::kShared,
+          cfg.uds_abstract_namespace
+              ? LinuxUdsScenario::Namespace::kAbstract
+              : LinuxUdsScenario::Namespace::kFilesystem);
+    };
+    m[{Platform::kMinix, "bsl3"}] = [](sim::Machine& mach,
+                                       const ScenarioConfig& cfg)
+        -> std::unique_ptr<Scenario> {
+      return std::make_unique<Bsl3Scenario>(mach, cfg.bsl3, cfg.bsl3_policy);
+    };
+    m[{Platform::kSel4, "bsl3"}] = [](sim::Machine& mach,
+                                      const ScenarioConfig& cfg)
+        -> std::unique_ptr<Scenario> {
+      return std::make_unique<Bsl3Sel4Scenario>(mach, cfg.bsl3);
+    };
+    return m;
+  }();
+  return map;
+}
+
+}  // namespace
+
+void register_scenario(Platform platform, const std::string& variant,
+                       ScenarioFactory factory) {
+  registry()[{platform, variant}] = factory;
+}
+
+std::unique_ptr<Scenario> make_scenario(sim::Machine& machine,
+                                        Platform platform,
+                                        const std::string& variant,
+                                        const ScenarioConfig& cfg) {
+  const std::string v = variant.empty() ? "temp" : variant;
+  const auto it = registry().find({platform, v});
+  if (it == registry().end()) {
+    throw std::invalid_argument(std::string("no scenario '") + v +
+                                "' registered for platform " +
+                                to_string(platform));
+  }
+  return it->second(machine, cfg);
+}
+
+std::vector<std::string> scenario_variants(Platform platform) {
+  std::vector<std::string> out;
+  for (const auto& [key, factory] : registry()) {
+    (void)factory;
+    if (key.first == platform) out.push_back(key.second);
+  }
+  return out;
+}
+
+}  // namespace mkbas::bas

@@ -17,10 +17,10 @@ namespace mkbas::bas {
 /// bootstrap distributes exactly the CapDL-specified capabilities and
 /// resumes the components. Every connection is an RPC (seL4RPCCall), with
 /// the untrusted web interface strictly a client of the control process.
-class Sel4Scenario {
+class Sel4Scenario : public Scenario {
  public:
   explicit Sel4Scenario(sim::Machine& machine, ScenarioConfig cfg = {});
-  ~Sel4Scenario() { machine_.shutdown(); }
+  ~Sel4Scenario() override { machine_.shutdown(); }
 
   Sel4Scenario(const Sel4Scenario&) = delete;
   Sel4Scenario& operator=(const Sel4Scenario&) = delete;
@@ -36,11 +36,26 @@ class Sel4Scenario {
     attack_hook_ = std::move(hook);
   }
 
+  Platform platform() const override { return Platform::kSel4; }
+  const char* variant() const override { return "temp"; }
+  void arm_attack(sim::Time when, AttackHook hook) override {
+    arm_web_attack(when, [hook = std::move(hook)](Sel4Scenario& sc,
+                                                  camkes::Runtime& rt) {
+      sc.attack_runtime_ = &rt;
+      hook(sc);
+      sc.attack_runtime_ = nullptr;
+    });
+  }
+  int restarts() const override { return camkes_->restarts(); }
+  /// The compromised component's runtime, non-null only while a generic
+  /// arm_attack hook is executing (attack payloads downcast and use it).
+  camkes::Runtime* attack_runtime() { return attack_runtime_; }
+
   camkes::CamkesSystem& camkes() { return *camkes_; }
   sel4::Sel4Kernel& kernel() { return camkes_->kernel(); }
-  sim::Machine& machine() { return machine_; }
-  net::HttpConsole& http() { return http_; }
-  Plant& plant() { return *plant_; }
+  sim::Machine& machine() override { return machine_; }
+  net::HttpConsole& http() override { return http_; }
+  Plant* plant() override { return plant_.get(); }
   const aadl::CompiledSystem& system() const { return system_; }
   const ScenarioConfig& config() const { return cfg_; }
   /// Ticks observed by the demonstration timer pair (§IV.B).
@@ -62,6 +77,7 @@ class Sel4Scenario {
   long timer_ticks_ = 0;
   sim::Time attack_time_ = -1;
   std::function<void(Sel4Scenario&, camkes::Runtime&)> attack_hook_;
+  camkes::Runtime* attack_runtime_ = nullptr;
 };
 
 }  // namespace mkbas::bas

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "campaign/pool.hpp"
+#include "core/hash.hpp"
 
 namespace mkbas::core {
 
@@ -14,13 +15,6 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-std::string hex64(std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
 }
 
 /// One cell, executed on whichever worker thread picked it up. All state
@@ -55,6 +49,28 @@ CellResult run_cell(const CampaignCell& cell) {
       res.fault =
           run_fault(cell.platform, cell.plan, opts, cell.spoof_probe_at);
       break;
+    case CellKind::kFabric: {
+      // The fabric already reduces its machines in node order; the cell
+      // snapshot folds the same registries so the campaign-level merge
+      // sees one registry per cell, as for every other kind.
+      FabricOptions fopts = cell.fabric;
+      auto caller_fabric_observe = fopts.observe;
+      fopts.observe = [&](net::Fabric& fabric) {
+        if (caller_fabric_observe) caller_fabric_observe(fabric);
+        res.metrics = std::make_unique<obs::MetricsRegistry>();
+        std::uint64_t events = 0;
+        for (std::size_t n = 0; n < fabric.node_count(); ++n) {
+          sim::Machine& m = fabric.machine(static_cast<int>(n));
+          res.metrics->merge_from(m.metrics());
+          events += m.trace().total_emitted();
+        }
+        res.trace_events = events;
+      };
+      res.fabric = run_fabric(fopts);
+      res.metrics_json = res.fabric.metrics_json;
+      res.trace_hash = res.fabric.trace_hash;
+      break;
+    }
   }
   res.wall_seconds = seconds_since(t0);
   return res;
@@ -94,6 +110,28 @@ std::string cell_verdict(const CellResult& r) {
               : (r.fault.web_spoof.primitive_succeeded ? "SPOOFED"
                                                        : "blocked"));
       return buf;
+    case CellKind::kFabric: {
+      std::string zones;
+      for (const FabricZoneRow& row : r.fabric.rows) {
+        if (!zones.empty()) zones += ',';
+        zones += std::to_string(row.zone);
+        zones += r.fabric.attack == FabricAttack::kNone
+                     ? ":-"
+                     : (row.attack_delivered ? ":DELIVERED" : ":blocked");
+      }
+      std::snprintf(
+          buf, sizeof buf,
+          "zones=%d attack=%s delivered=%llu drops=%llu/%llu/%llu "
+          "cov=%llu cov_p99_us=%.0f [%s]",
+          r.fabric.zones, to_string(r.fabric.attack),
+          static_cast<unsigned long long>(r.fabric.delivered),
+          static_cast<unsigned long long>(r.fabric.drop_loss),
+          static_cast<unsigned long long>(r.fabric.drop_partition),
+          static_cast<unsigned long long>(r.fabric.drop_overflow),
+          static_cast<unsigned long long>(r.fabric.cov_count),
+          r.fabric.cov_p99_us, zones.c_str());
+      return buf;
+    }
   }
   return "?";
 }
@@ -108,35 +146,10 @@ const char* to_string(CellKind k) {
       return "attack";
     case CellKind::kFault:
       return "fault";
+    case CellKind::kFabric:
+      return "fabric";
   }
   return "?";
-}
-
-std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::uint64_t trace_hash(const sim::TraceLog& log) {
-  // Render with tag *names*: interned ids depend on process-wide
-  // first-sight order, which a parallel campaign must not observe.
-  std::uint64_t h = 14695981039346656037ULL;
-  char buf[128];
-  for (const auto& ev : log.events()) {
-    std::snprintf(buf, sizeof buf, "%lld|%d|%s|",
-                  static_cast<long long>(ev.time), ev.pid,
-                  sim::to_string(ev.kind));
-    h = fnv1a(buf, h);
-    h = fnv1a(ev.what(), h);
-    h = fnv1a("|", h);
-    h = fnv1a(ev.detail, h);
-    std::snprintf(buf, sizeof buf, "|%.17g\n", ev.value);
-    h = fnv1a(buf, h);
-  }
-  return h;
 }
 
 CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
@@ -283,6 +296,33 @@ std::vector<FaultRunResult> fault_rows(const CampaignResult& r) {
     if (c.kind == CellKind::kFault) rows.push_back(c.fault);
   }
   return rows;
+}
+
+std::vector<FabricRunResult> fabric_rows(const CampaignResult& r) {
+  std::vector<FabricRunResult> rows;
+  for (const auto& c : r.cells) {
+    if (c.kind == CellKind::kFabric) rows.push_back(c.fabric);
+  }
+  return rows;
+}
+
+std::vector<CampaignCell> fabric_matrix_cells(int zones,
+                                              const FabricOptions& base) {
+  std::vector<CampaignCell> cells;
+  const FabricAttack attacks[] = {
+      FabricAttack::kNone, FabricAttack::kSpoofWrite, FabricAttack::kReplay,
+      FabricAttack::kFlood};
+  for (FabricAttack a : attacks) {
+    CampaignCell c;
+    c.kind = CellKind::kFabric;
+    c.fabric = base;
+    c.fabric.zones = zones;
+    c.fabric.attack = a;
+    c.name = std::string("fabric/") + to_string(a) + "/z" +
+             std::to_string(zones);
+    cells.push_back(std::move(c));
+  }
+  return cells;
 }
 
 std::vector<AttackRow> run_attack_matrix(const RunOptions& opts, int jobs) {

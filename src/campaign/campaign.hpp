@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/fabric_run.hpp"
+#include "core/hash.hpp"
 #include "obs/metrics.hpp"
 
 namespace mkbas::core {
@@ -24,7 +26,7 @@ namespace mkbas::core {
 /// reduction (metrics merge, trace hash, summary JSON) walks the slots in
 /// cell order, never in completion order.
 
-enum class CellKind { kBenign, kAttack, kFault };
+enum class CellKind { kBenign, kAttack, kFault, kFabric };
 
 const char* to_string(CellKind k);
 
@@ -42,6 +44,9 @@ struct CampaignCell {
   // kFault only:
   fault::FaultPlan plan;
   sim::Time spoof_probe_at = -1;
+  // kFabric only: the whole N-zone building is one cell. `opts` is
+  // ignored for these cells; everything lives in `fabric`.
+  FabricOptions fabric{};
 };
 
 /// What came back from one cell. Exactly one of attack/fault/benign is
@@ -53,6 +58,7 @@ struct CellResult {
   AttackRow attack;
   FaultRunResult fault;
   BenignRun benign;
+  FabricRunResult fabric;
   /// Registry snapshot taken while the cell's Machine was still alive.
   std::unique_ptr<obs::MetricsRegistry> metrics;
   std::string metrics_json;
@@ -91,6 +97,11 @@ std::vector<CampaignCell> fault_campaign_cells(const fault::FaultPlan& plan,
                                                const RunOptions& base = {},
                                                sim::Time spoof_probe_at = -1);
 
+/// One cell per cross-controller network attack (plus the benign
+/// baseline), each an N-zone building on the fabric.
+std::vector<CampaignCell> fabric_matrix_cells(int zones,
+                                              const FabricOptions& base = {});
+
 /// Run every cell (work-stealing across `jobs` threads; `jobs <= 1` runs
 /// inline on the calling thread) and reduce in cell order.
 CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
@@ -102,9 +113,6 @@ std::vector<AttackRow> run_attack_matrix(const RunOptions& opts, int jobs);
 /// Extract the typed rows from a campaign in cell order.
 std::vector<AttackRow> attack_rows(const CampaignResult& r);
 std::vector<FaultRunResult> fault_rows(const CampaignResult& r);
-
-/// FNV-1a helpers shared by the engine, benches and tests.
-std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 14695981039346656037ULL);
-std::uint64_t trace_hash(const sim::TraceLog& log);
+std::vector<FabricRunResult> fabric_rows(const CampaignResult& r);
 
 }  // namespace mkbas::core

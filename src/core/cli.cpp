@@ -1,0 +1,157 @@
+#include "core/cli.hpp"
+
+#include <cstdlib>
+
+namespace mkbas::core {
+
+bool parse_platform(const std::string& s, bas::Platform* out) {
+  if (s == "minix") {
+    *out = bas::Platform::kMinix;
+  } else if (s == "sel4") {
+    *out = bas::Platform::kSel4;
+  } else if (s == "linux") {
+    *out = bas::Platform::kLinux;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_attack_kind(const std::string& s, attack::AttackKind* out) {
+  using attack::AttackKind;
+  if (s == "spoof-sensor") {
+    *out = AttackKind::kSpoofSensor;
+  } else if (s == "spoof-actuator") {
+    *out = AttackKind::kSpoofActuator;
+  } else if (s == "kill") {
+    *out = AttackKind::kKillControl;
+  } else if (s == "fork-bomb") {
+    *out = AttackKind::kForkBomb;
+  } else if (s == "brute-force") {
+    *out = AttackKind::kCapBruteForce;
+  } else if (s == "flood") {
+    *out = AttackKind::kIpcFlood;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_fabric_attack(const std::string& s, FabricAttack* out) {
+  if (s == "none") {
+    *out = FabricAttack::kNone;
+  } else if (s == "spoof-write") {
+    *out = FabricAttack::kSpoofWrite;
+  } else if (s == "replay") {
+    *out = FabricAttack::kReplay;
+  } else if (s == "flood") {
+    *out = FabricAttack::kFlood;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CliArgs parse_cli(int argc, char** argv) {
+  CliArgs a;
+  auto value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      a.error = std::string(flag) + " needs a value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--platform") {
+      const char* v = value(i, "--platform");
+      if (v == nullptr) return a;
+      if (!parse_platform(v, &a.platform)) {
+        a.error = std::string("unknown platform: ") + v;
+        return a;
+      }
+      a.has_platform = true;
+    } else if (arg == "--scenario") {
+      const char* v = value(i, "--scenario");
+      if (v == nullptr) return a;
+      a.scenario = v;
+    } else if (arg == "--seed") {
+      const char* v = value(i, "--seed");
+      if (v == nullptr) return a;
+      a.seed = std::strtoull(v, nullptr, 10);
+      a.has_seed = true;
+    } else if (arg == "--zones") {
+      const char* v = value(i, "--zones");
+      if (v == nullptr) return a;
+      a.zones = std::atoi(v);
+    } else if (arg == "--jobs") {
+      const char* v = value(i, "--jobs");
+      if (v == nullptr) return a;
+      a.jobs = std::atoi(v);
+    } else if (arg == "--seeds") {
+      const char* v = value(i, "--seeds");
+      if (v == nullptr) return a;
+      a.seeds = std::atoi(v);
+    } else if (arg == "--out") {
+      const char* v = value(i, "--out");
+      if (v == nullptr) return a;
+      a.out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value(i, "--metrics-out");
+      if (v == nullptr) return a;
+      a.metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = value(i, "--trace-out");
+      if (v == nullptr) return a;
+      a.trace_out = v;
+    } else if (arg == "--attack") {
+      const char* v = value(i, "--attack");
+      if (v == nullptr) return a;
+      a.attack = v;
+      a.has_attack = true;
+    } else if (arg == "--root") {
+      a.root = true;
+    } else if (arg == "--quota") {
+      a.quota = true;
+    } else if (arg == "--acl") {
+      a.acl = true;
+    } else if (arg == "--no-probe") {
+      a.no_probe = true;
+    } else if (arg == "--csv") {
+      a.format = "csv";
+    } else if (arg == "--md") {
+      a.format = "md";
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      a.error = "unknown flag: " + arg;
+      return a;
+    } else if (a.mode.empty()) {
+      a.mode = arg;
+    } else {
+      // Legacy positional spellings keep working.
+      if (arg == "root") {
+        a.root = true;
+      } else if (arg == "quota") {
+        a.quota = true;
+      } else if (arg == "acl") {
+        a.acl = true;
+      } else if (arg == "no-probe") {
+        a.no_probe = true;
+      } else if (arg == "seed" && i + 1 < argc) {
+        a.seed = std::strtoull(argv[++i], nullptr, 10);
+        a.has_seed = true;
+      } else if (arg == "seeds" && i + 1 < argc) {
+        a.seeds = std::atoi(argv[++i]);
+      } else {
+        bas::Platform p;
+        if (!a.has_platform && parse_platform(arg, &p)) {
+          a.platform = p;
+          a.has_platform = true;
+        }
+        a.pos.push_back(arg);
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace mkbas::core

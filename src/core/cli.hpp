@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/attacks.hpp"
+#include "core/fabric_run.hpp"
+
+namespace mkbas::core {
+
+/// The one flag grammar every experiment_runner subcommand shares:
+///
+///   --platform <minix|sel4|linux>   --scenario <temp|uds|bsl3>
+///   --seed N   --zones N   --jobs N   --seeds N
+///   --out FILE --metrics-out FILE --trace-out FILE
+///   --attack <name>  --root --quota --acl --no-probe --csv --md
+///
+/// Legacy positional spellings (platform names, "root", "seed N", ...)
+/// still parse: they land in `pos` for the subcommand to interpret, and
+/// a positional platform name also fills `platform` so new code can
+/// ignore the distinction.
+struct CliArgs {
+  std::string mode;                // first positional ("benign", ...)
+  std::vector<std::string> pos;    // remaining positionals, in order
+
+  bool has_platform = false;
+  bas::Platform platform = bas::Platform::kMinix;
+  std::string scenario = "temp";
+  std::uint64_t seed = 1;
+  bool has_seed = false;
+  int zones = 4;
+  int jobs = 1;
+  int seeds = 8;
+  std::string out;
+  std::string metrics_out;
+  std::string trace_out;
+  bool has_attack = false;
+  std::string attack;              // raw --attack value
+  bool root = false;
+  bool quota = false;
+  bool acl = false;
+  bool no_probe = false;
+  std::string format;              // "", "csv" or "md"
+
+  /// Non-empty when parsing failed; the caller prints usage.
+  std::string error;
+};
+
+CliArgs parse_cli(int argc, char** argv);
+
+bool parse_platform(const std::string& s, bas::Platform* out);
+bool parse_attack_kind(const std::string& s, attack::AttackKind* out);
+bool parse_fabric_attack(const std::string& s, FabricAttack* out);
+
+}  // namespace mkbas::core

@@ -5,29 +5,27 @@
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 
 namespace mkbas::core {
 
 using attack::AttackKind;
 using attack::AttackOutcome;
 using attack::Privilege;
-using bas::LinuxScenario;
-using bas::MinixScenario;
-using bas::Sel4Scenario;
-
-const char* to_string(Platform p) {
-  switch (p) {
-    case Platform::kMinix:
-      return "MINIX3+ACM";
-    case Platform::kSel4:
-      return "seL4/CAmkES";
-    case Platform::kLinux:
-      return "Linux";
-  }
-  return "?";
-}
 
 namespace {
+
+/// Fold the driver-level knobs (quota ablation, Linux account split) into
+/// the ScenarioConfig the registry factories read. Fields a platform does
+/// not consult are ignored by its factory, so setting them is harmless.
+bas::ScenarioConfig effective_config(Platform platform,
+                                     const RunOptions& opts) {
+  bas::ScenarioConfig cfg = opts.scenario;
+  cfg.enable_quotas = opts.minix_quotas;
+  cfg.linux_separate_accounts = opts.linux_separate_accounts;
+  (void)platform;
+  return cfg;
+}
 
 /// Drives the Fig. 2 benign workload against whichever scenario's console
 /// and plant are handed in.
@@ -62,43 +60,23 @@ BenignRun run_benign(Platform platform, const RunOptions& opts) {
   run.platform = platform;
   sim::Machine m(opts.seed);
 
-  auto finish = [&](bas::Plant& plant, net::HttpConsole& http) {
-    m.run_until(kBenignEnd);
-    run.history = plant.coupler->history();
-    run.http = http.exchanges();
-    run.safety = check_safety(run.history, m.trace(),
-                              opts.scenario.control, kBenignEnd,
-                              opts.scenario.sensor_period);
-    run.context_switches = m.context_switches();
-    run.kernel_entries = m.kernel_entries();
-    if (opts.observe) opts.observe(m);
-  };
-
-  switch (platform) {
-    case Platform::kMinix: {
-      auto cfg = opts.scenario;
-      cfg.enable_quotas = opts.minix_quotas;
-      MinixScenario sc(m, cfg);
-      schedule_benign_workload(m, sc.http(), sc.plant());
-      finish(sc.plant(), sc.http());
-      break;
-    }
-    case Platform::kSel4: {
-      Sel4Scenario sc(m, opts.scenario);
-      schedule_benign_workload(m, sc.http(), sc.plant());
-      finish(sc.plant(), sc.http());
-      break;
-    }
-    case Platform::kLinux: {
-      LinuxScenario sc(m, opts.scenario,
-                       opts.linux_separate_accounts
-                           ? LinuxScenario::Accounts::kSeparate
-                           : LinuxScenario::Accounts::kShared);
-      schedule_benign_workload(m, sc.http(), sc.plant());
-      finish(sc.plant(), sc.http());
-      break;
-    }
+  auto sc = bas::make_scenario(m, platform, opts.scenario_variant,
+                               effective_config(platform, opts));
+  bas::Plant* plant = sc->plant();
+  if (plant == nullptr) {
+    throw std::invalid_argument(
+        "run_benign: scenario variant has no temperature plant");
   }
+  schedule_benign_workload(m, sc->http(), *plant);
+  m.run_until(kBenignEnd);
+  run.history = plant->coupler->history();
+  run.http = sc->http().exchanges();
+  run.safety =
+      check_safety(run.history, m.trace(), opts.scenario.control, kBenignEnd,
+                   opts.scenario.sensor_period);
+  run.context_switches = m.context_switches();
+  run.kernel_entries = m.kernel_entries();
+  if (opts.observe) opts.observe(m);
   return run;
 }
 
@@ -114,45 +92,26 @@ AttackRow run_attack(Platform platform, AttackKind kind, Privilege priv,
   const sim::Time attack_at = opts.settle;
   const sim::Time run_end = opts.settle + opts.post;
 
-  auto finish = [&](bas::Plant& plant) {
-    m.run_until(run_end);
-    row.safety = check_safety(plant.coupler->history(), m.trace(),
-                              opts.scenario.control, run_end,
-                              opts.scenario.sensor_period);
-    if (opts.observe) opts.observe(m);
-  };
-
-  switch (platform) {
-    case Platform::kMinix: {
-      auto cfg = opts.scenario;
-      cfg.enable_quotas = opts.minix_quotas;
-      if (opts.minix_quotas) row.platform_label += "(quota)";
-      MinixScenario sc(m, cfg);
-      sc.arm_web_attack(attack_at,
-                        attack::minix_attack(kind, priv, &row.outcome));
-      finish(sc.plant());
-      break;
-    }
-    case Platform::kSel4: {
-      Sel4Scenario sc(m, opts.scenario);
-      sc.arm_web_attack(attack_at,
-                        attack::sel4_attack(kind, priv, &row.outcome));
-      finish(sc.plant());
-      break;
-    }
-    case Platform::kLinux: {
-      const bool separate =
-          opts.linux_separate_accounts || priv == Privilege::kRoot;
-      if (separate) row.platform_label += "(acl)";
-      LinuxScenario sc(m, opts.scenario,
-                       separate ? LinuxScenario::Accounts::kSeparate
-                                : LinuxScenario::Accounts::kShared);
-      sc.arm_web_attack(attack_at,
-                        attack::linux_attack(kind, priv, &row.outcome));
-      finish(sc.plant());
-      break;
-    }
+  bas::ScenarioConfig cfg = effective_config(platform, opts);
+  if (platform == Platform::kMinix && opts.minix_quotas) {
+    row.platform_label += "(quota)";
   }
+  if (platform == Platform::kLinux) {
+    // A root attacker only makes sense against the well-configured
+    // deployment (separate accounts + queue ACLs), §IV.D.2.
+    cfg.linux_separate_accounts =
+        opts.linux_separate_accounts || priv == Privilege::kRoot;
+    if (cfg.linux_separate_accounts) row.platform_label += "(acl)";
+  }
+
+  auto sc = bas::make_scenario(m, platform, opts.scenario_variant, cfg);
+  sc->arm_attack(attack_at,
+                 attack::make_attack(platform, kind, priv, &row.outcome));
+  m.run_until(run_end);
+  row.safety = check_safety(sc->plant()->coupler->history(), m.trace(),
+                            opts.scenario.control, run_end,
+                            opts.scenario.sensor_period);
+  if (opts.observe) opts.observe(m);
   return row;
 }
 
@@ -246,64 +205,33 @@ FaultRunResult run_fault(Platform platform, const fault::FaultPlan& plan,
 
   fault::FaultInjector injector(m, plan);
 
+  bas::ScenarioConfig cfg = effective_config(platform, opts);
   switch (platform) {
-    case Platform::kMinix: {
-      auto cfg = opts.scenario;
-      cfg.enable_quotas = opts.minix_quotas;
+    case Platform::kMinix:
       cfg.enable_reincarnation = true;  // RS self-healing under test
       res.platform_label += "+RS";
-      MinixScenario sc(m, cfg);
-      injector.register_sensor(&sc.plant().sensor);
-      injector.arm();
-      if (spoof_probe_at >= 0) {
-        sc.arm_web_attack(
-            spoof_probe_at,
-            attack::minix_attack(AttackKind::kSpoofSensor,
-                                 Privilege::kCodeExec, &res.web_spoof));
-      }
-      m.run_until(run_end);
-      res.restarts = sc.kernel().restarts();
-      analyse_fault_run(res, m, sc.plant(), opts, run_end);
       break;
-    }
-    case Platform::kSel4: {
-      auto cfg = opts.scenario;
+    case Platform::kSel4:
       cfg.enable_reincarnation = true;  // CAmkES restart-from-spec
       res.platform_label += "+restart";
-      Sel4Scenario sc(m, cfg);
-      injector.register_sensor(&sc.plant().sensor);
-      injector.arm();
-      if (spoof_probe_at >= 0) {
-        sc.arm_web_attack(
-            spoof_probe_at,
-            attack::sel4_attack(AttackKind::kSpoofSensor,
-                                Privilege::kCodeExec, &res.web_spoof));
-      }
-      m.run_until(run_end);
-      res.restarts = sc.camkes().restarts();
-      analyse_fault_run(res, m, sc.plant(), opts, run_end);
       break;
-    }
-    case Platform::kLinux: {
+    case Platform::kLinux:
       // Deliberately no recovery: a plain deployment has nothing watching
       // the control processes, which is the paper's contrast case.
-      LinuxScenario sc(m, opts.scenario,
-                       opts.linux_separate_accounts
-                           ? LinuxScenario::Accounts::kSeparate
-                           : LinuxScenario::Accounts::kShared);
-      injector.register_sensor(&sc.plant().sensor);
-      injector.arm();
-      if (spoof_probe_at >= 0) {
-        sc.arm_web_attack(
-            spoof_probe_at,
-            attack::linux_attack(AttackKind::kSpoofSensor,
-                                 Privilege::kCodeExec, &res.web_spoof));
-      }
-      m.run_until(run_end);
-      analyse_fault_run(res, m, sc.plant(), opts, run_end);
       break;
-    }
   }
+
+  auto sc = bas::make_scenario(m, platform, opts.scenario_variant, cfg);
+  injector.register_sensor(&sc->plant()->sensor);
+  injector.arm();
+  if (spoof_probe_at >= 0) {
+    sc->arm_attack(spoof_probe_at,
+                   attack::make_attack(platform, AttackKind::kSpoofSensor,
+                                       Privilege::kCodeExec, &res.web_spoof));
+  }
+  m.run_until(run_end);
+  res.restarts = sc->restarts();
+  analyse_fault_run(res, m, *sc->plant(), opts, run_end);
   res.faults_injected = injector.injected();
   return res;
 }

@@ -5,20 +5,24 @@
 #include <vector>
 
 #include "attack/attacks.hpp"
+#include "bas/scenario.hpp"
 #include "core/safety.hpp"
 #include "fault/fault.hpp"
 #include "net/http.hpp"
 
 namespace mkbas::core {
 
-/// The three platforms of the paper's comparison.
-enum class Platform { kMinix, kSel4, kLinux };
-
-const char* to_string(Platform p);
+/// The three platforms of the paper's comparison. The enum itself lives
+/// with the scenario registry; core re-exports it so existing callers
+/// keep spelling core::Platform.
+using Platform = bas::Platform;
+using bas::to_string;
 
 /// Parameters shared by benign and attack runs.
 struct RunOptions {
   bas::ScenarioConfig scenario{};
+  /// Which registered scenario variant to instantiate ("temp", "uds", ...).
+  std::string scenario_variant = "temp";
   sim::Duration settle = sim::minutes(12);  // before the compromise
   sim::Duration post = sim::minutes(20);    // after the compromise
   /// Linux only: per-process accounts + queue ACLs (the well-configured

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bas/scenario.hpp"
+#include "net/fabric.hpp"
+
+namespace mkbas::core {
+
+/// Network-level attacks mounted from a compromised zone controller —
+/// the cross-controller ports of the paper's §IV.D vocabulary onto the
+/// building fabric.
+enum class FabricAttack {
+  kNone,
+  kSpoofWrite,  // forged WriteProperty to every other zone's setpoint
+  kReplay,      // re-post captured operator datagrams verbatim
+  kFlood,       // saturate the head-end's inbox (DoS)
+};
+
+const char* to_string(FabricAttack a);
+
+/// One N-zone building: a supervisory head-end (fabric node 0) plus
+/// `zones` zone controllers, each a full scenario on its own machine.
+struct FabricOptions {
+  int zones = 4;
+  std::uint64_t seed = 1;
+  sim::Duration duration = sim::minutes(30);
+  /// Zone platforms cycle through this list (zone i -> mix[i % size]).
+  /// The default mix puts the Linux baseline next to both microkernels so
+  /// every run shows the contrast.
+  std::vector<bas::Platform> mix = {bas::Platform::kLinux,
+                                    bas::Platform::kMinix,
+                                    bas::Platform::kSel4};
+  FabricAttack attack = FabricAttack::kNone;
+  sim::Time attack_at = sim::minutes(10);
+  net::LinkProfile link{};
+  std::vector<net::PartitionWindow> partitions;
+  bas::ScenarioConfig scenario{};
+  /// Fires before teardown, with every machine still alive.
+  std::function<void(net::Fabric&)> observe;
+};
+
+/// Per-zone outcome row of the cross-controller attack matrix.
+struct FabricZoneRow {
+  int zone = 0;
+  bas::Platform platform = bas::Platform::kLinux;
+  std::string label;      // platform name, "+proxy" when BACnet-guarded
+  bool proxied = false;   // microkernel zones sit behind the secure proxy
+  /// The attacker's forged value reached the zone controller.
+  bool attack_delivered = false;
+  double final_setpoint_c = 0.0;
+  double final_temp_c = 0.0;
+  std::uint64_t proxy_rejected_tag = 0;
+  std::uint64_t proxy_rejected_replay = 0;
+};
+
+struct FabricRunResult {
+  int zones = 0;
+  FabricAttack attack = FabricAttack::kNone;
+  std::vector<FabricZoneRow> rows;  // zone order
+  std::uint64_t delivered = 0;
+  std::uint64_t drop_loss = 0;
+  std::uint64_t drop_partition = 0;
+  std::uint64_t drop_overflow = 0;
+  std::uint64_t cov_count = 0;
+  /// p99 end-to-end COV latency, microseconds of virtual time (bucket
+  /// upper bound; 0 when no COV arrived).
+  double cov_p99_us = 0.0;
+  /// Node registries merged in node order.
+  std::string metrics_json;
+  /// FNV-1a chain over per-node trace hashes, in node order.
+  std::uint64_t trace_hash = 0;
+};
+
+/// Build the building, run it, and judge every zone. Deterministic: the
+/// result (including metrics_json and trace_hash) is a pure function of
+/// opts. Zone machine seeds derive from opts.seed, so one `--seed` value
+/// names the whole building's randomness.
+FabricRunResult run_fabric(const FabricOptions& opts = {});
+
+/// Aligned text table over the zone rows (the cross-controller attack
+/// matrix of EXPERIMENTS.md §H).
+std::string format_fabric_table(const FabricRunResult& r);
+
+}  // namespace mkbas::core

@@ -18,21 +18,28 @@ const char* to_string(BacnetMsg::Service s) {
       return "SimpleAck";
     case BacnetMsg::Service::kError:
       return "Error";
+    case BacnetMsg::Service::kSubscribeCov:
+      return "SubscribeCov";
+    case BacnetMsg::Service::kCovNotification:
+      return "CovNotification";
   }
   return "?";
 }
 
 BacnetMsg BacnetDevice::apply_write(const BacnetMsg& in) {
+  BacnetMsg reply;
+  reply.src_device = id_;
+  reply.dst_device = in.src_device;
+  reply.invoke_id = in.invoke_id;
+  if (handler_ != nullptr && !handler_->write(*this, in.property, in.value)) {
+    reply.service = BacnetMsg::Service::kError;  // handler vetoed
+    return reply;
+  }
   props_[in.property] = in.value;
   ++writes_accepted_;
   notify_cov(in.property, in.value);
-  if (write_hook_) write_hook_(in.property, in.value);
-  BacnetMsg ack;
-  ack.service = BacnetMsg::Service::kSimpleAck;
-  ack.src_device = id_;
-  ack.dst_device = in.src_device;
-  ack.invoke_id = in.invoke_id;
-  return ack;
+  reply.service = BacnetMsg::Service::kSimpleAck;
+  return reply;
 }
 
 BacnetMsg BacnetDevice::handle(const BacnetMsg& in) {
@@ -44,7 +51,14 @@ BacnetMsg BacnetDevice::handle(const BacnetMsg& in) {
     case BacnetMsg::Service::kWhoIs:
       reply.service = BacnetMsg::Service::kIAm;
       return reply;
-    case BacnetMsg::Service::kReadProperty:
+    case BacnetMsg::Service::kReadProperty: {
+      double live = 0.0;
+      if (handler_ != nullptr && handler_->read(*this, in.property, &live)) {
+        reply.service = BacnetMsg::Service::kReadPropertyAck;
+        reply.property = in.property;
+        reply.value = live;
+        return reply;
+      }
       if (props_.count(in.property) == 0) {
         reply.service = BacnetMsg::Service::kError;
         return reply;
@@ -53,6 +67,7 @@ BacnetMsg BacnetDevice::handle(const BacnetMsg& in) {
       reply.property = in.property;
       reply.value = props_.at(in.property);
       return reply;
+    }
     case BacnetMsg::Service::kWriteProperty:
       // No authentication at all: any write from anyone is applied.
       return apply_write(in);
@@ -61,6 +76,7 @@ BacnetMsg BacnetDevice::handle(const BacnetMsg& in) {
     case BacnetMsg::Service::kCovNotification:
       // Acting as a console: record the pushed value.
       cov_inbox_.push_back(in);
+      if (handler_ != nullptr) handler_->cov(*this, in);
       reply.service = BacnetMsg::Service::kSimpleAck;
       return reply;
     default:

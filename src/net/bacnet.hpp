@@ -37,12 +37,51 @@ struct BacnetMsg {
   // Secure-proxy extension fields (ignored by plain devices):
   std::uint64_t auth_tag = 0;
   std::uint64_t sequence = 0;
+
+  /// Stamped by the fabric when the datagram is posted (virtual time on
+  /// the sending node's clock); -1 for off-fabric traffic. Lets the
+  /// receiver compute end-to-end latency — all fabric machines share one
+  /// lockstep timeline, so cross-machine timestamps are comparable.
+  sim::Time sent_at = -1;
 };
 
 const char* to_string(BacnetMsg::Service s);
 
-/// A BACnet device: a property map plus service handling. Write hooks let
-/// the BAS wire property writes to real effects (e.g. setpoint changes).
+class BacnetDevice;
+
+/// Typed property callbacks: one object wires a device's properties to
+/// real effects. Replaces the old single ad-hoc write hook with the three
+/// interactions a BAS actually needs — veto/observe writes, serve live
+/// values on read, and consume pushed COV notifications.
+class PropertyHandler {
+ public:
+  virtual ~PropertyHandler() = default;
+
+  /// Called before a WriteProperty is applied. Return false to veto: the
+  /// device answers kError and the property map stays untouched.
+  virtual bool write(BacnetDevice& dev, const std::string& property,
+                     double value) {
+    (void)dev, (void)property, (void)value;
+    return true;
+  }
+
+  /// Dynamic reads: return true and fill *value to serve a live value
+  /// instead of the stored property map (e.g. the current room temp).
+  virtual bool read(BacnetDevice& dev, const std::string& property,
+                    double* value) {
+    (void)dev, (void)property, (void)value;
+    return false;
+  }
+
+  /// A COV notification arrived at this device (console role).
+  virtual void cov(BacnetDevice& dev, const BacnetMsg& msg) {
+    (void)dev, (void)msg;
+  }
+};
+
+/// A BACnet device: a property map plus service handling. A
+/// PropertyHandler lets the BAS wire property traffic to real effects
+/// (e.g. setpoint changes).
 class BacnetDevice {
  public:
   static constexpr std::size_t kMaxSubscriptions = 8;
@@ -66,9 +105,9 @@ class BacnetDevice {
     return props_.count(key) != 0;
   }
 
-  void on_write(std::function<void(const std::string&, double)> hook) {
-    write_hook_ = std::move(hook);
-  }
+  /// Attach the handler consulted for writes, reads and COV delivery.
+  /// Not owned; must outlive the device. Pass nullptr to detach.
+  void set_handler(PropertyHandler* handler) { handler_ = handler; }
 
   /// Handle an incoming message; returns the reply (kError service if the
   /// request was rejected). Plain devices accept any well-formed write —
@@ -100,7 +139,7 @@ class BacnetDevice {
   std::uint32_t id_;
   std::string name_;
   std::map<std::string, double> props_;
-  std::function<void(const std::string&, double)> write_hook_;
+  PropertyHandler* handler_ = nullptr;
   std::function<void(BacnetMsg)> notifier_;
   std::vector<Subscription> subscriptions_;
   std::vector<BacnetMsg> cov_inbox_;

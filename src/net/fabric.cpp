@@ -1,0 +1,194 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace mkbas::net {
+
+namespace {
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string link_name(int src, int dst) {
+  return std::to_string(src) + "->" + std::to_string(dst);
+}
+
+}  // namespace
+
+int Fabric::add_node(std::uint64_t machine_seed) {
+  const int node = static_cast<int>(machines_.size());
+  machines_.push_back(std::make_unique<sim::Machine>(machine_seed));
+  inflight_.push_back(0);
+  obs::MetricsRegistry& head = machines_[0]->metrics();
+  if (node == 0) {
+    delivered_ = head.counter("fabric.delivered");
+    drop_loss_ = head.counter("fabric.drop.loss");
+    drop_partition_ = head.counter("fabric.drop.partition");
+    drop_overflow_ = head.counter("fabric.drop.overflow");
+    // One second of virtual time covers any sane link; COV latencies are
+    // a few base latencies end to end.
+    cov_latency_us_ = head.log_histogram("fabric.cov.latency_us", 4, 1e6);
+  }
+  inflight_gauge_.push_back(
+      head.gauge("fabric.node." + std::to_string(node) + ".inflight"));
+  return node;
+}
+
+void Fabric::attach(int node, BacnetDevice& dev) {
+  devices_[dev.id()] = Endpoint{node, &dev};
+  dev.set_notifier([this, node](BacnetMsg msg) { post(node, msg); });
+}
+
+const LinkProfile& Fabric::link(int src, int dst) const {
+  const auto it = links_.find({src, dst});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+sim::Rng& Fabric::link_rng(int src, int dst) {
+  auto it = link_rngs_.find({src, dst});
+  if (it == link_rngs_.end()) {
+    // Seeded from (fabric seed, src, dst) only: the stream is a property
+    // of the link, independent of what any other link carries.
+    std::uint64_t h = fnv1a_mix(1469598103934665603ULL, seed_);
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(src));
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(dst));
+    it = link_rngs_.emplace(std::make_pair(src, dst), sim::Rng(h)).first;
+  }
+  return it->second;
+}
+
+obs::Counter& Fabric::link_drop_counter(int src, int dst) {
+  auto it = link_drops_.find({src, dst});
+  if (it == link_drops_.end()) {
+    it = link_drops_
+             .emplace(std::make_pair(src, dst),
+                      machines_[0]->metrics().counter(
+                          "fabric.link." + link_name(src, dst) + ".drop"))
+             .first;
+  }
+  return it->second;
+}
+
+bool Fabric::partitioned(int a, int b, sim::Time at) const {
+  for (const PartitionWindow& w : partitions_) {
+    const bool pair = (w.node_a == a && w.node_b == b) ||
+                      (w.node_a == b && w.node_b == a);
+    if (pair && at >= w.from && at < w.to) return true;
+  }
+  return false;
+}
+
+sim::Duration Fabric::quantum() const {
+  sim::Duration q = default_link_.base;
+  for (const auto& [key, profile] : links_) {
+    (void)key;
+    q = std::min(q, profile.base);
+  }
+  return std::max<sim::Duration>(q, 1);
+}
+
+void Fabric::post(int src_node, BacnetMsg msg) {
+  msg.sent_at = machines_[src_node]->now();
+  sent_log_.push_back(msg);
+  outbox_.push_back(OutMsg{src_node, std::move(msg)});
+}
+
+void Fabric::run_until(sim::Time t) {
+  const sim::Duration q = quantum();
+  while (now_ < t) {
+    const sim::Time barrier = std::min<sim::Time>(now_ + q, t);
+    // Fixed node order at every barrier: the interleaving is a pure
+    // function of the topology, never of host scheduling.
+    for (auto& m : machines_) m->run_until(barrier);
+    now_ = barrier;
+    // Route everything posted during the slice. Deliveries land at
+    // sent_at + base + jitter >= barrier (base >= quantum, jitter >= 0),
+    // i.e. never in any machine's past.
+    std::vector<OutMsg> batch;
+    batch.swap(outbox_);
+    for (const OutMsg& out : batch) route(out.src_node, out.msg);
+  }
+}
+
+void Fabric::route(int src_node, const BacnetMsg& msg) {
+  const auto it = devices_.find(msg.dst_device);
+  if (it == devices_.end()) return;  // nobody claims the address
+  const Endpoint& ep = it->second;
+  const int dst_node = ep.node;
+  sim::Machine& src = *machines_[src_node];
+
+  if (partitioned(src_node, dst_node, msg.sent_at)) {
+    drop_partition_.inc();
+    link_drop_counter(src_node, dst_node).inc();
+    src.trace().emit(msg.sent_at, -1, sim::TraceKind::kNetwork,
+                     "fabric.drop",
+                     "partition " + link_name(src_node, dst_node));
+    return;
+  }
+  const LinkProfile& profile = link(src_node, dst_node);
+  if (profile.loss > 0.0 &&
+      link_rng(src_node, dst_node).next_double() < profile.loss) {
+    drop_loss_.inc();
+    link_drop_counter(src_node, dst_node).inc();
+    src.trace().emit(msg.sent_at, -1, sim::TraceKind::kNetwork,
+                     "fabric.drop", "loss " + link_name(src_node, dst_node));
+    return;
+  }
+  if (inflight_[dst_node] >= kInboxDepth) {
+    drop_overflow_.inc();
+    link_drop_counter(src_node, dst_node).inc();
+    src.trace().emit(msg.sent_at, -1, sim::TraceKind::kNetwork,
+                     "fabric.drop",
+                     "inbox overflow at node " + std::to_string(dst_node));
+    return;
+  }
+
+  sim::Duration jitter = 0;
+  if (profile.jitter > 0) {
+    jitter = static_cast<sim::Duration>(link_rng(src_node, dst_node)
+                                            .next_below(profile.jitter + 1));
+  }
+  const sim::Time when =
+      std::max(msg.sent_at + profile.base + jitter, now_);
+  deliver(src_node, dst_node, ep, msg, when);
+}
+
+void Fabric::deliver(int src_node, int dst_node, const Endpoint& ep,
+                     const BacnetMsg& msg, sim::Time when) {
+  ++inflight_[dst_node];
+  inflight_gauge_[dst_node].set(static_cast<double>(inflight_[dst_node]));
+  sim::Machine& dst = *machines_[dst_node];
+  dst.at(when, [this, src_node, dst_node, ep, msg, when] {
+    --inflight_[dst_node];
+    inflight_gauge_[dst_node].set(static_cast<double>(inflight_[dst_node]));
+    sim::Machine& m = *machines_[dst_node];
+    m.trace().emit(m.now(), -1, sim::TraceKind::kNetwork, "fabric.deliver",
+                   std::string(to_string(msg.service)) + " -> " +
+                       ep.dev->name());
+    delivered_.inc();
+    if (msg.service == BacnetMsg::Service::kCovNotification &&
+        msg.sent_at >= 0) {
+      cov_latency_us_.record(static_cast<double>(when - msg.sent_at));
+    }
+    BacnetMsg reply = ep.dev->handle(msg);
+    // Route replies for request services only; COV notifications are
+    // unconfirmed on the fabric, so an ack can never generate an ack.
+    const bool request =
+        msg.service == BacnetMsg::Service::kWhoIs ||
+        msg.service == BacnetMsg::Service::kReadProperty ||
+        msg.service == BacnetMsg::Service::kWriteProperty ||
+        msg.service == BacnetMsg::Service::kSubscribeCov;
+    if (request && devices_.count(reply.dst_device) != 0 &&
+        reply.dst_device != msg.dst_device) {
+      post(dst_node, reply);
+    }
+  });
+}
+
+}  // namespace mkbas::net

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/bacnet.hpp"
+#include "sim/machine.hpp"
+#include "sim/rng.hpp"
+
+namespace mkbas::net {
+
+/// Per-link delivery characteristics. Latency is `base + U[0, jitter]`:
+/// jitter is strictly additive so a packet sent before an epoch barrier
+/// can never be delivered before it (the lockstep causality invariant).
+struct LinkProfile {
+  sim::Duration base = sim::msec(5);
+  sim::Duration jitter = sim::msec(2);
+  double loss = 0.0;  // per-datagram drop probability
+};
+
+/// A scheduled network split between two nodes: datagrams sent in
+/// [from, to) between node_a and node_b (either direction) are dropped;
+/// the link heals at `to`.
+struct PartitionWindow {
+  int node_a = 0;
+  int node_b = 0;
+  sim::Time from = 0;
+  sim::Time to = 0;
+};
+
+/// A deterministic BACnet/IP fabric connecting N sim::Machine instances —
+/// one per zone controller plus a supervisory head-end (node 0 by
+/// convention). The machines advance in conservative lockstep: the fabric
+/// slices virtual time into epochs of one minimum link latency, advances
+/// every machine to the barrier in fixed node order, then routes the
+/// datagrams each node posted during the slice. Because jitter is
+/// additive on top of the base latency, every delivery lands at or after
+/// the barrier where it is routed, so no machine ever receives a message
+/// in its past — and the whole building replays byte-identically from the
+/// topology and the seed alone.
+///
+/// Loss and jitter draws come from one RNG stream per directed link,
+/// seeded from (fabric seed, src, dst), so traffic on one link never
+/// perturbs another link's draws.
+class Fabric {
+ public:
+  /// Bounded per-node delivery queue: a flood saturates the victim's
+  /// inbox and further datagrams are dropped (DoS shows up as loss).
+  static constexpr std::size_t kInboxDepth = 64;
+
+  /// `seed` salts every per-link RNG stream.
+  explicit Fabric(std::uint64_t seed = 1) : seed_(seed) {}
+
+  /// Create the next node (index = add order) backed by its own machine.
+  /// Returns the node index. Node 0 hosts the fabric-wide metrics.
+  int add_node(std::uint64_t machine_seed);
+
+  std::size_t node_count() const { return machines_.size(); }
+  sim::Machine& machine(int node) { return *machines_[node]; }
+
+  /// Register a device on a node. The device's notifier (COV pushes) is
+  /// wired into the fabric; incoming datagrams addressed to its id are
+  /// handled on that node's machine at delivery time.
+  void attach(int node, BacnetDevice& dev);
+
+  /// Default profile for links without an override.
+  void set_default_link(LinkProfile p) { default_link_ = p; }
+  /// Override one directed link (src node -> dst node).
+  void set_link(int src, int dst, LinkProfile p) { links_[{src, dst}] = p; }
+  void add_partition(PartitionWindow w) { partitions_.push_back(w); }
+
+  /// Post a datagram onto the wire from `src_node`. Must be called while
+  /// that node's machine is at the current epoch (i.e. from one of its
+  /// callbacks, or between run_until() calls). The send time is stamped
+  /// from the node's clock; routing happens at the next epoch barrier.
+  void post(int src_node, BacnetMsg msg);
+
+  /// Advance the whole building to virtual time `t` (lockstep).
+  void run_until(sim::Time t);
+
+  sim::Time now() const { return now_; }
+
+  /// Every datagram ever posted, in routing order — the attacker's
+  /// packet capture for replay attacks.
+  const std::vector<BacnetMsg>& sent_log() const { return sent_log_; }
+
+  std::uint64_t delivered() const { return delivered_.value(); }
+  std::uint64_t dropped_loss() const { return drop_loss_.value(); }
+  std::uint64_t dropped_partition() const { return drop_partition_.value(); }
+  std::uint64_t dropped_overflow() const { return drop_overflow_.value(); }
+  std::uint64_t cov_delivered() const { return cov_latency_us_.count(); }
+  /// End-to-end COV latency distribution (microseconds), head-end view.
+  const obs::Histogram& cov_latency() const { return cov_latency_us_; }
+
+ private:
+  struct Endpoint {
+    int node = -1;
+    BacnetDevice* dev = nullptr;
+  };
+  struct OutMsg {
+    int src_node;
+    BacnetMsg msg;  // msg.sent_at carries the posting node's clock
+  };
+
+  const LinkProfile& link(int src, int dst) const;
+  sim::Rng& link_rng(int src, int dst);
+  bool partitioned(int a, int b, sim::Time at) const;
+  sim::Duration quantum() const;
+  void route(int src_node, const BacnetMsg& msg);
+  void deliver(int src_node, int dst_node, const Endpoint& ep,
+               const BacnetMsg& msg, sim::Time when);
+  obs::Counter& link_drop_counter(int src, int dst);
+
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<sim::Machine>> machines_;
+  std::map<std::uint32_t, Endpoint> devices_;        // BACnet id -> endpoint
+  std::map<std::pair<int, int>, LinkProfile> links_;
+  std::map<std::pair<int, int>, sim::Rng> link_rngs_;
+  std::map<std::pair<int, int>, obs::Counter> link_drops_;
+  LinkProfile default_link_{};
+  std::vector<PartitionWindow> partitions_;
+  std::vector<OutMsg> outbox_;  // posts since the last barrier, in order
+  std::vector<BacnetMsg> sent_log_;
+  std::vector<std::size_t> inflight_;  // per node, scheduled undelivered
+  std::vector<obs::Gauge> inflight_gauge_;
+  sim::Time now_ = 0;
+
+  // Fabric-wide metrics, registered on node 0's machine.
+  obs::Counter delivered_;
+  obs::Counter drop_loss_;
+  obs::Counter drop_partition_;
+  obs::Counter drop_overflow_;
+  obs::Histogram cov_latency_us_;
+};
+
+}  // namespace mkbas::net

@@ -19,7 +19,7 @@ namespace {
 core::SafetyReport run_and_check(sim::Machine& m, LinuxUdsScenario& sc,
                                  sim::Time end) {
   m.run_until(end);
-  return core::check_safety(sc.plant().coupler->history(), m.trace(),
+  return core::check_safety(sc.plant()->coupler->history(), m.trace(),
                             sc.config().control, end,
                             sc.config().sensor_period);
 }
@@ -35,7 +35,7 @@ TEST(LinuxUds, BenignControlMatchesTheMqueueTransport) {
   const auto safety = run_and_check(m, sc, sim::minutes(25));
   EXPECT_TRUE(safety.control_alive);
   EXPECT_FALSE(safety.physically_compromised()) << safety.summary();
-  EXPECT_NEAR(sc.plant().room.temperature_c(), 25.0, 1.0);
+  EXPECT_NEAR(sc.plant()->room.temperature_c(), 25.0, 1.0);
 }
 
 TEST(LinuxUds, StatusWorksOverSockets) {

@@ -125,7 +125,7 @@ TEST(BenignScenario, Sel4TimerPairTicksAlongside) {
   mkbas::bas::Sel4Scenario sc(m);
   m.run_until(sim::minutes(5));
   EXPECT_NEAR(static_cast<double>(sc.timer_ticks()), 300.0, 5.0);
-  EXPECT_NEAR(sc.plant().room.temperature_c(), 22.0, 1.5);
+  EXPECT_NEAR(sc.plant()->room.temperature_c(), 22.0, 1.5);
 }
 
 TEST(BenignScenario, PlatformsProduceComparableControlQuality) {
@@ -164,7 +164,7 @@ TEST(BenignScenario, MinixFsLogRecordsEnvironment) {
   const auto lines = std::count(log->begin(), log->end(), '\n');
   EXPECT_GT(lines, 250);
   // Control quality is unaffected by the extra IPC.
-  EXPECT_NEAR(sc.plant().room.temperature_c(), 22.0, 1.0);
+  EXPECT_NEAR(sc.plant()->room.temperature_c(), 22.0, 1.0);
 }
 
 TEST(BenignScenario, MinixWithQuotasWorksBenignly) {

@@ -200,13 +200,13 @@ TEST(AttackMinix, ReincarnationRestoresAKilledDriver) {
   EXPECT_GE(sc.kernel().restarts(), 1);
   EXPECT_TRUE(sc.kernel().is_live(sc.endpoint_of("heaterActProc")));
   const auto safety = core::check_safety(
-      sc.plant().coupler->history(), m.trace(), cfg.control,
+      sc.plant()->coupler->history(), m.trace(), cfg.control,
       sim::minutes(30), cfg.sensor_period);
   EXPECT_TRUE(safety.control_alive);
   EXPECT_FALSE(safety.alarm_violation);
   // The heater keeps being commanded after the restart.
   bool commanded_after_restart = false;
-  for (const auto& tr : sc.plant().heater.transitions()) {
+  for (const auto& tr : sc.plant()->heater.transitions()) {
     if (tr.time > sim::minutes(13)) commanded_after_restart = true;
   }
   EXPECT_TRUE(commanded_after_restart);

@@ -1,0 +1,112 @@
+// The shared experiment_runner flag grammar: every subcommand parses
+// through core::parse_cli, and the legacy positional spellings of the
+// earlier runners must keep working.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cli.hpp"
+
+namespace core = mkbas::core;
+
+namespace {
+
+core::CliArgs parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "experiment_runner");
+  return core::parse_cli(static_cast<int>(argv.size()),
+                         const_cast<char**>(argv.data()));
+}
+
+}  // namespace
+
+TEST(Cli, FlagGrammarCoversSharedOptions) {
+  const auto a = parse({"fabric", "--platform", "sel4", "--scenario", "uds",
+                        "--seed", "9", "--zones", "16", "--jobs", "4",
+                        "--out", "s.json", "--metrics-out", "m.json",
+                        "--trace-out", "t.json", "--attack", "spoof-write"});
+  EXPECT_TRUE(a.error.empty());
+  EXPECT_EQ(a.mode, "fabric");
+  EXPECT_TRUE(a.has_platform);
+  EXPECT_EQ(a.platform, mkbas::bas::Platform::kSel4);
+  EXPECT_EQ(a.scenario, "uds");
+  EXPECT_TRUE(a.has_seed);
+  EXPECT_EQ(a.seed, 9u);
+  EXPECT_EQ(a.zones, 16);
+  EXPECT_EQ(a.jobs, 4);
+  EXPECT_EQ(a.out, "s.json");
+  EXPECT_EQ(a.metrics_out, "m.json");
+  EXPECT_EQ(a.trace_out, "t.json");
+  EXPECT_TRUE(a.has_attack);
+  EXPECT_EQ(a.attack, "spoof-write");
+}
+
+TEST(Cli, DefaultsWhenNothingGiven) {
+  const auto a = parse({"matrix"});
+  EXPECT_TRUE(a.error.empty());
+  EXPECT_EQ(a.mode, "matrix");
+  EXPECT_FALSE(a.has_platform);
+  EXPECT_FALSE(a.has_seed);
+  EXPECT_EQ(a.scenario, "temp");
+  EXPECT_EQ(a.zones, 4);
+  EXPECT_EQ(a.jobs, 1);
+  EXPECT_TRUE(a.pos.empty());
+}
+
+TEST(Cli, LegacyPositionalSpellingsStillParse) {
+  // The pre-unification grammar: "attack linux kill root".
+  const auto a = parse({"attack", "linux", "kill", "root"});
+  EXPECT_TRUE(a.error.empty());
+  EXPECT_EQ(a.mode, "attack");
+  EXPECT_TRUE(a.has_platform);
+  EXPECT_EQ(a.platform, mkbas::bas::Platform::kLinux);
+  EXPECT_TRUE(a.root);
+  // Non-flag words stay visible as positionals for the subcommand.
+  ASSERT_EQ(a.pos.size(), 2u);
+  EXPECT_EQ(a.pos[0], "linux");
+  EXPECT_EQ(a.pos[1], "kill");
+}
+
+TEST(Cli, LegacyFaultSeedSpelling) {
+  const auto a = parse({"fault", "minix", "seed", "7", "no-probe"});
+  EXPECT_TRUE(a.error.empty());
+  EXPECT_TRUE(a.has_seed);
+  EXPECT_EQ(a.seed, 7u);
+  EXPECT_TRUE(a.no_probe);
+  EXPECT_EQ(a.platform, mkbas::bas::Platform::kMinix);
+}
+
+TEST(Cli, CampaignSubmodeIsPositional) {
+  const auto a = parse({"campaign", "fabric", "--zones", "8", "--jobs", "2"});
+  EXPECT_TRUE(a.error.empty());
+  EXPECT_EQ(a.mode, "campaign");
+  ASSERT_EQ(a.pos.size(), 1u);
+  EXPECT_EQ(a.pos[0], "fabric");
+  EXPECT_EQ(a.zones, 8);
+  EXPECT_EQ(a.jobs, 2);
+}
+
+TEST(Cli, UnknownFlagAndMissingValueAreErrors) {
+  EXPECT_FALSE(parse({"benign", "--frobnicate"}).error.empty());
+  EXPECT_FALSE(parse({"benign", "--seed"}).error.empty());
+  EXPECT_FALSE(parse({"benign", "--platform", "plan9"}).error.empty());
+}
+
+TEST(Cli, ParserHelpersRoundTrip) {
+  mkbas::bas::Platform p;
+  EXPECT_TRUE(core::parse_platform("minix", &p));
+  EXPECT_TRUE(core::parse_platform("sel4", &p));
+  EXPECT_TRUE(core::parse_platform("linux", &p));
+  EXPECT_FALSE(core::parse_platform("windows", &p));
+
+  mkbas::attack::AttackKind k;
+  EXPECT_TRUE(core::parse_attack_kind("spoof-sensor", &k));
+  EXPECT_TRUE(core::parse_attack_kind("brute-force", &k));
+  EXPECT_FALSE(core::parse_attack_kind("spoof-write", &k));
+
+  core::FabricAttack f;
+  EXPECT_TRUE(core::parse_fabric_attack("none", &f));
+  EXPECT_TRUE(core::parse_fabric_attack("spoof-write", &f));
+  EXPECT_TRUE(core::parse_fabric_attack("replay", &f));
+  EXPECT_TRUE(core::parse_fabric_attack("flood", &f));
+  EXPECT_FALSE(core::parse_fabric_attack("kill", &f));
+}

@@ -61,11 +61,11 @@ TEST(Resilience, HttpOverloadRefusesButDoesNotDisturbControl) {
   EXPECT_GT(answered, 100u);
   // ...and the control loop is unaffected.
   const auto safety = core::check_safety(
-      sc.plant().coupler->history(), m.trace(),
+      sc.plant()->coupler->history(), m.trace(),
       mkbas::bas::ControlConfig{}, sim::minutes(20));
   EXPECT_TRUE(safety.control_alive);
   EXPECT_FALSE(safety.alarm_violation);
-  EXPECT_NEAR(sc.plant().room.temperature_c(), 22.0, 1.0);
+  EXPECT_NEAR(sc.plant()->room.temperature_c(), 22.0, 1.0);
 }
 
 TEST(Resilience, WebInterfaceDeathDoesNotAffectTheControlLoop) {
@@ -82,11 +82,11 @@ TEST(Resilience, WebInterfaceDeathDoesNotAffectTheControlLoop) {
   m.run_until(sim::minutes(30));
   EXPECT_FALSE(sc.kernel().is_live(sc.endpoint_of("webInterface")));
   const auto safety = core::check_safety(
-      sc.plant().coupler->history(), m.trace(),
+      sc.plant()->coupler->history(), m.trace(),
       mkbas::bas::ControlConfig{}, sim::minutes(30));
   EXPECT_TRUE(safety.control_alive);
   EXPECT_FALSE(safety.physically_compromised());
-  EXPECT_NEAR(sc.plant().room.temperature_c(), 22.0, 1.0);
+  EXPECT_NEAR(sc.plant()->room.temperature_c(), 22.0, 1.0);
 }
 
 TEST(Resilience, SensorDeathIsHealedByReincarnation) {
@@ -107,7 +107,7 @@ TEST(Resilience, SensorDeathIsHealedByReincarnation) {
   }
   EXPECT_GT(last_sample, sim::minutes(29));
   const auto safety = core::check_safety(
-      sc.plant().coupler->history(), m.trace(),
+      sc.plant()->coupler->history(), m.trace(),
       mkbas::bas::ControlConfig{}, sim::minutes(30));
   EXPECT_TRUE(safety.control_alive);
 }
@@ -126,7 +126,7 @@ TEST(Resilience, ControlProcessDeathIsHealedByReincarnation) {
   m.run_until(sim::minutes(30));
   EXPECT_TRUE(sc.kernel().is_live(sc.endpoint_of("tempProc")));
   const auto safety = core::check_safety(
-      sc.plant().coupler->history(), m.trace(),
+      sc.plant()->coupler->history(), m.trace(),
       mkbas::bas::ControlConfig{}, sim::minutes(30));
   EXPECT_TRUE(safety.control_alive);
   EXPECT_FALSE(safety.temp_excursion);
