@@ -1,0 +1,189 @@
+// O — causal-span tracing overhead. One JSON artifact (BENCH_obs.json).
+//
+// Three arms of the same MINIX sendrec round-trip workload, in one
+// process:
+//   off   — SpanStore disabled (begin/end return immediately)
+//   on    — spans enabled, unbounded store (every IPC hop recorded)
+//   ring  — spans enabled, small ring buffer (steady-state eviction)
+//
+// The gate is a *relative* claim, so it holds on any host: the "on" arm
+// must stay within 5% of the "off" arm's nanoseconds per operation
+// (bench/check_regression.py, kind bench_obs). The ring arm also proves
+// the eviction accounting: spans dropped by the ring are counted
+// separately from spans abandoned by process death, and the store's
+// conservation invariants must hold after the run.
+//
+// The last stdout line is the JSON summary.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "minix/kernel.hpp"
+#include "sim/machine.hpp"
+
+namespace sim = mkbas::sim;
+namespace minix = mkbas::minix;
+
+namespace {
+
+minix::AcmPolicy open_policy() {
+  minix::AcmPolicy acm;
+  acm.allow_mask(10, 11, ~0ULL);
+  acm.allow_mask(11, 10, ~0ULL);
+  return acm;
+}
+
+enum class Arm { kOff, kOn, kRing };
+
+struct Pass {
+  std::uint64_t ops = 0;
+  double wall_ns = 0;
+  std::uint64_t spans_kept = 0;
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t spans_abandoned = 0;
+  bool invariants = true;
+  double ns_per_op() const {
+    return ops > 0 ? wall_ns / static_cast<double>(ops) : 0.0;
+  }
+};
+
+Pass run_pass(Arm arm, std::size_t ring_capacity) {
+  sim::Machine m;
+  m.spans().set_enabled(arm != Arm::kOff);
+  if (arm == Arm::kRing) m.spans().set_capacity(ring_capacity);
+  minix::MinixKernel k(m, open_policy());
+  auto ops = std::make_shared<std::uint64_t>(0);
+  const minix::Endpoint server = k.srv_fork2("server", 10, [&k] {
+    for (;;) {
+      minix::Message msg;
+      if (k.ipc_receive(minix::Endpoint::any(), msg) !=
+          minix::IpcResult::kOk) {
+        continue;
+      }
+      minix::Message reply;
+      reply.m_type = 0;
+      k.ipc_senda(msg.source(), reply);
+    }
+  });
+  k.srv_fork2("client", 11, [&k, server, ops] {
+    for (;;) {
+      minix::Message msg;
+      msg.m_type = 1;
+      if (k.ipc_sendrec(server, msg) == minix::IpcResult::kOk) ++*ops;
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  m.run_for(sim::msec(200));
+  const auto t1 = std::chrono::steady_clock::now();
+  Pass p;
+  p.ops = *ops;
+  p.wall_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  const auto& s = m.spans();
+  p.spans_kept = s.size();
+  p.spans_dropped = s.dropped();
+  p.spans_abandoned = s.total_abandoned();
+  // Conservation: every span begun is open, ended or abandoned; every
+  // closed span is either still stored or was evicted by the ring.
+  const std::uint64_t open =
+      s.total_begun() - s.total_ended() - s.total_abandoned();
+  p.invariants =
+      s.total_begun() >= s.total_ended() + s.total_abandoned() &&
+      s.total_ended() + s.total_abandoned() == s.size() + s.dropped() &&
+      (arm != Arm::kOff || s.total_begun() == 0) &&
+      open <= 16;  // only the in-flight handful may still be open
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_obs.json";
+  std::size_t ring = 1024;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--ring") == 0 && i + 1 < argc) {
+      ring = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    }
+  }
+
+  std::printf("O: causal-span tracing overhead (MINIX sendrec)\n");
+
+  // Interleave repetitions and keep the fastest pass of each arm: the
+  // minimum is the least scheduler-noise-sensitive statistic on shared
+  // CI machines.
+  Pass best_off, best_on, best_ring;
+  for (int rep = 0; rep < reps; ++rep) {
+    const Pass off = run_pass(Arm::kOff, ring);
+    const Pass on = run_pass(Arm::kOn, ring);
+    const Pass rg = run_pass(Arm::kRing, ring);
+    if (rep == 0 || off.ns_per_op() < best_off.ns_per_op()) best_off = off;
+    if (rep == 0 || on.ns_per_op() < best_on.ns_per_op()) best_on = on;
+    if (rep == 0 || rg.ns_per_op() < best_ring.ns_per_op()) best_ring = rg;
+  }
+
+  auto overhead = [&](const Pass& p) {
+    return best_off.ns_per_op() > 0
+               ? (p.ns_per_op() - best_off.ns_per_op()) /
+                     best_off.ns_per_op() * 100.0
+               : 0.0;
+  };
+  const double on_pct = overhead(best_on);
+  const double ring_pct = overhead(best_ring);
+  const bool invariants =
+      best_off.invariants && best_on.invariants && best_ring.invariants;
+  // The ring arm must actually exercise eviction, and eviction must be
+  // accounted as "dropped", never as "abandoned".
+  const bool ring_exercised = best_ring.spans_dropped > 0 &&
+                              best_ring.spans_kept <= ring &&
+                              best_on.spans_dropped == 0;
+
+  std::printf("off  : %llu ops, %.1f ns/op\n",
+              static_cast<unsigned long long>(best_off.ops),
+              best_off.ns_per_op());
+  std::printf("on   : %llu ops, %.1f ns/op (%+.2f%%), %llu spans kept\n",
+              static_cast<unsigned long long>(best_on.ops),
+              best_on.ns_per_op(), on_pct,
+              static_cast<unsigned long long>(best_on.spans_kept));
+  std::printf("ring : %llu ops, %.1f ns/op (%+.2f%%), %llu kept / %llu "
+              "dropped (capacity %zu)\n",
+              static_cast<unsigned long long>(best_ring.ops),
+              best_ring.ns_per_op(), ring_pct,
+              static_cast<unsigned long long>(best_ring.spans_kept),
+              static_cast<unsigned long long>(best_ring.spans_dropped),
+              ring);
+  std::printf("accounting: invariants %s, ring eviction %s\n",
+              invariants ? "hold" : "VIOLATED",
+              ring_exercised ? "exercised" : "NOT EXERCISED");
+
+  char json[640];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"bench_obs\",\"invariants\":%s,"
+      "\"ns_per_op_off\":%.1f,\"ns_per_op_on\":%.1f,\"ns_per_op_ring\":%.1f,"
+      "\"ops_off\":%llu,\"ops_on\":%llu,\"ops_ring\":%llu,"
+      "\"overhead_on_pct\":%.2f,\"overhead_ring_pct\":%.2f,"
+      "\"ring_capacity\":%zu,\"ring_dropped\":%llu,\"ring_exercised\":%s,"
+      "\"spans_on\":%llu}",
+      invariants ? "true" : "false", best_off.ns_per_op(),
+      best_on.ns_per_op(), best_ring.ns_per_op(),
+      static_cast<unsigned long long>(best_off.ops),
+      static_cast<unsigned long long>(best_on.ops),
+      static_cast<unsigned long long>(best_ring.ops), on_pct, ring_pct, ring,
+      static_cast<unsigned long long>(best_ring.spans_dropped),
+      ring_exercised ? "true" : "false",
+      static_cast<unsigned long long>(best_on.spans_kept));
+  if (!out.empty()) {
+    std::ofstream f(out);
+    f << json << "\n";
+  }
+  std::printf("%s\n", json);
+  return invariants && ring_exercised ? 0 : 1;
+}

@@ -25,6 +25,19 @@ bench_net (BENCH_net.json):
   * trace_hash            -- the whole building's trace, likewise exact.
   * deterministic         -- rerun + campaign --jobs divergences.
 
+bench_obs (BENCH_obs.json):
+
+  * overhead_on_pct       -- span tracing must cost <= 5% of IPC
+                             throughput vs the spans-off arm of the same
+                             run (a within-run relative claim, so it
+                             holds on any host; the 20% default does not
+                             apply here).
+  * invariants            -- the span store's conservation counters
+                             (begun = open + ended + abandoned;
+                             ended + abandoned = kept + dropped).
+  * ring_exercised        -- the ring arm evicted spans, and eviction is
+                             accounted as dropped, never abandoned.
+
 Absolute wall-clock and the parallel speedup depend on the host: speedup
 is only checked when the "cores" field matches the baseline's (a 1-core
 CI runner cannot reproduce a 4-core speedup, and silently comparing the
@@ -43,7 +56,11 @@ import argparse
 import json
 import sys
 
-KNOWN = ("bench_campaign", "bench_net")
+KNOWN = ("bench_campaign", "bench_net", "bench_obs")
+
+# Tracing must stay effectively free on the IPC hot path: the "spans on"
+# arm may cost at most this much relative to the "spans off" arm.
+OBS_MAX_OVERHEAD_PCT = 5.0
 
 
 def load(path: str) -> dict:
@@ -87,6 +104,23 @@ def check_net(base: dict, cur: dict, max_drop: float) -> list:
     return failures
 
 
+def check_obs(base: dict, cur: dict) -> list:
+    failures = []
+    overhead = float(cur["overhead_on_pct"])
+    print(f"span overhead: {overhead:+.2f}% vs spans-off "
+          f"(baseline {float(base.get('overhead_on_pct', 0)):+.2f}%, "
+          f"limit +{OBS_MAX_OVERHEAD_PCT:.0f}%)")
+    if overhead > OBS_MAX_OVERHEAD_PCT:
+        failures.append(
+            f"span tracing costs {overhead:.2f}% of IPC throughput "
+            f"(limit {OBS_MAX_OVERHEAD_PCT:.0f}%)")
+    for key in ("invariants", "ring_exercised"):
+        print(f"{key}: {cur.get(key)}")
+        if not cur.get(key, False):
+            failures.append(f"{key}=false in the current run")
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
@@ -109,6 +143,15 @@ def main() -> int:
 
     if base["bench"] == "bench_net":
         failures = check_net(base, cur, args.max_drop)
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print("perf gate ok")
+        return 0
+
+    if base["bench"] == "bench_obs":
+        failures = check_obs(base, cur)
         if failures:
             for f in failures:
                 print(f"REGRESSION: {f}", file=sys.stderr)

@@ -4,6 +4,7 @@
 //   --platform <minix|sel4|linux>  --scenario <temp|uds|bsl3>
 //   --seed N  --zones N  --jobs N  --out FILE
 //   --metrics-out FILE  --trace-out FILE
+//   --trace-spans FILE  --audit-out FILE  --critical-out FILE
 //
 //   $ ./experiment_runner benign --platform minix
 //   $ ./experiment_runner attack --platform linux --attack kill --root
@@ -28,6 +29,7 @@
 #include "campaign/campaign.hpp"
 #include "core/cli.hpp"
 #include "core/report.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_export.hpp"
 
 namespace core = mkbas::core;
@@ -52,32 +54,49 @@ int usage() {
       "       experiment_runner campaign sweep --platform P [--seeds N]\n"
       "shared: --scenario <temp|uds|bsl3> --seed N --zones N --jobs N "
       "--out F --metrics-out F --trace-out F\n"
+      "        --trace-spans F --audit-out F --critical-out F\n"
       "attacks: spoof-sensor spoof-actuator kill fork-bomb brute-force "
       "flood\n");
   return 2;
 }
 
-/// Build the RunOptions::observe hook that writes --metrics-out and
-/// --trace-out files. Returns an empty function when neither was given.
+void write_file_warn(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  f << text << "\n";
+  if (!f) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+/// Build the RunOptions::observe hook that writes the --metrics-out,
+/// --trace-out, --trace-spans, --audit-out and --critical-out files.
+/// Returns an empty function when none was given. The critical-path
+/// export decomposes the single-machine control loop: sensor.sample
+/// roots, act.apply leaves.
 std::function<void(mkbas::sim::Machine&)> make_observer(
-    const std::string& metrics_out, const std::string& trace_out) {
-  if (metrics_out.empty() && trace_out.empty()) return {};
-  return [metrics_out, trace_out](mkbas::sim::Machine& m) {
-    if (!metrics_out.empty()) {
-      std::ofstream f(metrics_out);
-      f << core::metrics_to_json(m) << "\n";
-      if (!f) {
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     metrics_out.c_str());
-      }
+    const core::CliArgs& a) {
+  if (a.metrics_out.empty() && a.trace_out.empty() && a.spans_out.empty() &&
+      a.audit_out.empty() && a.critical_out.empty()) {
+    return {};
+  }
+  return [a](mkbas::sim::Machine& m) {
+    if (!a.metrics_out.empty()) {
+      write_file_warn(a.metrics_out, core::metrics_to_json(m));
     }
-    if (!trace_out.empty()) {
-      std::ofstream f(trace_out);
+    if (!a.trace_out.empty()) {
+      std::ofstream f(a.trace_out);
       mkbas::obs::write_chrome_trace(f, m.trace());
       if (!f) {
         std::fprintf(stderr, "warning: could not write %s\n",
-                     trace_out.c_str());
+                     a.trace_out.c_str());
       }
+    }
+    if (!a.spans_out.empty()) write_file_warn(a.spans_out, m.spans().to_json());
+    if (!a.audit_out.empty()) write_file_warn(a.audit_out, m.audit().to_json());
+    if (!a.critical_out.empty()) {
+      write_file_warn(a.critical_out,
+                      mkbas::obs::critical_path_json(
+                          m.spans(), "sensor.sample", "act.apply"));
     }
   };
 }
@@ -97,17 +116,22 @@ bool write_or_print(const std::string& path, const std::string& text) {
 }
 
 /// Deterministic one-line JSON for a fabric run (what the CI determinism
-/// gate diffs across --jobs / reruns).
+/// gate diffs across --jobs / reruns). Keys emitted in sorted order, like
+/// every other JSON export in the repo.
 std::string fabric_summary_json(const core::FabricRunResult& r) {
-  std::string s = "{\"zones\":" + std::to_string(r.zones) + ",\"attack\":\"" +
-                  core::to_string(r.attack) + "\",\"delivered\":" +
+  std::string s = "{\"attack\":\"" + std::string(core::to_string(r.attack)) +
+                  "\",\"audit_hash\":\"" +
+                  core::hex64(core::fnv1a(r.audit_json)) + "\",\"cov\":" +
+                  std::to_string(r.cov_count) + ",\"delivered\":" +
                   std::to_string(r.delivered) + ",\"drop_loss\":" +
-                  std::to_string(r.drop_loss) + ",\"drop_partition\":" +
-                  std::to_string(r.drop_partition) + ",\"drop_overflow\":" +
-                  std::to_string(r.drop_overflow) + ",\"cov\":" +
-                  std::to_string(r.cov_count) + ",\"trace_hash\":\"" +
-                  core::hex64(r.trace_hash) + "\",\"metrics_hash\":\"" +
-                  core::hex64(core::fnv1a(r.metrics_json)) + "\"}";
+                  std::to_string(r.drop_loss) + ",\"drop_overflow\":" +
+                  std::to_string(r.drop_overflow) + ",\"drop_partition\":" +
+                  std::to_string(r.drop_partition) + ",\"metrics_hash\":\"" +
+                  core::hex64(core::fnv1a(r.metrics_json)) +
+                  "\",\"spans_hash\":\"" +
+                  core::hex64(core::fnv1a(r.spans_json)) +
+                  "\",\"trace_hash\":\"" + core::hex64(r.trace_hash) +
+                  "\",\"zones\":" + std::to_string(r.zones) + "}";
   return s;
 }
 
@@ -117,7 +141,7 @@ core::RunOptions run_options_from(const core::CliArgs& a) {
   if (a.has_seed) opts.seed = a.seed;
   opts.minix_quotas = a.quota;
   opts.linux_separate_accounts = a.acl;
-  opts.observe = make_observer(a.metrics_out, a.trace_out);
+  opts.observe = make_observer(a);
   return opts;
 }
 
@@ -179,6 +203,14 @@ int main(int argc, char** argv) {
                     c.benign.safety.alarm_violation ? "VIOLATED" : "held");
       }
     }
+    // Merged span store / audit journal, folded in cell order — the same
+    // bytes for every --jobs value (the CI determinism gate diffs them).
+    if (!args.spans_out.empty()) {
+      write_file_warn(args.spans_out, result.merged_spans_json);
+    }
+    if (!args.audit_out.empty()) {
+      write_file_warn(args.audit_out, result.merged_audit_json);
+    }
     return write_or_print(args.out, result.summary_json()) ? 0 : 1;
   }
 
@@ -195,8 +227,16 @@ int main(int argc, char** argv) {
     const auto res = core::run_fabric(opts);
     std::fputs(core::format_fabric_table(res).c_str(), stdout);
     if (!args.metrics_out.empty()) {
-      std::ofstream f(args.metrics_out);
-      f << res.metrics_json << "\n";
+      write_file_warn(args.metrics_out, res.metrics_json);
+    }
+    if (!args.spans_out.empty()) {
+      write_file_warn(args.spans_out, res.spans_json);
+    }
+    if (!args.audit_out.empty()) {
+      write_file_warn(args.audit_out, res.audit_json);
+    }
+    if (!args.critical_out.empty()) {
+      write_file_warn(args.critical_out, res.critical_path_json);
     }
     return write_or_print(args.out, fabric_summary_json(res)) ? 0 : 1;
   }

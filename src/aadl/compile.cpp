@@ -233,11 +233,11 @@ minix::AcmPolicy generate_acm(const CompiledSystem& sys,
     }
     acm.allow(inst.ac_id, opts.pm_ac_id, {kAckMType});
     acm.allow(opts.pm_ac_id, inst.ac_id, {kAckMType});
-    if (!inst.may_kill.empty()) {
+    if (!inst.may_kill.empty() || opts.open_kill_syscall) {
       acm.allow(inst.ac_id, opts.pm_ac_id, {opts.pm_kill_mtype});
-      for (const auto& target : inst.may_kill) {
-        acm.allow_kill(inst.ac_id, sys.ac_of(target));
-      }
+    }
+    for (const auto& target : inst.may_kill) {
+      acm.allow_kill(inst.ac_id, sys.ac_of(target));
     }
     if (inst.fork_quota >= 0) {
       acm.set_fork_quota(inst.ac_id, inst.fork_quota);

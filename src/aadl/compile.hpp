@@ -77,6 +77,13 @@ struct AcmGenOptions {
   int pm_ac_id = 1;
   bool allow_fork = true;   // every process may ask PM to fork
   bool allow_exit = true;   // every process may notify PM of exit
+  /// Let every process *reach* PM's kill service (as on real MINIX,
+  /// where the syscall exists for everyone); whether a given target may
+  /// actually be killed is still decided by the per-pair kill matrix
+  /// inside PM. With this off, processes without a may_kill list cannot
+  /// even address the service — the denial then happens silently at the
+  /// IPC edge instead of as an audited pm-side ACM decision.
+  bool open_kill_syscall = false;
   bool enable_quotas = false;
   int pm_fork_mtype = 1;    // mirrors minix::PmProtocol
   int pm_exit_mtype = 3;

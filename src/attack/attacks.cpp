@@ -36,6 +36,37 @@ void trace_attack(sim::Machine& m, const std::string& what,
   m.trace().emit(m.now(), -1, sim::TraceKind::kAttack, what, detail);
 }
 
+/// Roots the attack's causal trace at the compromised web endpoint:
+/// every syscall the payload makes — and every denial it provokes —
+/// chains under a "web.compromised" span on the web process. finish()
+/// writes the attack verdict into the audit journal under the same
+/// context, so `--audit-out` reconstructs endpoint -> IPC -> denial ->
+/// verdict end to end.
+class AttackSpan {
+ public:
+  explicit AttackSpan(sim::Machine& m)
+      : m_(m),
+        pid_(m.current() != nullptr ? m.current()->pid() : -1),
+        span_(m.spans().begin(
+            pid_, m.now(),
+            sim::TagRegistry::instance().intern("web.compromised"))) {}
+
+  void finish(const AttackOutcome& out) {
+    m_.audit().record(m_.now(), m_.machine_id(), pid_, "attack.verdict",
+                      std::string(to_string(out.kind)) +
+                          (out.primitive_succeeded ? " SUCCEEDED: "
+                                                   : " blocked: ") +
+                          out.detail,
+                      m_.spans(), m_.spans().current(pid_));
+    m_.spans().end(pid_, m_.now(), span_);
+  }
+
+ private:
+  sim::Machine& m_;
+  int pid_;
+  std::uint64_t span_;
+};
+
 }  // namespace
 
 // ---- MINIX 3 ----
@@ -52,6 +83,7 @@ std::function<void(bas::MinixScenario&)> minix_attack(AttackKind kind,
     auto& k = sc.kernel();
     auto& m = sc.machine();
     out->attempted = true;
+    AttackSpan aspan(m);
     const minix::Endpoint ctl = sc.endpoint_of("tempProc");
     const minix::Endpoint heater = sc.endpoint_of("heaterActProc");
     const minix::Endpoint alarm = sc.endpoint_of("alarmProc");
@@ -187,6 +219,7 @@ std::function<void(bas::MinixScenario&)> minix_attack(AttackKind kind,
         break;
       }
     }
+    aspan.finish(*out);
   };
 }
 
@@ -202,6 +235,7 @@ std::function<void(bas::Sel4Scenario&, camkes::Runtime&)> sel4_attack(
     auto& k = sc.kernel();
     auto& m = sc.machine();
     out->attempted = true;
+    AttackSpan aspan(m);
 
     switch (kind) {
       case AttackKind::kSpoofSensor: {
@@ -312,6 +346,7 @@ std::function<void(bas::Sel4Scenario&, camkes::Runtime&)> sel4_attack(
         break;
       }
     }
+    aspan.finish(*out);
   };
 }
 
@@ -326,6 +361,7 @@ std::function<void(bas::LinuxScenario&)> linux_attack(AttackKind kind,
     auto& k = sc.kernel();
     auto& m = sc.machine();
     out->attempted = true;
+    AttackSpan aspan(m);
     if (priv == Privilege::kRoot) k.exploit_escalate_to_root();
 
     switch (kind) {
@@ -456,6 +492,7 @@ std::function<void(bas::LinuxScenario&)> linux_attack(AttackKind kind,
         break;
       }
     }
+    aspan.finish(*out);
   };
 }
 

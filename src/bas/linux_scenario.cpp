@@ -128,14 +128,21 @@ void LinuxScenario::scenario_proc() {
 
 void LinuxScenario::sensor_proc() {
   auto& k = *kernel_;
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_sample =
+      sim::TagRegistry::instance().intern("sensor.sample");
+  const int self = machine_.current()->pid();
   const int fd = k.mq_open(kQSensor, false);
   if (fd < 0) return;
   for (;;) {
+    // Root of the control-loop trace (see the MINIX scenario).
+    const std::uint64_t s = spans.begin(self, machine_.now(), tag_sample);
     const double t = plant_->sensor.read_temperature_c();
     machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kDevice,
                           "sensor.sample", "", t);
     // Non-blocking, like the other platforms: stale samples are dropped.
     k.mq_send(fd, {encode_temp(t), 0}, /*blocking=*/false);
+    spans.end(self, machine_.now(), s);
     machine_.sleep_for(cfg_.sensor_period);
   }
 }
@@ -153,6 +160,10 @@ void LinuxScenario::control_proc() {
   if (fd_sensor < 0 || fd_heater < 0 || fd_alarm < 0) return;
 
   TempControlLogic logic(cfg_.control);
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_compute =
+      sim::TagRegistry::instance().intern("ctl.compute");
+  const int self = machine_.current()->pid();
   // Control-quality metrics (see the MINIX scenario for the definition).
   auto jitter = machine_.metrics().log_histogram("linux.ctl.jitter", 4, 1e6);
   auto actuations = machine_.metrics().counter("linux.ctl.actuations");
@@ -163,6 +174,9 @@ void LinuxScenario::control_proc() {
     if (k.mq_receive(fd_sensor, msg) != Errno::kOk) return;
     double t = 0;
     if (decode_temp(msg.data, &t)) {
+      // Chains under the sensor's mq hop (delivery set this pid's current
+      // context); both actuator sends below chain under it in turn.
+      const std::uint64_t cs = spans.begin(self, machine_.now(), tag_compute);
       // NOTE the structural weakness: nothing authenticates that this
       // message came from the sensor process.
       const auto d = logic.on_sample(t, machine_.now());
@@ -179,6 +193,7 @@ void LinuxScenario::control_proc() {
             dt > nominal ? dt - nominal : nominal - dt));
       }
       last_sample_t = machine_.now();
+      spans.end(self, machine_.now(), cs);
     }
     // ... then check for pending setpoint updates from the web interface,
     MqMessage sp_msg;
@@ -210,25 +225,57 @@ void LinuxScenario::control_proc() {
 
 void LinuxScenario::heater_proc() {
   auto& k = *kernel_;
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_apply =
+      sim::TagRegistry::instance().intern("act.apply");
+  const std::uint32_t tag_sample =
+      sim::TagRegistry::instance().intern("sensor.sample");
+  auto e2e = machine_.metrics().log_histogram("linux.ctl.e2e_us", 4, 1e6);
+  const int self = machine_.current()->pid();
   const int fd = k.mq_open(kQHeater, false);
   if (fd < 0) return;
   for (;;) {
     MqMessage msg;
     if (k.mq_receive(fd, msg) != Errno::kOk) return;
     bool on = false;
-    if (decode_cmd(msg.data, &on)) plant_->heater.set_on(on, machine_.now());
+    if (!decode_cmd(msg.data, &on)) continue;
+    const std::uint64_t s = spans.begin(self, machine_.now(), tag_apply);
+    plant_->heater.set_on(on, machine_.now());
+    // Sensor-to-actuation latency measured on the span chain itself (see
+    // the MINIX scenario for why the root check matters).
+    const std::uint64_t root = spans.root_of(s);
+    if (root != 0 && spans.name_of(root) == tag_sample) {
+      const sim::Time t0 = spans.start_of(root);
+      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+    }
+    spans.end(self, machine_.now(), s);
   }
 }
 
 void LinuxScenario::alarm_proc() {
   auto& k = *kernel_;
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_apply =
+      sim::TagRegistry::instance().intern("act.apply");
+  const std::uint32_t tag_sample =
+      sim::TagRegistry::instance().intern("sensor.sample");
+  auto e2e = machine_.metrics().log_histogram("linux.ctl.e2e_us", 4, 1e6);
+  const int self = machine_.current()->pid();
   const int fd = k.mq_open(kQAlarm, false);
   if (fd < 0) return;
   for (;;) {
     MqMessage msg;
     if (k.mq_receive(fd, msg) != Errno::kOk) return;
     bool on = false;
-    if (decode_cmd(msg.data, &on)) plant_->alarm.set_on(on, machine_.now());
+    if (!decode_cmd(msg.data, &on)) continue;
+    const std::uint64_t s = spans.begin(self, machine_.now(), tag_apply);
+    plant_->alarm.set_on(on, machine_.now());
+    const std::uint64_t root = spans.root_of(s);
+    if (root != 0 && spans.name_of(root) == tag_sample) {
+      const sim::Time t0 = spans.start_of(root);
+      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+    }
+    spans.end(self, machine_.now(), s);
   }
 }
 

@@ -37,6 +37,12 @@ MinixScenario::MinixScenario(sim::Machine& machine, ScenarioConfig cfg)
 
   aadl::AcmGenOptions opts;
   opts.enable_quotas = cfg_.enable_quotas;
+  // The kill syscall is addressable by everyone (as on real MINIX); the
+  // kill matrix inside PM still denies every pair — so a blocked kill
+  // is an audited PM decision whose journal entry carries the full
+  // causal chain (web.compromised -> minix.ipc -> pm.audit ->
+  // acm.kill_deny), not a silent edge drop.
+  opts.open_kill_syscall = true;
   minix::AcmPolicy acm = aadl::generate_acm(system_, opts);
   // The scenario loader needs fork/exit edges to PM (it is not part of
   // the AADL model proper; a real system's init server plays this role).
@@ -98,8 +104,15 @@ void MinixScenario::loader_proc() {
 
 void MinixScenario::sensor_proc() {
   auto& k = *kernel_;
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_sample =
+      sim::TagRegistry::instance().intern("sensor.sample");
+  const int self = machine_.current()->pid();
   Endpoint ctl = k.wait_lookup("tempProc");
   for (;;) {
+    // Root of the control-loop trace: the IPC hop to the controller (and
+    // everything the controller does with this sample) chains under it.
+    const std::uint64_t s = spans.begin(self, machine_.now(), tag_sample);
     const double t = plant_->sensor.read_temperature_c();
     machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kDevice,
                           "sensor.sample", "", t);
@@ -113,12 +126,17 @@ void MinixScenario::sensor_proc() {
       const Endpoint fresh = k.lookup("tempProc");
       if (fresh.valid()) ctl = fresh;
     }
+    spans.end(self, machine_.now(), s);
     machine_.sleep_for(cfg_.sensor_period);
   }
 }
 
 void MinixScenario::control_proc() {
   auto& k = *kernel_;
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_compute =
+      sim::TagRegistry::instance().intern("ctl.compute");
+  const int self = machine_.current()->pid();
   Endpoint heater = k.wait_lookup("heaterActProc");
   Endpoint alarm = k.wait_lookup("alarmProc");
   Endpoint sensor_ep = k.wait_lookup("tempSensProc");
@@ -177,6 +195,12 @@ void MinixScenario::control_proc() {
           if (fresh.valid()) sensor_ep = fresh;
           if (m.source() != sensor_ep) break;
         }
+        // Opened only after source validation so a rejected message never
+        // leaks an open span. The IPC delivery path has already set this
+        // pid's current context to the sensor's hop, so the compute span
+        // (and both actuator commands issued inside it) chain under the
+        // sample that triggered them.
+        const std::uint64_t cs = spans.begin(self, machine_.now(), tag_compute);
         const auto d =
             logic.on_sample(m.get_f64(WireFormat::kTempOff), machine_.now());
         command(heater, "heaterActProc", d.heater_on);
@@ -191,6 +215,7 @@ void MinixScenario::control_proc() {
         }
         last_sample_t = machine_.now();
         log_env();
+        spans.end(self, machine_.now(), cs);
         break;
       }
       case ScenarioMTypes::kSetpoint: {
@@ -224,23 +249,55 @@ void MinixScenario::control_proc() {
 
 void MinixScenario::heater_proc() {
   auto& k = *kernel_;
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_apply =
+      sim::TagRegistry::instance().intern("act.apply");
+  const std::uint32_t tag_sample =
+      sim::TagRegistry::instance().intern("sensor.sample");
+  auto e2e = machine_.metrics().log_histogram("minix.ctl.e2e_us", 4, 1e6);
+  const int self = machine_.current()->pid();
   for (;;) {
     Message m;
     if (k.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
     if (m.m_type != ScenarioMTypes::kActuatorCmd) continue;
+    const std::uint64_t s = spans.begin(self, machine_.now(), tag_apply);
     plant_->heater.set_on(m.get_i32(WireFormat::kCmdOff) != 0,
                           machine_.now());
+    // Sensor-to-actuation latency measured on the span chain itself, so
+    // the histogram and the critical-path export agree exactly. The root
+    // check filters commands that were not triggered by a sample (e.g.
+    // spoofed frames, which root under an attack span instead).
+    const std::uint64_t root = spans.root_of(s);
+    if (root != 0 && spans.name_of(root) == tag_sample) {
+      const sim::Time t0 = spans.start_of(root);
+      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+    }
+    spans.end(self, machine_.now(), s);
   }
 }
 
 void MinixScenario::alarm_proc() {
   auto& k = *kernel_;
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_apply =
+      sim::TagRegistry::instance().intern("act.apply");
+  const std::uint32_t tag_sample =
+      sim::TagRegistry::instance().intern("sensor.sample");
+  auto e2e = machine_.metrics().log_histogram("minix.ctl.e2e_us", 4, 1e6);
+  const int self = machine_.current()->pid();
   for (;;) {
     Message m;
     if (k.ipc_receive(Endpoint::any(), m) != IpcResult::kOk) continue;
     if (m.m_type != ScenarioMTypes::kActuatorCmd) continue;
+    const std::uint64_t s = spans.begin(self, machine_.now(), tag_apply);
     plant_->alarm.set_on(m.get_i32(WireFormat::kCmdOff) != 0,
                          machine_.now());
+    const std::uint64_t root = spans.root_of(s);
+    if (root != 0 && spans.name_of(root) == tag_sample) {
+      const sim::Time t0 = spans.start_of(root);
+      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+    }
+    spans.end(self, machine_.now(), s);
   }
 }
 

@@ -71,18 +71,29 @@ Sel4Scenario::Sel4Scenario(sim::Machine& machine, ScenarioConfig cfg)
 }
 
 void Sel4Scenario::sensor_body(Runtime& rt) {
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_sample =
+      sim::TagRegistry::instance().intern("sensor.sample");
+  const int self = machine_.current()->pid();
   for (;;) {
+    // Root of the control-loop trace (see the MINIX scenario).
+    const std::uint64_t s = spans.begin(self, machine_.now(), tag_sample);
     const double t = plant_->sensor.read_temperature_c();
     machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kDevice,
                           "sensor.sample", "", t);
     Sel4Msg msg;
     msg.push_f64(t);
     rt.rpc_call("sensorOut", msg);  // server acks promptly
+    spans.end(self, machine_.now(), s);
     machine_.sleep_for(cfg_.sensor_period);
   }
 }
 
 void Sel4Scenario::control_body(Runtime& rt) {
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_compute =
+      sim::TagRegistry::instance().intern("ctl.compute");
+  const int self = machine_.current()->pid();
   TempControlLogic logic(cfg_.control);
   // Control-quality metrics (see the MINIX scenario for the definition).
   auto jitter = machine_.metrics().log_histogram("sel4.ctl.jitter", 4, 1e6);
@@ -92,6 +103,9 @@ void Sel4Scenario::control_body(Runtime& rt) {
     auto in = rt.await();
     if (in.status != Sel4Error::kOk) continue;
     if (in.iface == "sensorIn") {
+      // Chains under the sensor's endpoint hop (delivery set this pid's
+      // current context); the actuator RPCs below chain under it in turn.
+      const std::uint64_t cs = spans.begin(self, machine_.now(), tag_compute);
       const auto d = logic.on_sample(in.msg.mr_f64(0), machine_.now());
       rt.reply(Sel4Msg{});  // release the sensor before actuating
       Sel4Msg heater;
@@ -111,6 +125,7 @@ void Sel4Scenario::control_body(Runtime& rt) {
             dt > nominal ? dt - nominal : nominal - dt));
       }
       last_sample_t = machine_.now();
+      spans.end(self, machine_.now(), cs);
     } else if (in.iface == "setpointIn") {
       const double sp = in.msg.mr_f64(0);
       const bool ok = logic.try_set_setpoint(sp, machine_.now());
@@ -135,19 +150,49 @@ void Sel4Scenario::control_body(Runtime& rt) {
 }
 
 void Sel4Scenario::heater_body(Runtime& rt) {
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_apply =
+      sim::TagRegistry::instance().intern("act.apply");
+  const std::uint32_t tag_sample =
+      sim::TagRegistry::instance().intern("sensor.sample");
+  auto e2e = machine_.metrics().log_histogram("sel4.ctl.e2e_us", 4, 1e6);
+  const int self = machine_.current()->pid();
   for (;;) {
     auto in = rt.await();
     if (in.status != Sel4Error::kOk) continue;
+    const std::uint64_t s = spans.begin(self, machine_.now(), tag_apply);
     plant_->heater.set_on(in.msg.mr(0) != 0, machine_.now());
+    // Sensor-to-actuation latency measured on the span chain itself (see
+    // the MINIX scenario for why the root check matters).
+    const std::uint64_t root = spans.root_of(s);
+    if (root != 0 && spans.name_of(root) == tag_sample) {
+      const sim::Time t0 = spans.start_of(root);
+      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+    }
+    spans.end(self, machine_.now(), s);
     rt.reply(Sel4Msg{});
   }
 }
 
 void Sel4Scenario::alarm_body(Runtime& rt) {
+  auto& spans = machine_.spans();
+  const std::uint32_t tag_apply =
+      sim::TagRegistry::instance().intern("act.apply");
+  const std::uint32_t tag_sample =
+      sim::TagRegistry::instance().intern("sensor.sample");
+  auto e2e = machine_.metrics().log_histogram("sel4.ctl.e2e_us", 4, 1e6);
+  const int self = machine_.current()->pid();
   for (;;) {
     auto in = rt.await();
     if (in.status != Sel4Error::kOk) continue;
+    const std::uint64_t s = spans.begin(self, machine_.now(), tag_apply);
     plant_->alarm.set_on(in.msg.mr(0) != 0, machine_.now());
+    const std::uint64_t root = spans.root_of(s);
+    if (root != 0 && spans.name_of(root) == tag_sample) {
+      const sim::Time t0 = spans.start_of(root);
+      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+    }
+    spans.end(self, machine_.now(), s);
     rt.reply(Sel4Msg{});
   }
 }

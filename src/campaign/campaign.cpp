@@ -35,6 +35,12 @@ CellResult run_cell(const CampaignCell& cell) {
     res.metrics_json = m.metrics().to_json();
     res.trace_hash = trace_hash(m.trace());
     res.trace_events = m.trace().total_emitted();
+    res.spans = std::make_unique<obs::SpanStore>();
+    res.spans->merge_from(m.spans());
+    res.audit = std::make_unique<obs::AuditJournal>();
+    res.audit->merge_from(m.audit());
+    res.spans_json = res.spans->to_json();
+    res.audit_json = res.audit->to_json();
   };
 
   switch (cell.kind) {
@@ -58,10 +64,14 @@ CellResult run_cell(const CampaignCell& cell) {
       fopts.observe = [&](net::Fabric& fabric) {
         if (caller_fabric_observe) caller_fabric_observe(fabric);
         res.metrics = std::make_unique<obs::MetricsRegistry>();
+        res.spans = std::make_unique<obs::SpanStore>();
+        res.audit = std::make_unique<obs::AuditJournal>();
         std::uint64_t events = 0;
         for (std::size_t n = 0; n < fabric.node_count(); ++n) {
           sim::Machine& m = fabric.machine(static_cast<int>(n));
           res.metrics->merge_from(m.metrics());
+          res.spans->merge_from(m.spans());
+          res.audit->merge_from(m.audit());
           events += m.trace().total_emitted();
         }
         res.trace_events = events;
@@ -69,6 +79,8 @@ CellResult run_cell(const CampaignCell& cell) {
       res.fabric = run_fabric(fopts);
       res.metrics_json = res.fabric.metrics_json;
       res.trace_hash = res.fabric.trace_hash;
+      res.spans_json = res.fabric.spans_json;
+      res.audit_json = res.fabric.audit_json;
       break;
     }
   }
@@ -169,33 +181,45 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
   // Reductions walk the slots in cell order — the one order every --jobs
   // value shares — so merged artifacts are byte-identical to sequential.
   obs::MetricsRegistry merged;
+  obs::SpanStore merged_spans;
+  obs::AuditJournal merged_audit;
   std::uint64_t chain = 14695981039346656037ULL;
   for (const CellResult& r : out.cells) {
     if (r.metrics) merged.merge_from(*r.metrics);
+    if (r.spans) merged_spans.merge_from(*r.spans);
+    if (r.audit) merged_audit.merge_from(*r.audit);
     chain = fnv1a(hex64(r.trace_hash), chain);
   }
   out.merged_metrics_json = merged.to_json();
   out.merged_trace_hash = chain;
+  out.merged_spans_json = merged_spans.to_json();
+  out.merged_audit_json = merged_audit.to_json();
   out.wall_seconds = seconds_since(t0);
   return out;
 }
 
 std::string CampaignResult::summary_json() const {
+  // Keys sorted at every level, like every other JSON export.
   std::ostringstream os;
   os << "{\"cells\":[";
   bool first = true;
   for (const auto& r : cells) {
     if (!first) os << ',';
     first = false;
-    os << "{\"name\":\"" << obs::json_escape(r.name) << "\",\"kind\":\""
-       << to_string(r.kind) << "\",\"verdict\":\""
-       << obs::json_escape(cell_verdict(r)) << "\",\"trace_events\":"
+    os << "{\"audit_hash\":\"" << hex64(fnv1a(r.audit_json))
+       << "\",\"kind\":\"" << to_string(r.kind) << "\",\"metrics_hash\":\""
+       << hex64(fnv1a(r.metrics_json)) << "\",\"name\":\""
+       << obs::json_escape(r.name) << "\",\"spans_hash\":\""
+       << hex64(fnv1a(r.spans_json)) << "\",\"trace_events\":"
        << r.trace_events << ",\"trace_hash\":\"" << hex64(r.trace_hash)
-       << "\",\"metrics_hash\":\"" << hex64(fnv1a(r.metrics_json))
+       << "\",\"verdict\":\"" << obs::json_escape(cell_verdict(r))
        << "\"}";
   }
-  os << "],\"merged_trace_hash\":\"" << hex64(merged_trace_hash)
-     << "\",\"merged_metrics\":" << merged_metrics_json << "}";
+  os << "],\"merged_audit_hash\":\"" << hex64(fnv1a(merged_audit_json))
+     << "\",\"merged_metrics\":" << merged_metrics_json
+     << ",\"merged_spans_hash\":\"" << hex64(fnv1a(merged_spans_json))
+     << "\",\"merged_trace_hash\":\"" << hex64(merged_trace_hash)
+     << "\"}";
   return os.str();
 }
 

@@ -62,6 +62,12 @@ struct CellResult {
   /// Registry snapshot taken while the cell's Machine was still alive.
   std::unique_ptr<obs::MetricsRegistry> metrics;
   std::string metrics_json;
+  /// Span/audit snapshots (closed spans only — cells quiesce before the
+  /// observe hook fires). Fabric cells fold their nodes in node order.
+  std::unique_ptr<obs::SpanStore> spans;
+  std::unique_ptr<obs::AuditJournal> audit;
+  std::string spans_json;
+  std::string audit_json;
   /// FNV-1a over every trace event rendered as text (names, not interned
   /// ids, so the hash is independent of cross-cell interning order).
   std::uint64_t trace_hash = 0;
@@ -79,6 +85,10 @@ struct CampaignResult {
   std::string merged_metrics_json;
   /// FNV-1a chain over the per-cell trace hashes, in cell order.
   std::uint64_t merged_trace_hash = 0;
+  /// Per-cell span stores / audit journals folded in cell order — the
+  /// order-deterministic merge the --jobs identity tests diff.
+  std::string merged_spans_json;
+  std::string merged_audit_json;
 
   /// Deterministic machine-readable summary: per-cell verdicts and
   /// hashes plus the merged artifacts. Contains no timing and no

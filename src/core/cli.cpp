@@ -104,6 +104,18 @@ CliArgs parse_cli(int argc, char** argv) {
       const char* v = value(i, "--trace-out");
       if (v == nullptr) return a;
       a.trace_out = v;
+    } else if (arg == "--trace-spans") {
+      const char* v = value(i, "--trace-spans");
+      if (v == nullptr) return a;
+      a.spans_out = v;
+    } else if (arg == "--audit-out") {
+      const char* v = value(i, "--audit-out");
+      if (v == nullptr) return a;
+      a.audit_out = v;
+    } else if (arg == "--critical-out") {
+      const char* v = value(i, "--critical-out");
+      if (v == nullptr) return a;
+      a.critical_out = v;
     } else if (arg == "--attack") {
       const char* v = value(i, "--attack");
       if (v == nullptr) return a;

@@ -14,6 +14,7 @@ namespace mkbas::core {
 ///   --platform <minix|sel4|linux>   --scenario <temp|uds|bsl3>
 ///   --seed N   --zones N   --jobs N   --seeds N
 ///   --out FILE --metrics-out FILE --trace-out FILE
+///   --trace-spans FILE --audit-out FILE --critical-out FILE
 ///   --attack <name>  --root --quota --acl --no-probe --csv --md
 ///
 /// Legacy positional spellings (platform names, "root", "seed N", ...)
@@ -35,6 +36,9 @@ struct CliArgs {
   std::string out;
   std::string metrics_out;
   std::string trace_out;
+  std::string spans_out;     // --trace-spans: causal span store JSON
+  std::string audit_out;     // --audit-out: security audit journal JSON
+  std::string critical_out;  // --critical-out: critical-path analysis JSON
   bool has_attack = false;
   std::string attack;              // raw --attack value
   bool root = false;

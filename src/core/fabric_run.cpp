@@ -103,8 +103,22 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
     fabric.add_partition(w);
   }
 
+  auto& tags = sim::TagRegistry::instance();
+  const std::uint32_t tag_sample = tags.intern("sensor.sample");
+  const std::uint32_t tag_op_write = tags.intern("op.setpoint");
+  const std::uint32_t tag_subscribe = tags.intern("head.subscribe");
+  const std::uint32_t tag_attack =
+      tags.intern(std::string("attack.") + to_string(opts.attack));
+
+  auto configure_node = [&opts](sim::Machine& m) {
+    m.spans().set_enabled(opts.trace_spans);
+    m.audit().set_enabled(opts.trace_spans);
+    m.spans().set_capacity(opts.span_capacity);
+  };
+
   // Node 0: the supervisory head-end. Zone z lives on node z + 1.
   fabric.add_node(mix64(opts.seed, 0));
+  configure_node(fabric.machine(0));
   net::BacnetDevice console(kConsoleId, "head-end");
   fabric.attach(0, console);
 
@@ -131,6 +145,7 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
 
     const int node = fabric.add_node(mix64(opts.seed, 1 + z));
     sim::Machine& m = fabric.machine(node);
+    configure_node(m);
     zone.scenario =
         bas::make_scenario(m, zone.platform, "temp", opts.scenario);
     zone.handler = std::make_unique<ZoneGateway>(m, *zone.scenario);
@@ -150,18 +165,24 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
     }
 
     // Telemetry: the gateway samples the room every 30 s; subscribed
-    // consoles get the value pushed over the fabric as COV traffic.
-    m.every(sim::sec(30), sim::sec(30), [&m, &zone] {
+    // consoles get the value pushed over the fabric as COV traffic. The
+    // sensor.sample span roots the telemetry trace — COV link spans the
+    // notifier posts chain under it, so the critical-path analyzer can
+    // decompose sample -> wire latency per hop.
+    m.every(sim::sec(30), sim::sec(30), [&m, &zone, tag_sample] {
       if (zone.scenario->plant() == nullptr) return;
+      const std::uint64_t s = m.spans().begin(-1, m.now(), tag_sample);
       zone.gateway->set_property(
           "zone.temp", zone.scenario->plant()->room.temperature_c());
-      (void)m;
+      m.spans().end(-1, m.now(), s);
     });
   }
 
   // Head-end boot: subscribe to every zone's temperature at t=30s.
   sim::Machine& head = fabric.machine(0);
-  head.at(sim::sec(30), [&fabric, &zones] {
+  head.at(sim::sec(30), [&fabric, &head, &zones, tag_subscribe] {
+    const std::uint64_t s =
+        head.spans().begin(-1, head.now(), tag_subscribe);
     for (std::size_t z = 0; z < zones.size(); ++z) {
       net::BacnetMsg sub;
       sub.service = net::BacnetMsg::Service::kSubscribeCov;
@@ -170,6 +191,7 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
       sub.property = "zone.temp";
       fabric.post(0, sub);
     }
+    head.spans().end(-1, head.now(), s);
   });
 
   // Operator traffic: a setpoint write to one zone every minute,
@@ -178,7 +200,7 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
   // zone accepts afterwards is the attacker's — the per-zone verdict.
   auto op_tick = std::make_shared<int>(0);
   head.every(sim::minutes(1), sim::minutes(1),
-             [&fabric, &head, &zones, &opts, op_tick] {
+             [&fabric, &head, &zones, &opts, op_tick, tag_op_write] {
                if (opts.attack != FabricAttack::kNone &&
                    head.now() >= opts.attack_at) {
                  return;
@@ -197,7 +219,10 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
                  w = net::SecureProxy::seal(w, zone.key,
                                             ++zone.op_sequence);
                }
+               const std::uint64_t s =
+                   head.spans().begin(-1, head.now(), tag_op_write);
                fabric.post(0, w);
+               head.spans().end(-1, head.now(), s);
              });
 
   // The attacker: arbitrary code on the last zone's controller, able to
@@ -205,7 +230,12 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
   const int attacker_node = opts.zones;  // zone index opts.zones - 1
   if (opts.attack == FabricAttack::kSpoofWrite) {
     fabric.machine(attacker_node)
-        .at(opts.attack_at, [&fabric, &opts, attacker_node] {
+        .at(opts.attack_at, [&fabric, &opts, attacker_node, tag_attack] {
+          sim::Machine& att = fabric.machine(attacker_node);
+          // Root span of the attack trace: every forged datagram's link
+          // span — and any proxy rejection it provokes — chains here.
+          const std::uint64_t s =
+              att.spans().begin(-1, att.now(), tag_attack);
           for (int z = 0; z < opts.zones; ++z) {
             if (z + 1 == attacker_node) continue;  // already owned
             net::BacnetMsg w;
@@ -216,20 +246,30 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
             w.value = kSpoofSetpointC;
             fabric.post(attacker_node, w);
           }
+          att.spans().end(-1, att.now(), s);
         });
   } else if (opts.attack == FabricAttack::kReplay) {
     fabric.machine(attacker_node)
-        .at(opts.attack_at, [&fabric, attacker_node] {
+        .at(opts.attack_at, [&fabric, attacker_node, tag_attack] {
+          sim::Machine& att = fabric.machine(attacker_node);
+          const std::uint64_t s =
+              att.spans().begin(-1, att.now(), tag_attack);
           // The packet capture: every operator WriteProperty seen so
           // far, re-posted verbatim — sealed datagrams keep their valid
-          // MAC, but their sequence numbers are now stale.
+          // MAC, but their sequence numbers are now stale. The captured
+          // trace context is scrubbed: the attacker re-posts bytes, so
+          // the replayed frames root under the attack span instead.
           const std::vector<net::BacnetMsg> capture = fabric.sent_log();
           for (const net::BacnetMsg& msg : capture) {
             if (msg.service != net::BacnetMsg::Service::kWriteProperty) {
               continue;
             }
-            fabric.post(attacker_node, msg);
+            net::BacnetMsg replayed = msg;
+            replayed.trace_id = 0;
+            replayed.parent_span = 0;
+            fabric.post(attacker_node, replayed);
           }
+          att.spans().end(-1, att.now(), s);
         });
   }
   // Flood state lives at function scope so the self-rescheduling
@@ -239,11 +279,13 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
     sim::Machine& att = fabric.machine(attacker_node);
     flood_burst = std::make_shared<std::function<void()>>();
     std::function<void()>* burst = flood_burst.get();
-    *flood_burst = [&fabric, &att, &opts, attacker_node, burst] {
+    *flood_burst = [&fabric, &att, &opts, attacker_node, burst,
+                    tag_attack] {
       if (att.now() >= opts.attack_at + kFloodWindow) return;
       // 16 datagrams per millisecond: with ~5-7 ms of link latency that
       // keeps ~100 datagrams in flight towards the head-end, well past
       // the 64-deep inbox — the overflow drops ARE the DoS.
+      const std::uint64_t s = att.spans().begin(-1, att.now(), tag_attack);
       for (int i = 0; i < 16; ++i) {
         net::BacnetMsg probe;
         probe.service = net::BacnetMsg::Service::kWhoIs;
@@ -251,6 +293,7 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
         probe.dst_device = kConsoleId;
         fabric.post(attacker_node, probe);
       }
+      att.spans().end(-1, att.now(), s);
       att.at(att.now() + sim::msec(1), *burst);
     };
     att.at(opts.attack_at, *flood_burst);
@@ -291,6 +334,16 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
       row.proxy_rejected_tag = zone.proxy->rejected_bad_tag();
       row.proxy_rejected_replay = zone.proxy->rejected_replay();
     }
+    if (opts.attack != FabricAttack::kNone) {
+      // Per-zone verdict into the zone's own audit journal; the merged
+      // journal below carries all of them in node order.
+      sim::Machine& zm = fabric.machine(static_cast<int>(z) + 1);
+      zm.audit().record(
+          zm.now(), zm.machine_id(), -1, "attack.verdict",
+          std::string(to_string(opts.attack)) + " against " + row.label +
+              ": " + (row.attack_delivered ? "DELIVERED" : "blocked"),
+          zm.spans(), zm.spans().current(-1));
+    }
     res.rows.push_back(row);
   }
 
@@ -303,15 +356,45 @@ FabricRunResult run_fabric(const FabricOptions& opts) {
 
   // Reductions in node order — the one order every run shares.
   obs::MetricsRegistry merged;
+  obs::SpanStore merged_spans;
+  obs::AuditJournal merged_audit;
   std::uint64_t chain = 14695981039346656037ULL;
   for (std::size_t n = 0; n < fabric.node_count(); ++n) {
     merged.merge_from(fabric.machine(static_cast<int>(n)).metrics());
+    merged_spans.merge_from(fabric.machine(static_cast<int>(n)).spans());
+    merged_audit.merge_from(fabric.machine(static_cast<int>(n)).audit());
     chain = fnv1a(
         hex64(trace_hash(fabric.machine(static_cast<int>(n)).trace())),
         chain);
   }
   res.metrics_json = merged.to_json();
   res.trace_hash = chain;
+  res.spans_json = merged_spans.to_json();
+  res.audit_json = merged_audit.to_json();
+  res.critical_path_json =
+      obs::critical_path_json(merged_spans, "sensor.sample", "net.link");
+  // Mean telemetry e2e from the spans themselves (leaf.end - root.start
+  // over complete chains) — tests compare this against the head-end's
+  // COV latency histogram.
+  {
+    double total = 0.0;
+    std::uint64_t n_chains = 0;
+    const std::uint32_t link_tag = tags.intern("net.link");
+    const std::uint32_t drop_tag = tags.intern("drop");
+    for (const obs::Span& s : merged_spans.spans()) {
+      if (s.name != link_tag || s.abandoned || s.note == drop_tag) continue;
+      const std::vector<std::uint64_t> up = merged_spans.chain(s.span_id);
+      if (up.empty() || merged_spans.name_of(up.back()) != tag_sample) {
+        continue;
+      }
+      total += static_cast<double>(s.end) -
+               static_cast<double>(merged_spans.start_of(up.back()));
+      ++n_chains;
+    }
+    if (n_chains > 0) {
+      res.sample_e2e_mean_us = total / static_cast<double>(n_chains);
+    }
+  }
 
   if (opts.observe) opts.observe(fabric);
   return res;

@@ -39,6 +39,10 @@ struct FabricOptions {
   net::LinkProfile link{};
   std::vector<net::PartitionWindow> partitions;
   bas::ScenarioConfig scenario{};
+  /// Causal span tracing + audit journal (off = the A/B baseline arm).
+  bool trace_spans = true;
+  /// Ring-buffer capacity for each node's span store; 0 = unbounded.
+  std::size_t span_capacity = 0;
   /// Fires before teardown, with every machine still alive.
   std::function<void(net::Fabric&)> observe;
 };
@@ -73,6 +77,16 @@ struct FabricRunResult {
   std::string metrics_json;
   /// FNV-1a chain over per-node trace hashes, in node order.
   std::uint64_t trace_hash = 0;
+  /// Node span stores / audit journals merged in node order (empty JSON
+  /// skeletons when opts.trace_spans is off).
+  std::string spans_json;
+  std::string audit_json;
+  /// Telemetry critical path over the merged store: every COV sample's
+  /// sensor.sample -> net.link chain decomposed per hop.
+  std::string critical_path_json;
+  /// Mean end-to-end telemetry latency from the critical path (leaf.end
+  /// - root.start averaged over complete chains); 0 when none.
+  double sample_e2e_mean_us = 0.0;
 };
 
 /// Build the building, run it, and judge every zone. Deterministic: the

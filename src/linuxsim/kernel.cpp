@@ -52,6 +52,7 @@ LinuxKernel::LinuxKernel(sim::Machine& machine) : machine_(machine) {
   met_.sc_file = mx.counter("linux.syscall.file");
   met_.perm_denied = mx.counter("linux.perm.denied");
   met_.ipc_latency = mx.log_histogram("linux.ipc.latency", 4, 1e7);
+  tag_mq_span_ = sim::TagRegistry::instance().intern("linux.mq");
 }
 
 // ---- Task plumbing ----
@@ -158,11 +159,16 @@ Errno LinuxKernel::sys_kill_sig(int pid, int sig) {
   // Classic Unix rule: root signals anyone; others only their own uid.
   if (self.uid != kRootUid && self.uid != target->uid) {
     met_.perm_denied.inc();
+    std::string detail = self.name + " (uid " + std::to_string(self.uid) +
+                         ") -> " + target->name + " (uid " +
+                         std::to_string(target->uid) + ")";
     machine_.trace().emit(machine_.now(), self.pid,
                           sim::TraceKind::kSecurity, "linux.kill_deny",
-                          self.name + " (uid " + std::to_string(self.uid) +
-                              ") -> " + target->name + " (uid " +
-                              std::to_string(target->uid) + ")");
+                          detail);
+    machine_.audit().record(machine_.now(), machine_.machine_id(), self.pid,
+                            "linux.kill_deny", std::move(detail),
+                            machine_.spans(),
+                            machine_.spans().current(self.pid));
     return Errno::kEPERM;
   }
   if (sig == kSigKill) {
@@ -294,9 +300,14 @@ int LinuxKernel::mq_open(const std::string& name, bool create, Mode mode,
     const bool w = may_write(self, *node);
     if (!r && !w) {
       met_.perm_denied.inc();
+      std::string detail = self.name + " denied on " + name;
       machine_.trace().emit(machine_.now(), self.pid,
                             sim::TraceKind::kSecurity, "linux.mq_deny",
-                            self.name + " denied on " + name);
+                            detail);
+      machine_.audit().record(machine_.now(), machine_.machine_id(),
+                              self.pid, "linux.mq_deny", std::move(detail),
+                              machine_.spans(),
+                              machine_.spans().current(self.pid));
       return -static_cast<int>(Errno::kEACCES);
     }
   }
@@ -373,6 +384,13 @@ Errno LinuxKernel::mq_send(int fd, const MqMessage& msg, bool blocking) {
       node->queue.begin(), node->queue.end(),
       [&](const MqMessage& m) { return m.priority < msg.priority; });
   stamped.enqueued_at = machine_.now();
+  {
+    // The queue hop is a flow span from enqueue to dequeue; its context
+    // rides in the kernel's queue entry, like enqueued_at.
+    auto& spans = machine_.spans();
+    stamped.span = spans.begin_flow(self.pid, machine_.now(), tag_mq_span_,
+                                    spans.current(self.pid));
+  }
   node->queue.insert(pos, stamped);
   machine_.trace().emit(machine_.now(), self.pid, sim::TraceKind::kIpc,
                         "mq.send", self.name + " -> " + node->name);
@@ -399,6 +417,11 @@ Errno LinuxKernel::mq_receive(int fd, MqMessage& out, bool blocking) {
   node->queue.pop_front();
   met_.ipc_latency.record(
       static_cast<double>(machine_.now() - out.enqueued_at));
+  if (out.span != 0) {
+    auto& spans = machine_.spans();
+    spans.set_current(self.pid, spans.context_of(out.span));
+    spans.end_flow(machine_.now(), out.span);
+  }
   wake_all(node->send_waiters);
   return Errno::kOk;
 }
@@ -550,9 +573,14 @@ int LinuxKernel::sock_connect(const std::string& path) {
   }
   if (!allowed) {
     met_.perm_denied.inc();
+    std::string detail = self.name + " denied on " + path;
     machine_.trace().emit(machine_.now(), self.pid,
                           sim::TraceKind::kSecurity, "uds.connect_deny",
-                          self.name + " denied on " + path);
+                          detail);
+    machine_.audit().record(machine_.now(), machine_.machine_id(), self.pid,
+                            "uds.connect_deny", std::move(detail),
+                            machine_.spans(),
+                            machine_.spans().current(self.pid));
     return -static_cast<int>(Errno::kEACCES);
   }
   if (!lst->listening || lst->closed) {
@@ -624,6 +652,9 @@ Errno LinuxKernel::sock_send(int fd, const std::string& data,
     deliver_pending_signals(self);
     if (fd_of(self, fd) == nullptr) return Errno::kEBADF;
   }
+  // UDS is a byte stream: no message boundary survives, so no causal
+  // context can ride the wire — the trace deliberately breaks here,
+  // modeling the real protocol limit.
   queue.push_back(Datagram{data, machine_.now()});
   wake_conn(*conn);
   return Errno::kOk;

@@ -61,6 +61,9 @@ struct MqMessage {
   std::string data;
   unsigned priority = 0;
   sim::Time enqueued_at = 0;
+  /// Open "linux.mq" flow span of this queue hop — kernel metadata on
+  /// the queue entry (like enqueued_at), never payload bytes.
+  std::uint64_t span = 0;
 };
 
 /// The monolithic-kernel (Linux) personality used as the paper's baseline.
@@ -276,6 +279,10 @@ class LinuxKernel {
     obs::Counter perm_denied;
     obs::Histogram ipc_latency;  // mq/uds send->receive, virtual usec
   };
+
+  /// Interned once at construction; the IPC path never touches the tag
+  /// registry's string table.
+  std::uint32_t tag_mq_span_ = 0;
 
   sim::Machine& machine_;
   Metrics met_;

@@ -47,6 +47,13 @@ MinixKernel::MinixKernel(sim::Machine& machine, AcmPolicy policy)
   met_.rs_giveup = mx.counter("minix.rs.giveup");
   met_.ipc_latency = mx.log_histogram("minix.ipc.latency", 4, 1e7);
   met_.rs_mttr = mx.log_histogram("minix.rs.mttr", 4, 1e8);
+  // Span/audit tags are interned once here; the IPC fast path must not
+  // touch the registry's string table.
+  auto& tags = sim::TagRegistry::instance();
+  tag_ipc_span_ = tags.intern("minix.ipc");
+  tag_pm_audit_ = tags.intern("pm.audit");
+  tag_rs_restart_ = tags.intern("rs.restart");
+  tag_note_restart_ = tags.intern("restart");
   for (int i = 0; i < kNumSlots; ++i) {
     slots_[i].slot = i;
     slots_[i].generation = 1;
@@ -111,6 +118,7 @@ Endpoint MinixKernel::spawn_internal(const std::string& name, int ac_id,
   pcb.wait = Pcb::Wait::kNone;
   pcb.wait_partner = Endpoint::none();
   pcb.user_buf = nullptr;
+  pcb.out_span = 0;
   pcb.sender_queue.clear();
   pcb.notify_from.clear();
   pcb.async_in.clear();
@@ -137,7 +145,8 @@ void MinixKernel::on_process_gone(Pcb& pcb) {
   if (!pcb.live) return;
   const Endpoint dead_ep = ep_of(pcb);
 
-  // Senders blocked on us die with EDEADSRCDST.
+  // Senders blocked on us die with EDEADSRCDST. Their in-flight hop
+  // spans close in do_send when they resume and see the failure.
   for (int sender_slot : pcb.sender_queue) {
     Pcb& s = slots_[sender_slot];
     if (s.live && s.wait == Pcb::Wait::kSending &&
@@ -186,7 +195,11 @@ void MinixKernel::on_process_gone(Pcb& pcb) {
       died.m_type = PmProtocol::kProcDied;
       died.put<std::int64_t>(0, machine_.now());
       died.put_str(8, pcb.name);
-      kernel_notify_pm(died);
+      // The death notice continues the trace that was active when the
+      // process died (still readable here: exit hooks run before the
+      // machine abandons the pid's spans), so the eventual restart
+      // chains back to the interrupted operation.
+      kernel_notify_pm(died, machine_.spans().current(pcb.proc->pid()));
     }
   }
 
@@ -198,6 +211,7 @@ void MinixKernel::on_process_gone(Pcb& pcb) {
   pcb.live = false;
   pcb.proc = nullptr;
   pcb.user_buf = nullptr;
+  pcb.out_span = 0;  // the machine abandons the pid's open spans
   ++pcb.generation;  // stale endpoints to this slot now fail to resolve
 }
 
@@ -212,21 +226,33 @@ void MinixKernel::enable_reincarnation(sim::Duration restart_delay) {
                           /*priority=*/2);
 }
 
-void MinixKernel::kernel_notify_pm(const Message& m) {
+void MinixKernel::kernel_notify_pm(const Message& m, obs::SpanContext ctx) {
   Pcb* pm = lookup_pcb(pm_ep_);
   if (pm == nullptr) return;
   Message stamped = m;
   stamped.m_source = Endpoint::none().raw();  // kernel-origin marker
+  // Kernel-origin hop: opened on pid -1 so the span is not abandoned
+  // along with the process whose death it reports.
+  auto& spans = machine_.spans();
+  const std::uint64_t span =
+      spans.begin_flow(-1, machine_.now(), tag_ipc_span_, ctx);
   if (pm->wait == Pcb::Wait::kReceiving && pm->wait_partner.is_any()) {
     *pm->user_buf = stamped;
     pm->wait = Pcb::Wait::kNone;
     pm->user_buf = nullptr;
     pm->ipc_result = IpcResult::kOk;
+    if (span != 0 && pm->proc != nullptr) {
+      spans.set_current(pm->proc->pid(), spans.context_of(span));
+    }
+    spans.end_flow(machine_.now(), span);
     machine_.make_ready(pm->proc);
     return;
   }
-  if (pm->async_in.size() >= kAsyncDepth) return;  // PM wedged: drop
-  pm->async_in.push_back(Pcb::AsyncMsg{stamped, machine_.now()});
+  if (pm->async_in.size() >= kAsyncDepth) {  // PM wedged: drop
+    spans.end_flow(machine_.now(), span);
+    return;
+  }
+  pm->async_in.push_back(Pcb::AsyncMsg{stamped, machine_.now(), span});
 }
 
 void MinixKernel::rs_main() {
@@ -264,8 +290,17 @@ void MinixKernel::rs_main() {
     if (it == restart_templates_.end()) continue;
     if (lookup(name).valid()) continue;
     const RestartTemplate& t = it->second;
+    // The restart is a scoped span annotated "restart". RS's current
+    // context is still the relayed death notice, so the span chains
+    // back to the trace that was interrupted by the crash — the
+    // reincarnated server visibly continues that trace.
+    const std::uint64_t rspan = machine_.spans().begin(
+        self.proc->pid(), machine_.now(), tag_rs_restart_);
     const Endpoint ep = spawn_internal(name, t.ac_id, t.body, t.priority);
-    if (!ep.valid()) continue;
+    if (!ep.valid()) {
+      machine_.spans().end(self.proc->pid(), machine_.now(), rspan);
+      continue;
+    }
     ++restarts_;
     ++count;
     met_.rs_restarts.inc();
@@ -274,6 +309,8 @@ void MinixKernel::rs_main() {
                           sim::TraceKind::kProcess, "rs.restart",
                           name + " ac_id=" + std::to_string(t.ac_id),
                           sim::to_seconds(machine_.now() - died_at));
+    machine_.spans().end(self.proc->pid(), machine_.now(), rspan,
+                         tag_note_restart_);
   }
 }
 
@@ -294,13 +331,19 @@ void MinixKernel::trace_sec(const Pcb& src, const Pcb& dst, int m_type,
   } else {
     met_.acm_denied.inc();
   }
-  machine_.trace().emit(
-      machine_.now(), src.proc ? src.proc->pid() : -1,
-      sim::TraceKind::kSecurity, allowed ? "acm.allow" : "acm.deny",
-      src.name + "(ac" + std::to_string(src.ac_id) + ") -> " + dst.name +
-          "(ac" + std::to_string(dst.ac_id) +
-          ") type=" + std::to_string(m_type),
-      static_cast<double>(m_type));
+  const int pid = src.proc ? src.proc->pid() : -1;
+  std::string detail = src.name + "(ac" + std::to_string(src.ac_id) +
+                       ") -> " + dst.name + "(ac" +
+                       std::to_string(dst.ac_id) +
+                       ") type=" + std::to_string(m_type);
+  machine_.trace().emit(machine_.now(), pid, sim::TraceKind::kSecurity,
+                        allowed ? "acm.allow" : "acm.deny", detail,
+                        static_cast<double>(m_type));
+  if (!allowed) {
+    machine_.audit().record(machine_.now(), machine_.machine_id(), pid,
+                            "acm.deny", std::move(detail), machine_.spans(),
+                            machine_.spans().current(pid));
+  }
 }
 
 bool MinixKernel::would_deadlock(const Pcb& src, const Pcb& first_dst) const {
@@ -319,10 +362,28 @@ bool MinixKernel::would_deadlock(const Pcb& src, const Pcb& first_dst) const {
   return true;  // over-long chain: treat as a cycle
 }
 
+std::uint64_t MinixKernel::begin_ipc_span(const Pcb& src) {
+  auto& spans = machine_.spans();
+  const int pid = src.proc != nullptr ? src.proc->pid() : -1;
+  return spans.begin_flow(pid, machine_.now(), tag_ipc_span_,
+                          spans.current(pid));
+}
+
+void MinixKernel::finish_ipc_span(std::uint64_t span, const Pcb& to) {
+  if (span == 0) return;
+  auto& spans = machine_.spans();
+  if (to.proc != nullptr) {
+    spans.set_current(to.proc->pid(), spans.context_of(span));
+  }
+  spans.end_flow(machine_.now(), span);
+}
+
 void MinixKernel::deliver(Pcb& from, Pcb& to, const Message& m) {
   assert(to.wait == Pcb::Wait::kReceiving && to.user_buf != nullptr);
   met_.ipc_latency.record(
       static_cast<double>(machine_.now() - from.send_start));
+  finish_ipc_span(from.out_span, to);
+  from.out_span = 0;
   *to.user_buf = m;
   // The kernel stamps the true sender identity; user-supplied m_source is
   // discarded. This is the anti-spoofing property of §IV.D.2.
@@ -367,21 +428,38 @@ IpcResult MinixKernel::do_send(Pcb& src, Endpoint dst_ep, Message& m,
     }
   }
 
+  // The message hop is a flow span from the send syscall to delivery.
+  // Its context travels kernel-side (Pcb::out_span), never in the
+  // 64-byte payload, mirroring how m_source is kernel-stamped.
+  const std::uint64_t span = begin_ipc_span(src);
   if (dst->wait == Pcb::Wait::kReceiving &&
       (dst->wait_partner.is_any() || dst->wait_partner == ep_of(src))) {
+    src.out_span = span;
     deliver(src, *dst, m);
     return IpcResult::kOk;
   }
-  if (!blocking) return IpcResult::kNotReady;
-  if (would_deadlock(src, *dst)) return IpcResult::kDeadlock;
+  if (!blocking) {
+    machine_.spans().end_flow(machine_.now(), span);
+    return IpcResult::kNotReady;
+  }
+  if (would_deadlock(src, *dst)) {
+    machine_.spans().end_flow(machine_.now(), span);
+    return IpcResult::kDeadlock;
+  }
 
   src.wait = Pcb::Wait::kSending;
   src.wait_partner = dst_ep;
   src.user_buf = &m;
   src.ipc_result = IpcResult::kOk;
+  src.out_span = span;
   dst->sender_queue.push_back(src.slot);
   machine_.block_current("minix.send");
   src.user_buf = nullptr;
+  if (src.out_span != 0) {
+    // The send failed (partner died): the hop ends here, undelivered.
+    machine_.spans().end_flow(machine_.now(), src.out_span);
+    src.out_span = 0;
+  }
   return src.ipc_result;
 }
 
@@ -406,6 +484,12 @@ IpcResult MinixKernel::do_receive(Pcb& self, Endpoint from, Message& out,
       out = it->msg;
       met_.ipc_latency.record(
           static_cast<double>(machine_.now() - it->enqueued));
+      if (it->span != 0) {
+        auto& spans = machine_.spans();
+        spans.set_current(self.proc != nullptr ? self.proc->pid() : -1,
+                          spans.context_of(it->span));
+        spans.end_flow(machine_.now(), it->span);
+      }
       self.async_in.erase(it);
       return IpcResult::kOk;
     }
@@ -419,6 +503,8 @@ IpcResult MinixKernel::do_receive(Pcb& self, Endpoint from, Message& out,
       out.m_source = ep_of(sender).raw();
       met_.ipc_latency.record(
           static_cast<double>(machine_.now() - sender.send_start));
+      finish_ipc_span(sender.out_span, self);
+      sender.out_span = 0;
       sender.wait = Pcb::Wait::kNone;
       sender.ipc_result = IpcResult::kOk;
       self.sender_queue.erase(it);
@@ -466,15 +552,22 @@ IpcResult MinixKernel::do_send_async(Pcb& src, Endpoint dst_ep, Message& m) {
       if (dst == nullptr) return IpcResult::kDeadSrcDst;
     }
   }
+  const std::uint64_t span = begin_ipc_span(src);
   if (dst->wait == Pcb::Wait::kReceiving &&
       (dst->wait_partner.is_any() || dst->wait_partner == ep_of(src))) {
+    src.out_span = span;
     deliver(src, *dst, m);
     return IpcResult::kOk;
   }
-  if (dst->async_in.size() >= kAsyncDepth) return IpcResult::kNotReady;
+  if (dst->async_in.size() >= kAsyncDepth) {
+    machine_.spans().end_flow(machine_.now(), span);
+    return IpcResult::kNotReady;
+  }
   Message stamped = m;
   stamped.m_source = ep_of(src).raw();
-  dst->async_in.push_back(Pcb::AsyncMsg{stamped, machine_.now()});
+  // The hop span rides in the mailbox entry: an async message may
+  // outlive its sender, and delivery must still continue the trace.
+  dst->async_in.push_back(Pcb::AsyncMsg{stamped, machine_.now(), span});
   return IpcResult::kOk;
 }
 
@@ -528,6 +621,9 @@ IpcResult MinixKernel::ipc_notify(Endpoint dst) {
     trace_sec(self, *target, kNotifyMType, /*allowed=*/false);
     return IpcResult::kNotAllowed;
   }
+  // Notifications carry no span context: MINIX stores them as a single
+  // bit in the receiver, so there is no room for causal metadata — the
+  // trace deliberately breaks here, modeling the real protocol limit.
   if (target->wait == Pcb::Wait::kReceiving &&
       (target->wait_partner.is_any() ||
        target->wait_partner == ep_of(self))) {
@@ -663,11 +759,16 @@ void MinixKernel::pm_main() {
         if (policy_.quotas_enabled() && quota.has_value() &&
             forks_by_ac_[caller->ac_id] >= *quota) {
           met_.fork_quota_denied.inc();
-          machine_.trace().emit(
-              machine_.now(), self.proc->pid(), sim::TraceKind::kSecurity,
-              "acm.fork_quota_deny",
-              caller->name + " ac" + std::to_string(caller->ac_id) +
-                  " exceeded quota " + std::to_string(*quota));
+          std::string detail = caller->name + " ac" +
+                               std::to_string(caller->ac_id) +
+                               " exceeded quota " + std::to_string(*quota);
+          machine_.trace().emit(machine_.now(), self.proc->pid(),
+                                sim::TraceKind::kSecurity,
+                                "acm.fork_quota_deny", detail);
+          machine_.audit().record(
+              machine_.now(), machine_.machine_id(), self.proc->pid(),
+              "acm.fork_quota_deny", std::move(detail), machine_.spans(),
+              machine_.spans().current(self.proc->pid()));
           reply.put_i32(0, static_cast<int>(IpcResult::kQuotaExceeded));
           break;
         }
@@ -684,28 +785,42 @@ void MinixKernel::pm_main() {
         break;
       }
       case PmProtocol::kKill: {
+        // The kill audit is itself a span, so a blocked kill's causal
+        // chain reads: originating endpoint -> ipc hop -> pm.audit ->
+        // (journal entry with the ACM denial).
+        const std::uint64_t audit_span = machine_.spans().begin(
+            self.proc->pid(), machine_.now(), tag_pm_audit_);
         const Endpoint target_ep{req.get_i32(0)};
         Pcb* target = lookup_pcb(target_ep);
         if (target == nullptr) {
           reply.put_i32(0, static_cast<int>(IpcResult::kDeadSrcDst));
-          break;
-        }
-        if (!policy_.kill_allowed(caller->ac_id, target->ac_id)) {
+        } else if (!policy_.kill_allowed(caller->ac_id, target->ac_id)) {
           met_.kill_denied.inc();
-          machine_.trace().emit(
-              machine_.now(), self.proc->pid(), sim::TraceKind::kSecurity,
-              "acm.kill_deny",
-              caller->name + "(ac" + std::to_string(caller->ac_id) +
-                  ") may not kill " + target->name + "(ac" +
-                  std::to_string(target->ac_id) + ")");
+          std::string detail = caller->name + "(ac" +
+                               std::to_string(caller->ac_id) +
+                               ") may not kill " + target->name + "(ac" +
+                               std::to_string(target->ac_id) + ")";
+          machine_.trace().emit(machine_.now(), self.proc->pid(),
+                                sim::TraceKind::kSecurity, "acm.kill_deny",
+                                detail);
+          machine_.audit().record(
+              machine_.now(), machine_.machine_id(), self.proc->pid(),
+              "acm.kill_deny", std::move(detail), machine_.spans(),
+              machine_.spans().current(self.proc->pid()));
           reply.put_i32(0, static_cast<int>(IpcResult::kNotAllowed));
-          break;
+        } else {
+          machine_.trace().emit(machine_.now(), self.proc->pid(),
+                                sim::TraceKind::kProcess, "pm.kill",
+                                caller->name + " kills " + target->name);
+          machine_.audit().record(
+              machine_.now(), machine_.machine_id(), self.proc->pid(),
+              "pm.kill", caller->name + " kills " + target->name,
+              machine_.spans(),
+              machine_.spans().current(self.proc->pid()));
+          kernel_kill(target_ep);
+          reply.put_i32(0, 0);
         }
-        machine_.trace().emit(machine_.now(), self.proc->pid(),
-                              sim::TraceKind::kProcess, "pm.kill",
-                              caller->name + " kills " + target->name);
-        kernel_kill(target_ep);
-        reply.put_i32(0, 0);
+        machine_.spans().end(self.proc->pid(), machine_.now(), audit_span);
         break;
       }
       default:

@@ -226,11 +226,20 @@ class MinixKernel {
     IpcResult ipc_result = IpcResult::kOk;
     std::deque<int> sender_queue;  // slots blocked sending to us
     std::set<int> notify_from;     // slots with a pending notification
+    /// Causal context of the current in-flight send. The 64-byte wire
+    /// Message cannot carry it (sizeof(Message) is part of the model),
+    /// so it rides kernel-side in the PCB, exactly like m_source: the
+    /// kernel stamps it at the send syscall and hands it to the
+    /// receiver at delivery. out_span is the open "minix.ipc" flow
+    /// span covering send -> deliver (0 = none).
+    std::uint64_t out_span = 0;
     /// A queued senda() message (src stamped) plus its enqueue time, so
-    /// delivery can charge the true send->deliver latency to the metrics.
+    /// delivery can charge the true send->deliver latency to the metrics,
+    /// plus the flow span opened at the send syscall.
     struct AsyncMsg {
       Message msg;
       sim::Time enqueued = 0;
+      std::uint64_t span = 0;
     };
     std::deque<AsyncMsg> async_in;
     sim::Time send_start = 0;  // when the current/last send syscall began
@@ -266,8 +275,17 @@ class MinixKernel {
   void rs_main();
   /// Kernel-crafted notification to PM (m_source = none): deliver
   /// immediately if PM is receiving, else queue in its async mailbox.
-  void kernel_notify_pm(const Message& m);
+  /// `ctx` is the causal context the notice continues (the dying
+  /// process's context for kProcDied, so a reincarnation chains back
+  /// to the trace that was active at death).
+  void kernel_notify_pm(const Message& m, obs::SpanContext ctx = {});
   void trace_sec(const Pcb& src, const Pcb& dst, int m_type, bool allowed);
+  /// Open the "minix.ipc" flow span for a send by `src` (parent = the
+  /// sender's current context). Returns the span id.
+  std::uint64_t begin_ipc_span(const Pcb& src);
+  /// Close an ipc flow span at delivery and hand its context to `to`,
+  /// so the receiver's subsequent spans chain under the message hop.
+  void finish_ipc_span(std::uint64_t span, const Pcb& to);
 
   /// Handles resolved once at kernel construction; incremented on the IPC
   /// hot path without any string lookups ("minix.*" namespace).
@@ -285,6 +303,12 @@ class MinixKernel {
   sim::Machine& machine_;
   AcmPolicy policy_;
   Metrics met_;
+  /// Span/audit tags interned once at construction (hot paths must not
+  /// touch the string table).
+  std::uint32_t tag_ipc_span_ = 0;
+  std::uint32_t tag_pm_audit_ = 0;
+  std::uint32_t tag_rs_restart_ = 0;
+  std::uint32_t tag_note_restart_ = 0;
   std::vector<Pcb> slots_;
   std::unordered_map<int, int> pid_to_slot_;
   std::unordered_map<std::string, Endpoint> names_;

@@ -159,10 +159,25 @@ BacnetMsg SecureProxy::handle(const BacnetMsg& in) {
   err.invoke_id = in.invoke_id;
   if (in.auth_tag != mac(in, key_)) {
     ++rejected_bad_tag_;
+    if (machine_ != nullptr) {
+      machine_->audit().record(
+          machine_->now(), machine_->machine_id(), -1, "proxy.tag_reject",
+          "bad auth tag on write to " + name_ + " property '" + in.property +
+              "' claimed src device " + std::to_string(in.src_device),
+          machine_->spans(), machine_->spans().current(-1));
+    }
     return err;
   }
   if (in.sequence <= last_sequence_) {
     ++rejected_replay_;  // replayed or stale datagram
+    if (machine_ != nullptr) {
+      machine_->audit().record(
+          machine_->now(), machine_->machine_id(), -1, "proxy.replay_reject",
+          "stale sequence " + std::to_string(in.sequence) + " (last " +
+              std::to_string(last_sequence_) + ") on write to " + name_ +
+              " property '" + in.property + "'",
+          machine_->spans(), machine_->spans().current(-1));
+    }
     return err;
   }
   last_sequence_ = in.sequence;
@@ -172,9 +187,24 @@ BacnetMsg SecureProxy::handle(const BacnetMsg& in) {
 // ---- BacnetNetwork ----
 
 void BacnetNetwork::send(BacnetMsg msg) {
+  // Same causal-tracing contract as Fabric::post: inherit the sender's
+  // network context unless the datagram was pre-stamped, cover the wire
+  // hop with a "net.link" flow span, and carry its context in the
+  // reserved header fields.
+  auto& spans = machine_.spans();
+  obs::SpanContext parent{msg.trace_id, msg.parent_span};
+  if (!parent.valid()) parent = spans.current(-1);
+  const std::uint64_t span =
+      spans.begin_flow(-1, machine_.now(), tag_link_span_, parent);
+  const obs::SpanContext ctx = spans.context_of(span);
+  msg.trace_id = ctx.trace_id;
+  msg.parent_span = ctx.parent_span;
   sent_log_.push_back(msg);
   const auto dev_it = devices_.find(msg.dst_device);
-  if (dev_it == devices_.end()) return;
+  if (dev_it == devices_.end()) {
+    spans.end_flow(machine_.now(), span, tag_note_drop_);
+    return;
+  }
   // Bounded inbox: a flood makes the device drop datagrams (DoS).
   std::size_t& depth = inflight_[msg.dst_device];
   if (depth >= kInboxDepth) {
@@ -183,17 +213,23 @@ void BacnetNetwork::send(BacnetMsg msg) {
                           "bacnet.drop",
                           "inbox overflow at device " +
                               std::to_string(msg.dst_device));
+    spans.end_flow(machine_.now(), span, tag_note_drop_);
     return;
   }
   ++depth;
   BacnetDevice* dev = dev_it->second;
-  machine_.at(machine_.now() + latency_, [this, dev, msg] {
+  machine_.at(machine_.now() + latency_, [this, dev, msg, span] {
     --inflight_[msg.dst_device];
     machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kNetwork,
                           "bacnet.deliver",
                           std::string(to_string(msg.service)) + " -> " +
                               dev->name());
+    auto& spans = machine_.spans();
+    spans.end_flow(machine_.now(), span);
+    const obs::SpanContext saved = spans.current(-1);
+    spans.set_current(-1, obs::SpanContext{msg.trace_id, msg.parent_span});
     replies_.push_back(dev->handle(msg));
+    spans.set_current(-1, saved);
   });
 }
 

@@ -38,6 +38,13 @@ struct BacnetMsg {
   std::uint64_t auth_tag = 0;
   std::uint64_t sequence = 0;
 
+  // Reserved tracing header (precedent: the proxy extension fields
+  // above). Plain BACnet has no such field — carrying it models a
+  // proprietary vendor extension; devices that never read it are
+  // unaffected, and a zero trace_id means "no context".
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
   /// Stamped by the fabric when the datagram is posted (virtual time on
   /// the sending node's clock); -1 for off-fabric traffic. Lets the
   /// receiver compute end-to-end latency — all fabric machines share one
@@ -126,6 +133,12 @@ class BacnetDevice {
     notifier_ = std::move(notifier);
   }
 
+  /// Set by the network/fabric at attach time: the machine whose span
+  /// store and audit journal security decisions are charged to. May be
+  /// null (detached devices in unit tests record nothing).
+  void bind_machine(sim::Machine* m) { machine_ = m; }
+  sim::Machine* bound_machine() const { return machine_; }
+
  protected:
   BacnetMsg apply_write(const BacnetMsg& in);
   BacnetMsg handle_subscribe(const BacnetMsg& in);
@@ -140,6 +153,7 @@ class BacnetDevice {
   std::string name_;
   std::map<std::string, double> props_;
   PropertyHandler* handler_ = nullptr;
+  sim::Machine* machine_ = nullptr;
   std::function<void(BacnetMsg)> notifier_;
   std::vector<Subscription> subscriptions_;
   std::vector<BacnetMsg> cov_inbox_;
@@ -187,11 +201,15 @@ class BacnetNetwork {
   static constexpr std::size_t kInboxDepth = 32;
 
   BacnetNetwork(sim::Machine& machine, sim::Duration latency = sim::msec(5))
-      : machine_(machine), latency_(latency) {}
+      : machine_(machine), latency_(latency) {
+    tag_link_span_ = sim::TagRegistry::instance().intern("net.link");
+    tag_note_drop_ = sim::TagRegistry::instance().intern("drop");
+  }
 
   void attach(BacnetDevice& dev) {
     devices_[dev.id()] = &dev;
     dev.set_notifier([this](BacnetMsg msg) { send(std::move(msg)); });
+    dev.bind_machine(&machine_);
   }
 
   /// Send a datagram "from the wire": delivered (and handled) after the
@@ -212,6 +230,8 @@ class BacnetNetwork {
  private:
   sim::Machine& machine_;
   sim::Duration latency_;
+  std::uint32_t tag_link_span_ = 0;
+  std::uint32_t tag_note_drop_ = 0;
   std::map<std::uint32_t, BacnetDevice*> devices_;
   std::map<std::uint32_t, std::size_t> inflight_;
   std::vector<BacnetMsg> replies_;

@@ -24,6 +24,10 @@ std::string link_name(int src, int dst) {
 int Fabric::add_node(std::uint64_t machine_seed) {
   const int node = static_cast<int>(machines_.size());
   machines_.push_back(std::make_unique<sim::Machine>(machine_seed));
+  // Span ids are derived from (machine id, virtual time, sequence), so
+  // every node needs a distinct id for the fabric-wide merge to be
+  // collision-free.
+  machines_.back()->set_machine_id(node);
   inflight_.push_back(0);
   obs::MetricsRegistry& head = machines_[0]->metrics();
   if (node == 0) {
@@ -43,6 +47,7 @@ int Fabric::add_node(std::uint64_t machine_seed) {
 void Fabric::attach(int node, BacnetDevice& dev) {
   devices_[dev.id()] = Endpoint{node, &dev};
   dev.set_notifier([this, node](BacnetMsg msg) { post(node, msg); });
+  dev.bind_machine(machines_[node].get());
 }
 
 const LinkProfile& Fabric::link(int src, int dst) const {
@@ -94,9 +99,22 @@ sim::Duration Fabric::quantum() const {
 }
 
 void Fabric::post(int src_node, BacnetMsg msg) {
-  msg.sent_at = machines_[src_node]->now();
+  sim::Machine& src = *machines_[src_node];
+  msg.sent_at = src.now();
+  // Causal tracing: if the caller did not pre-stamp a context, inherit
+  // whatever the posting node's network context is (pid -1 — fabric work
+  // is not owned by any process). The "net.link" flow span covers the
+  // wire hop; its context rides in the datagram's reserved header fields
+  // so the receiving node can chain onto it.
+  obs::SpanContext parent{msg.trace_id, msg.parent_span};
+  if (!parent.valid()) parent = src.spans().current(-1);
+  const std::uint64_t span =
+      src.spans().begin_flow(-1, msg.sent_at, tag_link_span_, parent);
+  const obs::SpanContext ctx = src.spans().context_of(span);
+  msg.trace_id = ctx.trace_id;
+  msg.parent_span = ctx.parent_span;
   sent_log_.push_back(msg);
-  outbox_.push_back(OutMsg{src_node, std::move(msg)});
+  outbox_.push_back(OutMsg{src_node, std::move(msg), span});
 }
 
 void Fabric::run_until(sim::Time t) {
@@ -112,16 +130,19 @@ void Fabric::run_until(sim::Time t) {
     // i.e. never in any machine's past.
     std::vector<OutMsg> batch;
     batch.swap(outbox_);
-    for (const OutMsg& out : batch) route(out.src_node, out.msg);
+    for (const OutMsg& out : batch) route(out.src_node, out.msg, out.span);
   }
 }
 
-void Fabric::route(int src_node, const BacnetMsg& msg) {
+void Fabric::route(int src_node, const BacnetMsg& msg, std::uint64_t span) {
+  sim::Machine& src = *machines_[src_node];
   const auto it = devices_.find(msg.dst_device);
-  if (it == devices_.end()) return;  // nobody claims the address
+  if (it == devices_.end()) {  // nobody claims the address
+    src.spans().end_flow(now_, span, tag_note_drop_);
+    return;
+  }
   const Endpoint& ep = it->second;
   const int dst_node = ep.node;
-  sim::Machine& src = *machines_[src_node];
 
   if (partitioned(src_node, dst_node, msg.sent_at)) {
     drop_partition_.inc();
@@ -129,6 +150,7 @@ void Fabric::route(int src_node, const BacnetMsg& msg) {
     src.trace().emit(msg.sent_at, -1, sim::TraceKind::kNetwork,
                      "fabric.drop",
                      "partition " + link_name(src_node, dst_node));
+    src.spans().end_flow(now_, span, tag_note_drop_);
     return;
   }
   const LinkProfile& profile = link(src_node, dst_node);
@@ -138,6 +160,7 @@ void Fabric::route(int src_node, const BacnetMsg& msg) {
     link_drop_counter(src_node, dst_node).inc();
     src.trace().emit(msg.sent_at, -1, sim::TraceKind::kNetwork,
                      "fabric.drop", "loss " + link_name(src_node, dst_node));
+    src.spans().end_flow(now_, span, tag_note_drop_);
     return;
   }
   if (inflight_[dst_node] >= kInboxDepth) {
@@ -146,6 +169,7 @@ void Fabric::route(int src_node, const BacnetMsg& msg) {
     src.trace().emit(msg.sent_at, -1, sim::TraceKind::kNetwork,
                      "fabric.drop",
                      "inbox overflow at node " + std::to_string(dst_node));
+    src.spans().end_flow(now_, span, tag_note_drop_);
     return;
   }
 
@@ -156,15 +180,16 @@ void Fabric::route(int src_node, const BacnetMsg& msg) {
   }
   const sim::Time when =
       std::max(msg.sent_at + profile.base + jitter, now_);
-  deliver(src_node, dst_node, ep, msg, when);
+  deliver(src_node, dst_node, ep, msg, when, span);
 }
 
 void Fabric::deliver(int src_node, int dst_node, const Endpoint& ep,
-                     const BacnetMsg& msg, sim::Time when) {
+                     const BacnetMsg& msg, sim::Time when,
+                     std::uint64_t span) {
   ++inflight_[dst_node];
   inflight_gauge_[dst_node].set(static_cast<double>(inflight_[dst_node]));
   sim::Machine& dst = *machines_[dst_node];
-  dst.at(when, [this, src_node, dst_node, ep, msg, when] {
+  dst.at(when, [this, src_node, dst_node, ep, msg, when, span] {
     --inflight_[dst_node];
     inflight_gauge_[dst_node].set(static_cast<double>(inflight_[dst_node]));
     sim::Machine& m = *machines_[dst_node];
@@ -176,6 +201,16 @@ void Fabric::deliver(int src_node, int dst_node, const Endpoint& ep,
         msg.sent_at >= 0) {
       cov_latency_us_.record(static_cast<double>(when - msg.sent_at));
     }
+    // Close the wire-hop span on the *sending* node's store. Safe and
+    // deterministic: run_until advances machines in lockstep on one host
+    // thread, so no other machine is touching that store right now.
+    machines_[src_node]->spans().end_flow(when, span);
+    // Whatever the device does while handling — COV pushes via its
+    // notifier, proxy audit records, the routed reply below — chains
+    // onto the datagram's carried context.
+    auto& spans = m.spans();
+    const obs::SpanContext saved = spans.current(-1);
+    spans.set_current(-1, obs::SpanContext{msg.trace_id, msg.parent_span});
     BacnetMsg reply = ep.dev->handle(msg);
     // Route replies for request services only; COV notifications are
     // unconfirmed on the fabric, so an ack can never generate an ack.
@@ -188,6 +223,7 @@ void Fabric::deliver(int src_node, int dst_node, const Endpoint& ep,
         reply.dst_device != msg.dst_device) {
       post(dst_node, reply);
     }
+    spans.set_current(-1, saved);
   });
 }
 

@@ -53,7 +53,11 @@ class Fabric {
   static constexpr std::size_t kInboxDepth = 64;
 
   /// `seed` salts every per-link RNG stream.
-  explicit Fabric(std::uint64_t seed = 1) : seed_(seed) {}
+  explicit Fabric(std::uint64_t seed = 1) : seed_(seed) {
+    auto& tags = sim::TagRegistry::instance();
+    tag_link_span_ = tags.intern("net.link");
+    tag_note_drop_ = tags.intern("drop");
+  }
 
   /// Create the next node (index = add order) backed by its own machine.
   /// Returns the node index. Node 0 hosts the fabric-wide metrics.
@@ -104,18 +108,24 @@ class Fabric {
   struct OutMsg {
     int src_node;
     BacnetMsg msg;  // msg.sent_at carries the posting node's clock
+    // Open "net.link" flow span on the posting node's store; closed when
+    // the datagram is delivered or dropped. Kernel-side metadata like
+    // sent_at — never part of the frame the receiver parses.
+    std::uint64_t span = 0;
   };
 
   const LinkProfile& link(int src, int dst) const;
   sim::Rng& link_rng(int src, int dst);
   bool partitioned(int a, int b, sim::Time at) const;
   sim::Duration quantum() const;
-  void route(int src_node, const BacnetMsg& msg);
+  void route(int src_node, const BacnetMsg& msg, std::uint64_t span);
   void deliver(int src_node, int dst_node, const Endpoint& ep,
-               const BacnetMsg& msg, sim::Time when);
+               const BacnetMsg& msg, sim::Time when, std::uint64_t span);
   obs::Counter& link_drop_counter(int src, int dst);
 
   std::uint64_t seed_;
+  std::uint32_t tag_link_span_ = 0;
+  std::uint32_t tag_note_drop_ = 0;
   std::vector<std::unique_ptr<sim::Machine>> machines_;
   std::map<std::uint32_t, Endpoint> devices_;        // BACnet id -> endpoint
   std::map<std::pair<int, int>, LinkProfile> links_;

@@ -220,25 +220,27 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, cell] : histograms_) {
     if (!first) os << ',';
     first = false;
-    os << '"' << json_escape(name) << "\":{\"count\":" << cell->count
-       << ",\"sum\":" << fmt_double(cell->sum);
-    if (cell->count > 0) {
-      os << ",\"min\":" << fmt_double(cell->min)
-         << ",\"max\":" << fmt_double(cell->max);
-    } else {
-      os << ",\"min\":0,\"max\":0";
-    }
-    os << ",\"overflow\":" << cell->overflow << ",\"buckets\":[";
+    // Keys sorted at every level, so cmp-based determinism tests and
+    // CI diffs stay stable.
+    os << '"' << json_escape(name) << "\":{\"buckets\":[";
     bool bfirst = true;
     const auto& bounds = *cell->bounds;
     for (std::size_t i = 0; i < bounds.size(); ++i) {
       if (cell->counts[i] == 0) continue;  // elide empty buckets
       if (!bfirst) os << ',';
       bfirst = false;
-      os << "{\"le\":" << fmt_double(bounds[i])
-         << ",\"count\":" << cell->counts[i] << '}';
+      os << "{\"count\":" << cell->counts[i]
+         << ",\"le\":" << fmt_double(bounds[i]) << '}';
     }
-    os << "]}";
+    os << "],\"count\":" << cell->count;
+    if (cell->count > 0) {
+      os << ",\"max\":" << fmt_double(cell->max)
+         << ",\"min\":" << fmt_double(cell->min);
+    } else {
+      os << ",\"max\":0,\"min\":0";
+    }
+    os << ",\"overflow\":" << cell->overflow
+       << ",\"sum\":" << fmt_double(cell->sum) << "}";
   }
   os << "}}";
   return os.str();

@@ -134,10 +134,11 @@ class MetricsRegistry {
   /// with the same name must have identical bounds (throws otherwise).
   void merge_from(const MetricsRegistry& other);
 
-  /// One JSON object, keys sorted by metric name:
-  /// {"counters":{...},"gauges":{...},"histograms":{"n":{"count":..,
-  ///  "sum":..,"min":..,"max":..,"overflow":..,
-  ///  "buckets":[{"le":..,"count":..},...]}}}
+  /// One JSON object, keys sorted at every level (metric names and the
+  /// fields inside each histogram object alike):
+  /// {"counters":{...},"gauges":{...},"histograms":{"n":{
+  ///  "buckets":[{"count":..,"le":..},...],"count":..,"max":..,
+  ///  "min":..,"overflow":..,"sum":..}}}
   /// Zero-count histogram buckets are elided.
   std::string to_json() const;
 

@@ -1,8 +1,10 @@
 #include "obs/trace_export.hpp"
 
+#include <cstdio>
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"  // json_escape
 
@@ -70,6 +72,81 @@ void write_chrome_trace(std::ostream& os, const sim::TraceLog& log) {
 std::string to_chrome_trace_json(const sim::TraceLog& log) {
   std::ostringstream os;
   write_chrome_trace(os, log);
+  return os.str();
+}
+
+namespace {
+
+void hex16(std::ostream& os, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  os << buf;
+}
+
+}  // namespace
+
+void write_span_trace(std::ostream& os, const SpanStore& spans) {
+  auto& tags = sim::TagRegistry::instance();
+
+  // Where each closed span ran, for the cross-machine flow arrows.
+  struct Site {
+    int machine;
+    int pid;
+    sim::Time start;
+  };
+  std::unordered_map<std::uint64_t, Site> sites;
+  for (const Span& s : spans.spans()) {
+    sites.emplace(s.span_id, Site{s.machine, s.pid, s.start});
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans.spans()) {
+    if (!first) os << ',';
+    first = false;
+    const sim::Duration dur = s.end > s.start ? s.end - s.start : 1;
+    os << "{\"name\":\"" << json_escape(tags.name(s.name))
+       << "\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":" << s.start
+       << ",\"dur\":" << dur << ",\"pid\":" << s.machine
+       << ",\"tid\":" << (s.pid < 0 ? 0 : s.pid) << ",\"args\":{"
+       << "\"trace\":\"";
+    hex16(os, s.trace_id);
+    os << "\",\"span\":\"";
+    hex16(os, s.span_id);
+    os << "\",\"parent\":\"";
+    hex16(os, s.parent_span);
+    os << "\"";
+    if (s.abandoned) os << ",\"abandoned\":true";
+    if (s.note != 0) {
+      os << ",\"note\":\"" << json_escape(tags.name(s.note)) << "\"";
+    }
+    os << "}}";
+
+    // Arrow from the parent's slice when the edge crosses a machine or
+    // process boundary — intra-process nesting is visible as-is.
+    auto it = sites.find(s.parent_span);
+    if (it != sites.end() &&
+        (it->second.machine != s.machine || it->second.pid != s.pid)) {
+      os << ",{\"name\":\"" << json_escape(tags.name(s.name))
+         << "\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":\"";
+      hex16(os, s.span_id);
+      os << "\",\"ts\":" << it->second.start
+         << ",\"pid\":" << it->second.machine
+         << ",\"tid\":" << (it->second.pid < 0 ? 0 : it->second.pid)
+         << "},{\"name\":\"" << json_escape(tags.name(s.name))
+         << "\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":\"";
+      hex16(os, s.span_id);
+      os << "\",\"ts\":" << s.start << ",\"pid\":" << s.machine
+         << ",\"tid\":" << (s.pid < 0 ? 0 : s.pid) << "}";
+    }
+  }
+  os << "]}";
+}
+
+std::string to_span_trace_json(const SpanStore& spans) {
+  std::ostringstream os;
+  write_span_trace(os, spans);
   return os.str();
 }
 

@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/span.hpp"
 #include "sim/trace.hpp"
 
 namespace mkbas::obs {
@@ -24,5 +25,20 @@ namespace mkbas::obs {
 /// expects — timestamps pass through untranslated.
 void write_chrome_trace(std::ostream& os, const sim::TraceLog& log);
 std::string to_chrome_trace_json(const sim::TraceLog& log);
+
+/// Serialize a span store as Chrome trace-event JSON with flow events.
+///
+/// Mapping:
+///  * trace pid = machine (fabric node), tid = sim pid, so an N-zone
+///    building renders as N process groups;
+///  * every closed span becomes a complete ("X") slice named by its
+///    span name, with trace/span/parent ids in args (abandoned spans
+///    get "abandoned":true so a reincarnation gap is visible);
+///  * every parent->child edge that crosses a (machine, pid) boundary
+///    becomes a flow ("s" at the parent slice, "f" with bp:"e" at the
+///    child), which Perfetto renders as the cross-machine arrows the
+///    flow graph is about. The flow id is the child span id.
+void write_span_trace(std::ostream& os, const SpanStore& spans);
+std::string to_span_trace_json(const SpanStore& spans);
 
 }  // namespace mkbas::obs

@@ -70,16 +70,24 @@ Sel4Kernel::Sel4Kernel(sim::Machine& machine) : machine_(machine) {
   met_.sc_tcb = mx.counter("sel4.syscall.tcb_op");
   met_.cap_denied = mx.counter("sel4.cap.denied");
   met_.ipc_latency = mx.log_histogram("sel4.ipc.latency", 4, 1e7);
+  tag_ipc_span_ = sim::TagRegistry::instance().intern("sel4.ipc");
 }
 
 void Sel4Kernel::trace_sec(const std::string& what,
                            const std::string& detail) {
   // Single emission point for capability denials: the counter stays in
   // exact agreement with the trace tag counts.
-  if (what.find("deny") != std::string::npos) met_.cap_denied.inc();
+  const bool deny = what.find("deny") != std::string::npos;
+  if (deny) met_.cap_denied.inc();
   sim::Process* p = machine_.current();
-  machine_.trace().emit(machine_.now(), p ? p->pid() : -1,
-                        sim::TraceKind::kSecurity, what, detail);
+  const int pid = p ? p->pid() : -1;
+  machine_.trace().emit(machine_.now(), pid, sim::TraceKind::kSecurity, what,
+                        detail);
+  if (deny) {
+    machine_.audit().record(machine_.now(), machine_.machine_id(), pid, what,
+                            detail, machine_.spans(),
+                            machine_.spans().current(pid));
+  }
 }
 
 // ---- Object management ----
@@ -560,6 +568,20 @@ void Sel4Kernel::transfer_cap_if_any(TcbObj& sender, TcbObj& receiver,
                 std::to_string(src->object));
 }
 
+void Sel4Kernel::reply_hop_span(TcbObj& server, TcbObj& caller) {
+  // A reply is a synchronous hop: the span opens and closes in the same
+  // instant, but it still links the caller's continuation to the
+  // server's handling in the causal graph.
+  auto& spans = machine_.spans();
+  const int spid = server.proc != nullptr ? server.proc->pid() : -1;
+  const std::uint64_t span = spans.begin_flow(
+      spid, machine_.now(), tag_ipc_span_, spans.current(spid));
+  if (span != 0 && caller.proc != nullptr) {
+    spans.set_current(caller.proc->pid(), spans.context_of(span));
+  }
+  spans.end_flow(machine_.now(), span);
+}
+
 void Sel4Kernel::deliver_to_receiver(TcbObj& receiver, int receiver_id,
                                      const WaitingSender& ws) {
   (void)receiver_id;
@@ -570,6 +592,17 @@ void Sel4Kernel::deliver_to_receiver(TcbObj& receiver, int receiver_id,
   receiver.recv_badge = ws.badge;
   receiver.ipc_status = Sel4Error::kOk;
   TcbObj& sender = std::get<TcbObj>(obj(ws.tcb).payload);
+  // Close the hop span and hand its context to the receiver, which now
+  // continues the sender's trace.
+  if (sender.out_span != 0) {
+    auto& spans = machine_.spans();
+    if (receiver.proc != nullptr) {
+      spans.set_current(receiver.proc->pid(),
+                        spans.context_of(sender.out_span));
+    }
+    spans.end_flow(machine_.now(), sender.out_span);
+    sender.out_span = 0;
+  }
   transfer_cap_if_any(sender, receiver, ws.msg, ws.can_grant);
   if (ws.is_call) {
     receiver.reply_to_tcb = ws.tcb;  // one-time reply capability
@@ -634,6 +667,15 @@ Sel4Error Sel4Kernel::do_send(Slot ep_slot, const Sel4Msg& msg, bool blocking,
                        ws.msg.mrs.size() * sizeof(std::uint64_t),
                        fault_seed);
   }
+  {
+    // The endpoint hop is a flow span from the send syscall to delivery;
+    // its context rides in the sender's TCB, never in the registers.
+    auto& spans = machine_.spans();
+    sim::Process* sp = machine_.current();
+    const int spid = sp ? sp->pid() : -1;
+    std::get<TcbObj>(obj(self_id).payload).out_span = spans.begin_flow(
+        spid, machine_.now(), tag_ipc_span_, spans.current(spid));
+  }
 
   auto& ep = std::get<EndpointObj>(obj(ep_id).payload);
   if (!ep.receivers.empty()) {
@@ -651,12 +693,23 @@ Sel4Error Sel4Kernel::do_send(Slot ep_slot, const Sel4Msg& msg, bool blocking,
     }
     return Sel4Error::kOk;
   }
-  if (!blocking) return Sel4Error::kNotReady;
+  if (!blocking) {
+    TcbObj& self = current_tcb();
+    machine_.spans().end_flow(machine_.now(), self.out_span);
+    self.out_span = 0;
+    return Sel4Error::kNotReady;
+  }
 
   TcbObj& self = current_tcb();
   self.ipc_status = Sel4Error::kOk;
   ep.senders.push_back(std::move(ws));
   machine_.block_current(is_call ? "sel4.call" : "sel4.send");
+  if (self.out_span != 0) {
+    // The send never delivered (endpoint revoked / receiver gone): the
+    // hop ends here.
+    machine_.spans().end_flow(machine_.now(), self.out_span);
+    self.out_span = 0;
+  }
   return self.ipc_status;
 }
 
@@ -757,6 +810,7 @@ Sel4Error Sel4Kernel::reply(const Sel4Msg& msg) {
   }
   caller.waiting_reply_from = -1;
   caller.ipc_status = Sel4Error::kOk;
+  reply_hop_span(self, caller);
   machine_.make_ready(caller.proc);
   machine_.trace().emit(machine_.now(),
                         self.proc ? self.proc->pid() : -1,
@@ -781,6 +835,7 @@ RecvResult Sel4Kernel::reply_recv(Slot ep_slot, const Sel4Msg& reply_msg,
       }
       caller.waiting_reply_from = -1;
       caller.ipc_status = Sel4Error::kOk;
+      reply_hop_span(current_tcb(), caller);
       machine_.make_ready(caller.proc);
     }
   }
@@ -801,6 +856,9 @@ Sel4Error Sel4Kernel::signal(Slot ntfn_slot) {
   Capability* cap = resolve(ntfn_slot, ObjType::kNotification, err);
   if (cap == nullptr) return err;
   if (!cap->rights.write) return Sel4Error::kNoRights;
+  // Notifications are a bit-OR into a single word: no room for causal
+  // context, so the trace deliberately breaks here (protocol limit),
+  // exactly like MINIX notify bits.
   auto& n = std::get<NotificationObj>(obj(cap->object).payload);
   n.word |= (cap->badge != 0 ? cap->badge : 1);
   if (!n.waiters.empty()) {
@@ -940,6 +998,7 @@ void Sel4Kernel::on_thread_gone(int tcb_id) {
   dead.recv_buf = nullptr;
   dead.reply_to_tcb = -1;
   dead.waiting_reply_from = -1;
+  dead.out_span = 0;  // the machine abandons the pid's open spans
 }
 
 }  // namespace mkbas::sel4

@@ -234,6 +234,10 @@ class Sel4Kernel {
     int reply_to_tcb = -1;      // pending one-time reply cap (server side)
     int waiting_reply_from = -1;  // caller side: which tcb owes us a reply
     bool can_receive_grant = false;  // sender used a grant cap (for call)
+    /// Open "sel4.ipc" flow span of this thread's in-flight send. The
+    /// causal context rides kernel-side, like the badge — the message
+    /// registers never carry tracing metadata.
+    std::uint64_t out_span = 0;
   };
 
   struct Object {
@@ -259,6 +263,9 @@ class Sel4Kernel {
 
   void deliver_to_receiver(TcbObj& receiver, int receiver_id,
                            const WaitingSender& ws);
+  /// Record the server->caller reply as a zero-length flow span and hand
+  /// its context to the caller.
+  void reply_hop_span(TcbObj& server, TcbObj& caller);
   void transfer_cap_if_any(TcbObj& sender, TcbObj& receiver,
                            const Sel4Msg& msg, bool can_grant);
   Sel4Error do_send(Slot ep_slot, const Sel4Msg& msg, bool blocking,
@@ -282,6 +289,9 @@ class Sel4Kernel {
 
   sim::Machine& machine_;
   Metrics met_;
+  /// Interned once at construction; the IPC path never touches the
+  /// tag registry's string table.
+  std::uint32_t tag_ipc_span_ = 0;
   // deque: object references must stay valid across blocking syscalls
   // while other threads allocate objects.
   std::deque<Object> objects_;

@@ -132,6 +132,9 @@ void Machine::retire_locked(Process* p, bool crashed, std::string reason) {
   p->exit_hooks_.clear();
   p->state_ = ProcState::kZombie;
   --live_count_;
+  // Spans the process left open (it died mid-operation) close as
+  // abandoned — the trace keeps the gap a reincarnation bridges.
+  spans_.process_gone(p->pid_, now_);
   if (crashed) {
     trace_.emit(now_, p->pid_, TraceKind::kProcess, "proc.crash",
                 p->name_ + ": " + p->crash_reason_);

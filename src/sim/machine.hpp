@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -188,6 +189,17 @@ class Machine {
   /// resolve their handles from it once, at construction time.
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Causal span store. Kernel personalities open IPC flow spans here
+  /// and propagate SpanContext kernel-side; scenarios open the
+  /// sensor/control/actuation scoped spans.
+  obs::SpanStore& spans() { return spans_; }
+  const obs::SpanStore& spans() const { return spans_; }
+  /// Security audit journal: denials and verdicts with causal chains.
+  obs::AuditJournal& audit() { return audit_; }
+  const obs::AuditJournal& audit() const { return audit_; }
+  /// Fabric node index, part of the span-id derivation (default 0).
+  void set_machine_id(int id) { spans_.set_machine(id); }
+  int machine_id() const { return spans_.machine(); }
   Rng& rng() { return rng_; }
   std::uint64_t context_switches() const { return context_switches_; }
   std::uint64_t kernel_entries() const { return kernel_entries_; }
@@ -291,6 +303,8 @@ class Machine {
   Duration syscall_cost_ = 1;
   TraceLog trace_;
   obs::MetricsRegistry metrics_;
+  obs::SpanStore spans_;
+  obs::AuditJournal audit_;
   obs::Counter ctx_switch_metric_;
   obs::Counter kernel_entry_metric_;
   Rng rng_;

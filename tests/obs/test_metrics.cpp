@@ -113,8 +113,8 @@ TEST(Metrics, ToJsonElidesEmptyHistogramBuckets) {
   h.record(2.5);  // only the third bucket is populated
   const std::string json = reg.to_json();
   EXPECT_TRUE(jsonlite::valid(json)) << json;
-  EXPECT_EQ(json.find("\"le\":1,"), std::string::npos);
-  EXPECT_NE(json.find("\"le\":3,"), std::string::npos);
+  EXPECT_EQ(json.find("\"le\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":3}"), std::string::npos);
 }
 
 TEST(Metrics, JsonEscapeHandlesSpecials) {
