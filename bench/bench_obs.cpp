@@ -1,17 +1,21 @@
 // O — causal-span tracing overhead. One JSON artifact (BENCH_obs.json).
 //
-// Three arms of the same MINIX sendrec round-trip workload, in one
+// Four arms of the same MINIX sendrec round-trip workload, in one
 // process:
-//   off   — SpanStore disabled (begin/end return immediately)
-//   on    — spans enabled, unbounded store (every IPC hop recorded)
-//   ring  — spans enabled, small ring buffer (steady-state eviction)
+//   off    — SpanStore disabled (begin/end return immediately)
+//   on     — spans enabled, unbounded store (every IPC hop recorded)
+//   ring   — spans enabled, small ring buffer (steady-state eviction)
+//   series — spans off, windowed series + a health detector fed per op
+//            (1 ms windows, 16-deep ring, so eviction churns)
 //
-// The gate is a *relative* claim, so it holds on any host: the "on" arm
-// must stay within 5% of the "off" arm's nanoseconds per operation
-// (bench/check_regression.py, kind bench_obs). The ring arm also proves
-// the eviction accounting: spans dropped by the ring are counted
-// separately from spans abandoned by process death, and the store's
-// conservation invariants must hold after the run.
+// The gate is a *relative* claim, so it holds on any host: the "on" and
+// "series" arms must stay within 5% of the "off" arm's nanoseconds per
+// operation (bench/check_regression.py, kind bench_obs). The ring arm
+// also proves the eviction accounting: spans dropped by the ring are
+// counted separately from spans abandoned by process death, and the
+// store's conservation invariants must hold after the run; the series
+// arm proves the analogous window-ring conservation (total samples ==
+// live + evicted + late-dropped) while windows are actively evicted.
 //
 // The last stdout line is the JSON summary.
 #include <chrono>
@@ -37,7 +41,7 @@ minix::AcmPolicy open_policy() {
   return acm;
 }
 
-enum class Arm { kOff, kOn, kRing };
+enum class Arm { kOff, kOn, kRing, kSeries };
 
 struct Pass {
   std::uint64_t ops = 0;
@@ -45,6 +49,9 @@ struct Pass {
   std::uint64_t spans_kept = 0;
   std::uint64_t spans_dropped = 0;
   std::uint64_t spans_abandoned = 0;
+  std::uint64_t series_samples = 0;
+  std::uint64_t series_windows_evicted = 0;
+  std::uint64_t health_events = 0;
   bool invariants = true;
   double ns_per_op() const {
     return ops > 0 ? wall_ns / static_cast<double>(ops) : 0.0;
@@ -53,9 +60,21 @@ struct Pass {
 
 Pass run_pass(Arm arm, std::size_t ring_capacity) {
   sim::Machine m;
-  m.spans().set_enabled(arm != Arm::kOff);
+  m.spans().set_enabled(arm == Arm::kOn || arm == Arm::kRing);
   if (arm == Arm::kRing) m.spans().set_capacity(ring_capacity);
   minix::MinixKernel k(m, open_policy());
+  // The series arm: one windowed series with deliberately tiny windows
+  // (1 ms wide, 16 kept) so the 200 ms run evicts ~180 windows, plus a
+  // health detector observing the same stream — the steady-state cost
+  // the <5% gate bounds. The input is exactly periodic, so no detector
+  // fires (min_sd floors the variance) and the run stays quiet.
+  mkbas::obs::Series series;
+  mkbas::obs::HealthSignal signal;
+  if (arm == Arm::kSeries) {
+    series = m.series().series("bench.rt", sim::msec(1), 16);
+    signal = m.health().signal("bench.rt_us");
+  }
+  const bool feed = arm == Arm::kSeries;
   auto ops = std::make_shared<std::uint64_t>(0);
   const minix::Endpoint server = k.srv_fork2("server", 10, [&k] {
     for (;;) {
@@ -69,16 +88,27 @@ Pass run_pass(Arm arm, std::size_t ring_capacity) {
       k.ipc_senda(msg.source(), reply);
     }
   });
-  k.srv_fork2("client", 11, [&k, server, ops] {
+  // mutable: record()/observe() are non-const on the captured handles
+  // (std::function invokes its target regardless of its own constness).
+  k.srv_fork2("client", 11,
+              [&k, &m, server, ops, feed, series, signal]() mutable {
     for (;;) {
       minix::Message msg;
       msg.m_type = 1;
-      if (k.ipc_sendrec(server, msg) == minix::IpcResult::kOk) ++*ops;
+      if (k.ipc_sendrec(server, msg) == minix::IpcResult::kOk) {
+        ++*ops;
+        if (feed) {
+          const sim::Time t = m.now();
+          series.record(t, 42.0);
+          signal.observe(t, 42.0);
+        }
+      }
     }
   });
   const auto t0 = std::chrono::steady_clock::now();
   m.run_for(sim::msec(200));
   const auto t1 = std::chrono::steady_clock::now();
+  m.health().flush(m.now());
   Pass p;
   p.ops = *ops;
   p.wall_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
@@ -93,8 +123,18 @@ Pass run_pass(Arm arm, std::size_t ring_capacity) {
   p.invariants =
       s.total_begun() >= s.total_ended() + s.total_abandoned() &&
       s.total_ended() + s.total_abandoned() == s.size() + s.dropped() &&
-      (arm != Arm::kOff || s.total_begun() == 0) &&
+      ((arm == Arm::kOn || arm == Arm::kRing) || s.total_begun() == 0) &&
       open <= 16;  // only the in-flight handful may still be open
+  // Window-ring conservation: every sample ever recorded is live in the
+  // ring, was evicted with its window, or arrived too late for the ring.
+  const auto& st = m.series();
+  p.series_samples = st.total_samples();
+  p.series_windows_evicted = st.evicted_windows();
+  p.health_events = m.health().events().size() + m.health().suppressed();
+  p.invariants = p.invariants &&
+                 st.total_samples() == st.live_samples() +
+                                           st.evicted_samples() +
+                                           st.late_dropped();
   return p;
 }
 
@@ -119,14 +159,18 @@ int main(int argc, char** argv) {
   // Interleave repetitions and keep the fastest pass of each arm: the
   // minimum is the least scheduler-noise-sensitive statistic on shared
   // CI machines.
-  Pass best_off, best_on, best_ring;
+  Pass best_off, best_on, best_ring, best_series;
   for (int rep = 0; rep < reps; ++rep) {
     const Pass off = run_pass(Arm::kOff, ring);
     const Pass on = run_pass(Arm::kOn, ring);
     const Pass rg = run_pass(Arm::kRing, ring);
+    const Pass se = run_pass(Arm::kSeries, ring);
     if (rep == 0 || off.ns_per_op() < best_off.ns_per_op()) best_off = off;
     if (rep == 0 || on.ns_per_op() < best_on.ns_per_op()) best_on = on;
     if (rep == 0 || rg.ns_per_op() < best_ring.ns_per_op()) best_ring = rg;
+    if (rep == 0 || se.ns_per_op() < best_series.ns_per_op()) {
+      best_series = se;
+    }
   }
 
   auto overhead = [&](const Pass& p) {
@@ -137,13 +181,20 @@ int main(int argc, char** argv) {
   };
   const double on_pct = overhead(best_on);
   const double ring_pct = overhead(best_ring);
-  const bool invariants =
-      best_off.invariants && best_on.invariants && best_ring.invariants;
+  const double series_pct = overhead(best_series);
+  const bool invariants = best_off.invariants && best_on.invariants &&
+                          best_ring.invariants && best_series.invariants;
   // The ring arm must actually exercise eviction, and eviction must be
   // accounted as "dropped", never as "abandoned".
   const bool ring_exercised = best_ring.spans_dropped > 0 &&
                               best_ring.spans_kept <= ring &&
                               best_on.spans_dropped == 0;
+  // The series arm must churn its window ring (dozens of evictions in a
+  // 200 ms run with 1 ms windows) and stay quiet: an exactly periodic
+  // input must never trip a detector.
+  const bool series_exercised = best_series.series_windows_evicted > 0 &&
+                                best_series.series_samples > 0 &&
+                                best_series.health_events == 0;
 
   std::printf("off  : %llu ops, %.1f ns/op\n",
               static_cast<unsigned long long>(best_off.ops),
@@ -159,31 +210,50 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(best_ring.spans_kept),
               static_cast<unsigned long long>(best_ring.spans_dropped),
               ring);
-  std::printf("accounting: invariants %s, ring eviction %s\n",
+  std::printf("series: %llu ops, %.1f ns/op (%+.2f%%), %llu samples, "
+              "%llu windows evicted\n",
+              static_cast<unsigned long long>(best_series.ops),
+              best_series.ns_per_op(), series_pct,
+              static_cast<unsigned long long>(best_series.series_samples),
+              static_cast<unsigned long long>(
+                  best_series.series_windows_evicted));
+  std::printf("accounting: invariants %s, ring eviction %s, window "
+              "eviction %s\n",
               invariants ? "hold" : "VIOLATED",
-              ring_exercised ? "exercised" : "NOT EXERCISED");
+              ring_exercised ? "exercised" : "NOT EXERCISED",
+              series_exercised ? "exercised" : "NOT EXERCISED");
 
-  char json[640];
+  char json[1024];
   std::snprintf(
       json, sizeof json,
       "{\"bench\":\"bench_obs\",\"invariants\":%s,"
       "\"ns_per_op_off\":%.1f,\"ns_per_op_on\":%.1f,\"ns_per_op_ring\":%.1f,"
+      "\"ns_per_op_series\":%.1f,"
       "\"ops_off\":%llu,\"ops_on\":%llu,\"ops_ring\":%llu,"
+      "\"ops_series\":%llu,"
       "\"overhead_on_pct\":%.2f,\"overhead_ring_pct\":%.2f,"
+      "\"overhead_series_pct\":%.2f,"
       "\"ring_capacity\":%zu,\"ring_dropped\":%llu,\"ring_exercised\":%s,"
-      "\"spans_on\":%llu}",
+      "\"schema_version\":1,"
+      "\"series_exercised\":%s,\"series_samples\":%llu,"
+      "\"series_windows_evicted\":%llu,\"spans_on\":%llu}",
       invariants ? "true" : "false", best_off.ns_per_op(),
-      best_on.ns_per_op(), best_ring.ns_per_op(),
+      best_on.ns_per_op(), best_ring.ns_per_op(), best_series.ns_per_op(),
       static_cast<unsigned long long>(best_off.ops),
       static_cast<unsigned long long>(best_on.ops),
-      static_cast<unsigned long long>(best_ring.ops), on_pct, ring_pct, ring,
+      static_cast<unsigned long long>(best_ring.ops),
+      static_cast<unsigned long long>(best_series.ops), on_pct, ring_pct,
+      series_pct, ring,
       static_cast<unsigned long long>(best_ring.spans_dropped),
       ring_exercised ? "true" : "false",
+      series_exercised ? "true" : "false",
+      static_cast<unsigned long long>(best_series.series_samples),
+      static_cast<unsigned long long>(best_series.series_windows_evicted),
       static_cast<unsigned long long>(best_on.spans_kept));
   if (!out.empty()) {
     std::ofstream f(out);
     f << json << "\n";
   }
   std::printf("%s\n", json);
-  return invariants && ring_exercised ? 0 : 1;
+  return invariants && ring_exercised && series_exercised ? 0 : 1;
 }

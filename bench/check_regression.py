@@ -32,11 +32,19 @@ bench_obs (BENCH_obs.json):
                              run (a within-run relative claim, so it
                              holds on any host; the 20% default does not
                              apply here).
+  * overhead_series_pct   -- likewise for the windowed series + health
+                             detector arm (absent in old baselines, in
+                             which case only the current run is gated).
   * invariants            -- the span store's conservation counters
                              (begun = open + ended + abandoned;
-                             ended + abandoned = kept + dropped).
+                             ended + abandoned = kept + dropped) and the
+                             series window-ring conservation (samples =
+                             live + evicted + late-dropped).
   * ring_exercised        -- the ring arm evicted spans, and eviction is
                              accounted as dropped, never abandoned.
+  * series_exercised      -- the series arm actually evicted windows and
+                             no detector fired on its exactly periodic
+                             input (absent in old baselines: skipped).
 
 Absolute wall-clock and the parallel speedup depend on the host: speedup
 is only checked when the "cores" field matches the baseline's (a 1-core
@@ -114,7 +122,19 @@ def check_obs(base: dict, cur: dict) -> list:
         failures.append(
             f"span tracing costs {overhead:.2f}% of IPC throughput "
             f"(limit {OBS_MAX_OVERHEAD_PCT:.0f}%)")
-    for key in ("invariants", "ring_exercised"):
+    if "overhead_series_pct" in cur:
+        series = float(cur["overhead_series_pct"])
+        print(f"series overhead: {series:+.2f}% vs obs-off "
+              f"(baseline {float(base.get('overhead_series_pct', 0)):+.2f}%"
+              f", limit +{OBS_MAX_OVERHEAD_PCT:.0f}%)")
+        if series > OBS_MAX_OVERHEAD_PCT:
+            failures.append(
+                f"series+detectors cost {series:.2f}% of IPC throughput "
+                f"(limit {OBS_MAX_OVERHEAD_PCT:.0f}%)")
+    checks = ["invariants", "ring_exercised"]
+    if "series_exercised" in cur:
+        checks.append("series_exercised")
+    for key in checks:
         print(f"{key}: {cur.get(key)}")
         if not cur.get(key, False):
             failures.append(f"{key}=false in the current run")

@@ -5,6 +5,8 @@
 //   --seed N  --zones N  --jobs N  --out FILE
 //   --metrics-out FILE  --trace-out FILE
 //   --trace-spans FILE  --audit-out FILE  --critical-out FILE
+//   --series-out FILE  --health-out FILE  --flight-out FILE
+//   --profile-out FILE  --profile-trace FILE   (campaign pool profile)
 //
 //   $ ./experiment_runner benign --platform minix
 //   $ ./experiment_runner attack --platform linux --attack kill --root
@@ -55,6 +57,8 @@ int usage() {
       "shared: --scenario <temp|uds|bsl3> --seed N --zones N --jobs N "
       "--out F --metrics-out F --trace-out F\n"
       "        --trace-spans F --audit-out F --critical-out F\n"
+      "        --series-out F --health-out F --flight-out F\n"
+      "        --profile-out F --profile-trace F (campaign only)\n"
       "attacks: spoof-sensor spoof-actuator kill fork-bomb brute-force "
       "flood\n");
   return 2;
@@ -76,10 +80,15 @@ void write_file_warn(const std::string& path, const std::string& text) {
 std::function<void(mkbas::sim::Machine&)> make_observer(
     const core::CliArgs& a) {
   if (a.metrics_out.empty() && a.trace_out.empty() && a.spans_out.empty() &&
-      a.audit_out.empty() && a.critical_out.empty()) {
+      a.audit_out.empty() && a.critical_out.empty() &&
+      a.series_out.empty() && a.health_out.empty() &&
+      a.flight_out.empty()) {
     return {};
   }
   return [a](mkbas::sim::Machine& m) {
+    // Close trailing detector rate windows so the exports below (and
+    // the audit journal) carry any end-of-run anomalies.
+    m.health().flush(m.now());
     if (!a.metrics_out.empty()) {
       write_file_warn(a.metrics_out, core::metrics_to_json(m));
     }
@@ -97,6 +106,15 @@ std::function<void(mkbas::sim::Machine&)> make_observer(
       write_file_warn(a.critical_out,
                       mkbas::obs::critical_path_json(
                           m.spans(), "sensor.sample", "act.apply"));
+    }
+    if (!a.series_out.empty()) {
+      write_file_warn(a.series_out, m.series().to_json());
+    }
+    if (!a.health_out.empty()) {
+      write_file_warn(a.health_out, m.health().to_json());
+    }
+    if (!a.flight_out.empty()) {
+      write_file_warn(a.flight_out, m.flight().to_json());
     }
   };
 }
@@ -126,8 +144,17 @@ std::string fabric_summary_json(const core::FabricRunResult& r) {
                   std::to_string(r.delivered) + ",\"drop_loss\":" +
                   std::to_string(r.drop_loss) + ",\"drop_overflow\":" +
                   std::to_string(r.drop_overflow) + ",\"drop_partition\":" +
-                  std::to_string(r.drop_partition) + ",\"metrics_hash\":\"" +
+                  std::to_string(r.drop_partition) + ",\"flight_hash\":\"" +
+                  core::hex64(core::fnv1a(r.flight_json)) +
+                  "\",\"health_events\":" + std::to_string(r.health_events) +
+                  ",\"health_hash\":\"" +
+                  core::hex64(core::fnv1a(r.health_json)) +
+                  "\",\"metrics_hash\":\"" +
                   core::hex64(core::fnv1a(r.metrics_json)) +
+                  "\",\"schema_version\":" +
+                  std::to_string(mkbas::obs::kSchemaVersion) +
+                  ",\"series_hash\":\"" +
+                  core::hex64(core::fnv1a(r.series_json)) +
                   "\",\"spans_hash\":\"" +
                   core::hex64(core::fnv1a(r.spans_json)) +
                   "\",\"trace_hash\":\"" + core::hex64(r.trace_hash) +
@@ -211,6 +238,23 @@ int main(int argc, char** argv) {
     if (!args.audit_out.empty()) {
       write_file_warn(args.audit_out, result.merged_audit_json);
     }
+    if (!args.series_out.empty()) {
+      write_file_warn(args.series_out, result.merged_series_json);
+    }
+    if (!args.health_out.empty()) {
+      write_file_warn(args.health_out, result.merged_health_json);
+    }
+    if (!args.flight_out.empty()) {
+      write_file_warn(args.flight_out, result.merged_flight_json);
+    }
+    // Pool profile: host wall-time, --jobs-dependent by nature — kept
+    // out of the summary and only written when explicitly asked for.
+    if (!args.profile_out.empty()) {
+      write_file_warn(args.profile_out, result.profile_json());
+    }
+    if (!args.profile_trace.empty()) {
+      write_file_warn(args.profile_trace, result.profile_trace_json());
+    }
     return write_or_print(args.out, result.summary_json()) ? 0 : 1;
   }
 
@@ -237,6 +281,15 @@ int main(int argc, char** argv) {
     }
     if (!args.critical_out.empty()) {
       write_file_warn(args.critical_out, res.critical_path_json);
+    }
+    if (!args.series_out.empty()) {
+      write_file_warn(args.series_out, res.series_json);
+    }
+    if (!args.health_out.empty()) {
+      write_file_warn(args.health_out, res.health_json);
+    }
+    if (!args.flight_out.empty()) {
+      write_file_warn(args.flight_out, res.flight_json);
     }
     return write_or_print(args.out, fabric_summary_json(res)) ? 0 : 1;
   }

@@ -166,6 +166,7 @@ void LinuxScenario::control_proc() {
   const int self = machine_.current()->pid();
   // Control-quality metrics (see the MINIX scenario for the definition).
   auto jitter = machine_.metrics().log_histogram("linux.ctl.jitter", 4, 1e6);
+  auto jitter_sig = machine_.health().signal("linux.ctl.jitter");
   auto actuations = machine_.metrics().counter("linux.ctl.actuations");
   sim::Time last_sample_t = -1;
   for (;;) {
@@ -189,8 +190,10 @@ void LinuxScenario::control_proc() {
       if (last_sample_t >= 0) {
         const sim::Duration dt = machine_.now() - last_sample_t;
         const sim::Duration nominal = cfg_.sensor_period;
-        jitter.record(static_cast<double>(
-            dt > nominal ? dt - nominal : nominal - dt));
+        const auto dev = static_cast<double>(
+            dt > nominal ? dt - nominal : nominal - dt);
+        jitter.record(dev);
+        jitter_sig.observe(machine_.now(), dev);
       }
       last_sample_t = machine_.now();
       spans.end(self, machine_.now(), cs);
@@ -231,6 +234,7 @@ void LinuxScenario::heater_proc() {
   const std::uint32_t tag_sample =
       sim::TagRegistry::instance().intern("sensor.sample");
   auto e2e = machine_.metrics().log_histogram("linux.ctl.e2e_us", 4, 1e6);
+  auto e2e_sig = machine_.health().signal("linux.ctl.e2e_us");
   const int self = machine_.current()->pid();
   const int fd = k.mq_open(kQHeater, false);
   if (fd < 0) return;
@@ -246,7 +250,11 @@ void LinuxScenario::heater_proc() {
     const std::uint64_t root = spans.root_of(s);
     if (root != 0 && spans.name_of(root) == tag_sample) {
       const sim::Time t0 = spans.start_of(root);
-      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+      if (t0 >= 0) {
+        e2e.record(static_cast<double>(machine_.now() - t0));
+        e2e_sig.observe(machine_.now(),
+                        static_cast<double>(machine_.now() - t0));
+      }
     }
     spans.end(self, machine_.now(), s);
   }
@@ -260,6 +268,7 @@ void LinuxScenario::alarm_proc() {
   const std::uint32_t tag_sample =
       sim::TagRegistry::instance().intern("sensor.sample");
   auto e2e = machine_.metrics().log_histogram("linux.ctl.e2e_us", 4, 1e6);
+  auto e2e_sig = machine_.health().signal("linux.ctl.e2e_us");
   const int self = machine_.current()->pid();
   const int fd = k.mq_open(kQAlarm, false);
   if (fd < 0) return;
@@ -273,7 +282,11 @@ void LinuxScenario::alarm_proc() {
     const std::uint64_t root = spans.root_of(s);
     if (root != 0 && spans.name_of(root) == tag_sample) {
       const sim::Time t0 = spans.start_of(root);
-      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+      if (t0 >= 0) {
+        e2e.record(static_cast<double>(machine_.now() - t0));
+        e2e_sig.observe(machine_.now(),
+                        static_cast<double>(machine_.now() - t0));
+      }
     }
     spans.end(self, machine_.now(), s);
   }

@@ -144,6 +144,7 @@ void MinixScenario::control_proc() {
   // Control-quality metrics: deviation of the realised sample interval
   // from the nominal sensor period, and every actuator command issued.
   auto jitter = machine_.metrics().log_histogram("minix.ctl.jitter", 4, 1e6);
+  auto jitter_sig = machine_.health().signal("minix.ctl.jitter");
   auto actuations = machine_.metrics().counter("minix.ctl.actuations");
   sim::Time last_sample_t = -1;
 
@@ -210,8 +211,10 @@ void MinixScenario::control_proc() {
         if (last_sample_t >= 0) {
           const sim::Duration dt = machine_.now() - last_sample_t;
           const sim::Duration nominal = cfg_.sensor_period;
-          jitter.record(static_cast<double>(
-              dt > nominal ? dt - nominal : nominal - dt));
+          const auto dev = static_cast<double>(
+              dt > nominal ? dt - nominal : nominal - dt);
+          jitter.record(dev);
+          jitter_sig.observe(machine_.now(), dev);
         }
         last_sample_t = machine_.now();
         log_env();
@@ -255,6 +258,7 @@ void MinixScenario::heater_proc() {
   const std::uint32_t tag_sample =
       sim::TagRegistry::instance().intern("sensor.sample");
   auto e2e = machine_.metrics().log_histogram("minix.ctl.e2e_us", 4, 1e6);
+  auto e2e_sig = machine_.health().signal("minix.ctl.e2e_us");
   const int self = machine_.current()->pid();
   for (;;) {
     Message m;
@@ -270,7 +274,11 @@ void MinixScenario::heater_proc() {
     const std::uint64_t root = spans.root_of(s);
     if (root != 0 && spans.name_of(root) == tag_sample) {
       const sim::Time t0 = spans.start_of(root);
-      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+      if (t0 >= 0) {
+        e2e.record(static_cast<double>(machine_.now() - t0));
+        e2e_sig.observe(machine_.now(),
+                        static_cast<double>(machine_.now() - t0));
+      }
     }
     spans.end(self, machine_.now(), s);
   }
@@ -284,6 +292,7 @@ void MinixScenario::alarm_proc() {
   const std::uint32_t tag_sample =
       sim::TagRegistry::instance().intern("sensor.sample");
   auto e2e = machine_.metrics().log_histogram("minix.ctl.e2e_us", 4, 1e6);
+  auto e2e_sig = machine_.health().signal("minix.ctl.e2e_us");
   const int self = machine_.current()->pid();
   for (;;) {
     Message m;
@@ -295,7 +304,11 @@ void MinixScenario::alarm_proc() {
     const std::uint64_t root = spans.root_of(s);
     if (root != 0 && spans.name_of(root) == tag_sample) {
       const sim::Time t0 = spans.start_of(root);
-      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+      if (t0 >= 0) {
+        e2e.record(static_cast<double>(machine_.now() - t0));
+        e2e_sig.observe(machine_.now(),
+                        static_cast<double>(machine_.now() - t0));
+      }
     }
     spans.end(self, machine_.now(), s);
   }

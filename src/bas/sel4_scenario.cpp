@@ -97,6 +97,7 @@ void Sel4Scenario::control_body(Runtime& rt) {
   TempControlLogic logic(cfg_.control);
   // Control-quality metrics (see the MINIX scenario for the definition).
   auto jitter = machine_.metrics().log_histogram("sel4.ctl.jitter", 4, 1e6);
+  auto jitter_sig = machine_.health().signal("sel4.ctl.jitter");
   auto actuations = machine_.metrics().counter("sel4.ctl.actuations");
   sim::Time last_sample_t = -1;
   for (;;) {
@@ -121,8 +122,10 @@ void Sel4Scenario::control_body(Runtime& rt) {
       if (last_sample_t >= 0) {
         const sim::Duration dt = machine_.now() - last_sample_t;
         const sim::Duration nominal = cfg_.sensor_period;
-        jitter.record(static_cast<double>(
-            dt > nominal ? dt - nominal : nominal - dt));
+        const auto dev = static_cast<double>(
+            dt > nominal ? dt - nominal : nominal - dt);
+        jitter.record(dev);
+        jitter_sig.observe(machine_.now(), dev);
       }
       last_sample_t = machine_.now();
       spans.end(self, machine_.now(), cs);
@@ -156,6 +159,7 @@ void Sel4Scenario::heater_body(Runtime& rt) {
   const std::uint32_t tag_sample =
       sim::TagRegistry::instance().intern("sensor.sample");
   auto e2e = machine_.metrics().log_histogram("sel4.ctl.e2e_us", 4, 1e6);
+  auto e2e_sig = machine_.health().signal("sel4.ctl.e2e_us");
   const int self = machine_.current()->pid();
   for (;;) {
     auto in = rt.await();
@@ -167,7 +171,11 @@ void Sel4Scenario::heater_body(Runtime& rt) {
     const std::uint64_t root = spans.root_of(s);
     if (root != 0 && spans.name_of(root) == tag_sample) {
       const sim::Time t0 = spans.start_of(root);
-      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+      if (t0 >= 0) {
+        e2e.record(static_cast<double>(machine_.now() - t0));
+        e2e_sig.observe(machine_.now(),
+                        static_cast<double>(machine_.now() - t0));
+      }
     }
     spans.end(self, machine_.now(), s);
     rt.reply(Sel4Msg{});
@@ -181,6 +189,7 @@ void Sel4Scenario::alarm_body(Runtime& rt) {
   const std::uint32_t tag_sample =
       sim::TagRegistry::instance().intern("sensor.sample");
   auto e2e = machine_.metrics().log_histogram("sel4.ctl.e2e_us", 4, 1e6);
+  auto e2e_sig = machine_.health().signal("sel4.ctl.e2e_us");
   const int self = machine_.current()->pid();
   for (;;) {
     auto in = rt.await();
@@ -190,7 +199,11 @@ void Sel4Scenario::alarm_body(Runtime& rt) {
     const std::uint64_t root = spans.root_of(s);
     if (root != 0 && spans.name_of(root) == tag_sample) {
       const sim::Time t0 = spans.start_of(root);
-      if (t0 >= 0) e2e.record(static_cast<double>(machine_.now() - t0));
+      if (t0 >= 0) {
+        e2e.record(static_cast<double>(machine_.now() - t0));
+        e2e_sig.observe(machine_.now(),
+                        static_cast<double>(machine_.now() - t0));
+      }
     }
     spans.end(self, machine_.now(), s);
     rt.reply(Sel4Msg{});

@@ -30,6 +30,9 @@ CellResult run_cell(const CampaignCell& cell) {
   auto caller_observe = opts.observe;
   opts.observe = [&](sim::Machine& m) {
     if (caller_observe) caller_observe(m);
+    // Close trailing rate windows so trailing anomalies are detected
+    // before the snapshot; idempotent if the caller already flushed.
+    m.health().flush(m.now());
     res.metrics = std::make_unique<obs::MetricsRegistry>();
     res.metrics->merge_from(m.metrics());
     res.metrics_json = m.metrics().to_json();
@@ -41,6 +44,15 @@ CellResult run_cell(const CampaignCell& cell) {
     res.audit->merge_from(m.audit());
     res.spans_json = res.spans->to_json();
     res.audit_json = res.audit->to_json();
+    res.series = std::make_unique<obs::SeriesStore>();
+    res.series->merge_from(m.series());
+    res.health = std::make_unique<obs::HealthMonitor>();
+    res.health->merge_from(m.health());
+    res.flight = std::make_unique<obs::FlightRecorder>();
+    res.flight->merge_from(m.flight());
+    res.series_json = res.series->to_json();
+    res.health_json = res.health->to_json();
+    res.flight_json = res.flight->to_json();
   };
 
   switch (cell.kind) {
@@ -66,12 +78,18 @@ CellResult run_cell(const CampaignCell& cell) {
         res.metrics = std::make_unique<obs::MetricsRegistry>();
         res.spans = std::make_unique<obs::SpanStore>();
         res.audit = std::make_unique<obs::AuditJournal>();
+        res.series = std::make_unique<obs::SeriesStore>();
+        res.health = std::make_unique<obs::HealthMonitor>();
+        res.flight = std::make_unique<obs::FlightRecorder>();
         std::uint64_t events = 0;
         for (std::size_t n = 0; n < fabric.node_count(); ++n) {
           sim::Machine& m = fabric.machine(static_cast<int>(n));
           res.metrics->merge_from(m.metrics());
           res.spans->merge_from(m.spans());
           res.audit->merge_from(m.audit());
+          res.series->merge_from(m.series());
+          res.health->merge_from(m.health());
+          res.flight->merge_from(m.flight());
           events += m.trace().total_emitted();
         }
         res.trace_events = events;
@@ -81,6 +99,9 @@ CellResult run_cell(const CampaignCell& cell) {
       res.trace_hash = res.fabric.trace_hash;
       res.spans_json = res.fabric.spans_json;
       res.audit_json = res.fabric.audit_json;
+      res.series_json = res.fabric.series_json;
+      res.health_json = res.fabric.health_json;
+      res.flight_json = res.fabric.flight_json;
       break;
     }
   }
@@ -172,28 +193,40 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
 
   out.cells.resize(cells.size());
   campaign::WorkStealingPool pool(out.jobs);
+  pool.set_profiling(true);
   pool.run(cells.size(), [&](std::size_t i) {
     // Slot i belongs to cell i: completion order never shows through.
     out.cells[i] = run_cell(cells[i]);
   });
   out.steals = pool.steals();
+  out.worker_profiles = pool.worker_profiles();
+  out.cell_profiles = pool.task_profiles();
 
   // Reductions walk the slots in cell order — the one order every --jobs
   // value shares — so merged artifacts are byte-identical to sequential.
   obs::MetricsRegistry merged;
   obs::SpanStore merged_spans;
   obs::AuditJournal merged_audit;
+  obs::SeriesStore merged_series;
+  obs::HealthMonitor merged_health;
+  obs::FlightRecorder merged_flight;
   std::uint64_t chain = 14695981039346656037ULL;
   for (const CellResult& r : out.cells) {
     if (r.metrics) merged.merge_from(*r.metrics);
     if (r.spans) merged_spans.merge_from(*r.spans);
     if (r.audit) merged_audit.merge_from(*r.audit);
+    if (r.series) merged_series.merge_from(*r.series);
+    if (r.health) merged_health.merge_from(*r.health);
+    if (r.flight) merged_flight.merge_from(*r.flight);
     chain = fnv1a(hex64(r.trace_hash), chain);
   }
   out.merged_metrics_json = merged.to_json();
   out.merged_trace_hash = chain;
   out.merged_spans_json = merged_spans.to_json();
   out.merged_audit_json = merged_audit.to_json();
+  out.merged_series_json = merged_series.to_json();
+  out.merged_health_json = merged_health.to_json();
+  out.merged_flight_json = merged_flight.to_json();
   out.wall_seconds = seconds_since(t0);
   return out;
 }
@@ -207,19 +240,95 @@ std::string CampaignResult::summary_json() const {
     if (!first) os << ',';
     first = false;
     os << "{\"audit_hash\":\"" << hex64(fnv1a(r.audit_json))
+       << "\",\"flight_hash\":\"" << hex64(fnv1a(r.flight_json))
+       << "\",\"health_events\":"
+       << (r.health ? r.health->events().size() : 0)
+       << ",\"health_hash\":\"" << hex64(fnv1a(r.health_json))
        << "\",\"kind\":\"" << to_string(r.kind) << "\",\"metrics_hash\":\""
        << hex64(fnv1a(r.metrics_json)) << "\",\"name\":\""
-       << obs::json_escape(r.name) << "\",\"spans_hash\":\""
+       << obs::json_escape(r.name) << "\",\"series_hash\":\""
+       << hex64(fnv1a(r.series_json)) << "\",\"spans_hash\":\""
        << hex64(fnv1a(r.spans_json)) << "\",\"trace_events\":"
        << r.trace_events << ",\"trace_hash\":\"" << hex64(r.trace_hash)
        << "\",\"verdict\":\"" << obs::json_escape(cell_verdict(r))
        << "\"}";
   }
   os << "],\"merged_audit_hash\":\"" << hex64(fnv1a(merged_audit_json))
+     << "\",\"merged_flight_hash\":\"" << hex64(fnv1a(merged_flight_json))
+     << "\",\"merged_health_hash\":\"" << hex64(fnv1a(merged_health_json))
      << "\",\"merged_metrics\":" << merged_metrics_json
-     << ",\"merged_spans_hash\":\"" << hex64(fnv1a(merged_spans_json))
+     << ",\"merged_series_hash\":\"" << hex64(fnv1a(merged_series_json))
+     << "\",\"merged_spans_hash\":\"" << hex64(fnv1a(merged_spans_json))
      << "\",\"merged_trace_hash\":\"" << hex64(merged_trace_hash)
-     << "\"}";
+     << "\",\"schema_version\":" << obs::kSchemaVersion << "}";
+  return os.str();
+}
+
+std::string CampaignResult::profile_json() const {
+  std::ostringstream os;
+  os << "{\"cells\":[";
+  for (std::size_t i = 0; i < cell_profiles.size(); ++i) {
+    const campaign::TaskProfile& tp = cell_profiles[i];
+    if (i > 0) os << ',';
+    os << "{\"end_s\":" << obs::json_double(tp.end_seconds)
+       << ",\"index\":" << i << ",\"name\":\""
+       << obs::json_escape(i < cells.size() ? cells[i].name : "")
+       << "\",\"start_s\":" << obs::json_double(tp.start_seconds)
+       << ",\"stolen\":" << (tp.stolen ? "true" : "false")
+       << ",\"worker\":" << tp.worker << "}";
+  }
+  os << "],\"jobs\":" << jobs << ",\"schema_version\":"
+     << obs::kSchemaVersion << ",\"steals\":" << steals
+     << ",\"wall_seconds\":" << obs::json_double(wall_seconds)
+     << ",\"workers\":[";
+  for (std::size_t w = 0; w < worker_profiles.size(); ++w) {
+    const campaign::WorkerProfile& wp = worker_profiles[w];
+    if (w > 0) os << ',';
+    os << "{\"busy_seconds\":" << obs::json_double(wp.busy_seconds)
+       << ",\"executed\":" << wp.executed << ",\"queue_depth\":[";
+    for (std::size_t s = 0; s < wp.queue_depth.size(); ++s) {
+      if (s > 0) os << ',';
+      os << '[' << obs::json_double(wp.queue_depth[s].first) << ','
+         << wp.queue_depth[s].second << ']';
+    }
+    os << "],\"stolen\":" << wp.stolen << ",\"worker\":" << wp.worker
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string CampaignResult::profile_trace_json() const {
+  // One Perfetto lane per pool worker, one slice per cell: the
+  // campaign's host-time schedule, viewable next to the sim traces.
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const campaign::WorkerProfile& wp : worker_profiles) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << wp.worker
+       << ",\"tid\":0,\"args\":{\"name\":\"pool-worker"
+       << wp.worker << "\"}}";
+  }
+  for (std::size_t i = 0; i < cell_profiles.size(); ++i) {
+    const campaign::TaskProfile& tp = cell_profiles[i];
+    if (tp.worker < 0) continue;
+    const double us = 1e6;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\""
+       << obs::json_escape(i < cells.size() ? cells[i].name : "")
+       << "\",\"cat\":\"cell\",\"ph\":\"X\",\"ts\":"
+       << obs::json_double(tp.start_seconds * us) << ",\"dur\":"
+       << obs::json_double(
+              (tp.end_seconds - tp.start_seconds) * us < 1.0
+                  ? 1.0
+                  : (tp.end_seconds - tp.start_seconds) * us)
+       << ",\"pid\":" << tp.worker << ",\"tid\":0,\"args\":{\"index\":"
+       << i << ",\"stolen\":" << (tp.stolen ? "true" : "false") << "}}";
+  }
+  os << "]}";
   return os.str();
 }
 

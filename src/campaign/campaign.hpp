@@ -5,10 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "campaign/pool.hpp"
 #include "core/experiment.hpp"
 #include "core/fabric_run.hpp"
 #include "core/hash.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/series.hpp"
 
 namespace mkbas::core {
 
@@ -68,6 +71,15 @@ struct CellResult {
   std::unique_ptr<obs::AuditJournal> audit;
   std::string spans_json;
   std::string audit_json;
+  /// Windowed series / health events / flight snapshots, flushed at the
+  /// cell's end time before the snapshot. Fabric cells fold their nodes
+  /// in node order.
+  std::unique_ptr<obs::SeriesStore> series;
+  std::unique_ptr<obs::HealthMonitor> health;
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::string series_json;
+  std::string health_json;
+  std::string flight_json;
   /// FNV-1a over every trace event rendered as text (names, not interned
   /// ids, so the hash is independent of cross-cell interning order).
   std::uint64_t trace_hash = 0;
@@ -89,12 +101,34 @@ struct CampaignResult {
   /// order-deterministic merge the --jobs identity tests diff.
   std::string merged_spans_json;
   std::string merged_audit_json;
+  /// Per-cell series / health / flight artifacts folded in cell order;
+  /// same --jobs identity contract as the other merges.
+  std::string merged_series_json;
+  std::string merged_health_json;
+  std::string merged_flight_json;
+
+  /// Pool profile of this campaign's run() (host wall time): per-worker
+  /// steal counts, busy time and queue-depth samples, plus per-cell
+  /// wall-time attribution aligned with `cells` by index. Diagnostic
+  /// only — summary_json never reads it.
+  std::vector<campaign::WorkerProfile> worker_profiles;
+  std::vector<campaign::TaskProfile> cell_profiles;
 
   /// Deterministic machine-readable summary: per-cell verdicts and
   /// hashes plus the merged artifacts. Contains no timing and no
   /// jobs-dependent fields — `--jobs 1` and `--jobs N` must produce
   /// byte-identical summaries (the CI determinism gate diffs them).
   std::string summary_json() const;
+
+  /// Pool profile as JSON (jobs, steals, per-worker rows, per-cell
+  /// rows). Host wall time throughout — NOT deterministic, never
+  /// diffed; the --profile-out artifact.
+  std::string profile_json() const;
+  /// The same profile as Perfetto/Chrome trace lanes: one track per
+  /// worker, one slice per cell (named after the cell), so a campaign's
+  /// schedule drops straight into the trace viewer next to the sim
+  /// traces.
+  std::string profile_trace_json() const;
 };
 
 /// Cell builders mirroring the sequential drivers.

@@ -1,19 +1,31 @@
 #include "campaign/pool.hpp"
 
+#include <chrono>
 #include <exception>
 #include <thread>
-#include <vector>
 
 namespace mkbas::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
 
 WorkStealingPool::WorkStealingPool(int workers)
     : workers_(workers < 1 ? 1 : workers), queues_(workers_) {}
 
-bool WorkStealingPool::pop_own(Queue& q, std::size_t* out) {
+bool WorkStealingPool::pop_own(Queue& q, std::size_t* out,
+                               std::size_t* depth_after) {
   std::lock_guard<std::mutex> lk(q.mu);
   if (q.q.empty()) return false;
   *out = q.q.front();
   q.q.pop_front();
+  *depth_after = q.q.size();
   return true;
 }
 
@@ -32,9 +44,50 @@ bool WorkStealingPool::steal_any(int self, std::size_t* out) {
 
 void WorkStealingPool::run(std::size_t n,
                            const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
+  if (n == 0) {
+    worker_profiles_.clear();
+    task_profiles_.clear();
+    return;
+  }
+  const auto t0 = Clock::now();
+  if (profiling_) {
+    worker_profiles_.assign(static_cast<std::size_t>(workers_), {});
+    for (int i = 0; i < workers_; ++i) {
+      worker_profiles_[static_cast<std::size_t>(i)].worker = i;
+    }
+    task_profiles_.assign(n, {});
+  } else {
+    worker_profiles_.clear();
+    task_profiles_.clear();
+  }
+
+  // Each worker writes only its own WorkerProfile slot and the
+  // TaskProfile slots of tasks it ran (indices are handed out exactly
+  // once), so the profile writes below are race-free without locks.
+  auto record = [&](int self, std::size_t idx, bool stolen,
+                    std::size_t depth, double start_s, double end_s) {
+    if (!profiling_) return;
+    WorkerProfile& wp = worker_profiles_[static_cast<std::size_t>(self)];
+    ++wp.executed;
+    if (stolen) ++wp.stolen;
+    wp.busy_seconds += end_s - start_s;
+    if (wp.queue_depth.size() < kMaxDepthSamples) {
+      wp.queue_depth.emplace_back(start_s, depth);
+    }
+    TaskProfile& tp = task_profiles_[idx];
+    tp.worker = self;
+    tp.stolen = stolen;
+    tp.start_seconds = start_s;
+    tp.end_seconds = end_s;
+  };
+
   if (workers_ == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double start_s = profiling_ ? seconds_since(t0) : 0.0;
+      fn(i);
+      record(0, i, false, n - i - 1, start_s,
+             profiling_ ? seconds_since(t0) : 0.0);
+    }
     return;
   }
 
@@ -54,17 +107,24 @@ void WorkStealingPool::run(std::size_t n,
   auto worker = [&](int self) {
     std::size_t idx;
     for (;;) {
-      if (!pop_own(queues_[static_cast<std::size_t>(self)], &idx) &&
-          !steal_any(self, &idx)) {
-        // Tasks never enqueue new tasks, so empty-everywhere is final.
-        return;
+      std::size_t depth = 0;
+      bool stolen = false;
+      if (!pop_own(queues_[static_cast<std::size_t>(self)], &idx, &depth)) {
+        if (!steal_any(self, &idx)) {
+          // Tasks never enqueue new tasks, so empty-everywhere is final.
+          return;
+        }
+        stolen = true;
       }
+      const double start_s = profiling_ ? seconds_since(t0) : 0.0;
       try {
         fn(idx);
       } catch (...) {
         std::lock_guard<std::mutex> lk(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
+      record(self, idx, stolen, depth, start_s,
+             profiling_ ? seconds_since(t0) : 0.0);
     }
   };
 

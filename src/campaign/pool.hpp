@@ -6,8 +6,32 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 namespace mkbas::campaign {
+
+/// Per-worker execution profile for the most recent run() call. Host
+/// wall-clock based — diagnostic only; this must never feed any
+/// artifact that claims --jobs byte-identity.
+struct WorkerProfile {
+  int worker = 0;
+  std::uint64_t executed = 0;  // tasks this worker ran
+  std::uint64_t stolen = 0;    // of which it stole from another queue
+  double busy_seconds = 0.0;   // summed task wall time
+  /// One (seconds-since-run-start, own-queue depth after dequeue)
+  /// sample per task this worker picked up; bounded, oldest kept.
+  std::vector<std::pair<double, std::size_t>> queue_depth;
+};
+
+/// Per-task wall-time attribution for the most recent run() call,
+/// indexed by task index (so campaign cells line up by position).
+struct TaskProfile {
+  int worker = -1;
+  bool stolen = false;
+  double start_seconds = 0.0;  // since run() start
+  double end_seconds = 0.0;
+};
 
 /// Work-stealing pool for embarrassingly parallel index spaces.
 ///
@@ -28,6 +52,10 @@ namespace mkbas::campaign {
 /// baseline is the same code path minus the threads.
 class WorkStealingPool {
  public:
+  /// Queue-depth samples kept per worker; beyond this, later dequeues
+  /// stop sampling (counts keep accumulating).
+  static constexpr std::size_t kMaxDepthSamples = 4096;
+
   explicit WorkStealingPool(int workers);
 
   /// Run fn over [0, n). Blocks until every index completed. If any fn
@@ -40,18 +68,31 @@ class WorkStealingPool {
   /// accumulated across run() calls. Purely diagnostic.
   std::uint64_t steals() const { return steals_.load(); }
 
+  /// Record per-worker / per-task wall-time profiles on the next run().
+  void set_profiling(bool on) { profiling_ = on; }
+  /// Profiles of the most recent run() (empty unless profiling was on).
+  const std::vector<WorkerProfile>& worker_profiles() const {
+    return worker_profiles_;
+  }
+  const std::vector<TaskProfile>& task_profiles() const {
+    return task_profiles_;
+  }
+
  private:
   struct Queue {
     std::mutex mu;
     std::deque<std::size_t> q;
   };
 
-  bool pop_own(Queue& q, std::size_t* out);
+  bool pop_own(Queue& q, std::size_t* out, std::size_t* depth_after);
   bool steal_any(int self, std::size_t* out);
 
   int workers_;
   std::deque<Queue> queues_;  // deque: Queue is immovable (mutex)
   std::atomic<std::uint64_t> steals_{0};
+  bool profiling_ = false;
+  std::vector<WorkerProfile> worker_profiles_;
+  std::vector<TaskProfile> task_profiles_;
 };
 
 }  // namespace mkbas::campaign

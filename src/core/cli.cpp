@@ -116,6 +116,26 @@ CliArgs parse_cli(int argc, char** argv) {
       const char* v = value(i, "--critical-out");
       if (v == nullptr) return a;
       a.critical_out = v;
+    } else if (arg == "--series-out") {
+      const char* v = value(i, "--series-out");
+      if (v == nullptr) return a;
+      a.series_out = v;
+    } else if (arg == "--health-out") {
+      const char* v = value(i, "--health-out");
+      if (v == nullptr) return a;
+      a.health_out = v;
+    } else if (arg == "--flight-out") {
+      const char* v = value(i, "--flight-out");
+      if (v == nullptr) return a;
+      a.flight_out = v;
+    } else if (arg == "--profile-out") {
+      const char* v = value(i, "--profile-out");
+      if (v == nullptr) return a;
+      a.profile_out = v;
+    } else if (arg == "--profile-trace") {
+      const char* v = value(i, "--profile-trace");
+      if (v == nullptr) return a;
+      a.profile_trace = v;
     } else if (arg == "--attack") {
       const char* v = value(i, "--attack");
       if (v == nullptr) return a;

@@ -15,6 +15,8 @@ namespace mkbas::core {
 ///   --seed N   --zones N   --jobs N   --seeds N
 ///   --out FILE --metrics-out FILE --trace-out FILE
 ///   --trace-spans FILE --audit-out FILE --critical-out FILE
+///   --series-out FILE --health-out FILE --flight-out FILE
+///   --profile-out FILE --profile-trace FILE
 ///   --attack <name>  --root --quota --acl --no-probe --csv --md
 ///
 /// Legacy positional spellings (platform names, "root", "seed N", ...)
@@ -39,6 +41,11 @@ struct CliArgs {
   std::string spans_out;     // --trace-spans: causal span store JSON
   std::string audit_out;     // --audit-out: security audit journal JSON
   std::string critical_out;  // --critical-out: critical-path analysis JSON
+  std::string series_out;    // --series-out: windowed time-series JSON
+  std::string health_out;    // --health-out: health events/scores JSON
+  std::string flight_out;    // --flight-out: flight-recorder snapshots
+  std::string profile_out;   // --profile-out: campaign pool profile JSON
+  std::string profile_trace; // --profile-trace: pool profile, Perfetto lanes
   bool has_attack = false;
   std::string attack;              // raw --attack value
   bool root = false;

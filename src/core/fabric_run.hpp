@@ -87,6 +87,16 @@ struct FabricRunResult {
   /// Mean end-to-end telemetry latency from the critical path (leaf.end
   /// - root.start averaged over complete chains); 0 when none.
   double sample_e2e_mean_us = 0.0;
+  /// Windowed time-series, health events and flight-recorder snapshots
+  /// merged in node order (empty skeletons when opts.trace_spans is
+  /// off). Health detectors are flushed at opts.duration before the
+  /// per-zone verdicts are journaled, so an attack that trips a detector
+  /// is visible in the audit journal ahead of its verdict row.
+  std::string series_json;
+  std::string health_json;
+  std::string flight_json;
+  /// Kept health events across all nodes (suppressed firings excluded).
+  std::uint64_t health_events = 0;
 };
 
 /// Build the building, run it, and judge every zone. Deterministic: the

@@ -75,7 +75,12 @@ FaultInjector::FaultInjector(sim::Machine& machine, FaultPlan plan)
       delay_ctr_(machine.metrics().counter("fault.msg_delay")),
       corrupt_ctr_(machine.metrics().counter("fault.msg_corrupt")),
       sensor_ctr_(machine.metrics().counter("fault.sensor")),
-      clock_ctr_(machine.metrics().counter("fault.clock")) {}
+      clock_ctr_(machine.metrics().counter("fault.clock")) {
+  obs::DetectorConfig cfg;
+  cfg.rate = true;
+  cfg.surge = 16.0;  // a fault storm, not an isolated injection
+  activity_sig_ = machine_.health().signal("fault.activity", cfg);
+}
 
 FaultInjector::~FaultInjector() {
   if (filter_installed_) machine_.set_msg_filter({});
@@ -85,6 +90,13 @@ void FaultInjector::note(const char* tag, const std::string& detail,
                          double value) {
   machine_.trace().emit(machine_.now(), -1, sim::TraceKind::kFault, tag,
                         detail, value);
+  // Every injection that actually landed (misses excluded) counts on the
+  // fault-activity rate signal and snapshots the moment in the flight
+  // recorder.
+  if (std::string(tag) != "fault.miss") {
+    activity_sig_.count(machine_.now());
+    machine_.flight().trigger(machine_.now(), tag, detail);
+  }
 }
 
 void FaultInjector::arm() {

@@ -164,6 +164,7 @@ class FaultInjector {
   void note(const char* tag, const std::string& detail, double value = 0.0);
 
   sim::Machine& machine_;
+  obs::HealthSignal activity_sig_;  // rate of landed injections
   FaultPlan plan_;
   sim::Rng rng_;  // plan-seeded; independent of the machine stream
   devices::Bmp180Sensor* sensor_ = nullptr;

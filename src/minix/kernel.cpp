@@ -47,6 +47,13 @@ MinixKernel::MinixKernel(sim::Machine& machine, AcmPolicy policy)
   met_.rs_giveup = mx.counter("minix.rs.giveup");
   met_.ipc_latency = mx.log_histogram("minix.ipc.latency", 4, 1e7);
   met_.rs_mttr = mx.log_histogram("minix.rs.mttr", 4, 1e8);
+  // Denial-rate health signal: a handful of scattered probes drifts the
+  // CUSUM, a denial storm crosses the surge threshold on the first
+  // closed window (no warmup needed).
+  obs::DetectorConfig denial_cfg;
+  denial_cfg.rate = true;
+  denial_cfg.surge = 64.0;
+  denial_sig_ = machine_.health().signal("minix.acm.denied", denial_cfg);
   // Span/audit tags are interned once here; the IPC fast path must not
   // touch the registry's string table.
   auto& tags = sim::TagRegistry::instance();
@@ -330,6 +337,7 @@ void MinixKernel::trace_sec(const Pcb& src, const Pcb& dst, int m_type,
     met_.acm_allowed.inc();
   } else {
     met_.acm_denied.inc();
+    denial_sig_.count(machine_.now());
   }
   const int pid = src.proc ? src.proc->pid() : -1;
   std::string detail = src.name + "(ac" + std::to_string(src.ac_id) +

@@ -303,6 +303,7 @@ class MinixKernel {
   sim::Machine& machine_;
   AcmPolicy policy_;
   Metrics met_;
+  obs::HealthSignal denial_sig_;  // rate detector over ACM denials
   /// Span/audit tags interned once at construction (hot paths must not
   /// touch the string table).
   std::uint32_t tag_ipc_span_ = 0;

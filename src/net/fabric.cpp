@@ -38,7 +38,16 @@ int Fabric::add_node(std::uint64_t machine_seed) {
     // One second of virtual time covers any sane link; COV latencies are
     // a few base latencies end to end.
     cov_latency_us_ = head.log_histogram("fabric.cov.latency_us", 4, 1e6);
+    cov_sig_ = machines_[0]->health().signal("fabric.cov.latency_us");
   }
+  // Per-node inbox-overflow rate signal on the node being flooded: the
+  // surge threshold trips within one 5s window of a flood starting,
+  // long before the end-of-run attack verdicts.
+  obs::DetectorConfig ov_cfg;
+  ov_cfg.rate = true;
+  ov_cfg.surge = 256.0;
+  overflow_sig_.push_back(
+      machines_.back()->health().signal("net.inbox_overflow", ov_cfg));
   inflight_gauge_.push_back(
       head.gauge("fabric.node." + std::to_string(node) + ".inflight"));
   return node;
@@ -165,6 +174,7 @@ void Fabric::route(int src_node, const BacnetMsg& msg, std::uint64_t span) {
   }
   if (inflight_[dst_node] >= kInboxDepth) {
     drop_overflow_.inc();
+    overflow_sig_[static_cast<std::size_t>(dst_node)].count(now_);
     link_drop_counter(src_node, dst_node).inc();
     src.trace().emit(msg.sent_at, -1, sim::TraceKind::kNetwork,
                      "fabric.drop",
@@ -200,6 +210,7 @@ void Fabric::deliver(int src_node, int dst_node, const Endpoint& ep,
     if (msg.service == BacnetMsg::Service::kCovNotification &&
         msg.sent_at >= 0) {
       cov_latency_us_.record(static_cast<double>(when - msg.sent_at));
+      cov_sig_.observe(when, static_cast<double>(when - msg.sent_at));
     }
     // Close the wire-hop span on the *sending* node's store. Safe and
     // deterministic: run_until advances machines in lockstep on one host

@@ -145,6 +145,10 @@ class Fabric {
   obs::Counter drop_partition_;
   obs::Counter drop_overflow_;
   obs::Histogram cov_latency_us_;
+  /// COV delivery-latency detector, on the head-end (subscriber) node.
+  obs::HealthSignal cov_sig_;
+  /// Per-node inbox-overflow rate detectors (flood DoS fires these).
+  std::vector<obs::HealthSignal> overflow_sig_;
 };
 
 }  // namespace mkbas::net

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace mkbas::obs {
+
+/// Version stamped into every JSON artifact this repo emits (metrics,
+/// spans, audit journal, critical path, series, health, flight recorder,
+/// campaign profile) as a "schema_version" field. The experiment daemon's
+/// content-addressed cache validates artifacts against it before reuse;
+/// bump it on any backwards-incompatible field change.
+inline constexpr int kSchemaVersion = 1;
+
+/// Minimal JSON string escaping, shared by every exporter.
+std::string json_escape(const std::string& s);
+
+/// Print doubles without trailing noise: integers as integers, the rest
+/// with enough digits to round-trip. Shared by every exporter so the same
+/// value always renders to the same bytes (the campaign determinism tests
+/// cmp artifacts produced by different code paths).
+inline std::string json_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Fixed-width (16 hex digit) id rendering, so diffs of span/trace ids
+/// align column-for-column.
+inline std::string json_hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace mkbas::obs

@@ -26,19 +26,6 @@ Histogram::Cell& dummy_histogram_cell() {
   return cell;
 }
 
-// Print doubles without trailing noise: integers as integers, the rest
-// with enough digits to round-trip.
-std::string fmt_double(double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", v);
-    return buf;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
 }  // namespace
 
 Counter::Counter() : cell_(&g_dummy_counter), enabled_(&g_dummy_enabled) {}
@@ -213,7 +200,7 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, cell] : gauges_) {
     if (!first) os << ',';
     first = false;
-    os << '"' << json_escape(name) << "\":" << fmt_double(*cell);
+    os << '"' << json_escape(name) << "\":" << json_double(*cell);
   }
   os << "},\"histograms\":{";
   first = true;
@@ -230,19 +217,19 @@ std::string MetricsRegistry::to_json() const {
       if (!bfirst) os << ',';
       bfirst = false;
       os << "{\"count\":" << cell->counts[i]
-         << ",\"le\":" << fmt_double(bounds[i]) << '}';
+         << ",\"le\":" << json_double(bounds[i]) << '}';
     }
     os << "],\"count\":" << cell->count;
     if (cell->count > 0) {
-      os << ",\"max\":" << fmt_double(cell->max)
-         << ",\"min\":" << fmt_double(cell->min);
+      os << ",\"max\":" << json_double(cell->max)
+         << ",\"min\":" << json_double(cell->min);
     } else {
       os << ",\"max\":0,\"min\":0";
     }
     os << ",\"overflow\":" << cell->overflow
-       << ",\"sum\":" << fmt_double(cell->sum) << "}";
+       << ",\"sum\":" << json_double(cell->sum) << "}";
   }
-  os << "}}";
+  os << "},\"schema_version\":" << kSchemaVersion << "}";
   return os.str();
 }
 

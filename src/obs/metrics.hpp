@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"  // json_escape/json_double, kSchemaVersion
+
 namespace mkbas::obs {
 
 /// First-class instrumentation for the simulated machine and the kernel
@@ -138,7 +140,7 @@ class MetricsRegistry {
   /// fields inside each histogram object alike):
   /// {"counters":{...},"gauges":{...},"histograms":{"n":{
   ///  "buckets":[{"count":..,"le":..},...],"count":..,"max":..,
-  ///  "min":..,"overflow":..,"sum":..}}}
+  ///  "min":..,"overflow":..,"sum":..}},"schema_version":N}
   /// Zero-count histogram buckets are elided.
   std::string to_json() const;
 
@@ -155,8 +157,5 @@ class MetricsRegistry {
   std::map<std::string, double*> gauges_;
   std::map<std::string, Histogram::Cell*> histograms_;
 };
-
-/// Minimal JSON string escaping (shared by metrics and trace export).
-std::string json_escape(const std::string& s);
 
 }  // namespace mkbas::obs

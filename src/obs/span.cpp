@@ -5,7 +5,7 @@
 #include <map>
 #include <sstream>
 
-#include "obs/metrics.hpp"  // json_escape
+#include "obs/json.hpp"  // json_escape, json_hex64, kSchemaVersion
 
 namespace mkbas::obs {
 
@@ -16,13 +16,6 @@ std::uint64_t splitmix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
-}
-
-std::string hex_id(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
 }
 
 }  // namespace
@@ -275,7 +268,8 @@ void SpanStore::merge_from(const SpanStore& other) {
 std::string SpanStore::to_json() const {
   auto& tags = sim::TagRegistry::instance();
   std::ostringstream os;
-  os << "{\"dropped\":" << dropped_ << ",\"spans\":[";
+  os << "{\"dropped\":" << dropped_
+     << ",\"schema_version\":" << kSchemaVersion << ",\"spans\":[";
   bool first = true;
   for (const Span& s : done_) {
     if (!first) os << ',';
@@ -286,9 +280,9 @@ std::string SpanStore::to_json() const {
     if (s.note != 0) {
       os << ",\"note\":\"" << json_escape(tags.name(s.note)) << "\"";
     }
-    os << ",\"parent\":\"" << hex_id(s.parent_span) << "\",\"pid\":"
-       << s.pid << ",\"span\":\"" << hex_id(s.span_id) << "\",\"start\":"
-       << s.start << ",\"trace\":\"" << hex_id(s.trace_id) << "\"}";
+    os << ",\"parent\":\"" << json_hex64(s.parent_span) << "\",\"pid\":"
+       << s.pid << ",\"span\":\"" << json_hex64(s.span_id) << "\",\"start\":"
+       << s.start << ",\"trace\":\"" << json_hex64(s.trace_id) << "\"}";
   }
   os << "],\"total_abandoned\":" << total_abandoned_
      << ",\"total_begun\":" << total_begun_
@@ -317,6 +311,7 @@ void AuditJournal::record(sim::Time time, int machine, int pid,
     e.chain_names.push_back(spans.name_of(id));
   }
   entries_.push_back(std::move(e));
+  if (on_record_) on_record_(entries_.back());
 }
 
 void AuditJournal::record(sim::Time time, int machine, int pid,
@@ -356,14 +351,14 @@ std::string AuditJournal::to_json() const {
     for (std::size_t i = 0; i < e.chain.size(); ++i) {
       if (i > 0) os << ',';
       os << "{\"name\":\"" << json_escape(tags.name(e.chain_names[i]))
-         << "\",\"span\":\"" << hex_id(e.chain[i]) << "\"}";
+         << "\",\"span\":\"" << json_hex64(e.chain[i]) << "\"}";
     }
     os << "],\"detail\":\"" << json_escape(e.detail) << "\",\"kind\":\""
        << json_escape(tags.name(e.kind)) << "\",\"machine\":" << e.machine
        << ",\"pid\":" << e.pid << ",\"time\":" << e.time
-       << ",\"trace\":\"" << hex_id(e.trace_id) << "\"}";
+       << ",\"trace\":\"" << json_hex64(e.trace_id) << "\"}";
   }
-  os << "]}";
+  os << "],\"schema_version\":" << kSchemaVersion << "}";
   return os.str();
 }
 
@@ -458,7 +453,8 @@ std::string critical_path_json(const SpanStore& store,
     os << "],\"signature\":\"" << json_escape(sig)
        << "\",\"traces\":" << agg.traces << "}";
   }
-  os << "],\"root\":\"" << json_escape(root_name) << "\"}";
+  os << "],\"root\":\"" << json_escape(root_name)
+     << "\",\"schema_version\":" << kSchemaVersion << "}";
   return os.str();
 }
 

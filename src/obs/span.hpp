@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -361,6 +362,14 @@ class AuditJournal {
   const std::vector<AuditEntry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
 
+  /// Observer invoked synchronously after every recorded entry — the
+  /// machine wires the flight recorder here so a security denial
+  /// snapshots the telemetry around it. Not called on merge_from: a
+  /// merge replays history, it does not re-decide anything.
+  void set_on_record(std::function<void(const AuditEntry&)> fn) {
+    on_record_ = std::move(fn);
+  }
+
   /// Entries whose kind equals `kind` (never interns).
   std::vector<AuditEntry> with_kind(const std::string& kind) const;
 
@@ -373,6 +382,7 @@ class AuditJournal {
  private:
   bool enabled_ = true;
   std::vector<AuditEntry> entries_;
+  std::function<void(const AuditEntry&)> on_record_;
 };
 
 /// Critical-path analysis over completed spans: for every trace whose

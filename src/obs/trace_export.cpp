@@ -6,7 +6,7 @@
 #include <sstream>
 #include <unordered_map>
 
-#include "obs/metrics.hpp"  // json_escape
+#include "obs/json.hpp"  // json_escape, json_hex64
 
 namespace mkbas::obs {
 
@@ -77,12 +77,7 @@ std::string to_chrome_trace_json(const sim::TraceLog& log) {
 
 namespace {
 
-void hex16(std::ostream& os, std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(v));
-  os << buf;
-}
+void hex16(std::ostream& os, std::uint64_t v) { os << json_hex64(v); }
 
 }  // namespace
 

@@ -70,6 +70,12 @@ Sel4Kernel::Sel4Kernel(sim::Machine& machine) : machine_(machine) {
   met_.sc_tcb = mx.counter("sel4.syscall.tcb_op");
   met_.cap_denied = mx.counter("sel4.cap.denied");
   met_.ipc_latency = mx.log_histogram("sel4.ipc.latency", 4, 1e7);
+  // Denial-rate health signal (see MinixKernel: surge fires without
+  // warmup, CUSUM catches slow probing).
+  obs::DetectorConfig denial_cfg;
+  denial_cfg.rate = true;
+  denial_cfg.surge = 64.0;
+  denial_sig_ = machine_.health().signal("sel4.cap.denied", denial_cfg);
   tag_ipc_span_ = sim::TagRegistry::instance().intern("sel4.ipc");
 }
 
@@ -78,7 +84,10 @@ void Sel4Kernel::trace_sec(const std::string& what,
   // Single emission point for capability denials: the counter stays in
   // exact agreement with the trace tag counts.
   const bool deny = what.find("deny") != std::string::npos;
-  if (deny) met_.cap_denied.inc();
+  if (deny) {
+    met_.cap_denied.inc();
+    denial_sig_.count(machine_.now());
+  }
   sim::Process* p = machine_.current();
   const int pid = p ? p->pid() : -1;
   machine_.trace().emit(machine_.now(), pid, sim::TraceKind::kSecurity, what,

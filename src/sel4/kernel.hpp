@@ -289,6 +289,7 @@ class Sel4Kernel {
 
   sim::Machine& machine_;
   Metrics met_;
+  obs::HealthSignal denial_sig_;  // rate detector over cap denials
   /// Interned once at construction; the IPC path never touches the
   /// tag registry's string table.
   std::uint32_t tag_ipc_span_ = 0;

@@ -11,7 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/series.hpp"
 #include "obs/span.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -197,8 +199,23 @@ class Machine {
   /// Security audit journal: denials and verdicts with causal chains.
   obs::AuditJournal& audit() { return audit_; }
   const obs::AuditJournal& audit() const { return audit_; }
+  /// Windowed time-series store (continuous telemetry; bounded rings).
+  obs::SeriesStore& series() { return series_; }
+  const obs::SeriesStore& series() const { return series_; }
+  /// Health monitor: EWMA/CUSUM anomaly detectors over the series feed.
+  /// Events land in the audit journal and trip the flight recorder.
+  obs::HealthMonitor& health() { return health_; }
+  const obs::HealthMonitor& health() const { return health_; }
+  /// Always-on flight recorder: snapshots recent telemetry on detector
+  /// firings, security denials and fault injections.
+  obs::FlightRecorder& flight() { return flight_; }
+  const obs::FlightRecorder& flight() const { return flight_; }
   /// Fabric node index, part of the span-id derivation (default 0).
-  void set_machine_id(int id) { spans_.set_machine(id); }
+  void set_machine_id(int id) {
+    spans_.set_machine(id);
+    series_.set_machine(id);
+    health_.set_machine(id);
+  }
   int machine_id() const { return spans_.machine(); }
   Rng& rng() { return rng_; }
   std::uint64_t context_switches() const { return context_switches_; }
@@ -305,6 +322,9 @@ class Machine {
   obs::MetricsRegistry metrics_;
   obs::SpanStore spans_;
   obs::AuditJournal audit_;
+  obs::SeriesStore series_;
+  obs::HealthMonitor health_;
+  obs::FlightRecorder flight_;
   obs::Counter ctx_switch_metric_;
   obs::Counter kernel_entry_metric_;
   Rng rng_;

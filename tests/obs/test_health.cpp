@@ -1,0 +1,278 @@
+#include "obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json_lite.hpp"
+#include "obs/series.hpp"
+#include "obs/span.hpp"
+
+namespace obs = mkbas::obs;
+namespace sim = mkbas::sim;
+
+namespace {
+
+/// A monitor with its sinks, wired the way sim::Machine wires them.
+struct Rig {
+  obs::SeriesStore series;
+  obs::SpanStore spans;
+  obs::AuditJournal audit;
+  obs::HealthMonitor health;
+  obs::FlightRecorder flight;
+
+  Rig() {
+    health.wire(&series, &audit, &spans);
+    flight.wire(&series, &spans, &health);
+  }
+};
+
+}  // namespace
+
+TEST(Health, WarmupSuppressesValueDetectors) {
+  Rig rig;
+  obs::HealthSignal s = rig.health.signal("jitter");
+  // warmup = 8: the 7th sample may be wild without an alarm.
+  for (int i = 0; i < 7; ++i) s.observe(sim::sec(i), 100.0);
+  s.observe(sim::sec(7), 1e9);
+  EXPECT_TRUE(rig.health.events().empty());
+}
+
+TEST(Health, EwmaBandFiresOnAnOutlierAfterWarmup) {
+  Rig rig;
+  obs::HealthSignal s = rig.health.signal("jitter");
+  for (int i = 0; i < 9; ++i) s.observe(sim::sec(i), 100.0);
+  s.observe(sim::sec(9), 1e9);
+  ASSERT_FALSE(rig.health.events().empty());
+  const obs::HealthEvent& e = rig.health.events().front();
+  EXPECT_EQ(e.kind, obs::HealthEventKind::kEwma);
+  EXPECT_EQ(e.time, sim::sec(9));
+  EXPECT_DOUBLE_EQ(e.value, 1e9);
+}
+
+TEST(Health, BaselineFreezesWhileAlarming) {
+  Rig rig;
+  obs::HealthSignal s = rig.health.signal("jitter");
+  for (int i = 0; i < 9; ++i) s.observe(sim::sec(i), 100.0);
+  s.observe(sim::sec(9), 1e9);
+  const std::size_t after_first = rig.health.events().size();
+  ASSERT_GE(after_first, 1u);
+  // A sustained anomaly must not be absorbed into the baseline: the
+  // same outlier keeps firing instead of becoming the new normal, and
+  // the baseline it is judged against has not moved toward 1e9.
+  s.observe(sim::sec(10), 1e9);
+  EXPECT_GT(rig.health.events().size(), after_first);
+  EXPECT_DOUBLE_EQ(rig.health.events().back().baseline,
+                   rig.health.events().front().baseline);
+  EXPECT_LT(rig.health.events().back().baseline, 101.0);
+}
+
+TEST(Health, CusumCatchesAStepTheBandIgnores) {
+  Rig rig;
+  obs::DetectorConfig cfg;
+  cfg.ewma_k = 100.0;  // band disabled for this test
+  cfg.min_sd = 1.0;
+  cfg.cusum_h = 5.0;
+  obs::HealthSignal s = rig.health.signal("drift", cfg);
+  // Long enough for the EW mean to settle on 100 and the EW variance to
+  // decay to the min_sd floor (both start at zero, alpha = 0.25).
+  for (int i = 0; i < 60; ++i) s.observe(sim::sec(i), 100.0);
+  ASSERT_TRUE(rig.health.events().empty());
+  s.observe(sim::sec(60), 110.0);  // z = 10 >> h
+  ASSERT_FALSE(rig.health.events().empty());
+  EXPECT_EQ(rig.health.events().front().kind,
+            obs::HealthEventKind::kCusumHigh);
+}
+
+TEST(Health, CusumLowCatchesADownwardStepOnValueSignals) {
+  Rig rig;
+  obs::DetectorConfig cfg;
+  cfg.ewma_k = 100.0;
+  cfg.min_sd = 1.0;
+  cfg.cusum_h = 5.0;
+  obs::HealthSignal s = rig.health.signal("drop", cfg);
+  for (int i = 0; i < 60; ++i) s.observe(sim::sec(i), 100.0);
+  ASSERT_TRUE(rig.health.events().empty());
+  s.observe(sim::sec(60), 90.0);
+  ASSERT_FALSE(rig.health.events().empty());
+  EXPECT_EQ(rig.health.events().front().kind,
+            obs::HealthEventKind::kCusumLow);
+}
+
+TEST(Health, RateSurgeFiresWithoutWarmupWhenTheWindowCloses) {
+  Rig rig;
+  obs::DetectorConfig cfg;
+  cfg.rate = true;
+  cfg.rate_window = sim::sec(1);
+  cfg.surge = 5.0;
+  obs::HealthSignal s = rig.health.signal("denials", cfg);
+  s.count(sim::msec(100), 10);  // window 0: over the surge threshold
+  EXPECT_TRUE(rig.health.events().empty());  // window still open
+  s.count(sim::sec(1) + 1, 1);               // closes window 0
+  ASSERT_EQ(rig.health.events().size(), 1u);
+  const obs::HealthEvent& e = rig.health.events().front();
+  EXPECT_EQ(e.kind, obs::HealthEventKind::kSurge);
+  EXPECT_DOUBLE_EQ(e.value, 10.0);
+  EXPECT_DOUBLE_EQ(e.threshold, 5.0);
+  EXPECT_EQ(e.time, sim::sec(1));  // end of the closed window
+}
+
+TEST(Health, FlushClosesTrailingRateWindows) {
+  Rig rig;
+  obs::DetectorConfig cfg;
+  cfg.rate = true;
+  cfg.rate_window = sim::sec(1);
+  cfg.surge = 5.0;
+  obs::HealthSignal s = rig.health.signal("denials", cfg);
+  s.count(sim::msec(100), 10);
+  EXPECT_TRUE(rig.health.events().empty());
+  rig.health.flush(sim::sec(2));
+  ASSERT_EQ(rig.health.events().size(), 1u);
+  EXPECT_EQ(rig.health.events().front().kind, obs::HealthEventKind::kSurge);
+  // Idempotent for a fixed time.
+  rig.health.flush(sim::sec(2));
+  EXPECT_EQ(rig.health.events().size(), 1u);
+}
+
+TEST(Health, IdleGapFeedsABoundedRunOfZeroWindows) {
+  Rig rig;
+  obs::DetectorConfig cfg;
+  cfg.rate = true;
+  cfg.rate_window = sim::sec(1);
+  cfg.surge = 5.0;
+  obs::HealthSignal s = rig.health.signal("denials", cfg);
+  s.count(sim::msec(100), 10);
+  s.count(sim::sec(50), 1);  // 49 empty windows in between
+  // The burst window plus at most 4 materialised zero windows were fed
+  // into the series — not all 49.
+  EXPECT_EQ(rig.series.total_samples(), 5u);
+  EXPECT_EQ(rig.health.events().size(), 1u);  // the surge, zeros are quiet
+}
+
+TEST(Health, EventsJournalIntoTheAuditTrail) {
+  Rig rig;
+  obs::HealthSignal s = rig.health.signal("jitter");
+  for (int i = 0; i < 9; ++i) s.observe(sim::sec(i), 100.0);
+  s.observe(sim::sec(9), 1e9);
+  const std::string audit = rig.audit.to_json();
+  ASSERT_TRUE(jsonlite::valid(audit)) << audit;
+  EXPECT_NE(audit.find("health.anomaly"), std::string::npos) << audit;
+  EXPECT_NE(audit.find("jitter ewma"), std::string::npos) << audit;
+}
+
+TEST(Health, ScoresPenaliseByEventKind) {
+  Rig rig;
+  obs::DetectorConfig cfg;
+  cfg.rate = true;
+  cfg.rate_window = sim::sec(1);
+  cfg.surge = 5.0;
+  obs::HealthSignal s = rig.health.signal("denials", cfg);
+  s.count(sim::msec(1), 10);
+  rig.health.flush(sim::sec(1));
+  EXPECT_DOUBLE_EQ(rig.health.score(0), 75.0);  // one surge = -25
+  EXPECT_DOUBLE_EQ(rig.health.score(7), 100.0);
+}
+
+TEST(Health, EventListIsBoundedAndCountsSuppressed) {
+  Rig rig;
+  obs::DetectorConfig cfg;
+  cfg.rate = true;
+  cfg.rate_window = sim::sec(1);
+  cfg.surge = 5.0;
+  obs::HealthSignal s = rig.health.signal("denials", cfg);
+  for (int w = 0; w < 300; ++w) s.count(sim::sec(w), 10);
+  rig.health.flush(sim::sec(300));
+  EXPECT_EQ(rig.health.events().size(), obs::HealthMonitor::kMaxEvents);
+  EXPECT_EQ(rig.health.suppressed(),
+            300u - obs::HealthMonitor::kMaxEvents);
+}
+
+TEST(Health, ExportIsValidVersionedAndDeterministic) {
+  auto build = [] {
+    Rig rig;
+    obs::HealthSignal s = rig.health.signal("jitter");
+    for (int i = 0; i < 9; ++i) s.observe(sim::sec(i), 100.0);
+    s.observe(sim::sec(9), 1e9);
+    return rig.health.to_json();
+  };
+  const std::string one = build();
+  EXPECT_EQ(one, build());
+  ASSERT_TRUE(jsonlite::valid(one)) << one;
+  EXPECT_NE(one.find("\"schema_version\":"), std::string::npos);
+  EXPECT_NE(one.find("\"scores\":{\"m0\":"), std::string::npos) << one;
+}
+
+TEST(Health, DisabledMonitorObservesNothing) {
+  Rig rig;
+  obs::HealthSignal s = rig.health.signal("jitter");
+  rig.health.set_enabled(false);
+  for (int i = 0; i < 20; ++i) s.observe(sim::sec(i), i % 2 ? 1e9 : 0.0);
+  EXPECT_TRUE(rig.health.events().empty());
+  EXPECT_EQ(rig.series.total_samples(), 0u);
+}
+
+TEST(Health, MergeAggregatesEventsAndScores) {
+  Rig a;
+  Rig b;
+  b.health.set_machine(2);
+  obs::DetectorConfig cfg;
+  cfg.rate = true;
+  cfg.rate_window = sim::sec(1);
+  cfg.surge = 5.0;
+  obs::HealthSignal s = b.health.signal("denials", cfg);
+  s.count(sim::msec(1), 10);
+  b.health.flush(sim::sec(1));
+  a.health.merge_from(b.health);
+  EXPECT_EQ(a.health.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(a.health.score(2), 75.0);
+  const std::string json = a.health.to_json();
+  EXPECT_NE(json.find("\"m2\":75"), std::string::npos) << json;
+}
+
+TEST(Flight, TriggerSnapshotsWithCooldownAndCap) {
+  Rig rig;
+  rig.flight.trigger(sim::sec(1), "fault.kill", "pid 3");
+  EXPECT_EQ(rig.flight.size(), 1u);
+  // Same reason inside the cooldown: counted, not snapshotted.
+  rig.flight.trigger(sim::sec(2), "fault.kill", "pid 4");
+  EXPECT_EQ(rig.flight.size(), 1u);
+  EXPECT_EQ(rig.flight.suppressed(), 1u);
+  // A different reason is its own cooldown bucket.
+  rig.flight.trigger(sim::sec(2), "acm.deny", "kill 10->11");
+  EXPECT_EQ(rig.flight.size(), 2u);
+  // Past the cooldown the same reason snapshots again.
+  rig.flight.trigger(sim::sec(1) + obs::FlightRecorder::kCooldown,
+                     "fault.kill", "pid 5");
+  EXPECT_EQ(rig.flight.size(), 3u);
+  EXPECT_EQ(rig.flight.triggers(), 4u);
+
+  for (int i = 0; i < 20; ++i) {
+    rig.flight.trigger(sim::minutes(10 + i), "r" + std::to_string(i), "");
+  }
+  EXPECT_EQ(rig.flight.size(), obs::FlightRecorder::kMaxSnapshots);
+}
+
+TEST(Flight, SnapshotCarriesRecentStateAndExportsValidJson) {
+  Rig rig;
+  obs::Series s = rig.series.series("lat", sim::sec(1), 8);
+  for (int w = 0; w < 6; ++w) s.record(sim::sec(w), 10.0 + w);
+  const std::uint64_t sp = rig.spans.begin(-1, sim::sec(5), "net.link");
+  rig.spans.end(-1, sim::sec(6), sp);
+  rig.flight.trigger(sim::sec(6), "acm.deny", "kill 10->11");
+  const std::string json = rig.flight.to_json();
+  ASSERT_TRUE(jsonlite::valid(json)) << json;
+  EXPECT_NE(json.find("\"reason\":\"acm.deny\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat@m0\""), std::string::npos) << json;
+  EXPECT_NE(json.find("net.link"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":"), std::string::npos);
+  // Rendered at trigger time from virtual-time state: deterministic.
+  EXPECT_EQ(json, rig.flight.to_json());
+}
+
+TEST(Flight, DisabledRecorderCountsTriggersButKeepsNothing) {
+  Rig rig;
+  rig.flight.set_enabled(false);
+  rig.flight.trigger(sim::sec(1), "fault.kill", "pid 3");
+  EXPECT_EQ(rig.flight.size(), 0u);
+  EXPECT_EQ(rig.flight.triggers(), 1u);
+}

@@ -1,0 +1,162 @@
+#include "obs/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json_lite.hpp"
+
+namespace obs = mkbas::obs;
+namespace sim = mkbas::sim;
+
+TEST(SeriesWindow, AggregatesAndQuantileClampToExactMax) {
+  obs::SeriesWindow w;
+  w.reset(0);
+  w.add(3.0);
+  w.add(5.0);
+  EXPECT_EQ(w.count, 2u);
+  EXPECT_DOUBLE_EQ(w.sum, 8.0);
+  EXPECT_DOUBLE_EQ(w.min, 3.0);
+  EXPECT_DOUBLE_EQ(w.max, 5.0);
+  // The log2 sketch can only name bucket upper bounds, but the export
+  // must never claim a quantile above the observed maximum.
+  EXPECT_DOUBLE_EQ(w.quantile(1.0), 5.0);
+  EXPECT_LE(w.quantile(0.5), 5.0);
+  EXPECT_GE(w.quantile(0.5), 3.0);
+}
+
+TEST(SeriesWindow, EmptyWindowQuantileIsZero) {
+  obs::SeriesWindow w;
+  w.reset(7);
+  EXPECT_DOUBLE_EQ(w.quantile(0.95), 0.0);
+}
+
+TEST(Series, HandlesByTheSameNameShareOneRing) {
+  obs::SeriesStore store;
+  obs::Series a = store.series("x", sim::sec(1), 4);
+  obs::Series b = store.series("x", sim::sec(30), 64);  // args ignored
+  a.record(0, 1.0);
+  b.record(0, 2.0);
+  EXPECT_EQ(a.samples(), 2u);
+  EXPECT_EQ(b.samples(), 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(Series, DefaultConstructedHandleIsInert) {
+  obs::Series s;
+  s.record(0, 1.0);
+  EXPECT_EQ(s.samples(), 0u);
+}
+
+TEST(Series, DisabledStoreRecordsNothing) {
+  obs::SeriesStore store;
+  obs::Series s = store.series("x", sim::sec(1), 4);
+  store.set_enabled(false);
+  s.record(0, 1.0);
+  EXPECT_EQ(store.total_samples(), 0u);
+  store.set_enabled(true);
+  s.record(0, 1.0);
+  EXPECT_EQ(store.total_samples(), 1u);
+}
+
+TEST(Series, RingEvictionAccountingConserves) {
+  obs::SeriesStore store;
+  obs::Series s = store.series("x", sim::sec(1), 4);
+  // One sample in each of windows 0..9: the 4-deep ring keeps 6..9 and
+  // must have evicted 6 windows carrying 6 samples.
+  for (int w = 0; w < 10; ++w) s.record(sim::sec(w), 1.0);
+  EXPECT_EQ(store.total_samples(), 10u);
+  EXPECT_EQ(store.evicted_windows(), 6u);
+  EXPECT_EQ(store.evicted_samples(), 6u);
+  EXPECT_EQ(store.live_samples(), 4u);
+  EXPECT_EQ(store.late_dropped(), 0u);
+
+  // A sample older than the whole ring is dropped but still counted.
+  s.record(sim::sec(0), 1.0);
+  EXPECT_EQ(store.late_dropped(), 1u);
+  EXPECT_EQ(store.total_samples(), 11u);
+  EXPECT_EQ(store.total_samples(), store.live_samples() +
+                                       store.evicted_samples() +
+                                       store.late_dropped());
+
+  // A late sample whose window is still live lands in that window.
+  s.record(sim::sec(7), 2.0);
+  EXPECT_EQ(store.late_dropped(), 1u);
+  EXPECT_EQ(store.live_samples(), 5u);
+  EXPECT_EQ(store.total_samples(), store.live_samples() +
+                                       store.evicted_samples() +
+                                       store.late_dropped());
+}
+
+TEST(Series, HugeGapEvictsEverythingButStaysConserved) {
+  obs::SeriesStore store;
+  obs::Series s = store.series("x", sim::sec(1), 4);
+  for (int w = 0; w < 4; ++w) s.record(sim::sec(w), 1.0);
+  s.record(sim::sec(100000), 1.0);
+  EXPECT_EQ(store.evicted_windows(), 4u);
+  EXPECT_EQ(store.evicted_samples(), 4u);
+  EXPECT_EQ(store.live_samples(), 1u);
+  EXPECT_EQ(store.total_samples(), 5u);
+}
+
+TEST(Series, MergeAlignsWindowsByIndex) {
+  obs::SeriesStore a;
+  obs::SeriesStore b;
+  obs::Series sa = a.series("x", sim::sec(1), 8);
+  obs::Series sb = b.series("x", sim::sec(1), 8);
+  sa.record(sim::sec(0), 1.0);
+  sa.record(sim::sec(1), 2.0);
+  sb.record(sim::sec(1), 4.0);
+  sb.record(sim::sec(2), 8.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.total_samples(), 4u);
+  EXPECT_EQ(a.live_samples(), 4u);
+  const std::string json = a.to_json();
+  ASSERT_TRUE(jsonlite::valid(json)) << json;
+  // Window 1 combined both stores' samples: sum 2 + 4.
+  EXPECT_NE(json.find("\"sum\":6"), std::string::npos) << json;
+}
+
+TEST(Series, ExportIsDeterministicAndVersioned) {
+  auto build = [] {
+    obs::SeriesStore store;
+    obs::Series s = store.series("a.lat", sim::sec(1), 4);
+    obs::Series t = store.series("b.lat", sim::sec(1), 4);
+    for (int w = 0; w < 6; ++w) {
+      s.record(sim::sec(w), 1.0 + w);
+      t.record(sim::sec(w), 2.0 * w);
+    }
+    return store.to_json();
+  };
+  const std::string one = build();
+  const std::string two = build();
+  EXPECT_EQ(one, two);
+  ASSERT_TRUE(jsonlite::valid(one)) << one;
+  EXPECT_NE(one.find("\"schema_version\":"), std::string::npos);
+  EXPECT_NE(one.find("\"a.lat@m0\""), std::string::npos);
+  // Keys sorted: a.lat before b.lat.
+  EXPECT_LT(one.find("\"a.lat@m0\""), one.find("\"b.lat@m0\""));
+}
+
+TEST(Series, RecentJsonKeepsOnlyTheNewestWindows) {
+  obs::SeriesStore store;
+  obs::Series s = store.series("x", sim::sec(1), 8);
+  for (int w = 0; w < 6; ++w) s.record(sim::sec(w), 1.0);
+  const std::string recent = store.recent_json(2);
+  ASSERT_TRUE(jsonlite::valid(recent)) << recent;
+  // Windows start at index*width: only starts 4s and 5s survive.
+  EXPECT_EQ(recent.find("\"start\":3000000"), std::string::npos) << recent;
+  EXPECT_NE(recent.find("\"start\":4000000"), std::string::npos) << recent;
+  EXPECT_NE(recent.find("\"start\":5000000"), std::string::npos) << recent;
+}
+
+TEST(Series, MachineIdKeysMergedStoresApart) {
+  obs::SeriesStore a;
+  a.set_machine(3);
+  obs::Series sa = a.series("x", sim::sec(1), 4);
+  sa.record(0, 1.0);
+  obs::SeriesStore merged;
+  merged.merge_from(a);
+  const std::string json = merged.to_json();
+  EXPECT_NE(json.find("\"x@m3\""), std::string::npos) << json;
+}

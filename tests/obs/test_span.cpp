@@ -185,8 +185,8 @@ TEST(SpanStore, IdsAndJsonAreAPureFunctionOfTheOpSequence) {
 TEST(SpanStore, EmptyStoreJsonSkeletonKeysAreSorted) {
   obs::SpanStore s;
   EXPECT_EQ(s.to_json(),
-            "{\"dropped\":0,\"spans\":[],\"total_abandoned\":0,"
-            "\"total_begun\":0,\"total_ended\":0}");
+            "{\"dropped\":0,\"schema_version\":1,\"spans\":[],"
+            "\"total_abandoned\":0,\"total_begun\":0,\"total_ended\":0}");
 }
 
 TEST(SpanStore, MergeFoldsLineageAndAccountingInOrder) {
