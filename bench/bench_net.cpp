@@ -9,6 +9,12 @@
 //  3. Determinism: the same building twice, and the four-cell fabric
 //     campaign at --jobs 1 vs --jobs N; every divergence is a failure
 //     here, before the regression checker ever sees the file.
+//  4. City scale: a 10,000-zone hierarchical building (gateway-only
+//     zones, capture/tracing/collect off) through the lookahead engine.
+//     The regression gate requires >= 50x the 8-zone seed throughput —
+//     the whole point of replacing the epoch barrier.
+//  5. Campus sharding: the same multi-building campus at --jobs 1 and
+//     --jobs N must replay the same trace hash and counters.
 //
 // The last stdout line is the JSON summary.
 #include <chrono>
@@ -85,17 +91,79 @@ int main(int argc, char** argv) {
   std::printf("campaign       : %zu cells, --jobs %d, %s\n", cells.size(),
               jobs, campaign_det ? "deterministic" : "DIVERGED");
 
-  const bool deterministic = replays && campaign_det;
-  char json[512];
+  // City arm: 10k gateway-only zones over 25 floor head-ends, every
+  // observability sink that allocates per datagram turned off. This is
+  // the configuration the lookahead engine exists for; the epoch
+  // barrier's epochs x nodes cost makes it uncompetitive here.
+  core::FabricOptions city;
+  city.zones = 10000;
+  city.topology = mkbas::net::TopologySpec::Kind::kTree;
+  city.floors = 25;
+  city.seed = 5;
+  city.duration = sim::minutes(10);
+  city.lite_zones = true;
+  city.capture = false;
+  city.net_trace = false;
+  city.trace_spans = false;
+  city.collect = false;
+  const auto t2 = Clock::now();
+  const auto cr = core::run_fabric(city);
+  const auto t3 = Clock::now();
+  const double city_wall_s = std::chrono::duration<double>(t3 - t2).count();
+  const double city_rate =
+      city_wall_s > 0 ? static_cast<double>(cr.delivered) / city_wall_s : 0;
+  std::printf("city           : %d zones / %d floors, %.1f virtual min, "
+              "%.2f s wall\n",
+              city.zones, city.floors,
+              sim::to_seconds(city.duration) / 60.0, city_wall_s);
+  std::printf("city throughput: %llu datagrams, %.0f msg/s, "
+              "%llu causality violations\n",
+              static_cast<unsigned long long>(cr.delivered), city_rate,
+              static_cast<unsigned long long>(cr.causality_violations));
+
+  // Campus arm: 3 buildings are 3 independent components; shard them
+  // across the pool and demand the sequential bytes back.
+  core::FabricOptions campus;
+  campus.zones = 1200;
+  campus.topology = mkbas::net::TopologySpec::Kind::kCampus;
+  campus.buildings = 3;
+  campus.floors = 4;
+  campus.seed = 5;
+  campus.duration = sim::minutes(10);
+  campus.lite_zones = true;
+  campus.capture = false;
+  campus.net_trace = false;
+  campus.trace_spans = false;
+  campus.collect = false;
+  campus.jobs = 1;
+  const auto campus_seq = core::run_fabric(campus);
+  campus.jobs = jobs;
+  const auto campus_par = core::run_fabric(campus);
+  const bool campus_det =
+      campus_seq.trace_hash == campus_par.trace_hash &&
+      campus_seq.delivered == campus_par.delivered &&
+      campus_seq.cov_count == campus_par.cov_count;
+  std::printf("campus         : %d zones / %d buildings, --jobs 1 vs %d, "
+              "%s\n",
+              campus.zones, campus.buildings, jobs,
+              campus_det ? "deterministic" : "DIVERGED");
+
+  const bool deterministic = replays && campaign_det && campus_det &&
+                             cr.causality_violations == 0;
+  char json[1024];
   std::snprintf(
       json, sizeof json,
       "{\"bench\":\"bench_net\",\"zones\":%d,\"jobs\":%d,\"cores\":%u,"
       "\"delivered\":%llu,\"wall_s\":%.3f,\"msgs_per_sec\":%.1f,"
       "\"cov_count\":%llu,\"cov_p99_ms\":%.3f,"
+      "\"city_zones\":%d,\"city_delivered\":%llu,\"city_wall_s\":%.3f,"
+      "\"city_msgs_per_sec\":%.1f,\"city_trace_hash\":\"%s\","
       "\"deterministic\":%s,\"trace_hash\":\"%s\"}",
       zones, jobs, std::thread::hardware_concurrency(),
       static_cast<unsigned long long>(r1.delivered), wall_s, rate,
       static_cast<unsigned long long>(r1.cov_count), r1.cov_p99_us / 1000.0,
+      city.zones, static_cast<unsigned long long>(cr.delivered), city_wall_s,
+      city_rate, core::hex64(cr.trace_hash).c_str(),
       deterministic ? "true" : "false", core::hex64(r1.trace_hash).c_str());
   if (!out.empty()) {
     std::ofstream f(out);

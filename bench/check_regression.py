@@ -23,7 +23,16 @@ bench_net (BENCH_net.json):
                              time: a pure function of topology and seed,
                              compared exactly on any host.
   * trace_hash            -- the whole building's trace, likewise exact.
-  * deterministic         -- rerun + campaign --jobs divergences.
+  * city_msgs_per_sec     -- the 10,000-zone hierarchical arm must keep
+                             >= 50x the 8-zone seed throughput (263.7
+                             msg/s measured on the pre-lookahead epoch
+                             engine) -- the absolute floor the lookahead
+                             sync engine was built to clear. Also gated
+                             relatively against the baseline.
+  * city_delivered /
+    city_trace_hash       -- the city run's virtual signals, exact.
+  * deterministic         -- rerun, campaign --jobs and campus --jobs
+                             divergences, plus causality violations.
 
 bench_obs (BENCH_obs.json):
 
@@ -70,6 +79,13 @@ KNOWN = ("bench_campaign", "bench_net", "bench_obs")
 # arm may cost at most this much relative to the "spans off" arm.
 OBS_MAX_OVERHEAD_PCT = 5.0
 
+# City-scale floor: the 8-zone seed building ran at 263.7 msg/s on the
+# epoch-barrier engine; the 10k-zone arm must sustain at least 50x that.
+# Absolute (not relative to the baseline file) so a slow regenerated
+# baseline can never quietly lower the bar.
+NET_SEED_MSGS_PER_SEC = 263.7
+NET_CITY_MIN_FACTOR = 50.0
+
 
 def load(path: str) -> dict:
     with open(path) as f:
@@ -102,13 +118,31 @@ def check_net(base: dict, cur: dict, max_drop: float) -> list:
                         "(deterministic=false)")
     check_rate(base, cur, "msgs_per_sec", max_drop, failures)
     # Virtual-time signals: exact on any host.
-    for key in ("cov_p99_ms", "trace_hash", "delivered", "cov_count"):
+    exact = ["cov_p99_ms", "trace_hash", "delivered", "cov_count"]
+    if "city_delivered" in cur and "city_delivered" in base:
+        exact += ["city_delivered", "city_trace_hash", "city_zones"]
+    for key in exact:
         print(f"{key}: baseline {base.get(key)}, current {cur.get(key)}")
         if cur.get(key) != base.get(key):
             failures.append(
                 f"{key} changed: baseline {base.get(key)} vs "
                 f"current {cur.get(key)} (virtual-time signal; "
                 "regenerate BENCH_net.json if intentional)")
+    # City-scale throughput: absolute floor against the pre-lookahead
+    # seed rate, plus the usual relative gate when the baseline has it.
+    if "city_msgs_per_sec" in cur:
+        city_rate = float(cur["city_msgs_per_sec"])
+        floor = NET_SEED_MSGS_PER_SEC * NET_CITY_MIN_FACTOR
+        verdict = "FAIL" if city_rate < floor else "ok"
+        print(f"city_msgs_per_sec: {city_rate:.0f} "
+              f"(floor {floor:.0f} = {NET_CITY_MIN_FACTOR:.0f}x seed) "
+              f"[{verdict}]")
+        if city_rate < floor:
+            failures.append(
+                f"city arm at {city_rate:.0f} msg/s, below the "
+                f"{NET_CITY_MIN_FACTOR:.0f}x-seed floor of {floor:.0f}")
+        if "city_msgs_per_sec" in base:
+            check_rate(base, cur, "city_msgs_per_sec", max_drop, failures)
     return failures
 
 

@@ -51,6 +51,10 @@ int usage() {
       "       experiment_runner fault --platform P [--seed N] [--no-probe]\n"
       "       experiment_runner fabric [--zones N] [--seed N] "
       "[--attack <none|spoof-write|replay|flood>]\n"
+      "                                [--topology <flat|tree|campus>] "
+      "[--floors N] [--buildings N]\n"
+      "                                [--sync <lookahead|epoch>] [--jobs N] "
+      "[--lite]\n"
       "       experiment_runner campaign <matrix|sweep|fault|fabric> "
       "[--jobs N] [--out file.json]\n"
       "       experiment_runner campaign sweep --platform P [--seeds N]\n"
@@ -151,12 +155,14 @@ std::string fabric_summary_json(const core::FabricRunResult& r) {
                   core::hex64(core::fnv1a(r.health_json)) +
                   "\",\"metrics_hash\":\"" +
                   core::hex64(core::fnv1a(r.metrics_json)) +
-                  "\",\"schema_version\":" +
+                  "\",\"nodes\":" + std::to_string(r.nodes) +
+                  ",\"schema_version\":" +
                   std::to_string(mkbas::obs::kSchemaVersion) +
                   ",\"series_hash\":\"" +
                   core::hex64(core::fnv1a(r.series_json)) +
                   "\",\"spans_hash\":\"" +
                   core::hex64(core::fnv1a(r.spans_json)) +
+                  "\",\"topology\":\"" + r.topology +
                   "\",\"trace_hash\":\"" + core::hex64(r.trace_hash) +
                   "\",\"zones\":" + std::to_string(r.zones) + "}";
   return s;
@@ -262,6 +268,12 @@ int main(int argc, char** argv) {
     core::FabricOptions opts;
     opts.zones = args.zones;
     if (args.has_seed) opts.seed = args.seed;
+    opts.topology = args.topology;
+    opts.floors = args.floors;
+    opts.buildings = args.buildings;
+    opts.sync = args.sync;
+    opts.jobs = args.jobs;
+    opts.lite_zones = args.lite;
     if (args.has_attack &&
         !core::parse_fabric_attack(args.attack, &opts.attack)) {
       std::fprintf(stderr, "error: unknown fabric attack: %s\n",

@@ -92,6 +92,35 @@ CliArgs parse_cli(int argc, char** argv) {
       const char* v = value(i, "--seeds");
       if (v == nullptr) return a;
       a.seeds = std::atoi(v);
+    } else if (arg == "--topology") {
+      const char* v = value(i, "--topology");
+      if (v == nullptr) return a;
+      if (!net::parse_topology_kind(v, &a.topology)) {
+        a.error = std::string("unknown topology: ") + v;
+        return a;
+      }
+    } else if (arg == "--floors") {
+      const char* v = value(i, "--floors");
+      if (v == nullptr) return a;
+      a.floors = std::atoi(v);
+    } else if (arg == "--buildings") {
+      const char* v = value(i, "--buildings");
+      if (v == nullptr) return a;
+      a.buildings = std::atoi(v);
+    } else if (arg == "--sync") {
+      const char* v = value(i, "--sync");
+      if (v == nullptr) return a;
+      const std::string s = v;
+      if (s == "lookahead") {
+        a.sync = net::SyncMode::kLookahead;
+      } else if (s == "epoch") {
+        a.sync = net::SyncMode::kEpoch;
+      } else {
+        a.error = "unknown sync mode: " + s;
+        return a;
+      }
+    } else if (arg == "--lite") {
+      a.lite = true;
     } else if (arg == "--out") {
       const char* v = value(i, "--out");
       if (v == nullptr) return a;

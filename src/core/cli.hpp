@@ -13,6 +13,8 @@ namespace mkbas::core {
 ///
 ///   --platform <minix|sel4|linux>   --scenario <temp|uds|bsl3>
 ///   --seed N   --zones N   --jobs N   --seeds N
+///   --topology <flat|tree|campus>  --floors N  --buildings N
+///   --sync <lookahead|epoch>  --lite
 ///   --out FILE --metrics-out FILE --trace-out FILE
 ///   --trace-spans FILE --audit-out FILE --critical-out FILE
 ///   --series-out FILE --health-out FILE --flight-out FILE
@@ -35,6 +37,14 @@ struct CliArgs {
   int zones = 4;
   int jobs = 1;
   int seeds = 8;
+  /// Fabric layout (--topology flat|tree|campus; line/star exist for
+  /// the sync battery but make little sense from the CLI).
+  net::TopologySpec::Kind topology = net::TopologySpec::Kind::kFlat;
+  int floors = 1;      // --floors: floor head-ends per building
+  int buildings = 1;   // --buildings: independent buildings (campus)
+  /// --sync lookahead|epoch: conservative sync engine selection.
+  net::SyncMode sync = net::SyncMode::kLookahead;
+  bool lite = false;   // --lite: gateway-only zones (city scale)
   std::string out;
   std::string metrics_out;
   std::string trace_out;

@@ -39,6 +39,34 @@ struct FabricOptions {
   net::LinkProfile link{};
   std::vector<net::PartitionWindow> partitions;
   bas::ScenarioConfig scenario{};
+  /// Fabric layout. kFlat keeps the legacy single segment (head-end on
+  /// node 0, every zone one hop away). kTree/kCampus build the
+  /// hierarchical supervisory plane — zones -> floor head-ends ->
+  /// building head-end — with COV traffic batched and averaged at each
+  /// tier and a one-way management downlink for setpoint writes.
+  net::TopologySpec::Kind topology = net::TopologySpec::Kind::kFlat;
+  int floors = 1;     // floor head-ends per building (tree/campus)
+  int buildings = 1;  // independent buildings (campus)
+  /// Conservative lookahead sync (default) or the legacy lockstep
+  /// barrier — byte-identical exports either way.
+  net::SyncMode sync = net::SyncMode::kLookahead;
+  /// Shard independent buildings across this many pool workers.
+  /// Exports are --jobs invariant.
+  int jobs = 1;
+  /// Gateway-only zones: deterministic synthetic temperatures instead
+  /// of a full kernel scenario per zone — the only way 10k zones fit.
+  bool lite_zones = false;
+  /// Attacker-visible packet capture (Fabric::sent_log); the replay
+  /// attack needs it, city-scale benchmarks turn it off.
+  bool capture = true;
+  /// Fabric-level trace events (fabric.deliver / fabric.drop).
+  bool net_trace = true;
+  /// Merge per-node artifacts (metrics/spans/series/health/flight JSON)
+  /// into the result. Off: scalar fields still populate, the JSON
+  /// fields stay empty — city runs skip the 10k-registry merge.
+  bool collect = true;
+  /// Floor head-ends push their zone-average upstream at this period.
+  sim::Duration floor_flush = sim::minutes(1);
   /// Causal span tracing + audit journal (off = the A/B baseline arm).
   bool trace_spans = true;
   /// Ring-buffer capacity for each node's span store; 0 = unbounded.
@@ -64,11 +92,22 @@ struct FabricZoneRow {
 struct FabricRunResult {
   int zones = 0;
   FabricAttack attack = FabricAttack::kNone;
+  std::string topology;  // layout name ("flat", "tree", "campus", ...)
+  int nodes = 0;         // fabric nodes (head-ends + zones)
   std::vector<FabricZoneRow> rows;  // zone order
+  std::uint64_t posted = 0;
   std::uint64_t delivered = 0;
   std::uint64_t drop_loss = 0;
   std::uint64_t drop_partition = 0;
   std::uint64_t drop_overflow = 0;
+  std::uint64_t drop_unroutable = 0;
+  /// Datagrams still in flight at teardown (conservation check:
+  /// posted == delivered + drops + pending).
+  std::uint64_t pending = 0;
+  /// Deliveries that landed in a node's past — 0 or the sync is broken.
+  std::uint64_t causality_violations = 0;
+  /// Zone COV samples absorbed (batched) by floor head-ends.
+  std::uint64_t floor_covs = 0;
   std::uint64_t cov_count = 0;
   /// p99 end-to-end COV latency, microseconds of virtual time (bucket
   /// upper bound; 0 when no COV arrived).

@@ -1,7 +1,10 @@
 #include "net/fabric.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <string>
+
+#include "campaign/pool.hpp"
 
 namespace mkbas::net {
 
@@ -21,6 +24,14 @@ std::string link_name(int src, int dst) {
 
 }  // namespace
 
+Fabric::Fabric(std::uint64_t seed) : seed_(seed) {
+  auto& tags = sim::TagRegistry::instance();
+  tag_link_span_ = tags.intern("net.link");
+  tag_note_drop_ = tags.intern("drop");
+}
+
+Fabric::~Fabric() = default;
+
 int Fabric::add_node(std::uint64_t machine_seed) {
   const int node = static_cast<int>(machines_.size());
   machines_.push_back(std::make_unique<sim::Machine>(machine_seed));
@@ -28,28 +39,34 @@ int Fabric::add_node(std::uint64_t machine_seed) {
   // every node needs a distinct id for the fabric-wide merge to be
   // collision-free.
   machines_.back()->set_machine_id(node);
-  inflight_.push_back(0);
-  obs::MetricsRegistry& head = machines_[0]->metrics();
-  if (node == 0) {
-    delivered_ = head.counter("fabric.delivered");
-    drop_loss_ = head.counter("fabric.drop.loss");
-    drop_partition_ = head.counter("fabric.drop.partition");
-    drop_overflow_ = head.counter("fabric.drop.overflow");
-    // One second of virtual time covers any sane link; COV latencies are
-    // a few base latencies end to end.
-    cov_latency_us_ = head.log_histogram("fabric.cov.latency_us", 4, 1e6);
-    cov_sig_ = machines_[0]->health().signal("fabric.cov.latency_us");
-  }
-  // Per-node inbox-overflow rate signal on the node being flooded: the
-  // surge threshold trips within one 5s window of a flood starting,
-  // long before the end-of-run attack verdicts.
+
+  // All fabric instrumentation lives on the node's OWN registry and is
+  // merged by name at export time: counters sum, histograms add buckets.
+  // That keeps every hot-path write component-local, which is what lets
+  // independent components run on different pool workers with no shared
+  // mutable state.
+  auto ns = std::make_unique<NodeState>();
+  sim::Machine& m = *machines_.back();
+  ns->posted = m.metrics().counter("fabric.posted");
+  ns->delivered = m.metrics().counter("fabric.delivered");
+  ns->drop_loss = m.metrics().counter("fabric.drop.loss");
+  ns->drop_partition = m.metrics().counter("fabric.drop.partition");
+  ns->drop_overflow = m.metrics().counter("fabric.drop.overflow");
+  ns->drop_unroutable = m.metrics().counter("fabric.drop.unroutable");
+  // One second of virtual time covers any sane link; COV latencies are
+  // a few base latencies end to end.
+  ns->cov_latency_us = m.metrics().log_histogram("fabric.cov.latency_us", 4, 1e6);
+  ns->backlog = m.metrics().gauge("fabric.inbox.backlog");
+  ns->cov_sig = m.health().signal("fabric.cov.latency_us");
+  // Inbox-overflow rate signal on the node being flooded: the surge
+  // threshold trips within one 5s window of a flood starting, long
+  // before the end-of-run attack verdicts.
   obs::DetectorConfig ov_cfg;
   ov_cfg.rate = true;
   ov_cfg.surge = 256.0;
-  overflow_sig_.push_back(
-      machines_.back()->health().signal("net.inbox_overflow", ov_cfg));
-  inflight_gauge_.push_back(
-      head.gauge("fabric.node." + std::to_string(node) + ".inflight"));
+  ns->overflow_sig = m.health().signal("net.inbox_overflow", ov_cfg);
+  nodes_.push_back(std::move(ns));
+  engines_dirty_ = true;
   return node;
 }
 
@@ -59,34 +76,89 @@ void Fabric::attach(int node, BacnetDevice& dev) {
   dev.bind_machine(machines_[node].get());
 }
 
-const LinkProfile& Fabric::link(int src, int dst) const {
-  const auto it = links_.find({src, dst});
-  return it == links_.end() ? default_link_ : it->second;
+void Fabric::set_link(int src, int dst, LinkProfile p) {
+  LinkState& ls = link_state(src, dst);
+  ls.has_profile = true;
+  ls.profile = p;
 }
 
-sim::Rng& Fabric::link_rng(int src, int dst) {
-  auto it = link_rngs_.find({src, dst});
-  if (it == link_rngs_.end()) {
+void Fabric::set_topology(Topology topo) {
+  topo_ = std::move(topo);
+  has_topology_ = topo_.node_count() > 0;
+  allowed_links_.clear();
+  engines_dirty_ = true;
+  if (!has_topology_) return;
+  for (const auto& [src, dst] : topo_.links) {
+    allowed_links_.insert(link_key(src, dst));
+    // Pre-create every declared link's state now, while single-threaded:
+    // the hot path then only ever *reads* the links_ map, so sharded
+    // components can draw from their own link RNGs concurrently.
+    link_state(src, dst);
+  }
+  for (int i = 0; i < topo_.node_count() &&
+                  i < static_cast<int>(nodes_.size());
+       ++i) {
+    NodeState& ns = *nodes_[i];
+    switch (topo_.nodes[i].role) {
+      case NodeRole::kZone:
+        break;
+      case NodeRole::kFloor:
+        // A floor head-end fans in a whole floor of zones: deeper inbox,
+        // faster drain than a leaf controller.
+        ns.inbox_depth = 256;
+        ns.inbox_service = sim::msec(1);
+        ns.cov_tier_us = machines_[i]->metrics().log_histogram(
+            "fabric.cov.zone_to_floor_us", 4, 1e6);
+        break;
+      case NodeRole::kBuilding:
+        ns.inbox_depth = 512;
+        ns.inbox_service = sim::msec(1);
+        ns.cov_tier_us = machines_[i]->metrics().log_histogram(
+            "fabric.cov.floor_to_building_us", 4, 1e6);
+        break;
+    }
+  }
+}
+
+void Fabric::set_jobs(int jobs) {
+  jobs_ = jobs < 1 ? 1 : jobs;
+  pool_ = jobs_ >= 2 ? std::make_unique<campaign::WorkStealingPool>(jobs_)
+                     : nullptr;
+}
+
+void Fabric::set_inbox(int node, std::size_t depth, sim::Duration service) {
+  nodes_[node]->inbox_depth = depth;
+  nodes_[node]->inbox_service = std::max<sim::Duration>(service, 1);
+}
+
+Fabric::LinkState& Fabric::link_state(int src, int dst) {
+  return links_[link_key(src, dst)];
+}
+
+sim::Rng& Fabric::link_rng(int src, int dst, LinkState& ls) {
+  if (!ls.rng_init) {
     // Seeded from (fabric seed, src, dst) only: the stream is a property
-    // of the link, independent of what any other link carries.
+    // of the link, independent of what any other link carries and of the
+    // order links first see traffic.
     std::uint64_t h = fnv1a_mix(1469598103934665603ULL, seed_);
     h = fnv1a_mix(h, static_cast<std::uint64_t>(src));
     h = fnv1a_mix(h, static_cast<std::uint64_t>(dst));
-    it = link_rngs_.emplace(std::make_pair(src, dst), sim::Rng(h)).first;
+    ls.rng = sim::Rng(h);
+    ls.rng_init = true;
   }
-  return it->second;
+  return ls.rng;
 }
 
-obs::Counter& Fabric::link_drop_counter(int src, int dst) {
-  auto it = link_drops_.find({src, dst});
-  if (it == link_drops_.end()) {
-    it = link_drops_
-             .emplace(std::make_pair(src, dst),
-                      machines_[0]->metrics().counter(
-                          "fabric.link." + link_name(src, dst) + ".drop"))
-             .first;
+obs::Counter& Fabric::link_drop_counter(int src, int dst, LinkState& ls) {
+  if (!ls.drops_init) {
+    // On the SOURCE node's registry: registration stays on the thread
+    // that owns the component, and the by-name export merge puts every
+    // link counter in the building-wide JSON regardless.
+    ls.drops = machines_[src]->metrics().counter(
+        "fabric.link." + link_name(src, dst) + ".drop");
+    ls.drops_init = true;
   }
-  return it->second;
+  return ls.drops;
 }
 
 bool Fabric::partitioned(int a, int b, sim::Time at) const {
@@ -98,17 +170,26 @@ bool Fabric::partitioned(int a, int b, sim::Time at) const {
   return false;
 }
 
+bool Fabric::link_allowed(int src, int dst) const {
+  if (!has_topology_) return true;
+  if (src == dst) return true;  // node-local hop (devices co-hosted)
+  return allowed_links_.count(link_key(src, dst)) != 0;
+}
+
 sim::Duration Fabric::quantum() const {
+  // Min over explicit profiles plus the default — order-independent, so
+  // the unordered links_ map cannot leak iteration order into results.
   sim::Duration q = default_link_.base;
-  for (const auto& [key, profile] : links_) {
+  for (const auto& [key, ls] : links_) {
     (void)key;
-    q = std::min(q, profile.base);
+    if (ls.has_profile) q = std::min(q, ls.profile.base);
   }
   return std::max<sim::Duration>(q, 1);
 }
 
 void Fabric::post(int src_node, BacnetMsg msg) {
   sim::Machine& src = *machines_[src_node];
+  NodeState& ns = *nodes_[src_node];
   msg.sent_at = src.now();
   // Causal tracing: if the caller did not pre-stamp a context, inherit
   // whatever the posting node's network context is (pid -1 — fabric work
@@ -122,120 +203,428 @@ void Fabric::post(int src_node, BacnetMsg msg) {
   const obs::SpanContext ctx = src.spans().context_of(span);
   msg.trace_id = ctx.trace_id;
   msg.parent_span = ctx.parent_span;
-  sent_log_.push_back(msg);
-  outbox_.push_back(OutMsg{src_node, std::move(msg), span});
+  ns.posted.inc();
+  if (capture_) ns.sent.push_back(SentRec{msg, ns.post_seq});
+  ++ns.post_seq;
+  // The wire outcome is decided NOW, from per-link state consumed in
+  // src-local posting order — a pure function of (topology, seed) that
+  // neither the sync mode nor the component sharding can perturb.
+  route(src_node, std::move(msg), span);
 }
 
-void Fabric::run_until(sim::Time t) {
-  const sim::Duration q = quantum();
-  while (now_ < t) {
-    const sim::Time barrier = std::min<sim::Time>(now_ + q, t);
-    // Fixed node order at every barrier: the interleaving is a pure
-    // function of the topology, never of host scheduling.
-    for (auto& m : machines_) m->run_until(barrier);
-    now_ = barrier;
-    // Route everything posted during the slice. Deliveries land at
-    // sent_at + base + jitter >= barrier (base >= quantum, jitter >= 0),
-    // i.e. never in any machine's past.
-    std::vector<OutMsg> batch;
-    batch.swap(outbox_);
-    for (const OutMsg& out : batch) route(out.src_node, out.msg, out.span);
-  }
-}
-
-void Fabric::route(int src_node, const BacnetMsg& msg, std::uint64_t span) {
+void Fabric::route(int src_node, BacnetMsg&& msg, std::uint64_t span) {
   sim::Machine& src = *machines_[src_node];
+  NodeState& sn = *nodes_[src_node];
+  const sim::Time sent = msg.sent_at;
+
   const auto it = devices_.find(msg.dst_device);
-  if (it == devices_.end()) {  // nobody claims the address
-    src.spans().end_flow(now_, span, tag_note_drop_);
+  if (it == devices_.end() || !link_allowed(src_node, it->second.node)) {
+    // Nobody claims the address, or the topology has no such wire
+    // (segmentation containment: a compromised zone cannot even address
+    // a device behind another head-end). No link state is touched — the
+    // datagram never reached a wire.
+    sn.drop_unroutable.inc();
+    if (tracing_) {
+      src.trace().emit(sent, -1, sim::TraceKind::kNetwork, "fabric.drop",
+                       "unroutable device " + std::to_string(msg.dst_device) +
+                           " from node " + std::to_string(src_node));
+    }
+    src.spans().end_flow(sent, span, tag_note_drop_);
     return;
   }
-  const Endpoint& ep = it->second;
+  const Endpoint ep = it->second;
   const int dst_node = ep.node;
 
-  if (partitioned(src_node, dst_node, msg.sent_at)) {
-    drop_partition_.inc();
-    link_drop_counter(src_node, dst_node).inc();
-    src.trace().emit(msg.sent_at, -1, sim::TraceKind::kNetwork,
-                     "fabric.drop",
-                     "partition " + link_name(src_node, dst_node));
-    src.spans().end_flow(now_, span, tag_note_drop_);
+  if (partitioned(src_node, dst_node, sent)) {
+    sn.drop_partition.inc();
+    link_drop_counter(src_node, dst_node, link_state(src_node, dst_node))
+        .inc();
+    if (tracing_) {
+      src.trace().emit(sent, -1, sim::TraceKind::kNetwork, "fabric.drop",
+                       "partition " + link_name(src_node, dst_node));
+    }
+    src.spans().end_flow(sent, span, tag_note_drop_);
     return;
   }
-  const LinkProfile& profile = link(src_node, dst_node);
+
+  LinkState& ls = link_state(src_node, dst_node);
+  const LinkProfile& profile = profile_of(ls);
   if (profile.loss > 0.0 &&
-      link_rng(src_node, dst_node).next_double() < profile.loss) {
-    drop_loss_.inc();
-    link_drop_counter(src_node, dst_node).inc();
-    src.trace().emit(msg.sent_at, -1, sim::TraceKind::kNetwork,
-                     "fabric.drop", "loss " + link_name(src_node, dst_node));
-    src.spans().end_flow(now_, span, tag_note_drop_);
-    return;
-  }
-  if (inflight_[dst_node] >= kInboxDepth) {
-    drop_overflow_.inc();
-    overflow_sig_[static_cast<std::size_t>(dst_node)].count(now_);
-    link_drop_counter(src_node, dst_node).inc();
-    src.trace().emit(msg.sent_at, -1, sim::TraceKind::kNetwork,
-                     "fabric.drop",
-                     "inbox overflow at node " + std::to_string(dst_node));
-    src.spans().end_flow(now_, span, tag_note_drop_);
+      link_rng(src_node, dst_node, ls).next_double() < profile.loss) {
+    sn.drop_loss.inc();
+    link_drop_counter(src_node, dst_node, ls).inc();
+    if (tracing_) {
+      src.trace().emit(sent, -1, sim::TraceKind::kNetwork, "fabric.drop",
+                       "loss " + link_name(src_node, dst_node));
+    }
+    src.spans().end_flow(sent, span, tag_note_drop_);
     return;
   }
 
   sim::Duration jitter = 0;
   if (profile.jitter > 0) {
-    jitter = static_cast<sim::Duration>(link_rng(src_node, dst_node)
-                                            .next_below(profile.jitter + 1));
+    jitter = static_cast<sim::Duration>(
+        link_rng(src_node, dst_node, ls).next_below(profile.jitter + 1));
   }
+  // base >= 1us is the link's lookahead: the arrival is strictly after
+  // the send, so it can never land in the destination's past no matter
+  // how far ahead that node's clock has been allowed to run.
   const sim::Time when =
-      std::max(msg.sent_at + profile.base + jitter, now_);
-  deliver(src_node, dst_node, ep, msg, when, span);
+      sent + std::max<sim::Duration>(profile.base, 1) + jitter;
+  // The wire hop span closes here, at route time, stamped with the
+  // arrival instant. Close order == src-local post order — identical
+  // under both sync modes.
+  src.spans().end_flow(when, span);
+
+  Delivery d;
+  d.when = when;
+  d.src_node = src_node;
+  d.link_seq = ls.seq++;
+  d.msg = std::move(msg);
+  d.ep = ep;
+  nodes_[dst_node]->pending.push(std::move(d));
+  if (!component_of_.empty()) {
+    Engine& eng = engines_[component_of_[dst_node]];
+    // Routed links never cross components (they are the edges the
+    // components were built from), so this push is always into the heap
+    // of the component currently executing on THIS thread.
+    if (eng.active) eng.heap.emplace(when, dst_node);
+  }
 }
 
-void Fabric::deliver(int src_node, int dst_node, const Endpoint& ep,
-                     const BacnetMsg& msg, sim::Time when,
-                     std::uint64_t span) {
-  ++inflight_[dst_node];
-  inflight_gauge_[dst_node].set(static_cast<double>(inflight_[dst_node]));
-  sim::Machine& dst = *machines_[dst_node];
-  dst.at(when, [this, src_node, dst_node, ep, msg, when, span] {
-    --inflight_[dst_node];
-    inflight_gauge_[dst_node].set(static_cast<double>(inflight_[dst_node]));
-    sim::Machine& m = *machines_[dst_node];
-    m.trace().emit(m.now(), -1, sim::TraceKind::kNetwork, "fabric.deliver",
-                   std::string(to_string(msg.service)) + " -> " +
-                       ep.dev->name());
-    delivered_.inc();
-    if (msg.service == BacnetMsg::Service::kCovNotification &&
-        msg.sent_at >= 0) {
-      cov_latency_us_.record(static_cast<double>(when - msg.sent_at));
-      cov_sig_.observe(when, static_cast<double>(when - msg.sent_at));
+void Fabric::execute_delivery(int dst_node, sim::Time exec, Delivery d) {
+  sim::Machine& m = *machines_[dst_node];
+  NodeState& ns = *nodes_[dst_node];
+  // Drain-queue inbox: each admitted datagram occupies the queue until
+  // its service completes; arrivals finding the queue full are shed.
+  // Evaluated here, in canonical (when, src, link seq) arrival order —
+  // receiver-side state no sync mode can observe differently.
+  while (!ns.inbox.empty() && ns.inbox.front() <= exec) ns.inbox.pop_front();
+  if (ns.inbox.size() >= ns.inbox_depth) {
+    ns.drop_overflow.inc();
+    ns.overflow_sig.count(exec);
+    link_drop_counter(d.src_node, dst_node,
+                      link_state(d.src_node, dst_node))
+        .inc();
+    ns.backlog.set(static_cast<double>(ns.inbox.size()));
+    if (tracing_) {
+      m.trace().emit(exec, -1, sim::TraceKind::kNetwork, "fabric.drop",
+                     "inbox overflow at node " + std::to_string(dst_node));
     }
-    // Close the wire-hop span on the *sending* node's store. Safe and
-    // deterministic: run_until advances machines in lockstep on one host
-    // thread, so no other machine is touching that store right now.
-    machines_[src_node]->spans().end_flow(when, span);
+    return;
+  }
+  const sim::Time busy_until = ns.inbox.empty() ? exec : ns.inbox.back();
+  ns.inbox.push_back(std::max(exec, busy_until) + ns.inbox_service);
+  ns.backlog.set(static_cast<double>(ns.inbox.size()));
+
+  m.at(exec, [this, dst_node, d = std::move(d)]() mutable {
+    sim::Machine& dst = *machines_[dst_node];
+    NodeState& dn = *nodes_[dst_node];
+    const sim::Time now = dst.now();
+    if (tracing_) {
+      dst.trace().emit(now, -1, sim::TraceKind::kNetwork, "fabric.deliver",
+                       std::string(to_string(d.msg.service)) + " -> " +
+                           d.ep.dev->name());
+    }
+    dn.delivered.inc();
+    if (d.msg.service == BacnetMsg::Service::kCovNotification &&
+        d.msg.sent_at >= 0) {
+      const double lat = static_cast<double>(now - d.msg.sent_at);
+      dn.cov_latency_us.record(lat);
+      dn.cov_sig.observe(now, lat);
+      // Per-tier arrival latency: inert default handle on leaf zones,
+      // real histogram on floor/building head-ends.
+      dn.cov_tier_us.record(lat);
+    }
     // Whatever the device does while handling — COV pushes via its
     // notifier, proxy audit records, the routed reply below — chains
     // onto the datagram's carried context.
-    auto& spans = m.spans();
+    auto& spans = dst.spans();
     const obs::SpanContext saved = spans.current(-1);
-    spans.set_current(-1, obs::SpanContext{msg.trace_id, msg.parent_span});
-    BacnetMsg reply = ep.dev->handle(msg);
+    spans.set_current(-1, obs::SpanContext{d.msg.trace_id, d.msg.parent_span});
+    BacnetMsg reply = d.ep.dev->handle(d.msg);
     // Route replies for request services only; COV notifications are
     // unconfirmed on the fabric, so an ack can never generate an ack.
-    const bool request =
-        msg.service == BacnetMsg::Service::kWhoIs ||
-        msg.service == BacnetMsg::Service::kReadProperty ||
-        msg.service == BacnetMsg::Service::kWriteProperty ||
-        msg.service == BacnetMsg::Service::kSubscribeCov;
+    const bool request = d.msg.service == BacnetMsg::Service::kWhoIs ||
+                         d.msg.service == BacnetMsg::Service::kReadProperty ||
+                         d.msg.service == BacnetMsg::Service::kWriteProperty ||
+                         d.msg.service == BacnetMsg::Service::kSubscribeCov;
     if (request && devices_.count(reply.dst_device) != 0 &&
-        reply.dst_device != msg.dst_device) {
+        reply.dst_device != d.msg.dst_device) {
       post(dst_node, reply);
     }
     spans.set_current(-1, saved);
   });
+}
+
+sim::Time Fabric::node_key(int i) const {
+  sim::Time k = machines_[i]->next_event_time();
+  const NodeState& ns = *nodes_[i];
+  if (!ns.pending.empty()) k = std::min(k, ns.pending.top().when);
+  return k;
+}
+
+void Fabric::advance_node(int i, sim::Time t) {
+  sim::Machine& m = *machines_[i];
+  NodeState& ns = *nodes_[i];
+  while (!ns.pending.empty() && ns.pending.top().when <= t) {
+    const sim::Time w = ns.pending.top().when;
+    if (w < m.now()) ++ns.violations;  // conservative sync was broken
+    const sim::Time exec = std::max(w, m.now());
+    // Take the whole batch at w — the heap pops it in (src, link seq)
+    // order, and machine.at() preserves insertion order at one instant,
+    // AFTER any local timer already due there. Both sync modes schedule
+    // through this exact sequence.
+    while (!ns.pending.empty() && ns.pending.top().when == w) {
+      Delivery d = ns.pending.top();
+      ns.pending.pop();
+      execute_delivery(i, exec, std::move(d));
+    }
+    if (exec > m.now()) {
+      m.run_until(exec);
+    } else {
+      // The clock already sits AT the arrival instant (it crept here
+      // finishing an earlier batch): run one microsecond so the at(exec)
+      // callbacks fire at the correct virtual time.
+      m.run_for(1);
+    }
+  }
+  m.run_until(t);
+}
+
+void Fabric::prepare_engines() {
+  if (!engines_dirty_) return;
+  const int n = static_cast<int>(machines_.size());
+  component_of_.assign(static_cast<std::size_t>(n), 0);
+  engines_.clear();
+  if (n == 0) {
+    engines_dirty_ = false;
+    return;
+  }
+  if (!has_topology_) {
+    // Fully connected segment: one component holds everyone.
+    engines_.emplace_back();
+    engines_.back().members.resize(static_cast<std::size_t>(n));
+    std::iota(engines_.back().members.begin(), engines_.back().members.end(),
+              0);
+    engines_dirty_ = false;
+    return;
+  }
+  // Union-find over the undirected closure of the declared links: nodes
+  // with no possible wire between them can never exchange a datagram,
+  // so they advance independently (and on different pool workers).
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&parent](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (const auto& [a, b] : topo_.links) {
+    if (a >= n || b >= n) continue;
+    const int ra = find(a);
+    const int rb = find(b);
+    if (ra != rb) parent[static_cast<std::size_t>(std::max(ra, rb))] =
+        std::min(ra, rb);
+  }
+  // Components numbered by their lowest member: merge order is a pure
+  // function of the topology.
+  std::vector<int> comp_index(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const int root = find(i);
+    if (comp_index[static_cast<std::size_t>(root)] < 0) {
+      comp_index[static_cast<std::size_t>(root)] =
+          static_cast<int>(engines_.size());
+      engines_.emplace_back();
+    }
+    const int c = comp_index[static_cast<std::size_t>(root)];
+    component_of_[static_cast<std::size_t>(i)] = c;
+    engines_[static_cast<std::size_t>(c)].members.push_back(i);
+  }
+  engines_dirty_ = false;
+}
+
+void Fabric::run_component(Engine& eng, sim::Time t) {
+  eng.heap = {};
+  for (int i : eng.members) {
+    const sim::Time k = node_key(i);
+    if (k < t) eng.heap.emplace(k, i);
+  }
+  eng.active = true;
+  while (!eng.heap.empty()) {
+    const auto [k, i] = eng.heap.top();
+    eng.heap.pop();
+    if (k >= t) break;  // heap min >= t => every node's next event >= t
+    // Stale entries are DISCARDED, never re-pushed: every change of a
+    // node's key already pushes the new key (route() on arrival, the
+    // re-push after advance below), so the node's current key is always
+    // represented and a mismatched pop is pure leftover. Re-pushing here
+    // instead would keep every leftover alive through each key change —
+    // quadratic in delivered datagrams under a flood.
+    const sim::Time actual = node_key(i);
+    if (actual != k) continue;
+    sim::Machine& m = *machines_[i];
+    NodeState& ns = *nodes_[i];
+    const bool pinned =
+        k == m.now() && (ns.pending.empty() || ns.pending.top().when > k);
+    if (pinned) {
+      // A ready process is parked exactly at the clock (a paused
+      // run_until left it runnable). Nudge the machine one microsecond:
+      // provably safe, because every other node's next event is >= k and
+      // anything it posts arrives at >= k + 1.
+      m.run_until(std::min<sim::Time>(k + 1, t));
+    } else {
+      // k is the global minimum across the component, so the batch of
+      // deliveries at k (if any) is complete: nothing can still arrive
+      // at or before k. Execute exactly that instant.
+      advance_node(i, k);
+    }
+    const sim::Time nk = node_key(i);
+    if (nk < t) eng.heap.emplace(nk, i);
+  }
+  eng.active = false;
+  // Barrier: every member reaches t, in member (= node) order — the same
+  // order the epoch barrier visits them, so events at exactly t
+  // interleave identically in both modes.
+  for (int i : eng.members) advance_node(i, t);
+}
+
+void Fabric::run_until(sim::Time t) {
+  prepare_engines();
+  if (sync_ == SyncMode::kEpoch) {
+    const sim::Duration q = quantum();
+    while (now_ < t) {
+      const sim::Time barrier = std::min<sim::Time>(now_ + q, t);
+      // Fixed node order at every barrier: the interleaving is a pure
+      // function of the topology, never of host scheduling.
+      for (int i = 0; i < static_cast<int>(machines_.size()); ++i) {
+        advance_node(i, barrier);
+      }
+      now_ = barrier;
+    }
+    return;
+  }
+  if (pool_ && engines_.size() > 1) {
+    pool_->run(engines_.size(),
+               [this, t](std::size_t c) { run_component(engines_[c], t); });
+  } else {
+    for (Engine& eng : engines_) run_component(eng, t);
+  }
+  if (t > now_) now_ = t;
+}
+
+std::vector<BacnetMsg> Fabric::sent_log() const {
+  struct Rec {
+    sim::Time at;
+    int node;
+    std::uint64_t seq;
+    const BacnetMsg* msg;
+  };
+  std::vector<Rec> all;
+  std::size_t total = 0;
+  for (const auto& ns : nodes_) total += ns->sent.size();
+  all.reserve(total);
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    for (const SentRec& r : nodes_[static_cast<std::size_t>(i)]->sent) {
+      all.push_back(Rec{r.msg.sent_at, i, r.seq, &r.msg});
+    }
+  }
+  // Canonical capture order: (send time, posting node, per-node post
+  // sequence). stable_sort for determinism; the key is already unique.
+  std::stable_sort(all.begin(), all.end(), [](const Rec& a, const Rec& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.node != b.node) return a.node < b.node;
+    return a.seq < b.seq;
+  });
+  std::vector<BacnetMsg> out;
+  out.reserve(all.size());
+  for (const Rec& r : all) out.push_back(*r.msg);
+  return out;
+}
+
+std::uint64_t Fabric::posted() const {
+  std::uint64_t n = 0;
+  for (const auto& ns : nodes_) n += ns->posted.value();
+  return n;
+}
+
+std::uint64_t Fabric::delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& ns : nodes_) n += ns->delivered.value();
+  return n;
+}
+
+std::uint64_t Fabric::dropped_loss() const {
+  std::uint64_t n = 0;
+  for (const auto& ns : nodes_) n += ns->drop_loss.value();
+  return n;
+}
+
+std::uint64_t Fabric::dropped_partition() const {
+  std::uint64_t n = 0;
+  for (const auto& ns : nodes_) n += ns->drop_partition.value();
+  return n;
+}
+
+std::uint64_t Fabric::dropped_overflow() const {
+  std::uint64_t n = 0;
+  for (const auto& ns : nodes_) n += ns->drop_overflow.value();
+  return n;
+}
+
+std::uint64_t Fabric::dropped_unroutable() const {
+  std::uint64_t n = 0;
+  for (const auto& ns : nodes_) n += ns->drop_unroutable.value();
+  return n;
+}
+
+std::uint64_t Fabric::pending() const {
+  std::uint64_t n = 0;
+  for (const auto& ns : nodes_) n += ns->pending.size();
+  return n;
+}
+
+std::uint64_t Fabric::causality_violations() const {
+  std::uint64_t n = 0;
+  for (const auto& ns : nodes_) n += ns->violations;
+  return n;
+}
+
+std::uint64_t Fabric::cov_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& ns : nodes_) n += ns->cov_latency_us.count();
+  return n;
+}
+
+double Fabric::cov_p99_us() const {
+  if (nodes_.empty()) return 0.0;
+  // Every node's fabric.cov.latency_us shares one bound vector; sum the
+  // buckets across nodes and walk to the 99th percentile upper bound.
+  const std::vector<double>& bounds = nodes_[0]->cov_latency_us.bounds();
+  std::vector<std::uint64_t> counts(bounds.size(), 0);
+  std::uint64_t total = 0;
+  std::uint64_t overflow = 0;
+  for (const auto& ns : nodes_) {
+    const obs::Histogram& h = ns->cov_latency_us;
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      counts[b] += h.bucket_count(b);
+    }
+    total += h.count();
+    overflow += h.overflow();
+  }
+  if (total == 0) return 0.0;
+  const std::uint64_t target =
+      total - total / 100;  // ceil-ish rank of the 99th percentile
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    seen += counts[b];
+    if (seen >= target) return bounds[b];
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 }  // namespace mkbas::net

@@ -1,21 +1,31 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
+#include <queue>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "net/bacnet.hpp"
+#include "net/topology.hpp"
 #include "sim/machine.hpp"
 #include "sim/rng.hpp"
+
+namespace mkbas::campaign {
+class WorkStealingPool;
+}
 
 namespace mkbas::net {
 
 /// Per-link delivery characteristics. Latency is `base + U[0, jitter]`:
-/// jitter is strictly additive so a packet sent before an epoch barrier
-/// can never be delivered before it (the lockstep causality invariant).
+/// the base latency is the link's *lookahead* — a datagram posted at t
+/// can never arrive before t + base, which is what lets a receiver's
+/// clock run ahead of a sender's by up to base without risking a
+/// message in its past.
 struct LinkProfile {
   sim::Duration base = sim::msec(5);
   sim::Duration jitter = sim::msec(2);
@@ -32,35 +42,51 @@ struct PartitionWindow {
   sim::Time to = 0;
 };
 
+/// How the fabric synchronizes its machines.
+enum class SyncMode {
+  /// Per-link lookahead conservative sync: an event-driven scheduler
+  /// always advances the node with the globally earliest next event
+  /// (machine timer, ready process, or pending delivery). Safe because
+  /// any datagram generated at or after that instant arrives at least
+  /// one link base latency later. Cost scales with events, not with
+  /// epochs x nodes — the city-scale mode.
+  kLookahead,
+  /// Legacy global lockstep: every machine advances to a barrier of one
+  /// minimum link latency, in node order. Kept for the A/B property
+  /// test: both modes must produce byte-identical exports.
+  kEpoch,
+};
+
 /// A deterministic BACnet/IP fabric connecting N sim::Machine instances —
-/// one per zone controller plus a supervisory head-end (node 0 by
-/// convention). The machines advance in conservative lockstep: the fabric
-/// slices virtual time into epochs of one minimum link latency, advances
-/// every machine to the barrier in fixed node order, then routes the
-/// datagrams each node posted during the slice. Because jitter is
-/// additive on top of the base latency, every delivery lands at or after
-/// the barrier where it is routed, so no machine ever receives a message
-/// in its past — and the whole building replays byte-identically from the
-/// topology and the seed alone.
+/// one per zone controller plus the supervisory head-ends. Datagrams are
+/// routed eagerly at post() time: partition/loss verdicts and the jitter
+/// draw come from one RNG stream per directed link (seeded from the
+/// fabric seed and the link endpoints, consumed in per-link FIFO order),
+/// so the wire outcome of every datagram is a pure function of
+/// (topology, seed) regardless of sync mode or sharding. Deliveries land
+/// in per-node pending queues ordered by (arrival time, source node,
+/// per-link sequence) — the one canonical order both sync modes replay.
 ///
-/// Loss and jitter draws come from one RNG stream per directed link,
-/// seeded from (fabric seed, src, dst), so traffic on one link never
-/// perturbs another link's draws.
+/// With a Topology attached, disconnected node groups are independent
+/// components; run_until() can shard them across a work-stealing pool
+/// (set_jobs) with byte-identical results, because no state is shared
+/// between components and all exports merge in node order.
 class Fabric {
  public:
   /// Bounded per-node delivery queue: a flood saturates the victim's
   /// inbox and further datagrams are dropped (DoS shows up as loss).
   static constexpr std::size_t kInboxDepth = 64;
+  /// Default per-datagram service interval of the inbox drain: a node
+  /// absorbs bursts of kInboxDepth, then sheds load beyond one datagram
+  /// per interval. Receiver-side state, evaluated in canonical arrival
+  /// order — identical under every sync mode and sharding.
+  static constexpr sim::Duration kInboxService = sim::msec(5);
 
   /// `seed` salts every per-link RNG stream.
-  explicit Fabric(std::uint64_t seed = 1) : seed_(seed) {
-    auto& tags = sim::TagRegistry::instance();
-    tag_link_span_ = tags.intern("net.link");
-    tag_note_drop_ = tags.intern("drop");
-  }
+  explicit Fabric(std::uint64_t seed = 1);
+  ~Fabric();
 
   /// Create the next node (index = add order) backed by its own machine.
-  /// Returns the node index. Node 0 hosts the fabric-wide metrics.
   int add_node(std::uint64_t machine_seed);
 
   std::size_t node_count() const { return machines_.size(); }
@@ -74,81 +100,198 @@ class Fabric {
   /// Default profile for links without an override.
   void set_default_link(LinkProfile p) { default_link_ = p; }
   /// Override one directed link (src node -> dst node).
-  void set_link(int src, int dst, LinkProfile p) { links_[{src, dst}] = p; }
+  void set_link(int src, int dst, LinkProfile p);
   void add_partition(PartitionWindow w) { partitions_.push_back(w); }
 
+  /// Restrict connectivity to the topology's declared links (posts on
+  /// undeclared links drop as `unroutable`), annotate nodes with their
+  /// supervisory roles, and split the fabric into independent
+  /// components. Call after the nodes exist.
+  void set_topology(Topology topo);
+  const Topology& topology() const { return topo_; }
+
+  void set_sync(SyncMode m) { sync_ = m; }
+  SyncMode sync() const { return sync_; }
+
+  /// Shard independent components across `jobs` workers (>= 2 enables
+  /// the pool; components are always merged in node order, so the
+  /// exports are --jobs invariant). Without a topology there is one
+  /// component and run_until stays sequential.
+  void set_jobs(int jobs);
+
+  /// Keep (or stop keeping) the attacker-visible packet capture. Off
+  /// saves memory on city-scale runs where nothing replays traffic.
+  void set_capture(bool on) { capture_ = on; }
+  /// Emit fabric.deliver / fabric.drop trace events (on by default;
+  /// city-scale runs turn it off to keep the hot path allocation-free).
+  void set_tracing(bool on) { tracing_ = on; }
+  /// Override one node's inbox bound (head-end tiers take deeper queues
+  /// with faster drains than leaf zones).
+  void set_inbox(int node, std::size_t depth, sim::Duration service);
+
   /// Post a datagram onto the wire from `src_node`. Must be called while
-  /// that node's machine is at the current epoch (i.e. from one of its
-  /// callbacks, or between run_until() calls). The send time is stamped
-  /// from the node's clock; routing happens at the next epoch barrier.
+  /// that node's machine is at its current virtual time (i.e. from one
+  /// of its callbacks, or between run_until() calls). The send time is
+  /// stamped from the node's clock; the wire outcome (drop/latency) is
+  /// decided immediately, the delivery executes on the destination node
+  /// when its clock reaches the arrival time.
   void post(int src_node, BacnetMsg msg);
 
-  /// Advance the whole building to virtual time `t` (lockstep).
+  /// Advance the whole building to virtual time `t`.
   void run_until(sim::Time t);
 
   sim::Time now() const { return now_; }
 
-  /// Every datagram ever posted, in routing order — the attacker's
-  /// packet capture for replay attacks.
-  const std::vector<BacnetMsg>& sent_log() const { return sent_log_; }
+  /// Every datagram ever posted (dropped or not), in canonical order:
+  /// (send time, posting node, per-node sequence) — the attacker's
+  /// packet capture for replay attacks. Identical under both sync
+  /// modes. Empty when capture is off.
+  std::vector<BacnetMsg> sent_log() const;
 
-  std::uint64_t delivered() const { return delivered_.value(); }
-  std::uint64_t dropped_loss() const { return drop_loss_.value(); }
-  std::uint64_t dropped_partition() const { return drop_partition_.value(); }
-  std::uint64_t dropped_overflow() const { return drop_overflow_.value(); }
-  std::uint64_t cov_delivered() const { return cov_latency_us_.count(); }
-  /// End-to-end COV latency distribution (microseconds), head-end view.
-  const obs::Histogram& cov_latency() const { return cov_latency_us_; }
+  std::uint64_t posted() const;
+  std::uint64_t delivered() const;
+  std::uint64_t dropped_loss() const;
+  std::uint64_t dropped_partition() const;
+  std::uint64_t dropped_overflow() const;
+  std::uint64_t dropped_unroutable() const;
+  /// Datagrams still in flight (posted, not yet delivered or dropped).
+  /// posted() == delivered() + dropped_*() + pending() at all times.
+  std::uint64_t pending() const;
+  /// Deliveries that would have arrived in a node's past (must be 0 —
+  /// the conservative-sync causality invariant).
+  std::uint64_t causality_violations() const;
+
+  std::uint64_t cov_delivered() const;
+  /// p99 end-to-end COV latency in microseconds of virtual time, over
+  /// every subscriber tier (bucket upper bound; 0 when no COV arrived).
+  double cov_p99_us() const;
 
  private:
   struct Endpoint {
     int node = -1;
     BacnetDevice* dev = nullptr;
   };
-  struct OutMsg {
-    int src_node;
-    BacnetMsg msg;  // msg.sent_at carries the posting node's clock
-    // Open "net.link" flow span on the posting node's store; closed when
-    // the datagram is delivered or dropped. Kernel-side metadata like
-    // sent_at — never part of the frame the receiver parses.
-    std::uint64_t span = 0;
+
+  /// One datagram in flight towards a node, plus its canonical ordering
+  /// key. `span` is the "net.link" flow span on the posting node's
+  /// store (already closed — kept for context propagation only).
+  struct Delivery {
+    sim::Time when = 0;
+    int src_node = 0;
+    std::uint64_t link_seq = 0;
+    BacnetMsg msg;
+    Endpoint ep;
+
+    bool operator>(const Delivery& o) const {
+      if (when != o.when) return when > o.when;
+      if (src_node != o.src_node) return src_node > o.src_node;
+      return link_seq > o.link_seq;
+    }
   };
 
-  const LinkProfile& link(int src, int dst) const;
-  sim::Rng& link_rng(int src, int dst);
+  struct SentRec {
+    BacnetMsg msg;
+    std::uint64_t seq = 0;  // per-node post sequence
+  };
+
+  /// Everything the fabric keeps per directed link, in one flat-hashed
+  /// map keyed by (src << 32) | dst — the 10k-node hot path does one
+  /// hash lookup instead of a red-black walk over std::pair keys.
+  struct LinkState {
+    bool has_profile = false;
+    LinkProfile profile{};
+    bool rng_init = false;
+    sim::Rng rng{0};
+    std::uint64_t seq = 0;  // per-link FIFO sequence (delivery tie-break)
+    bool drops_init = false;
+    obs::Counter drops;
+  };
+
+  /// Per-node fabric state. Counters/histograms live on the node's own
+  /// machine registry (merged by name across nodes), so components
+  /// never write to a shared registry while sharded.
+  struct NodeState {
+    obs::Counter posted;
+    obs::Counter delivered;
+    obs::Counter drop_loss;
+    obs::Counter drop_partition;
+    obs::Counter drop_overflow;
+    obs::Counter drop_unroutable;
+    obs::Histogram cov_latency_us;
+    obs::Histogram cov_tier_us;  // per-tier arrival latency (hierarchical)
+    obs::Gauge backlog;
+    obs::HealthSignal cov_sig;
+    obs::HealthSignal overflow_sig;
+    std::size_t inbox_depth = kInboxDepth;
+    sim::Duration inbox_service = kInboxService;
+    std::deque<sim::Time> inbox;  // scheduled departure times
+    std::priority_queue<Delivery, std::vector<Delivery>, std::greater<>>
+        pending;
+    std::vector<SentRec> sent;
+    std::uint64_t post_seq = 0;
+    std::uint64_t violations = 0;
+  };
+
+  /// One independent node group and its event-driven scheduler state.
+  struct Engine {
+    std::vector<int> members;  // ascending node order
+    std::priority_queue<std::pair<sim::Time, int>,
+                        std::vector<std::pair<sim::Time, int>>,
+                        std::greater<>>
+        heap;
+    bool active = false;
+  };
+
+  static std::uint64_t link_key(int src, int dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+
+  LinkState& link_state(int src, int dst);
+  const LinkProfile& profile_of(LinkState& ls) const {
+    return ls.has_profile ? ls.profile : default_link_;
+  }
+  sim::Rng& link_rng(int src, int dst, LinkState& ls);
+  obs::Counter& link_drop_counter(int src, int dst, LinkState& ls);
   bool partitioned(int a, int b, sim::Time at) const;
+  bool link_allowed(int src, int dst) const;
   sim::Duration quantum() const;
-  void route(int src_node, const BacnetMsg& msg, std::uint64_t span);
-  void deliver(int src_node, int dst_node, const Endpoint& ep,
-               const BacnetMsg& msg, sim::Time when, std::uint64_t span);
-  obs::Counter& link_drop_counter(int src, int dst);
+  void route(int src_node, BacnetMsg&& msg, std::uint64_t span);
+  /// Inbox-drain admission for one delivery at virtual time `exec`, then
+  /// either an overflow drop or the handler scheduled via machine.at().
+  void execute_delivery(int dst_node, sim::Time exec, Delivery d);
+  /// Earliest instant node i has work: its machine's next event or its
+  /// earliest pending delivery.
+  sim::Time node_key(int i) const;
+  /// Advance node i to time t, interleaving pending deliveries with the
+  /// machine's own timers in canonical order (local events first at any
+  /// shared instant). The one primitive both sync modes are built on.
+  void advance_node(int i, sim::Time t);
+  void prepare_engines();
+  void run_component(Engine& eng, sim::Time t);
 
   std::uint64_t seed_;
   std::uint32_t tag_link_span_ = 0;
   std::uint32_t tag_note_drop_ = 0;
   std::vector<std::unique_ptr<sim::Machine>> machines_;
-  std::map<std::uint32_t, Endpoint> devices_;        // BACnet id -> endpoint
-  std::map<std::pair<int, int>, LinkProfile> links_;
-  std::map<std::pair<int, int>, sim::Rng> link_rngs_;
-  std::map<std::pair<int, int>, obs::Counter> link_drops_;
+  std::unordered_map<std::uint32_t, Endpoint> devices_;
+  std::unordered_map<std::uint64_t, LinkState> links_;
   LinkProfile default_link_{};
   std::vector<PartitionWindow> partitions_;
-  std::vector<OutMsg> outbox_;  // posts since the last barrier, in order
-  std::vector<BacnetMsg> sent_log_;
-  std::vector<std::size_t> inflight_;  // per node, scheduled undelivered
-  std::vector<obs::Gauge> inflight_gauge_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  Topology topo_;
+  bool has_topology_ = false;
+  std::unordered_set<std::uint64_t> allowed_links_;
+  SyncMode sync_ = SyncMode::kLookahead;
+  bool capture_ = true;
+  bool tracing_ = true;
+  int jobs_ = 1;
+  std::unique_ptr<campaign::WorkStealingPool> pool_;
+  std::vector<Engine> engines_;
+  std::vector<int> component_of_;
+  bool engines_dirty_ = true;
   sim::Time now_ = 0;
-
-  // Fabric-wide metrics, registered on node 0's machine.
-  obs::Counter delivered_;
-  obs::Counter drop_loss_;
-  obs::Counter drop_partition_;
-  obs::Counter drop_overflow_;
-  obs::Histogram cov_latency_us_;
-  /// COV delivery-latency detector, on the head-end (subscriber) node.
-  obs::HealthSignal cov_sig_;
-  /// Per-node inbox-overflow rate detectors (flood DoS fires these).
-  std::vector<obs::HealthSignal> overflow_sig_;
 };
 
 }  // namespace mkbas::net

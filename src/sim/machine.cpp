@@ -171,6 +171,11 @@ void Machine::push_ready_locked(Process* p) {
   ready_bits_ |= 1u << p->priority_;
 }
 
+void Machine::push_ready_front_locked(Process* p) {
+  ready_[p->priority_].push_front(p);
+  ready_bits_ |= 1u << p->priority_;
+}
+
 Process* Machine::pop_ready_locked() {
   if (ready_bits_ == 0) return nullptr;
   const int pr = std::countr_zero(ready_bits_);
@@ -314,9 +319,14 @@ void Machine::charge(Duration cpu) {
   if (pause_requested_ && running_ == t_proc) {
     // The driver's run_until() deadline passed: park ourselves as ready
     // (not blocked) and hand control back without scheduling a successor.
+    // Park at the FRONT of the priority queue: the next run_until() must
+    // resume exactly where an uninterrupted run would have continued, or
+    // the schedule (and its context-switch trail) depends on how finely
+    // the driver slices time — lookahead sync drives machines in far
+    // smaller steps than the epoch barrier.
     Process* p = t_proc;
     p->state_ = ProcState::kReady;
-    push_ready_locked(p);
+    push_ready_front_locked(p);
     running_ = nullptr;
     idle_cv_.notify_all();
     wait_for_baton(*t_thread_lock, p);
@@ -402,6 +412,16 @@ void Machine::run_until(Time t) {
 void Machine::run_for(Duration d) {
   Lock lk(mu_);
   run_locked(lk, now_ + d, /*bounded=*/true);
+}
+
+Time Machine::next_event_time() const {
+  Lock lk(mu_);
+  if (ready_bits_ != 0) return now_;
+  if (timers_.empty()) return kTimeNever;
+  // A timer can sit at <= now_ (a stale run_until deadline whose run
+  // ended early); clamping keeps the contract "never in the past" and
+  // the next run_until fires it immediately.
+  return std::max(now_, timers_.top().when);
 }
 
 void Machine::run_locked(Lock& lk, Time limit, bool bounded) {

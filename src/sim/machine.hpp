@@ -177,6 +177,13 @@ class Machine {
   /// Run for `d` more microseconds of virtual time.
   void run_for(Duration d);
 
+  /// Earliest virtual time at which this machine has work to do: now()
+  /// when a process is ready to run, the earliest pending timer
+  /// otherwise, kTimeNever when fully idle. Lets an external
+  /// conservative-sync scheduler (net::Fabric's lookahead engine) advance
+  /// machines event-by-event instead of in lockstep epochs.
+  Time next_event_time() const;
+
   /// Schedule a driver callback at virtual time `t` (runs in machine
   /// context while the clock is at `t`; it must not block).
   void at(Time t, std::function<void()> fn);
@@ -303,6 +310,7 @@ class Machine {
   bool any_ready_locked() const { return ready_bits_ != 0; }
   /// Enqueue a ready process, maintaining the priority bitmap.
   void push_ready_locked(Process* p);
+  void push_ready_front_locked(Process* p);
   /// Dequeue the highest-priority ready process (nullptr when none). O(1):
   /// one count-trailing-zeros over the bitmap instead of a queue scan.
   Process* pop_ready_locked();

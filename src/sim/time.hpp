@@ -23,4 +23,7 @@ constexpr Duration minutes(std::int64_t n) { return sec(60 * n); }
 /// Convert simulated time to floating-point seconds (for physics/reporting).
 constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e6; }
 
+/// Sentinel for "no event scheduled, ever" (Machine::next_event_time).
+constexpr Time kTimeNever = INT64_C(0x7fffffffffffffff);
+
 }  // namespace mkbas::sim

@@ -77,6 +77,45 @@ TEST(FabricHealth, FloodTripsTheOverflowSurgeBeforeTheVerdict) {
   EXPECT_LT(anomaly, verdict);
 }
 
+TEST(FabricHealth, HundredZoneTreeFloodTripsTheFloorSurgeFirst) {
+  // City-scale shape: 100 gateway-only zones over 4 floor head-ends. The
+  // flood now aims at the attacker's *floor* aggregator — segmentation
+  // keeps the blast radius to one floor — and that floor's own
+  // inbox-overflow surge detector must fire during the run, ahead of the
+  // end-of-run attack verdicts.
+  core::FabricOptions opts;
+  opts.zones = 100;
+  opts.topology = mkbas::net::TopologySpec::Kind::kTree;
+  opts.floors = 4;
+  opts.seed = 21;
+  opts.duration = sim::minutes(4);
+  opts.attack = core::FabricAttack::kFlood;
+  opts.attack_at = sim::minutes(2);
+  opts.lite_zones = true;
+  const core::FabricRunResult res = core::run_fabric(opts);
+
+  EXPECT_EQ(res.topology, "tree");
+  EXPECT_EQ(res.nodes, 1 + 4 + 100);
+  EXPECT_GT(res.drop_overflow, 0u);
+  EXPECT_EQ(res.causality_violations, 0u);
+  ASSERT_GT(res.health_events, 0u);
+  ASSERT_TRUE(jsonlite::valid(res.health_json)) << res.health_json;
+  EXPECT_NE(res.health_json.find("net.inbox_overflow"), std::string::npos);
+  EXPECT_NE(res.health_json.find("\"surge\""), std::string::npos);
+
+  // Detection precedes judgment, same invariant as the 3-zone building.
+  const std::size_t anomaly = res.audit_json.find("health.anomaly");
+  const std::size_t verdict = res.audit_json.find("attack.verdict");
+  ASSERT_NE(anomaly, std::string::npos);
+  ASSERT_NE(verdict, std::string::npos);
+  EXPECT_LT(anomaly, verdict);
+
+  // The flood stayed on the attacker's floor: the building console kept
+  // receiving its aggregate telemetry (every floor flushed upstream).
+  EXPECT_GT(res.floor_covs, 0u);
+  EXPECT_GT(res.cov_count, res.floor_covs);
+}
+
 TEST(FabricHealth, ObservabilityArtifactsReplayByteIdentically) {
   const core::FabricRunResult one = core::run_fabric(flood_building());
   const core::FabricRunResult two = core::run_fabric(flood_building());

@@ -40,6 +40,29 @@ TEST(Cli, FlagGrammarCoversSharedOptions) {
   EXPECT_EQ(a.attack, "spoof-write");
 }
 
+TEST(Cli, TopologyAndSyncFlagsParse) {
+  const auto a = parse({"fabric", "--topology", "campus", "--floors", "4",
+                        "--buildings", "3", "--sync", "epoch", "--lite",
+                        "--zones", "1200"});
+  EXPECT_TRUE(a.error.empty());
+  EXPECT_EQ(a.topology, mkbas::net::TopologySpec::Kind::kCampus);
+  EXPECT_EQ(a.floors, 4);
+  EXPECT_EQ(a.buildings, 3);
+  EXPECT_EQ(a.sync, mkbas::net::SyncMode::kEpoch);
+  EXPECT_TRUE(a.lite);
+  EXPECT_EQ(a.zones, 1200);
+
+  const auto d = parse({"fabric"});
+  EXPECT_EQ(d.topology, mkbas::net::TopologySpec::Kind::kFlat);
+  EXPECT_EQ(d.sync, mkbas::net::SyncMode::kLookahead);
+  EXPECT_FALSE(d.lite);
+
+  const auto bad = parse({"fabric", "--topology", "mesh"});
+  EXPECT_FALSE(bad.error.empty());
+  const auto bad2 = parse({"fabric", "--sync", "optimistic"});
+  EXPECT_FALSE(bad2.error.empty());
+}
+
 TEST(Cli, DefaultsWhenNothingGiven) {
   const auto a = parse({"matrix"});
   EXPECT_TRUE(a.error.empty());
