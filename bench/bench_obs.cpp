@@ -182,6 +182,16 @@ int main(int argc, char** argv) {
   const double on_pct = overhead(best_on);
   const double ring_pct = overhead(best_ring);
   const double series_pct = overhead(best_series);
+  // Absolute per-op tracing cost (the within-run on-minus-off delta).
+  // This is the apples-to-apples regression signal: the relative
+  // percentages above divide by whatever the IPC op costs today, so
+  // they swing whenever the base kernel speeds up.
+  auto cost_ns = [&](const Pass& p) {
+    return p.ns_per_op() - best_off.ns_per_op();
+  };
+  const double cost_on_ns = cost_ns(best_on);
+  const double cost_ring_ns = cost_ns(best_ring);
+  const double cost_series_ns = cost_ns(best_series);
   const bool invariants = best_off.invariants && best_on.invariants &&
                           best_ring.invariants && best_series.invariants;
   // The ring arm must actually exercise eviction, and eviction must be
@@ -222,6 +232,9 @@ int main(int argc, char** argv) {
               invariants ? "hold" : "VIOLATED",
               ring_exercised ? "exercised" : "NOT EXERCISED",
               series_exercised ? "exercised" : "NOT EXERCISED");
+  std::printf("cost : on %+.1f ns/op, ring %+.1f ns/op, series %+.1f "
+              "ns/op over the off arm\n",
+              cost_on_ns, cost_ring_ns, cost_series_ns);
 
   char json[1024];
   std::snprintf(
@@ -234,9 +247,11 @@ int main(int argc, char** argv) {
       "\"overhead_on_pct\":%.2f,\"overhead_ring_pct\":%.2f,"
       "\"overhead_series_pct\":%.2f,"
       "\"ring_capacity\":%zu,\"ring_dropped\":%llu,\"ring_exercised\":%s,"
-      "\"schema_version\":1,"
+      "\"schema_version\":2,"
       "\"series_exercised\":%s,\"series_samples\":%llu,"
-      "\"series_windows_evicted\":%llu,\"spans_on\":%llu}",
+      "\"series_windows_evicted\":%llu,"
+      "\"span_cost_on_ns\":%.1f,\"span_cost_ring_ns\":%.1f,"
+      "\"span_cost_series_ns\":%.1f,\"spans_on\":%llu}",
       invariants ? "true" : "false", best_off.ns_per_op(),
       best_on.ns_per_op(), best_ring.ns_per_op(), best_series.ns_per_op(),
       static_cast<unsigned long long>(best_off.ops),
@@ -249,6 +264,7 @@ int main(int argc, char** argv) {
       series_exercised ? "true" : "false",
       static_cast<unsigned long long>(best_series.series_samples),
       static_cast<unsigned long long>(best_series.series_windows_evicted),
+      cost_on_ns, cost_ring_ns, cost_series_ns,
       static_cast<unsigned long long>(best_on.spans_kept));
   if (!out.empty()) {
     std::ofstream f(out);

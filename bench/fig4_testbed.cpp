@@ -21,7 +21,7 @@ int main() {
   physics::RoomModel room({.capacitance_j_per_k = 1.0e5,
                            .loss_w_per_k = 90.0,
                            .initial_temp_c = 21.0});
-  room.set_outdoor_profile(physics::constant_outdoor(12.0));
+  room.set_outdoor(physics::OutdoorSpec::constant(12.0));
   devices::HeaterActuator heater(2000.0);
   devices::AlarmLed led;
   devices::PlantCoupler coupler(m, room, heater, led);

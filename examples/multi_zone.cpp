@@ -116,8 +116,7 @@ int main() {
   // 3. Plant: one room per zone, different outdoor exposure per facade.
   std::vector<Zone> zones(kZones);
   for (int z = 0; z < kZones; ++z) {
-    zones[z].room.set_outdoor_profile(
-        physics::constant_outdoor(6.0 + 2.0 * z));
+    zones[z].room.set_outdoor(physics::OutdoorSpec::constant(6.0 + 2.0 * z));
     zones[z].coupler = std::make_unique<devices::PlantCoupler>(
         machine, zones[z].room, zones[z].heater, zones[z].unused_alarm);
     zones[z].sensor = std::make_unique<devices::Bmp180Sensor>(

@@ -76,7 +76,7 @@ class Plant {
       : room(cfg.room),
         heater(cfg.heater_power_w),
         sensor(room, machine.rng(), cfg.sensor_noise_sigma_c) {
-    room.set_outdoor_profile(physics::constant_outdoor(cfg.outdoor_c));
+    room.set_outdoor(physics::OutdoorSpec::constant(cfg.outdoor_c));
     coupler = std::make_unique<devices::PlantCoupler>(machine, room, heater,
                                                       alarm);
   }

@@ -8,10 +8,13 @@ namespace mkbas::fault {
 namespace {
 
 sim::Process* find_by_name(sim::Machine& m, const std::string& name) {
-  for (auto* p : m.live_processes()) {
-    if (p->name() == name) return p;
-  }
-  return nullptr;
+  // for_each_live visits in place; live_processes() would build a fresh
+  // vector for every injection attempt, including the per-tick hang retry.
+  sim::Process* found = nullptr;
+  m.for_each_live([&](sim::Process& p) {
+    if (found == nullptr && p.name() == name) found = &p;
+  });
+  return found;
 }
 
 constexpr sim::Time kForever = std::numeric_limits<sim::Time>::max();

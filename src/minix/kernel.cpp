@@ -61,6 +61,9 @@ MinixKernel::MinixKernel(sim::Machine& machine, AcmPolicy policy)
   tag_pm_audit_ = tags.intern("pm.audit");
   tag_rs_restart_ = tags.intern("rs.restart");
   tag_note_restart_ = tags.intern("restart");
+  tag_acm_allow_ = tags.intern("acm.allow");
+  tag_acm_deny_ = tags.intern("acm.deny");
+  tag_deliver_ = tags.intern("minix.deliver");
   for (int i = 0; i < kNumSlots; ++i) {
     slots_[i].slot = i;
     slots_[i].generation = 1;
@@ -340,16 +343,27 @@ void MinixKernel::trace_sec(const Pcb& src, const Pcb& dst, int m_type,
     denial_sig_.count(machine_.now());
   }
   const int pid = src.proc ? src.proc->pid() : -1;
-  std::string detail = src.name + "(ac" + std::to_string(src.ac_id) +
-                       ") -> " + dst.name + "(ac" +
-                       std::to_string(dst.ac_id) +
-                       ") type=" + std::to_string(m_type);
-  machine_.trace().emit(machine_.now(), pid, sim::TraceKind::kSecurity,
-                        allowed ? "acm.allow" : "acm.deny", detail,
-                        static_cast<double>(m_type));
+  // Formatted in place inside the recycled trace slot: the per-message
+  // fast path makes no string temporaries and, in ring mode, no
+  // allocations at all.
+  std::string& d = machine_.trace()
+                       .emit_slot(machine_.now(), pid,
+                                  sim::TraceKind::kSecurity,
+                                  allowed ? tag_acm_allow_ : tag_acm_deny_,
+                                  static_cast<double>(m_type))
+                       .detail;
+  d.append(src.name);
+  d.append("(ac");
+  sim::append_int(d, src.ac_id);
+  d.append(") -> ");
+  d.append(dst.name);
+  d.append("(ac");
+  sim::append_int(d, dst.ac_id);
+  d.append(") type=");
+  sim::append_int(d, m_type);
   if (!allowed) {
     machine_.audit().record(machine_.now(), machine_.machine_id(), pid,
-                            "acm.deny", std::move(detail), machine_.spans(),
+                            "acm.deny", d, machine_.spans(),
                             machine_.spans().current(pid));
   }
 }
@@ -400,10 +414,16 @@ void MinixKernel::deliver(Pcb& from, Pcb& to, const Message& m) {
   to.user_buf = nullptr;
   to.ipc_result = IpcResult::kOk;
   machine_.make_ready(to.proc);
-  machine_.trace().emit(machine_.now(), from.proc ? from.proc->pid() : -1,
-                        sim::TraceKind::kIpc, "minix.deliver",
-                        from.name + " -> " + to.name +
-                            " type=" + std::to_string(m.m_type));
+  std::string& d = machine_.trace()
+                       .emit_slot(machine_.now(),
+                                  from.proc ? from.proc->pid() : -1,
+                                  sim::TraceKind::kIpc, tag_deliver_)
+                       .detail;
+  d.append(from.name);
+  d.append(" -> ");
+  d.append(to.name);
+  d.append(" type=");
+  sim::append_int(d, m.m_type);
 }
 
 IpcResult MinixKernel::do_send(Pcb& src, Endpoint dst_ep, Message& m,

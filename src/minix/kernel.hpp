@@ -310,6 +310,9 @@ class MinixKernel {
   std::uint32_t tag_pm_audit_ = 0;
   std::uint32_t tag_rs_restart_ = 0;
   std::uint32_t tag_note_restart_ = 0;
+  std::uint32_t tag_acm_allow_ = 0;
+  std::uint32_t tag_acm_deny_ = 0;
+  std::uint32_t tag_deliver_ = 0;
   std::vector<Pcb> slots_;
   std::unordered_map<int, int> pid_to_slot_;
   std::unordered_map<std::string, Endpoint> names_;

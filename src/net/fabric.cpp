@@ -317,7 +317,13 @@ void Fabric::execute_delivery(int dst_node, sim::Time exec, Delivery d) {
   ns.inbox.push_back(std::max(exec, busy_until) + ns.inbox_service);
   ns.backlog.set(static_cast<double>(ns.inbox.size()));
 
-  m.at(exec, [this, dst_node, d = std::move(d)]() mutable {
+  // Park the delivery in the node's pool and capture only {this, slot}:
+  // two words fit std::function's inline storage, so scheduling the
+  // handler allocates nothing once the pool is warm.
+  Exec* slot = ns.exec_pool.acquire(std::move(d), dst_node);
+  m.at(exec, [this, slot]() {
+    const Delivery& d = slot->d;
+    const int dst_node = slot->dst_node;
     sim::Machine& dst = *machines_[dst_node];
     NodeState& dn = *nodes_[dst_node];
     const sim::Time now = dst.now();
@@ -354,6 +360,7 @@ void Fabric::execute_delivery(int dst_node, sim::Time exec, Delivery d) {
       post(dst_node, reply);
     }
     spans.set_current(-1, saved);
+    dn.exec_pool.release(slot);
   });
 }
 

@@ -13,6 +13,7 @@
 #include "net/bacnet.hpp"
 #include "net/topology.hpp"
 #include "sim/machine.hpp"
+#include "sim/pool.hpp"
 #include "sim/rng.hpp"
 
 namespace mkbas::campaign {
@@ -194,6 +195,16 @@ class Fabric {
     std::uint64_t seq = 0;  // per-node post sequence
   };
 
+  /// A delivery parked between admission and its machine.at() callback.
+  /// Pooled so the callback captures two pointers (small enough for
+  /// std::function's inline storage) instead of moving the ~130-byte
+  /// Delivery into a heap-allocated closure on every datagram.
+  struct Exec {
+    Delivery d;
+    int dst_node = 0;
+    Exec(Delivery del, int node) : d(std::move(del)), dst_node(node) {}
+  };
+
   /// Everything the fabric keeps per directed link, in one flat-hashed
   /// map keyed by (src << 32) | dst — the 10k-node hot path does one
   /// hash lookup instead of a red-black walk over std::pair keys.
@@ -230,6 +241,9 @@ class Fabric {
     std::vector<SentRec> sent;
     std::uint64_t post_seq = 0;
     std::uint64_t violations = 0;
+    /// Per-node (so sharded components never share an arena): in-flight
+    /// Exec records between execute_delivery and the handler firing.
+    sim::FixedPool<Exec> exec_pool{64};
   };
 
   /// One independent node group and its event-driven scheduler state.

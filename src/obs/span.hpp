@@ -57,18 +57,21 @@ class SpanLog {
   }
 
   /// Append (caller has already decided there is room).
-  void push_back(Span s) {
-    buf_.push_back(std::move(s));
+  void push_back(const Span& s) {
+    buf_.push_back(s);
     ++size_;
   }
   /// Overwrite the oldest entry with `s` (ring at capacity).
-  void push_wrap(Span s) {
-    buf_[head_] = std::move(s);
+  void push_wrap(const Span& s) {
+    buf_[head_] = s;
     head_ = wrap(head_ + 1);
   }
   /// Drop the oldest `n` entries, compacting the buffer. Only called
   /// from set_capacity — never on the hot path.
   void drop_front(std::size_t n);
+
+  /// Pre-size the backing buffer so the next `n` appends never reallocate.
+  void reserve(std::size_t n) { buf_.reserve(n); }
 
   class const_iterator {
    public:
@@ -140,6 +143,19 @@ class SpanStore {
   /// spans, evicting oldest-first. Open spans are never evicted.
   void set_capacity(std::size_t cap);
   std::size_t capacity() const { return capacity_; }
+
+  /// Pre-size every hot-path container for a run expected to mint up to
+  /// `spans` ids on this machine: the closed-span buffer (bounded by the
+  /// ring capacity when one is set), this machine's lineage lane — the
+  /// one append that otherwise reallocates forever, since lineage
+  /// survives ring eviction — and the open/current scratch sets. After
+  /// this, a steady-state window within the budget allocates nothing.
+  void reserve(std::size_t spans) {
+    done_.reserve(capacity_ > 0 ? std::min(capacity_, spans) : spans);
+    lineage_.reserve_lane(static_cast<std::size_t>(machine_) & 0xff, spans);
+    if (open_.capacity() < 64) open_.reserve(64);
+    if (current_.capacity() < 256) current_.reserve(256);
+  }
 
   // ---- recording ----
 
@@ -239,10 +255,19 @@ class SpanStore {
   /// already treats as the protocol limit.
   class LineageIndex {
    public:
+    /// Lineage fields flattened so `tag` lands in the padding hole
+    /// after `name`: 32 bytes per span instead of 40. The lanes are
+    /// the only structure that grows for the whole run, so every byte
+    /// here is a byte of fresh (uncached, demand-faulted) memory
+    /// written per span on the IPC hot path.
     struct Entry {
-      Lineage lin{};
+      std::uint64_t parent = 0;
+      std::uint64_t trace = 0;
+      std::uint32_t name = 0;
       std::uint16_t tag = 0;  // 0 = empty (next_id never mints tag 0)
+      sim::Time start = 0;
     };
+    static_assert(sizeof(Entry) <= 32, "lineage entry packs to 32 bytes");
 
     void insert(std::uint64_t id, const Lineage& lin) {
       const std::uint64_t seq = id & kSeqMask;
@@ -252,19 +277,21 @@ class SpanStore {
       if (mach >= lanes_.size()) lanes_.resize(mach + 1);
       std::vector<Entry>& lane = lanes_[mach];
       const std::size_t idx = static_cast<std::size_t>(seq) - 1;
+      const Entry e{lin.parent, lin.trace, lin.name,
+                    static_cast<std::uint16_t>(id >> 48), lin.start};
       if (idx == lane.size()) {  // hot path: own ids arrive in order
-        lane.push_back(Entry{lin, static_cast<std::uint16_t>(id >> 48)});
+        lane.push_back(e);
         ++count_;
         return;
       }
       if (idx >= lane.size()) lane.resize(idx + 1);
       if (lane[idx].tag == 0) {  // merges are first-wins
-        lane[idx] = Entry{lin, static_cast<std::uint16_t>(id >> 48)};
+        lane[idx] = e;
         ++count_;
       }
     }
 
-    const Lineage* find(std::uint64_t id) const {
+    const Entry* find(std::uint64_t id) const {
       const std::uint64_t seq = id & kSeqMask;
       const std::size_t mach =
           static_cast<std::size_t>((id >> kSeqBits) & 0xff);
@@ -273,13 +300,19 @@ class SpanStore {
       if (seq > lane.size()) return nullptr;
       const Entry& e = lane[static_cast<std::size_t>(seq) - 1];
       if (e.tag != static_cast<std::uint16_t>(id >> 48)) return nullptr;
-      return &e.lin;
+      return &e;
     }
 
     std::size_t size() const { return count_; }
     /// Per-machine lanes; lane m, slot i holds the span with sequence
     /// i + 1 on machine byte m (tag 0 = empty).
     const std::vector<std::vector<Entry>>& lanes() const { return lanes_; }
+
+    /// Pre-size lane `mach` for `n` entries.
+    void reserve_lane(std::size_t mach, std::size_t n) {
+      if (mach >= lanes_.size()) lanes_.resize(mach + 1);
+      lanes_[mach].reserve(n);
+    }
 
    private:
     std::vector<std::vector<Entry>> lanes_;
@@ -301,7 +334,7 @@ class SpanStore {
                 bool abandoned);
   void close_span(sim::Time now, std::uint64_t span_id, std::uint32_t note,
                   bool abandoned);
-  void push_done(Span s);
+  void push_done(const Span& s);
   /// current_ slot for `pid` (index pid + 1; the kernel records on -1).
   SpanContext* current_slot(int pid);
 

@@ -1,10 +1,43 @@
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/time.hpp"
 
 namespace mkbas::physics {
+
+/// Outdoor-temperature profile as plain data, evaluated inline. The two
+/// shapes every scenario uses — constant and sinusoidal diurnal — fit in
+/// three words, so the per-sub-step evaluation inside the thermal model
+/// is a branch and some arithmetic instead of a std::function indirect
+/// call (which also blocked vectorising the batched RoomBank step).
+/// Arbitrary profiles still exist through the std::function adapter on
+/// RoomModel (set_outdoor_profile / make_profile).
+struct OutdoorSpec {
+  enum class Kind : std::uint8_t { kConstant, kDiurnal };
+
+  Kind kind = Kind::kConstant;
+  double mean_c = 10.0;  // constant value, or diurnal mean
+  double swing_c = 0.0;  // diurnal half-amplitude
+
+  double eval(sim::Time t) const {
+    if (kind == Kind::kConstant) return mean_c;
+    constexpr double kDay = 24.0 * 3600.0;
+    const double phase = 2.0 * 3.14159265358979323846 *
+                         std::fmod(sim::to_seconds(t), kDay) / kDay;
+    return mean_c + swing_c * std::sin(phase);
+  }
+
+  static OutdoorSpec constant(double temp_c) {
+    return {Kind::kConstant, temp_c, 0.0};
+  }
+  static OutdoorSpec diurnal(double mean_c, double swing_c) {
+    return {Kind::kDiurnal, mean_c, swing_c};
+  }
+};
 
 /// First-order lumped thermal model of a single room.
 ///
@@ -27,7 +60,9 @@ class RoomModel {
     double initial_temp_c = 18.0;
   };
 
-  /// Returns the outdoor temperature [C] at a simulated time.
+  /// Returns the outdoor temperature [C] at a simulated time. Legacy
+  /// adapter type: custom profiles only — the built-in shapes are
+  /// OutdoorSpec, evaluated without the indirect call.
   using OutdoorProfile = std::function<double(sim::Time)>;
 
   RoomModel() : RoomModel(Params{}) {}
@@ -46,9 +81,20 @@ class RoomModel {
   void set_disturbance_w(double w) { disturbance_w_ = w; }
   double disturbance_w() const { return disturbance_w_; }
 
-  void set_outdoor_profile(OutdoorProfile p) { outdoor_ = std::move(p); }
+  /// Use a plain-data outdoor profile (the fast path). Clears any custom
+  /// std::function profile.
+  void set_outdoor(OutdoorSpec spec) {
+    outdoor_spec_ = spec;
+    outdoor_custom_ = nullptr;
+  }
+  const OutdoorSpec& outdoor_spec() const { return outdoor_spec_; }
+
+  /// Adapter for arbitrary profiles. An empty function falls back to the
+  /// current OutdoorSpec (default: constant 10 C, as always).
+  void set_outdoor_profile(OutdoorProfile p) { outdoor_custom_ = std::move(p); }
+
   double outdoor_temp_c(sim::Time now) const {
-    return outdoor_ ? outdoor_(now) : 10.0;
+    return outdoor_custom_ ? outdoor_custom_(now) : outdoor_spec_.eval(now);
   }
 
   /// Steady-state temperature for a constant heater input (useful for
@@ -64,13 +110,59 @@ class RoomModel {
   Params params_;
   double temp_c_;
   double disturbance_w_ = 0.0;
-  OutdoorProfile outdoor_;
+  OutdoorSpec outdoor_spec_{};     // default: constant 10 C
+  OutdoorProfile outdoor_custom_;  // overrides the spec when non-empty
 };
 
-/// Constant outdoor temperature profile.
+/// Constant outdoor temperature profile (std::function adapter over
+/// OutdoorSpec, for call sites that want the legacy interface).
 RoomModel::OutdoorProfile constant_outdoor(double temp_c);
 
 /// Sinusoidal diurnal profile: mean +/- swing over a 24h simulated period.
 RoomModel::OutdoorProfile diurnal_outdoor(double mean_c, double swing_c);
+
+/// Wrap any OutdoorSpec in the legacy std::function interface.
+RoomModel::OutdoorProfile make_profile(OutdoorSpec spec);
+
+/// Struct-of-arrays batch of room thermal models, stepped in one pass.
+///
+/// Semantically a vector<RoomModel> with OutdoorSpec profiles: add() a
+/// room with its parameters, poke per-room inputs, call step_all() once
+/// per control tick. Results are bit-identical to stepping each scalar
+/// RoomModel in a loop (the equivalence test sweeps dt and parameters),
+/// but the state lives in parallel arrays — when every room can take the
+/// whole dt in one Euler sub-step (the common control-tick case), the
+/// update is a single flat loop over doubles the compiler can vectorise,
+/// with no per-room indirect call and no allocation.
+class RoomBank {
+ public:
+  /// Append a room; returns its index.
+  std::size_t add(const RoomModel::Params& params, OutdoorSpec outdoor = {});
+
+  std::size_t size() const { return temp_.size(); }
+
+  double temperature_c(std::size_t i) const { return temp_[i]; }
+  void set_temperature_c(std::size_t i, double t) { temp_[i] = t; }
+  void set_heater_w(std::size_t i, double w) { heater_[i] = w; }
+  double heater_w(std::size_t i) const { return heater_[i]; }
+  void set_disturbance_w(std::size_t i, double w) { disturbance_[i] = w; }
+  double disturbance_w(std::size_t i) const { return disturbance_[i]; }
+  void set_outdoor(std::size_t i, OutdoorSpec spec) { outdoor_[i] = spec; }
+
+  /// Advance every room by `dt` with its current heater/disturbance
+  /// inputs. Same sub-stepped forward Euler as RoomModel::step.
+  void step_all(sim::Duration dt, sim::Time now);
+
+ private:
+  std::vector<double> cap_;          // capacitance_j_per_k
+  std::vector<double> loss_;         // loss_w_per_k
+  std::vector<double> temp_;         // current temperature [C]
+  std::vector<double> heater_;       // heater input [W]
+  std::vector<double> disturbance_;  // extra load [W]
+  std::vector<double> max_h_;        // per-room Euler stability bound [s]
+  std::vector<OutdoorSpec> outdoor_;
+  std::vector<double> tout_;  // scratch: outdoor temp this step
+  double min_max_h_ = 0.0;    // min over max_h_ (0 when empty)
+};
 
 }  // namespace mkbas::physics

@@ -1,0 +1,191 @@
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mkbas::sim {
+
+/// Calendar-queue priority queue for virtual-time events (Brown 1988).
+///
+/// `T` must expose `.when` (Time) and `.seq` (uint64); the pair is unique
+/// per entry and orders the queue ascending — the exact total order the
+/// old std::priority_queue<Timer> used, so fire order is bit-identical.
+///
+/// Events hash into power-of-two "day" buckets by `when >> shift`; each
+/// bucket keeps its (few) entries sorted descending so the bucket minimum
+/// is an O(1) pop_back. The global minimum is cached, which makes top()
+/// and min_when() O(1) — Machine::next_event_time() is on the lookahead
+/// fabric's per-event path, so that read must not cost a heap walk. After
+/// a pop the cache is refilled with the classic calendar scan: walk
+/// buckets forward from the popped entry's day; the first entry inside
+/// its bucket's current-year window is the new minimum, and a fruitless
+/// full lap falls back to a direct sweep over the bucket minima (only
+/// happens when every remaining event is at least a year ahead).
+///
+/// Resizes (count doubled/quartered) rebuild with bucket count ~ count and
+/// bucket width ~ the average inter-event gap, both derived purely from
+/// the queue contents — no wall-clock sampling, so replays stay exact.
+/// At steady state (periodic timers, paced sleeps) the bucket vectors
+/// plateau at their high-water capacity and push/pop allocate nothing.
+template <typename T>
+class CalendarQueue {
+ public:
+  CalendarQueue() { rebuild(kMinBuckets, kInitialShift); }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  /// Earliest `when` in the queue, kTimeNever when empty. O(1).
+  Time min_when() const { return count_ == 0 ? kTimeNever : cached_when_; }
+
+  /// The minimum entry (by (when, seq)). Requires !empty(). O(1).
+  const T& top() const {
+    assert(count_ > 0);
+    return buckets_[cached_bucket_].back();
+  }
+
+  void push(T t) {
+    if (count_ + 1 > (buckets_.size() << 1)) {
+      rebuild_sized(count_ + 1);
+    }
+    const Time when = t.when;
+    const std::uint64_t seq = t.seq;
+    insert_entry(std::move(t));
+    ++count_;
+    if (count_ == 1 || when < cached_when_ ||
+        (when == cached_when_ && seq < cached_seq_)) {
+      cached_when_ = when;
+      cached_seq_ = seq;
+      cached_bucket_ = bucket_of(when);
+    }
+  }
+
+  /// Remove and return the minimum entry.
+  T pop() {
+    assert(count_ > 0);
+    auto& b = buckets_[cached_bucket_];
+    T out = std::move(b.back());
+    b.pop_back();
+    --count_;
+    if (count_ < (buckets_.size() >> 2) && buckets_.size() > kMinBuckets) {
+      rebuild_sized(count_ == 0 ? 1 : count_);
+    } else if (count_ > 0) {
+      refill_cache(static_cast<std::uint64_t>(out.when) >> shift_);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 8;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 16;
+  static constexpr unsigned kInitialShift = 10;  // ~1ms buckets
+  static constexpr unsigned kMinShift = 4;       // >=16us wide
+  static constexpr unsigned kMaxShift = 34;      // <=~17s wide
+
+  std::size_t bucket_of(Time when) const {
+    return (static_cast<std::uint64_t>(when) >> shift_) & mask_;
+  }
+
+  static bool before(Time wa, std::uint64_t sa, const T& b) {
+    return wa != b.when ? wa < b.when : sa < b.seq;
+  }
+
+  void insert_entry(T t) {
+    auto& b = buckets_[bucket_of(t.when)];
+    // Descending order: scan from the back (the bucket minimum) upward,
+    // moving left past entries that order before t. Buckets hold a couple
+    // of entries, so this linear walk beats a branchy binary search — and
+    // most pushes land at an end anyway.
+    std::size_t i = b.size();
+    while (i > 0 && before(b[i - 1].when, b[i - 1].seq, t)) --i;
+    b.insert(b.begin() + static_cast<std::ptrdiff_t>(i), std::move(t));
+  }
+
+  /// Recompute the cached minimum after removing it; `start_epoch` is the
+  /// absolute day (when >> shift) of the entry just removed, i.e. a lower
+  /// bound for every remaining entry's day.
+  void refill_cache(std::uint64_t start_epoch) {
+    const std::size_t n = buckets_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint64_t epoch = start_epoch + k;
+      const auto& b = buckets_[epoch & mask_];
+      if (b.empty()) continue;
+      const T& cand = b.back();
+      const std::uint64_t window_end = (epoch + 1) << shift_;
+      if (static_cast<std::uint64_t>(cand.when) < window_end) {
+        cached_when_ = cand.when;
+        cached_seq_ = cand.seq;
+        cached_bucket_ = epoch & mask_;
+        return;
+      }
+    }
+    // Everything left is a full calendar year ahead: direct sweep.
+    direct_min_sweep();
+  }
+
+  void direct_min_sweep() {
+    bool found = false;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      const auto& b = buckets_[i];
+      if (b.empty()) continue;
+      const T& cand = b.back();
+      if (!found || before(cand.when, cand.seq, buckets_[cached_bucket_].back())) {
+        cached_when_ = cand.when;
+        cached_seq_ = cand.seq;
+        cached_bucket_ = i;
+        found = true;
+      }
+    }
+    assert(found == (count_ > 0));
+  }
+
+  /// Pick geometry for `for_count` entries from the current contents:
+  /// bucket count tracks the population, bucket width tracks the average
+  /// gap between the earliest and latest pending events.
+  void rebuild_sized(std::size_t for_count) {
+    std::size_t nbuckets = std::bit_ceil(for_count);
+    nbuckets = std::min(std::max(nbuckets, kMinBuckets), kMaxBuckets);
+    // Average inter-event gap, from current content only (deterministic).
+    Time lo = kTimeNever, hi = 0;
+    for (const auto& b : buckets_) {
+      for (const auto& t : b) {
+        lo = t.when < lo ? t.when : lo;
+        hi = t.when > hi ? t.when : hi;
+      }
+    }
+    unsigned shift = kInitialShift;
+    if (count_ > 1 && hi > lo) {
+      const auto gap = static_cast<std::uint64_t>(hi - lo) / count_;
+      shift = static_cast<unsigned>(std::bit_width(gap));
+    }
+    shift = std::min(std::max(shift, kMinShift), kMaxShift);
+    rebuild(nbuckets, shift);
+  }
+
+  void rebuild(std::size_t nbuckets, unsigned shift) {
+    std::vector<std::vector<T>> old = std::move(buckets_);
+    buckets_.assign(nbuckets, {});
+    mask_ = nbuckets - 1;
+    shift_ = shift;
+    for (auto& b : old) {
+      for (auto& t : b) insert_entry(std::move(t));
+    }
+    if (count_ > 0) direct_min_sweep();
+  }
+
+  std::vector<std::vector<T>> buckets_;
+  std::size_t mask_ = 0;
+  unsigned shift_ = kInitialShift;
+  std::size_t count_ = 0;
+  Time cached_when_ = kTimeNever;
+  std::uint64_t cached_seq_ = 0;
+  std::size_t cached_bucket_ = 0;
+};
+
+}  // namespace mkbas::sim

@@ -1,0 +1,181 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+#define MKBAS_ASAN 1
+#include <sanitizer/common_interface_defs.h>
+#else
+#define MKBAS_ASAN 0
+#endif
+
+#if defined(__SANITIZE_THREAD__) || __has_feature(thread_sanitizer)
+#define MKBAS_TSAN 1
+#include <sanitizer/tsan_interface.h>
+#else
+#define MKBAS_TSAN 0
+#endif
+
+#if MKBAS_ASAN
+#include <pthread.h>
+#endif
+
+namespace mkbas::sim {
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::perror(what);
+  std::abort();
+}
+
+#if MKBAS_ASAN
+// Stack bounds of the calling OS thread, resolved once per thread (the
+// lookup parses /proc for the main thread; far too slow per switch).
+void native_stack_bounds(void** bottom, std::size_t* size) {
+  thread_local void* cached_bottom = nullptr;
+  thread_local std::size_t cached_size = 0;
+  if (cached_bottom == nullptr) {
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) != 0) die("pthread_getattr_np");
+    pthread_attr_getstack(&attr, &cached_bottom, &cached_size);
+    pthread_attr_destroy(&attr);
+  }
+  *bottom = cached_bottom;
+  *size = cached_size;
+}
+#endif
+
+// Sanitizer bookkeeping around a context switch. `start` runs on the
+// outgoing context just before swapcontext; `finish` runs on the incoming
+// context just after it gains control (either when its own swapcontext
+// returns or at the top of its entry function).
+inline void sanitizer_start_switch(FiberContext& from, FiberContext& to,
+                                   bool from_terminating) {
+#if MKBAS_ASAN
+  __sanitizer_start_switch_fiber(from_terminating ? nullptr : &from.asan_fake,
+                                 to.stack_bottom, to.stack_size);
+#else
+  (void)from;
+  (void)to;
+  (void)from_terminating;
+#endif
+#if MKBAS_TSAN
+  __tsan_switch_to_fiber(to.tsan_fiber, 0);
+#endif
+}
+
+inline void sanitizer_finish_switch(FiberContext& self) {
+#if MKBAS_ASAN
+  __sanitizer_finish_switch_fiber(self.asan_fake, nullptr, nullptr);
+  self.asan_fake = nullptr;
+#else
+  (void)self;
+#endif
+}
+
+}  // namespace
+
+// ---- FiberStackPool ----
+
+FiberStackPool::FiberStackPool(std::size_t usable_bytes) {
+  page_ = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  // Round the usable region up to whole pages; one extra page below is the
+  // PROT_NONE guard that turns stack overflow into a clean fault.
+  usable_ = (usable_bytes + page_ - 1) & ~(page_ - 1);
+}
+
+FiberStackPool::~FiberStackPool() {
+  for (void* base : slabs_) munmap(base, page_ + usable_);
+}
+
+void* FiberStackPool::acquire() {
+  if (!free_.empty()) {
+    void* bottom = free_.back();
+    free_.pop_back();
+    return bottom;
+  }
+  void* base = mmap(nullptr, page_ + usable_, PROT_NONE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (base == MAP_FAILED) die("mmap fiber stack");
+  void* bottom = static_cast<char*>(base) + page_;
+  if (mprotect(bottom, usable_, PROT_READ | PROT_WRITE) != 0) {
+    die("mprotect fiber stack");
+  }
+  slabs_.push_back(base);
+  return bottom;
+}
+
+void FiberStackPool::release(void* bottom) {
+  assert(bottom != nullptr);
+  free_.push_back(bottom);
+}
+
+// ---- Context switching ----
+
+void fiber_create(FiberContext& f, void* stack_bottom, std::size_t size,
+                  FiberEntry entry, void* arg) {
+  if (getcontext(&f.uc) != 0) die("getcontext");
+  f.uc.uc_stack.ss_sp = stack_bottom;
+  f.uc.uc_stack.ss_size = size;
+  f.uc.uc_link = nullptr;  // entry must fiber_switch_final, never return
+  f.stack_bottom = stack_bottom;
+  f.stack_size = size;
+  const auto bits = reinterpret_cast<std::uintptr_t>(arg);
+  const auto hi = static_cast<unsigned>(bits >> 32);
+  const auto lo = static_cast<unsigned>(bits & 0xffffffffu);
+  makecontext(&f.uc, reinterpret_cast<void (*)()>(entry), 2, hi, lo);
+#if MKBAS_TSAN
+  f.tsan_fiber = __tsan_create_fiber(0);
+  f.tsan_owned = true;
+#endif
+}
+
+void fiber_bind_native(FiberContext& f) {
+#if MKBAS_ASAN
+  native_stack_bounds(&f.stack_bottom, &f.stack_size);
+#endif
+#if MKBAS_TSAN
+  f.tsan_fiber = __tsan_get_current_fiber();
+  f.tsan_owned = false;
+#endif
+  (void)f;
+}
+
+void fiber_switch(FiberContext& from, FiberContext& to) {
+  sanitizer_start_switch(from, to, /*from_terminating=*/false);
+  if (swapcontext(&from.uc, &to.uc) != 0) die("swapcontext");
+  // Control has come back to `from`.
+  sanitizer_finish_switch(from);
+}
+
+void fiber_switch_final(FiberContext& from, FiberContext& to) {
+  sanitizer_start_switch(from, to, /*from_terminating=*/true);
+  if (swapcontext(&from.uc, &to.uc) != 0) die("swapcontext final");
+  std::abort();  // a dead fiber must never be switched back into
+}
+
+void fiber_on_entry(FiberContext& self) { sanitizer_finish_switch(self); }
+
+void fiber_destroy(FiberContext& f) {
+#if MKBAS_TSAN
+  if (f.tsan_owned && f.tsan_fiber != nullptr) {
+    __tsan_destroy_fiber(f.tsan_fiber);
+    f.tsan_fiber = nullptr;
+    f.tsan_owned = false;
+  }
+#else
+  (void)f;
+#endif
+}
+
+}  // namespace mkbas::sim

@@ -7,12 +7,12 @@
 namespace mkbas::sim {
 
 namespace {
-// Per-thread execution context. A thread belongs to at most one Machine:
-// either it is a simulated process thread (t_proc set, machine lock held
-// while the body runs) or the driver thread inside run()/~Machine()
-// (t_in_machine set while the lock is held).
+// Per-thread execution context. t_proc points at the simulated process
+// whose fiber is currently executing on this OS thread (nullptr in driver
+// context); t_in_machine is set while any machine code — driver loop or
+// process fiber — runs on this thread, so re-entrant calls (spawn from a
+// body, kill from a driver callback) skip the lock.
 thread_local Process* t_proc = nullptr;
-thread_local std::unique_lock<std::mutex>* t_thread_lock = nullptr;
 thread_local bool t_in_machine = false;
 }  // namespace
 
@@ -29,6 +29,8 @@ const char* to_string(ProcState s) {
   }
   return "?";
 }
+
+bool Machine::in_machine_context() { return t_in_machine; }
 
 Machine::Machine(std::uint64_t seed)
     : ctx_switch_metric_(metrics_.counter("sim.context_switches")),
@@ -55,29 +57,24 @@ Machine::Machine(std::uint64_t seed)
 Machine::~Machine() { shutdown(); }
 
 void Machine::shutdown() {
-  {
-    Lock lk(mu_);
-    if (shutdown_done_) return;
-    t_in_machine = true;
-    shutting_down_ = true;
-    for (auto& up : procs_) {
-      if (up->state_ != ProcState::kZombie) kill(up.get());
-    }
-    // Give every killed process the baton so it can observe the kill and
-    // unwind. Loop because exit hooks may ready further processes.
-    for (;;) {
-      schedule_locked();
-      if (running_ == nullptr && !any_ready_locked()) break;
-      idle_cv_.wait(lk, [&] {
-        return running_ == nullptr && !any_ready_locked();
-      });
-    }
-    t_in_machine = false;
-    shutdown_done_ = true;
-  }
+  Lock lk(mu_);
+  if (shutdown_done_) return;
+  const bool was_in_machine = t_in_machine;
+  t_in_machine = true;
+  shutting_down_ = true;
+  fiber_bind_native(driver_ctx_);
   for (auto& up : procs_) {
-    if (up->thread_.joinable()) up->thread_.join();
+    if (up->state_ != ProcState::kZombie) kill(up.get());
   }
+  // Give every killed process the fiber so it can observe the kill and
+  // unwind. Loop because exit hooks may ready further processes.
+  for (;;) {
+    schedule_locked();
+    if (running_ == nullptr) break;  // nothing ready => all unwound
+    switch_to_running_locked();
+  }
+  t_in_machine = was_in_machine;
+  shutdown_done_ = true;
 }
 
 // ---- Spawning and the process lifecycle ----
@@ -108,21 +105,32 @@ Process* Machine::spawn_locked(std::string name, std::function<void()> body,
   ++live_count_;
   push_ready_locked(p);
   trace_.emit(now_, p->pid_, TraceKind::kProcess, "proc.spawn", p->name_);
-  p->thread_ = std::thread(
-      [this, p, b = std::move(body)]() mutable { thread_main(p, std::move(b)); });
+  p->machine_ = this;
+  p->body_ = std::move(body);
+  p->stack_ = stack_pool_.acquire();
+  fiber_create(p->fiber_, p->stack_, stack_pool_.usable(),
+               &Machine::fiber_trampoline, p);
   return p;
 }
 
-void Machine::thread_main(Process* p, std::function<void()> body) {
-  Lock lk(mu_);
+void Machine::fiber_trampoline(unsigned hi, unsigned lo) {
+  const auto bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  auto* p = reinterpret_cast<Process*>(bits);
+  p->machine_->fiber_entry(p);
+}
+
+void Machine::fiber_entry(Process* p) {
+  fiber_on_entry(p->fiber_);
   t_proc = p;
-  t_thread_lock = &lk;
-  t_in_machine = true;
+  reap_pending_locked();
   bool crashed = false;
   std::string reason;
   try {
-    wait_for_baton(lk, p);  // throws KilledError if killed before first run
-    body();
+    // Killed before the first activation: observe it before the body runs,
+    // exactly like a baton wait would have.
+    if (p->killed_) throw KilledError{};
+    p->body_();
   } catch (const KilledError&) {
     // Normal kill path: nothing to record beyond the retirement event.
   } catch (const ProcessExit&) {
@@ -135,9 +143,12 @@ void Machine::thread_main(Process* p, std::function<void()> body) {
     reason = "unknown exception";
   }
   retire_locked(p, crashed, std::move(reason));
+  p->body_ = nullptr;  // release captured state before the stack goes away
   t_proc = nullptr;
-  t_thread_lock = nullptr;
-  t_in_machine = false;
+  pending_reap_ = p;  // whoever gains control recycles our stack
+  FiberContext& target =
+      running_ != nullptr ? running_->fiber_ : driver_ctx_;
+  fiber_switch_final(p->fiber_, target);
 }
 
 void Machine::retire_locked(Process* p, bool crashed, std::string reason) {
@@ -189,10 +200,7 @@ Process* Machine::pop_ready_locked() {
 void Machine::schedule_locked() {
   if (running_ != nullptr) return;  // baton already assigned
   Process* p = pop_ready_locked();
-  if (p == nullptr) {
-    idle_cv_.notify_all();
-    return;
-  }
+  if (p == nullptr) return;
   p->state_ = ProcState::kRunning;
   running_ = p;
   if (p != last_scheduled_) {
@@ -200,12 +208,33 @@ void Machine::schedule_locked() {
     ctx_switch_metric_.inc();
   }
   last_scheduled_ = p;
-  p->cv_.notify_all();
 }
 
-void Machine::wait_for_baton(Lock& lk, Process* p) {
-  p->cv_.wait(lk, [&] { return p->state_ == ProcState::kRunning; });
+void Machine::switch_out_locked(Process* p) {
+  FiberContext& target =
+      running_ != nullptr ? running_->fiber_ : driver_ctx_;
+  t_proc = nullptr;
+  fiber_switch(p->fiber_, target);
+  // Scheduled again: we own execution until the next give-up point.
+  t_proc = p;
+  reap_pending_locked();
   if (p->killed_) throw KilledError{};
+}
+
+void Machine::switch_to_running_locked() {
+  fiber_switch(driver_ctx_, running_->fiber_);
+  // The fibers handed back: nothing runnable, or the pause deadline fired.
+  t_proc = nullptr;
+  reap_pending_locked();
+}
+
+void Machine::reap_pending_locked() {
+  Process* dead = pending_reap_;
+  if (dead == nullptr) return;
+  pending_reap_ = nullptr;
+  fiber_destroy(dead->fiber_);
+  stack_pool_.release(dead->stack_);
+  dead->stack_ = nullptr;
 }
 
 Process* Machine::current() { return t_proc; }
@@ -227,7 +256,7 @@ void Machine::block_current(const char* reason) {
   ++p->wake_seq_;
   running_ = nullptr;
   schedule_locked();
-  wait_for_baton(*t_thread_lock, p);
+  switch_out_locked(p);
 }
 
 void Machine::make_ready(Process* p) {
@@ -250,12 +279,7 @@ void Machine::suspend(Process* p) {
   p->suspended_ = true;
   if (p->state_ == ProcState::kReady) {
     auto& q = ready_[p->priority_];
-    for (auto it = q.begin(); it != q.end(); ++it) {
-      if (*it == p) {
-        q.erase(it);
-        break;
-      }
-    }
+    q.erase(p);
     if (q.empty()) ready_bits_ &= ~(1u << p->priority_);
     p->state_ = ProcState::kBlocked;
     p->block_reason_ = "suspended";
@@ -285,6 +309,14 @@ void Machine::kill(Process* p) {
   p->killed_ = true;
   p->suspended_ = false;  // kill overrides suspension
   if (p->state_ == ProcState::kBlocked) make_ready(p);
+  // No driver loop is active (we got the lock from outside), so drive the
+  // victim — and anything its unwinding readies — to quiescence here. This
+  // mirrors the OS-thread implementation, where the woken victim ran as
+  // soon as the killer released the lock.
+  if (running_ != nullptr) {
+    fiber_bind_native(driver_ctx_);
+    while (running_ != nullptr) switch_to_running_locked();
+  }
   t_in_machine = false;
 }
 
@@ -295,7 +327,7 @@ void Machine::yield() {
   push_ready_locked(p);
   running_ = nullptr;
   schedule_locked();
-  wait_for_baton(*t_thread_lock, p);
+  switch_out_locked(p);
 }
 
 void Machine::maybe_preempt_locked() {
@@ -307,7 +339,7 @@ void Machine::maybe_preempt_locked() {
   push_ready_locked(p);
   running_ = nullptr;
   schedule_locked();
-  wait_for_baton(*t_thread_lock, p);
+  switch_out_locked(p);
 }
 
 // ---- Virtual time ----
@@ -328,8 +360,7 @@ void Machine::charge(Duration cpu) {
     p->state_ = ProcState::kReady;
     push_ready_front_locked(p);
     running_ = nullptr;
-    idle_cv_.notify_all();
-    wait_for_baton(*t_thread_lock, p);
+    switch_out_locked(p);  // running_ is null => straight to the driver
     return;
   }
   maybe_preempt_locked();
@@ -359,9 +390,8 @@ void Machine::sleep_until(Time t) {
 void Machine::sleep_for(Duration d) { sleep_until(now_ + d); }
 
 void Machine::fire_due_timers_locked() {
-  while (!timers_.empty() && timers_.top().when <= now_) {
-    Timer t = timers_.top();
-    timers_.pop();
+  while (timers_.min_when() <= now_) {
+    Timer t = timers_.pop();
     if (t.pid >= 0) {
       Process* p = find_process(t.pid);
       if (p != nullptr && p->state_ == ProcState::kBlocked &&
@@ -416,16 +446,18 @@ void Machine::run_for(Duration d) {
 
 Time Machine::next_event_time() const {
   Lock lk(mu_);
-  if (ready_bits_ != 0) return now_;
+  if (running_ != nullptr || ready_bits_ != 0) return now_;
   if (timers_.empty()) return kTimeNever;
   // A timer can sit at <= now_ (a stale run_until deadline whose run
   // ended early); clamping keeps the contract "never in the past" and
   // the next run_until fires it immediately.
-  return std::max(now_, timers_.top().when);
+  return std::max(now_, timers_.min_when());
 }
 
 void Machine::run_locked(Lock& lk, Time limit, bool bounded) {
+  (void)lk;
   t_in_machine = true;
+  fiber_bind_native(driver_ctx_);
   if (bounded) {
     if (limit <= now_) {
       t_in_machine = false;
@@ -437,21 +469,16 @@ void Machine::run_locked(Lock& lk, Time limit, bool bounded) {
   }
   for (;;) {
     schedule_locked();
-    if (running_ != nullptr) {
-      t_in_machine = false;  // processes own the machine while we sleep
-      idle_cv_.wait(lk, [&] {
-        return running_ == nullptr &&
-               (!any_ready_locked() || pause_requested_);
-      });
-      t_in_machine = true;
-    }
+    // Fibers hand control back only when nothing is runnable or the pause
+    // deadline fired — the same condition the old idle wait asserted.
+    if (running_ != nullptr) switch_to_running_locked();
     if (bounded && now_ >= limit) break;
     if (any_ready_locked()) continue;  // a driver callback readied someone
     if (timers_.empty()) {
       if (bounded && now_ < limit) now_ = limit;
       break;
     }
-    const Time next = timers_.top().when;
+    const Time next = timers_.min_when();
     if (bounded && next > limit) {
       now_ = limit;
       break;

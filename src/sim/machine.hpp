@@ -1,20 +1,18 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/series.hpp"
 #include "obs/span.hpp"
+#include "sim/calendar_queue.hpp"
+#include "sim/fiber.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -25,7 +23,7 @@ class Machine;
 
 /// Thrown into a simulated process (out of a blocking point or on the next
 /// kernel entry) when it has been killed. Process bodies generally let it
-/// propagate; the machine's thread wrapper catches it and retires the
+/// propagate; the machine's fiber wrapper catches it and retires the
 /// process.
 struct KilledError {};
 
@@ -78,14 +76,16 @@ enum class ProcState {
   kReady,    // runnable, waiting for the scheduler baton
   kRunning,  // the (single) process currently executing
   kBlocked,  // waiting on IPC / a timer / a personality wait queue
-  kZombie,   // body finished; thread is done
+  kZombie,   // body finished; fiber is dead
 };
 
 const char* to_string(ProcState s);
 
-/// A simulated process. Its body runs on a dedicated OS thread, but the
-/// Machine hands out a single execution baton, so exactly one simulated
-/// process executes at any instant and the interleaving is deterministic.
+/// A simulated process. Its body runs on a user-level fiber (ucontext with
+/// a pooled, guard-paged stack); the Machine switches exactly one fiber in
+/// at a time, so the interleaving is deterministic and a context switch is
+/// a couple hundred nanoseconds of register shuffling instead of an OS
+/// futex round-trip.
 ///
 /// Personalities (MINIX / seL4 / Linux kernels) attach their own PCB data
 /// keyed by pid and register exit hooks for cleanup.
@@ -124,22 +124,90 @@ class Process {
   std::string crash_reason_;
   const char* block_reason_ = "";
   std::uint64_t wake_seq_ = 0;  // invalidates stale timer wakeups
-  std::condition_variable cv_;
-  std::thread thread_;
+  Machine* machine_ = nullptr;
+  FiberContext fiber_;
+  void* stack_ = nullptr;           // pooled stack; recycled on retirement
+  std::function<void()> body_;
   std::vector<std::function<void(Process&)>> exit_hooks_;
+};
+
+/// Ring-buffer deque of Process* used for the per-priority ready queues.
+/// Same FIFO/front semantics as the std::deque it replaces, but backed by
+/// one power-of-two vector that only ever grows: a std::deque cycling at
+/// steady state frees and reallocates a 512-byte block every 64
+/// push/pop crossings, which was the last allocator touch left on the
+/// make_ready path (two per delivered message).
+class ProcRing {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  void push_back(Process* p) {
+    grow_if_full();
+    buf_[(head_ + count_) & mask()] = p;
+    ++count_;
+  }
+  void push_front(Process* p) {
+    grow_if_full();
+    head_ = (head_ + buf_.size() - 1) & mask();
+    buf_[head_] = p;
+    ++count_;
+  }
+  Process* front() const { return buf_[head_]; }
+  Process* pop_front() {
+    Process* p = buf_[head_];
+    head_ = (head_ + 1) & mask();
+    --count_;
+    return p;
+  }
+  /// Remove the first occurrence of `p`, preserving the order of the
+  /// rest (suspend() plucking a ready process). Returns false when absent.
+  bool erase(Process* p) {
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (buf_[(head_ + i) & mask()] != p) continue;
+      for (std::size_t j = i; j + 1 < count_; ++j) {
+        buf_[(head_ + j) & mask()] = buf_[(head_ + j + 1) & mask()];
+      }
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::size_t mask() const { return buf_.size() - 1; }
+  void grow_if_full() {
+    if (count_ < buf_.size()) return;
+    if (buf_.empty()) {
+      buf_.resize(8);
+      return;
+    }
+    std::vector<Process*> bigger(buf_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = buf_[(head_ + i) & mask()];
+    }
+    head_ = 0;
+    buf_ = std::move(bigger);
+  }
+
+  std::vector<Process*> buf_;  // power-of-two capacity (or empty)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
 };
 
 /// The simulated machine: virtual clock, deterministic priority scheduler,
 /// timers and the global trace log. One Machine hosts one kernel
 /// personality plus the simulated plant and network.
 ///
-/// Threading model: every simulated process gets an OS thread, but a single
-/// baton (the machine mutex plus per-process condition variables) ensures
-/// only one of them runs at a time. Blocking syscalls park the thread and
-/// hand the baton to the next ready process; when nobody is runnable the
-/// driving thread (inside run()/run_until()) advances the virtual clock to
-/// the next timer. Given a fixed seed and spawn order the whole simulation
-/// is reproducible.
+/// Execution model: every simulated process is a cooperatively-scheduled
+/// fiber hosted on whichever OS thread is driving run()/run_until(). A
+/// blocking syscall switches straight to the next ready fiber (or back to
+/// the driver when nobody is runnable, so the driver can advance the
+/// virtual clock to the next timer). There is no OS-level parallelism
+/// inside one machine — exactly one fiber executes at any instant — which
+/// both makes the interleaving deterministic and keeps a simulated context
+/// switch off the syscall path entirely. Given a fixed seed and spawn
+/// order the whole simulation is reproducible.
 class Machine {
  public:
   static constexpr int kNumPriorities = 16;
@@ -149,10 +217,10 @@ class Machine {
   explicit Machine(std::uint64_t seed = 1);
   ~Machine();
 
-  /// Kill every live process, let each unwind, and join their threads.
-  /// Idempotent; called automatically by the destructor. Kernel
-  /// personalities call this from their own destructors so process bodies
-  /// and exit hooks never observe a dead kernel object.
+  /// Kill every live process and let each unwind on its fiber. Idempotent;
+  /// called automatically by the destructor. Kernel personalities call
+  /// this from their own destructors so process bodies and exit hooks
+  /// never observe a dead kernel object.
   void shutdown();
 
   Machine(const Machine&) = delete;
@@ -245,14 +313,28 @@ class Machine {
   Duration clock_jitter() const { return clock_jitter_; }
 
   std::vector<Process*> live_processes();
+
+  /// Visit every live process in pid order without allocating. The
+  /// per-tick scans (fault injector, health sweeps) use this instead of
+  /// materialising a fresh vector via live_processes().
+  template <typename F>
+  void for_each_live(F&& f) {
+    const bool locked = in_machine_context();
+    Lock lk(mu_, std::defer_lock);
+    if (!locked) lk.lock();
+    for (auto& up : procs_) {
+      if (up->state_ != ProcState::kZombie) f(*up);
+    }
+  }
+
   Process* find_process(int pid);
   int live_count() const { return live_count_; }
   bool is_shutting_down() const { return shutting_down_; }
 
-  // ---- Kernel API (call from a process thread, i.e. inside a syscall) ----
+  // ---- Kernel API (call from a process fiber, i.e. inside a syscall) ----
 
   /// The process currently executing on this thread, or nullptr when called
-  /// from the driver thread.
+  /// from the driver context.
   Process* current();
 
   /// Mark a kernel entry: charges syscall cost, bumps the counter and
@@ -314,16 +396,24 @@ class Machine {
   /// Dequeue the highest-priority ready process (nullptr when none). O(1):
   /// one count-trailing-zeros over the bitmap instead of a queue scan.
   Process* pop_ready_locked();
-  void wait_for_baton(Lock& lk, Process* p);
+  /// Give up execution from process fiber `p`: switch to whatever
+  /// schedule_locked picked (or back to the driver when nothing is
+  /// runnable). Throws KilledError on resumption if `p` was killed.
+  void switch_out_locked(Process* p);
+  /// Driver side: switch into running_ and take control back when the
+  /// fibers have nothing left to do (or the pause deadline fired).
+  void switch_to_running_locked();
+  /// Recycle the stack of a fiber that finished since the last switch.
+  void reap_pending_locked();
   void retire_locked(Process* p, bool crashed, std::string reason);
-  void thread_main(Process* p, std::function<void()> body);
+  void fiber_entry(Process* p);
+  static void fiber_trampoline(unsigned hi, unsigned lo);
   Process* spawn_locked(std::string name, std::function<void()> body,
                         int priority);
   void maybe_preempt_locked();
-  Lock* tls_lock();
+  static bool in_machine_context();
 
   mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
   Time now_ = 0;
   Duration syscall_cost_ = 1;
   TraceLog trace_;
@@ -339,17 +429,22 @@ class Machine {
   MsgFaultFilter msg_filter_;
   Duration clock_jitter_ = 0;
 
+  // Stacks outlive procs_ (declared first => destroyed last).
+  FiberStackPool stack_pool_;
+  FiberContext driver_ctx_;
+  Process* pending_reap_ = nullptr;
+
   std::vector<std::unique_ptr<Process>> procs_;  // index != pid; append-only
   int next_pid_ = 1;
   int live_count_ = 0;
   Process* running_ = nullptr;
   Process* last_scheduled_ = nullptr;
-  std::deque<Process*> ready_[kNumPriorities];
+  ProcRing ready_[kNumPriorities];
   // Bit p set <=> ready_[p] is non-empty. Scheduler picks with a single
   // count-trailing-zeros; "anyone ready?" and "anyone more urgent?" are
   // one mask test each instead of a 16-queue scan per context switch.
   std::uint32_t ready_bits_ = 0;
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  CalendarQueue<Timer> timers_;
   std::uint64_t timer_seq_ = 0;
   std::uint64_t context_switches_ = 0;
   std::uint64_t kernel_entries_ = 0;

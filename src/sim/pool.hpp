@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace mkbas::sim {
+
+/// Fixed-slot object pool backed by chunked arenas.
+///
+/// acquire() placement-constructs a T in a recycled slot (LIFO freelist:
+/// the hottest slot is the one whose cache lines are still warm) and
+/// release() destroys it in place. The arena grows a chunk at a time, so
+/// at steady state — churn bounded by the high-water mark — neither call
+/// touches the global allocator. Chunks are never returned until the pool
+/// dies; objects still live at that point are destroyed then, so a pool
+/// can own scheduled-but-never-executed work without leaking.
+///
+/// Released slots are poisoned with kPoison and re-checked on acquire,
+/// which turns use-after-release of pooled objects into a deterministic
+/// assert instead of silent corruption (the pool recycles memory that
+/// the address sanitizer considers live).
+///
+/// `max_slots` > 0 bounds the pool: an acquire beyond the bound returns
+/// nullptr instead of growing — the caller decides whether exhaustion
+/// means shedding load or a fatal error. 0 (default) grows forever.
+///
+/// Not thread-safe: one pool per owner, like the rest of the simulator's
+/// per-machine state.
+template <typename T>
+class FixedPool {
+ public:
+  static constexpr unsigned char kPoison = 0xDD;
+
+  explicit FixedPool(std::size_t chunk_slots = 64, std::size_t max_slots = 0)
+      : chunk_slots_(chunk_slots == 0 ? 1 : chunk_slots),
+        max_slots_(max_slots) {}
+
+  ~FixedPool() {
+    for (auto& chunk : chunks_) {
+      for (std::size_t i = 0; i < chunk_slots_; ++i) {
+        Slot& s = chunk[i];
+        if (s.used) reinterpret_cast<T*>(s.storage)->~T();
+      }
+    }
+  }
+
+  FixedPool(const FixedPool&) = delete;
+  FixedPool& operator=(const FixedPool&) = delete;
+
+  /// Construct a T in a pooled slot. Returns nullptr only when the pool
+  /// is bounded and every slot is live.
+  template <typename... Args>
+  T* acquire(Args&&... args) {
+    if (free_ == nullptr && !grow()) return nullptr;
+    Slot* s = free_;
+    assert(check_poison(*s) && "pooled slot dirtied while on the freelist");
+    free_ = s->next;
+    T* obj;
+    try {
+      obj = new (s->storage) T(std::forward<Args>(args)...);
+    } catch (...) {
+      s->next = free_;
+      free_ = s;
+      throw;
+    }
+    s->used = true;
+    ++in_use_;
+    if (in_use_ > high_water_) high_water_ = in_use_;
+    return obj;
+  }
+
+  /// Destroy `p` (which must have come from this pool) and recycle its
+  /// slot. The slot's storage is poisoned until the next acquire.
+  void release(T* p) {
+    assert(p != nullptr);
+    Slot* s = slot_of(p);
+    assert(s->used && "double release of a pooled object");
+    p->~T();
+    std::memset(s->storage, kPoison, sizeof(T));
+    s->used = false;
+    s->next = free_;
+    free_ = s;
+    --in_use_;
+  }
+
+  std::size_t in_use() const { return in_use_; }
+  std::size_t capacity() const { return chunks_.size() * chunk_slots_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t max_slots() const { return max_slots_; }
+
+ private:
+  struct Slot {
+    Slot* next = nullptr;  // freelist link; lives outside the storage so
+                           // a parked slot stays fully poisoned
+    bool used = false;
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  static Slot* slot_of(T* p) {
+    return reinterpret_cast<Slot*>(reinterpret_cast<unsigned char*>(p) -
+                                   offsetof(Slot, storage));
+  }
+
+  static bool check_poison(const Slot& s) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      if (s.storage[i] != kPoison) return false;
+    }
+    return true;
+  }
+
+  bool grow() {
+    if (max_slots_ > 0 && capacity() >= max_slots_) return false;
+    auto chunk = std::make_unique<Slot[]>(chunk_slots_);
+    for (std::size_t i = 0; i < chunk_slots_; ++i) {
+      Slot& s = chunk[i];
+      std::memset(s.storage, kPoison, sizeof(T));
+      s.next = free_;
+      free_ = &s;
+    }
+    chunks_.push_back(std::move(chunk));
+    return true;
+  }
+
+  std::size_t chunk_slots_;
+  std::size_t max_slots_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  Slot* free_ = nullptr;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace mkbas::sim

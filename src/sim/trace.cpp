@@ -6,7 +6,7 @@ namespace mkbas::sim {
 
 std::vector<TraceEvent> TraceLog::with_tag(std::uint32_t tag) const {
   std::vector<TraceEvent> out;
-  for (const auto& ev : events_) {
+  for (const auto& ev : events()) {
     if (ev.tag == tag) out.push_back(ev);
   }
   return out;
@@ -20,7 +20,7 @@ std::vector<TraceEvent> TraceLog::with_tag(const std::string& what) const {
 
 std::size_t TraceLog::count_tag(std::uint32_t tag) const {
   std::size_t n = 0;
-  for (const auto& ev : events_) {
+  for (const auto& ev : events()) {
     if (ev.tag == tag) ++n;
   }
   return n;
@@ -34,7 +34,7 @@ std::size_t TraceLog::count_tag(const std::string& what) const {
 
 const TraceEvent* TraceLog::find_first(
     const std::function<bool(const TraceEvent&)>& pred) const {
-  for (const auto& ev : events_) {
+  for (const auto& ev : events()) {
     if (pred(ev)) return &ev;
   }
   return nullptr;
@@ -53,11 +53,11 @@ void print_event(std::ostream& os, const TraceEvent& ev) {
 }  // namespace
 
 void TraceLog::dump(std::ostream& os) const {
-  for (const auto& ev : events_) print_event(os, ev);
+  for (const auto& ev : events()) print_event(os, ev);
 }
 
 void TraceLog::dump(std::ostream& os, TraceKind kind) const {
-  for (const auto& ev : events_) {
+  for (const auto& ev : events()) {
     if (ev.kind == kind) print_event(os, ev);
   }
 }
@@ -65,7 +65,7 @@ void TraceLog::dump(std::ostream& os, TraceKind kind) const {
 void TraceLog::dump(std::ostream& os, const std::string& tag) const {
   std::uint32_t id = 0;
   if (!TagRegistry::instance().try_lookup(tag, &id)) return;
-  for (const auto& ev : events_) {
+  for (const auto& ev : events()) {
     if (ev.tag == id) print_event(os, ev);
   }
 }

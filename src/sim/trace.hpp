@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cassert>
+#include <charconv>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -118,6 +120,67 @@ struct TraceEvent {
   const std::string& what() const { return TagRegistry::instance().name(tag); }
 };
 
+/// Append a decimal integer to `s` without any temporary allocation —
+/// the std::to_string-free building block hot emitters use to format a
+/// detail string in place inside a recycled event slot.
+inline void append_int(std::string& s, std::int64_t v) {
+  char tmp[24];
+  auto r = std::to_chars(tmp, tmp + sizeof tmp, v);
+  s.append(tmp, static_cast<std::size_t>(r.ptr - tmp));
+}
+
+class TraceLog;
+
+/// Read-only window over a TraceLog's kept events, oldest first. The log
+/// stores events in a slot-recycling ring (see TraceLog), so the kept
+/// range is not contiguous in memory; this view presents it in logical
+/// order with the deque-ish surface the exporters, the safety checker and
+/// the tests always used: range-for, size(), operator[], front(), back().
+/// Invalidated, like any snapshot, by the next emit on the log.
+class TraceView {
+ public:
+  class iterator {
+   public:
+    iterator(const TraceView* v, std::size_t i) : v_(v), i_(i) {}
+    const TraceEvent& operator*() const { return (*v_)[i_]; }
+    const TraceEvent* operator->() const { return &(*v_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const TraceView* v_;
+    std::size_t i_;
+  };
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const TraceEvent& operator[](std::size_t i) const {
+    assert(i < count_);
+    std::size_t phys = head_ + i;
+    if (phys >= ring_) phys -= ring_;
+    return buf_[phys];
+  }
+  const TraceEvent& front() const { return (*this)[0]; }
+  const TraceEvent& back() const { return (*this)[count_ - 1]; }
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, count_); }
+
+ private:
+  friend class TraceLog;
+  TraceView(const TraceEvent* buf, std::size_t head, std::size_t count,
+            std::size_t ring)
+      : buf_(buf), head_(head), count_(count), ring_(ring) {}
+
+  const TraceEvent* buf_;
+  std::size_t head_;   // physical index of the oldest kept event
+  std::size_t count_;  // kept events
+  std::size_t ring_;   // physical modulus (buffer length)
+};
+
 /// Event log shared by the machine, kernels, devices and the application
 /// processes. Tests and the safety checker query it; benches print slices
 /// of it; the obs exporter turns it into a Chrome/Perfetto trace.
@@ -127,35 +190,64 @@ struct TraceEvent {
 /// where only the recent window matters. total_emitted()/dropped() keep
 /// exact accounting either way, so denial *counts* remain trustworthy even
 /// when the denial *events* have been evicted.
+///
+/// Storage is a slot-recycling vector ring: evicting never destroys the
+/// TraceEvent, it hands the slot (and its detail string's capacity) to the
+/// incoming event. Hot emitters use emit_slot() and format the detail in
+/// place, so a steady-state ring-mode emitter touches the allocator zero
+/// times per event.
 class TraceLog {
  public:
-  void emit(TraceEvent ev) {
+  /// Append a fresh event and return its slot for in-place formatting.
+  /// The slot's header fields are set; `detail` arrives cleared but keeps
+  /// whatever capacity the evicted tenant had grown.
+  TraceEvent& emit_slot(Time time, int pid, TraceKind kind, std::uint32_t tag,
+                        double value = 0.0) {
     ++total_emitted_;
-    if (capacity_ > 0 && events_.size() == capacity_) {
-      events_.pop_front();
+    TraceEvent* ev;
+    if (capacity_ > 0 && buf_.size() == capacity_) {
+      ev = &buf_[head_];  // recycle the oldest slot in place
+      head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
       ++dropped_;
+    } else {
+      buf_.emplace_back();
+      ev = &buf_.back();
     }
-    events_.push_back(std::move(ev));
+    ev->time = time;
+    ev->pid = pid;
+    ev->kind = kind;
+    ev->tag = tag;
+    ev->value = value;
+    ev->detail.clear();
+    return *ev;
+  }
+
+  void emit(TraceEvent ev) {
+    TraceEvent& slot = emit_slot(ev.time, ev.pid, ev.kind, ev.tag, ev.value);
+    slot.detail.assign(ev.detail);  // copy into the slot's retained capacity
   }
   void emit(Time time, int pid, TraceKind kind, const std::string& what,
-            std::string detail = {}, double value = 0.0) {
-    emit(TraceEvent{time, pid, kind, TagRegistry::instance().intern(what),
-                    std::move(detail), value});
+            const std::string& detail = {}, double value = 0.0) {
+    emit_slot(time, pid, kind, TagRegistry::instance().intern(what), value)
+        .detail.assign(detail);
   }
   /// Hot-path overload for callers that interned the tag once up front.
   void emit(Time time, int pid, TraceKind kind, std::uint32_t tag,
-            std::string detail = {}, double value = 0.0) {
-    emit(TraceEvent{time, pid, kind, tag, std::move(detail), value});
+            const std::string& detail = {}, double value = 0.0) {
+    emit_slot(time, pid, kind, tag, value).detail.assign(detail);
   }
 
-  const std::deque<TraceEvent>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
+  TraceView events() const {
+    return TraceView(buf_.data(), head_, size(), buf_.empty() ? 1 : buf_.size());
+  }
+  std::size_t size() const { return buf_.size(); }
   /// Forget the kept events. They count as dropped, so the invariant
   /// total_emitted() == size() + dropped() survives an exporter that
   /// snapshots and clears while the simulation keeps emitting.
   void clear() {
-    dropped_ += events_.size();
-    events_.clear();
+    dropped_ += size();
+    buf_.clear();
+    head_ = 0;
   }
 
   /// Append every kept event of `other` to this log (in `other`'s order),
@@ -166,7 +258,7 @@ class TraceLog {
   /// identical log — the reduction step for per-cell campaign traces.
   void merge_from(const TraceLog& other) {
     if (&other == this) return;
-    for (const TraceEvent& ev : other.events_) emit(ev);
+    for (const TraceEvent& ev : other.events()) emit(ev);
     total_emitted_ += other.dropped();
     dropped_ += other.dropped();
   }
@@ -174,11 +266,25 @@ class TraceLog {
   /// 0 = unbounded (default). N > 0 = keep only the newest N events,
   /// evicting oldest-first; an over-full log is trimmed immediately.
   void set_capacity(std::size_t cap) {
-    capacity_ = cap;
-    while (capacity_ > 0 && events_.size() > capacity_) {
-      events_.pop_front();
-      ++dropped_;
+    if (cap > 0 && size() > cap) {
+      const std::size_t drop = size() - cap;
+      // Cold path: materialise the newest `cap` events in logical order.
+      std::vector<TraceEvent> kept;
+      kept.reserve(cap);
+      TraceView v = events();
+      for (std::size_t i = drop; i < v.size(); ++i) kept.push_back(v[i]);
+      buf_ = std::move(kept);
+      head_ = 0;
+      dropped_ += drop;
+    } else if (head_ != 0) {
+      // Re-linearise so a *larger* capacity keeps appending correctly.
+      std::vector<TraceEvent> kept;
+      kept.reserve(size());
+      for (const TraceEvent& ev : events()) kept.push_back(ev);
+      buf_ = std::move(kept);
+      head_ = 0;
     }
+    capacity_ = cap;
   }
   std::size_t capacity() const { return capacity_; }
   /// Events evicted (ring buffer) or discarded (clear) since construction.
@@ -204,7 +310,8 @@ class TraceLog {
   void dump(std::ostream& os, const std::string& tag) const;
 
  private:
-  std::deque<TraceEvent> events_;
+  std::vector<TraceEvent> buf_;  // ring once buf_.size() == capacity_
+  std::size_t head_ = 0;         // oldest slot (always 0 while growing)
   std::size_t capacity_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t total_emitted_ = 0;

@@ -1,0 +1,137 @@
+// CalendarQueue vs std::priority_queue: the calendar queue replaced the
+// heap under Machine's timer wheel, and the simulator's determinism
+// battery hangs off the fire order being *identical* — (when, seq)
+// ascending, ties broken by insertion sequence. These tests drive both
+// structures with the same randomized workloads (16 seeds) and demand
+// the same pop order, interleaving pushes and pops so resizes, cache
+// refills and the far-future sweep all get exercised.
+#include "sim/calendar_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace sim = mkbas::sim;
+
+namespace {
+
+struct Ev {
+  sim::Time when = 0;
+  std::uint64_t seq = 0;
+};
+
+struct EvLater {
+  // std::priority_queue is a max-heap; invert to pop the minimum.
+  bool operator()(const Ev& a, const Ev& b) const {
+    return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+  }
+};
+
+using RefQueue = std::priority_queue<Ev, std::vector<Ev>, EvLater>;
+
+// Pop everything from both queues, asserting identical (when, seq) pairs.
+void drain_and_compare(sim::CalendarQueue<Ev>& cq, RefQueue& ref) {
+  while (!ref.empty()) {
+    ASSERT_FALSE(cq.empty());
+    const Ev want = ref.top();
+    ref.pop();
+    EXPECT_EQ(cq.min_when(), want.when);
+    EXPECT_EQ(cq.top().when, want.when);
+    EXPECT_EQ(cq.top().seq, want.seq);
+    const Ev got = cq.pop();
+    ASSERT_EQ(got.when, want.when);
+    ASSERT_EQ(got.seq, want.seq);
+  }
+  EXPECT_TRUE(cq.empty());
+  EXPECT_EQ(cq.min_when(), sim::kTimeNever);
+}
+
+TEST(CalendarQueue, EmptyBasics) {
+  sim::CalendarQueue<Ev> cq;
+  EXPECT_TRUE(cq.empty());
+  EXPECT_EQ(cq.size(), 0u);
+  EXPECT_EQ(cq.min_when(), sim::kTimeNever);
+}
+
+TEST(CalendarQueue, FifoAmongEqualTimes) {
+  // Equal `when` must pop in seq order — the scheduler's FIFO guarantee
+  // for timers armed at the same instant.
+  sim::CalendarQueue<Ev> cq;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    cq.push({sim::msec(5), s});
+  }
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    EXPECT_EQ(cq.pop().seq, s);
+  }
+}
+
+TEST(CalendarQueue, MatchesHeapOnRandomWorkload16Seeds) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    sim::Rng rng(seed * 0x9E3779B97F4A7C15ULL);
+    sim::CalendarQueue<Ev> cq;
+    RefQueue ref;
+    std::uint64_t seq = 0;
+    sim::Time now = 0;  // monotone lower bound, like the machine clock
+
+    for (int step = 0; step < 4000; ++step) {
+      const std::uint64_t dice = rng.next_u64() % 100;
+      if (dice < 60 || ref.empty()) {
+        // Push at now + jitter; occasionally far future (sparse bucket
+        // lap + direct sweep), occasionally immediate (same-day churn).
+        std::uint64_t jitter = rng.next_u64() % 100;
+        sim::Duration delta = jitter < 5    ? sim::minutes(60 * (1 + jitter))
+                              : jitter < 20 ? sim::usec(rng.next_u64() % 50)
+                                            : sim::msec(rng.next_u64() % 200);
+        Ev e{now + delta, seq++};
+        cq.push(e);
+        ref.push(e);
+      } else {
+        ASSERT_FALSE(cq.empty()) << "seed " << seed << " step " << step;
+        const Ev want = ref.top();
+        ref.pop();
+        EXPECT_EQ(cq.min_when(), want.when);
+        const Ev got = cq.pop();
+        ASSERT_EQ(got.when, want.when) << "seed " << seed << " step " << step;
+        ASSERT_EQ(got.seq, want.seq) << "seed " << seed << " step " << step;
+        now = got.when;  // virtual clock advances to the fired event
+      }
+    }
+    drain_and_compare(cq, ref);
+  }
+}
+
+TEST(CalendarQueue, ShrinkRebuildKeepsOrder) {
+  // Grow past several resizes, then drain to force the quarter-occupancy
+  // shrink rebuilds; order must survive every geometry change.
+  sim::CalendarQueue<Ev> cq;
+  RefQueue ref;
+  sim::Rng rng(77);
+  for (std::uint64_t s = 0; s < 3000; ++s) {
+    Ev e{static_cast<sim::Time>(rng.next_u64() % (1ULL << 40)), s};
+    cq.push(e);
+    ref.push(e);
+  }
+  drain_and_compare(cq, ref);
+}
+
+TEST(CalendarQueue, FarFutureCluster) {
+  // All events a calendar year past the first pop: exercises the
+  // fruitless forward lap -> direct_min_sweep fallback.
+  sim::CalendarQueue<Ev> cq;
+  RefQueue ref;
+  cq.push({sim::usec(1), 0});
+  ref.push({sim::usec(1), 0});
+  for (std::uint64_t s = 1; s <= 64; ++s) {
+    Ev e{sim::sec(86400) * 365 + sim::sec(static_cast<std::int64_t>(s % 7)), s};
+    cq.push(e);
+    ref.push(e);
+  }
+  drain_and_compare(cq, ref);
+}
+
+}  // namespace
