@@ -1,0 +1,224 @@
+// S — the experiment daemon. One JSON artifact (BENCH_serve.json):
+//
+//  1. Cache-hit throughput: an in-process daemon primed with one fabric
+//     cell, then hammered over real loopback sockets by N keep-alive
+//     clients posting the identical canonical request. Served entirely
+//     from the content-addressable store — hits/sec is the
+//     host-dependent signal (gated relatively, like the other benches),
+//     with p50/p99 round-trip latency alongside.
+//  2. Single execution: after priming plus the whole hit storm, the
+//     daemon must have run the experiment exactly once.
+//  3. Determinism: every served artifact must equal a direct in-process
+//     run_request() byte-for-byte, and GET /replay must verify the
+//     cached bundle against a fresh execution.
+//
+// The last stdout line is the JSON summary.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/run_request.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+
+namespace core = mkbas::core;
+namespace serve = mkbas::serve;
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// The canonical body of the cell every client posts — the same cheap
+/// 3-zone fabric request the serve tests use.
+const char kBody[] =
+    "{\"attack\":\"spoof-write\",\"mode\":\"fabric\",\"seed\":7,"
+    "\"zones\":3}";
+
+core::ExperimentRequest bench_request() {
+  core::ExperimentRequest r;
+  r.mode = core::RequestMode::kFabric;
+  r.zones = 3;
+  r.seed = 7;
+  r.attack = "spoof-write";
+  return r;
+}
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int hits = 2000;
+  int clients = 4;
+  int jobs = 2;
+  std::string out = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hits") == 0 && i + 1 < argc) {
+      hits = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    }
+  }
+  if (clients < 1) clients = 1;
+  if (hits < clients) hits = clients;
+
+  std::printf("S: experiment daemon\n");
+
+  serve::DaemonOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.jobs = jobs;
+  serve::Daemon d(opts);
+  std::string err;
+  if (!d.start(&err)) {
+    std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
+    return 1;
+  }
+  const int port = d.port();
+  const auto req = bench_request();
+  const std::string key = req.cell_key_hex();
+
+  // Prime: one miss, polled until the executor completes the cell.
+  {
+    serve::HttpClient c(port, "primer");
+    bool ready = false;
+    for (int i = 0; i < 500 && !ready; ++i) {
+      serve::HttpResponse resp;
+      if (!c.post("/run", kBody, &resp, &err)) {
+        std::fprintf(stderr, "bench_serve: prime: %s\n", err.c_str());
+        return 1;
+      }
+      ready = contains(resp.body, "\"status\":\"ready\"");
+      if (!ready) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!ready) {
+      std::fprintf(stderr, "bench_serve: cell never became ready\n");
+      return 1;
+    }
+  }
+  std::printf("cell           : %s primed, %llu execution(s)\n", key.c_str(),
+              static_cast<unsigned long long>(d.executions()));
+
+  // Hit storm: every request after priming is a pure cache hit.
+  const int per_client = hits / clients;
+  std::vector<std::vector<double>> lat_us(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  std::vector<bool> ok(static_cast<std::size_t>(clients), false);
+  const auto t0 = Clock::now();
+  for (int ci = 0; ci < clients; ++ci) {
+    threads.emplace_back([&, ci] {
+      const auto idx = static_cast<std::size_t>(ci);
+      serve::HttpClient c(port, "bench-" + std::to_string(ci));
+      lat_us[idx].reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        serve::HttpResponse resp;
+        std::string cerr;
+        const auto a = Clock::now();
+        if (!c.post("/run", kBody, &resp, &cerr) || resp.status != 200 ||
+            !contains(resp.body, "\"status\":\"ready\"")) {
+          return;  // ok[idx] stays false
+        }
+        const auto b = Clock::now();
+        lat_us[idx].push_back(
+            std::chrono::duration<double, std::micro>(b - a).count());
+      }
+      ok[idx] = true;
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = Clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const bool all_ok =
+      std::all_of(ok.begin(), ok.end(), [](bool b) { return b; });
+
+  std::vector<double> all_lat;
+  for (const auto& v : lat_us) all_lat.insert(all_lat.end(), v.begin(), v.end());
+  std::sort(all_lat.begin(), all_lat.end());
+  const int total = per_client * clients;
+  const double rate = wall_s > 0 ? static_cast<double>(total) / wall_s : 0;
+  const double p50 = percentile(all_lat, 0.50);
+  const double p99 = percentile(all_lat, 0.99);
+  std::printf("hits           : %d over %d clients, %.2f s wall, "
+              "%.0f hits/s\n",
+              total, clients, wall_s, rate);
+  std::printf("latency        : p50 %.1f us, p99 %.1f us (round trip)\n",
+              p50, p99);
+
+  const bool single_execution = d.executions() == 1;
+  std::printf("executions     : %llu (%s)\n",
+              static_cast<unsigned long long>(d.executions()),
+              single_execution ? "single" : "DUPLICATED");
+
+  // Byte identity: every cached artifact vs a direct in-process run.
+  const auto direct =
+      core::run_request(req, core::all_deterministic_artifacts());
+  bool deterministic = all_ok && single_execution;
+  {
+    serve::HttpClient c(port, "verify");
+    for (const auto& [name, text] : direct.artifacts) {
+      serve::HttpResponse resp;
+      std::string cerr;
+      if (!c.get("/result/" + key + "?artifact=" + name, &resp, &cerr) ||
+          resp.status != 200 || resp.body != text) {
+        std::printf("artifact       : %s DIVERGED from direct run\n",
+                    name.c_str());
+        deterministic = false;
+      }
+    }
+  }
+  if (deterministic) {
+    std::printf("artifacts      : %zu kinds byte-identical to direct run\n",
+                direct.artifacts.size());
+  }
+
+  // Replay: the daemon re-executes and compares against its own cache.
+  bool replay_identical = false;
+  {
+    serve::HttpClient c(port, "replay");
+    serve::HttpResponse resp;
+    std::string cerr;
+    if (c.get("/replay/" + key, &resp, &cerr) && resp.status == 200) {
+      replay_identical = contains(resp.body, "\"identical\":true");
+    }
+  }
+  std::printf("replay         : %s\n",
+              replay_identical ? "byte-identical" : "DIVERGED");
+  d.shutdown();
+
+  char json[512];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"bench_serve\",\"clients\":%d,\"hits\":%d,\"jobs\":%d,"
+      "\"cores\":%u,\"wall_s\":%.3f,\"hits_per_sec\":%.1f,"
+      "\"p50_us\":%.1f,\"p99_us\":%.1f,\"executions\":%llu,"
+      "\"key\":\"%s\",\"deterministic\":%s,\"replay_identical\":%s}",
+      clients, total, jobs, std::thread::hardware_concurrency(), wall_s,
+      rate, p50, p99, static_cast<unsigned long long>(d.executions()),
+      key.c_str(), deterministic ? "true" : "false",
+      replay_identical ? "true" : "false");
+  if (!out.empty()) {
+    std::ofstream f(out);
+    f << json << "\n";
+  }
+  std::printf("%s\n", json);
+  return deterministic && replay_identical ? 0 : 1;
+}

@@ -51,6 +51,27 @@ bench_hotloop (BENCH_hotloop.json):
   * bank_speedup          -- the batched step must not be slower than the
                              scalar loop it replaces (>= 1.0 within-run).
 
+bench_serve (BENCH_serve.json):
+
+  * hits_per_sec          -- cache-hit throughput over loopback sockets.
+                             Gated relatively (same >20% rule) plus an
+                             absolute floor: a daemon that cannot serve
+                             1,000 cached bundles per second has lost
+                             the point of the cache.
+  * executions            -- must be exactly 1: the prime plus the whole
+                             concurrent hit storm may run the experiment
+                             once. Host-independent and loud.
+  * key                   -- the canonical cell key of the benchmark
+                             request; a pure function of the request
+                             encoding, compared exactly (a change means
+                             the canonical JSON or hash changed --
+                             regenerate BENCH_serve.json if intentional).
+  * deterministic /
+    replay_identical      -- every served artifact equalled a direct
+                             in-process run byte-for-byte, and
+                             GET /replay verified the cached bundle
+                             against a fresh execution.
+
 bench_obs (BENCH_obs.json):
 
   * span_cost_*_ns        -- absolute per-op tracing cost of each arm
@@ -93,7 +114,8 @@ import argparse
 import json
 import sys
 
-KNOWN = ("bench_campaign", "bench_net", "bench_obs", "bench_hotloop")
+KNOWN = ("bench_campaign", "bench_net", "bench_obs", "bench_hotloop",
+         "bench_serve")
 
 # Tracing cost accounting. The zero-alloc hot-loop rework made the bare
 # IPC round trip ~4.3x faster (5.1us -> 1.1us on the reference host), so
@@ -125,6 +147,11 @@ NET_CITY_MIN_FACTOR = 50.0
 # never quietly lower the bar.
 HOTLOOP_PRE_REWORK_MSGS_PER_SEC = 46771.0
 HOTLOOP_MIN_FACTOR = 2.0
+
+# Cache-hit floor: a served bundle is a map lookup plus one loopback
+# round trip; 1,000/s leaves two orders of magnitude of headroom on any
+# host while still catching a daemon that re-executes per request.
+SERVE_MIN_HITS_PER_SEC = 1000.0
 
 
 def load(path: str) -> dict:
@@ -241,6 +268,41 @@ def check_obs(base: dict, cur: dict) -> list:
     return failures
 
 
+def check_serve(base: dict, cur: dict, max_drop: float) -> list:
+    failures = []
+    for key in ("deterministic", "replay_identical"):
+        print(f"{key}: {cur.get(key)}")
+        if not cur.get(key, False):
+            failures.append(
+                f"{key}=false: served bundles must match a direct "
+                "run_request byte-for-byte")
+    execs = int(cur.get("executions", -1))
+    verdict = "FAIL" if execs != 1 else "ok"
+    print(f"executions: {execs} [{verdict}]")
+    if execs != 1:
+        failures.append(
+            f"executions={execs}: the prime plus the entire hit storm "
+            "must execute the experiment exactly once")
+    print(f"key: baseline {base.get('key')}, current {cur.get('key')}")
+    if cur.get("key") != base.get("key"):
+        failures.append(
+            f"cell key changed: baseline {base.get('key')} vs current "
+            f"{cur.get('key')} (canonical request encoding or hash "
+            "changed; regenerate BENCH_serve.json if intentional)")
+    rate = float(cur["hits_per_sec"])
+    verdict = "FAIL" if rate < SERVE_MIN_HITS_PER_SEC else "ok"
+    print(f"hits_per_sec: {rate:.0f} "
+          f"(floor {SERVE_MIN_HITS_PER_SEC:.0f}) [{verdict}]")
+    if rate < SERVE_MIN_HITS_PER_SEC:
+        failures.append(
+            f"cache hits at {rate:.0f}/s, below the absolute floor of "
+            f"{SERVE_MIN_HITS_PER_SEC:.0f}")
+    check_rate(base, cur, "hits_per_sec", max_drop, failures)
+    print(f"latency: p50 {cur.get('p50_us')} us, p99 {cur.get('p99_us')} us "
+          "(informational)")
+    return failures
+
+
 def check_hotloop(base: dict, cur: dict, max_drop: float) -> list:
     failures = []
     for key in ("steady_allocs", "worst_steady_allocs", "bank_steady_allocs"):
@@ -305,6 +367,15 @@ def main() -> int:
 
     if base["bench"] == "bench_obs":
         failures = check_obs(base, cur)
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print("perf gate ok")
+        return 0
+
+    if base["bench"] == "bench_serve":
+        failures = check_serve(base, cur, args.max_drop)
         if failures:
             for f in failures:
                 print(f"REGRESSION: {f}", file=sys.stderr)

@@ -1,12 +1,11 @@
-// experiment_runner — run any single experiment from the command line.
+// experiment_runner — run any single experiment from the command line,
+// or serve them over HTTP.
 //
-// Every subcommand shares one flag grammar (core/cli.hpp):
-//   --platform <minix|sel4|linux>  --scenario <temp|uds|bsl3>
-//   --seed N  --zones N  --jobs N  --out FILE
-//   --metrics-out FILE  --trace-out FILE
-//   --trace-spans FILE  --audit-out FILE  --critical-out FILE
-//   --series-out FILE  --health-out FILE  --flight-out FILE
-//   --profile-out FILE  --profile-trace FILE   (campaign pool profile)
+// Every subcommand is a thin adapter: flags parse into a canonical
+// core::ExperimentRequest, core::run_request() executes it, and this
+// file only decides where the bytes go (stdout, --out files, or the
+// daemon's result cache). Identical requests produce byte-identical
+// artifact bundles whether they arrive via flags or POST /run.
 //
 //   $ ./experiment_runner benign --platform minix
 //   $ ./experiment_runner attack --platform linux --attack kill --root
@@ -15,29 +14,21 @@
 //   $ ./experiment_runner fabric --zones 16 --attack spoof-write
 //   $ ./experiment_runner campaign <matrix|sweep|fault|fabric>
 //         [--jobs N] [--out file.json] [--zones N]
+//   $ ./experiment_runner serve [--port N] [--jobs N] [--batch N]
 //
 // Legacy positional spellings ("benign minix", "attack linux kill root",
-// "fault minix seed 7 no-probe") keep working.
-//
-// campaign fans the cells across N worker threads and prints the same
-// tables as the sequential modes; the aggregate summary JSON (per-cell
-// verdicts, trace hashes, merged metrics — byte-identical for every
-// --jobs value) goes to --out, or to stdout as the last line.
+// "fault minix seed 7 no-probe") parse for one more release; each use
+// prints a deprecation note to stderr (silenced by --legacy).
 #include <cstdio>
 #include <fstream>
 #include <string>
-#include <vector>
 
-#include "campaign/campaign.hpp"
+#include "campaign/run_request.hpp"
 #include "core/cli.hpp"
-#include "core/report.hpp"
-#include "obs/span.hpp"
-#include "obs/trace_export.hpp"
+#include "serve/daemon.hpp"
 
 namespace core = mkbas::core;
-
-using mkbas::attack::AttackKind;
-using mkbas::attack::Privilege;
+namespace serve = mkbas::serve;
 
 namespace {
 
@@ -58,6 +49,7 @@ int usage() {
       "       experiment_runner campaign <matrix|sweep|fault|fabric> "
       "[--jobs N] [--out file.json]\n"
       "       experiment_runner campaign sweep --platform P [--seeds N]\n"
+      "       experiment_runner serve [--port N] [--jobs N] [--batch N]\n"
       "shared: --scenario <temp|uds|bsl3> --seed N --zones N --jobs N "
       "--out F --metrics-out F --trace-out F\n"
       "        --trace-spans F --audit-out F --critical-out F\n"
@@ -76,53 +68,6 @@ void write_file_warn(const std::string& path, const std::string& text) {
   }
 }
 
-/// Build the RunOptions::observe hook that writes the --metrics-out,
-/// --trace-out, --trace-spans, --audit-out and --critical-out files.
-/// Returns an empty function when none was given. The critical-path
-/// export decomposes the single-machine control loop: sensor.sample
-/// roots, act.apply leaves.
-std::function<void(mkbas::sim::Machine&)> make_observer(
-    const core::CliArgs& a) {
-  if (a.metrics_out.empty() && a.trace_out.empty() && a.spans_out.empty() &&
-      a.audit_out.empty() && a.critical_out.empty() &&
-      a.series_out.empty() && a.health_out.empty() &&
-      a.flight_out.empty()) {
-    return {};
-  }
-  return [a](mkbas::sim::Machine& m) {
-    // Close trailing detector rate windows so the exports below (and
-    // the audit journal) carry any end-of-run anomalies.
-    m.health().flush(m.now());
-    if (!a.metrics_out.empty()) {
-      write_file_warn(a.metrics_out, core::metrics_to_json(m));
-    }
-    if (!a.trace_out.empty()) {
-      std::ofstream f(a.trace_out);
-      mkbas::obs::write_chrome_trace(f, m.trace());
-      if (!f) {
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     a.trace_out.c_str());
-      }
-    }
-    if (!a.spans_out.empty()) write_file_warn(a.spans_out, m.spans().to_json());
-    if (!a.audit_out.empty()) write_file_warn(a.audit_out, m.audit().to_json());
-    if (!a.critical_out.empty()) {
-      write_file_warn(a.critical_out,
-                      mkbas::obs::critical_path_json(
-                          m.spans(), "sensor.sample", "act.apply"));
-    }
-    if (!a.series_out.empty()) {
-      write_file_warn(a.series_out, m.series().to_json());
-    }
-    if (!a.health_out.empty()) {
-      write_file_warn(a.health_out, m.health().to_json());
-    }
-    if (!a.flight_out.empty()) {
-      write_file_warn(a.flight_out, m.flight().to_json());
-    }
-  };
-}
-
 bool write_or_print(const std::string& path, const std::string& text) {
   if (path.empty()) {
     std::printf("%s\n", text.c_str());
@@ -137,45 +82,23 @@ bool write_or_print(const std::string& path, const std::string& text) {
   return true;
 }
 
-/// Deterministic one-line JSON for a fabric run (what the CI determinism
-/// gate diffs across --jobs / reruns). Keys emitted in sorted order, like
-/// every other JSON export in the repo.
-std::string fabric_summary_json(const core::FabricRunResult& r) {
-  std::string s = "{\"attack\":\"" + std::string(core::to_string(r.attack)) +
-                  "\",\"audit_hash\":\"" +
-                  core::hex64(core::fnv1a(r.audit_json)) + "\",\"cov\":" +
-                  std::to_string(r.cov_count) + ",\"delivered\":" +
-                  std::to_string(r.delivered) + ",\"drop_loss\":" +
-                  std::to_string(r.drop_loss) + ",\"drop_overflow\":" +
-                  std::to_string(r.drop_overflow) + ",\"drop_partition\":" +
-                  std::to_string(r.drop_partition) + ",\"flight_hash\":\"" +
-                  core::hex64(core::fnv1a(r.flight_json)) +
-                  "\",\"health_events\":" + std::to_string(r.health_events) +
-                  ",\"health_hash\":\"" +
-                  core::hex64(core::fnv1a(r.health_json)) +
-                  "\",\"metrics_hash\":\"" +
-                  core::hex64(core::fnv1a(r.metrics_json)) +
-                  "\",\"nodes\":" + std::to_string(r.nodes) +
-                  ",\"schema_version\":" +
-                  std::to_string(mkbas::obs::kSchemaVersion) +
-                  ",\"series_hash\":\"" +
-                  core::hex64(core::fnv1a(r.series_json)) +
-                  "\",\"spans_hash\":\"" +
-                  core::hex64(core::fnv1a(r.spans_json)) +
-                  "\",\"topology\":\"" + r.topology +
-                  "\",\"trace_hash\":\"" + core::hex64(r.trace_hash) +
-                  "\",\"zones\":" + std::to_string(r.zones) + "}";
-  return s;
-}
-
-core::RunOptions run_options_from(const core::CliArgs& a) {
-  core::RunOptions opts;
-  opts.scenario_variant = a.scenario;
-  if (a.has_seed) opts.seed = a.seed;
-  opts.minix_quotas = a.quota;
-  opts.linux_separate_accounts = a.acl;
-  opts.observe = make_observer(a);
-  return opts;
+int run_serve(const core::CliArgs& args) {
+  serve::DaemonOptions opts;
+  opts.port = args.port;
+  opts.jobs = args.jobs;
+  opts.batch = args.batch;
+  serve::Daemon daemon(opts);
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%d (--jobs %d, --batch %d)\n",
+              daemon.port(), opts.jobs, opts.batch);
+  std::fflush(stdout);
+  daemon.wait();
+  std::printf("daemon stopped\n");
+  return 0;
 }
 
 }  // namespace
@@ -188,221 +111,61 @@ int main(int argc, char** argv) {
   }
   if (args.mode.empty()) return usage();
 
-  if (args.mode == "campaign") {
-    if (args.pos.empty()) return usage();
-    const std::string what = args.pos[0];
-    std::vector<core::CampaignCell> cells;
-    if (what == "matrix") {
-      cells = core::attack_matrix_cells({});
-    } else if (what == "sweep") {
-      if (!args.has_platform) return usage();
-      cells = core::seed_sweep_cells(args.platform, {}, 1, args.seeds);
-    } else if (what == "fault") {
-      core::RunOptions opts;
-      opts.settle = mkbas::sim::minutes(1);
-      opts.post = mkbas::sim::minutes(6);
-      opts.seed = 42;
-      opts.scenario.room.initial_temp_c =
-          opts.scenario.control.initial_setpoint_c;
-      cells = core::fault_campaign_cells(
-          mkbas::fault::reference_sensor_crash_plan(), opts,
-          mkbas::sim::sec(70));
-    } else if (what == "fabric") {
-      core::FabricOptions base;
-      if (args.has_seed) base.seed = args.seed;
-      cells = core::fabric_matrix_cells(args.zones, base);
-    } else {
-      return usage();
+  // Legacy positional spellings still parse, but each use is called out
+  // so scripts migrate before the spellings are removed.
+  if (!args.legacy && !args.legacy_notes.empty()) {
+    for (const std::string& n : args.legacy_notes) {
+      std::fprintf(stderr,
+                   "deprecated: positional %s (positional spellings are "
+                   "removed next release; pass --legacy to silence)\n",
+                   n.c_str());
     }
+  }
 
-    const auto result = core::run_campaign(cells, args.jobs);
-    std::printf("campaign: %zu cells, --jobs %d, %.2f s wall, %llu steals\n",
-                result.cells.size(), result.jobs, result.wall_seconds,
-                static_cast<unsigned long long>(result.steals));
-    if (what == "matrix") {
-      std::fputs(core::format_attack_table(core::attack_rows(result)).c_str(),
-                 stdout);
-    } else if (what == "fault") {
-      std::fputs(core::format_fault_table(core::fault_rows(result)).c_str(),
-                 stdout);
-    } else if (what == "fabric") {
-      for (const auto& run : core::fabric_rows(result)) {
-        std::fputs(core::format_fabric_table(run).c_str(), stdout);
+  if (args.mode == "serve") return run_serve(args);
+
+  core::ExperimentRequest req;
+  std::string err;
+  if (!core::request_from_cli(args, &req, &err)) {
+    if (!err.empty()) std::fprintf(stderr, "error: %s\n", err.c_str());
+    return usage();
+  }
+
+  core::ExperimentResponse resp = core::run_request(req);
+  std::fputs(resp.table.c_str(), stdout);
+
+  // Artifact placement: each requested kind goes to its --*-out path.
+  // The summary prints to stdout when --out was not given — matrix and
+  // benign historically printed only their tables, so the summary stays
+  // file-only there unless asked for explicitly.
+  for (int k = 0; k < core::kArtifactKinds; ++k) {
+    const auto kind = static_cast<core::ArtifactKind>(k);
+    const std::string& path = req.artifacts[kind];
+    const char* name = core::to_string(kind);
+    const auto it = resp.artifacts.find(name);
+    const auto vit = resp.volatile_artifacts.find(name);
+    const std::string* text = it != resp.artifacts.end() ? &it->second
+                              : vit != resp.volatile_artifacts.end()
+                                  ? &vit->second
+                                  : nullptr;
+    if (kind == core::ArtifactKind::kSummary) {
+      const bool print_summary =
+          req.mode != core::RequestMode::kBenign &&
+          req.mode != core::RequestMode::kAttack &&
+          req.mode != core::RequestMode::kMatrix &&
+          req.mode != core::RequestMode::kFault;
+      if (text != nullptr && (print_summary || !path.empty())) {
+        if (!write_or_print(path, *text)) resp.exit_code = 1;
       }
-    } else {
-      for (const auto& c : result.cells) {
-        std::printf("%-28s %zu samples, alarm %s\n", c.name.c_str(),
-                    c.benign.history.size(),
-                    c.benign.safety.alarm_violation ? "VIOLATED" : "held");
-      }
+      continue;
     }
-    // Merged span store / audit journal, folded in cell order — the same
-    // bytes for every --jobs value (the CI determinism gate diffs them).
-    if (!args.spans_out.empty()) {
-      write_file_warn(args.spans_out, result.merged_spans_json);
+    if (path.empty()) continue;
+    if (text == nullptr) {
+      std::fprintf(stderr, "warning: %s produces no %s artifact (%s)\n",
+                   core::to_string(req.mode), name, path.c_str());
+      continue;
     }
-    if (!args.audit_out.empty()) {
-      write_file_warn(args.audit_out, result.merged_audit_json);
-    }
-    if (!args.series_out.empty()) {
-      write_file_warn(args.series_out, result.merged_series_json);
-    }
-    if (!args.health_out.empty()) {
-      write_file_warn(args.health_out, result.merged_health_json);
-    }
-    if (!args.flight_out.empty()) {
-      write_file_warn(args.flight_out, result.merged_flight_json);
-    }
-    // Pool profile: host wall-time, --jobs-dependent by nature — kept
-    // out of the summary and only written when explicitly asked for.
-    if (!args.profile_out.empty()) {
-      write_file_warn(args.profile_out, result.profile_json());
-    }
-    if (!args.profile_trace.empty()) {
-      write_file_warn(args.profile_trace, result.profile_trace_json());
-    }
-    return write_or_print(args.out, result.summary_json()) ? 0 : 1;
+    write_file_warn(path, *text);
   }
-
-  if (args.mode == "fabric") {
-    core::FabricOptions opts;
-    opts.zones = args.zones;
-    if (args.has_seed) opts.seed = args.seed;
-    opts.topology = args.topology;
-    opts.floors = args.floors;
-    opts.buildings = args.buildings;
-    opts.sync = args.sync;
-    opts.jobs = args.jobs;
-    opts.lite_zones = args.lite;
-    if (args.has_attack &&
-        !core::parse_fabric_attack(args.attack, &opts.attack)) {
-      std::fprintf(stderr, "error: unknown fabric attack: %s\n",
-                   args.attack.c_str());
-      return usage();
-    }
-    const auto res = core::run_fabric(opts);
-    std::fputs(core::format_fabric_table(res).c_str(), stdout);
-    if (!args.metrics_out.empty()) {
-      write_file_warn(args.metrics_out, res.metrics_json);
-    }
-    if (!args.spans_out.empty()) {
-      write_file_warn(args.spans_out, res.spans_json);
-    }
-    if (!args.audit_out.empty()) {
-      write_file_warn(args.audit_out, res.audit_json);
-    }
-    if (!args.critical_out.empty()) {
-      write_file_warn(args.critical_out, res.critical_path_json);
-    }
-    if (!args.series_out.empty()) {
-      write_file_warn(args.series_out, res.series_json);
-    }
-    if (!args.health_out.empty()) {
-      write_file_warn(args.health_out, res.health_json);
-    }
-    if (!args.flight_out.empty()) {
-      write_file_warn(args.flight_out, res.flight_json);
-    }
-    return write_or_print(args.out, fabric_summary_json(res)) ? 0 : 1;
-  }
-
-  if (args.mode == "matrix") {
-    const auto rows = core::run_attack_matrix();
-    if (args.format == "csv") {
-      std::fputs(core::attack_rows_to_csv(rows).c_str(), stdout);
-    } else if (args.format == "md") {
-      std::fputs(core::attack_rows_to_markdown(rows).c_str(), stdout);
-    } else {
-      std::fputs(core::format_attack_table(rows).c_str(), stdout);
-    }
-    return 0;
-  }
-
-  if (args.mode == "benign") {
-    if (!args.has_platform) return usage();
-    const auto run = core::run_benign(args.platform, run_options_from(args));
-    std::printf("platform            : %s\n", core::to_string(args.platform));
-    std::printf("plant samples       : %zu\n", run.history.size());
-    std::printf("final temperature   : %.2f C\n",
-                run.history.back().true_temp_c);
-    std::printf("context switches    : %llu\n",
-                static_cast<unsigned long long>(run.context_switches));
-    std::printf("kernel entries      : %llu\n",
-                static_cast<unsigned long long>(run.kernel_entries));
-    std::printf("alarm property      : %s\n",
-                run.safety.alarm_violation ? "VIOLATED" : "held");
-    std::printf("control alive       : %s\n",
-                run.safety.control_alive ? "yes" : "NO");
-    return 0;
-  }
-
-  if (args.mode == "fault") {
-    // The reference fault campaign (crash the sensor driver at t=30s,
-    // the web interface at t=40s) against one platform, with a
-    // post-restart sensor-spoof probe of the reincarnated web process.
-    if (!args.has_platform) return usage();
-    core::RunOptions opts = run_options_from(args);
-    opts.settle = mkbas::sim::minutes(1);
-    opts.post = mkbas::sim::minutes(6);
-    opts.scenario.room.initial_temp_c =
-        opts.scenario.control.initial_setpoint_c;
-    const mkbas::sim::Time probe_at =
-        args.no_probe ? -1 : mkbas::sim::sec(70);
-    const auto plan = mkbas::fault::reference_sensor_crash_plan();
-    std::printf("plan:\n%s", plan.describe().c_str());
-    const auto res = core::run_fault(args.platform, plan, opts, probe_at);
-    std::printf("platform       : %s\n", res.platform_label.c_str());
-    std::printf("faults injected: %llu\n",
-                static_cast<unsigned long long>(res.faults_injected));
-    std::printf("loop recovered : %s\n", res.loop_recovered ? "yes" : "NO");
-    if (res.mttr >= 0) {
-      std::printf("mttr           : %.3f s (virtual)\n",
-                  mkbas::sim::to_seconds(res.mttr));
-    } else {
-      std::printf("mttr           : inf (never recovered)\n");
-    }
-    std::printf("restarts       : %d\n", res.restarts);
-    std::printf("excursion      : %.2f C after the fault\n",
-                res.max_excursion_after_fault_c);
-    if (res.web_spoof.attempted) {
-      std::printf("spoof probe    : %s (%d attempts)\n",
-                  res.web_spoof.primitive_succeeded ? "SPOOFED" : "blocked",
-                  res.web_spoof.attempts);
-    } else {
-      std::printf("spoof probe    : not reached (web interface dead)\n");
-    }
-    std::printf("physical       : %s\n", res.safety.summary().c_str());
-    return res.loop_recovered ? 0 : 1;
-  }
-
-  if (args.mode == "attack") {
-    AttackKind kind;
-    bool have_kind = false;
-    if (args.has_attack) {
-      have_kind = core::parse_attack_kind(args.attack, &kind);
-    } else {
-      // Legacy: "attack <platform> <kind> [root] ..." — find the kind
-      // among the positionals (the platform name was consumed above).
-      for (const std::string& p : args.pos) {
-        if (core::parse_attack_kind(p, &kind)) {
-          have_kind = true;
-          break;
-        }
-      }
-    }
-    if (!args.has_platform || !have_kind) return usage();
-    const Privilege priv =
-        args.root ? Privilege::kRoot : Privilege::kCodeExec;
-    const auto row =
-        core::run_attack(args.platform, kind, priv, run_options_from(args));
-    std::printf("platform   : %s\n", row.platform_label.c_str());
-    std::printf("attack     : %s (%s)\n", to_string(row.kind),
-                to_string(row.privilege));
-    std::printf("primitive  : %s\n",
-                row.outcome.primitive_succeeded ? "SUCCEEDED" : "blocked");
-    std::printf("detail     : %s\n", row.outcome.detail.c_str());
-    std::printf("physical   : %s\n", row.safety.summary().c_str());
-    return row.safety.physically_compromised() ? 1 : 0;
-  }
-  return usage();
+  return resp.exit_code;
 }

@@ -52,6 +52,27 @@ bool parse_fabric_attack(const std::string& s, FabricAttack* out) {
   return true;
 }
 
+namespace {
+
+/// Artifact-path flags, one per ArtifactKind (same order).
+const char* const kArtifactFlags[kArtifactKinds] = {
+    "--out",          "--metrics-out",  "--trace-out",   "--trace-spans",
+    "--audit-out",    "--critical-out", "--series-out",  "--health-out",
+    "--flight-out",   "--profile-out",  "--profile-trace"};
+
+std::vector<std::string> known_flags() {
+  std::vector<std::string> f = {
+      "--platform", "--scenario", "--seed",     "--zones", "--jobs",
+      "--seeds",    "--topology", "--floors",   "--buildings", "--sync",
+      "--lite",     "--attack",   "--root",     "--quota", "--acl",
+      "--no-probe", "--csv",      "--md",       "--port",  "--batch",
+      "--legacy"};
+  for (const char* a : kArtifactFlags) f.emplace_back(a);
+  return f;
+}
+
+}  // namespace
+
 CliArgs parse_cli(int argc, char** argv) {
   CliArgs a;
   auto value = [&](int& i, const char* flag) -> const char* {
@@ -61,13 +82,28 @@ CliArgs parse_cli(int argc, char** argv) {
     }
     return argv[++i];
   };
+  auto note = [&](const std::string& spelling, const std::string& use) {
+    a.legacy_notes.push_back("'" + spelling + "' -> " + use);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    bool is_artifact_flag = false;
+    for (int k = 0; k < kArtifactKinds; ++k) {
+      if (arg == kArtifactFlags[k]) {
+        const char* v = value(i, kArtifactFlags[k]);
+        if (v == nullptr) return a;
+        a.artifacts[static_cast<ArtifactKind>(k)] = v;
+        is_artifact_flag = true;
+        break;
+      }
+    }
+    if (is_artifact_flag) continue;
     if (arg == "--platform") {
       const char* v = value(i, "--platform");
       if (v == nullptr) return a;
       if (!parse_platform(v, &a.platform)) {
-        a.error = std::string("unknown platform: ") + v;
+        a.error = std::string("unknown platform: ") + v +
+                  did_you_mean(v, {"minix", "sel4", "linux"});
         return a;
       }
       a.has_platform = true;
@@ -96,7 +132,8 @@ CliArgs parse_cli(int argc, char** argv) {
       const char* v = value(i, "--topology");
       if (v == nullptr) return a;
       if (!net::parse_topology_kind(v, &a.topology)) {
-        a.error = std::string("unknown topology: ") + v;
+        a.error = std::string("unknown topology: ") + v +
+                  did_you_mean(v, {"flat", "line", "star", "tree", "campus"});
         return a;
       }
     } else if (arg == "--floors") {
@@ -116,55 +153,12 @@ CliArgs parse_cli(int argc, char** argv) {
       } else if (s == "epoch") {
         a.sync = net::SyncMode::kEpoch;
       } else {
-        a.error = "unknown sync mode: " + s;
+        a.error = "unknown sync mode: " + s +
+                  did_you_mean(s, {"lookahead", "epoch"});
         return a;
       }
     } else if (arg == "--lite") {
       a.lite = true;
-    } else if (arg == "--out") {
-      const char* v = value(i, "--out");
-      if (v == nullptr) return a;
-      a.out = v;
-    } else if (arg == "--metrics-out") {
-      const char* v = value(i, "--metrics-out");
-      if (v == nullptr) return a;
-      a.metrics_out = v;
-    } else if (arg == "--trace-out") {
-      const char* v = value(i, "--trace-out");
-      if (v == nullptr) return a;
-      a.trace_out = v;
-    } else if (arg == "--trace-spans") {
-      const char* v = value(i, "--trace-spans");
-      if (v == nullptr) return a;
-      a.spans_out = v;
-    } else if (arg == "--audit-out") {
-      const char* v = value(i, "--audit-out");
-      if (v == nullptr) return a;
-      a.audit_out = v;
-    } else if (arg == "--critical-out") {
-      const char* v = value(i, "--critical-out");
-      if (v == nullptr) return a;
-      a.critical_out = v;
-    } else if (arg == "--series-out") {
-      const char* v = value(i, "--series-out");
-      if (v == nullptr) return a;
-      a.series_out = v;
-    } else if (arg == "--health-out") {
-      const char* v = value(i, "--health-out");
-      if (v == nullptr) return a;
-      a.health_out = v;
-    } else if (arg == "--flight-out") {
-      const char* v = value(i, "--flight-out");
-      if (v == nullptr) return a;
-      a.flight_out = v;
-    } else if (arg == "--profile-out") {
-      const char* v = value(i, "--profile-out");
-      if (v == nullptr) return a;
-      a.profile_out = v;
-    } else if (arg == "--profile-trace") {
-      const char* v = value(i, "--profile-trace");
-      if (v == nullptr) return a;
-      a.profile_trace = v;
     } else if (arg == "--attack") {
       const char* v = value(i, "--attack");
       if (v == nullptr) return a;
@@ -182,31 +176,53 @@ CliArgs parse_cli(int argc, char** argv) {
       a.format = "csv";
     } else if (arg == "--md") {
       a.format = "md";
-    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
-      a.error = "unknown flag: " + arg;
+    } else if (arg == "--port") {
+      const char* v = value(i, "--port");
+      if (v == nullptr) return a;
+      a.port = std::atoi(v);
+    } else if (arg == "--batch") {
+      const char* v = value(i, "--batch");
+      if (v == nullptr) return a;
+      a.batch = std::atoi(v);
+    } else if (arg == "--legacy") {
+      a.legacy = true;
+    } else if (arg.size() >= 2 && arg[0] == '-' &&
+               !(arg[1] >= '0' && arg[1] <= '9')) {
+      // Any unrecognized flag — double- or single-dash — is an error.
+      // These used to fall silently into `pos` where subcommands ignored
+      // them, so typos like --zoned 16 ran the default experiment.
+      a.error = "unknown flag: " + arg + did_you_mean(arg, known_flags());
       return a;
     } else if (a.mode.empty()) {
       a.mode = arg;
     } else {
-      // Legacy positional spellings keep working.
+      // Legacy positional spellings parse for one more release; each use
+      // is recorded so the runner can print a deprecation note.
       if (arg == "root") {
         a.root = true;
+        note(arg, "--root");
       } else if (arg == "quota") {
         a.quota = true;
+        note(arg, "--quota");
       } else if (arg == "acl") {
         a.acl = true;
+        note(arg, "--acl");
       } else if (arg == "no-probe") {
         a.no_probe = true;
+        note(arg, "--no-probe");
       } else if (arg == "seed" && i + 1 < argc) {
         a.seed = std::strtoull(argv[++i], nullptr, 10);
         a.has_seed = true;
+        note("seed N", "--seed N");
       } else if (arg == "seeds" && i + 1 < argc) {
         a.seeds = std::atoi(argv[++i]);
+        note("seeds N", "--seeds N");
       } else {
         bas::Platform p;
         if (!a.has_platform && parse_platform(arg, &p)) {
           a.platform = p;
           a.has_platform = true;
+          note(arg, "--platform " + arg);
         }
         a.pos.push_back(arg);
       }

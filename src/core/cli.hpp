@@ -6,6 +6,7 @@
 
 #include "attack/attacks.hpp"
 #include "core/fabric_run.hpp"
+#include "core/request.hpp"
 
 namespace mkbas::core {
 
@@ -20,11 +21,15 @@ namespace mkbas::core {
 ///   --series-out FILE --health-out FILE --flight-out FILE
 ///   --profile-out FILE --profile-trace FILE
 ///   --attack <name>  --root --quota --acl --no-probe --csv --md
+///   --port N --batch N          (serve mode)
+///   --legacy                    (acknowledge legacy positional spellings)
 ///
 /// Legacy positional spellings (platform names, "root", "seed N", ...)
-/// still parse: they land in `pos` for the subcommand to interpret, and
-/// a positional platform name also fills `platform` so new code can
-/// ignore the distinction.
+/// parse for one more release: they land in `pos` for the subcommand to
+/// interpret, fill the matching typed field, and append a deprecation
+/// note to `legacy_notes` (printed to stderr unless --legacy is given).
+/// Unknown flags — single- or double-dash — are parse errors with a
+/// did-you-mean hint; they no longer fall through into `pos`.
 struct CliArgs {
   std::string mode;                // first positional ("benign", ...)
   std::vector<std::string> pos;    // remaining positionals, in order
@@ -45,17 +50,10 @@ struct CliArgs {
   /// --sync lookahead|epoch: conservative sync engine selection.
   net::SyncMode sync = net::SyncMode::kLookahead;
   bool lite = false;   // --lite: gateway-only zones (city scale)
-  std::string out;
-  std::string metrics_out;
-  std::string trace_out;
-  std::string spans_out;     // --trace-spans: causal span store JSON
-  std::string audit_out;     // --audit-out: security audit journal JSON
-  std::string critical_out;  // --critical-out: critical-path analysis JSON
-  std::string series_out;    // --series-out: windowed time-series JSON
-  std::string health_out;    // --health-out: health events/scores JSON
-  std::string flight_out;    // --flight-out: flight-recorder snapshots
-  std::string profile_out;   // --profile-out: campaign pool profile JSON
-  std::string profile_trace; // --profile-trace: pool profile, Perfetto lanes
+  /// Requested artifact exports, one path slot per ArtifactKind —
+  /// replaces the eleven separate `*_out` string fields. --out fills
+  /// kSummary, --metrics-out kMetrics, and so on.
+  ArtifactRequest artifacts;
   bool has_attack = false;
   std::string attack;              // raw --attack value
   bool root = false;
@@ -63,6 +61,13 @@ struct CliArgs {
   bool acl = false;
   bool no_probe = false;
   std::string format;              // "", "csv" or "md"
+  int port = 8080;                 // --port: serve listen port (0 = any)
+  int batch = 8;                   // --batch: serve max cells per batch
+  /// --legacy: the caller acknowledges legacy positional spellings;
+  /// suppresses the deprecation notes below.
+  bool legacy = false;
+  /// One entry per legacy positional interpreted ("'root' -> --root").
+  std::vector<std::string> legacy_notes;
 
   /// Non-empty when parsing failed; the caller prints usage.
   std::string error;

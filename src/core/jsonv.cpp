@@ -1,0 +1,302 @@
+#include "core/jsonv.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace mkbas::core {
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool Json::is_u64() const {
+  if (kind != Kind::kNumber || text.empty()) return false;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;  // no sign, no '.', no exponent
+  }
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtoull(text.c_str(), &end, 10);
+  return errno == 0 && end == text.c_str() + text.size();
+}
+
+std::uint64_t Json::as_u64() const {
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+const char* to_string(Json::Kind k) {
+  switch (k) {
+    case Json::Kind::kNull: return "null";
+    case Json::Kind::kBool: return "boolean";
+    case Json::Kind::kNumber: return "number";
+    case Json::Kind::kString: return "string";
+    case Json::Kind::kObject: return "object";
+    case Json::Kind::kArray: return "array";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Recursive-descent parser with a single error slot; every fail() site
+/// records the byte offset so request-level messages can point at the
+/// offending field value.
+class Parser {
+ public:
+  Parser(const std::string& in, std::string* err) : in_(in), err_(err) {}
+
+  bool parse(Json* out) {
+    skip_ws();
+    if (!value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != in_.size()) return fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    if (err_->empty()) {
+      *err_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < in_.size() &&
+           (in_[pos_] == ' ' || in_[pos_] == '\t' || in_[pos_] == '\n' ||
+            in_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::size_t n) {
+    if (in_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(Json* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= in_.size()) return fail("unexpected end of input");
+    switch (in_[pos_]) {
+      case '{': return object(out, depth);
+      case '[': return array(out, depth);
+      case '"':
+        out->kind = Json::Kind::kString;
+        return string(&out->text);
+      case 't':
+        out->kind = Json::Kind::kBool;
+        out->boolean = true;
+        return literal("true", 4) || fail("expected 'true'");
+      case 'f':
+        out->kind = Json::Kind::kBool;
+        out->boolean = false;
+        return literal("false", 5) || fail("expected 'false'");
+      case 'n':
+        out->kind = Json::Kind::kNull;
+        return literal("null", 4) || fail("expected 'null'");
+      default: return number(out);
+    }
+  }
+
+  bool object(Json* out, int depth) {
+    out->kind = Json::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < in_.size() && in_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= in_.size() || in_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!string(&key)) return false;
+      for (const auto& [k, v] : out->members) {
+        (void)v;
+        if (k == key) return fail("duplicate key '" + key + "'");
+      }
+      skip_ws();
+      if (pos_ >= in_.size() || in_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      Json v;
+      if (!value(&v, depth + 1)) return false;
+      out->members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= in_.size()) return fail("unterminated object");
+      if (in_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (in_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(Json* out, int depth) {
+    out->kind = Json::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < in_.size() && in_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Json v;
+      if (!value(&v, depth + 1)) return false;
+      out->items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= in_.size()) return fail("unterminated array");
+      if (in_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (in_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < in_.size()) {
+      const char c = in_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= in_.size()) return fail("truncated escape");
+      const char e = in_[pos_ + 1];
+      pos_ += 2;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > in_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = in_[pos_ + static_cast<std::size_t>(i)];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (exporters only ever emit
+          // \u00XX control escapes; surrogate pairs are out of scope).
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(Json* out) {
+    const std::size_t start = pos_;
+    if (pos_ < in_.size() && in_[pos_] == '-') ++pos_;
+    if (pos_ >= in_.size() || !std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+      pos_ = start;
+      return fail("expected a value");
+    }
+    const std::size_t int_start = pos_;
+    while (pos_ < in_.size() &&
+           std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    // Strict JSON: "0" is fine, "01" is not.
+    if (pos_ - int_start > 1 && in_[int_start] == '0') {
+      return fail("leading zero in number");
+    }
+    if (pos_ < in_.size() && in_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= in_.size() ||
+          !std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        return fail("digits expected after '.'");
+      }
+      while (pos_ < in_.size() &&
+             std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < in_.size() && (in_[pos_] == 'e' || in_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < in_.size() && (in_[pos_] == '+' || in_[pos_] == '-')) ++pos_;
+      if (pos_ >= in_.size() ||
+          !std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        return fail("digits expected in exponent");
+      }
+      while (pos_ < in_.size() &&
+             std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out->kind = Json::Kind::kNumber;
+    out->text = in_.substr(start, pos_ - start);
+    out->number = std::strtod(out->text.c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& in_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_parse(const std::string& in, Json* out, std::string* err) {
+  *out = Json{};
+  err->clear();
+  Parser p(in, err);
+  if (p.parse(out)) return true;
+  if (err->empty()) *err = "malformed JSON";
+  return false;
+}
+
+}  // namespace mkbas::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mkbas::core {
+
+/// A parsed JSON value. The repo's exporters only ever *emit* JSON (by
+/// string concatenation, sorted keys); the experiment-request API is the
+/// first consumer that must *read* it — strictly, with positions good
+/// enough for field-level error messages. This is a small recursive-
+/// descent parser over a plain value type; no allocator tricks, it runs
+/// once per HTTP request, never on the simulation hot path.
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  /// Numbers keep both the parsed double and the raw token (`text`), so
+  /// 64-bit seeds round-trip exactly instead of through a double.
+  double number = 0.0;
+  std::string text;  // string value, or the raw number token
+  std::vector<std::pair<std::string, Json>> members;  // object, input order
+  std::vector<Json> items;                            // array
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  /// Object member lookup (first match); nullptr when absent.
+  const Json* find(const std::string& key) const;
+
+  /// The raw token is a non-negative integer that fits in 64 bits.
+  bool is_u64() const;
+  std::uint64_t as_u64() const;  // only valid when is_u64()
+};
+
+/// Parse exactly one JSON value (surrounding whitespace allowed; anything
+/// after it is an error). Returns false and fills *err — with a byte
+/// offset — on malformed input. Strictness notes: no comments, no
+/// trailing commas, no NaN/Infinity, duplicate object keys rejected.
+bool json_parse(const std::string& in, Json* out, std::string* err);
+
+const char* to_string(Json::Kind k);
+
+}  // namespace mkbas::core

@@ -1,0 +1,128 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace mkbas::serve {
+
+HttpClient::HttpClient(int port, std::string client_id)
+    : port_(port), client_id_(std::move(client_id)) {}
+
+HttpClient::~HttpClient() { close_(); }
+
+void HttpClient::close_() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool HttpClient::connect_(std::string* err) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (err != nullptr) *err = std::string("connect: ") + std::strerror(errno);
+    close_();
+    return false;
+  }
+  return true;
+}
+
+bool HttpClient::request(const std::string& method, const std::string& target,
+                         const std::string& body, HttpResponse* out,
+                         std::string* err) {
+  // One reconnect attempt: a keep-alive peer may have closed the idle
+  // connection between round trips.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0 && !connect_(err)) return false;
+    std::string msg = method + " " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+    if (!client_id_.empty()) msg += "X-Client: " + client_id_ + "\r\n";
+    msg += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    msg += body;
+
+    bool io_error = false;
+    std::size_t sent = 0;
+    while (sent < msg.size()) {
+      const ssize_t n =
+          ::send(fd_, msg.data() + sent, msg.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        io_error = true;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (io_error) {
+      close_();
+      continue;  // stale keep-alive connection; reconnect once
+    }
+
+    std::string buf;
+    std::size_t head_end = std::string::npos;
+    std::size_t body_len = 0;
+    char chunk[16 * 1024];
+    for (;;) {
+      if (head_end == std::string::npos) {
+        head_end = buf.find("\r\n\r\n");
+        if (head_end != std::string::npos) {
+          const std::string head = buf.substr(0, head_end);
+          const std::size_t cl = head.find("ontent-Length:");
+          if (cl == std::string::npos) {
+            if (err != nullptr) *err = "response without Content-Length";
+            close_();
+            return false;
+          }
+          body_len = std::strtoull(head.c_str() + cl + 14, nullptr, 10);
+        }
+      }
+      if (head_end != std::string::npos &&
+          buf.size() >= head_end + 4 + body_len) {
+        break;
+      }
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        io_error = true;
+        break;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (io_error) {
+      close_();
+      if (buf.empty() && attempt == 0) continue;
+      if (err != nullptr) *err = "connection closed mid-response";
+      return false;
+    }
+
+    // "HTTP/1.1 200 OK"
+    if (buf.size() < 12 || buf.compare(0, 5, "HTTP/") != 0) {
+      if (err != nullptr) *err = "malformed status line";
+      close_();
+      return false;
+    }
+    out->status = std::atoi(buf.c_str() + 9);
+    out->body = buf.substr(head_end + 4, body_len);
+    if (buf.find("Connection: close") != std::string::npos &&
+        buf.find("Connection: close") < head_end) {
+      close_();
+    }
+    return true;
+  }
+  if (err != nullptr && err->empty()) *err = "send failed twice";
+  return false;
+}
+
+}  // namespace mkbas::serve

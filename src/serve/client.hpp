@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "serve/http.hpp"
+
+namespace mkbas::serve {
+
+/// Tiny blocking HTTP/1.1 client for the daemon's loopback port — what
+/// the serve tests and bench_serve drive the server with (CI smoke uses
+/// curl/python for an independent implementation). Keeps one keep-alive
+/// connection; reconnects transparently when the server closed it.
+class HttpClient {
+ public:
+  /// `client_id` is sent as X-Client on every request (the daemon's
+  /// fairness key); empty sends no header and the peer address is used.
+  explicit HttpClient(int port, std::string client_id = "");
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One round trip. False + *err on connect/IO/parse failure.
+  bool request(const std::string& method, const std::string& target,
+               const std::string& body, HttpResponse* out, std::string* err);
+
+  bool get(const std::string& target, HttpResponse* out, std::string* err) {
+    return request("GET", target, "", out, err);
+  }
+  bool post(const std::string& target, const std::string& body,
+            HttpResponse* out, std::string* err) {
+    return request("POST", target, body, out, err);
+  }
+
+ private:
+  bool connect_(std::string* err);
+  void close_();
+
+  int port_;
+  std::string client_id_;
+  int fd_ = -1;
+};
+
+}  // namespace mkbas::serve

@@ -1,0 +1,317 @@
+#include "serve/daemon.hpp"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "campaign/run_request.hpp"
+#include "core/hash.hpp"
+#include "obs/json.hpp"
+
+namespace mkbas::serve {
+
+namespace {
+
+bool parse_key(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 16);
+  return end != nullptr && *end == '\0';
+}
+
+HttpResponse json_response(int status, const std::string& body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = body;
+  return r;
+}
+
+HttpResponse error_response(int status, const std::string& message) {
+  return json_response(
+      status, "{\"error\":\"" + obs::json_escape(message) + "\"}");
+}
+
+}  // namespace
+
+Daemon::Daemon(const DaemonOptions& opts)
+    : opts_(opts),
+      pool_(opts.jobs),
+      requests_(reg_.counter("serve.requests")),
+      bad_requests_(reg_.counter("serve.bad_requests")),
+      replays_(reg_.counter("serve.replays")),
+      executions_ctr_(reg_.counter("serve.executions")),
+      depth_gauge_(reg_.gauge("serve.queue_depth")) {
+  if (opts_.batch < 1) opts_.batch = 1;
+}
+
+Daemon::~Daemon() { shutdown(); }
+
+bool Daemon::start(std::string* err) {
+  executor_ = std::thread([this] { executor_loop(); });
+  started_ = true;
+  if (!http_.start(opts_.port, [this](const HttpRequest& r) { return handle(r); },
+                   err)) {
+    shutdown();
+    return false;
+  }
+  return true;
+}
+
+void Daemon::wait() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return stop_requested_ || stopping_; });
+  }
+  shutdown();
+}
+
+void Daemon::shutdown() {
+  http_.stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (started_ && executor_.joinable()) executor_.join();
+  started_ = false;
+}
+
+std::uint64_t Daemon::executions() const { return executions_ctr_.value(); }
+
+void Daemon::enqueue(const std::string& client, std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& q = queues_[client];
+    if (q.empty()) rotation_.push_back(client);
+    q.push_back(key);
+    ++queue_depth_;
+    depth_gauge_.set(static_cast<double>(queue_depth_));
+  }
+  cv_.notify_all();
+}
+
+void Daemon::executor_loop() {
+  for (;;) {
+    // One drain pass: walk the client rotation, taking the oldest cell
+    // from each client in turn, until the batch is full or the queues
+    // are dry. A client with more work re-enters the rotation at the
+    // back, so interleaving is fair regardless of submission bursts.
+    std::vector<std::uint64_t> keys;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || queue_depth_ > 0; });
+      if (stopping_) return;
+      while (static_cast<int>(keys.size()) < opts_.batch &&
+             !rotation_.empty()) {
+        const std::string client = rotation_.front();
+        rotation_.pop_front();
+        auto it = queues_.find(client);
+        keys.push_back(it->second.front());
+        it->second.pop_front();
+        --queue_depth_;
+        if (it->second.empty()) {
+          queues_.erase(it);
+        } else {
+          rotation_.push_back(client);
+        }
+      }
+      depth_gauge_.set(static_cast<double>(queue_depth_));
+    }
+
+    std::vector<core::ExperimentRequest> reqs(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      reqs[i] = store_.lookup(keys[i]).request;
+    }
+    pool_.run(keys.size(), [&](std::size_t i) {
+      try {
+        auto resp =
+            core::run_request(reqs[i], core::all_deterministic_artifacts());
+        ResultBundle bundle;
+        bundle.exit_code = resp.exit_code;
+        bundle.artifacts = std::move(resp.artifacts);
+        store_.complete(keys[i], std::move(bundle));
+      } catch (const std::exception& e) {
+        store_.fail(keys[i], e.what());
+      } catch (...) {
+        store_.fail(keys[i], "unknown execution error");
+      }
+    });
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      executions_ctr_.inc(keys.size());
+    }
+  }
+}
+
+HttpResponse Daemon::handle(const HttpRequest& req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    requests_.inc();
+  }
+  if (req.method == "POST" && req.path == "/run") return post_run(req);
+  if (req.method == "POST" && req.path == "/shutdown") {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_requested_ = true;
+    }
+    cv_.notify_all();
+    return json_response(200, "{\"status\":\"stopping\"}");
+  }
+  const std::string result_prefix = "/result/";
+  const std::string replay_prefix = "/replay/";
+  if (req.method == "GET" && req.path == "/status") return get_status();
+  if (req.method == "GET" &&
+      req.path.compare(0, result_prefix.size(), result_prefix) == 0) {
+    std::uint64_t key;
+    if (!parse_key(req.path.substr(result_prefix.size()), &key)) {
+      return error_response(400, "malformed cell key");
+    }
+    return get_result(key, req);
+  }
+  if (req.method == "GET" &&
+      req.path.compare(0, replay_prefix.size(), replay_prefix) == 0) {
+    std::uint64_t key;
+    if (!parse_key(req.path.substr(replay_prefix.size()), &key)) {
+      return error_response(400, "malformed cell key");
+    }
+    return get_replay(key);
+  }
+  return error_response(404, "no such endpoint: " + req.method + " " +
+                                 req.path);
+}
+
+HttpResponse Daemon::post_run(const HttpRequest& req) {
+  core::ExperimentRequest parsed;
+  std::string err;
+  if (!core::parse_request_json(req.body, &parsed, &err)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bad_requests_.inc();
+    return error_response(400, err);
+  }
+  const std::string key_hex = parsed.cell_key_hex();
+  const ResultStore::Submit s = store_.submit(parsed);
+  switch (s) {
+    case ResultStore::Submit::kHit: {
+      const ResultStore::Entry e = store_.lookup(parsed.cell_key());
+      if (e.state == ResultStore::State::kFailed) {
+        return json_response(200, "{\"error\":\"" + obs::json_escape(e.error) +
+                                      "\",\"key\":\"" + key_hex +
+                                      "\",\"status\":\"failed\"}");
+      }
+      return json_response(
+          200, "{\"exit_code\":" + std::to_string(e.bundle->exit_code) +
+                   ",\"key\":\"" + key_hex + "\",\"status\":\"ready\"}");
+    }
+    case ResultStore::Submit::kCoalesced:
+      return json_response(
+          202, "{\"key\":\"" + key_hex + "\",\"status\":\"pending\"}");
+    case ResultStore::Submit::kQueued:
+      enqueue(req.client, parsed.cell_key());
+      return json_response(
+          202, "{\"key\":\"" + key_hex + "\",\"status\":\"queued\"}");
+  }
+  return error_response(500, "unreachable");
+}
+
+HttpResponse Daemon::get_result(std::uint64_t key, const HttpRequest& req) {
+  const ResultStore::Entry e = store_.lookup(key);
+  switch (e.state) {
+    case ResultStore::State::kUnknown:
+      return error_response(404, "unknown cell key: " + core::hex64(key));
+    case ResultStore::State::kPending:
+      return json_response(202, "{\"key\":\"" + core::hex64(key) +
+                                    "\",\"status\":\"pending\"}");
+    case ResultStore::State::kFailed:
+      return error_response(500, e.error);
+    case ResultStore::State::kReady:
+      break;
+  }
+  std::string kind = req.query_param("artifact");
+  if (kind.empty()) kind = "summary";
+  const auto it = e.bundle->artifacts.find(kind);
+  if (it == e.bundle->artifacts.end()) {
+    std::string available;
+    for (const auto& [name, text] : e.bundle->artifacts) {
+      if (!available.empty()) available += ",";
+      available += "\"" + name + "\"";
+    }
+    return json_response(404, "{\"available\":[" + available +
+                                  "],\"error\":\"artifact not produced by "
+                                  "this mode: " +
+                                  obs::json_escape(kind) + "\"}");
+  }
+  return json_response(200, it->second);
+}
+
+HttpResponse Daemon::get_replay(std::uint64_t key) {
+  const ResultStore::Entry e = store_.lookup(key);
+  if (e.state == ResultStore::State::kUnknown) {
+    return error_response(404, "unknown cell key: " + core::hex64(key));
+  }
+  if (e.state == ResultStore::State::kPending) {
+    return json_response(202, "{\"key\":\"" + core::hex64(key) +
+                                  "\",\"status\":\"pending\"}");
+  }
+  if (e.state == ResultStore::State::kFailed) {
+    return error_response(409, "cell failed; nothing to replay: " + e.error);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    replays_.inc();
+  }
+  // Re-materialize the whole bundle from the stored canonical request
+  // and byte-compare artifact by artifact. Any divergence is a
+  // determinism bug (or a corrupted cache) worth a loud verdict.
+  core::ExperimentResponse redo;
+  try {
+    redo = core::run_request(e.request, core::all_deterministic_artifacts());
+  } catch (const std::exception& ex) {
+    return error_response(500, std::string("replay execution failed: ") +
+                                   ex.what());
+  }
+  std::string mismatched;
+  std::size_t compared = 0;
+  for (const auto& [name, text] : e.bundle->artifacts) {
+    ++compared;
+    const auto it = redo.artifacts.find(name);
+    if (it == redo.artifacts.end() || it->second != text) {
+      if (!mismatched.empty()) mismatched += ",";
+      mismatched += "\"" + name + "\"";
+    }
+  }
+  const bool identical =
+      mismatched.empty() && redo.artifacts.size() == compared;
+  return json_response(
+      200, "{\"compared\":" + std::to_string(compared) +
+               ",\"identical\":" + std::string(identical ? "true" : "false") +
+               ",\"key\":\"" + core::hex64(key) + "\",\"mismatched\":[" +
+               mismatched + "]}");
+}
+
+HttpResponse Daemon::get_status() {
+  std::size_t depth;
+  std::string metrics_json;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth = queue_depth_;
+    metrics_json = reg_.to_json();
+  }
+  std::string s =
+      "{\"batch\":" + std::to_string(opts_.batch) +
+      ",\"coalesced\":" + std::to_string(store_.coalesced()) +
+      ",\"executions\":" + std::to_string(executions_ctr_.value()) +
+      ",\"hits\":" + std::to_string(store_.hits()) +
+      ",\"jobs\":" + std::to_string(pool_.workers()) +
+      ",\"metrics\":" + metrics_json +
+      ",\"misses\":" + std::to_string(store_.misses()) +
+      ",\"queue_depth\":" + std::to_string(depth) +
+      ",\"replays\":" + std::to_string(replays_.value()) +
+      ",\"requests\":" + std::to_string(requests_.value()) +
+      ",\"schema_version\":" + std::to_string(obs::kSchemaVersion) +
+      ",\"steals\":" + std::to_string(pool_.steals()) +
+      ",\"store_size\":" + std::to_string(store_.size()) + "}";
+  return json_response(200, s);
+}
+
+}  // namespace mkbas::serve

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "campaign/pool.hpp"
+#include "obs/metrics.hpp"
+#include "serve/http.hpp"
+#include "serve/result_store.hpp"
+
+namespace mkbas::serve {
+
+struct DaemonOptions {
+  int port = 8080;  // 0 = any free port (tests)
+  int jobs = 1;     // pool workers for cache-miss batches
+  int batch = 8;    // max cells drained into one pool batch
+};
+
+/// The experiment daemon: canonical requests in, cached bundles out.
+///
+///   POST /run            JSON body -> {key, status: ready|pending|queued}
+///   GET  /result/<key>   ?artifact=<kind>, default summary
+///   GET  /replay/<key>   re-execute, byte-compare against the cache
+///   GET  /status         counters, queue depth, pool profile
+///   POST /shutdown       stop accepting, wake wait()
+///
+/// Two threads beyond the caller's: the HTTP event loop (fast paths —
+/// cache hits, lookups, enqueue) and the executor. The executor drains
+/// the pending queues round-robin across clients — one cell per client
+/// per pass, so a client dumping 100 cells cannot starve one submitting
+/// a single request — into batches of at most `batch` cells, fans each
+/// batch across the work-stealing pool, and completes the store entries.
+/// Every route is also reachable in-process via handle() for tests.
+class Daemon {
+ public:
+  explicit Daemon(const DaemonOptions& opts);
+  ~Daemon();
+
+  /// Start executor + HTTP server. False + *err if the port is taken.
+  bool start(std::string* err);
+  /// Block until POST /shutdown or shutdown() is called.
+  void wait();
+  /// Stop the HTTP server and the executor (drains nothing: pending
+  /// cells stay pending). Idempotent; called by the destructor.
+  void shutdown();
+
+  int port() const { return http_.port(); }
+
+  /// Route one request exactly as the HTTP server would — the unit-test
+  /// entry point (no sockets involved).
+  HttpResponse handle(const HttpRequest& req);
+
+  const ResultStore& store() const { return store_; }
+  /// Cells executed through the pool (not hits, not coalesced waits).
+  std::uint64_t executions() const;
+
+ private:
+  void executor_loop();
+  void enqueue(const std::string& client, std::uint64_t key);
+
+  HttpResponse post_run(const HttpRequest& req);
+  HttpResponse get_result(std::uint64_t key, const HttpRequest& req);
+  HttpResponse get_replay(std::uint64_t key);
+  HttpResponse get_status();
+
+  DaemonOptions opts_;
+  ResultStore store_;
+  campaign::WorkStealingPool pool_;
+  HttpServer http_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  /// Per-client FIFO of pending cell keys, plus the round-robin rotation
+  /// of clients with work. A client appears in rotation_ iff its queue
+  /// is non-empty.
+  std::map<std::string, std::deque<std::uint64_t>> queues_;
+  std::deque<std::string> rotation_;
+  std::size_t queue_depth_ = 0;
+  bool stopping_ = false;
+  bool stop_requested_ = false;  // POST /shutdown -> wait() returns
+
+  /// Daemon metrics ride the standard obs registry (same JSON schema as
+  /// every machine export); handles are updated under mu_.
+  obs::MetricsRegistry reg_;
+  obs::Counter requests_, bad_requests_, replays_, executions_ctr_;
+  obs::Gauge depth_gauge_;
+
+  std::thread executor_;
+  bool started_ = false;
+};
+
+}  // namespace mkbas::serve

@@ -1,0 +1,325 @@
+#include "serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace mkbas::serve {
+
+namespace {
+
+/// Largest accepted request body — a canonical ExperimentRequest is a
+/// few hundred bytes; anything near this is a client bug.
+constexpr std::size_t kMaxBody = 1 << 20;
+constexpr std::size_t kMaxHeader = 64 * 1024;
+
+const char* reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parse one request if c_in holds a complete one. Returns 1 parsed,
+/// 0 need more bytes, -1 protocol error. Consumed bytes are erased.
+int parse_request(std::string* in, HttpRequest* req) {
+  const std::size_t head_end = in->find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return in->size() > kMaxHeader ? -1 : 0;
+  }
+  const std::string head = in->substr(0, head_end);
+  // Request line.
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 <= sp1) return -1;
+  req->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (line.compare(sp2 + 1, std::string::npos, "HTTP/1.1") != 0 &&
+      line.compare(sp2 + 1, std::string::npos, "HTTP/1.0") != 0) {
+    return -1;
+  }
+  const std::size_t q = target.find('?');
+  req->path = target.substr(0, q);
+  req->query = q == std::string::npos ? "" : target.substr(q + 1);
+  // Headers.
+  req->headers.clear();
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string h = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = h.find(':');
+    if (colon == std::string::npos) return -1;
+    req->headers[lower(trim(h.substr(0, colon)))] = trim(h.substr(colon + 1));
+  }
+  // Body.
+  std::size_t body_len = 0;
+  const auto it = req->headers.find("content-length");
+  if (it != req->headers.end()) {
+    char* end = nullptr;
+    body_len = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || body_len > kMaxBody) return -1;
+  }
+  const std::size_t total = head_end + 4 + body_len;
+  if (in->size() < total) return 0;
+  req->body = in->substr(head_end + 4, body_len);
+  in->erase(0, total);
+  return 1;
+}
+
+std::string render(const HttpResponse& r, bool close_after) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    reason(r.status) + "\r\nContent-Type: " + r.content_type +
+                    "\r\nContent-Length: " + std::to_string(r.body.size()) +
+                    "\r\n";
+  if (close_after) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += r.body;
+  return out;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  const auto it = headers.find(name);
+  return it == headers.end() ? nullptr : &it->second;
+}
+
+std::string HttpRequest::query_param(const std::string& key) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (eq == std::string::npos && pair == key) return "";
+    pos = amp + 1;
+  }
+  return "";
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start(int port, HttpHandler handler, std::string* err) {
+  auto fail = [&](const char* what) {
+    if (err != nullptr) *err = std::string(what) + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return false;
+  };
+
+  handler_ = std::move(handler);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    return fail("bind");
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+  if (!set_nonblocking(listen_fd_)) return fail("fcntl");
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return fail("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) return fail("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+  if (thread_.joinable()) thread_.join();
+  for (auto& [fd, c] : conns_) ::close(fd);
+  conns_.clear();
+  ::close(listen_fd_);
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+void HttpServer::flush(Conn* c) {
+  while (!c->out.empty()) {
+    const ssize_t n = ::send(c->fd, c->out.data(), c->out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c->out.erase(0, static_cast<std::size_t>(n));
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Level-triggered EPOLLOUT will call us again.
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT;
+      ev.data.fd = c->fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+      return;
+    } else {
+      c->close_after_write = true;
+      c->out.clear();
+      return;
+    }
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = c->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+}
+
+bool HttpServer::drain_requests(Conn* c) {
+  for (;;) {
+    HttpRequest req;
+    const int r = parse_request(&c->in, &req);
+    if (r == 0) return true;
+    if (r < 0) return false;
+    req.client = c->peer;
+    if (const std::string* id = req.header("x-client")) req.client = *id;
+    const std::string* conn_hdr = req.header("connection");
+    const bool close_after =
+        conn_hdr != nullptr && lower(*conn_hdr) == "close";
+    HttpResponse resp;
+    try {
+      resp = handler_(req);
+    } catch (const std::exception& e) {
+      resp.status = 500;
+      resp.body = std::string("{\"error\":\"") + e.what() + "\"}";
+    }
+    c->out += render(resp, close_after);
+    if (close_after) {
+      c->close_after_write = true;
+      return true;
+    }
+  }
+}
+
+void HttpServer::loop() {
+  epoll_event events[64];
+  while (running_) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t tok;
+        [[maybe_unused]] const auto r = ::read(wake_fd_, &tok, sizeof tok);
+        continue;  // running_ checked at loop top
+      }
+      if (fd == listen_fd_) {
+        for (;;) {
+          sockaddr_in peer{};
+          socklen_t plen = sizeof peer;
+          const int cfd = ::accept(
+              listen_fd_, reinterpret_cast<sockaddr*>(&peer), &plen);
+          if (cfd < 0) break;
+          set_nonblocking(cfd);
+          const int one = 1;
+          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          Conn& c = conns_[cfd];
+          c.fd = cfd;
+          char ip[INET_ADDRSTRLEN] = "?";
+          ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
+          c.peer = std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = cfd;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev);
+        }
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn& c = it->second;
+      bool dead = false;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) dead = true;
+      if (!dead && (events[i].events & EPOLLIN) != 0) {
+        char buf[16 * 1024];
+        for (;;) {
+          const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+          if (r > 0) {
+            c.in.append(buf, static_cast<std::size_t>(r));
+          } else if (r == 0) {
+            dead = true;
+            break;
+          } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            break;
+          } else {
+            dead = true;
+            break;
+          }
+        }
+        if (!dead && !drain_requests(&c)) dead = true;
+      }
+      if (!dead && !c.out.empty()) flush(&c);
+      if (dead || (c.close_after_write && c.out.empty())) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        ::close(fd);
+        conns_.erase(it);
+      }
+    }
+  }
+}
+
+}  // namespace mkbas::serve

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace mkbas::serve {
+
+/// One parsed HTTP/1.1 request, as the epoll loop hands it to the
+/// daemon. Header names are lower-cased; `client` identifies the
+/// submitter for queue fairness (X-Client header when present, else the
+/// peer address) — two connections sending the same X-Client share one
+/// fairness queue.
+struct HttpRequest {
+  std::string method;  // "GET", "POST"
+  std::string path;    // "/run" — target up to '?'
+  std::string query;   // after '?', no decoding ("artifact=metrics")
+  std::map<std::string, std::string> headers;
+  std::string body;
+  std::string client;
+
+  /// Header by lower-case name; nullptr when absent.
+  const std::string* header(const std::string& name) const;
+  /// First "key=value" match in the query string; "" when absent.
+  std::string query_param(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Minimal epoll HTTP/1.1 server, loopback only.
+///
+/// One event-loop thread, level-triggered epoll, nonblocking sockets.
+/// Keep-alive is the default (HTTP/1.1 semantics; "Connection: close"
+/// honoured); pipelined requests on one connection are served in order.
+/// The handler runs on the loop thread — it must be quick (cache lookup,
+/// enqueue) or deliberately synchronous (replay); heavy execution
+/// belongs on the daemon's executor thread.
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = any free port) and start the loop
+  /// thread. False + *err on bind/listen failure.
+  bool start(int port, HttpHandler handler, std::string* err);
+
+  /// The actually-bound port (useful after start(0, ...)).
+  int port() const { return port_; }
+
+  /// Wake the loop, close every connection, join the thread. Idempotent.
+  void stop();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;    // bytes read, not yet parsed
+    std::string out;   // response bytes not yet written
+    std::string peer;  // "ip:port"
+    bool close_after_write = false;
+  };
+
+  void loop();
+  /// Parse-and-handle every complete request in c->in. False: protocol
+  /// error, connection must close.
+  bool drain_requests(Conn* c);
+  void flush(Conn* c);
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop() wakes the loop
+  int port_ = 0;
+  HttpHandler handler_;
+  std::thread thread_;
+  std::map<int, Conn> conns_;
+  bool running_ = false;
+};
+
+}  // namespace mkbas::serve

@@ -1,0 +1,64 @@
+#include "serve/result_store.hpp"
+
+namespace mkbas::serve {
+
+ResultStore::Submit ResultStore::submit(const core::ExperimentRequest& req) {
+  const std::uint64_t key = req.cell_key();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    Cell& c = cells_[key];
+    c.request = req;
+    ++misses_;
+    return Submit::kQueued;
+  }
+  if (it->second.terminal) {
+    ++hits_;
+    return Submit::kHit;
+  }
+  ++coalesced_;
+  return Submit::kCoalesced;
+}
+
+ResultStore::Entry ResultStore::lookup(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return e;
+  const Cell& c = it->second;
+  e.request = c.request;
+  if (!c.terminal) {
+    e.state = State::kPending;
+  } else if (c.bundle != nullptr) {
+    e.state = State::kReady;
+    e.bundle = c.bundle;
+  } else {
+    e.state = State::kFailed;
+    e.error = c.error;
+  }
+  return e;
+}
+
+void ResultStore::complete(std::uint64_t key, ResultBundle bundle) {
+  auto shared = std::make_shared<const ResultBundle>(std::move(bundle));
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell& c = cells_[key];
+  c.bundle = std::move(shared);
+  c.error.clear();
+  c.terminal = true;
+}
+
+void ResultStore::fail(std::uint64_t key, const std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell& c = cells_[key];
+  c.bundle = nullptr;
+  c.error = error.empty() ? "execution failed" : error;
+  c.terminal = true;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+}  // namespace mkbas::serve

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/request.hpp"
+
+namespace mkbas::serve {
+
+/// The cached output of one executed cell: every deterministic artifact
+/// the mode produces, keyed by kind name ("summary", "metrics", ...).
+/// Immutable once stored — readers hold shared_ptrs, completion swaps a
+/// fresh object in, nothing is ever mutated in place.
+struct ResultBundle {
+  int exit_code = 0;
+  std::map<std::string, std::string> artifacts;
+};
+
+/// Content-addressable store over core::ExperimentRequest::cell_key().
+///
+/// Cells move through exactly one lifecycle: absent -> pending (request
+/// recorded, execution owed) -> ready | failed. `submit` is the only
+/// entry point that creates cells, so duplicate submissions — from one
+/// client retrying or many clients racing — coalesce onto the pending
+/// cell and the computation runs once.
+class ResultStore {
+ public:
+  enum class Submit {
+    kHit,        // terminal (ready or failed): answer immediately
+    kCoalesced,  // pending: someone else's execution will fill it
+    kQueued,     // newly pending: the caller owes one execution
+  };
+
+  enum class State { kUnknown, kPending, kReady, kFailed };
+
+  struct Entry {
+    State state = State::kUnknown;
+    core::ExperimentRequest request;           // valid unless kUnknown
+    std::shared_ptr<const ResultBundle> bundle;  // non-null iff kReady
+    std::string error;                         // non-empty iff kFailed
+  };
+
+  Submit submit(const core::ExperimentRequest& req);
+  Entry lookup(std::uint64_t key) const;
+  void complete(std::uint64_t key, ResultBundle bundle);
+  void fail(std::uint64_t key, const std::string& error);
+
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t coalesced() const { return coalesced_; }
+
+ private:
+  struct Cell {
+    core::ExperimentRequest request;
+    std::shared_ptr<const ResultBundle> bundle;
+    std::string error;
+    bool terminal = false;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Cell> cells_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace mkbas::serve

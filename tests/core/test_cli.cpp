@@ -33,11 +33,31 @@ TEST(Cli, FlagGrammarCoversSharedOptions) {
   EXPECT_EQ(a.seed, 9u);
   EXPECT_EQ(a.zones, 16);
   EXPECT_EQ(a.jobs, 4);
-  EXPECT_EQ(a.out, "s.json");
-  EXPECT_EQ(a.metrics_out, "m.json");
-  EXPECT_EQ(a.trace_out, "t.json");
+  EXPECT_EQ(a.artifacts[core::ArtifactKind::kSummary], "s.json");
+  EXPECT_EQ(a.artifacts[core::ArtifactKind::kMetrics], "m.json");
+  EXPECT_EQ(a.artifacts[core::ArtifactKind::kTrace], "t.json");
+  EXPECT_TRUE(a.artifacts.any());
+  EXPECT_EQ(a.artifacts.mask(),
+            core::artifact_bit(core::ArtifactKind::kSummary) |
+                core::artifact_bit(core::ArtifactKind::kMetrics) |
+                core::artifact_bit(core::ArtifactKind::kTrace));
   EXPECT_TRUE(a.has_attack);
   EXPECT_EQ(a.attack, "spoof-write");
+}
+
+TEST(Cli, EveryArtifactFlagFillsItsSlot) {
+  const auto a = parse({"campaign", "fabric", "--out", "a", "--metrics-out",
+                        "b", "--trace-out", "c", "--trace-spans", "d",
+                        "--audit-out", "e", "--critical-out", "f",
+                        "--series-out", "g", "--health-out", "h",
+                        "--flight-out", "i", "--profile-out", "j",
+                        "--profile-trace", "k"});
+  EXPECT_TRUE(a.error.empty());
+  const char* expect[core::kArtifactKinds] = {"a", "b", "c", "d", "e", "f",
+                                              "g", "h", "i", "j", "k"};
+  for (int k = 0; k < core::kArtifactKinds; ++k) {
+    EXPECT_EQ(a.artifacts[static_cast<core::ArtifactKind>(k)], expect[k]);
+  }
 }
 
 TEST(Cli, TopologyAndSyncFlagsParse) {
@@ -87,6 +107,31 @@ TEST(Cli, LegacyPositionalSpellingsStillParse) {
   ASSERT_EQ(a.pos.size(), 2u);
   EXPECT_EQ(a.pos[0], "linux");
   EXPECT_EQ(a.pos[1], "kill");
+  // Every interpreted legacy positional leaves a deprecation note.
+  ASSERT_EQ(a.legacy_notes.size(), 2u);
+  EXPECT_EQ(a.legacy_notes[0], "'linux' -> --platform linux");
+  EXPECT_EQ(a.legacy_notes[1], "'root' -> --root");
+}
+
+TEST(Cli, FlagGrammarLeavesNoLegacyNotes) {
+  const auto a =
+      parse({"attack", "--platform", "linux", "--attack", "kill", "--root"});
+  EXPECT_TRUE(a.error.empty());
+  EXPECT_TRUE(a.legacy_notes.empty());
+  const auto acked = parse({"attack", "linux", "kill", "--legacy"});
+  EXPECT_TRUE(acked.legacy);
+  EXPECT_FALSE(acked.legacy_notes.empty());
+}
+
+TEST(Cli, ServeFlagsParse) {
+  const auto a = parse({"serve", "--port", "0", "--jobs", "3", "--batch", "5"});
+  EXPECT_TRUE(a.error.empty());
+  EXPECT_EQ(a.mode, "serve");
+  EXPECT_EQ(a.port, 0);
+  EXPECT_EQ(a.jobs, 3);
+  EXPECT_EQ(a.batch, 5);
+  EXPECT_EQ(parse({"serve"}).port, 8080);
+  EXPECT_EQ(parse({"serve"}).batch, 8);
 }
 
 TEST(Cli, LegacyFaultSeedSpelling) {
@@ -112,6 +157,18 @@ TEST(Cli, UnknownFlagAndMissingValueAreErrors) {
   EXPECT_FALSE(parse({"benign", "--frobnicate"}).error.empty());
   EXPECT_FALSE(parse({"benign", "--seed"}).error.empty());
   EXPECT_FALSE(parse({"benign", "--platform", "plan9"}).error.empty());
+  // Single-dash typos are errors too; negative numbers are not flags.
+  EXPECT_FALSE(parse({"benign", "-seed", "3"}).error.empty());
+}
+
+TEST(Cli, UnknownFlagSuggestsNearestSpelling) {
+  const auto a = parse({"fabric", "--zoned", "16"});
+  ASSERT_FALSE(a.error.empty());
+  EXPECT_NE(a.error.find("--zoned"), std::string::npos);
+  EXPECT_NE(a.error.find("did you mean '--zones'"), std::string::npos);
+  const auto b = parse({"fabric", "--topology", "campos"});
+  ASSERT_FALSE(b.error.empty());
+  EXPECT_NE(b.error.find("did you mean 'campus'"), std::string::npos);
 }
 
 TEST(Cli, ParserHelpersRoundTrip) {
