@@ -15,10 +15,10 @@
 //   $ ./experiment_runner campaign <matrix|sweep|fault|fabric>
 //         [--jobs N] [--out file.json] [--zones N]
 //   $ ./experiment_runner serve [--port N] [--jobs N] [--batch N]
+//         [--slow-ms N] [--store-cap N] [--no-trace]
 //
-// Legacy positional spellings ("benign minix", "attack linux kill root",
-// "fault minix seed 7 no-probe") parse for one more release; each use
-// prints a deprecation note to stderr (silenced by --legacy).
+// Flags only: the legacy positional spellings ("benign minix",
+// "attack linux kill root") were removed after their deprecation cycle.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -50,10 +50,13 @@ int usage() {
       "[--jobs N] [--out file.json]\n"
       "       experiment_runner campaign sweep --platform P [--seeds N]\n"
       "       experiment_runner serve [--port N] [--jobs N] [--batch N]\n"
+      "                               [--slow-ms N] [--store-cap N] "
+      "[--no-trace]\n"
       "shared: --scenario <temp|uds|bsl3> --seed N --zones N --jobs N "
       "--out F --metrics-out F --trace-out F\n"
       "        --trace-spans F --audit-out F --critical-out F\n"
-      "        --series-out F --health-out F --flight-out F\n"
+      "        --series-out F --health-out F --flight-out F "
+      "--metrics-prom-out F\n"
       "        --profile-out F --profile-trace F (campaign only)\n"
       "attacks: spoof-sensor spoof-actuator kill fork-bomb brute-force "
       "flood\n");
@@ -87,14 +90,19 @@ int run_serve(const core::CliArgs& args) {
   opts.port = args.port;
   opts.jobs = args.jobs;
   opts.batch = args.batch;
+  opts.tracing = !args.no_trace;
+  opts.slow_ms = args.slow_ms;
+  opts.store_cap =
+      args.store_cap > 0 ? static_cast<std::size_t>(args.store_cap) : 0;
   serve::Daemon daemon(opts);
   std::string err;
   if (!daemon.start(&err)) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
     return 1;
   }
-  std::printf("serving on 127.0.0.1:%d (--jobs %d, --batch %d)\n",
-              daemon.port(), opts.jobs, opts.batch);
+  std::printf("serving on 127.0.0.1:%d (--jobs %d, --batch %d%s)\n",
+              daemon.port(), opts.jobs, opts.batch,
+              opts.tracing ? "" : ", tracing off");
   std::fflush(stdout);
   daemon.wait();
   std::printf("daemon stopped\n");
@@ -110,17 +118,6 @@ int main(int argc, char** argv) {
     return usage();
   }
   if (args.mode.empty()) return usage();
-
-  // Legacy positional spellings still parse, but each use is called out
-  // so scripts migrate before the spellings are removed.
-  if (!args.legacy && !args.legacy_notes.empty()) {
-    for (const std::string& n : args.legacy_notes) {
-      std::fprintf(stderr,
-                   "deprecated: positional %s (positional spellings are "
-                   "removed next release; pass --legacy to silence)\n",
-                   n.c_str());
-    }
-  }
 
   if (args.mode == "serve") return run_serve(args);
 

@@ -7,8 +7,10 @@
 #include "campaign/campaign.hpp"
 #include "core/cli.hpp"
 #include "core/hash.hpp"
+#include "core/jsonv.hpp"
 #include "core/report.hpp"
 #include "obs/json.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_export.hpp"
 
@@ -41,7 +43,8 @@ constexpr unsigned kMachineArtifacts =
     artifact_bit(ArtifactKind::kSpans) | artifact_bit(ArtifactKind::kAudit) |
     artifact_bit(ArtifactKind::kCritical) |
     artifact_bit(ArtifactKind::kSeries) | artifact_bit(ArtifactKind::kHealth) |
-    artifact_bit(ArtifactKind::kFlight);
+    artifact_bit(ArtifactKind::kFlight) |
+    artifact_bit(ArtifactKind::kMetricsProm);
 
 /// The RunOptions::observe hook for single-machine modes: snapshot every
 /// requested export while the machine is still alive. Same sequence the
@@ -52,8 +55,14 @@ std::function<void(sim::Machine&)> machine_observer(
   if ((mask & kMachineArtifacts) == 0) return {};
   return [mask, out](sim::Machine& m) {
     m.health().flush(m.now());
-    if (want(mask, ArtifactKind::kMetrics)) {
-      (*out)["metrics"] = metrics_to_json(m);
+    if (want(mask, ArtifactKind::kMetrics) ||
+        want(mask, ArtifactKind::kMetricsProm)) {
+      const std::string mj = metrics_to_json(m);
+      if (want(mask, ArtifactKind::kMetrics)) (*out)["metrics"] = mj;
+      if (want(mask, ArtifactKind::kMetricsProm)) {
+        std::string perr;
+        (*out)["metrics_prom"] = prometheus_from_metrics_json(mj, &perr);
+      }
     }
     if (want(mask, ArtifactKind::kTrace)) {
       std::ostringstream os;
@@ -328,6 +337,11 @@ ExperimentResponse run_fabric_request(const ExperimentRequest& req,
   };
   put(ArtifactKind::kSummary, "summary", fabric_summary_json(res));
   put(ArtifactKind::kMetrics, "metrics", res.metrics_json);
+  if (want(mask, ArtifactKind::kMetricsProm)) {
+    std::string perr;
+    resp.artifacts["metrics_prom"] =
+        prometheus_from_metrics_json(res.metrics_json, &perr);
+  }
   put(ArtifactKind::kSpans, "spans", res.spans_json);
   put(ArtifactKind::kAudit, "audit", res.audit_json);
   put(ArtifactKind::kCritical, "critical", res.critical_path_json);
@@ -396,6 +410,11 @@ ExperimentResponse run_campaign_request(const ExperimentRequest& req,
   };
   put(ArtifactKind::kSummary, "summary", result.summary_json());
   put(ArtifactKind::kMetrics, "metrics", result.merged_metrics_json);
+  if (want(mask, ArtifactKind::kMetricsProm)) {
+    std::string perr;
+    resp.artifacts["metrics_prom"] =
+        prometheus_from_metrics_json(result.merged_metrics_json, &perr);
+  }
   put(ArtifactKind::kSpans, "spans", result.merged_spans_json);
   put(ArtifactKind::kAudit, "audit", result.merged_audit_json);
   put(ArtifactKind::kSeries, "series", result.merged_series_json);
@@ -435,6 +454,71 @@ ExperimentResponse run_request(const ExperimentRequest& req, unsigned mask) {
 ExperimentResponse run_request(const ExperimentRequest& req) {
   return run_request(req,
                      req.artifacts.mask() | artifact_bit(ArtifactKind::kSummary));
+}
+
+std::string prometheus_from_metrics_json(const std::string& metrics_json,
+                                         std::string* err) {
+  Json doc;
+  if (!json_parse(metrics_json, &doc, err)) return "";
+  if (!doc.is_object()) {
+    *err = "metrics export must be a JSON object";
+    return "";
+  }
+  obs::PromSnapshot snap;
+  if (const Json* c = doc.find("counters"); c != nullptr && c->is_object()) {
+    for (const auto& [name, v] : c->members) {
+      if (!v.is_number() || !v.is_u64()) {
+        *err = "'counters." + name + "': expected a non-negative integer";
+        return "";
+      }
+      snap.counters.emplace_back(name, v.as_u64());
+    }
+  }
+  if (const Json* g = doc.find("gauges"); g != nullptr && g->is_object()) {
+    for (const auto& [name, v] : g->members) {
+      if (!v.is_number()) {
+        *err = "'gauges." + name + "': expected a number";
+        return "";
+      }
+      snap.gauges.emplace_back(name, v.number);
+    }
+  }
+  if (const Json* hs = doc.find("histograms");
+      hs != nullptr && hs->is_object()) {
+    for (const auto& [name, h] : hs->members) {
+      if (!h.is_object()) {
+        *err = "'histograms." + name + "': expected an object";
+        return "";
+      }
+      obs::PromHistogram ph;
+      ph.name = name;
+      // The JSON export lists only non-empty buckets; accumulating them
+      // in order reproduces exactly the cumulative sequence the live
+      // registry renderer computes after its own empty-bucket elision.
+      if (const Json* bs = h.find("buckets");
+          bs != nullptr && bs->kind == Json::Kind::kArray) {
+        std::uint64_t cum = 0;
+        for (const Json& b : bs->items) {
+          const Json* le = b.find("le");
+          const Json* count = b.find("count");
+          if (le == nullptr || !le->is_number() || count == nullptr ||
+              !count->is_u64()) {
+            *err = "'histograms." + name + "': malformed bucket";
+            return "";
+          }
+          cum += count->as_u64();
+          ph.bounds.push_back(le->number);
+          ph.cumulative.push_back(cum);
+        }
+      }
+      const Json* count = h.find("count");
+      const Json* sum = h.find("sum");
+      ph.count = count != nullptr && count->is_u64() ? count->as_u64() : 0;
+      ph.sum = sum != nullptr && sum->is_number() ? sum->number : 0.0;
+      snap.histograms.push_back(std::move(ph));
+    }
+  }
+  return obs::prometheus_render(snap);
 }
 
 }  // namespace mkbas::core

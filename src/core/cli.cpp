@@ -58,7 +58,8 @@ namespace {
 const char* const kArtifactFlags[kArtifactKinds] = {
     "--out",          "--metrics-out",  "--trace-out",   "--trace-spans",
     "--audit-out",    "--critical-out", "--series-out",  "--health-out",
-    "--flight-out",   "--profile-out",  "--profile-trace"};
+    "--flight-out",   "--metrics-prom-out",
+    "--profile-out",  "--profile-trace"};
 
 std::vector<std::string> known_flags() {
   std::vector<std::string> f = {
@@ -66,7 +67,7 @@ std::vector<std::string> known_flags() {
       "--seeds",    "--topology", "--floors",   "--buildings", "--sync",
       "--lite",     "--attack",   "--root",     "--quota", "--acl",
       "--no-probe", "--csv",      "--md",       "--port",  "--batch",
-      "--legacy"};
+      "--slow-ms",  "--store-cap", "--no-trace"};
   for (const char* a : kArtifactFlags) f.emplace_back(a);
   return f;
 }
@@ -81,9 +82,6 @@ CliArgs parse_cli(int argc, char** argv) {
       return nullptr;
     }
     return argv[++i];
-  };
-  auto note = [&](const std::string& spelling, const std::string& use) {
-    a.legacy_notes.push_back("'" + spelling + "' -> " + use);
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -184,8 +182,16 @@ CliArgs parse_cli(int argc, char** argv) {
       const char* v = value(i, "--batch");
       if (v == nullptr) return a;
       a.batch = std::atoi(v);
-    } else if (arg == "--legacy") {
-      a.legacy = true;
+    } else if (arg == "--slow-ms") {
+      const char* v = value(i, "--slow-ms");
+      if (v == nullptr) return a;
+      a.slow_ms = std::atoi(v);
+    } else if (arg == "--store-cap") {
+      const char* v = value(i, "--store-cap");
+      if (v == nullptr) return a;
+      a.store_cap = std::atoi(v);
+    } else if (arg == "--no-trace") {
+      a.no_trace = true;
     } else if (arg.size() >= 2 && arg[0] == '-' &&
                !(arg[1] >= '0' && arg[1] <= '9')) {
       // Any unrecognized flag — double- or single-dash — is an error.
@@ -196,36 +202,10 @@ CliArgs parse_cli(int argc, char** argv) {
     } else if (a.mode.empty()) {
       a.mode = arg;
     } else {
-      // Legacy positional spellings parse for one more release; each use
-      // is recorded so the runner can print a deprecation note.
-      if (arg == "root") {
-        a.root = true;
-        note(arg, "--root");
-      } else if (arg == "quota") {
-        a.quota = true;
-        note(arg, "--quota");
-      } else if (arg == "acl") {
-        a.acl = true;
-        note(arg, "--acl");
-      } else if (arg == "no-probe") {
-        a.no_probe = true;
-        note(arg, "--no-probe");
-      } else if (arg == "seed" && i + 1 < argc) {
-        a.seed = std::strtoull(argv[++i], nullptr, 10);
-        a.has_seed = true;
-        note("seed N", "--seed N");
-      } else if (arg == "seeds" && i + 1 < argc) {
-        a.seeds = std::atoi(argv[++i]);
-        note("seeds N", "--seeds N");
-      } else {
-        bas::Platform p;
-        if (!a.has_platform && parse_platform(arg, &p)) {
-          a.platform = p;
-          a.has_platform = true;
-          note(arg, "--platform " + arg);
-        }
-        a.pos.push_back(arg);
-      }
+      // Positionals beyond the mode are passed through untouched; only
+      // the campaign submode reads them. The legacy spellings ("root",
+      // "seed N", bare platform names) are gone — flags only.
+      a.pos.push_back(arg);
     }
   }
   return a;

@@ -19,17 +19,15 @@ namespace mkbas::core {
 ///   --out FILE --metrics-out FILE --trace-out FILE
 ///   --trace-spans FILE --audit-out FILE --critical-out FILE
 ///   --series-out FILE --health-out FILE --flight-out FILE
-///   --profile-out FILE --profile-trace FILE
+///   --metrics-prom-out FILE --profile-out FILE --profile-trace FILE
 ///   --attack <name>  --root --quota --acl --no-probe --csv --md
-///   --port N --batch N          (serve mode)
-///   --legacy                    (acknowledge legacy positional spellings)
+///   --port N --batch N --slow-ms N --store-cap N --no-trace  (serve mode)
 ///
-/// Legacy positional spellings (platform names, "root", "seed N", ...)
-/// parse for one more release: they land in `pos` for the subcommand to
-/// interpret, fill the matching typed field, and append a deprecation
-/// note to `legacy_notes` (printed to stderr unless --legacy is given).
-/// Unknown flags — single- or double-dash — are parse errors with a
-/// did-you-mean hint; they no longer fall through into `pos`.
+/// Every option is a flag: positionals beyond the mode (and the
+/// campaign submode) are passed through in `pos` untouched, and unknown
+/// flags — single- or double-dash — are parse errors with a
+/// did-you-mean hint. The legacy positional spellings ("root",
+/// "seed N", bare platform names) are gone; spell them as flags.
 struct CliArgs {
   std::string mode;                // first positional ("benign", ...)
   std::vector<std::string> pos;    // remaining positionals, in order
@@ -51,7 +49,7 @@ struct CliArgs {
   net::SyncMode sync = net::SyncMode::kLookahead;
   bool lite = false;   // --lite: gateway-only zones (city scale)
   /// Requested artifact exports, one path slot per ArtifactKind —
-  /// replaces the eleven separate `*_out` string fields. --out fills
+  /// replaces the dozen separate `*_out` string fields. --out fills
   /// kSummary, --metrics-out kMetrics, and so on.
   ArtifactRequest artifacts;
   bool has_attack = false;
@@ -63,11 +61,13 @@ struct CliArgs {
   std::string format;              // "", "csv" or "md"
   int port = 8080;                 // --port: serve listen port (0 = any)
   int batch = 8;                   // --batch: serve max cells per batch
-  /// --legacy: the caller acknowledges legacy positional spellings;
-  /// suppresses the deprecation notes below.
-  bool legacy = false;
-  /// One entry per legacy positional interpreted ("'root' -> --root").
-  std::vector<std::string> legacy_notes;
+  /// --slow-ms: serve slow-request forensics threshold (0 = snapshot
+  /// every request; useful under test).
+  int slow_ms = 250;
+  /// --store-cap: serve result-store cell bound (0 = unbounded).
+  int store_cap = 0;
+  /// --no-trace: disable serve request tracing + SSE event publication.
+  bool no_trace = false;
 
   /// Non-empty when parsing failed; the caller prints usage.
   std::string error;

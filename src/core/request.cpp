@@ -14,8 +14,9 @@ namespace mkbas::core {
 namespace {
 
 const char* const kArtifactNames[kArtifactKinds] = {
-    "summary", "metrics", "trace",  "spans",   "audit",        "critical",
-    "series",  "health",  "flight", "profile", "profile_trace"};
+    "summary", "metrics", "trace",        "spans",   "audit",
+    "critical", "series", "health",       "flight",  "metrics_prom",
+    "profile",  "profile_trace"};
 
 const char* const kModeNames[kRequestModes] = {
     "benign",          "attack",         "matrix",
@@ -421,27 +422,13 @@ bool request_from_cli(const CliArgs& a, ExperimentRequest* out,
   r.artifacts = a.artifacts;
 
   if (r.mode == RequestMode::kAttack) {
-    if (a.has_attack) {
-      r.attack = a.attack;
-    } else {
-      // Legacy: "attack <platform> <kind> [root]" — the kind hides among
-      // the positionals (the platform name was consumed by parse_cli).
-      attack::AttackKind k;
-      bool found = false;
-      for (const std::string& p : a.pos) {
-        if (parse_attack_kind(p, &k)) {
-          r.attack = p;
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        *err = "mode 'attack' needs --attack "
-               "<spoof-sensor|spoof-actuator|kill|fork-bomb|brute-force|"
-               "flood>";
-        return false;
-      }
+    if (!a.has_attack) {
+      *err = "mode 'attack' needs --attack "
+             "<spoof-sensor|spoof-actuator|kill|fork-bomb|brute-force|"
+             "flood>";
+      return false;
     }
+    r.attack = a.attack;
   } else if (r.mode == RequestMode::kFabric ||
              r.mode == RequestMode::kCampaignFabric) {
     if (a.has_attack) r.attack = a.attack;

@@ -27,17 +27,18 @@ enum class ArtifactKind {
   kSeries,       // --series-out
   kHealth,       // --health-out
   kFlight,       // --flight-out
+  kMetricsProm,  // --metrics-prom-out (Prometheus text exposition)
   kProfile,      // --profile-out (campaign pool; never cached)
   kProfileTrace, // --profile-trace (campaign pool; never cached)
 };
-inline constexpr int kArtifactKinds = 11;
+inline constexpr int kArtifactKinds = 12;
 
 const char* to_string(ArtifactKind k);
 bool parse_artifact_kind(const std::string& s, ArtifactKind* out);
 bool artifact_is_deterministic(ArtifactKind k);
 
 /// Which artifacts a front-end wants, and (CLI only) where each goes.
-/// Replaces the eleven separate `*_out` strings CliArgs used to carry:
+/// Replaces the dozen separate `*_out` strings CliArgs used to carry:
 /// drivers iterate kinds instead of plumbing one field per file.
 struct ArtifactRequest {
   std::array<std::string, kArtifactKinds> path{};  // "" = not requested
@@ -146,10 +147,9 @@ struct ExperimentRequest {
 bool parse_request_json(const std::string& json, ExperimentRequest* out,
                         std::string* err);
 
-/// The CLI adapter: interpret one parsed flag set (including legacy
-/// positional spellings) as a canonical request. Returns false + *err
-/// when the combination does not name a runnable experiment (the caller
-/// prints usage).
+/// The CLI adapter: interpret one parsed flag set as a canonical
+/// request. Returns false + *err when the combination does not name a
+/// runnable experiment (the caller prints usage).
 bool request_from_cli(const CliArgs& a, ExperimentRequest* out,
                       std::string* err);
 

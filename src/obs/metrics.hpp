@@ -148,6 +148,10 @@ class MetricsRegistry {
   static std::vector<double> log_bounds(int sub_buckets, double max);
 
  private:
+  /// obs/prometheus.cpp: text-exposition rendering walks the cell maps
+  /// under mu_ without widening the public surface.
+  friend std::string prometheus_render(const MetricsRegistry&);
+
   mutable std::mutex mu_;
   bool enabled_ = true;
   std::deque<std::uint64_t> counter_cells_;

@@ -1,0 +1,95 @@
+#include "obs/prometheus.hpp"
+
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace mkbas::obs {
+
+std::string prometheus_name(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 1);
+  for (char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+namespace {
+
+void render_histogram(std::string* out, const PromHistogram& h) {
+  const std::string name = prometheus_name(h.name);
+  *out += "# TYPE " + name + " histogram\n";
+  std::uint64_t prev = 0;
+  const std::size_t n =
+      h.bounds.size() < h.cumulative.size() ? h.bounds.size()
+                                            : h.cumulative.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (h.cumulative[i] == prev) continue;  // elide empty buckets
+    prev = h.cumulative[i];
+    *out += name + "_bucket{le=\"" + json_double(h.bounds[i]) + "\"} " +
+            std::to_string(h.cumulative[i]) + "\n";
+  }
+  *out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+  *out += name + "_sum " + json_double(h.sum) + "\n";
+  *out += name + "_count " + std::to_string(h.count) + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_render(const PromSnapshot& snap) {
+  std::string out;
+  out.reserve(256 + snap.counters.size() * 48 + snap.gauges.size() * 48 +
+              snap.histograms.size() * 512);
+  for (const auto& [raw, v] : snap.counters) {
+    const std::string name = prometheus_name(raw) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [raw, v] : snap.gauges) {
+    const std::string name = prometheus_name(raw);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + json_double(v) + "\n";
+  }
+  for (const auto& h : snap.histograms) render_histogram(&out, h);
+  return out;
+}
+
+std::string prometheus_render(const MetricsRegistry& reg) {
+  PromSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lk(reg.mu_);
+    snap.counters.reserve(reg.counters_.size());
+    for (const auto& [name, cell] : reg.counters_) {
+      snap.counters.emplace_back(name, *cell);
+    }
+    snap.gauges.reserve(reg.gauges_.size());
+    for (const auto& [name, cell] : reg.gauges_) {
+      snap.gauges.emplace_back(name, *cell);
+    }
+    snap.histograms.reserve(reg.histograms_.size());
+    for (const auto& [name, cell] : reg.histograms_) {
+      PromHistogram h;
+      h.name = name;
+      const auto& bounds = *cell->bounds;
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (cell->counts[i] == 0) continue;  // mirror to_json's elision
+        cum += cell->counts[i];
+        h.bounds.push_back(bounds[i]);
+        h.cumulative.push_back(cum);
+      }
+      h.count = cell->count;
+      h.sum = cell->sum;
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  return prometheus_render(snap);
+}
+
+}  // namespace mkbas::obs

@@ -7,11 +7,14 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "campaign/pool.hpp"
 #include "obs/metrics.hpp"
+#include "serve/events.hpp"
 #include "serve/http.hpp"
 #include "serve/result_store.hpp"
+#include "serve/tracer.hpp"
 
 namespace mkbas::serve {
 
@@ -19,6 +22,16 @@ struct DaemonOptions {
   int port = 8080;  // 0 = any free port (tests)
   int jobs = 1;     // pool workers for cache-miss batches
   int batch = 8;    // max cells drained into one pool batch
+  /// Request tracing + live event publication (--no-trace turns both
+  /// off; the bench A/B arm prices them).
+  bool tracing = true;
+  /// Slow-request forensics threshold, milliseconds: a request whose
+  /// ingress-to-flush total (or a cell whose execution wall) crosses it
+  /// snapshots the span chain + store state into the flight recorder.
+  /// 0 = snapshot every request (tests).
+  int slow_ms = 250;
+  /// Result-store cell bound, 0 = unbounded (--store-cap).
+  std::size_t store_cap = 0;
 };
 
 /// The experiment daemon: canonical requests in, cached bundles out.
@@ -27,6 +40,11 @@ struct DaemonOptions {
 ///   GET  /result/<key>   ?artifact=<kind>, default summary
 ///   GET  /replay/<key>   re-execute, byte-compare against the cache
 ///   GET  /status         counters, queue depth, pool profile
+///   GET  /metrics        Prometheus text exposition of the registry
+///   GET  /trace          Perfetto JSON of the request span chains
+///   GET  /events         SSE stream: requests, cell transitions,
+///                        health.anomaly / audit entries from executions
+///   GET  /flight         slow-request forensics snapshots
 ///   POST /shutdown       stop accepting, wake wait()
 ///
 /// Two threads beyond the caller's: the HTTP event loop (fast paths —
@@ -36,6 +54,14 @@ struct DaemonOptions {
 /// a single request — into batches of at most `batch` cells, fans each
 /// batch across the work-stealing pool, and completes the store entries.
 /// Every route is also reachable in-process via handle() for tests.
+///
+/// Observability (DESIGN.md §14): every HTTP request is traced into a
+/// host-time span chain keyed by cell key (ServeTracer), every request
+/// and cell transition is published to SSE subscribers (EventHub), and
+/// the registry grows per-route latency/size histograms, queue-wait and
+/// execution-wall histograms, per-client fairness counters and store
+/// hit/coalesce/evict accounting — all host-side state, never part of a
+/// cached bundle.
 class Daemon {
  public:
   explicit Daemon(const DaemonOptions& opts);
@@ -58,27 +84,53 @@ class Daemon {
   const ResultStore& store() const { return store_; }
   /// Cells executed through the pool (not hits, not coalesced waits).
   std::uint64_t executions() const;
+  /// Test hooks into the observability plane.
+  const EventHub& events() const { return hub_; }
+  obs::SpanStore trace_snapshot() const { return tracer_.snapshot(); }
 
  private:
+  struct RouteStats {
+    obs::Histogram latency;  // serve.http.latency_us.<route>, host µs
+    obs::Histogram size;     // serve.http.resp_bytes.<route>
+  };
+
   void executor_loop();
   void enqueue(const std::string& client, std::uint64_t key);
+  /// Parse the executed bundle's audit artifact and publish its entries
+  /// (health.anomaly first-class) to SSE subscribers, then the
+  /// execution event itself. No-op without subscribers.
+  void publish_execution(std::uint64_t key, const ResultBundle* bundle,
+                         bool failed, std::uint64_t wall_us);
 
-  HttpResponse post_run(const HttpRequest& req);
-  HttpResponse get_result(std::uint64_t key, const HttpRequest& req);
-  HttpResponse get_replay(std::uint64_t key);
+  HttpResponse post_run(const HttpRequest& req,
+                        ServeTracer::RequestTimes* times,
+                        std::uint64_t* cell_key);
+  HttpResponse get_result(std::uint64_t key, const HttpRequest& req,
+                          ServeTracer::RequestTimes* times);
+  HttpResponse get_replay(std::uint64_t key,
+                          ServeTracer::RequestTimes* times);
   HttpResponse get_status();
+  HttpResponse get_metrics();
+  HttpResponse get_events();
+
+  RouteStats& route_stats(const std::string& route);
+  void bump_client(const std::string& client);
 
   DaemonOptions opts_;
   ResultStore store_;
   campaign::WorkStealingPool pool_;
   HttpServer http_;
+  ServeTracer tracer_;
+  EventHub hub_;
 
   std::mutex mu_;
   std::condition_variable cv_;
-  /// Per-client FIFO of pending cell keys, plus the round-robin rotation
-  /// of clients with work. A client appears in rotation_ iff its queue
-  /// is non-empty.
-  std::map<std::string, std::deque<std::uint64_t>> queues_;
+  /// Per-client FIFO of (pending cell key, enqueue host_us) — the second
+  /// element feeds the queue-wait histogram at drain time — plus the
+  /// round-robin rotation of clients with work. A client appears in
+  /// rotation_ iff its queue is non-empty.
+  std::map<std::string, std::deque<std::pair<std::uint64_t, std::uint64_t>>>
+      queues_;
   std::deque<std::string> rotation_;
   std::size_t queue_depth_ = 0;
   bool stopping_ = false;
@@ -88,7 +140,21 @@ class Daemon {
   /// every machine export); handles are updated under mu_.
   obs::MetricsRegistry reg_;
   obs::Counter requests_, bad_requests_, replays_, executions_ctr_;
+  obs::Counter store_hits_, store_misses_, store_coalesced_;
   obs::Gauge depth_gauge_;
+  obs::Histogram queue_wait_hist_, exec_wall_hist_;
+  std::map<std::string, RouteStats> route_stats_;      // under mu_
+  std::map<std::string, obs::Counter> client_counters_;  // under mu_
+
+  /// Publisher-side rate limit on per-request SSE events (under mu_):
+  /// a hit storm must not become a frame firehose. Suppressed events
+  /// are accounted — the running count rides the next published request
+  /// event, the cumulative one is scraped as a metric.
+  static constexpr std::uint64_t kMaxRequestEventsPerSec = 500;
+  std::uint64_t req_event_window_us_ = 0;
+  std::uint64_t req_events_in_window_ = 0;
+  std::uint64_t req_events_suppressed_ = 0;
+  std::uint64_t req_events_suppressed_total_ = 0;
 
   std::thread executor_;
   bool started_ = false;

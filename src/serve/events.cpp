@@ -1,0 +1,75 @@
+#include "serve/events.hpp"
+
+#include <cstdio>
+
+namespace mkbas::serve {
+
+void EventHub::subscribe(std::uint64_t stream_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  subs_[stream_id];
+  nsubs_.store(subs_.size(), std::memory_order_relaxed);
+}
+
+void EventHub::unsubscribe(std::uint64_t stream_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  subs_.erase(stream_id);
+  nsubs_.store(subs_.size(), std::memory_order_relaxed);
+}
+
+void EventHub::publish(const std::string& type, const std::string& json) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (subs_.empty()) return;
+  ++published_;
+  const std::uint64_t id = ++seq_;
+  char idbuf[24];
+  const int idlen = std::snprintf(idbuf, sizeof idbuf, "%llu",
+                                  static_cast<unsigned long long>(id));
+  std::string frame;
+  frame.reserve(24 + type.size() + static_cast<std::size_t>(idlen) +
+                json.size());
+  frame += "event: ";
+  frame += type;
+  frame += "\nid: ";
+  frame.append(idbuf, static_cast<std::size_t>(idlen));
+  frame += "\ndata: ";
+  frame += json;
+  frame += "\n\n";
+  for (auto& [sid, sub] : subs_) {
+    if (!sink_) {
+      ++dropped_;
+      ++sub.dropped_run;
+      continue;
+    }
+    // A subscriber that lost frames learns how many, as soon as its
+    // buffer has room again — dropped-with-accounting, end to end.
+    if (sub.dropped_run > 0) {
+      const std::string notice =
+          "event: dropped\ndata: {\"dropped\":" +
+          std::to_string(sub.dropped_run) + "}\n\n";
+      if (sink_(sid, notice, kMaxBuffered)) sub.dropped_run = 0;
+    }
+    if (sink_(sid, frame, kMaxBuffered)) {
+      ++delivered_;
+    } else {
+      ++dropped_;
+      ++sub.dropped_run;
+    }
+  }
+}
+
+std::uint64_t EventHub::published() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return published_;
+}
+
+std::uint64_t EventHub::delivered() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return delivered_;
+}
+
+std::uint64_t EventHub::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+}  // namespace mkbas::serve

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace mkbas::serve {
+
+/// Fan-out of structured serve-plane events to SSE subscribers
+/// (GET /events). The hub renders one Server-Sent-Events frame per
+/// publish and offers it to every subscriber through a sink the daemon
+/// wires to HttpServer::stream_write — a bounded, non-blocking append.
+/// A slow consumer whose buffer is full loses the frame (the hub
+/// accounts for the drop and tells the consumer with a `dropped` frame
+/// once it drains); it can never block the publisher, which is the HTTP
+/// loop or the executor mid-batch.
+///
+/// Event types published by the daemon:
+///   request         one per handled HTTP request (accepted/completed)
+///   cell            cell state transitions (queued, ready, failed)
+///   execution       exactly one per pool execution of a cell
+///   health.anomaly  health.anomaly journal entries from executed cells
+///   audit           other audit-journal entries (denials, verdicts)
+///   dropped         backpressure notice after a drop run (per subscriber)
+class EventHub {
+ public:
+  /// Per-subscriber outbound cap handed to the sink: frames beyond this
+  /// backlog drop.
+  static constexpr std::size_t kMaxBuffered = 256 * 1024;
+
+  /// (stream_id, frame, max_buffered) -> accepted. Set before serving.
+  using SinkFn = std::function<bool(std::uint64_t, const std::string&,
+                                    std::size_t)>;
+
+  void set_sink(SinkFn sink) {
+    std::lock_guard<std::mutex> lk(mu_);
+    sink_ = std::move(sink);
+  }
+
+  void subscribe(std::uint64_t stream_id);
+  void unsubscribe(std::uint64_t stream_id);
+
+  /// Render "event: <type>\nid: <seq>\ndata: <json>\n\n" and offer it
+  /// to every subscriber. `json` must be one line.
+  void publish(const std::string& type, const std::string& json);
+
+  /// Lock-free: request handlers poll this on every request to skip
+  /// event construction entirely while nobody is listening.
+  std::size_t subscribers() const {
+    return nsubs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t published() const;
+  std::uint64_t delivered() const;
+  std::uint64_t dropped() const;
+
+ private:
+  struct Sub {
+    std::uint64_t dropped_run = 0;  // drops since the last delivery
+  };
+
+  mutable std::mutex mu_;
+  SinkFn sink_;
+  std::map<std::uint64_t, Sub> subs_;
+  std::atomic<std::size_t> nsubs_{0};  // mirrors subs_.size()
+  std::uint64_t seq_ = 0;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mkbas::serve

@@ -10,11 +10,21 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 
 namespace mkbas::serve {
+
+std::uint64_t host_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                            epoch)
+          .count());
+}
 
 namespace {
 
@@ -98,7 +108,10 @@ int parse_request(std::string* in, HttpRequest* req) {
   if (it != req->headers.end()) {
     char* end = nullptr;
     body_len = std::strtoull(it->second.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || body_len > kMaxBody) return -1;
+    if (end == nullptr || *end != '\0' || it->second.empty() ||
+        body_len > kMaxBody) {
+      return -1;
+    }
   }
   const std::size_t total = head_end + 4 + body_len;
   if (in->size() < total) return 0;
@@ -116,6 +129,14 @@ std::string render(const HttpResponse& r, bool close_after) {
   out += "\r\n";
   out += r.body;
   return out;
+}
+
+/// Streaming (SSE) header block: no Content-Length — the response body
+/// is open-ended and ends when the connection does.
+std::string render_stream_head(const HttpResponse& r) {
+  return "HTTP/1.1 " + std::to_string(r.status) + " " + reason(r.status) +
+         "\r\nContent-Type: " + r.content_type +
+         "\r\nCache-Control: no-cache\r\n\r\n" + r.body;
 }
 
 }  // namespace
@@ -183,6 +204,10 @@ bool HttpServer::start(int port, HttpHandler handler, std::string* err) {
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
+  {
+    std::lock_guard<std::mutex> lk(stream_mu_);
+    streams_closed_ = false;
+  }
   running_ = true;
   thread_ = std::thread([this] { loop(); });
   return true;
@@ -191,9 +216,20 @@ bool HttpServer::start(int port, HttpHandler handler, std::string* err) {
 void HttpServer::stop() {
   if (!running_) return;
   running_ = false;
-  const std::uint64_t one = 1;
-  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+  {
+    // Refuse further stream_write appends; the eventfd write below is
+    // safe because writers only touch wake_fd_ under stream_mu_ while
+    // streams_closed_ is still false.
+    std::lock_guard<std::mutex> lk(stream_mu_);
+    streams_closed_ = true;
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+  }
   if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lk(stream_mu_);
+    streams_.clear();
+  }
   for (auto& [fd, c] : conns_) ::close(fd);
   conns_.clear();
   ::close(listen_fd_);
@@ -202,36 +238,126 @@ void HttpServer::stop() {
   listen_fd_ = epoll_fd_ = wake_fd_ = -1;
 }
 
+bool HttpServer::stream_write(std::uint64_t stream_id, const std::string& data,
+                              std::size_t max_buffered) {
+  std::lock_guard<std::mutex> lk(stream_mu_);
+  if (streams_closed_) return false;
+  const auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return false;
+  if (it->second.pending.size() + data.size() > max_buffered) return false;
+  it->second.pending += data;
+  if (it->second.pending.size() <= kStreamBurstBytes &&
+      std::this_thread::get_id() ==
+          loop_tid_.load(std::memory_order_relaxed)) {
+    // On the loop thread (a request handler publishing events) the loop
+    // itself drains on its stream tick — no self-wake. A large backlog
+    // falls through to the eventfd for an immediate drain.
+    local_stream_pending_.store(true, std::memory_order_relaxed);
+  } else if (!wake_armed_.exchange(true)) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+  }
+  return true;
+}
+
+void HttpServer::drain_streams() {
+  std::lock_guard<std::mutex> lk(stream_mu_);
+  for (auto& [id, sb] : streams_) {
+    if (sb.pending.empty()) continue;
+    const auto it = conns_.find(sb.fd);
+    if (it == conns_.end()) {
+      sb.pending.clear();
+      continue;
+    }
+    it->second.out += sb.pending;
+    sb.pending.clear();
+    flush(&it->second);
+  }
+}
+
 void HttpServer::flush(Conn* c) {
   while (!c->out.empty()) {
     const ssize_t n = ::send(c->fd, c->out.data(), c->out.size(), MSG_NOSIGNAL);
     if (n > 0) {
       c->out.erase(0, static_cast<std::size_t>(n));
+      c->sent_total += static_cast<std::uint64_t>(n);
     } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // Level-triggered EPOLLOUT will call us again.
       epoll_event ev{};
       ev.events = EPOLLIN | EPOLLOUT;
       ev.data.fd = c->fd;
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
-      return;
+      break;
     } else {
       c->close_after_write = true;
       c->out.clear();
-      return;
+      break;
     }
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = c->fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+  if (c->out.empty()) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = c->fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+  }
+  // Report every tokened response whose bytes have fully left userspace.
+  if (!c->tokens.empty() && flush_observer_) {
+    const std::uint64_t now = host_us();
+    std::size_t kept = 0;
+    for (const auto& [token, off] : c->tokens) {
+      if (off <= c->sent_total) {
+        flush_observer_(token, now);
+      } else {
+        c->tokens[kept++] = {token, off};
+      }
+    }
+    c->tokens.resize(kept);
+  }
+}
+
+void HttpServer::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  if (c.streaming) {
+    {
+      std::lock_guard<std::mutex> lk(stream_mu_);
+      streams_.erase(c.stream_id);
+    }
+    if (on_stream_close_) on_stream_close_(c.stream_id);
+  }
+  // A dead connection still resolves its pending flush tokens (the
+  // flush "ended" when the peer went away) so trace spans never leak.
+  if (!c.tokens.empty() && flush_observer_) {
+    const std::uint64_t now = host_us();
+    for (const auto& [token, off] : c.tokens) flush_observer_(token, now);
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
 }
 
 bool HttpServer::drain_requests(Conn* c) {
   for (;;) {
+    if (c->ingress_us == 0) c->ingress_us = host_us();
     HttpRequest req;
     const int r = parse_request(&c->in, &req);
     if (r == 0) return true;
-    if (r < 0) return false;
+    if (r < 0) {
+      // Protocol error: answer 400 and close — a broken client gets a
+      // diagnosis, never a hang (and never a free parse of whatever
+      // follows the malformed bytes).
+      HttpResponse bad;
+      bad.status = 400;
+      bad.body = "{\"error\":\"malformed HTTP request\"}";
+      c->out += render(bad, true);
+      c->close_after_write = true;
+      c->in.clear();
+      return true;
+    }
+    req.ingress_us = c->ingress_us;
+    c->ingress_us = 0;  // next pipelined request stamps afresh
+    req.parsed_us = host_us();
     req.client = c->peer;
     if (const std::string* id = req.header("x-client")) req.client = *id;
     const std::string* conn_hdr = req.header("connection");
@@ -243,8 +369,28 @@ bool HttpServer::drain_requests(Conn* c) {
     } catch (const std::exception& e) {
       resp.status = 500;
       resp.body = std::string("{\"error\":\"") + e.what() + "\"}";
+      resp.stream = false;
+    }
+    if (resp.stream) {
+      // The connection becomes a push channel: headers out now, frames
+      // arrive via stream_write until the peer hangs up.
+      c->streaming = true;
+      c->in.clear();  // pipelined bytes after an SSE subscribe are noise
+      {
+        std::lock_guard<std::mutex> lk(stream_mu_);
+        c->stream_id = next_stream_id_++;
+        StreamBuf& sb = streams_[c->stream_id];
+        sb.fd = c->fd;
+      }
+      c->out += render_stream_head(resp);
+      if (on_stream_open_) on_stream_open_(c->stream_id, req);
+      return true;
     }
     c->out += render(resp, close_after);
+    if (resp.trace_token != 0) {
+      c->tokens.emplace_back(resp.trace_token,
+                             c->sent_total + c->out.size());
+    }
     if (close_after) {
       c->close_after_write = true;
       return true;
@@ -253,9 +399,25 @@ bool HttpServer::drain_requests(Conn* c) {
 }
 
 void HttpServer::loop() {
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   epoll_event events[64];
   while (running_) {
-    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    // Coalesced stream delivery: frames queued by loop-thread handlers
+    // wait out the stream tick (bounding the epoll timeout so they can
+    // never starve), then go out in one send per subscriber.
+    int timeout_ms = -1;
+    if (local_stream_pending_.load(std::memory_order_relaxed)) {
+      const std::uint64_t now = host_us();
+      const std::uint64_t elapsed = now - last_stream_drain_us_;
+      if (elapsed >= kStreamTickUs) {
+        local_stream_pending_.store(false, std::memory_order_relaxed);
+        drain_streams();
+        last_stream_drain_us_ = now;
+      } else {
+        timeout_ms = static_cast<int>((kStreamTickUs - elapsed) / 1000) + 1;
+      }
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;
@@ -265,6 +427,14 @@ void HttpServer::loop() {
       if (fd == wake_fd_) {
         std::uint64_t tok;
         [[maybe_unused]] const auto r = ::read(wake_fd_, &tok, sizeof tok);
+        wake_armed_.store(false);
+        if (running_) {
+          // An off-thread or burst wake drains everything, including
+          // coalesced loop-thread frames: restart their tick.
+          local_stream_pending_.store(false, std::memory_order_relaxed);
+          drain_streams();
+          last_stream_drain_us_ = host_us();
+        }
         continue;  // running_ checked at loop top
       }
       if (fd == listen_fd_) {
@@ -295,6 +465,7 @@ void HttpServer::loop() {
       bool dead = false;
       if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) dead = true;
       if (!dead && (events[i].events & EPOLLIN) != 0) {
+        const bool was_empty = c.in.empty();
         char buf[16 * 1024];
         for (;;) {
           const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
@@ -310,14 +481,17 @@ void HttpServer::loop() {
             break;
           }
         }
-        if (!dead && !drain_requests(&c)) dead = true;
+        if (was_empty && !c.in.empty() && c.ingress_us == 0) {
+          c.ingress_us = host_us();
+        }
+        if (c.streaming) {
+          c.in.clear();  // subscribers have nothing more to say
+        } else if (!dead && !drain_requests(&c)) {
+          dead = true;
+        }
       }
       if (!dead && !c.out.empty()) flush(&c);
-      if (dead || (c.close_after_write && c.out.empty())) {
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-        ::close(fd);
-        conns_.erase(it);
-      }
+      if (dead || (c.close_after_write && c.out.empty())) close_conn(fd);
     }
   }
 }

@@ -46,6 +46,8 @@ void ResultStore::complete(std::uint64_t key, ResultBundle bundle) {
   c.bundle = std::move(shared);
   c.error.clear();
   c.terminal = true;
+  completed_order_.push_back(key);
+  evict_locked();
 }
 
 void ResultStore::fail(std::uint64_t key, const std::string& error) {
@@ -54,6 +56,26 @@ void ResultStore::fail(std::uint64_t key, const std::string& error) {
   c.bundle = nullptr;
   c.error = error.empty() ? "execution failed" : error;
   c.terminal = true;
+  completed_order_.push_back(key);
+  evict_locked();
+}
+
+void ResultStore::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = cap;
+  evict_locked();
+}
+
+void ResultStore::evict_locked() {
+  if (capacity_ == 0) return;
+  while (cells_.size() > capacity_ && !completed_order_.empty()) {
+    const std::uint64_t victim = completed_order_.front();
+    completed_order_.pop_front();
+    const auto it = cells_.find(victim);
+    if (it == cells_.end() || !it->second.terminal) continue;  // stale
+    cells_.erase(it);
+    ++evictions_;
+  }
 }
 
 std::size_t ResultStore::size() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,15 @@ class ResultStore {
   void complete(std::uint64_t key, ResultBundle bundle);
   void fail(std::uint64_t key, const std::string& error);
 
+  /// Bound the store to `cap` cells (0 = unbounded, the default). When a
+  /// completion pushes the population past the cap, the oldest terminal
+  /// cells are evicted — pending cells are never touched (someone owes
+  /// them an execution) — and each eviction is counted. An evicted key
+  /// resubmitted later is an ordinary miss and re-executes.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+
   std::size_t size() const;
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
@@ -61,8 +71,15 @@ class ResultStore {
     bool terminal = false;
   };
 
+  void evict_locked();
+
   mutable std::mutex mu_;
   std::map<std::uint64_t, Cell> cells_;
+  /// Completion order of terminal cells — the eviction queue. May hold
+  /// stale keys (already evicted); evict_locked skips them.
+  std::deque<std::uint64_t> completed_order_;
+  std::size_t capacity_ = 0;
+  std::uint64_t evictions_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t coalesced_ = 0;

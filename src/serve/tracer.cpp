@@ -1,0 +1,228 @@
+#include "serve/tracer.hpp"
+
+#include "core/hash.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/trace.hpp"
+
+namespace mkbas::serve {
+
+namespace {
+
+std::uint32_t intern(const char* s) {
+  return sim::TagRegistry::instance().intern(s);
+}
+
+sim::Time t_of(std::uint64_t us) { return static_cast<sim::Time>(us); }
+
+}  // namespace
+
+ServeTracer::ServeTracer()
+    : n_parse_(intern("serve.parse")),
+      n_lookup_(intern("serve.lookup")),
+      n_serialize_(intern("serve.serialize")),
+      n_flush_(intern("serve.flush")),
+      n_queue_wait_(intern("serve.queue_wait")),
+      n_execute_(intern("serve.execute")),
+      note_failed_(intern("failed")) {
+  spans_.set_machine(0);
+  spans_.set_capacity(kRingSpans);
+  flight_.wire(nullptr, &spans_, nullptr);
+}
+
+void ServeTracer::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lk(mu_);
+  enabled_ = on;
+  spans_.set_enabled(on);
+  flight_.set_enabled(on);
+}
+
+void ServeTracer::maybe_rotate_locked() {
+  if (spans_.total_begun() < kEpochSpans) return;
+  // Swap in a fresh store: the lineage index is the one structure that
+  // grows per span minted, and a daemon serving millions of requests
+  // must not carry it forever. The flight recorder's pointer stays
+  // valid (same member object) and its snapshots are already-rendered
+  // strings, so forensic history survives the epoch swap.
+  const bool on = spans_.enabled();
+  spans_ = obs::SpanStore();
+  spans_.set_machine(0);
+  spans_.set_capacity(kRingSpans);
+  spans_.set_enabled(on);
+  flushes_.clear();
+  cells_.clear();
+  ++rotations_;
+}
+
+std::uint64_t ServeTracer::record_request(const std::string& route,
+                                          std::uint64_t cell_key,
+                                          const RequestTimes& t,
+                                          bool expect_flush) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!enabled_) return 0;
+  maybe_rotate_locked();
+  ++requests_;
+  RequestTimes x = t;
+  // In-process handle() calls carry no socket timestamps; collapse the
+  // missing stages onto the first known boundary so the chain still
+  // telescopes.
+  if (x.ingress_us == 0) x.ingress_us = x.lookup_start_us;
+  if (x.parsed_us == 0) x.parsed_us = x.ingress_us;
+  std::uint32_t n_root;
+  if (const auto rn = route_names_.find(route); rn != route_names_.end()) {
+    n_root = rn->second;
+  } else {
+    n_root = sim::TagRegistry::instance().intern("serve.req." + route);
+    route_names_.emplace(route, n_root);
+  }
+  const std::uint64_t root = spans_.begin_flow(
+      -1, t_of(x.ingress_us), n_root, obs::SpanContext{cell_key, 0});
+  const obs::SpanContext under = spans_.context_of(root);
+  const std::uint64_t parse =
+      spans_.begin_flow(-1, t_of(x.ingress_us), n_parse_, under);
+  spans_.end_flow(t_of(x.parsed_us), parse);
+  if (x.lookup_end_us >= x.lookup_start_us && x.lookup_start_us != 0) {
+    const std::uint64_t lookup =
+        spans_.begin_flow(-1, t_of(x.lookup_start_us), n_lookup_, under);
+    spans_.end_flow(t_of(x.lookup_end_us), lookup);
+  }
+  if (x.serialize_end_us >= x.serialize_start_us &&
+      x.serialize_start_us != 0) {
+    const std::uint64_t ser =
+        spans_.begin_flow(-1, t_of(x.serialize_start_us), n_serialize_, under);
+    spans_.end_flow(t_of(x.serialize_end_us), ser);
+  }
+  if (!expect_flush) {
+    spans_.end_flow(t_of(x.serialize_end_us), root);
+    return 0;
+  }
+  PendingFlush& pf = flushes_[root];
+  pf.root_id = root;
+  pf.trace_id = under.trace_id;
+  pf.ingress_us = x.ingress_us;
+  pf.serialize_end_us = x.serialize_end_us;
+  pf.route = n_root;
+  return root;
+}
+
+void ServeTracer::flush_done(std::uint64_t token, std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = flushes_.find(token);
+  if (it == flushes_.end()) return;
+  const PendingFlush pf = it->second;
+  flushes_.erase(it);
+  const std::uint64_t fl =
+      spans_.begin_flow(-1, t_of(pf.serialize_end_us), n_flush_,
+                        obs::SpanContext{pf.trace_id, pf.root_id});
+  spans_.end_flow(t_of(now_us), fl);
+  spans_.end_flow(t_of(now_us), pf.root_id);
+  const std::uint64_t total =
+      now_us > pf.ingress_us ? now_us - pf.ingress_us : 0;
+  if (slow_us_ == 0 || total >= slow_us_) {
+    slow_locked(now_us, "serve.slow",
+                "{\"key\":\"" + core::hex64(pf.trace_id) + "\",\"route\":\"" +
+                    sim::TagRegistry::instance().name(pf.route) +
+                    "\",\"stage\":\"flush\",\"total_us\":" +
+                    std::to_string(total) + "}");
+  }
+}
+
+void ServeTracer::queue_enter(std::uint64_t cell_key, std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!enabled_) return;
+  PendingCell& pc = cells_[cell_key];
+  pc.queue_span = spans_.begin_flow(-1, t_of(now_us), n_queue_wait_,
+                                    obs::SpanContext{cell_key, 0});
+}
+
+void ServeTracer::queue_exit(std::uint64_t cell_key, std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!enabled_) return;
+  const auto it = cells_.find(cell_key);
+  if (it == cells_.end()) return;
+  if (it->second.queue_span != 0) {
+    spans_.end_flow(t_of(now_us), it->second.queue_span);
+    it->second.queue_span = 0;
+  }
+}
+
+void ServeTracer::execute_begin(std::uint64_t cell_key, std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!enabled_) return;
+  PendingCell& pc = cells_[cell_key];
+  pc.exec_span = spans_.begin_flow(-1, t_of(now_us), n_execute_,
+                                   obs::SpanContext{cell_key, 0});
+  pc.exec_start_us = now_us;
+}
+
+std::uint64_t ServeTracer::execute_end(std::uint64_t cell_key,
+                                       std::uint64_t now_us, bool failed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = cells_.find(cell_key);
+  if (it == cells_.end()) return 0;
+  const PendingCell pc = it->second;
+  cells_.erase(it);
+  if (!enabled_) return 0;
+  if (pc.exec_span != 0) {
+    spans_.end_flow(t_of(now_us), pc.exec_span, failed ? note_failed_ : 0);
+  }
+  const std::uint64_t wall =
+      now_us > pc.exec_start_us ? now_us - pc.exec_start_us : 0;
+  if (slow_us_ == 0 || wall >= slow_us_) {
+    slow_locked(now_us, "serve.slow",
+                "{\"key\":\"" + core::hex64(cell_key) +
+                    "\",\"stage\":\"execute\",\"wall_us\":" +
+                    std::to_string(wall) + "}");
+  }
+  return wall;
+}
+
+void ServeTracer::snapshot_slow(std::uint64_t now_us,
+                                const std::string& reason,
+                                const std::string& detail) {
+  std::lock_guard<std::mutex> lk(mu_);
+  slow_locked(now_us, reason, detail);
+}
+
+void ServeTracer::slow_locked(std::uint64_t now_us, const std::string& reason,
+                              const std::string& detail) {
+  if (!enabled_) return;
+  ++slow_;
+  flight_.trigger(t_of(now_us), reason, detail);
+}
+
+std::string ServeTracer::trace_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return obs::to_span_trace_json(spans_);
+}
+
+std::string ServeTracer::flight_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return flight_.to_json();
+}
+
+obs::SpanStore ServeTracer::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_;
+}
+
+std::uint64_t ServeTracer::requests_recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return requests_;
+}
+
+std::uint64_t ServeTracer::slow_triggers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return slow_;
+}
+
+std::uint64_t ServeTracer::rotations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rotations_;
+}
+
+std::size_t ServeTracer::open_flushes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return flushes_.size();
+}
+
+}  // namespace mkbas::serve

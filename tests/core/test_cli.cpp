@@ -1,6 +1,7 @@
 // The shared experiment_runner flag grammar: every subcommand parses
-// through core::parse_cli, and the legacy positional spellings of the
-// earlier runners must keep working.
+// through core::parse_cli. Flags only — the legacy positional spellings
+// of the earlier runners are gone, and this file pins that they no
+// longer do anything.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -50,11 +51,11 @@ TEST(Cli, EveryArtifactFlagFillsItsSlot) {
                         "b", "--trace-out", "c", "--trace-spans", "d",
                         "--audit-out", "e", "--critical-out", "f",
                         "--series-out", "g", "--health-out", "h",
-                        "--flight-out", "i", "--profile-out", "j",
-                        "--profile-trace", "k"});
+                        "--flight-out", "i", "--metrics-prom-out", "j",
+                        "--profile-out", "k", "--profile-trace", "l"});
   EXPECT_TRUE(a.error.empty());
   const char* expect[core::kArtifactKinds] = {"a", "b", "c", "d", "e", "f",
-                                              "g", "h", "i", "j", "k"};
+                                              "g", "h", "i", "j", "k", "l"};
   for (int k = 0; k < core::kArtifactKinds; ++k) {
     EXPECT_EQ(a.artifacts[static_cast<core::ArtifactKind>(k)], expect[k]);
   }
@@ -95,52 +96,65 @@ TEST(Cli, DefaultsWhenNothingGiven) {
   EXPECT_TRUE(a.pos.empty());
 }
 
-TEST(Cli, LegacyPositionalSpellingsStillParse) {
-  // The pre-unification grammar: "attack linux kill root".
+TEST(Cli, LegacyPositionalSpellingsAreInertPositionals) {
+  // The pre-unification grammar "attack linux kill root" no longer
+  // fills any typed field: the words pass through as positionals and
+  // request_from_cli rejects the combination (no --attack given).
   const auto a = parse({"attack", "linux", "kill", "root"});
   EXPECT_TRUE(a.error.empty());
   EXPECT_EQ(a.mode, "attack");
-  EXPECT_TRUE(a.has_platform);
-  EXPECT_EQ(a.platform, mkbas::bas::Platform::kLinux);
-  EXPECT_TRUE(a.root);
-  // Non-flag words stay visible as positionals for the subcommand.
-  ASSERT_EQ(a.pos.size(), 2u);
+  EXPECT_FALSE(a.has_platform);
+  EXPECT_FALSE(a.root);
+  ASSERT_EQ(a.pos.size(), 3u);
   EXPECT_EQ(a.pos[0], "linux");
   EXPECT_EQ(a.pos[1], "kill");
-  // Every interpreted legacy positional leaves a deprecation note.
-  ASSERT_EQ(a.legacy_notes.size(), 2u);
-  EXPECT_EQ(a.legacy_notes[0], "'linux' -> --platform linux");
-  EXPECT_EQ(a.legacy_notes[1], "'root' -> --root");
+  EXPECT_EQ(a.pos[2], "root");
+
+  core::ExperimentRequest req;
+  std::string err;
+  EXPECT_FALSE(core::request_from_cli(a, &req, &err));
+  EXPECT_NE(err.find("--platform"), std::string::npos) << err;
+
+  // Even with the platform given as a flag, the positional attack kind
+  // is not interpreted: the adapter demands --attack.
+  const auto b = parse({"attack", "--platform", "linux", "kill", "root"});
+  EXPECT_TRUE(b.error.empty());
+  EXPECT_FALSE(core::request_from_cli(b, &req, &err));
+  EXPECT_NE(err.find("--attack"), std::string::npos) << err;
+
+  // "fault minix seed 7" likewise: no platform, no seed, just words.
+  const auto f = parse({"fault", "minix", "seed", "7", "no-probe"});
+  EXPECT_TRUE(f.error.empty());
+  EXPECT_FALSE(f.has_platform);
+  EXPECT_FALSE(f.has_seed);
+  EXPECT_FALSE(f.no_probe);
+  EXPECT_EQ(f.pos.size(), 4u);
 }
 
-TEST(Cli, FlagGrammarLeavesNoLegacyNotes) {
-  const auto a =
-      parse({"attack", "--platform", "linux", "--attack", "kill", "--root"});
-  EXPECT_TRUE(a.error.empty());
-  EXPECT_TRUE(a.legacy_notes.empty());
-  const auto acked = parse({"attack", "linux", "kill", "--legacy"});
-  EXPECT_TRUE(acked.legacy);
-  EXPECT_FALSE(acked.legacy_notes.empty());
+TEST(Cli, LegacyEscapeHatchIsGone) {
+  // --legacy was the acknowledgement flag for the deprecation cycle; it
+  // must now be an ordinary unknown-flag error.
+  const auto a = parse({"attack", "linux", "kill", "--legacy"});
+  ASSERT_FALSE(a.error.empty());
+  EXPECT_NE(a.error.find("--legacy"), std::string::npos);
 }
 
 TEST(Cli, ServeFlagsParse) {
-  const auto a = parse({"serve", "--port", "0", "--jobs", "3", "--batch", "5"});
+  const auto a = parse({"serve", "--port", "0", "--jobs", "3", "--batch", "5",
+                        "--slow-ms", "40", "--store-cap", "64", "--no-trace"});
   EXPECT_TRUE(a.error.empty());
   EXPECT_EQ(a.mode, "serve");
   EXPECT_EQ(a.port, 0);
   EXPECT_EQ(a.jobs, 3);
   EXPECT_EQ(a.batch, 5);
+  EXPECT_EQ(a.slow_ms, 40);
+  EXPECT_EQ(a.store_cap, 64);
+  EXPECT_TRUE(a.no_trace);
   EXPECT_EQ(parse({"serve"}).port, 8080);
   EXPECT_EQ(parse({"serve"}).batch, 8);
-}
-
-TEST(Cli, LegacyFaultSeedSpelling) {
-  const auto a = parse({"fault", "minix", "seed", "7", "no-probe"});
-  EXPECT_TRUE(a.error.empty());
-  EXPECT_TRUE(a.has_seed);
-  EXPECT_EQ(a.seed, 7u);
-  EXPECT_TRUE(a.no_probe);
-  EXPECT_EQ(a.platform, mkbas::bas::Platform::kMinix);
+  EXPECT_EQ(parse({"serve"}).slow_ms, 250);
+  EXPECT_EQ(parse({"serve"}).store_cap, 0);
+  EXPECT_FALSE(parse({"serve"}).no_trace);
 }
 
 TEST(Cli, CampaignSubmodeIsPositional) {

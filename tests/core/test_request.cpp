@@ -246,12 +246,19 @@ TEST(RequestFromCli, FlagAndJsonSpellingsShareACell) {
   EXPECT_EQ(cli.cell_key(), json.cell_key());
 }
 
-TEST(RequestFromCli, LegacyAndFlagSpellingsShareACell) {
-  const auto legacy = from_cli({"attack", "linux", "kill", "root"});
-  const auto flags =
-      from_cli({"attack", "--platform", "linux", "--attack", "kill",
-                "--root"});
-  EXPECT_EQ(legacy.to_canonical_json(), flags.to_canonical_json());
+TEST(RequestFromCli, LegacyPositionalSpellingsAreRejected) {
+  // The legacy "attack linux kill root" grammar is gone: the words no
+  // longer fill platform/attack/root, so the adapter reports the first
+  // missing flag instead of silently guessing.
+  std::vector<const char*> argv = {"experiment_runner", "attack", "linux",
+                                   "kill", "root"};
+  const core::CliArgs a = core::parse_cli(static_cast<int>(argv.size()),
+                                          const_cast<char**>(argv.data()));
+  EXPECT_TRUE(a.error.empty()) << a.error;
+  core::ExperimentRequest r;
+  std::string err;
+  EXPECT_FALSE(core::request_from_cli(a, &r, &err));
+  EXPECT_NE(err.find("--platform"), std::string::npos) << err;
 }
 
 TEST(RequestFromCli, CampaignSubmodesMap) {

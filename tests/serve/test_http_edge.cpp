@@ -1,0 +1,191 @@
+// HttpServer protocol edge cases, driven with raw sockets (not
+// HttpClient — the point is byte-level control): headers split across
+// TCP segments, oversized header blocks, malformed pipelined requests
+// and Content-Length lies must all end in a clean response or a clean
+// close, never a hang.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/http.hpp"
+
+namespace serve = mkbas::serve;
+
+namespace {
+
+class RawConn {
+ public:
+  explicit RawConn(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+    timeval tv{5, 0};  // every recv bounded: a hang fails, not wedges
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return connected_; }
+
+  void send_all(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  void half_close() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Read until EOF, timeout, or (when non-empty) `until` appears.
+  std::string read_until(const std::string& until = "") {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      if (!until.empty() && out.find(until) != std::string::npos) return out;
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) return out;  // EOF or timeout
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  /// True iff the server closes the connection (EOF before timeout).
+  bool reaches_eof() {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n == 0) return true;
+      if (n < 0) return false;  // timeout: the server is hanging on us
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+/// Server fixture: every request answered 200 "pong".
+class EdgeServer : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string err;
+    ASSERT_TRUE(server_.start(
+        0,
+        [](const serve::HttpRequest&) {
+          serve::HttpResponse r;
+          r.body = "pong";
+          return r;
+        },
+        &err))
+        << err;
+  }
+  void TearDown() override { server_.stop(); }
+
+  serve::HttpServer server_;
+};
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+TEST_F(EdgeServer, HeadersSplitAcrossManyReadsStillParse) {
+  RawConn c(server_.port());
+  ASSERT_TRUE(c.ok());
+  const std::string req =
+      "GET /ping HTTP/1.1\r\nHost: localhost\r\nX-Client: split\r\n\r\n";
+  // One byte at a time around every CRLF; bigger chunks elsewhere.
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    c.send_all(req.substr(i, 1));
+    if (req[i] == '\r' || req[i] == '\n') {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const std::string resp = c.read_until("pong");
+  EXPECT_TRUE(contains(resp, "HTTP/1.1 200")) << resp;
+  EXPECT_TRUE(contains(resp, "pong")) << resp;
+}
+
+TEST_F(EdgeServer, OversizedHeaderBlockIsRejectedAndClosed) {
+  RawConn c(server_.port());
+  ASSERT_TRUE(c.ok());
+  // 80 KB of header bytes with no terminating CRLFCRLF: past the 64 KB
+  // cap the server must answer 400 and hang up, not buffer forever.
+  c.send_all("GET / HTTP/1.1\r\nX-Junk: " + std::string(80 * 1024, 'a'));
+  const std::string resp = c.read_until("\r\n\r\n");
+  EXPECT_TRUE(contains(resp, "HTTP/1.1 400")) << resp.substr(0, 200);
+  EXPECT_TRUE(c.reaches_eof());
+}
+
+TEST_F(EdgeServer, MalformedSecondPipelinedRequestGets400AfterFirst) {
+  RawConn c(server_.port());
+  ASSERT_TRUE(c.ok());
+  // A valid request pipelined with garbage: the first is served, the
+  // garbage earns a 400, and nothing after the malformed bytes is
+  // parsed for free (the connection closes).
+  c.send_all(
+      "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n"
+      "THIS IS NOT HTTP\r\n\r\n"
+      "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string all = c.read_until();
+  const std::size_t first = all.find("HTTP/1.1 200");
+  const std::size_t second = all.find("HTTP/1.1 400");
+  EXPECT_NE(first, std::string::npos) << all;
+  EXPECT_NE(second, std::string::npos) << all;
+  EXPECT_LT(first, second);
+  EXPECT_TRUE(contains(all, "malformed HTTP request")) << all;
+  // Exactly one 200: the pipelined request after the garbage is dead.
+  EXPECT_EQ(all.find("HTTP/1.1 200", first + 1), std::string::npos) << all;
+}
+
+TEST_F(EdgeServer, GarbageContentLengthIs400) {
+  RawConn c(server_.port());
+  ASSERT_TRUE(c.ok());
+  c.send_all("POST /run HTTP/1.1\r\nContent-Length: 12x\r\n\r\n");
+  const std::string resp = c.read_until("\r\n\r\n");
+  EXPECT_TRUE(contains(resp, "HTTP/1.1 400")) << resp;
+  EXPECT_TRUE(c.reaches_eof());
+}
+
+TEST_F(EdgeServer, OverlongContentLengthIs400NotABufferedWait) {
+  RawConn c(server_.port());
+  ASSERT_TRUE(c.ok());
+  // Declares 2 MB (over the 1 MB body cap): rejected on sight, the
+  // server never waits for bytes it would refuse anyway.
+  c.send_all("POST /run HTTP/1.1\r\nContent-Length: 2097152\r\n\r\n");
+  const std::string resp = c.read_until("\r\n\r\n");
+  EXPECT_TRUE(contains(resp, "HTTP/1.1 400")) << resp;
+  EXPECT_TRUE(c.reaches_eof());
+}
+
+TEST_F(EdgeServer, ContentLengthUnderrunClosesCleanlyOnEof) {
+  RawConn c(server_.port());
+  ASSERT_TRUE(c.ok());
+  // Declares 10 body bytes, sends 4, half-closes. The request can never
+  // complete; the server must drop the connection, not wait forever.
+  c.send_all("POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nfour");
+  c.half_close();
+  EXPECT_TRUE(c.reaches_eof());
+}
+
+TEST_F(EdgeServer, ServerSurvivesTheAbuseAndStillServes) {
+  // After every edge case above ran against this fixture class, a
+  // well-formed request on a fresh connection still round-trips.
+  RawConn c(server_.port());
+  ASSERT_TRUE(c.ok());
+  c.send_all("GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_TRUE(contains(c.read_until("pong"), "HTTP/1.1 200"));
+}
